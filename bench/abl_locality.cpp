@@ -1,0 +1,66 @@
+// Ablation (§5.2) — locality-aware scheduling.
+//
+// Shared-prefix workload over four colocated TEs: compare round-robin,
+// load-only, and the combined (locality + load) policy on KV-cache token hit
+// rate and TTFT. Locality-aware routing should concentrate each prefix family
+// on one TE and lift the hit rate substantially.
+
+#include <cstdio>
+
+#include "bench/common.h"
+
+namespace deepserve {
+namespace {
+
+void RunPolicy(const char* name, serving::SchedulingPolicy policy, double rps) {
+  bench::Testbed testbed(/*num_machines=*/4, policy);
+  testbed.BuildFleet(bench::Engine34BTp4Paper(flowserve::EngineRole::kColocated), 4, 0, 0);
+  auto config = workload::TraceGenerator::CodeGenTrace(rps, /*duration_s=*/120.0);
+  // Enough distinct prefix families that replicating all of them on every TE
+  // exceeds each engine's KV capacity — the regime where locality routing
+  // actually pays (under light pressure every TE just caches everything).
+  config.prefix_pool_size = 128;
+  config.shared_fraction = 0.5;
+  config.prefix_zipf_s = 1.05;
+  auto trace = workload::TraceGenerator(config).Generate();
+  auto metrics = testbed.Replay(trace);
+  // Aggregate RTC hit rates across the fleet.
+  double matched = 0;
+  double requested = 0;
+  int64_t reused = 0;
+  for (const auto& te : testbed.manager().tes()) {
+    const auto& rtc_stats = te->engine().rtc().stats();
+    matched += static_cast<double>(rtc_stats.matched_tokens);
+    requested += static_cast<double>(rtc_stats.requested_tokens);
+    reused += te->engine().stats().reused_tokens;
+  }
+  std::printf("%-12s %4.1f %5zu %10.1f%% %12lld %9.0f %9.0f %9.2f\n", name, rps,
+              metrics.completed(), requested > 0 ? 100.0 * matched / requested : 0.0,
+              static_cast<long long>(reused), metrics.ttft_ms().p50(),
+              metrics.ttft_ms().p99(), metrics.tpot_ms().p50());
+}
+
+}  // namespace
+}  // namespace deepserve
+
+int main() {
+  using deepserve::bench::PrintHeader;
+  using deepserve::bench::PrintRule;
+  PrintHeader("Ablation: locality-aware scheduling on a shared-prefix trace (4 TEs)");
+  std::printf("%-12s %4s %5s %11s %12s %9s %9s %9s\n", "policy", "rps", "n", "kv-hit",
+              "reused-tok", "ttft-p50", "ttft-p99", "tpot-p50");
+  PrintRule();
+  for (double rps : {2.0, 4.0}) {
+    deepserve::RunPolicy("RR", deepserve::serving::SchedulingPolicy::kRoundRobin, rps);
+    deepserve::RunPolicy("load-only", deepserve::serving::SchedulingPolicy::kLoadOnly, rps);
+    deepserve::RunPolicy("locality", deepserve::serving::SchedulingPolicy::kLocalityOnly, rps);
+    deepserve::RunPolicy("combined", deepserve::serving::SchedulingPolicy::kCombined, rps);
+    PrintRule();
+  }
+  std::printf("Locality-aware routing keeps each shared-prefix family on the TE that\n"
+              "already holds its KV, lifting the cache hit rate well above RR/load-only\n"
+              "(which replicate hot prefixes everywhere and evict the tail). The combined\n"
+              "policy adds the load gate so the hit-rate gain does not come at the cost\n"
+              "of hot-TE queueing (compare locality vs combined TTFT p99).\n");
+  return 0;
+}

@@ -1,0 +1,168 @@
+// Shared scaffolding for the figure-reproduction benches: fleet construction
+// (colocated TEs and PD pairs on a simulated cluster), trace replay through a
+// Job Executor, and table formatting.
+#ifndef DEEPSERVE_BENCH_COMMON_H_
+#define DEEPSERVE_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "distflow/distflow.h"
+#include "hw/cluster.h"
+#include "serving/cluster_manager.h"
+#include "serving/job_executor.h"
+#include "serving/predictor.h"
+#include "serving/task_executor.h"
+#include "sim/simulator.h"
+#include "workload/metrics.h"
+#include "workload/tracegen.h"
+
+namespace deepserve::bench {
+
+// The paper's default serving instance: the 34B model at TP=4 on Gen2 NPUs.
+inline flowserve::EngineConfig Engine34BTp4(flowserve::EngineRole role) {
+  flowserve::EngineConfig config;
+  config.model = model::ModelSpec::Yi34B();
+  config.npu_spec = hw::NpuSpec::Gen2();
+  config.parallelism = {4, 1, 1};
+  config.role = role;
+  return config;
+}
+
+// The online-serving testbed variant (Figs. 4-6): Gen1-class NPUs and a
+// tighter per-step token budget, which puts the instance near the paper's
+// operating point (saturation around ~1 RPS per fleet, visible prefill/decode
+// interference inside PD-colocated engines).
+inline flowserve::EngineConfig Engine34BTp4Paper(flowserve::EngineRole role) {
+  flowserve::EngineConfig config = Engine34BTp4(role);
+  config.npu_spec = hw::NpuSpec::Gen1();
+  config.max_tokens_per_step = 2048;
+  config.prefill_chunk_tokens = 1024;
+  return config;
+}
+
+// A self-contained serving testbed: simulator, cluster, DistFlow, manager,
+// TEs, and one JE.
+class Testbed {
+ public:
+  explicit Testbed(int num_machines = 4,
+                   serving::SchedulingPolicy policy = serving::SchedulingPolicy::kCombined,
+                   serving::PdHeatmap heatmap = serving::PdHeatmap::Default(),
+                   std::unique_ptr<serving::DecodeLengthPredictor> predictor =
+                       serving::MakeOraclePredictor()) {
+    hw::ClusterConfig cluster_config;
+    cluster_config.num_machines = num_machines;
+    cluster_config.machines_per_scaleup_domain = std::max(4, num_machines);
+    cluster_ = std::make_unique<hw::Cluster>(&sim_, cluster_config);
+    transfer_ = std::make_unique<distflow::TransferEngine>(&sim_, cluster_.get(),
+                                                           distflow::DistFlowConfig{});
+    manager_ = std::make_unique<serving::ClusterManager>(&sim_, cluster_.get(), transfer_.get());
+    serving::JeConfig je_config;
+    je_config.policy = policy;
+    je_ = std::make_unique<serving::JobExecutor>(&sim_, je_config, std::move(heatmap),
+                                                 std::move(predictor));
+  }
+
+  // Builds `colocated` unified TEs plus `prefill`/`decode` disaggregated TEs
+  // and links their DistFlow endpoints.
+  void BuildFleet(const flowserve::EngineConfig& base, int colocated, int prefill, int decode) {
+    std::vector<distflow::EndpointId> endpoints;
+    auto add = [&](flowserve::EngineRole role) {
+      auto config = base;
+      config.role = role;
+      auto te = manager_->CreateReadyTe(config);
+      if (!te.ok()) {
+        std::fprintf(stderr, "fleet construction failed: %s\n",
+                     te.status().ToString().c_str());
+        std::abort();
+      }
+      endpoints.push_back((*te)->id());
+      switch (role) {
+        case flowserve::EngineRole::kColocated:
+          je_->AddColocatedTe(*te);
+          break;
+        case flowserve::EngineRole::kPrefillOnly:
+          je_->AddPrefillTe(*te);
+          break;
+        case flowserve::EngineRole::kDecodeOnly:
+          je_->AddDecodeTe(*te);
+          break;
+      }
+    };
+    for (int i = 0; i < colocated; ++i) {
+      add(flowserve::EngineRole::kColocated);
+    }
+    for (int i = 0; i < prefill; ++i) {
+      add(flowserve::EngineRole::kPrefillOnly);
+    }
+    for (int i = 0; i < decode; ++i) {
+      add(flowserve::EngineRole::kDecodeOnly);
+    }
+    if (!transfer_->LinkCluster(endpoints, nullptr).ok()) {
+      std::abort();
+    }
+    sim_.Run();  // settle link setup
+  }
+
+  // Replays a trace through the JE and runs the simulation to completion.
+  // First-token times come from the prefill side (for disaggregated routes
+  // the completion callback fires on the decode TE, which never saw the
+  // first token).
+  workload::MetricsCollector Replay(const std::vector<workload::RequestSpec>& trace) {
+    workload::MetricsCollector metrics;
+    auto first_tokens = std::make_shared<std::map<workload::RequestId, TimeNs>>();
+    for (const auto& spec : trace) {
+      sim_.ScheduleAt(spec.arrival, [this, &metrics, first_tokens, spec] {
+        je_->HandleRequest(
+            spec,
+            [first_tokens, id = spec.id](const flowserve::Sequence& seq) {
+              (*first_tokens)[id] = seq.first_token_time;
+            },
+            [&metrics, first_tokens, spec](const flowserve::Sequence& seq) {
+              workload::RequestRecord record;
+              record.id = spec.id;
+              record.arrival = spec.arrival;
+              auto it = first_tokens->find(spec.id);
+              record.first_token =
+                  it != first_tokens->end() ? it->second : seq.first_token_time;
+              record.completion = seq.finish_time;
+              record.prefill_len = spec.prefill_len();
+              record.decode_len = spec.decode_len;
+              metrics.Record(record);
+            });
+      });
+    }
+    sim_.Run();
+    return metrics;
+  }
+
+  sim::Simulator& sim() { return sim_; }
+  hw::Cluster& cluster() { return *cluster_; }
+  distflow::TransferEngine& transfer() { return *transfer_; }
+  serving::ClusterManager& manager() { return *manager_; }
+  serving::JobExecutor& je() { return *je_; }
+
+ private:
+  sim::Simulator sim_;
+  std::unique_ptr<hw::Cluster> cluster_;
+  std::unique_ptr<distflow::TransferEngine> transfer_;
+  std::unique_ptr<serving::ClusterManager> manager_;
+  std::unique_ptr<serving::JobExecutor> je_;
+};
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void PrintRule() {
+  std::printf("----------------------------------------------------------------\n");
+}
+
+}  // namespace deepserve::bench
+
+#endif  // DEEPSERVE_BENCH_COMMON_H_

@@ -1,0 +1,120 @@
+// Figure 10 — Scalability and sensitivity of NPU-fork (Llama3-8B, TP=1, HCCS).
+//
+// (a) Scaling 1..64 TEs in parallel from one running TE (HCCL broadcast).
+// (b) Time to scale to 32 TEs while the source TE is prefilling sequences of
+//     different lengths.
+// (c) Scaling time while the source TE decodes batches of 1K-token sequences.
+// The NPU's dedicated AICPU handles the transfer, so serving contention stays
+// limited — the curves in (b)/(c) should be nearly flat.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/common.h"
+#include "serving/cluster_manager.h"
+
+namespace deepserve {
+namespace {
+
+struct ForkResult {
+  DurationNs elapsed = 0;
+  int created = 0;
+};
+
+// Scales `count` TEs via NPU-fork while the source runs `busy_prefill` tokens
+// of prefill and/or `busy_decode_batch` decoding sequences of 1K tokens.
+ForkResult RunFork(int count, int64_t busy_prefill, int busy_decode_batch) {
+  sim::Simulator sim;
+  hw::ClusterConfig config;
+  config.num_machines = 16;
+  config.npus_per_machine = 8;
+  config.machines_per_scaleup_domain = 16;  // all-HCCS domain
+  hw::Cluster cluster(&sim, config);
+  distflow::TransferEngine transfer(&sim, &cluster, {});
+  serving::ClusterManager manager(&sim, &cluster, &transfer, {});
+  manager.ReservePrewarmedPods(128);
+  manager.ReservePrewarmedTes(128);
+
+  serving::ScaleRequest request;
+  request.engine.model = model::ModelSpec::Llama3_8B();
+  request.engine.parallelism = {1, 1, 1};
+  request.engine.role = flowserve::EngineRole::kColocated;
+  request.fork_link = hw::LinkType::kHccs;
+  auto source = manager.CreateReadyTe(request.engine);
+  if (!source.ok()) {
+    std::abort();
+  }
+  request.fork_source = (*source)->id();
+
+  // Load the source with serving work just before the fork.
+  Rng rng(5);
+  auto submit = [&](int64_t prefill, int64_t decode) {
+    workload::RequestSpec spec;
+    static workload::RequestId next_id = 1;
+    spec.id = next_id++;
+    spec.decode_len = decode;
+    for (int64_t i = 0; i < prefill; ++i) {
+      spec.prompt.push_back(static_cast<TokenId>(rng.UniformInt(256, 100000)));
+    }
+    (*source)->SubmitUnified(spec, nullptr, nullptr);
+  };
+  if (busy_prefill > 0) {
+    for (int i = 0; i < 4; ++i) {
+      submit(busy_prefill, 64);
+    }
+  }
+  for (int i = 0; i < busy_decode_batch; ++i) {
+    submit(1024, 512);
+  }
+  // Let the work reach the NPU, then fork.
+  sim.RunUntil(sim.Now() + MillisecondsToNs(busy_decode_batch > 0 || busy_prefill > 0 ? 50 : 0));
+
+  ForkResult result;
+  if (!manager
+           .ScaleUpMany(request, count,
+                        [&](std::vector<serving::TaskExecutor*> tes, DurationNs elapsed) {
+                          result.created = static_cast<int>(tes.size());
+                          result.elapsed = elapsed;
+                        })
+           .ok()) {
+    std::abort();
+  }
+  sim.Run();
+  return result;
+}
+
+}  // namespace
+}  // namespace deepserve
+
+int main() {
+  using deepserve::bench::PrintHeader;
+  using deepserve::bench::PrintRule;
+  PrintHeader("Figure 10a: NPU-fork scalability (Llama3-8B TP=1, HCCS broadcast)");
+  std::printf("%8s %10s %12s\n", "num-TEs", "created", "seconds");
+  PrintRule();
+  for (int n : {1, 2, 4, 8, 16, 32, 64}) {
+    auto r = deepserve::RunFork(n, 0, 0);
+    std::printf("%8d %10d %12.2f\n", n, r.created, deepserve::NsToSeconds(r.elapsed));
+  }
+
+  PrintHeader("Figure 10b: scale to 32 TEs while source prefills (seq length sweep)");
+  std::printf("%14s %12s\n", "prefill-len", "seconds");
+  PrintRule();
+  for (int64_t len : {0ll, 1024ll, 2048ll, 4096ll, 8192ll}) {
+    auto r = deepserve::RunFork(32, len, 0);
+    std::printf("%14lld %12.2f\n", static_cast<long long>(len),
+                deepserve::NsToSeconds(r.elapsed));
+  }
+
+  PrintHeader("Figure 10c: scale to 32 TEs while source decodes 1K-token batches");
+  std::printf("%14s %12s\n", "decode-batch", "seconds");
+  PrintRule();
+  for (int batch : {0, 8, 16, 32, 64}) {
+    auto r = deepserve::RunFork(32, 0, batch);
+    std::printf("%14d %12.2f\n", batch, deepserve::NsToSeconds(r.elapsed));
+  }
+  std::printf("\nExpected: (a) logarithmic growth with TE count (binomial broadcast),\n"
+              "still single-digit seconds at 64 TEs; (b)/(c) nearly flat — the\n"
+              "dedicated AICPU keeps serving/transfer contention limited.\n");
+  return 0;
+}

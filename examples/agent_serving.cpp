@@ -1,0 +1,104 @@
+// Agent serving on DeepServe: one agent session is a sequence of serving
+// jobs that share a growing context. Between model calls the agent executes
+// tools (simulated latency), during which its context would lose its NPU
+// residency under memory pressure — explicit context caching (RTC's ID
+// index) plus populate brings it back cheaply when the next turn arrives.
+//
+// Prints per-turn TTFT with and without context caching, showing why the
+// agent endpoint uses explicit IDs rather than relying on implicit prefix
+// matching alone.
+
+#include <cstdio>
+#include <vector>
+
+#include "common/rng.h"
+#include "flowserve/engine.h"
+#include "sim/simulator.h"
+
+using namespace deepserve;
+
+namespace {
+
+struct TurnResult {
+  double ttft_ms;
+  int64_t reused;
+};
+
+// Runs an 6-turn agent session; each turn appends tool output to the context.
+std::vector<TurnResult> RunSession(bool use_context_cache) {
+  sim::Simulator sim;
+  flowserve::EngineConfig config;
+  config.model = model::ModelSpec::Llama3_8B();
+  config.parallelism = {1, 1, 1};
+  flowserve::Engine engine(&sim, config);
+
+  Rng rng(21);
+  std::vector<TokenId> context;
+  for (int i = 0; i < 3072; ++i) {  // system prompt + tool schemas
+    context.push_back(static_cast<TokenId>(rng.UniformInt(256, 100000)));
+  }
+
+  std::vector<TurnResult> turns;
+  workload::RequestId next_id = 1;
+  for (int turn = 0; turn < 6; ++turn) {
+    workload::RequestSpec spec;
+    spec.id = next_id++;
+    spec.arrival = sim.Now();
+    if (use_context_cache) {
+      spec.context_id = "agent-session";
+    }
+    spec.prompt = context;
+    // The agent framework stamps the current time into the system prompt:
+    // the token prefix changes every turn, so implicit prefix matching dies
+    // while the explicit ID still resolves the preserved context.
+    spec.prompt[0] = static_cast<TokenId>(256 + turn);
+    spec.decode_len = 96;  // the model decides the next tool call
+    TurnResult result{0, 0};
+    engine.Submit(spec,
+                  [&](const flowserve::Sequence& seq) {
+                    result.ttft_ms = NsToMilliseconds(seq.first_token_time - seq.arrival);
+                    result.reused = seq.reused_tokens;
+                  },
+                  nullptr);
+    sim.Run();
+    turns.push_back(result);
+    // Tool execution: the agent is away for a while; other tenants churn the
+    // cache meanwhile (filler prefills from a different "tenant").
+    for (int f = 0; f < 3; ++f) {
+      workload::RequestSpec filler;
+      filler.id = next_id++;
+      filler.decode_len = 8;
+      for (int j = 0; j < 4096; ++j) {
+        filler.prompt.push_back(static_cast<TokenId>(rng.UniformInt(256, 100000)));
+      }
+      engine.Submit(filler, nullptr, nullptr);
+    }
+    sim.RunUntil(sim.Now() + SecondsToNs(5));  // tool latency
+    sim.Run();
+    // The turn's transcript (tool output) extends the context.
+    for (int j = 0; j < 512; ++j) {
+      context.push_back(static_cast<TokenId>(rng.UniformInt(256, 100000)));
+    }
+  }
+  return turns;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("6-turn agent session, 3K-token base context growing 512 tokens/turn,\n"
+              "5 s of tool execution between turns, cache churn from other tenants\n\n");
+  auto cached = RunSession(true);
+  auto uncached = RunSession(false);
+  std::printf("%6s %22s %26s\n", "turn", "implicit-only TTFT", "with context-cache id");
+  for (size_t t = 0; t < cached.size(); ++t) {
+    std::printf("%6zu %15.0f ms %17.0f ms  (reused %lld tokens)\n", t + 1,
+                uncached[t].ttft_ms, cached[t].ttft_ms,
+                static_cast<long long>(cached[t].reused));
+  }
+  std::printf("\nThe agent framework stamps a timestamp into the system prompt, so the\n"
+              "token prefix changes every turn: implicit prefix matching loses the\n"
+              "whole context and TTFT grows with it, while the explicit ID keeps\n"
+              "resolving the preserved KV regardless of the edited prefix.\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+#include "common/rng.h"
+
+#include <vector>
+
+namespace deepserve {
+
+int64_t Rng::Zipf(int64_t n, double s) {
+  DS_CHECK_GT(n, 0);
+  // Inverse-CDF via rejection-free linear scan is O(n); acceptable because the
+  // workload generators draw from small rank spaces (prefix pools), but we use
+  // the classic rejection-inversion approximation for generality.
+  // For small n, fall back to exact inversion with cached normalization.
+  if (n <= 4096) {
+    thread_local std::vector<double> cdf;
+    thread_local int64_t cached_n = -1;
+    thread_local double cached_s = -1.0;
+    if (cached_n != n || cached_s != s) {
+      cdf.assign(static_cast<size_t>(n), 0.0);
+      double sum = 0.0;
+      for (int64_t i = 0; i < n; ++i) {
+        sum += 1.0 / std::pow(static_cast<double>(i + 1), s);
+        cdf[static_cast<size_t>(i)] = sum;
+      }
+      for (auto& v : cdf) {
+        v /= sum;
+      }
+      cached_n = n;
+      cached_s = s;
+    }
+    double u = NextDouble();
+    auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+    return it == cdf.end() ? n - 1 : static_cast<int64_t>(it - cdf.begin());
+  }
+  // Rejection-inversion (Hormann & Derflinger) for large n.
+  const double b = std::pow(2.0, s - 1.0);
+  while (true) {
+    double u = NextDouble();
+    double v = NextDouble();
+    int64_t x = static_cast<int64_t>(std::floor(std::pow(u, -1.0 / (s - 1.0))));
+    if (x < 1 || x > n) {
+      continue;
+    }
+    double t = std::pow(1.0 + 1.0 / static_cast<double>(x), s - 1.0);
+    if (v * static_cast<double>(x) * (t - 1.0) / (b - 1.0) <= t / b) {
+      return x - 1;
+    }
+  }
+}
+
+}  // namespace deepserve

@@ -1,0 +1,84 @@
+// Deterministic random number generation.
+//
+// Every stochastic component takes an explicit Rng (or a seed) so whole
+// cluster-scale experiments replay bit-for-bit. The engine is SplitMix64 —
+// tiny state, excellent statistical quality for simulation purposes, and
+// trivially forkable: Fork() derives an independent stream, which lets one
+// master seed fan out to per-component streams without correlation.
+#ifndef DEEPSERVE_COMMON_RNG_H_
+#define DEEPSERVE_COMMON_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/logging.h"
+
+namespace deepserve {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull) : state_(seed) {}
+
+  // Next raw 64-bit value (SplitMix64).
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  // Derives an independent generator; deterministic given this stream's state.
+  Rng Fork() { return Rng(Next() ^ 0x5851f42d4c957f2dull); }
+
+  // Uniform double in [0, 1).
+  double NextDouble() { return static_cast<double>(Next() >> 11) * 0x1.0p-53; }
+
+  // Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    DS_CHECK_LE(lo, hi);
+    uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+    return lo + static_cast<int64_t>(Next() % span);
+  }
+
+  // Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) { return lo + (hi - lo) * NextDouble(); }
+
+  // Bernoulli trial with success probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  // Exponential with the given rate (events per unit); mean = 1/rate.
+  double Exponential(double rate) {
+    DS_CHECK_GT(rate, 0.0);
+    double u = NextDouble();
+    // Guard against log(0).
+    if (u <= 0.0) {
+      u = 1e-300;
+    }
+    return -std::log(u) / rate;
+  }
+
+  // Standard normal via Box-Muller (one value per call; simple over fast).
+  double Normal(double mean = 0.0, double stddev = 1.0) {
+    double u1 = NextDouble();
+    double u2 = NextDouble();
+    if (u1 <= 0.0) {
+      u1 = 1e-300;
+    }
+    double z = std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+    return mean + stddev * z;
+  }
+
+  // Log-normal parameterized by the underlying normal's mu/sigma.
+  double LogNormal(double mu, double sigma) { return std::exp(Normal(mu, sigma)); }
+
+  // Zipf-like draw over [0, n): rank r with probability proportional to
+  // 1/(r+1)^s. Used for skewed prompt-prefix popularity.
+  int64_t Zipf(int64_t n, double s);
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace deepserve
+
+#endif  // DEEPSERVE_COMMON_RNG_H_

@@ -1,0 +1,148 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace deepserve {
+
+void OnlineStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double OnlineStats::variance() const {
+  return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+void OnlineStats::Merge(const OnlineStats& other) {
+  if (other.count_ == 0) {
+    return;
+  }
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  size_t n = count_ + other.count_;
+  double delta = other.mean_ - mean_;
+  double mean = mean_ + delta * static_cast<double>(other.count_) / static_cast<double>(n);
+  m2_ = m2_ + other.m2_ +
+        delta * delta * static_cast<double>(count_) * static_cast<double>(other.count_) /
+            static_cast<double>(n);
+  mean_ = mean;
+  count_ = n;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void SampleStats::Add(double x) {
+  samples_.push_back(x);
+  sorted_valid_ = false;
+}
+
+double SampleStats::mean() const {
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  return sum() / static_cast<double>(samples_.size());
+}
+
+double SampleStats::sum() const { return std::accumulate(samples_.begin(), samples_.end(), 0.0); }
+
+double SampleStats::min() const {
+  return samples_.empty() ? 0.0 : *std::min_element(samples_.begin(), samples_.end());
+}
+
+double SampleStats::max() const {
+  return samples_.empty() ? 0.0 : *std::max_element(samples_.begin(), samples_.end());
+}
+
+void SampleStats::EnsureSorted() const {
+  if (!sorted_valid_) {
+    sorted_ = samples_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sorted_valid_ = true;
+  }
+}
+
+double SampleStats::Percentile(double q) const {
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  DS_CHECK_GE(q, 0.0);
+  DS_CHECK_LE(q, 1.0);
+  EnsureSorted();
+  if (sorted_.size() == 1) {
+    return sorted_[0];
+  }
+  double rank = q * static_cast<double>(sorted_.size() - 1);
+  size_t lo = static_cast<size_t>(rank);
+  size_t hi = std::min(lo + 1, sorted_.size() - 1);
+  double frac = rank - static_cast<double>(lo);
+  return sorted_[lo] * (1.0 - frac) + sorted_[hi] * frac;
+}
+
+double SampleStats::FractionBelow(double threshold) const {
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  EnsureSorted();
+  auto it = std::upper_bound(sorted_.begin(), sorted_.end(), threshold);
+  return static_cast<double>(it - sorted_.begin()) / static_cast<double>(sorted_.size());
+}
+
+Histogram::Histogram(double lo, double hi, size_t buckets) : lo_(lo), hi_(hi) {
+  DS_CHECK_GT(hi, lo);
+  DS_CHECK_GT(buckets, 0u);
+  width_ = (hi - lo) / static_cast<double>(buckets);
+  counts_.assign(buckets, 0);
+}
+
+void Histogram::Add(double x) {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  size_t idx = static_cast<size_t>((x - lo_) / width_);
+  if (idx >= counts_.size()) {
+    idx = counts_.size() - 1;
+  }
+  ++counts_[idx];
+}
+
+std::string Histogram::ToString() const {
+  static const char* kLevels[] = {" ", ".", ":", "-", "=", "+", "*", "#", "%", "@"};
+  size_t max_count = 0;
+  for (size_t c : counts_) {
+    max_count = std::max(max_count, c);
+  }
+  std::string out = "[";
+  for (size_t c : counts_) {
+    size_t level = max_count == 0 ? 0 : (c * 9) / max_count;
+    out += kLevels[level];
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace deepserve

@@ -1,0 +1,100 @@
+// Statistics accumulators used by the metrics layer and the benches.
+//
+// - OnlineStats: streaming mean / variance / min / max (Welford).
+// - SampleStats: stores samples, answers arbitrary percentiles exactly.
+// - Histogram: fixed-width bucket counts for quick distribution dumps.
+#ifndef DEEPSERVE_COMMON_STATS_H_
+#define DEEPSERVE_COMMON_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace deepserve {
+
+class OnlineStats {
+ public:
+  void Add(double x);
+
+  size_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+  // Merges another accumulator into this one (parallel-merge identity).
+  void Merge(const OnlineStats& other);
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Exact-percentile sample store. Keeps all samples; fine at simulation scale
+// (tens of thousands of requests per experiment).
+class SampleStats {
+ public:
+  void Add(double x);
+
+  size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+  double mean() const;
+  double min() const;
+  double max() const;
+  double sum() const;
+
+  // q in [0, 1]; linear interpolation between closest ranks. Returns 0 when
+  // empty so report code needs no special-casing.
+  double Percentile(double q) const;
+  double p50() const { return Percentile(0.50); }
+  double p90() const { return Percentile(0.90); }
+  double p95() const { return Percentile(0.95); }
+  double p99() const { return Percentile(0.99); }
+
+  // Fraction of samples <= threshold (SLO attainment).
+  double FractionBelow(double threshold) const;
+
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  void EnsureSorted() const;
+
+  std::vector<double> samples_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
+};
+
+class Histogram {
+ public:
+  // Buckets: [lo, lo+w), [lo+w, lo+2w), ... plus underflow/overflow.
+  Histogram(double lo, double hi, size_t buckets);
+
+  void Add(double x);
+  size_t total() const { return total_; }
+  const std::vector<size_t>& counts() const { return counts_; }
+  size_t underflow() const { return underflow_; }
+  size_t overflow() const { return overflow_; }
+
+  // One-line textual sparkline, handy in bench output.
+  std::string ToString() const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<size_t> counts_;
+  size_t underflow_ = 0;
+  size_t overflow_ = 0;
+  size_t total_ = 0;
+};
+
+}  // namespace deepserve
+
+#endif  // DEEPSERVE_COMMON_STATS_H_

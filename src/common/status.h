@@ -1,0 +1,132 @@
+// Lightweight Status / Result<T> error-handling primitives.
+//
+// Modeled after absl::Status / absl::StatusOr but self-contained. Functions
+// that can fail return Status (no payload) or Result<T> (payload or error).
+// Ok() / value() accessors CHECK on misuse, matching the fail-fast idiom used
+// throughout this codebase.
+#ifndef DEEPSERVE_COMMON_STATUS_H_
+#define DEEPSERVE_COMMON_STATUS_H_
+
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace deepserve {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kResourceExhausted,
+  kFailedPrecondition,
+  kUnavailable,
+  kInternal,
+  kUnimplemented,
+  kDeadlineExceeded,
+  kAborted,
+};
+
+std::string_view StatusCodeToString(StatusCode code);
+
+class [[nodiscard]] Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message) : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // Human-readable "CODE: message" form for logs and test failures.
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+Status InvalidArgumentError(std::string message);
+Status NotFoundError(std::string message);
+Status AlreadyExistsError(std::string message);
+Status ResourceExhaustedError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status UnavailableError(std::string message);
+Status InternalError(std::string message);
+Status UnimplementedError(std::string message);
+Status DeadlineExceededError(std::string message);
+Status AbortedError(std::string message);
+
+// Result<T>: either a value or a non-OK Status.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT(google-explicit-constructor)
+    if (status_.ok()) {
+      std::abort();  // A Result built from a Status must carry an error.
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  T& value() & {
+    if (!ok()) {
+      std::abort();
+    }
+    return *value_;
+  }
+  const T& value() const& {
+    if (!ok()) {
+      std::abort();
+    }
+    return *value_;
+  }
+  T&& value() && {
+    if (!ok()) {
+      std::abort();
+    }
+    return std::move(*value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_ = Status::Ok();
+};
+
+// Propagates errors up the call stack: `DS_RETURN_IF_ERROR(DoThing());`
+#define DS_RETURN_IF_ERROR(expr)                  \
+  do {                                            \
+    ::deepserve::Status _ds_status = (expr);      \
+    if (!_ds_status.ok()) return _ds_status;      \
+  } while (false)
+
+#define DS_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                             \
+  if (!tmp.ok()) return tmp.status();            \
+  lhs = std::move(tmp).value()
+
+#define DS_ASSIGN_OR_RETURN_CONCAT(x, y) x##y
+#define DS_ASSIGN_OR_RETURN_NAME(x, y) DS_ASSIGN_OR_RETURN_CONCAT(x, y)
+
+// `DS_ASSIGN_OR_RETURN(auto v, ComputeThing());`
+#define DS_ASSIGN_OR_RETURN(lhs, expr) \
+  DS_ASSIGN_OR_RETURN_IMPL(DS_ASSIGN_OR_RETURN_NAME(_ds_result_, __LINE__), lhs, expr)
+
+}  // namespace deepserve
+
+#endif  // DEEPSERVE_COMMON_STATUS_H_

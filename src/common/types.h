@@ -1,0 +1,46 @@
+// Core scalar types shared across the DeepServe codebase.
+//
+// All simulated time is expressed in integer nanoseconds (TimeNs) on the
+// virtual clock owned by sim::Simulator. Durations use the same unit. Byte
+// quantities are uint64_t. Helper constructors keep call sites readable
+// (e.g. MillisecondsToNs(50)).
+#ifndef DEEPSERVE_COMMON_TYPES_H_
+#define DEEPSERVE_COMMON_TYPES_H_
+
+#include <cstdint>
+
+namespace deepserve {
+
+// Virtual-clock timestamp in nanoseconds since simulation start.
+using TimeNs = int64_t;
+// Duration in nanoseconds.
+using DurationNs = int64_t;
+
+inline constexpr TimeNs kTimeNever = INT64_MAX;
+
+constexpr DurationNs NanosecondsToNs(double ns) { return static_cast<DurationNs>(ns); }
+constexpr DurationNs MicrosecondsToNs(double us) { return static_cast<DurationNs>(us * 1e3); }
+constexpr DurationNs MillisecondsToNs(double ms) { return static_cast<DurationNs>(ms * 1e6); }
+constexpr DurationNs SecondsToNs(double s) { return static_cast<DurationNs>(s * 1e9); }
+
+constexpr double NsToSeconds(DurationNs ns) { return static_cast<double>(ns) / 1e9; }
+constexpr double NsToMilliseconds(DurationNs ns) { return static_cast<double>(ns) / 1e6; }
+constexpr double NsToMicroseconds(DurationNs ns) { return static_cast<double>(ns) / 1e3; }
+
+// Byte quantities.
+using Bytes = uint64_t;
+
+inline constexpr Bytes kKiB = 1024ull;
+inline constexpr Bytes kMiB = 1024ull * kKiB;
+inline constexpr Bytes kGiB = 1024ull * kMiB;
+
+constexpr Bytes GiB(double g) { return static_cast<Bytes>(g * static_cast<double>(kGiB)); }
+constexpr Bytes MiB(double m) { return static_cast<Bytes>(m * static_cast<double>(kMiB)); }
+constexpr double BytesToGiB(Bytes b) { return static_cast<double>(b) / static_cast<double>(kGiB); }
+
+// Token ids produced by the tokenizer. 32-bit is enough for any vocab we model.
+using TokenId = int32_t;
+
+}  // namespace deepserve
+
+#endif  // DEEPSERVE_COMMON_TYPES_H_

@@ -1,0 +1,193 @@
+// The FlowServe serving engine (§4).
+//
+// One Engine is the serving core of one model-serving TE. It follows the
+// paper's three principles:
+//   * microkernel-inspired modularity — tokenizer, scheduler, RTC (caching +
+//     memory), and DistFlow (networking, injected) are separate components
+//     wired through narrow interfaces;
+//   * NPU-centric execution — the scheduler's only job is to keep the NPU
+//     busy: asynchronous KV prefetch keeps requests off the critical path,
+//     and asynchronous execution overlaps CPU scheduling of batch N+1 with
+//     NPU execution of batch N;
+//   * SPMD master-executor — this class is the master; per-NPU executors
+//     (RtcExecutor for memory, the cost model standing in for the model
+//     runner) carry out its decisions in lockstep.
+//
+// Time: everything runs on the injected sim::Simulator. A "step" is one
+// scheduler iteration (continuous batching); its NPU duration comes from the
+// analytical cost model and its CPU duration from the engine feature level
+// (v1/v2/v3), which is how Fig. 3's versions are reproduced.
+#ifndef DEEPSERVE_FLOWSERVE_ENGINE_H_
+#define DEEPSERVE_FLOWSERVE_ENGINE_H_
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "flowserve/engine_config.h"
+#include "flowserve/sequence.h"
+#include "hw/npu.h"
+#include "model/cost_model.h"
+#include "model/tokenizer.h"
+#include "rtc/rtc_executor.h"
+#include "rtc/rtc_master.h"
+#include "sim/simulator.h"
+#include "workload/request.h"
+
+namespace deepserve::flowserve {
+
+struct EngineStats {
+  int64_t submitted = 0;
+  int64_t completed = 0;
+  int64_t steps = 0;
+  int64_t prefill_tokens_processed = 0;
+  int64_t decode_tokens_generated = 0;
+  int64_t reused_tokens = 0;
+  int64_t pic_reused_tokens = 0;
+  int64_t populates_started = 0;
+  int64_t populates_rejected = 0;  // cost model said recompute instead
+  int64_t preemptions = 0;
+  int64_t cancelled = 0;
+  int64_t aborted = 0;
+  // Longest single iteration that carried decode work: the worst inter-token
+  // stall any decoding request saw (the quantity SLA-aware chunking bounds).
+  DurationNs max_decode_step = 0;
+  DurationNs npu_busy = 0;
+  DurationNs cpu_sched_total = 0;
+  DurationNs cpu_stall = 0;  // iteration time lost waiting on the CPU
+};
+
+// Scheduler-visible load of an engine (feeds §5's load-aware policy).
+struct LoadInfo {
+  int64_t waiting = 0;          // queued + populating + tokenizing
+  int64_t running = 0;          // prefilling + decoding
+  int64_t inflight_tokens = 0;  // context tokens held by running sequences
+  double kv_usage = 0.0;        // fraction of NPU KV blocks in use
+};
+
+class Engine {
+ public:
+  using SeqCallback = std::function<void(const Sequence&)>;
+  // (sequence, kv_bytes_to_move, on_delivered) — installed on prefill-only
+  // engines by the TE layer; routes through DistFlow.
+  using KvSendFn = std::function<void(const Sequence&, Bytes, std::function<void()>)>;
+
+  Engine(sim::Simulator* sim, EngineConfig config);
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  // Optional wiring ----------------------------------------------------------
+  // Mirrors RTC block traffic onto real simulated NPUs (one per TP*PP rank;
+  // DP groups map round-robin over the provided devices).
+  void AttachNpus(const std::vector<hw::Npu*>& npus);
+  // Timed transfers for populate/swap (defaults to instantaneous).
+  void SetRtcTransferFn(rtc::TransferFn fn);
+  void SetKvSendFn(KvSendFn fn) { kv_send_ = std::move(fn); }
+
+  // Request paths -------------------------------------------------------------
+  // Full path: tokenizer -> sched-enqueue (RTC match / populate) -> batch.
+  void Submit(const workload::RequestSpec& spec, SeqCallback on_first_token,
+              SeqCallback on_complete);
+  // Decode-only TEs: admit a request whose prefill (and first token) happened
+  // on a prefill TE; KV for the whole prompt is allocated here as arrived.
+  // Fails when this engine cannot hold the context.
+  Status SubmitPrefilled(const workload::RequestSpec& spec, SeqCallback on_complete);
+
+  // Lifecycle -------------------------------------------------------------------
+  // Cancels one in-flight request: its KV pins are released (nothing is
+  // preserved) and no further callbacks fire for it. NOT_FOUND if the request
+  // is unknown or already finished.
+  Status Cancel(workload::RequestId request_id);
+  // Drops every in-flight request without callbacks (TE failure path).
+  // Returns how many sequences were aborted.
+  size_t Abort();
+
+  // Introspection --------------------------------------------------------------
+  LoadInfo load() const;
+  const EngineStats& stats() const { return stats_; }
+  const EngineConfig& config() const { return config_; }
+  const model::CostModel& cost_model() const { return cost_; }
+  model::Tokenizer& tokenizer() { return tokenizer_; }
+  rtc::RtcMaster& rtc(int dp_group = 0);
+  int64_t kv_block_capacity() const { return kv_block_capacity_; }
+  // True while any DP group has a step on the NPU (NPU-fork contention).
+  bool busy() const;
+
+  // Drains nothing, simply reports whether all work completed.
+  bool idle() const;
+
+ private:
+  struct PendingKick;
+
+  struct DpGroup {
+    int index = 0;
+    std::unique_ptr<rtc::RtcMaster> rtc;
+    std::deque<Sequence*> ready;
+    std::vector<Sequence*> prefilling;
+    std::vector<Sequence*> decoding;
+    bool loop_running = false;
+    int current_mb = 0;         // PP micro-batch rotation
+    int next_admit_mb = 0;      // round-robin micro-batch assignment
+    int64_t current_chunk = 0;  // adaptive chunk budget (0 = uninitialized)
+    TimeNs cpu_ready_at = 0;    // async scheduling pipeline state
+  };
+
+  // One step's composition, captured at schedule time and applied at
+  // completion time.
+  struct StepPlan {
+    model::StepShape shape;
+    std::vector<std::pair<Sequence*, int64_t>> prefill_chunks;  // seq, tokens
+    std::vector<Sequence*> decode_seqs;
+    DurationNs npu_time = 0;
+    DurationNs cpu_time = 0;
+    DurationNs pipeline_drain = 0;  // (pp-1) * stage time, latency adder
+  };
+
+  void SchedEnqueue(Sequence* seq);
+  void FinishEnqueue(Sequence* seq);
+  void KickLoop(DpGroup& group);
+  void RunStep(DpGroup& group);
+  bool BuildStep(DpGroup& group, StepPlan* plan);
+  void CompleteStep(DpGroup& group, StepPlan plan);
+  void FinishPrefill(DpGroup& group, Sequence* seq, DurationNs extra_latency);
+  void FinishSequence(DpGroup& group, Sequence* seq, DurationNs extra_latency);
+  // Ensures `seq` has KV blocks covering `tokens`. Only decode growth may
+  // preempt (allow_preempt): admitting new prefills never steals KV from
+  // running work, which keeps admission livelock-free (FCFS-style priority).
+  bool EnsureBlocks(DpGroup& group, Sequence* seq, int64_t tokens, bool allow_preempt,
+                    const StepPlan* plan);
+  bool PreemptVictim(DpGroup& group, Sequence* keep, const StepPlan* plan);
+  void ReleaseSequence(DpGroup& group, Sequence* seq, bool preserve);
+  DpGroup& GroupFor(const Sequence& seq) { return *groups_[static_cast<size_t>(seq.dp_group)]; }
+  int PickDpGroup() const;
+  // Deferred callbacks (tokenizer, populate, KV-send, step completion) may
+  // outlive a cancelled sequence; they must re-validate through this.
+  bool Alive(const Sequence* seq) const { return live_.count(seq) > 0; }
+  void DetachFromGroup(DpGroup& group, Sequence* seq);
+
+  sim::Simulator* sim_;
+  EngineConfig config_;
+  model::CostModel cost_;
+  model::Tokenizer tokenizer_;
+  int64_t kv_block_capacity_ = 0;
+
+  std::vector<std::unique_ptr<DpGroup>> groups_;
+  std::vector<std::unique_ptr<rtc::RtcExecutor>> rtc_executors_;
+  std::vector<SequencePtr> sequences_;  // owns all live sequences
+  std::unordered_set<const Sequence*> live_;
+  KvSendFn kv_send_;
+
+  EngineStats stats_;
+  int busy_groups_ = 0;
+};
+
+}  // namespace deepserve::flowserve
+
+#endif  // DEEPSERVE_FLOWSERVE_ENGINE_H_

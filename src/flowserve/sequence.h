@@ -1,0 +1,82 @@
+// Per-request sequence state inside a FlowServe engine.
+#ifndef DEEPSERVE_FLOWSERVE_SEQUENCE_H_
+#define DEEPSERVE_FLOWSERVE_SEQUENCE_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/types.h"
+#include "rtc/block_pool.h"
+#include "workload/request.h"
+
+namespace deepserve::flowserve {
+
+enum class SeqState {
+  kTokenizing,       // in the tokenizer module
+  kWaitingPopulate,  // async KV prefetch in flight (§4.2)
+  kQueued,           // ready for the sched-loop to admit
+  kPrefilling,       // (chunked) prefill in progress
+  kAwaitingKvSend,   // prefill-only TE: KV hand-off to decode TE in flight
+  kDecoding,
+  kFinished,
+};
+
+std::string_view SeqStateToString(SeqState state);
+
+struct Sequence {
+  workload::RequestId request_id = 0;
+  std::vector<TokenId> prompt;
+  int64_t decode_target = 0;
+  std::string context_id;  // explicit-cache id ("" = implicit only)
+  int priority = 1;        // 0 = interactive, 1 = normal, 2 = batch
+
+  SeqState state = SeqState::kTokenizing;
+
+  // Progress. `prefilled` counts context tokens with KV on this engine's NPUs
+  // (including reused cache); `generated` counts output tokens. After a
+  // preemption the KV is recomputed, so `prefill_target` grows to cover the
+  // already-generated suffix as well.
+  int64_t reused_tokens = 0;
+  int64_t prefilled = 0;
+  int64_t prefill_target = 0;
+  int64_t generated = 0;
+
+  // KV blocks pinned by this sequence (reused + privately allocated).
+  std::vector<rtc::BlockId> blocks;
+  // Position-independent reuse: pinned source blocks and the tokens they
+  // cover. PIC reuse discounts prefill compute but the sequence still writes
+  // its own (position-adjusted) KV into `blocks`.
+  std::vector<rtc::BlockId> pic_blocks;
+  int64_t pic_tokens = 0;
+  // How many tokens of KV capacity `blocks` covers.
+  int64_t block_tokens = 0;
+
+  int dp_group = 0;
+  int micro_batch = -1;  // PP home micro-batch (once admitted)
+
+  TimeNs arrival = 0;           // request arrival (workload clock)
+  TimeNs submit_time = 0;       // handed to this engine
+  TimeNs enqueue_time = 0;      // entered the ready queue
+  TimeNs first_token_time = 0;  // end of prefill
+  TimeNs finish_time = 0;
+
+  // Fired once when the first token is produced, and once on completion.
+  std::function<void(const Sequence&)> on_first_token;
+  std::function<void(const Sequence&)> on_complete;
+
+  int64_t prompt_len() const { return static_cast<int64_t>(prompt.size()); }
+  // Context the KV cache must hold: processed prefix plus generated tokens
+  // not already covered by a (post-preemption) recompute target.
+  int64_t context_len() const {
+    return prefilled + generated - (prefill_target - prompt_len());
+  }
+  bool prefill_done() const { return prefilled >= prefill_target; }
+  bool decode_done() const { return generated >= decode_target; }
+};
+
+using SequencePtr = std::unique_ptr<Sequence>;
+
+}  // namespace deepserve::flowserve
+
+#endif  // DEEPSERVE_FLOWSERVE_SEQUENCE_H_

@@ -1,0 +1,131 @@
+#include "hw/cluster.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace deepserve::hw {
+
+bool PageCache::Insert(const std::string& key, Bytes bytes, TimeNs now) {
+  if (bytes > capacity_) {
+    return false;
+  }
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    it->second.last_used = now;
+    return true;
+  }
+  if (used_ + bytes > capacity_) {
+    EvictUntilFits(bytes);
+  }
+  entries_[key] = Entry{bytes, now};
+  used_ += bytes;
+  return true;
+}
+
+void PageCache::EvictUntilFits(Bytes needed) {
+  while (used_ + needed > capacity_ && !entries_.empty()) {
+    auto victim = entries_.begin();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->second.last_used < victim->second.last_used) {
+        victim = it;
+      }
+    }
+    used_ -= victim->second.bytes;
+    entries_.erase(victim);
+  }
+}
+
+void PageCache::Touch(const std::string& key, TimeNs now) {
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    it->second.last_used = now;
+  }
+}
+
+void PageCache::Erase(const std::string& key) {
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    used_ -= it->second.bytes;
+    entries_.erase(it);
+  }
+}
+
+Machine::Machine(sim::Simulator* sim, MachineId id, const ClusterConfig& config,
+                 NpuId first_npu_id)
+    : id_(id), page_cache_(config.dram_capacity),
+      npus_per_pcie_link_(config.npus_per_pcie_link) {
+  DS_CHECK_GT(npus_per_pcie_link_, 0);
+  for (int i = 0; i < config.npus_per_machine; ++i) {
+    npus_.push_back(std::make_unique<Npu>(first_npu_id + i, id, config.npu_spec));
+  }
+  int num_pcie = (config.npus_per_machine + npus_per_pcie_link_ - 1) / npus_per_pcie_link_;
+  for (int i = 0; i < num_pcie; ++i) {
+    pcie_links_.push_back(std::make_unique<SharedLink>(
+        sim, "m" + std::to_string(id) + ".pcie" + std::to_string(i), LinkType::kPcie,
+        config.pcie_gbps * 1e9, config.pcie_latency));
+  }
+  ssd_link_ = std::make_unique<SharedLink>(sim, "m" + std::to_string(id) + ".ssd", LinkType::kSsd,
+                                           config.ssd_gbps * 1e9, config.ssd_latency);
+}
+
+SharedLink* Machine::pcie_link_for(int local_npu_index) {
+  size_t idx = static_cast<size_t>(local_npu_index / npus_per_pcie_link_);
+  DS_CHECK_LT(idx, pcie_links_.size());
+  return pcie_links_[idx].get();
+}
+
+Cluster::Cluster(sim::Simulator* sim, ClusterConfig config)
+    : sim_(sim), config_(config) {
+  DS_CHECK(sim != nullptr);
+  DS_CHECK_GT(config_.num_machines, 0);
+  DS_CHECK_GT(config_.npus_per_machine, 0);
+  for (int m = 0; m < config_.num_machines; ++m) {
+    machines_.push_back(
+        std::make_unique<Machine>(sim, m, config_, m * config_.npus_per_machine));
+    hccs_links_.push_back(std::make_unique<SharedLink>(
+        sim, "m" + std::to_string(m) + ".hccs", LinkType::kHccs, config_.hccs_gbps * 1e9,
+        config_.hccs_latency));
+    roce_links_.push_back(std::make_unique<SharedLink>(
+        sim, "m" + std::to_string(m) + ".roce", LinkType::kRoce, config_.roce_gbps * 1e9,
+        config_.roce_latency));
+  }
+}
+
+Npu* Cluster::npu(NpuId id) {
+  DS_CHECK_GE(id, 0);
+  MachineId m = machine_of(id);
+  DS_CHECK_LT(m, num_machines());
+  return machines_[static_cast<size_t>(m)]->npu(id % config_.npus_per_machine);
+}
+
+bool Cluster::SameScaleUpDomain(NpuId a, NpuId b) const {
+  MachineId ma = machine_of(a);
+  MachineId mb = machine_of(b);
+  return ma / config_.machines_per_scaleup_domain == mb / config_.machines_per_scaleup_domain;
+}
+
+SharedLink* Cluster::InterNpuLink(NpuId src, NpuId dst) {
+  MachineId sm = machine_of(src);
+  if (SameScaleUpDomain(src, dst)) {
+    return hccs_links_[static_cast<size_t>(sm)].get();
+  }
+  return roce_links_[static_cast<size_t>(sm)].get();
+}
+
+SharedLink* Cluster::LinkOfType(MachineId machine, LinkType type) {
+  switch (type) {
+    case LinkType::kHccs:
+    case LinkType::kMemcpy:
+      return hccs_links_[static_cast<size_t>(machine)].get();
+    case LinkType::kRoce:
+      return roce_links_[static_cast<size_t>(machine)].get();
+    case LinkType::kPcie:
+      return machines_[static_cast<size_t>(machine)]->pcie_link_for(0);
+    case LinkType::kSsd:
+      return machines_[static_cast<size_t>(machine)]->ssd_link();
+  }
+  return nullptr;
+}
+
+}  // namespace deepserve::hw

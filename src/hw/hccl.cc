@@ -1,0 +1,57 @@
+#include "hw/hccl.h"
+
+#include <cmath>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace deepserve::hw {
+
+Hccl::Hccl(Cluster* cluster) : cluster_(cluster) { DS_CHECK(cluster != nullptr); }
+
+void Hccl::Send(NpuId src, NpuId dst, Bytes bytes, std::function<void()> on_complete) {
+  SharedLink* link = cluster_->InterNpuLink(src, dst);
+  link->StartFlow(bytes, std::move(on_complete));
+}
+
+void Hccl::SendVia(NpuId src, LinkType link_type, Bytes bytes,
+                   std::function<void()> on_complete) {
+  SharedLink* link = cluster_->LinkOfType(cluster_->machine_of(src), link_type);
+  DS_CHECK(link != nullptr);
+  link->StartFlow(bytes, std::move(on_complete));
+}
+
+void Hccl::Broadcast(NpuId src, int num_destinations, Bytes bytes, LinkType link_type,
+                     std::function<void()> on_complete) {
+  DS_CHECK_GE(num_destinations, 0);
+  if (num_destinations == 0) {
+    cluster_->simulator()->ScheduleAfter(0, std::move(on_complete));
+    return;
+  }
+  SharedLink* src_link = cluster_->LinkOfType(cluster_->machine_of(src), link_type);
+  DS_CHECK(src_link != nullptr);
+  int rounds = static_cast<int>(std::ceil(std::log2(static_cast<double>(num_destinations) + 1)));
+  // Rounds 2..n run on other machines' links; charge their isolated time
+  // after the first (contended) hop completes.
+  DurationNs tail = static_cast<DurationNs>(rounds - 1) * src_link->IsolatedDuration(bytes);
+  auto* simulator = cluster_->simulator();
+  src_link->StartFlow(bytes, [simulator, tail, cb = std::move(on_complete)]() mutable {
+    simulator->ScheduleAfter(tail, std::move(cb));
+  });
+}
+
+DurationNs Hccl::AllReduceDuration(int tp, Bytes bytes) const {
+  if (tp <= 1 || bytes == 0) {
+    return 0;
+  }
+  const ClusterConfig& config = cluster_->config();
+  double wire_bytes = 2.0 * static_cast<double>(tp - 1) / static_cast<double>(tp) *
+                      static_cast<double>(bytes);
+  // Intra-server TP traffic rides HCCS-class links; add per-step latency for
+  // the 2*(tp-1) ring phases.
+  DurationNs transfer = SecondsToNs(wire_bytes / (config.hccs_gbps * 1e9));
+  DurationNs latency = static_cast<DurationNs>(2 * (tp - 1)) * config.hccs_latency;
+  return transfer + latency;
+}
+
+}  // namespace deepserve::hw

@@ -1,0 +1,127 @@
+#include "hw/link.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace deepserve::hw {
+
+std::string_view LinkTypeToString(LinkType type) {
+  switch (type) {
+    case LinkType::kPcie:
+      return "PCIe";
+    case LinkType::kHccs:
+      return "HCCS";
+    case LinkType::kRoce:
+      return "RoCE";
+    case LinkType::kSsd:
+      return "SSD";
+    case LinkType::kMemcpy:
+      return "memcpy";
+  }
+  return "?";
+}
+
+SharedLink::SharedLink(sim::Simulator* sim, std::string name, LinkType type, double bandwidth_bps,
+                       DurationNs latency)
+    : sim_(sim), name_(std::move(name)), type_(type), bandwidth_bps_(bandwidth_bps),
+      latency_(latency) {
+  DS_CHECK(sim_ != nullptr);
+  DS_CHECK_GT(bandwidth_bps_, 0.0);
+  DS_CHECK_GE(latency_, 0);
+}
+
+double SharedLink::PerFlowRate() const {
+  if (flows_.empty()) {
+    return 0.0;
+  }
+  return bandwidth_bps_ * bandwidth_scale_ / static_cast<double>(flows_.size());
+}
+
+void SharedLink::AdvanceProgress() {
+  TimeNs now = sim_->Now();
+  if (now > last_update_ && !flows_.empty()) {
+    double progressed = PerFlowRate() * NsToSeconds(now - last_update_);
+    for (auto& [id, flow] : flows_) {
+      flow.remaining_bytes = std::max(0.0, flow.remaining_bytes - progressed);
+    }
+  }
+  last_update_ = now;
+}
+
+void SharedLink::Reschedule() {
+  if (pending_event_ != sim::kInvalidEventId) {
+    sim_->Cancel(pending_event_);
+    pending_event_ = sim::kInvalidEventId;
+  }
+  if (flows_.empty()) {
+    return;
+  }
+  double min_remaining = flows_.begin()->second.remaining_bytes;
+  for (const auto& [id, flow] : flows_) {
+    min_remaining = std::min(min_remaining, flow.remaining_bytes);
+  }
+  double rate = PerFlowRate();
+  // Round UP: an ETA truncated to the current tick would advance zero bytes
+  // and re-arm at the same timestamp forever.
+  DurationNs eta =
+      rate > 0.0 ? static_cast<DurationNs>(std::ceil(min_remaining / rate * 1e9)) : 1;
+  pending_event_ = sim_->ScheduleAfter(std::max<DurationNs>(eta, 1), [this] {
+    pending_event_ = sim::kInvalidEventId;
+    CompleteEarliest();
+  });
+}
+
+void SharedLink::CompleteEarliest() {
+  AdvanceProgress();
+  // Collect every flow that is (numerically) done; ties complete together.
+  std::vector<std::function<void()>> done;
+  for (auto it = flows_.begin(); it != flows_.end();) {
+    if (it->second.remaining_bytes <= 0.5) {  // sub-byte residue = done
+      done.push_back(std::move(it->second.on_complete));
+      it = flows_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  Reschedule();
+  for (auto& fn : done) {
+    if (fn) {
+      fn();
+    }
+  }
+}
+
+FlowId SharedLink::StartFlow(Bytes bytes, std::function<void()> on_complete) {
+  FlowId id = next_flow_id_++;
+  total_bytes_ += bytes;
+  // The latency prologue runs before the flow starts competing for bandwidth.
+  sim_->ScheduleAfter(latency_, [this, id, bytes, cb = std::move(on_complete)]() mutable {
+    AdvanceProgress();
+    if (bytes == 0) {
+      if (cb) {
+        cb();
+      }
+      return;
+    }
+    flows_.emplace(id, Flow{static_cast<double>(bytes), std::move(cb)});
+    Reschedule();
+  });
+  return id;
+}
+
+void SharedLink::SetBandwidthScale(double scale) {
+  DS_CHECK_GT(scale, 0.0);
+  AdvanceProgress();
+  bandwidth_scale_ = scale;
+  Reschedule();
+}
+
+DurationNs SharedLink::IsolatedDuration(Bytes bytes) const {
+  return latency_ + SecondsToNs(static_cast<double>(bytes) / bandwidth_bps_);
+}
+
+}  // namespace deepserve::hw

@@ -1,0 +1,38 @@
+#include "hw/npu.h"
+
+#include "common/logging.h"
+
+namespace deepserve::hw {
+
+NpuSpec NpuSpec::Gen1() {
+  NpuSpec spec;
+  spec.name = "ascend-gen1";
+  spec.tflops_fp16 = 280.0;
+  spec.hbm_bandwidth_gbps = 800.0;
+  spec.hbm_capacity = 32ull << 30;
+  return spec;
+}
+
+NpuSpec NpuSpec::Gen2() {
+  NpuSpec spec;
+  spec.name = "ascend-gen2";
+  spec.tflops_fp16 = 400.0;
+  spec.hbm_bandwidth_gbps = 1600.0;
+  spec.hbm_capacity = 64ull << 30;
+  return spec;
+}
+
+Status Npu::AllocateHbm(Bytes bytes) {
+  if (hbm_used_ + bytes > spec_.hbm_capacity) {
+    return ResourceExhaustedError("HBM exhausted on NPU " + std::to_string(id_));
+  }
+  hbm_used_ += bytes;
+  return Status::Ok();
+}
+
+void Npu::FreeHbm(Bytes bytes) {
+  DS_CHECK_LE(bytes, hbm_used_) << "double free of HBM on NPU " << id_;
+  hbm_used_ -= bytes;
+}
+
+}  // namespace deepserve::hw

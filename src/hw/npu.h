@@ -1,0 +1,68 @@
+// Simulated Ascend NPU device: compute/bandwidth spec plus an HBM byte
+// allocator. The DaVinci-core micro-architecture is abstracted into the two
+// roofline parameters that the paper's results actually depend on (dense
+// FP16 throughput and HBM bandwidth), plus capacity.
+#ifndef DEEPSERVE_HW_NPU_H_
+#define DEEPSERVE_HW_NPU_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace deepserve::hw {
+
+using NpuId = int32_t;
+using MachineId = int32_t;
+
+inline constexpr NpuId kInvalidNpu = -1;
+
+// Device generations mirror the paper's Gen1/Gen2 Ascend clusters
+// ("280 to 400 TFlops ... 32 to 64 GB of HBM").
+struct NpuSpec {
+  std::string name;
+  double tflops_fp16 = 350.0;       // dense FP16 peak
+  double hbm_bandwidth_gbps = 1200; // GB/s
+  Bytes hbm_capacity = 64ull << 30; // 64 GiB
+  // Fraction of peak achievable by well-tuned kernels (MFU / bandwidth eff.).
+  double compute_efficiency = 0.45;
+  double memory_efficiency = 0.80;
+
+  static NpuSpec Gen1();  // 280 TFLOPS, 32 GiB HBM
+  static NpuSpec Gen2();  // 400 TFLOPS, 64 GiB HBM
+
+  double effective_flops() const { return tflops_fp16 * 1e12 * compute_efficiency; }
+  double effective_hbm_bps() const { return hbm_bandwidth_gbps * 1e9 * memory_efficiency; }
+};
+
+// One NPU card. HBM accounting is in bytes; the KV block granularity lives in
+// RTC, which allocates byte ranges here.
+class Npu {
+ public:
+  Npu(NpuId id, MachineId machine, NpuSpec spec)
+      : id_(id), machine_(machine), spec_(std::move(spec)) {}
+
+  NpuId id() const { return id_; }
+  MachineId machine() const { return machine_; }
+  const NpuSpec& spec() const { return spec_; }
+
+  Bytes hbm_capacity() const { return spec_.hbm_capacity; }
+  Bytes hbm_used() const { return hbm_used_; }
+  Bytes hbm_free() const { return spec_.hbm_capacity - hbm_used_; }
+
+  // Reserves HBM; fails with RESOURCE_EXHAUSTED when capacity would be
+  // exceeded (the caller decides whether to evict or reject).
+  Status AllocateHbm(Bytes bytes);
+  void FreeHbm(Bytes bytes);
+
+ private:
+  NpuId id_;
+  MachineId machine_;
+  NpuSpec spec_;
+  Bytes hbm_used_ = 0;
+};
+
+}  // namespace deepserve::hw
+
+#endif  // DEEPSERVE_HW_NPU_H_

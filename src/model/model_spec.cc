@@ -1,0 +1,115 @@
+#include "model/model_spec.h"
+
+#include "common/logging.h"
+
+namespace deepserve::model {
+
+int64_t ModelSpec::AttentionParamsPerLayer() const {
+  int64_t h = hidden_dim;
+  int64_t kv_dim = static_cast<int64_t>(num_kv_heads) * head_dim;
+  int64_t q_dim = static_cast<int64_t>(num_heads) * head_dim;
+  // Attention: Wq (h x q), Wk/Wv (h x kv), Wo (q x h).
+  return h * q_dim + 2 * h * kv_dim + q_dim * h;
+}
+
+int64_t ModelSpec::ExpertParamsPerLayer() const {
+  // Gated MLP: up + gate + down.
+  return 3ll * hidden_dim * intermediate_dim;
+}
+
+int64_t ModelSpec::ParamCount() const {
+  int64_t h = hidden_dim;
+  int64_t experts = is_moe() ? num_experts : 1;
+  int64_t per_layer = AttentionParamsPerLayer() + experts * ExpertParamsPerLayer() + 2 * h;
+  int64_t embeddings = 2ll * static_cast<int64_t>(vocab_size) * h;  // tied in/out approx
+  return per_layer * num_layers + embeddings;
+}
+
+int64_t ModelSpec::ActiveParamCount() const {
+  if (!is_moe()) {
+    return ParamCount();
+  }
+  int64_t h = hidden_dim;
+  int64_t per_layer = AttentionParamsPerLayer() +
+                      static_cast<int64_t>(experts_per_token) * ExpertParamsPerLayer() + 2 * h;
+  int64_t embeddings = 2ll * static_cast<int64_t>(vocab_size) * h;
+  return per_layer * num_layers + embeddings;
+}
+
+ModelSpec ModelSpec::Llama3_8B() {
+  return ModelSpec{"llama3-8b", 32, 4096, 32, 8, 128, 14336, 128256, 2};
+}
+
+ModelSpec ModelSpec::Mixtral8x7B() {
+  ModelSpec spec{"mixtral-8x7b", 32, 4096, 32, 8, 128, 14336, 32000, 2};
+  spec.num_experts = 8;
+  spec.experts_per_token = 2;
+  return spec;
+}
+
+ModelSpec ModelSpec::DeepSeekMoe16B() {
+  ModelSpec spec{"deepseek-moe-16b", 28, 2048, 16, 16, 128, 1408, 102400, 2};
+  spec.num_experts = 64;
+  spec.experts_per_token = 6;
+  return spec;
+}
+
+ModelSpec ModelSpec::Llama2_13B() {
+  return ModelSpec{"llama2-13b", 40, 5120, 40, 40, 128, 13824, 32000, 2};
+}
+
+ModelSpec ModelSpec::Yi34B() {
+  return ModelSpec{"yi-34b", 60, 7168, 56, 8, 128, 20480, 64000, 2};
+}
+
+ModelSpec ModelSpec::Llama3_70B() {
+  return ModelSpec{"llama3-70b", 80, 8192, 64, 8, 128, 28672, 128256, 2};
+}
+
+ModelSpec ModelSpec::Qwen2_72B() {
+  return ModelSpec{"qwen2-72b", 80, 8192, 64, 8, 128, 29568, 152064, 2};
+}
+
+ModelSpec ModelSpec::Tiny1B() {
+  return ModelSpec{"tiny-1b", 16, 2048, 16, 4, 128, 5504, 32000, 2};
+}
+
+Result<ModelSpec> ModelSpec::Preset(const std::string& name) {
+  if (name == "llama3-8b") {
+    return Llama3_8B();
+  }
+  if (name == "mixtral-8x7b") {
+    return Mixtral8x7B();
+  }
+  if (name == "deepseek-moe-16b") {
+    return DeepSeekMoe16B();
+  }
+  if (name == "llama2-13b") {
+    return Llama2_13B();
+  }
+  if (name == "yi-34b" || name == "34b") {
+    return Yi34B();
+  }
+  if (name == "llama3-70b") {
+    return Llama3_70B();
+  }
+  if (name == "qwen2-72b") {
+    return Qwen2_72B();
+  }
+  if (name == "tiny-1b") {
+    return Tiny1B();
+  }
+  return NotFoundError("unknown model preset: " + name);
+}
+
+std::string ParallelismConfig::ToString() const {
+  return "tp" + std::to_string(tp) + "pp" + std::to_string(pp) + "dp" + std::to_string(dp);
+}
+
+Bytes WeightBytesPerNpu(const ModelSpec& model, const ParallelismConfig& parallelism) {
+  DS_CHECK_GE(parallelism.tp, 1);
+  DS_CHECK_GE(parallelism.pp, 1);
+  return model.WeightBytes() / static_cast<Bytes>(parallelism.tp * parallelism.pp);
+}
+
+}  // namespace deepserve::model

@@ -1,0 +1,82 @@
+// Transformer model descriptions and parallelism configuration.
+//
+// A ModelSpec carries exactly the architecture parameters the cost model and
+// KV-cache geometry need. Presets cover the models the paper evaluates:
+// the 34B TP=4 model of Figs. 3-6, and Llama3-8B / Llama3-70B / Qwen2-72B of
+// the scaling study (Figs. 9-10).
+#ifndef DEEPSERVE_MODEL_MODEL_SPEC_H_
+#define DEEPSERVE_MODEL_MODEL_SPEC_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace deepserve::model {
+
+struct ModelSpec {
+  std::string name;
+  int num_layers = 0;
+  int hidden_dim = 0;
+  int num_heads = 0;
+  int num_kv_heads = 0;  // < num_heads under grouped-query attention
+  int head_dim = 0;
+  int intermediate_dim = 0;
+  int vocab_size = 0;
+  int bytes_per_param = 2;  // FP16
+  // Mixture-of-experts (0 experts = dense). `intermediate_dim` is the
+  // per-expert MLP width; `experts_per_token` is the router's top-k.
+  int num_experts = 0;
+  int experts_per_token = 0;
+
+  bool is_moe() const { return num_experts > 0; }
+
+  // Total parameter count from the architecture (embeddings + per-layer
+  // attention/MLP weights; all experts for MoE). Used for weight bytes.
+  int64_t ParamCount() const;
+  // Parameters touched per token (top-k experts only for MoE); drives the
+  // compute side of the roofline.
+  int64_t ActiveParamCount() const;
+  // Attention-side weights per layer (MoE operator-level disaggregation
+  // splits here: attention TEs hold these + KV, expert TEs hold the rest).
+  int64_t AttentionParamsPerLayer() const;
+  int64_t ExpertParamsPerLayer() const;  // one expert's MLP
+  Bytes WeightBytes() const {
+    return static_cast<Bytes>(ParamCount()) * static_cast<Bytes>(bytes_per_param);
+  }
+  // K+V bytes appended to the cache per token across all layers.
+  Bytes KvBytesPerToken() const {
+    return 2ull * static_cast<Bytes>(num_layers) * static_cast<Bytes>(num_kv_heads) *
+           static_cast<Bytes>(head_dim) * static_cast<Bytes>(bytes_per_param);
+  }
+
+  // Named presets. Fails with NOT_FOUND for unknown names.
+  static Result<ModelSpec> Preset(const std::string& name);
+
+  static ModelSpec Llama3_8B();
+  static ModelSpec Mixtral8x7B();      // 8 experts, top-2
+  static ModelSpec DeepSeekMoe16B();   // 64 experts, top-6 (fine-grained)
+  static ModelSpec Llama2_13B();
+  static ModelSpec Yi34B();       // the paper's "34B model"
+  static ModelSpec Llama3_70B();
+  static ModelSpec Qwen2_72B();
+  static ModelSpec Tiny1B();      // fast unit-test model
+};
+
+// How one model instance is sharded across NPUs.
+struct ParallelismConfig {
+  int tp = 1;  // tensor parallel degree
+  int pp = 1;  // pipeline parallel stages
+  int dp = 1;  // data-parallel groups inside one TE (MLA-style)
+
+  int TotalNpus() const { return tp * pp * dp; }
+  std::string ToString() const;
+};
+
+// Weight bytes each NPU must load (TP/PP shard the weights; DP replicates).
+Bytes WeightBytesPerNpu(const ModelSpec& model, const ParallelismConfig& parallelism);
+
+}  // namespace deepserve::model
+
+#endif  // DEEPSERVE_MODEL_MODEL_SPEC_H_

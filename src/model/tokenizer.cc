@@ -1,0 +1,86 @@
+#include "model/tokenizer.h"
+
+#include <cctype>
+
+#include "common/logging.h"
+
+namespace deepserve::model {
+
+namespace {
+
+constexpr size_t kMaxPieceLen = 6;
+
+uint64_t Fnv1a(std::string_view s) {
+  uint64_t h = 1469598103934665603ull;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+Tokenizer::Tokenizer(int vocab_size) : vocab_size_(vocab_size) {
+  DS_CHECK_GT(vocab_size_, 256) << "vocab must cover the byte range";
+}
+
+TokenId Tokenizer::PieceToId(std::string_view piece) {
+  // Reserve [0, 256) for single-byte fallbacks so punctuation round-trips.
+  TokenId id;
+  if (piece.size() == 1) {
+    id = static_cast<TokenId>(static_cast<unsigned char>(piece[0]));
+  } else {
+    id = static_cast<TokenId>(256 + Fnv1a(piece) % static_cast<uint64_t>(vocab_size_ - 256));
+  }
+  reverse_.emplace(id, std::string(piece));
+  return id;
+}
+
+std::vector<TokenId> Tokenizer::Encode(std::string_view text) {
+  std::vector<TokenId> ids;
+  ids.reserve(text.size() / 4 + 1);
+  size_t i = 0;
+  while (i < text.size()) {
+    char c = text[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (std::isalnum(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = i;
+      while (i < text.size() &&
+             (std::isalnum(static_cast<unsigned char>(text[i])) || text[i] == '_')) {
+        ++i;
+      }
+      std::string_view word = text.substr(start, i - start);
+      for (size_t off = 0; off < word.size(); off += kMaxPieceLen) {
+        ids.push_back(PieceToId(word.substr(off, kMaxPieceLen)));
+      }
+    } else {
+      ids.push_back(PieceToId(text.substr(i, 1)));
+      ++i;
+    }
+  }
+  return ids;
+}
+
+std::string Tokenizer::Decode(std::span<const TokenId> ids) const {
+  std::string out;
+  bool first = true;
+  for (TokenId id : ids) {
+    if (!first) {
+      out += ' ';
+    }
+    first = false;
+    auto it = reverse_.find(id);
+    if (it != reverse_.end()) {
+      out += it->second;
+    } else {
+      out += "⟨" + std::to_string(id) + "⟩";
+    }
+  }
+  return out;
+}
+
+}  // namespace deepserve::model

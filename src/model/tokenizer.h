@@ -1,0 +1,54 @@
+// Deterministic word-piece tokenizer.
+//
+// FlowServe's tokenizer is an independently scalable module; this
+// implementation gives the properties the rest of the system needs without a
+// trained BPE vocabulary:
+//   * determinism — identical text always yields identical ids;
+//   * the prefix property — a text prefix ending on a word boundary maps to a
+//     token-id prefix, which is what makes prefix caching meaningful;
+//   * realistic token counts — long words split into multiple pieces.
+// Decoding uses a per-instance reverse cache of pieces seen during encoding
+// (hashing is one-way), so round-trips work within a process.
+#ifndef DEEPSERVE_MODEL_TOKENIZER_H_
+#define DEEPSERVE_MODEL_TOKENIZER_H_
+
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+
+namespace deepserve::model {
+
+class Tokenizer {
+ public:
+  explicit Tokenizer(int vocab_size = 128000);
+
+  // Splits on whitespace, emits one id per <=6-char piece of each word plus a
+  // separate id for each punctuation byte. Never emits ids >= vocab_size.
+  std::vector<TokenId> Encode(std::string_view text);
+
+  // Reconstructs text from ids seen by this instance; unknown ids render as
+  // "⟨id⟩".
+  std::string Decode(std::span<const TokenId> ids) const;
+
+  // Virtual-time cost of tokenizing: the module runs off the critical path in
+  // FlowServe but its latency still delays enqueue.
+  DurationNs EncodeDuration(size_t num_tokens) const {
+    return static_cast<DurationNs>(num_tokens) * MicrosecondsToNs(0.5);
+  }
+
+  int vocab_size() const { return vocab_size_; }
+
+ private:
+  TokenId PieceToId(std::string_view piece);
+
+  int vocab_size_;
+  std::unordered_map<TokenId, std::string> reverse_;
+};
+
+}  // namespace deepserve::model
+
+#endif  // DEEPSERVE_MODEL_TOKENIZER_H_

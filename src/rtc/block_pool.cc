@@ -1,0 +1,118 @@
+#include "rtc/block_pool.h"
+
+#include "common/logging.h"
+
+namespace deepserve::rtc {
+
+std::string_view TierToString(Tier tier) {
+  switch (tier) {
+    case Tier::kNpu:
+      return "NPU";
+    case Tier::kDram:
+      return "DRAM";
+    case Tier::kSsd:
+      return "SSD";
+  }
+  return "?";
+}
+
+BlockPool::BlockPool(BlockPoolConfig config) : config_(config) {
+  DS_CHECK_GT(config_.npu_capacity, 0);
+  DS_CHECK_GE(config_.dram_capacity, 0);
+}
+
+int64_t BlockPool::capacity(Tier tier) const {
+  switch (tier) {
+    case Tier::kNpu:
+      return config_.npu_capacity;
+    case Tier::kDram:
+      return config_.dram_capacity;
+    case Tier::kSsd:
+      return INT64_MAX;
+  }
+  return 0;
+}
+
+Result<std::vector<BlockId>> BlockPool::Allocate(int64_t n, Tier tier, TimeNs now) {
+  DS_CHECK_GE(n, 0);
+  if (used(tier) + n > capacity(tier)) {
+    return ResourceExhaustedError("tier " + std::string(TierToString(tier)) + " needs " +
+                                  std::to_string(n) + " blocks, has " +
+                                  std::to_string(free_blocks(tier)));
+  }
+  std::vector<BlockId> ids;
+  ids.reserve(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    BlockId id = next_id_++;
+    BlockInfo info;
+    info.ref_count = 1;
+    info.residency = TierBit(tier);
+    info.last_access = now;
+    blocks_.emplace(id, info);
+    ids.push_back(id);
+  }
+  used_[static_cast<size_t>(tier)] += n;
+  return ids;
+}
+
+BlockInfo& BlockPool::mutable_info(BlockId id) {
+  auto it = blocks_.find(id);
+  DS_CHECK(it != blocks_.end()) << "unknown block " << id;
+  return it->second;
+}
+
+const BlockInfo& BlockPool::info(BlockId id) const {
+  auto it = blocks_.find(id);
+  DS_CHECK(it != blocks_.end()) << "unknown block " << id;
+  return it->second;
+}
+
+void BlockPool::Ref(BlockId id) { ++mutable_info(id).ref_count; }
+
+void BlockPool::Unref(BlockId id) {
+  BlockInfo& info = mutable_info(id);
+  DS_CHECK_GT(info.ref_count, 0) << "unref of unreferenced block " << id;
+  --info.ref_count;
+  if (info.ref_count == 0 && !info.cached()) {
+    Destroy(id);
+  }
+}
+
+Status BlockPool::AddResidency(BlockId id, Tier tier) {
+  BlockInfo& info = mutable_info(id);
+  if (info.resident(tier)) {
+    return Status::Ok();
+  }
+  if (used(tier) + 1 > capacity(tier)) {
+    return ResourceExhaustedError("no free blocks on tier " + std::string(TierToString(tier)));
+  }
+  info.residency |= TierBit(tier);
+  ++used_[static_cast<size_t>(tier)];
+  return Status::Ok();
+}
+
+void BlockPool::DropResidency(BlockId id, Tier tier) {
+  BlockInfo& info = mutable_info(id);
+  if (!info.resident(tier)) {
+    return;
+  }
+  info.residency &= static_cast<uint8_t>(~TierBit(tier));
+  --used_[static_cast<size_t>(tier)];
+}
+
+void BlockPool::Destroy(BlockId id) {
+  BlockInfo& info = mutable_info(id);
+  DS_CHECK_EQ(info.ref_count, 0) << "destroying referenced block " << id;
+  for (Tier tier : {Tier::kNpu, Tier::kDram, Tier::kSsd}) {
+    if (info.resident(tier)) {
+      --used_[static_cast<size_t>(tier)];
+    }
+  }
+  blocks_.erase(id);
+}
+
+void BlockPool::SetKey(BlockId id, BlockKey key) { mutable_info(id).key = key; }
+
+void BlockPool::Touch(BlockId id, TimeNs now) { mutable_info(id).last_access = now; }
+
+}  // namespace deepserve::rtc

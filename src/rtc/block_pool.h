@@ -1,0 +1,92 @@
+// KV-cache block bookkeeping for the Relational Tensor Cache.
+//
+// RTC manages KV data at fixed token granularity ("blocks", after vLLM's
+// block table). A block record tracks reference count (active sequences
+// pinning it), tier residency (a block may be resident on NPU HBM and in
+// DRAM simultaneously), a content key once the block is committed to the
+// cache index, and LRU metadata. The pool enforces per-tier capacity and is
+// purely logical — byte-level HBM effects are applied by RtcExecutors.
+#ifndef DEEPSERVE_RTC_BLOCK_POOL_H_
+#define DEEPSERVE_RTC_BLOCK_POOL_H_
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "rtc/radix_tree.h"
+
+namespace deepserve::rtc {
+
+using BlockId = int64_t;
+inline constexpr BlockId kInvalidBlock = -1;
+
+enum class Tier : uint8_t { kNpu = 0, kDram = 1, kSsd = 2 };
+
+std::string_view TierToString(Tier tier);
+
+inline constexpr uint8_t TierBit(Tier tier) { return static_cast<uint8_t>(1u << static_cast<uint8_t>(tier)); }
+
+struct BlockInfo {
+  BlockKey key = 0;        // content hash; 0 while block is private to a sequence
+  int32_t ref_count = 0;   // sequences currently pinning the block
+  uint8_t residency = 0;   // bitmask of TierBit()s
+  TimeNs last_access = 0;
+
+  bool resident(Tier tier) const { return (residency & TierBit(tier)) != 0; }
+  bool cached() const { return key != 0; }
+};
+
+struct BlockPoolConfig {
+  int64_t npu_capacity = 4096;   // blocks
+  int64_t dram_capacity = 16384; // blocks
+  // SSD is modelled as unbounded (tiered storage backing store).
+};
+
+class BlockPool {
+ public:
+  explicit BlockPool(BlockPoolConfig config);
+
+  // Creates `n` fresh private blocks resident on `tier`, each with ref 1.
+  // Fails with RESOURCE_EXHAUSTED without allocating anything if the tier
+  // lacks capacity (caller evicts and retries).
+  Result<std::vector<BlockId>> Allocate(int64_t n, Tier tier, TimeNs now);
+
+  void Ref(BlockId id);
+  // Drops one reference. Blocks are never destroyed here — an unreferenced
+  // cached block stays preserved until evicted; an unreferenced private
+  // (uncached) block is destroyed and its residency released.
+  void Unref(BlockId id);
+
+  // Adds/removes a tier copy. AddResidency fails when the tier is full.
+  Status AddResidency(BlockId id, Tier tier);
+  void DropResidency(BlockId id, Tier tier);
+
+  // Destroys an unreferenced block outright (eviction path).
+  void Destroy(BlockId id);
+
+  void SetKey(BlockId id, BlockKey key);
+  void Touch(BlockId id, TimeNs now);
+
+  const BlockInfo& info(BlockId id) const;
+  bool Exists(BlockId id) const { return blocks_.count(id) > 0; }
+
+  int64_t used(Tier tier) const { return used_[static_cast<size_t>(tier)]; }
+  int64_t capacity(Tier tier) const;
+  int64_t free_blocks(Tier tier) const { return capacity(tier) - used(tier); }
+  size_t total_blocks() const { return blocks_.size(); }
+
+ private:
+  BlockInfo& mutable_info(BlockId id);
+
+  BlockPoolConfig config_;
+  BlockId next_id_ = 1;
+  std::unordered_map<BlockId, BlockInfo> blocks_;
+  int64_t used_[3] = {0, 0, 0};
+};
+
+}  // namespace deepserve::rtc
+
+#endif  // DEEPSERVE_RTC_BLOCK_POOL_H_

@@ -1,0 +1,236 @@
+// Compressed radix (prefix) tree over symbol sequences.
+//
+// RTC indexes KV cache by *block keys* — a chain hash per full KV block — so
+// every divergence between two prompts lands on a block boundary and edge
+// splits never cut a block in half. The same structure, instantiated with a
+// different payload, backs the Job Executor's global prompt trees (§5.2): the
+// paper notes the TE-local tree "shares an index with its corresponding
+// global tree", which here is literal — both are RadixTree<V> over the same
+// BlockKey stream.
+//
+// V is the per-node payload covering that node's span. It must be default-
+// constructible and provide:
+//   V SplitTail(size_t offset)  — split at `offset` symbols into this node's
+//                                 span, keep the head in-place, return the
+//                                 tail payload for the new child.
+#ifndef DEEPSERVE_RTC_RADIX_TREE_H_
+#define DEEPSERVE_RTC_RADIX_TREE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/types.h"
+
+namespace deepserve::rtc {
+
+// Chain hash over token blocks: key(i) = H(key(i-1), tokens in block i).
+using BlockKey = uint64_t;
+
+inline BlockKey ChainHash(BlockKey prev, std::span<const TokenId> tokens) {
+  uint64_t h = prev * 0x100000001b3ull + 0x9ae16a3b2f90404full;
+  for (TokenId t : tokens) {
+    h ^= static_cast<uint64_t>(static_cast<uint32_t>(t));
+    h *= 0x100000001b3ull;
+  }
+  h ^= h >> 29;
+  return h;
+}
+
+// Converts a token sequence into its full-block key chain (drops the partial
+// tail block — only complete blocks are cacheable).
+std::vector<BlockKey> TokensToBlockKeys(std::span<const TokenId> tokens, int block_size);
+
+inline std::vector<BlockKey> TokensToBlockKeys(std::span<const TokenId> tokens, int block_size) {
+  DS_CHECK_GT(block_size, 0);
+  std::vector<BlockKey> keys;
+  size_t full = tokens.size() / static_cast<size_t>(block_size);
+  keys.reserve(full);
+  BlockKey prev = 0;
+  for (size_t b = 0; b < full; ++b) {
+    prev = ChainHash(prev, tokens.subspan(b * static_cast<size_t>(block_size),
+                                          static_cast<size_t>(block_size)));
+    keys.push_back(prev);
+  }
+  return keys;
+}
+
+template <typename V>
+class RadixTree {
+ public:
+  struct Node {
+    std::vector<BlockKey> edge;  // symbols on the edge from the parent
+    V value{};                   // payload covering this node's edge span
+    TimeNs last_access = 0;
+    Node* parent = nullptr;
+    std::map<BlockKey, std::unique_ptr<Node>> children;  // keyed by first edge symbol
+
+    bool is_leaf() const { return children.empty(); }
+    // Depth in symbols from the root to the END of this node's edge.
+    size_t depth = 0;
+  };
+
+  struct MatchResult {
+    size_t matched = 0;               // symbols matched from the root
+    std::vector<Node*> path;          // fully-matched nodes, root-most first
+    Node* partial = nullptr;          // node matched only partially (if any)
+    size_t partial_len = 0;           // symbols matched inside `partial`
+  };
+
+  RadixTree() : root_(std::make_unique<Node>()) {}
+
+  // Longest-prefix match; touches nothing.
+  MatchResult Match(std::span<const BlockKey> keys) const {
+    MatchResult result;
+    const Node* node = root_.get();
+    size_t pos = 0;
+    while (pos < keys.size()) {
+      auto it = node->children.find(keys[pos]);
+      if (it == node->children.end()) {
+        break;
+      }
+      Node* child = it->second.get();
+      size_t i = 0;
+      while (i < child->edge.size() && pos + i < keys.size() && child->edge[i] == keys[pos + i]) {
+        ++i;
+      }
+      if (i == child->edge.size()) {
+        result.path.push_back(child);
+        pos += i;
+        node = child;
+      } else {
+        result.partial = child;
+        result.partial_len = i;
+        pos += i;
+        break;
+      }
+    }
+    result.matched = pos;
+    return result;
+  }
+
+  // Ensures a path spelling exactly `keys` exists, splitting edges as needed.
+  // `on_new` is called once for every node whose span is newly created, with
+  // the [begin, end) symbol range it covers, so the caller can attach payload.
+  // Returns the deepest node. Touches last_access along the path.
+  Node* Insert(std::span<const BlockKey> keys, TimeNs now,
+               const std::function<void(Node&, size_t begin, size_t end)>& on_new = nullptr) {
+    Node* node = root_.get();
+    size_t pos = 0;
+    node->last_access = now;
+    while (pos < keys.size()) {
+      auto it = node->children.find(keys[pos]);
+      if (it == node->children.end()) {
+        auto child = std::make_unique<Node>();
+        child->edge.assign(keys.begin() + static_cast<ptrdiff_t>(pos), keys.end());
+        child->parent = node;
+        child->depth = node->depth + child->edge.size();
+        child->last_access = now;
+        Node* raw = child.get();
+        node->children.emplace(keys[pos], std::move(child));
+        if (on_new) {
+          on_new(*raw, pos, keys.size());
+        }
+        return raw;
+      }
+      Node* child = it->second.get();
+      size_t i = 0;
+      while (i < child->edge.size() && pos + i < keys.size() && child->edge[i] == keys[pos + i]) {
+        ++i;
+      }
+      if (i < child->edge.size()) {
+        SplitChild(child, i);
+      }
+      child->last_access = now;
+      pos += i;
+      node = child;
+    }
+    return node;
+  }
+
+  // Removes a leaf node entirely (merging is skipped: keeps bookkeeping
+  // simple and harms nothing but a little pointer depth).
+  void RemoveLeaf(Node* node) {
+    DS_CHECK(node != nullptr);
+    DS_CHECK(node->is_leaf());
+    DS_CHECK(node->parent != nullptr) << "cannot remove the root";
+    Node* parent = node->parent;
+    auto it = parent->children.find(node->edge.front());
+    DS_CHECK(it != parent->children.end());
+    DS_CHECK_EQ(it->second.get(), node);
+    parent->children.erase(it);
+  }
+
+  // Least-recently-used leaf for which `evictable` holds; nullptr if none.
+  Node* FindLruLeaf(const std::function<bool(const Node&)>& evictable) {
+    Node* best = nullptr;
+    VisitLeaves(root_.get(), [&](Node* leaf) {
+      if (leaf == root_.get() || !evictable(*leaf)) {
+        return;
+      }
+      if (best == nullptr || leaf->last_access < best->last_access) {
+        best = leaf;
+      }
+    });
+    return best;
+  }
+
+  // Pre-order traversal over all non-root nodes.
+  void Visit(const std::function<void(Node*)>& fn) { VisitSubtree(root_.get(), fn); }
+
+  Node* root() { return root_.get(); }
+  const Node* root() const { return root_.get(); }
+
+  size_t NodeCount() const {
+    size_t n = 0;
+    const_cast<RadixTree*>(this)->VisitSubtree(root_.get(), [&](Node*) { ++n; });
+    return n;
+  }
+
+ private:
+  void SplitChild(Node* child, size_t offset) {
+    DS_CHECK_GT(offset, 0u);
+    DS_CHECK_LT(offset, child->edge.size());
+    auto tail = std::make_unique<Node>();
+    tail->edge.assign(child->edge.begin() + static_cast<ptrdiff_t>(offset), child->edge.end());
+    tail->value = child->value.SplitTail(offset);
+    tail->last_access = child->last_access;
+    tail->children = std::move(child->children);
+    tail->depth = child->depth;
+    for (auto& [key, grandchild] : tail->children) {
+      grandchild->parent = tail.get();
+    }
+    child->edge.resize(offset);
+    child->depth = child->depth - tail->edge.size();
+    tail->parent = child;
+    BlockKey tail_first = tail->edge.front();
+    child->children.emplace(tail_first, std::move(tail));
+  }
+
+  void VisitSubtree(Node* node, const std::function<void(Node*)>& fn) {
+    for (auto& [key, child] : node->children) {
+      fn(child.get());
+      VisitSubtree(child.get(), fn);
+    }
+  }
+
+  void VisitLeaves(Node* node, const std::function<void(Node*)>& fn) {
+    if (node->is_leaf()) {
+      fn(node);
+      return;
+    }
+    for (auto& [key, child] : node->children) {
+      VisitLeaves(child.get(), fn);
+    }
+  }
+
+  std::unique_ptr<Node> root_;
+};
+
+}  // namespace deepserve::rtc
+
+#endif  // DEEPSERVE_RTC_RADIX_TREE_H_

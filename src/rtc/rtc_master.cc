@@ -1,0 +1,507 @@
+#include "rtc/rtc_master.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace deepserve::rtc {
+
+RtcMaster::RtcMaster(sim::Simulator* sim, RtcConfig config)
+    : sim_(sim), config_(config), pool_(config.pool) {
+  DS_CHECK(sim_ != nullptr);
+  DS_CHECK_GT(config_.block_size, 0);
+  // Default transfer: completes on the next simulator tick (unit tests).
+  transfer_ = [this](Tier, Tier, Bytes, std::function<void()> done) {
+    sim_->ScheduleAfter(0, std::move(done));
+  };
+}
+
+void RtcMaster::SyncListeners() {
+  int64_t used = pool_.used(Tier::kNpu);
+  int64_t delta = used - last_npu_used_;
+  if (delta == 0) {
+    return;
+  }
+  last_npu_used_ = used;
+  for (NpuBlockListener* listener : listeners_) {
+    listener->OnNpuBlocksChanged(delta);
+  }
+}
+
+MatchInfo RtcMaster::BuildMatchInfo(const std::vector<BlockId>& blocks, int64_t matched_tokens) {
+  MatchInfo info;
+  info.matched_tokens = matched_tokens;
+  info.blocks = blocks;
+  TimeNs now = sim_->Now();
+  bool npu_prefix = true;
+  for (BlockId id : blocks) {
+    pool_.Touch(id, now);
+    if (npu_prefix && pool_.info(id).resident(Tier::kNpu)) {
+      info.npu_tokens += config_.block_size;
+    } else {
+      npu_prefix = false;
+    }
+  }
+  info.offnpu_tokens = info.matched_tokens - info.npu_tokens;
+  return info;
+}
+
+MatchInfo RtcMaster::MatchByPrefixToken(std::span<const TokenId> prompt) {
+  stats_.requested_tokens += static_cast<int64_t>(prompt.size());
+  if (!config_.enable_prefix_caching) {
+    ++stats_.match_misses;
+    return MatchInfo{};
+  }
+  std::vector<BlockKey> keys = TokensToBlockKeys(prompt, config_.block_size);
+  auto match = tree_.Match(keys);
+  std::vector<BlockId> blocks;
+  TimeNs now = sim_->Now();
+  for (auto* node : match.path) {
+    node->last_access = now;
+    blocks.insert(blocks.end(), node->value.blocks.begin(), node->value.blocks.end());
+  }
+  if (match.partial != nullptr) {
+    match.partial->last_access = now;
+    size_t take = std::min(match.partial_len, match.partial->value.blocks.size());
+    blocks.insert(blocks.end(), match.partial->value.blocks.begin(),
+                  match.partial->value.blocks.begin() + static_cast<ptrdiff_t>(take));
+  }
+  int64_t matched_tokens =
+      static_cast<int64_t>(blocks.size()) * static_cast<int64_t>(config_.block_size);
+  if (matched_tokens > 0) {
+    ++stats_.match_hits;
+    stats_.matched_tokens += matched_tokens;
+  } else {
+    ++stats_.match_misses;
+  }
+  return BuildMatchInfo(blocks, matched_tokens);
+}
+
+MatchInfo RtcMaster::MatchByID(const std::string& id) {
+  auto it = id_index_.find(id);
+  if (it == id_index_.end()) {
+    ++stats_.match_misses;
+    return MatchInfo{};
+  }
+  // Validate against eviction: any discarded block invalidates the entry
+  // (block ids are never reused, so Exists() is a safe liveness check).
+  for (BlockId block : it->second) {
+    if (!pool_.Exists(block)) {
+      id_index_.erase(it);
+      id_tokens_.erase(id);
+      ++stats_.match_misses;
+      return MatchInfo{};
+    }
+  }
+  ++stats_.match_hits;
+  int64_t tokens = id_tokens_.at(id);
+  stats_.matched_tokens += tokens;
+  stats_.requested_tokens += tokens;
+  return BuildMatchInfo(it->second, tokens);
+}
+
+void RtcMaster::Acquire(std::span<const BlockId> blocks) {
+  TimeNs now = sim_->Now();
+  for (BlockId id : blocks) {
+    pool_.Ref(id);
+    pool_.Touch(id, now);
+  }
+}
+
+Tier RtcMaster::LowestTierBelowNpu(const BlockInfo& info) const {
+  if (info.resident(Tier::kDram)) {
+    return Tier::kDram;
+  }
+  return Tier::kSsd;
+}
+
+Result<PopulateTicket> RtcMaster::Populate(const MatchInfo& info) {
+  // Collect matched blocks that still need an NPU copy, grouped by source.
+  std::vector<BlockId> from_dram;
+  std::vector<BlockId> from_ssd;
+  for (BlockId id : info.blocks) {
+    const BlockInfo& block = pool_.info(id);
+    DS_CHECK_GT(block.ref_count, 0) << "Populate requires Acquire()d blocks";
+    if (block.resident(Tier::kNpu)) {
+      continue;
+    }
+    (LowestTierBelowNpu(block) == Tier::kDram ? from_dram : from_ssd).push_back(id);
+  }
+  int64_t needed = static_cast<int64_t>(from_dram.size() + from_ssd.size());
+  if (needed == 0) {
+    PopulateTicket ticket = next_ticket_++;
+    inflight_populates_[ticket] = 0;  // instantly ready
+    return ticket;
+  }
+  DS_RETURN_IF_ERROR(EnsureNpuFree(needed));
+  PopulateTicket ticket = next_ticket_++;
+  int groups = static_cast<int>(!from_dram.empty()) + static_cast<int>(!from_ssd.empty());
+  inflight_populates_[ticket] = groups;
+  ++stats_.populates;
+  stats_.populated_blocks += needed;
+
+  auto launch = [this, ticket](std::vector<BlockId> blocks, Tier src) {
+    // Reserve NPU slots up-front so concurrent allocation cannot over-commit;
+    // pin the blocks so eviction cannot race the in-flight copy.
+    for (BlockId id : blocks) {
+      DS_CHECK_OK(pool_.AddResidency(id, Tier::kNpu));
+      ++populate_pins_[id];
+    }
+    SyncListeners();
+    Bytes bytes = static_cast<Bytes>(blocks.size()) * config_.bytes_per_block;
+    transfer_(src, Tier::kNpu, bytes, [this, ticket, blocks = std::move(blocks)] {
+      for (BlockId id : blocks) {
+        auto pin = populate_pins_.find(id);
+        if (pin != populate_pins_.end() && --pin->second == 0) {
+          populate_pins_.erase(pin);
+        }
+      }
+      auto it = inflight_populates_.find(ticket);
+      DS_CHECK(it != inflight_populates_.end());
+      if (--it->second == 0) {
+        auto cb = populate_callbacks_.find(ticket);
+        if (cb != populate_callbacks_.end()) {
+          auto fn = std::move(cb->second);
+          populate_callbacks_.erase(cb);
+          fn();
+        }
+      }
+    });
+  };
+  if (!from_dram.empty()) {
+    launch(std::move(from_dram), Tier::kDram);
+  }
+  if (!from_ssd.empty()) {
+    launch(std::move(from_ssd), Tier::kSsd);
+  }
+  return ticket;
+}
+
+void RtcMaster::OnPopulateReady(PopulateTicket ticket, std::function<void()> callback) {
+  auto it = inflight_populates_.find(ticket);
+  if (it == inflight_populates_.end() || it->second == 0) {
+    sim_->ScheduleAfter(0, std::move(callback));
+    return;
+  }
+  DS_CHECK(populate_callbacks_.emplace(ticket, std::move(callback)).second)
+      << "populate ticket already has a callback";
+}
+
+MatchInfo RtcMaster::TruncateMatch(const MatchInfo& info, int64_t max_tokens) const {
+  if (info.matched_tokens <= max_tokens) {
+    return info;
+  }
+  size_t keep_blocks = static_cast<size_t>(std::max<int64_t>(0, max_tokens) /
+                                           static_cast<int64_t>(config_.block_size));
+  MatchInfo out;
+  out.blocks.assign(info.blocks.begin(),
+                    info.blocks.begin() + static_cast<ptrdiff_t>(keep_blocks));
+  out.matched_tokens =
+      static_cast<int64_t>(keep_blocks) * static_cast<int64_t>(config_.block_size);
+  bool npu_prefix = true;
+  for (BlockId id : out.blocks) {
+    if (npu_prefix && pool_.info(id).resident(Tier::kNpu)) {
+      out.npu_tokens += config_.block_size;
+    } else {
+      npu_prefix = false;
+    }
+  }
+  out.offnpu_tokens = out.matched_tokens - out.npu_tokens;
+  return out;
+}
+
+PicMatch RtcMaster::MatchPositionIndependent(std::span<const TokenId> prompt,
+                                             int64_t skip_tokens) {
+  PicMatch match;
+  if (!config_.enable_pic) {
+    return match;
+  }
+  size_t bs = static_cast<size_t>(config_.block_size);
+  size_t first_block = static_cast<size_t>(std::max<int64_t>(0, skip_tokens)) / bs;
+  size_t full = prompt.size() / bs;
+  TimeNs now = sim_->Now();
+  for (size_t b = first_block; b < full; ++b) {
+    BlockKey content = ChainHash(0, prompt.subspan(b * bs, bs));
+    auto it = pic_index_.find(content);
+    if (it == pic_index_.end()) {
+      continue;
+    }
+    if (!pool_.Exists(it->second)) {
+      pic_index_.erase(it);  // block was evicted; prune the stale entry
+      continue;
+    }
+    const BlockInfo& info = pool_.info(it->second);
+    if (!info.resident(Tier::kNpu)) {
+      continue;  // off-NPU PIC blocks are not worth fetching
+    }
+    pool_.Touch(it->second, now);
+    match.blocks.push_back(it->second);
+    match.matched_tokens += config_.block_size;
+  }
+  if (match.matched_tokens > 0) {
+    ++stats_.pic_hits;
+    stats_.pic_matched_tokens += match.matched_tokens;
+  }
+  return match;
+}
+
+PopulateState RtcMaster::QueryPopulate(PopulateTicket ticket) const {
+  auto it = inflight_populates_.find(ticket);
+  if (it == inflight_populates_.end()) {
+    return PopulateState::kUnknown;
+  }
+  return it->second == 0 ? PopulateState::kReady : PopulateState::kInFlight;
+}
+
+Status RtcMaster::EnsureNpuFree(int64_t n) {
+  if (pool_.free_blocks(Tier::kNpu) >= n) {
+    return Status::Ok();
+  }
+  auto block_pinned = [this](BlockId id) { return populate_pins_.count(id) > 0; };
+  // Pass 1: drop NPU residency of cold blocks that already have a lower-tier
+  // copy (no data loss). Walk LRU leaves repeatedly.
+  auto droppable = [&](const Tree::Node& node) {
+    if (node.value.blocks.empty()) {
+      return false;
+    }
+    for (BlockId id : node.value.blocks) {
+      const BlockInfo& info = pool_.info(id);
+      if (info.ref_count > 0 || block_pinned(id) || !info.resident(Tier::kNpu) ||
+          info.residency == TierBit(Tier::kNpu)) {
+        return false;
+      }
+    }
+    return true;
+  };
+  while (pool_.free_blocks(Tier::kNpu) < n) {
+    Tree::Node* victim = tree_.FindLruLeaf(droppable);
+    if (victim == nullptr) {
+      break;
+    }
+    for (BlockId id : victim->value.blocks) {
+      pool_.DropResidency(id, Tier::kNpu);
+      ++stats_.evicted_blocks;
+    }
+    // Node stays: its blocks remain matchable (and populatable) from DRAM/SSD.
+    // Mark cold so pass 1 doesn't re-pick it (it no longer qualifies anyway).
+  }
+  // Pass 2: discard cold NPU-only cache entries entirely.
+  auto discardable = [&](const Tree::Node& node) {
+    if (node.value.blocks.empty()) {
+      return false;
+    }
+    for (BlockId id : node.value.blocks) {
+      const BlockInfo& info = pool_.info(id);
+      if (info.ref_count > 0 || block_pinned(id) || !info.resident(Tier::kNpu)) {
+        return false;
+      }
+    }
+    return true;
+  };
+  while (pool_.free_blocks(Tier::kNpu) < n) {
+    Tree::Node* victim = tree_.FindLruLeaf(discardable);
+    if (victim == nullptr) {
+      break;
+    }
+    for (BlockId id : victim->value.blocks) {
+      pool_.Destroy(id);
+      ++stats_.discarded_blocks;
+    }
+    tree_.RemoveLeaf(victim);
+  }
+  SyncListeners();
+  if (pool_.free_blocks(Tier::kNpu) < n) {
+    return ResourceExhaustedError("NPU blocks exhausted: need " + std::to_string(n) + ", free " +
+                                  std::to_string(pool_.free_blocks(Tier::kNpu)));
+  }
+  return Status::Ok();
+}
+
+Result<std::vector<BlockId>> RtcMaster::AllocBlocks(int64_t n) {
+  DS_RETURN_IF_ERROR(EnsureNpuFree(n));
+  auto result = pool_.Allocate(n, Tier::kNpu, sim_->Now());
+  if (result.ok()) {
+    SyncListeners();
+    MaybeArmSwap();
+  }
+  return result;
+}
+
+Result<BlockId> RtcMaster::AppendBlock() {
+  DS_ASSIGN_OR_RETURN(std::vector<BlockId> blocks, AllocBlocks(1));
+  return blocks.front();
+}
+
+void RtcMaster::Copy(std::span<const BlockId> blocks, Tier dst,
+                     std::function<void()> on_complete) {
+  std::vector<BlockId> to_copy;
+  for (BlockId id : blocks) {
+    const BlockInfo& info = pool_.info(id);
+    if (info.resident(dst)) {
+      continue;
+    }
+    if (!pool_.AddResidency(id, dst).ok()) {
+      continue;  // destination tier full: skip (best-effort copy)
+    }
+    to_copy.push_back(id);
+  }
+  if (to_copy.empty()) {
+    sim_->ScheduleAfter(0, std::move(on_complete));
+    return;
+  }
+  for (BlockId id : to_copy) {
+    ++populate_pins_[id];
+  }
+  Bytes bytes = static_cast<Bytes>(to_copy.size()) * config_.bytes_per_block;
+  transfer_(Tier::kNpu, dst, bytes,
+            [this, to_copy = std::move(to_copy), cb = std::move(on_complete)]() mutable {
+              for (BlockId id : to_copy) {
+                auto pin = populate_pins_.find(id);
+                if (pin != populate_pins_.end() && --pin->second == 0) {
+                  populate_pins_.erase(pin);
+                }
+              }
+              if (cb) {
+                cb();
+              }
+            });
+}
+
+void RtcMaster::Free(std::span<const BlockId> blocks) {
+  for (BlockId id : blocks) {
+    pool_.Unref(id);
+  }
+  SyncListeners();
+}
+
+void RtcMaster::CommitBlocks(std::span<const TokenId> tokens, std::span<const BlockId> blocks) {
+  std::vector<BlockKey> keys = TokensToBlockKeys(tokens, config_.block_size);
+  if (keys.empty()) {
+    return;
+  }
+  DS_CHECK_GE(blocks.size(), keys.size())
+      << "Preserve needs one block per full " << config_.block_size << "-token chunk";
+  tree_.Insert(keys, sim_->Now(), [&](Tree::Node& node, size_t begin, size_t end) {
+    node.value.blocks.assign(blocks.begin() + static_cast<ptrdiff_t>(begin),
+                             blocks.begin() + static_cast<ptrdiff_t>(end));
+    for (size_t i = begin; i < end; ++i) {
+      pool_.SetKey(blocks[i], keys[i]);
+      if (config_.enable_pic) {
+        // Content-only hash (chain seed 0): same tokens at any position map
+        // to the same PIC key.
+        size_t bs = static_cast<size_t>(config_.block_size);
+        BlockKey content = ChainHash(0, tokens.subspan(i * bs, bs));
+        pic_index_[content] = blocks[i];
+      }
+    }
+  });
+  MaybeArmSwap();
+}
+
+void RtcMaster::Preserve(std::span<const TokenId> tokens, std::span<const BlockId> blocks) {
+  if (!config_.enable_prefix_caching) {
+    return;
+  }
+  CommitBlocks(tokens, blocks);
+}
+
+Status RtcMaster::PreserveById(const std::string& id, std::span<const TokenId> tokens,
+                               std::span<const BlockId> blocks) {
+  if (id.empty()) {
+    return InvalidArgumentError("empty context-cache id");
+  }
+  std::vector<BlockKey> keys = TokensToBlockKeys(tokens, config_.block_size);
+  if (keys.empty()) {
+    return InvalidArgumentError("context shorter than one block");
+  }
+  // Explicit entries also live in the prefix tree so implicit matching still
+  // finds them (CommitBlocks is idempotent for existing spans).
+  CommitBlocks(tokens, blocks);
+  id_index_[id].assign(blocks.begin(), blocks.begin() + static_cast<ptrdiff_t>(keys.size()));
+  id_tokens_[id] =
+      static_cast<int64_t>(keys.size()) * static_cast<int64_t>(config_.block_size);
+  return Status::Ok();
+}
+
+bool RtcMaster::DropById(const std::string& id) {
+  id_tokens_.erase(id);
+  return id_index_.erase(id) > 0;
+}
+
+void RtcMaster::MaybeArmSwap() {
+  if (!config_.enable_background_swap || swap_armed_) {
+    return;
+  }
+  double usage = static_cast<double>(pool_.used(Tier::kNpu)) /
+                 static_cast<double>(pool_.capacity(Tier::kNpu));
+  if (usage < config_.swap_high_watermark) {
+    return;
+  }
+  swap_armed_ = true;
+  sim_->ScheduleAfter(config_.swap_interval, [this] {
+    swap_armed_ = false;
+    SwapScan();
+  });
+}
+
+void RtcMaster::SwapScan() {
+  double usage = static_cast<double>(pool_.used(Tier::kNpu)) /
+                 static_cast<double>(pool_.capacity(Tier::kNpu));
+  if (usage < config_.swap_high_watermark) {
+    return;
+  }
+  // Demote the coldest unreferenced NPU-only leaf runs to DRAM, then release
+  // their NPU copies once the (timed) copy lands. This keeps the synchronous
+  // eviction path (EnsureNpuFree pass 1) stocked with droppable blocks.
+  int64_t budget = config_.swap_batch_blocks;
+  auto swappable = [this](const Tree::Node& node) {
+    if (node.value.blocks.empty()) {
+      return false;
+    }
+    for (BlockId id : node.value.blocks) {
+      const BlockInfo& info = pool_.info(id);
+      if (info.ref_count > 0 || populate_pins_.count(id) > 0 || !info.resident(Tier::kNpu) ||
+          info.resident(Tier::kDram)) {
+        return false;
+      }
+    }
+    return true;
+  };
+  std::vector<Tree::Node*> victims;
+  while (budget > 0) {
+    Tree::Node* victim = tree_.FindLruLeaf(swappable);
+    if (victim == nullptr) {
+      break;
+    }
+    // Temporarily pin so FindLruLeaf does not return it again this scan.
+    for (BlockId id : victim->value.blocks) {
+      ++populate_pins_[id];
+    }
+    victims.push_back(victim);
+    budget -= static_cast<int64_t>(victim->value.blocks.size());
+  }
+  for (Tree::Node* victim : victims) {
+    std::vector<BlockId> blocks = victim->value.blocks;
+    // Release the scan pins; Copy() takes its own.
+    for (BlockId id : blocks) {
+      auto pin = populate_pins_.find(id);
+      if (pin != populate_pins_.end() && --pin->second == 0) {
+        populate_pins_.erase(pin);
+      }
+    }
+    stats_.swapped_out_blocks += static_cast<int64_t>(blocks.size());
+    Copy(blocks, Tier::kDram, [this, blocks] {
+      for (BlockId id : blocks) {
+        if (pool_.Exists(id) && pool_.info(id).ref_count == 0 &&
+            pool_.info(id).resident(Tier::kDram)) {
+          pool_.DropResidency(id, Tier::kNpu);
+        }
+      }
+      SyncListeners();
+    });
+  }
+  MaybeArmSwap();
+}
+
+}  // namespace deepserve::rtc

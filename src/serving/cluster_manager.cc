@@ -1,0 +1,472 @@
+#include "serving/cluster_manager.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+#include "model/model_spec.h"
+
+namespace deepserve::serving {
+
+ClusterManager::ClusterManager(sim::Simulator* sim, hw::Cluster* cluster,
+                               distflow::TransferEngine* transfer, ScalingOptimizations opts,
+                               ScalingLatencyModel latency)
+    : sim_(sim), cluster_(cluster), transfer_(transfer), hccl_(cluster), opts_(opts),
+      latency_(latency) {
+  DS_CHECK(sim_ != nullptr);
+  DS_CHECK(cluster_ != nullptr);
+  npu_in_use_.assign(static_cast<size_t>(cluster_->total_npus()), false);
+}
+
+Result<std::vector<hw::NpuId>> ClusterManager::AllocateNpus(int count) {
+  DS_CHECK_GT(count, 0);
+  // Pack onto as few machines as possible: first machine with enough free
+  // NPUs wins; otherwise span machines greedily.
+  const int per_machine = cluster_->config().npus_per_machine;
+  std::vector<hw::NpuId> picked;
+  for (int m = 0; m < cluster_->num_machines() && static_cast<int>(picked.size()) < count; ++m) {
+    std::vector<hw::NpuId> here;
+    for (int i = 0; i < per_machine; ++i) {
+      hw::NpuId id = m * per_machine + i;
+      if (!npu_in_use_[static_cast<size_t>(id)]) {
+        here.push_back(id);
+      }
+    }
+    if (static_cast<int>(here.size()) >= count && picked.empty()) {
+      here.resize(static_cast<size_t>(count));
+      picked = std::move(here);
+      break;
+    }
+    for (hw::NpuId id : here) {
+      if (static_cast<int>(picked.size()) < count) {
+        picked.push_back(id);
+      }
+    }
+  }
+  if (static_cast<int>(picked.size()) < count) {
+    return ResourceExhaustedError("cluster out of NPUs: need " + std::to_string(count));
+  }
+  for (hw::NpuId id : picked) {
+    npu_in_use_[static_cast<size_t>(id)] = true;
+  }
+  return picked;
+}
+
+void ClusterManager::ReleaseNpus(const std::vector<hw::NpuId>& npus) {
+  for (hw::NpuId id : npus) {
+    DS_CHECK(npu_in_use_[static_cast<size_t>(id)]);
+    npu_in_use_[static_cast<size_t>(id)] = false;
+  }
+}
+
+Result<TaskExecutor*> ClusterManager::CreateReadyTe(
+    const flowserve::EngineConfig& engine_config) {
+  DS_ASSIGN_OR_RETURN(std::vector<hw::NpuId> npus,
+                      AllocateNpus(engine_config.parallelism.TotalNpus()));
+  TeConfig config;
+  config.id = next_te_id_++;
+  config.engine = engine_config;
+  config.npus = std::move(npus);
+  auto te = std::make_unique<TaskExecutor>(sim_, std::move(config));
+  if (transfer_ != nullptr) {
+    DS_RETURN_IF_ERROR(te->AttachFabric(cluster_, transfer_));
+  }
+  te->set_state(TeState::kReady);
+  TaskExecutor* raw = te.get();
+  te_by_id_[raw->id()] = raw;
+  tes_.push_back(std::move(te));
+  return raw;
+}
+
+TaskExecutor* ClusterManager::te(TeId id) {
+  auto it = te_by_id_.find(id);
+  return it == te_by_id_.end() ? nullptr : it->second;
+}
+
+Status ClusterManager::StopTe(TeId id) {
+  TaskExecutor* target = te(id);
+  if (target == nullptr) {
+    return NotFoundError("no TE " + std::to_string(id));
+  }
+  target->set_state(TeState::kStopped);
+  ReleaseNpus(target->config().npus);
+  return Status::Ok();
+}
+
+Result<size_t> ClusterManager::KillTe(TeId id) {
+  TaskExecutor* target = te(id);
+  if (target == nullptr) {
+    return NotFoundError("no TE " + std::to_string(id));
+  }
+  if (target->state() == TeState::kStopped) {
+    return FailedPreconditionError("TE " + std::to_string(id) + " already stopped");
+  }
+  ++stats_.te_failures;
+  size_t dropped = target->Fail();
+  ReleaseNpus(target->config().npus);
+  for (const auto& handler : failure_handlers_) {
+    handler(id);
+  }
+  return dropped;
+}
+
+void ClusterManager::PreloadModelToDram(hw::MachineId machine, const model::ModelSpec& model,
+                                        std::function<void()> on_done) {
+  hw::Machine* m = cluster_->machine(machine);
+  Bytes bytes = model.WeightBytes();
+  // safetensors stream from SSD into the page cache.
+  m->ssd_link()->StartFlow(bytes, [this, machine, name = model.name, bytes,
+                                   cb = std::move(on_done)] {
+    cluster_->machine(machine)->page_cache().Insert(name, bytes, sim_->Now());
+    if (cb) {
+      cb();
+    }
+  });
+}
+
+void ClusterManager::PredictivePreload(const std::vector<model::ModelSpec>& ranked_models) {
+  for (int m = 0; m < cluster_->num_machines(); ++m) {
+    Bytes budget = cluster_->machine(m)->page_cache().capacity() -
+                   cluster_->machine(m)->page_cache().used();
+    for (const auto& model : ranked_models) {
+      if (model.WeightBytes() > budget) {
+        break;
+      }
+      budget -= model.WeightBytes();
+      PreloadModelToDram(m, model);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The five-step scaling pipeline.
+// ---------------------------------------------------------------------------
+
+struct ClusterManager::PipelineState {
+  ScaleRequest request;
+  ScaleCallback on_ready;
+  ScalingBreakdown breakdown;
+  std::vector<hw::NpuId> npus;
+  TimeNs stage_start = 0;
+};
+
+Status ClusterManager::ScaleUp(const ScaleRequest& request, ScaleCallback on_ready) {
+  auto npus = AllocateNpus(request.engine.parallelism.TotalNpus());
+  if (!npus.ok()) {
+    return npus.status();
+  }
+  auto state = std::make_shared<PipelineState>();
+  state->request = request;
+  state->on_ready = std::move(on_ready);
+  state->npus = std::move(npus).value();
+  ++stats_.scale_ups;
+  RunScalerPre(std::move(state));
+  return Status::Ok();
+}
+
+void ClusterManager::RunScalerPre(std::shared_ptr<PipelineState> state) {
+  state->stage_start = sim_->Now();
+  DurationNs cost;
+  if (opts_.prewarmed_pods && prewarmed_pods_ > 0) {
+    --prewarmed_pods_;
+    ++stats_.prewarmed_pod_hits;
+    state->breakdown.used_prewarmed_pod = true;
+    cost = latency_.pod_adapt_prewarmed;
+  } else {
+    cost = latency_.pod_create_cold;
+  }
+  sim_->ScheduleAfter(cost, [this, state = std::move(state)]() mutable {
+    state->breakdown.scaler_pre = sim_->Now() - state->stage_start;
+    RunTePreLoad(std::move(state));
+  });
+}
+
+void ClusterManager::RunTePreLoad(std::shared_ptr<PipelineState> state) {
+  state->stage_start = sim_->Now();
+  DurationNs cost;
+  if (opts_.prewarmed_tes && prewarmed_tes_ > 0) {
+    // Model- and parallelism-agnostic pre-warmed SPMD master/executor pools:
+    // adapting one to this model is quick config repacking.
+    --prewarmed_tes_;
+    ++stats_.prewarmed_te_hits;
+    state->breakdown.used_prewarmed_te = true;
+    cost = latency_.te_adapt_prewarmed;
+  } else {
+    cost = latency_.te_preload_cold;
+    if (opts_.optimized_preload) {
+      cost = static_cast<DurationNs>(static_cast<double>(cost) *
+                                     latency_.te_preload_optimized_factor);
+    }
+  }
+  sim_->ScheduleAfter(cost, [this, state = std::move(state)]() mutable {
+    state->breakdown.te_pre_load = sim_->Now() - state->stage_start;
+    RunTeLoad(std::move(state));
+  });
+}
+
+void ClusterManager::RunTeLoad(std::shared_ptr<PipelineState> state) {
+  state->stage_start = sim_->Now();
+  const model::ModelSpec& model = state->request.engine.model;
+  Bytes per_npu = model::WeightBytesPerNpu(model, state->request.engine.parallelism);
+
+  auto finish_stage = [this, state]() {
+    // PyTorch tensor initialization happens once the bytes are local.
+    sim_->ScheduleAfter(latency_.tensor_init, [this, state]() mutable {
+      state->breakdown.te_load = sim_->Now() - state->stage_start;
+      RunTePostLoad(std::move(state));
+    });
+  };
+
+  TaskExecutor* source =
+      state->request.fork_source != kInvalidTe ? te(state->request.fork_source) : nullptr;
+  if (opts_.npu_fork && source != nullptr && source->ready()) {
+    // NPU-fork: every destination rank pulls its shard from the matching
+    // source rank. Rank pairs ride distinct fabric ports (each NPU has its
+    // own HCCS/RoCE attachment), so fork time depends on per-NPU bytes, not
+    // on the TP degree — the paper's "similar across models" observation.
+    // We charge the rank-parallel transfers their contention-free duration;
+    // a busy source adds the small AICPU contention penalty.
+    ++stats_.npu_forks;
+    state->breakdown.used_npu_fork = true;
+    hw::MachineId src_machine = cluster_->machine_of(source->primary_npu());
+    hw::SharedLink* link = cluster_->LinkOfType(src_machine, state->request.fork_link);
+    DS_CHECK(link != nullptr);
+    double penalty = source->engine().busy() ? 1.0 + latency_.fork_busy_penalty : 1.0;
+    DurationNs per_rank = link->IsolatedDuration(
+        static_cast<Bytes>(static_cast<double>(per_npu) * penalty));
+    sim_->ScheduleAfter(per_rank, finish_stage);
+    return;
+  }
+
+  // Local load: page-cache hit streams over PCIe; miss stages via SSD first.
+  hw::MachineId machine = cluster_->machine_of(state->npus[0]);
+  hw::Machine* host = cluster_->machine(machine);
+  bool hit = opts_.dram_preload && host->page_cache().Contains(model.name);
+  state->breakdown.dram_hit = hit;
+  auto pcie_phase = [this, state, host, per_npu, finish_stage] {
+    auto remaining = std::make_shared<int>(static_cast<int>(state->npus.size()));
+    const int per_machine = cluster_->config().npus_per_machine;
+    for (hw::NpuId id : state->npus) {
+      // Each TP/PP rank streams its own shard; ranks sharing a PCIe link
+      // contend (the Fig. 9 effect).
+      hw::Machine* m = cluster_->machine(cluster_->machine_of(id));
+      m->pcie_link_for(id % per_machine)->StartFlow(per_npu, [remaining, finish_stage] {
+        if (--*remaining == 0) {
+          finish_stage();
+        }
+      });
+    }
+  };
+  if (hit) {
+    ++stats_.dram_hits;
+    host->page_cache().Touch(model.name, sim_->Now());
+    pcie_phase();
+  } else {
+    ++stats_.dram_misses;
+    host->ssd_link()->StartFlow(model.WeightBytes(), [this, host, model, pcie_phase] {
+      host->page_cache().Insert(model.name, model.WeightBytes(), sim_->Now());
+      pcie_phase();
+    });
+  }
+}
+
+DurationNs ClusterManager::PostLoadDuration() const {
+  DurationNs cost = 0;
+  if (opts_.offline_profiling) {
+    // HBM budget comes from offline-profiled configuration; a dummy request
+    // absorbs the first-request slowdown.
+    if (opts_.dummy_warmup) {
+      cost += latency_.dummy_request;
+    }
+  } else {
+    cost += latency_.warmup_profile;
+  }
+  cost += opts_.async_block_alloc ? latency_.block_alloc_async : latency_.block_alloc_sync;
+  return cost;
+}
+
+void ClusterManager::RunTePostLoad(std::shared_ptr<PipelineState> state) {
+  state->stage_start = sim_->Now();
+  sim_->ScheduleAfter(PostLoadDuration(), [this, state = std::move(state)]() mutable {
+    state->breakdown.te_post_load = sim_->Now() - state->stage_start;
+    RunScalerPost(std::move(state));
+  });
+}
+
+void ClusterManager::RunScalerPost(std::shared_ptr<PipelineState> state) {
+  state->stage_start = sim_->Now();
+  DurationNs cost = opts_.proactive_push ? latency_.push_latency : latency_.te_list_poll;
+  sim_->ScheduleAfter(cost, [this, state = std::move(state)]() mutable {
+    state->breakdown.scaler_post = sim_->Now() - state->stage_start;
+    TeConfig config;
+    config.id = next_te_id_++;
+    config.engine = state->request.engine;
+    config.npus = state->npus;
+    auto te = std::make_unique<TaskExecutor>(sim_, std::move(config));
+    if (transfer_ != nullptr) {
+      Status attached = te->AttachFabric(cluster_, transfer_);
+      DS_CHECK(attached.ok()) << attached.ToString();
+    }
+    te->set_state(TeState::kReady);
+    TaskExecutor* raw = te.get();
+    te_by_id_[raw->id()] = raw;
+    tes_.push_back(std::move(te));
+    if (state->on_ready) {
+      state->on_ready(raw, state->breakdown);
+    }
+  });
+}
+
+Status ClusterManager::ScaleUpMany(
+    const ScaleRequest& request, int count,
+    std::function<void(std::vector<TaskExecutor*>, DurationNs)> on_ready) {
+  DS_CHECK_GT(count, 0);
+  TaskExecutor* source = request.fork_source != kInvalidTe ? te(request.fork_source) : nullptr;
+  if (source == nullptr || !source->ready()) {
+    return FailedPreconditionError("ScaleUpMany needs a ready NPU-fork source");
+  }
+  TimeNs start = sim_->Now();
+  // Steps 1/2/4/5 proceed per-TE in parallel; TE-Load is one broadcast.
+  DurationNs pre = (opts_.prewarmed_pods && prewarmed_pods_ >= count)
+                       ? latency_.pod_adapt_prewarmed
+                       : latency_.pod_create_cold;
+  if (opts_.prewarmed_pods && prewarmed_pods_ >= count) {
+    prewarmed_pods_ -= count;
+    stats_.prewarmed_pod_hits += count;
+  }
+  DurationNs preload = (opts_.prewarmed_tes && prewarmed_tes_ >= count)
+                           ? latency_.te_adapt_prewarmed
+                           : static_cast<DurationNs>(
+                                 static_cast<double>(latency_.te_preload_cold) *
+                                 (opts_.optimized_preload ? latency_.te_preload_optimized_factor
+                                                          : 1.0));
+  if (opts_.prewarmed_tes && prewarmed_tes_ >= count) {
+    prewarmed_tes_ -= count;
+    stats_.prewarmed_te_hits += count;
+  }
+  Bytes per_npu =
+      model::WeightBytesPerNpu(request.engine.model, request.engine.parallelism);
+  double penalty =
+      source->engine().busy() ? 1.0 + latency_.fork_busy_penalty : 1.0;
+  Bytes payload = static_cast<Bytes>(static_cast<double>(per_npu) * penalty) *
+                  static_cast<Bytes>(request.engine.parallelism.TotalNpus());
+  stats_.npu_forks += count;
+  ++stats_.scale_ups;
+
+  sim_->ScheduleAfter(pre + preload, [this, request, count, payload, source, start,
+                                      cb = std::move(on_ready)]() mutable {
+    hccl_.Broadcast(
+        source->primary_npu(), count, payload, request.fork_link,
+        [this, request, count, start, cb = std::move(cb)]() mutable {
+          DurationNs tail = latency_.tensor_init + PostLoadDuration() +
+                            (opts_.proactive_push ? latency_.push_latency
+                                                  : latency_.te_list_poll);
+          sim_->ScheduleAfter(tail, [this, request, count, start, cb = std::move(cb)] {
+            std::vector<TaskExecutor*> created;
+            for (int i = 0; i < count; ++i) {
+              auto npus = AllocateNpus(request.engine.parallelism.TotalNpus());
+              if (!npus.ok()) {
+                break;  // cluster exhausted: report what we got
+              }
+              TeConfig config;
+              config.id = next_te_id_++;
+              config.engine = request.engine;
+              config.npus = std::move(npus).value();
+              auto te = std::make_unique<TaskExecutor>(sim_, std::move(config));
+              if (transfer_ != nullptr) {
+                Status attached = te->AttachFabric(cluster_, transfer_);
+                DS_CHECK(attached.ok()) << attached.ToString();
+              }
+              te->set_state(TeState::kReady);
+              te_by_id_[te->id()] = te.get();
+              created.push_back(te.get());
+              tes_.push_back(std::move(te));
+            }
+            if (cb) {
+              cb(std::move(created), sim_->Now() - start);
+            }
+          });
+        });
+  });
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// Autoscaler.
+// ---------------------------------------------------------------------------
+
+void ClusterManager::StartAutoscaler(JobExecutor* je, AutoscalerConfig config,
+                                     ScaleRequest template_request) {
+  DS_CHECK(je != nullptr);
+  autoscaler_je_ = je;
+  autoscaler_config_ = config;
+  autoscaler_template_ = std::move(template_request);
+  autoscaler_running_ = true;
+  autoscaler_live_tes_ = static_cast<int>(je->colocated_count());
+  autoscaler_event_ =
+      sim_->ScheduleAfter(autoscaler_config_.check_interval, [this] { AutoscalerTick(); });
+}
+
+void ClusterManager::StopAutoscaler() {
+  autoscaler_running_ = false;
+  if (autoscaler_event_ != sim::kInvalidEventId) {
+    sim_->Cancel(autoscaler_event_);
+    autoscaler_event_ = sim::kInvalidEventId;
+  }
+}
+
+void ClusterManager::AutoscalerTick() {
+  autoscaler_event_ = sim::kInvalidEventId;
+  if (!autoscaler_running_) {
+    return;
+  }
+  // Average queue depth over the JE's live colocated TEs.
+  int64_t total_depth = 0;
+  int live = 0;
+  std::vector<TaskExecutor*> live_tes;
+  for (const auto& te : tes_) {
+    if (te->ready() && te->role() == flowserve::EngineRole::kColocated) {
+      total_depth += te->queue_depth();
+      ++live;
+      live_tes.push_back(te.get());
+    }
+  }
+  if (live > 0) {
+    int64_t avg = total_depth / live;
+    if (avg >= autoscaler_config_.scale_up_queue_depth &&
+        live < autoscaler_config_.max_tes && !autoscaler_scaling_) {
+      autoscaler_scaling_ = true;
+      Status status = ScaleUp(autoscaler_template_, [this](TaskExecutor* te, const auto&) {
+        autoscaler_scaling_ = false;
+        if (te != nullptr && autoscaler_je_ != nullptr) {
+          autoscaler_je_->AddColocatedTe(te);
+          ++autoscaler_live_tes_;
+        }
+      });
+      if (!status.ok()) {
+        autoscaler_scaling_ = false;
+      }
+    } else if (avg <= autoscaler_config_.scale_down_queue_depth &&
+               live > autoscaler_config_.min_tes) {
+      // Shed the least-loaded idle TE.
+      TaskExecutor* victim = nullptr;
+      for (TaskExecutor* te : live_tes) {
+        if (te->queue_depth() == 0 && (victim == nullptr || te->id() > victim->id())) {
+          victim = te;
+        }
+      }
+      if (victim != nullptr) {
+        autoscaler_je_->RemoveTe(victim->id());
+        DS_CHECK_OK(StopTe(victim->id()));
+        ++stats_.scale_downs;
+        --autoscaler_live_tes_;
+      }
+    }
+  }
+  if (autoscaler_running_) {
+    autoscaler_event_ =
+        sim_->ScheduleAfter(autoscaler_config_.check_interval, [this] { AutoscalerTick(); });
+  }
+}
+
+}  // namespace deepserve::serving

@@ -1,0 +1,219 @@
+// Cluster manager: TE registry, placement, pre-warm pools, DRAM pre-loading,
+// the five-step fast-scaling pipeline (§6, Fig. 7, Table 2), and the
+// AUTOSCALER.
+//
+// Scaling a TE walks five stages, each with the Table-2 optimization as an
+// independent toggle so Fig. 8's before/after (and any ablation) is pure
+// configuration:
+//   1. Scaler-Pre    — pod creation        (pre-warmed pods)
+//   2. TE-Pre-Load   — process/NPU init    (pre-warmed, model- and
+//                      parallelism-agnostic TEs; late-import/parallel init)
+//   3. TE-Load       — weights -> NPU      (DRAM pre-loading; NPU-fork over
+//                      HCCS/RoCE; PCIe contention modelled via shared links)
+//   4. TE-Post-Load  — readiness           (offline profiling, async block
+//                      allocation, dummy-request warmup)
+//   5. Scaler-Post   — announce to JEs     (proactive push vs. polling)
+#ifndef DEEPSERVE_SERVING_CLUSTER_MANAGER_H_
+#define DEEPSERVE_SERVING_CLUSTER_MANAGER_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "distflow/distflow.h"
+#include "hw/cluster.h"
+#include "hw/hccl.h"
+#include "serving/job_executor.h"
+#include "serving/task_executor.h"
+#include "sim/simulator.h"
+
+namespace deepserve::serving {
+
+// Table-2 optimization toggles. All true = the paper's optimized system;
+// all false = the unoptimized baseline of Fig. 8.
+struct ScalingOptimizations {
+  bool prewarmed_pods = true;
+  bool prewarmed_tes = true;
+  bool optimized_preload = true;  // late importing + parallel init (~35%)
+  bool dram_preload = true;
+  bool npu_fork = true;
+  bool offline_profiling = true;
+  bool async_block_alloc = true;
+  bool dummy_warmup = true;
+  bool proactive_push = true;
+
+  static ScalingOptimizations AllOff() {
+    return ScalingOptimizations{false, false, false, false, false,
+                                false, false, false, false};
+  }
+};
+
+// Stage latency constants (calibrated to the magnitudes in Fig. 8: tens of
+// seconds unoptimized, dominated by TE-Pre-Load after optimization).
+struct ScalingLatencyModel {
+  DurationNs pod_create_cold = SecondsToNs(12.0);
+  DurationNs pod_adapt_prewarmed = SecondsToNs(0.5);
+  DurationNs te_preload_cold = SecondsToNs(24.0);
+  double te_preload_optimized_factor = 0.65;  // -35% via late import etc.
+  DurationNs te_adapt_prewarmed = SecondsToNs(0.4);
+  DurationNs tensor_init = SecondsToNs(0.3);  // PyTorch tensor creation
+  DurationNs warmup_profile = SecondsToNs(7.0);
+  DurationNs block_alloc_sync = SecondsToNs(1.5);
+  DurationNs block_alloc_async = SecondsToNs(0.05);
+  DurationNs dummy_request = SecondsToNs(0.4);
+  DurationNs te_list_poll = SecondsToNs(4.0);  // mean poll-based discovery lag
+  DurationNs push_latency = MillisecondsToNs(100);
+  // NPU-fork bandwidth penalty while the source TE is serving (the NPU's
+  // dedicated AICPU keeps this small, §6.2 / Fig. 10).
+  double fork_busy_penalty = 0.08;
+};
+
+struct ScalingBreakdown {
+  DurationNs scaler_pre = 0;
+  DurationNs te_pre_load = 0;
+  DurationNs te_load = 0;
+  DurationNs te_post_load = 0;
+  DurationNs scaler_post = 0;
+  bool used_prewarmed_pod = false;
+  bool used_prewarmed_te = false;
+  bool dram_hit = false;
+  bool used_npu_fork = false;
+
+  DurationNs total() const {
+    return scaler_pre + te_pre_load + te_load + te_post_load + scaler_post;
+  }
+};
+
+struct ScaleRequest {
+  flowserve::EngineConfig engine;
+  // NPU-fork source; kInvalidTe = local load (DRAM/SSD via PCIe).
+  TeId fork_source = kInvalidTe;
+  hw::LinkType fork_link = hw::LinkType::kHccs;
+};
+
+struct AutoscalerConfig {
+  DurationNs check_interval = SecondsToNs(2.0);
+  int64_t scale_up_queue_depth = 16;   // avg queue depth triggering scale-up
+  int64_t scale_down_queue_depth = 1;  // below this (and >min), shed a TE
+  int min_tes = 1;
+  int max_tes = 64;
+};
+
+struct ClusterManagerStats {
+  int64_t scale_ups = 0;
+  int64_t te_failures = 0;
+  int64_t scale_downs = 0;
+  int64_t prewarmed_pod_hits = 0;
+  int64_t prewarmed_te_hits = 0;
+  int64_t dram_hits = 0;
+  int64_t dram_misses = 0;
+  int64_t npu_forks = 0;
+};
+
+class ClusterManager {
+ public:
+  ClusterManager(sim::Simulator* sim, hw::Cluster* cluster, distflow::TransferEngine* transfer,
+                 ScalingOptimizations opts = {}, ScalingLatencyModel latency = {});
+
+  ClusterManager(const ClusterManager&) = delete;
+  ClusterManager& operator=(const ClusterManager&) = delete;
+
+  // ---- registry & placement --------------------------------------------------
+  // Creates an immediately-ready TE on freshly placed NPUs (the fast path for
+  // serving experiments that start from a provisioned cluster).
+  Result<TaskExecutor*> CreateReadyTe(const flowserve::EngineConfig& engine_config);
+  TaskExecutor* te(TeId id);
+  const std::vector<std::unique_ptr<TaskExecutor>>& tes() const { return tes_; }
+  // Stops a TE and returns its NPUs to the free pool.
+  Status StopTe(TeId id);
+  // Failure injection: crash a TE (in-flight work lost), release its NPUs,
+  // and notify every registered failure handler (typically JEs, which retry
+  // the lost jobs elsewhere). Returns how many requests the TE dropped.
+  Result<size_t> KillTe(TeId id);
+  // Registers a callback invoked with the TeId of every killed TE.
+  void AddFailureHandler(std::function<void(TeId)> handler) {
+    failure_handlers_.push_back(std::move(handler));
+  }
+
+  // ---- pre-warming & pre-loading ----------------------------------------------
+  void ReservePrewarmedPods(int count) { prewarmed_pods_ += count; }
+  void ReservePrewarmedTes(int count) { prewarmed_tes_ += count; }
+  int prewarmed_pods() const { return prewarmed_pods_; }
+  int prewarmed_tes() const { return prewarmed_tes_; }
+
+  // Streams a model's safetensors file from SSD into a machine's DRAM page
+  // cache (timed); `on_done` fires when resident.
+  void PreloadModelToDram(hw::MachineId machine, const model::ModelSpec& model,
+                          std::function<void()> on_done = nullptr);
+  // Predictive pre-loading: pre-load the given models (most likely first)
+  // onto every machine, stopping when a machine's DRAM fills.
+  void PredictivePreload(const std::vector<model::ModelSpec>& ranked_models);
+
+  // ---- fast scaling -----------------------------------------------------------
+  using ScaleCallback = std::function<void(TaskExecutor*, const ScalingBreakdown&)>;
+  // Runs the five-step pipeline; the TE is usable when the callback fires.
+  Status ScaleUp(const ScaleRequest& request, ScaleCallback on_ready);
+  // NPU-fork to `count` new TEs in parallel via HCCL broadcast (Fig. 10a).
+  Status ScaleUpMany(const ScaleRequest& request, int count,
+                     std::function<void(std::vector<TaskExecutor*>, DurationNs)> on_ready);
+
+  // ---- autoscaler --------------------------------------------------------------
+  // Watches `je`'s colocated group and scales it between min/max TEs using
+  // `template_request`. Runs until StopAutoscaler() (keeps the event queue
+  // non-empty: drive the simulator with RunUntil).
+  void StartAutoscaler(JobExecutor* je, AutoscalerConfig config, ScaleRequest template_request);
+  void StopAutoscaler();
+  int autoscaler_target() const { return autoscaler_live_tes_; }
+
+  const ClusterManagerStats& stats() const { return stats_; }
+  const ScalingOptimizations& optimizations() const { return opts_; }
+  hw::Cluster* cluster() { return cluster_; }
+
+  // Places tp*pp*dp NPUs (packed onto as few machines as possible).
+  Result<std::vector<hw::NpuId>> AllocateNpus(int count);
+  void ReleaseNpus(const std::vector<hw::NpuId>& npus);
+
+ private:
+  struct PipelineState;
+
+  void RunScalerPre(std::shared_ptr<PipelineState> state);
+  void RunTePreLoad(std::shared_ptr<PipelineState> state);
+  void RunTeLoad(std::shared_ptr<PipelineState> state);
+  void RunTePostLoad(std::shared_ptr<PipelineState> state);
+  void RunScalerPost(std::shared_ptr<PipelineState> state);
+  DurationNs PostLoadDuration() const;
+  void AutoscalerTick();
+
+  sim::Simulator* sim_;
+  hw::Cluster* cluster_;
+  distflow::TransferEngine* transfer_;
+  hw::Hccl hccl_;
+  ScalingOptimizations opts_;
+  ScalingLatencyModel latency_;
+
+  std::vector<std::unique_ptr<TaskExecutor>> tes_;
+  std::map<TeId, TaskExecutor*> te_by_id_;
+  TeId next_te_id_ = 1;
+  std::vector<bool> npu_in_use_;
+  int prewarmed_pods_ = 0;
+  int prewarmed_tes_ = 0;
+
+  // Autoscaler state.
+  JobExecutor* autoscaler_je_ = nullptr;
+  AutoscalerConfig autoscaler_config_;
+  ScaleRequest autoscaler_template_;
+  bool autoscaler_running_ = false;
+  bool autoscaler_scaling_ = false;  // a scale-up in flight
+  int autoscaler_live_tes_ = 0;
+  sim::EventId autoscaler_event_ = sim::kInvalidEventId;
+
+  std::vector<std::function<void(TeId)>> failure_handlers_;
+  ClusterManagerStats stats_;
+};
+
+}  // namespace deepserve::serving
+
+#endif  // DEEPSERVE_SERVING_CLUSTER_MANAGER_H_

@@ -1,0 +1,66 @@
+#include "serving/frontend.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace deepserve::serving {
+
+void Frontend::RegisterServingJe(const std::string& model_name, JobExecutor* je) {
+  DS_CHECK(je != nullptr);
+  serving_[model_name].push_back(je);
+}
+
+size_t Frontend::je_count(const std::string& model_name) const {
+  auto it = serving_.find(model_name);
+  return it == serving_.end() ? 0 : it->second.size();
+}
+
+bool Frontend::HasReadyCapacity(const JobExecutor& je) {
+  return je.colocated_count() + je.prefill_count() > 0;
+}
+
+Status Frontend::ChatCompletion(const std::string& model_name,
+                                const workload::RequestSpec& spec,
+                                JobExecutor::SeqCallback on_first_token,
+                                JobExecutor::SeqCallback on_complete) {
+  ++stats_.requests;
+  auto it = serving_.find(model_name);
+  if (it == serving_.end() || it->second.empty()) {
+    ++stats_.rejected;
+    return NotFoundError("no serving JEs for model " + model_name);
+  }
+  // Round-robin across JE replicas, skipping ones with no serving capacity.
+  std::vector<JobExecutor*>& jes = it->second;
+  size_t& cursor = rr_[model_name];
+  for (size_t attempt = 0; attempt < jes.size(); ++attempt) {
+    JobExecutor* je = jes[(cursor + attempt) % jes.size()];
+    if (!HasReadyCapacity(*je)) {
+      continue;
+    }
+    cursor = (cursor + attempt + 1) % jes.size();
+    ++stats_.chat_dispatched;
+    je->HandleRequest(spec, std::move(on_first_token), std::move(on_complete));
+    return Status::Ok();
+  }
+  ++stats_.rejected;
+  return UnavailableError("no JE for " + model_name + " has ready TEs");
+}
+
+Status Frontend::FineTune(const FineTuneRequest& request,
+                          FineTuneJobExecutor::Callback on_complete) {
+  ++stats_.requests;
+  if (finetune_ == nullptr) {
+    ++stats_.rejected;
+    return UnavailableError("no fine-tune executor registered");
+  }
+  Status status = finetune_->Submit(request, std::move(on_complete));
+  if (status.ok()) {
+    ++stats_.finetune_dispatched;
+  } else {
+    ++stats_.rejected;
+  }
+  return status;
+}
+
+}  // namespace deepserve::serving

@@ -1,0 +1,67 @@
+// The DeepServe frontend (Fig. 1a): the entry tier that terminates user
+// "HTTP" requests and dispatches them to the appropriate Job Executor.
+//
+// Routing is by (endpoint, model): chat completions go to one of the
+// model-serving JEs registered for that model (round-robin across replicas,
+// skipping JEs whose TE groups have no ready capacity), fine-tuning requests
+// to the post-training executor. This is where the industry-standard API
+// surface meets the request-job-task machinery.
+#ifndef DEEPSERVE_SERVING_FRONTEND_H_
+#define DEEPSERVE_SERVING_FRONTEND_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "serving/finetune.h"
+#include "serving/job_executor.h"
+#include "workload/request.h"
+
+namespace deepserve::serving {
+
+enum class ApiEndpoint { kChatCompletion, kFineTune };
+
+struct FrontendStats {
+  int64_t requests = 0;
+  int64_t rejected = 0;
+  int64_t chat_dispatched = 0;
+  int64_t finetune_dispatched = 0;
+};
+
+class Frontend {
+ public:
+  Frontend() = default;
+
+  Frontend(const Frontend&) = delete;
+  Frontend& operator=(const Frontend&) = delete;
+
+  // Registers a serving JE replica for a model name. Multiple JEs per model
+  // load-balance round-robin.
+  void RegisterServingJe(const std::string& model_name, JobExecutor* je);
+  void RegisterFineTuneExecutor(FineTuneJobExecutor* executor) { finetune_ = executor; }
+
+  // Chat-completion entry point. Fails with NOT_FOUND for unknown models and
+  // UNAVAILABLE when every JE replica for the model lacks ready TEs.
+  Status ChatCompletion(const std::string& model_name, const workload::RequestSpec& spec,
+                        JobExecutor::SeqCallback on_first_token,
+                        JobExecutor::SeqCallback on_complete);
+
+  // Fine-tuning entry point.
+  Status FineTune(const FineTuneRequest& request, FineTuneJobExecutor::Callback on_complete);
+
+  const FrontendStats& stats() const { return stats_; }
+  size_t je_count(const std::string& model_name) const;
+
+ private:
+  static bool HasReadyCapacity(const JobExecutor& je);
+
+  std::map<std::string, std::vector<JobExecutor*>> serving_;
+  std::map<std::string, size_t> rr_;
+  FineTuneJobExecutor* finetune_ = nullptr;
+  FrontendStats stats_;
+};
+
+}  // namespace deepserve::serving
+
+#endif  // DEEPSERVE_SERVING_FRONTEND_H_

@@ -1,0 +1,144 @@
+#include "serving/heatmap.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace deepserve::serving {
+
+PdHeatmap::PdHeatmap(std::vector<int64_t> prefill_edges, std::vector<double> ratio_edges)
+    : prefill_edges_(std::move(prefill_edges)), ratio_edges_(std::move(ratio_edges)) {
+  DS_CHECK(!prefill_edges_.empty());
+  DS_CHECK(!ratio_edges_.empty());
+  DS_CHECK(std::is_sorted(prefill_edges_.begin(), prefill_edges_.end()));
+  DS_CHECK(std::is_sorted(ratio_edges_.begin(), ratio_edges_.end()));
+  cells_.assign(prefill_edges_.size() * ratio_edges_.size(), 0.0);
+}
+
+size_t PdHeatmap::PrefillRow(int64_t prefill_len) const {
+  for (size_t i = 0; i < prefill_edges_.size(); ++i) {
+    if (prefill_len <= prefill_edges_[i]) {
+      return i;
+    }
+  }
+  return prefill_edges_.size() - 1;
+}
+
+size_t PdHeatmap::RatioCol(double ratio) const {
+  for (size_t i = 0; i < ratio_edges_.size(); ++i) {
+    if (ratio <= ratio_edges_[i]) {
+      return i;
+    }
+  }
+  return ratio_edges_.size() - 1;
+}
+
+void PdHeatmap::Add(int64_t prefill_len, double decode_ratio, double value) {
+  cells_[PrefillRow(prefill_len) * cols() + RatioCol(decode_ratio)] += value;
+}
+
+void PdHeatmap::AddCell(size_t row, size_t col, double value) {
+  DS_CHECK_LT(row, rows());
+  DS_CHECK_LT(col, cols());
+  cells_[row * cols() + col] += value;
+}
+
+double PdHeatmap::Value(int64_t prefill_len, double decode_ratio) const {
+  return cells_[PrefillRow(prefill_len) * cols() + RatioCol(decode_ratio)];
+}
+
+bool PdHeatmap::PreferDisaggregated(int64_t prefill_len, int64_t decode_len) const {
+  if (prefill_len <= 0) {
+    return false;
+  }
+  double ratio = static_cast<double>(decode_len) / static_cast<double>(prefill_len);
+  return Value(prefill_len, ratio) > 0.0;
+}
+
+double PdHeatmap::SignAgreement(const PdHeatmap& other) const {
+  DS_CHECK_EQ(rows(), other.rows());
+  DS_CHECK_EQ(cols(), other.cols());
+  size_t agree = 0;
+  for (size_t i = 0; i < cells_.size(); ++i) {
+    bool a = cells_[i] > 0.0;
+    bool b = other.cells_[i] > 0.0;
+    if (a == b) {
+      ++agree;
+    }
+  }
+  return static_cast<double>(agree) / static_cast<double>(cells_.size());
+}
+
+std::string PdHeatmap::Serialize() const {
+  std::ostringstream out;
+  out << rows() << " " << cols() << "\n";
+  for (int64_t e : prefill_edges_) {
+    out << e << " ";
+  }
+  out << "\n";
+  for (double e : ratio_edges_) {
+    out << e << " ";
+  }
+  out << "\n";
+  for (double c : cells_) {
+    out << c << " ";
+  }
+  out << "\n";
+  return out.str();
+}
+
+Result<PdHeatmap> PdHeatmap::Parse(const std::string& text) {
+  std::istringstream in(text);
+  size_t rows = 0;
+  size_t cols = 0;
+  if (!(in >> rows >> cols) || rows == 0 || cols == 0) {
+    return InvalidArgumentError("heatmap header malformed");
+  }
+  std::vector<int64_t> prefill_edges(rows);
+  for (auto& e : prefill_edges) {
+    if (!(in >> e)) {
+      return InvalidArgumentError("heatmap prefill edges malformed");
+    }
+  }
+  std::vector<double> ratio_edges(cols);
+  for (auto& e : ratio_edges) {
+    if (!(in >> e)) {
+      return InvalidArgumentError("heatmap ratio edges malformed");
+    }
+  }
+  PdHeatmap map(std::move(prefill_edges), std::move(ratio_edges));
+  for (size_t i = 0; i < rows * cols; ++i) {
+    double v = 0;
+    if (!(in >> v)) {
+      return InvalidArgumentError("heatmap cells malformed");
+    }
+    map.cells_[i] = v;
+  }
+  return map;
+}
+
+PdHeatmap PdHeatmap::Default() {
+  // Rows: prefill up to {512, 1K, 2K, 4K, 8K}; cols: decode/prefill ratio up
+  // to {0.05, 0.1, 0.25, 0.5, 1, 2}.
+  PdHeatmap map({512, 1024, 2048, 4096, 8192}, {0.05, 0.1, 0.25, 0.5, 1.0, 2.0});
+  for (size_t r = 0; r < map.rows(); ++r) {
+    for (size_t c = 0; c < map.cols(); ++c) {
+      // Disaggregation pays off once prefill is long enough for the
+      // prefill/decode interference to dominate; the breakeven ratio widens
+      // with prefill length (paper observation 1). Wins are large (dark red),
+      // losses shallow (light blue) — observation 2.
+      double prefill_weight = static_cast<double>(r) - 1.0;  // <1K rows negative
+      double ratio_penalty = static_cast<double>(c) - 3.0;   // high ratios favor coloc
+      double v = prefill_weight * 0.25 - ratio_penalty * 0.15;
+      if (v < 0) {
+        v *= 0.3;  // asymmetry: wrong disagg choice costs little
+      }
+      map.AddCell(r, c, v);
+    }
+  }
+  return map;
+}
+
+}  // namespace deepserve::serving

@@ -1,0 +1,68 @@
+// PD-disaggregated vs PD-colocated performance heatmap (§5.3).
+//
+// The grid is indexed by prefill-length buckets (rows) and decode/prefill
+// ratio buckets (columns). Each cell holds the accumulated value of
+// JCT(colocated)/JCT(disaggregated) - 1 across RPS levels (the paper combines
+// per-RPS heatmaps by element-wise addition): positive means the
+// PD-disaggregated TEs win there. The select-tes-PD-heatmap policy looks up
+// the cell for (prefill length, predicted decode length) and routes on the
+// sign.
+#ifndef DEEPSERVE_SERVING_HEATMAP_H_
+#define DEEPSERVE_SERVING_HEATMAP_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace deepserve::serving {
+
+class PdHeatmap {
+ public:
+  // Bucket upper edges; a value lands in the first bucket whose edge is >= it
+  // (the last bucket also catches everything above its edge).
+  PdHeatmap(std::vector<int64_t> prefill_edges, std::vector<double> ratio_edges);
+
+  // Accumulates a measurement into its cell (element-wise combination across
+  // RPS levels per §5.3.2).
+  void Add(int64_t prefill_len, double decode_ratio, double value);
+  // Direct cell accumulation by index (bench convenience).
+  void AddCell(size_t row, size_t col, double value);
+
+  double Value(int64_t prefill_len, double decode_ratio) const;
+  // The scheduling decision: positive cell -> PD-disaggregated.
+  bool PreferDisaggregated(int64_t prefill_len, int64_t decode_len) const;
+
+  size_t rows() const { return prefill_edges_.size(); }
+  size_t cols() const { return ratio_edges_.size(); }
+  const std::vector<int64_t>& prefill_edges() const { return prefill_edges_; }
+  const std::vector<double>& ratio_edges() const { return ratio_edges_; }
+  double cell(size_t row, size_t col) const { return cells_[row * cols() + col]; }
+
+  // Fraction of cells whose sign agrees with `other` (the paper reports >80%
+  // of cells keep their sign across RPS levels).
+  double SignAgreement(const PdHeatmap& other) const;
+
+  // Text round-trip so a bench-generated heatmap can feed the scheduler.
+  std::string Serialize() const;
+  static Result<PdHeatmap> Parse(const std::string& text);
+
+  // The bundled default grid, shaped after the §5.3.1 study: PD-disaggregated
+  // wins for long prefills with short relative decodes, with the advantage
+  // widening as prefill grows; PD-colocated wins the opposite corner, by a
+  // smaller margin (the paper's asymmetry observation).
+  static PdHeatmap Default();
+
+ private:
+  size_t PrefillRow(int64_t prefill_len) const;
+  size_t RatioCol(double ratio) const;
+
+  std::vector<int64_t> prefill_edges_;
+  std::vector<double> ratio_edges_;
+  std::vector<double> cells_;
+};
+
+}  // namespace deepserve::serving
+
+#endif  // DEEPSERVE_SERVING_HEATMAP_H_

@@ -1,0 +1,443 @@
+#include "serving/job_executor.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace deepserve::serving {
+
+std::string_view JobTypeToString(JobType type) {
+  switch (type) {
+    case JobType::kChatCompletion:
+      return "chat-completion";
+    case JobType::kBatchInference:
+      return "batch-inference";
+    case JobType::kFineTune:
+      return "fine-tune";
+    case JobType::kAgent:
+      return "agent";
+  }
+  return "?";
+}
+
+std::string_view TaskTypeToString(TaskType type) {
+  switch (type) {
+    case TaskType::kUnified:
+      return "unified";
+    case TaskType::kPrefill:
+      return "prefill";
+    case TaskType::kDecode:
+      return "decode";
+    case TaskType::kPreprocess:
+      return "preprocess";
+    case TaskType::kTrain:
+      return "train";
+    case TaskType::kEvaluate:
+      return "evaluate";
+  }
+  return "?";
+}
+
+std::string_view SchedulingPolicyToString(SchedulingPolicy policy) {
+  switch (policy) {
+    case SchedulingPolicy::kRoundRobin:
+      return "round-robin";
+    case SchedulingPolicy::kLoadOnly:
+      return "load-only";
+    case SchedulingPolicy::kLocalityOnly:
+      return "locality-only";
+    case SchedulingPolicy::kPdAware:
+      return "pd-aware";
+    case SchedulingPolicy::kCombined:
+      return "combined";
+  }
+  return "?";
+}
+
+JobExecutor::JobExecutor(sim::Simulator* sim, JeConfig config, PdHeatmap heatmap,
+                         std::unique_ptr<DecodeLengthPredictor> predictor)
+    : sim_(sim), config_(config), heatmap_(std::move(heatmap)),
+      predictor_(std::move(predictor)) {
+  DS_CHECK(sim_ != nullptr);
+  DS_CHECK(predictor_ != nullptr);
+}
+
+void JobExecutor::AddColocatedTe(TaskExecutor* te) {
+  DS_CHECK(te->role() == flowserve::EngineRole::kColocated);
+  colocated_.push_back(te);
+}
+
+void JobExecutor::AddPrefillTe(TaskExecutor* te) {
+  DS_CHECK(te->role() == flowserve::EngineRole::kPrefillOnly);
+  prefill_.push_back(te);
+}
+
+void JobExecutor::AddDecodeTe(TaskExecutor* te) {
+  DS_CHECK(te->role() == flowserve::EngineRole::kDecodeOnly);
+  decode_.push_back(te);
+}
+
+void JobExecutor::RemoveTe(TeId id) {
+  auto drop = [id](std::vector<TaskExecutor*>& tes) {
+    tes.erase(std::remove_if(tes.begin(), tes.end(),
+                             [id](TaskExecutor* te) { return te->id() == id; }),
+              tes.end());
+  };
+  drop(colocated_);
+  drop(prefill_);
+  drop(decode_);
+  // Prompt-tree tags for the departed TE are cleaned lazily during matching.
+}
+
+std::vector<TaskExecutor*> JobExecutor::ReadyTes(const std::vector<TaskExecutor*>& tes) const {
+  std::vector<TaskExecutor*> ready;
+  for (TaskExecutor* te : tes) {
+    if (te->ready()) {
+      ready.push_back(te);
+    }
+  }
+  return ready;
+}
+
+bool JobExecutor::PreferDisaggregated(const workload::RequestSpec& spec) {
+  int64_t predicted = predictor_->Predict(spec);
+  return heatmap_.PreferDisaggregated(spec.prefill_len(), predicted);
+}
+
+bool JobExecutor::IsLoadBalanced(const std::vector<TaskExecutor*>& tes) const {
+  if (tes.size() <= 1) {
+    return true;
+  }
+  int64_t lo = INT64_MAX;
+  int64_t hi = INT64_MIN;
+  for (TaskExecutor* te : tes) {
+    int64_t depth = te->queue_depth();
+    lo = std::min(lo, depth);
+    hi = std::max(hi, depth);
+  }
+  return hi - lo <= config_.load_balance_slack;
+}
+
+TaskExecutor* JobExecutor::LoadAware(const std::vector<TaskExecutor*>& tes) {
+  TaskExecutor* best = nullptr;
+  for (TaskExecutor* te : tes) {
+    if (best == nullptr || te->queue_depth() < best->queue_depth()) {
+      best = te;
+    }
+  }
+  return best;
+}
+
+TaskExecutor* JobExecutor::LocalityAware(const workload::RequestSpec& spec, PromptTree& tree,
+                                         const std::vector<TaskExecutor*>& tes) {
+  // select_tes_prefix_match: deepest global-tree node tagged with each TE
+  // along the prompt's key path = that TE's preserved-prefix length.
+  auto keys = rtc::TokensToBlockKeys(spec.prompt, config_.block_size);
+  auto match = tree.Match(keys);
+  std::map<TeId, size_t> depth_by_te;
+  auto tally = [&](PromptTree::Node* node, size_t depth) {
+    for (TeId te : node->value.tes) {
+      depth_by_te[te] = std::max(depth_by_te[te], depth);
+    }
+  };
+  for (PromptTree::Node* node : match.path) {
+    tally(node, node->depth);
+  }
+  if (match.partial != nullptr) {
+    size_t base = match.partial->depth - match.partial->edge.size();
+    tally(match.partial, base + match.partial_len);
+  }
+  TaskExecutor* best = nullptr;
+  size_t best_depth = 0;
+  for (TaskExecutor* te : tes) {
+    auto it = depth_by_te.find(te->id());
+    size_t depth = it == depth_by_te.end() ? 0 : it->second;
+    if (best == nullptr || depth > best_depth ||
+        (depth == best_depth && te->queue_depth() < best->queue_depth())) {
+      best = te;
+      best_depth = depth;
+    }
+  }
+  if (best_depth > 0) {
+    ++stats_.locality_hits;
+  }
+  return best;
+}
+
+TaskExecutor* JobExecutor::SelectFrom(const workload::RequestSpec& spec, PromptTree& tree,
+                                      const std::vector<TaskExecutor*>& tes) {
+  DS_CHECK(!tes.empty());
+  switch (config_.policy) {
+    case SchedulingPolicy::kRoundRobin:
+      // rr_cursor_ advances once per request in HandleRequest.
+      return tes[rr_cursor_ % tes.size()];
+    case SchedulingPolicy::kLoadOnly:
+      ++stats_.load_decisions;
+      return LoadAware(tes);
+    case SchedulingPolicy::kLocalityOnly:
+      ++stats_.locality_decisions;
+      return LocalityAware(spec, tree, tes);
+    case SchedulingPolicy::kPdAware:
+      ++stats_.load_decisions;
+      return LoadAware(tes);
+    case SchedulingPolicy::kCombined:
+      if (IsLoadBalanced(tes)) {
+        ++stats_.locality_decisions;
+        return LocalityAware(spec, tree, tes);
+      }
+      ++stats_.load_decisions;
+      return LoadAware(tes);
+  }
+  return tes.front();
+}
+
+void JobExecutor::TrimTree(PromptTree& tree) {
+  while (tree.NodeCount() > config_.max_tree_nodes) {
+    auto* lru = tree.FindLruLeaf([](const PromptTree::Node&) { return true; });
+    if (lru == nullptr) {
+      break;
+    }
+    tree.RemoveLeaf(lru);
+  }
+}
+
+void JobExecutor::RecordRoute(const workload::RequestSpec& spec, PromptTree& tree, TeId te) {
+  auto keys = rtc::TokensToBlockKeys(spec.prompt, config_.block_size);
+  if (keys.empty()) {
+    return;
+  }
+  auto* node = tree.Insert(keys, sim_->Now());
+  // Tag the full path: every prefix of this prompt now lives on `te`.
+  for (PromptTree::Node* cursor = node; cursor != nullptr && cursor->parent != nullptr;
+       cursor = cursor->parent) {
+    cursor->value.tes.insert(te);
+  }
+  TrimTree(tree);
+}
+
+TaskRecord& JobExecutor::NewTask(JobId job, TaskType type, TeId te) {
+  TaskRecord task;
+  task.id = next_task_++;
+  task.job = job;
+  task.type = type;
+  task.te = te;
+  task.state = TaskState::kDispatched;
+  task.created = sim_->Now();
+  task.dispatched = sim_->Now();
+  task_index_[task.id] = tasks_.size();
+  jobs_[job_index_.at(job)].tasks.push_back(task.id);
+  tasks_.push_back(task);
+  return tasks_.back();
+}
+
+void JobExecutor::HandleRequest(const workload::RequestSpec& spec, SeqCallback on_first_token,
+                                SeqCallback on_complete) {
+  ++stats_.requests;
+  JobRecord job;
+  job.id = next_job_++;
+  job.request = spec.id;
+  job.type = JobType::kChatCompletion;
+  job.state = JobState::kRunning;
+  job.created = sim_->Now();
+  job_index_[job.id] = jobs_.size();
+  jobs_.push_back(job);
+  JobId job_id = jobs_.back().id;
+
+  std::vector<TaskExecutor*> coloc = ReadyTes(colocated_);
+  std::vector<TaskExecutor*> prefill = ReadyTes(prefill_);
+  std::vector<TaskExecutor*> decode = ReadyTes(decode_);
+  bool disagg_available = !prefill.empty() && !decode.empty();
+  DS_CHECK(!coloc.empty() || disagg_available) << "no ready TEs";
+
+  // ---- PD_aware: choose the TE sub-group -----------------------------------
+  bool use_disagg;
+  switch (config_.policy) {
+    case SchedulingPolicy::kRoundRobin: {
+      // Baseline: alternate over routing slots (each colocated TE and the
+      // disaggregated pool each count as one slot).
+      size_t slots = coloc.size() + (disagg_available ? 1 : 0);
+      size_t slot = rr_cursor_ % std::max<size_t>(1, slots);
+      use_disagg = disagg_available && slot == coloc.size();
+      break;
+    }
+    case SchedulingPolicy::kLoadOnly:
+    case SchedulingPolicy::kLocalityOnly: {
+      // Single-factor baselines ignore the heatmap: compare pool loads.
+      if (!disagg_available) {
+        use_disagg = false;
+      } else if (coloc.empty()) {
+        use_disagg = true;
+      } else {
+        use_disagg = LoadAware(prefill)->queue_depth() < LoadAware(coloc)->queue_depth();
+      }
+      break;
+    }
+    case SchedulingPolicy::kPdAware:
+    case SchedulingPolicy::kCombined: {
+      use_disagg = disagg_available && (coloc.empty() || PreferDisaggregated(spec));
+      // Overload guard: ignore the heatmap when the preferred sub-group is
+      // drowning relative to the alternative.
+      if (disagg_available && !coloc.empty()) {
+        int64_t disagg_depth = std::max(LoadAware(prefill)->queue_depth(),
+                                        LoadAware(decode)->queue_depth());
+        int64_t coloc_depth = LoadAware(coloc)->queue_depth();
+        auto overloaded = [this](int64_t mine, int64_t other) {
+          return static_cast<double>(mine) >
+                 static_cast<double>(other) * config_.pd_overload_factor +
+                     static_cast<double>(config_.pd_overload_slack);
+        };
+        if (use_disagg && overloaded(disagg_depth, coloc_depth)) {
+          use_disagg = false;
+        } else if (!use_disagg && overloaded(coloc_depth, disagg_depth)) {
+          use_disagg = true;
+        }
+      }
+      break;
+    }
+  }
+  if (use_disagg && !disagg_available) {
+    use_disagg = false;
+  }
+  if (!use_disagg && coloc.empty()) {
+    use_disagg = true;
+  }
+
+  auto complete_job = [this, job_id, on_complete](const flowserve::Sequence& seq) {
+    JobRecord& record = jobs_[job_index_.at(job_id)];
+    record.state = JobState::kCompleted;
+    record.completed = sim_->Now();
+    for (TaskId task : record.tasks) {
+      TaskRecord& t = tasks_[task_index_.at(task)];
+      if (t.state != TaskState::kCompleted) {
+        t.state = TaskState::kCompleted;
+        t.completed = sim_->Now();
+      }
+    }
+    outstanding_.erase(job_id);
+    if (on_complete) {
+      on_complete(seq);
+    }
+  };
+
+  // Remember enough to re-dispatch if a TE carrying this job dies.
+  Outstanding& outstanding = outstanding_[job_id];
+  outstanding.spec = spec;
+  outstanding.on_first_token = on_first_token;
+  outstanding.on_complete = on_complete;
+
+  if (use_disagg) {
+    ++stats_.routed_disaggregated;
+    TaskExecutor* p = SelectFrom(spec, prefill_tree_, prefill);
+    RecordRoute(spec, prefill_tree_, p->id());
+    outstanding.tes.push_back(p->id());
+    DispatchDisaggregated(p, spec, std::move(on_first_token), complete_job);
+  } else {
+    ++stats_.routed_colocated;
+    TaskExecutor* te = SelectFrom(spec, colocated_tree_, coloc);
+    RecordRoute(spec, colocated_tree_, te->id());
+    outstanding.tes.push_back(te->id());
+    DispatchColocated(te, spec, std::move(on_first_token), complete_job);
+  }
+  ++rr_cursor_;
+}
+
+void JobExecutor::DispatchColocated(TaskExecutor* te, const workload::RequestSpec& spec,
+                                    SeqCallback on_first_token, SeqCallback on_complete) {
+  JobId job_id = jobs_.back().id;
+  TaskRecord& task = NewTask(job_id, TaskType::kUnified, te->id());
+  TaskId task_id = task.id;
+  te->SubmitUnified(spec, std::move(on_first_token),
+                    [this, task_id, cb = std::move(on_complete)](const flowserve::Sequence& seq) {
+                      TaskRecord& t = tasks_[task_index_.at(task_id)];
+                      t.state = TaskState::kCompleted;
+                      t.completed = sim_->Now();
+                      cb(seq);
+                    });
+}
+
+void JobExecutor::DispatchDisaggregated(TaskExecutor* prefill_te,
+                                        const workload::RequestSpec& spec,
+                                        SeqCallback on_first_token, SeqCallback on_complete) {
+  JobId job_id = jobs_.back().id;
+  std::vector<TaskExecutor*> decode = ReadyTes(decode_);
+  DS_CHECK(!decode.empty());
+  TaskExecutor* decode_te = LoadAware(decode);
+  outstanding_[job_id].tes.push_back(decode_te->id());
+  TaskRecord& prefill_task = NewTask(job_id, TaskType::kPrefill, prefill_te->id());
+  TaskId prefill_task_id = prefill_task.id;
+  TaskRecord& decode_task = NewTask(job_id, TaskType::kDecode, decode_te->id());
+  (void)decode_task;
+  prefill_te->SubmitPrefill(
+      spec, decode_te,
+      [this, prefill_task_id, cb = std::move(on_first_token)](const flowserve::Sequence& seq) {
+        TaskRecord& t = tasks_[task_index_.at(prefill_task_id)];
+        t.state = TaskState::kCompleted;
+        t.completed = sim_->Now();
+        if (cb) {
+          cb(seq);
+        }
+      },
+      std::move(on_complete));
+}
+
+void JobExecutor::OnTeFailure(TeId id) {
+  ++stats_.failed_tes_handled;
+  RemoveTe(id);
+  // Collect jobs whose tasks ran on the dead TE, then re-dispatch each.
+  std::vector<Outstanding> to_retry;
+  for (auto it = outstanding_.begin(); it != outstanding_.end();) {
+    bool hit = false;
+    for (TeId te : it->second.tes) {
+      if (te == id) {
+        hit = true;
+        break;
+      }
+    }
+    if (!hit) {
+      ++it;
+      continue;
+    }
+    JobRecord& record = jobs_[job_index_.at(it->first)];
+    record.state = JobState::kFailed;
+    record.completed = sim_->Now();
+    for (TaskId task : record.tasks) {
+      TaskRecord& t = tasks_[task_index_.at(task)];
+      if (t.state != TaskState::kCompleted) {
+        t.state = TaskState::kFailed;
+        t.completed = sim_->Now();
+      }
+    }
+    to_retry.push_back(std::move(it->second));
+    it = outstanding_.erase(it);
+  }
+  for (auto& retry : to_retry) {
+    // A surviving TE of a disaggregated pair may still hold half the job
+    // (e.g. the prefill finished but the decode TE died, or vice versa);
+    // cancel the leftover so its KV pins are released before the retry.
+    for (TeId te_id : retry.tes) {
+      if (te_id == id) {
+        continue;
+      }
+      for (TaskExecutor* te : colocated_) {
+        if (te->id() == te_id) {
+          (void)te->engine().Cancel(retry.spec.id);
+        }
+      }
+      for (TaskExecutor* te : prefill_) {
+        if (te->id() == te_id) {
+          (void)te->engine().Cancel(retry.spec.id);
+        }
+      }
+      for (TaskExecutor* te : decode_) {
+        if (te->id() == te_id) {
+          (void)te->engine().Cancel(retry.spec.id);
+        }
+      }
+    }
+    ++stats_.retries;
+    HandleRequest(retry.spec, std::move(retry.on_first_token), std::move(retry.on_complete));
+  }
+}
+
+}  // namespace deepserve::serving

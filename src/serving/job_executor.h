@@ -1,0 +1,162 @@
+// Model-serving Job Executor (JE) and the distributed scheduling policies of
+// §5 (Algorithm 1).
+//
+// The JE turns each request into a job and its tasks, then picks the TE(s)
+// to run them:
+//   dist_sched(req, tes):
+//     tes <- PD_aware(req, tes)            // §5.3: heatmap + decode-length
+//     if tes.is_load_balanced():           //        predictor
+//       tes <- locality_aware(req, tes)    // §5.2: global prompt trees
+//     else:
+//       tes <- load_aware(req, tes)
+//
+// The JE maintains one global prompt tree per TE group, built over the same
+// block-key chains the TE-local RTC trees use ("shares an index with its
+// corresponding global tree"). Round-robin and single-factor policies are
+// also provided as the baselines the paper compares against.
+#ifndef DEEPSERVE_SERVING_JOB_EXECUTOR_H_
+#define DEEPSERVE_SERVING_JOB_EXECUTOR_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "rtc/radix_tree.h"
+#include "serving/heatmap.h"
+#include "serving/job.h"
+#include "serving/predictor.h"
+#include "serving/task_executor.h"
+#include "sim/simulator.h"
+#include "workload/request.h"
+
+namespace deepserve::serving {
+
+enum class SchedulingPolicy {
+  kRoundRobin,
+  kLoadOnly,
+  kLocalityOnly,
+  kPdAware,    // heatmap split, then load
+  kCombined,   // Algorithm 1: PD-aware + locality-aware + load-aware
+};
+
+std::string_view SchedulingPolicyToString(SchedulingPolicy policy);
+
+struct JeConfig {
+  SchedulingPolicy policy = SchedulingPolicy::kCombined;
+  int block_size = 16;             // prompt-tree symbol granularity
+  int64_t load_balance_slack = 8;  // queue-depth spread considered balanced
+  size_t max_tree_nodes = 65536;
+  // Online-dynamics guard (§5.3.2): the heatmap's preferred TE sub-group is
+  // overridden when its least-loaded member is this much deeper than the
+  // alternative's — PD-disaggregated TEs "are more prone to overloading", and
+  // the combined policy must not degrade badly there.
+  double pd_overload_factor = 2.0;
+  int64_t pd_overload_slack = 8;
+};
+
+struct JeStats {
+  int64_t requests = 0;
+  int64_t retries = 0;            // jobs re-dispatched after a TE failure
+  int64_t failed_tes_handled = 0;
+  int64_t routed_colocated = 0;
+  int64_t routed_disaggregated = 0;
+  int64_t locality_decisions = 0;
+  int64_t load_decisions = 0;
+  int64_t locality_hits = 0;  // dispatches with a non-empty prefix match
+};
+
+class JobExecutor {
+ public:
+  JobExecutor(sim::Simulator* sim, JeConfig config, PdHeatmap heatmap,
+              std::unique_ptr<DecodeLengthPredictor> predictor);
+
+  JobExecutor(const JobExecutor&) = delete;
+  JobExecutor& operator=(const JobExecutor&) = delete;
+
+  // TE group membership. Colocated TEs serve unified tasks; prefill/decode
+  // TEs are pooled and paired per request (so 2P1D and 2P2D both work).
+  void AddColocatedTe(TaskExecutor* te);
+  void AddPrefillTe(TaskExecutor* te);
+  void AddDecodeTe(TaskExecutor* te);
+  void RemoveTe(TeId id);
+
+  // Frontend entry: create the job + task(s), run dist_sched, dispatch.
+  using SeqCallback = TaskExecutor::SeqCallback;
+  void HandleRequest(const workload::RequestSpec& spec, SeqCallback on_first_token,
+                     SeqCallback on_complete);
+
+  // Fault tolerance: a TE died. It leaves every group, its in-flight jobs are
+  // marked failed, and their requests are re-dispatched to surviving TEs
+  // (wire this to ClusterManager::AddFailureHandler).
+  void OnTeFailure(TeId id);
+
+  const JeStats& stats() const { return stats_; }
+  const std::vector<JobRecord>& jobs() const { return jobs_; }
+  const std::vector<TaskRecord>& tasks() const { return tasks_; }
+  size_t colocated_count() const { return colocated_.size(); }
+  size_t prefill_count() const { return prefill_.size(); }
+  size_t decode_count() const { return decode_.size(); }
+
+ private:
+  struct TePresence {
+    std::set<TeId> tes;
+    TePresence SplitTail(size_t) { return *this; }
+  };
+  using PromptTree = rtc::RadixTree<TePresence>;
+
+  // Algorithm 1 pieces.
+  bool PreferDisaggregated(const workload::RequestSpec& spec);
+  bool IsLoadBalanced(const std::vector<TaskExecutor*>& tes) const;
+  TaskExecutor* LocalityAware(const workload::RequestSpec& spec, PromptTree& tree,
+                              const std::vector<TaskExecutor*>& tes);
+  static TaskExecutor* LoadAware(const std::vector<TaskExecutor*>& tes);
+  TaskExecutor* SelectFrom(const workload::RequestSpec& spec, PromptTree& tree,
+                           const std::vector<TaskExecutor*>& tes);
+
+  void RecordRoute(const workload::RequestSpec& spec, PromptTree& tree, TeId te);
+  void TrimTree(PromptTree& tree);
+  std::vector<TaskExecutor*> ReadyTes(const std::vector<TaskExecutor*>& tes) const;
+
+  void DispatchColocated(TaskExecutor* te, const workload::RequestSpec& spec,
+                         SeqCallback on_first_token, SeqCallback on_complete);
+  void DispatchDisaggregated(TaskExecutor* prefill_te, const workload::RequestSpec& spec,
+                             SeqCallback on_first_token, SeqCallback on_complete);
+
+  TaskRecord& NewTask(JobId job, TaskType type, TeId te);
+
+  sim::Simulator* sim_;
+  JeConfig config_;
+  PdHeatmap heatmap_;
+  std::unique_ptr<DecodeLengthPredictor> predictor_;
+
+  std::vector<TaskExecutor*> colocated_;
+  std::vector<TaskExecutor*> prefill_;
+  std::vector<TaskExecutor*> decode_;
+
+  PromptTree colocated_tree_;
+  PromptTree prefill_tree_;
+
+  struct Outstanding {
+    workload::RequestSpec spec;
+    SeqCallback on_first_token;
+    SeqCallback on_complete;
+    std::vector<TeId> tes;  // every TE this job's tasks run on
+  };
+  std::map<JobId, Outstanding> outstanding_;
+
+  size_t rr_cursor_ = 0;
+  JobId next_job_ = 1;
+  TaskId next_task_ = 1;
+  std::vector<JobRecord> jobs_;
+  std::vector<TaskRecord> tasks_;
+  std::map<JobId, size_t> job_index_;
+  std::map<TaskId, size_t> task_index_;
+  JeStats stats_;
+};
+
+}  // namespace deepserve::serving
+
+#endif  // DEEPSERVE_SERVING_JOB_EXECUTOR_H_

@@ -1,0 +1,40 @@
+#include "serving/predictor.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace deepserve::serving {
+
+NoisyPredictor::NoisyPredictor(double accuracy, uint64_t seed, int64_t min_len, int64_t max_len)
+    : accuracy_(accuracy), rng_(seed), min_len_(min_len), max_len_(max_len) {
+  DS_CHECK_GE(accuracy, 0.0);
+  DS_CHECK_LE(accuracy, 1.0);
+  DS_CHECK_LT(min_len, max_len);
+}
+
+int64_t NoisyPredictor::Predict(const workload::RequestSpec& request) {
+  if (rng_.Bernoulli(accuracy_)) {
+    return request.decode_len;
+  }
+  double lo = std::log(static_cast<double>(min_len_));
+  double hi = std::log(static_cast<double>(max_len_));
+  return static_cast<int64_t>(std::exp(rng_.Uniform(lo, hi)));
+}
+
+std::string NoisyPredictor::name() const {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "noisy(%.0f%%)", accuracy_ * 100);
+  return buf;
+}
+
+std::unique_ptr<DecodeLengthPredictor> MakeOraclePredictor() {
+  return std::make_unique<OraclePredictor>();
+}
+
+std::unique_ptr<DecodeLengthPredictor> MakeNoisyPredictor(double accuracy, uint64_t seed) {
+  return std::make_unique<NoisyPredictor>(accuracy, seed);
+}
+
+}  // namespace deepserve::serving

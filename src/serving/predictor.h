@@ -1,0 +1,64 @@
+// Decode-length predictors (§5.3.2).
+//
+// The PD-aware policy needs the decode length at scheduling time, which is
+// unknown; the paper integrates "a set of decode length predictors with
+// varying accuracy" into the scheduler, including a perfect oracle as the
+// upper bound and a 90%-accurate predictor in production. The scheduler only
+// ever sees requests through one of these — never the ground truth directly.
+#ifndef DEEPSERVE_SERVING_PREDICTOR_H_
+#define DEEPSERVE_SERVING_PREDICTOR_H_
+
+#include <memory>
+#include <string>
+
+#include "common/rng.h"
+#include "workload/request.h"
+
+namespace deepserve::serving {
+
+class DecodeLengthPredictor {
+ public:
+  virtual ~DecodeLengthPredictor() = default;
+  virtual int64_t Predict(const workload::RequestSpec& request) = 0;
+  virtual std::string name() const = 0;
+};
+
+// Perfect knowledge — the performance upper bound.
+class OraclePredictor : public DecodeLengthPredictor {
+ public:
+  int64_t Predict(const workload::RequestSpec& request) override { return request.decode_len; }
+  std::string name() const override { return "oracle"; }
+};
+
+// Returns the truth with probability `accuracy`; otherwise a log-uniform
+// draw over [min_len, max_len] (a confidently wrong bucket).
+class NoisyPredictor : public DecodeLengthPredictor {
+ public:
+  NoisyPredictor(double accuracy, uint64_t seed, int64_t min_len = 8, int64_t max_len = 4096);
+  int64_t Predict(const workload::RequestSpec& request) override;
+  std::string name() const override;
+
+ private:
+  double accuracy_;
+  Rng rng_;
+  int64_t min_len_;
+  int64_t max_len_;
+};
+
+// Always predicts a fixed value (e.g. the trace mean) — the no-model baseline.
+class ConstantPredictor : public DecodeLengthPredictor {
+ public:
+  explicit ConstantPredictor(int64_t value) : value_(value) {}
+  int64_t Predict(const workload::RequestSpec&) override { return value_; }
+  std::string name() const override { return "constant(" + std::to_string(value_) + ")"; }
+
+ private:
+  int64_t value_;
+};
+
+std::unique_ptr<DecodeLengthPredictor> MakeOraclePredictor();
+std::unique_ptr<DecodeLengthPredictor> MakeNoisyPredictor(double accuracy, uint64_t seed);
+
+}  // namespace deepserve::serving
+
+#endif  // DEEPSERVE_SERVING_PREDICTOR_H_

@@ -1,0 +1,122 @@
+#include "serving/task_executor.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace deepserve::serving {
+
+std::string_view TeStateToString(TeState state) {
+  switch (state) {
+    case TeState::kProvisioning:
+      return "provisioning";
+    case TeState::kPreWarmed:
+      return "pre-warmed";
+    case TeState::kLoading:
+      return "loading";
+    case TeState::kPostLoading:
+      return "post-loading";
+    case TeState::kReady:
+      return "ready";
+    case TeState::kStopped:
+      return "stopped";
+  }
+  return "?";
+}
+
+TaskExecutor::TaskExecutor(sim::Simulator* sim, TeConfig config)
+    : sim_(sim), config_(std::move(config)) {
+  DS_CHECK(sim_ != nullptr);
+  engine_ = std::make_unique<flowserve::Engine>(sim_, config_.engine);
+  if (config_.engine.role == flowserve::EngineRole::kPrefillOnly) {
+    InstallKvSend();
+  }
+}
+
+Status TaskExecutor::AttachFabric(hw::Cluster* cluster, distflow::TransferEngine* transfer) {
+  DS_CHECK(cluster != nullptr);
+  DS_CHECK(transfer != nullptr);
+  if (config_.npus.empty()) {
+    return FailedPreconditionError("TE " + std::to_string(config_.id) + " has no NPUs assigned");
+  }
+  cluster_ = cluster;
+  transfer_ = transfer;
+  DS_RETURN_IF_ERROR(transfer_->RegisterEndpoint(config_.id, config_.npus[0]));
+  std::vector<hw::Npu*> npus;
+  npus.reserve(config_.npus.size());
+  for (hw::NpuId id : config_.npus) {
+    npus.push_back(cluster_->npu(id));
+  }
+  engine_->AttachNpus(npus);
+  // RTC populate/swap traffic rides DistFlow between this TE's own tiers.
+  engine_->SetRtcTransferFn([this](rtc::Tier src, rtc::Tier dst, Bytes bytes,
+                                   std::function<void()> done) {
+    distflow::MemRegion from{config_.id, src, 0, bytes};
+    distflow::MemRegion to{config_.id, dst, 0, bytes};
+    Status status = transfer_->Transfer(from, to, std::move(done));
+    DS_CHECK(status.ok()) << status.ToString();
+  });
+  return Status::Ok();
+}
+
+void TaskExecutor::InstallKvSend() {
+  engine_->SetKvSendFn([this](const flowserve::Sequence& seq, Bytes bytes,
+                              std::function<void()> done) {
+    auto it = handoffs_.find(seq.request_id);
+    DS_CHECK(it != handoffs_.end()) << "prefill finished with no hand-off target";
+    TaskExecutor* decode_te = it->second.decode_te;
+    if (transfer_ != nullptr && decode_te != nullptr) {
+      distflow::MemRegion src{config_.id, rtc::Tier::kNpu, 0, bytes};
+      distflow::MemRegion dst{decode_te->id(), rtc::Tier::kNpu, 0, bytes};
+      Status status = transfer_->Transfer(src, dst, std::move(done));
+      DS_CHECK(status.ok()) << status.ToString();
+    } else {
+      sim_->ScheduleAfter(0, std::move(done));
+    }
+  });
+}
+
+void TaskExecutor::SubmitUnified(const workload::RequestSpec& spec, SeqCallback on_first_token,
+                                 SeqCallback on_complete) {
+  DS_CHECK(role() == flowserve::EngineRole::kColocated)
+      << "unified tasks need a PD-colocated engine";
+  engine_->Submit(spec, std::move(on_first_token), std::move(on_complete));
+}
+
+void TaskExecutor::SubmitPrefill(const workload::RequestSpec& spec, TaskExecutor* decode_te,
+                                 SeqCallback on_first_token, SeqCallback on_complete) {
+  DS_CHECK(role() == flowserve::EngineRole::kPrefillOnly);
+  DS_CHECK(decode_te != nullptr);
+  DS_CHECK(decode_te->role() == flowserve::EngineRole::kDecodeOnly);
+  handoffs_[spec.id] = PendingHandoff{decode_te, spec, std::move(on_complete)};
+  engine_->Submit(
+      spec, std::move(on_first_token), [this](const flowserve::Sequence& seq) {
+        // Prefill finished and KV delivered: start the decode task.
+        auto it = handoffs_.find(seq.request_id);
+        DS_CHECK(it != handoffs_.end());
+        PendingHandoff handoff = std::move(it->second);
+        handoffs_.erase(it);
+        handoff.decode_te->AcceptPrefilled(handoff.spec, std::move(handoff.on_complete));
+      });
+}
+
+size_t TaskExecutor::Fail() {
+  state_ = TeState::kStopped;
+  handoffs_.clear();
+  return engine_->Abort();
+}
+
+void TaskExecutor::AcceptPrefilled(const workload::RequestSpec& spec, SeqCallback on_complete) {
+  if (!ready()) {
+    return;  // decode TE died mid-hand-off; the JE failure path retries
+  }
+  Status status = engine_->SubmitPrefilled(spec, on_complete);
+  if (!status.ok()) {
+    // Decode side momentarily out of KV: retry shortly (simple backpressure).
+    sim_->ScheduleAfter(MillisecondsToNs(10), [this, spec, cb = std::move(on_complete)] {
+      AcceptPrefilled(spec, std::move(cb));
+    });  // ready() is re-checked on entry, so a dead TE stops the retry loop
+  }
+}
+
+}  // namespace deepserve::serving

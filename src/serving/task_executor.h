@@ -1,0 +1,113 @@
+// Model-serving Task Executor (TE).
+//
+// A TE is the unit of serving capacity: a TE-shell (infrastructure side —
+// lifecycle state, health, scaling hooks) wrapping one FlowServe engine. TEs
+// running the same model in the same serving mode form a TE group; the Job
+// Executor schedules across groups. For PD-disaggregation, a prefill TE
+// accepts prefill tasks and hands the KV cache to a decode TE through
+// DistFlow before the decode task starts there.
+#ifndef DEEPSERVE_SERVING_TASK_EXECUTOR_H_
+#define DEEPSERVE_SERVING_TASK_EXECUTOR_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "distflow/distflow.h"
+#include "flowserve/engine.h"
+#include "hw/cluster.h"
+#include "serving/job.h"
+#include "sim/simulator.h"
+#include "workload/request.h"
+
+namespace deepserve::serving {
+
+// Lifecycle states mirroring the scaling pipeline (§6, Fig. 7).
+enum class TeState {
+  kProvisioning,  // Scaler-Pre: pod being created
+  kPreWarmed,     // TE-Pre-Load done, no model loaded (pre-warmed pool)
+  kLoading,       // TE-Load: weights moving onto the NPU
+  kPostLoading,   // TE-Post-Load: allocation + warmup
+  kReady,
+  kStopped,
+};
+
+std::string_view TeStateToString(TeState state);
+
+struct TeConfig {
+  TeId id = 0;
+  flowserve::EngineConfig engine;
+  // One NPU per TP*PP*DP rank; empty = purely logical (no device accounting).
+  std::vector<hw::NpuId> npus;
+};
+
+class TaskExecutor {
+ public:
+  TaskExecutor(sim::Simulator* sim, TeConfig config);
+
+  TaskExecutor(const TaskExecutor&) = delete;
+  TaskExecutor& operator=(const TaskExecutor&) = delete;
+
+  // Registers this TE's DistFlow endpoint, mirrors KV traffic onto its NPUs,
+  // and routes RTC populate/swap plus PD KV hand-offs through DistFlow.
+  Status AttachFabric(hw::Cluster* cluster, distflow::TransferEngine* transfer);
+
+  TeId id() const { return config_.id; }
+  flowserve::EngineRole role() const { return config_.engine.role; }
+  const TeConfig& config() const { return config_; }
+  flowserve::Engine& engine() { return *engine_; }
+  const flowserve::Engine& engine() const { return *engine_; }
+  hw::NpuId primary_npu() const { return config_.npus.empty() ? hw::kInvalidNpu : config_.npus[0]; }
+
+  TeState state() const { return state_; }
+  void set_state(TeState state) { state_ = state; }
+  bool ready() const { return state_ == TeState::kReady; }
+
+  // Failure injection: the TE crashes — every in-flight sequence is dropped
+  // without callbacks and the TE leaves the serving pool. Returns how many
+  // requests were lost (the JE's retry path re-dispatches them).
+  size_t Fail();
+
+  // ---- task entry points -----------------------------------------------------
+  using SeqCallback = flowserve::Engine::SeqCallback;
+  // PD-colocated: one unified task runs the whole request here.
+  void SubmitUnified(const workload::RequestSpec& spec, SeqCallback on_first_token,
+                     SeqCallback on_complete);
+  // PD-disaggregated: prefill here, then KV hand-off to `decode_te`, where the
+  // decode task finishes the request. `on_complete` fires from the decode TE.
+  void SubmitPrefill(const workload::RequestSpec& spec, TaskExecutor* decode_te,
+                     SeqCallback on_first_token, SeqCallback on_complete);
+
+  // TE-shell health surface for the cluster manager.
+  flowserve::LoadInfo load() const { return engine_->load(); }
+  int64_t queue_depth() const {
+    auto info = engine_->load();
+    return info.waiting + info.running;
+  }
+
+ private:
+  void AcceptPrefilled(const workload::RequestSpec& spec, SeqCallback on_complete);
+  void InstallKvSend();
+
+  sim::Simulator* sim_;
+  TeConfig config_;
+  std::unique_ptr<flowserve::Engine> engine_;
+  TeState state_ = TeState::kReady;
+
+  hw::Cluster* cluster_ = nullptr;
+  distflow::TransferEngine* transfer_ = nullptr;
+
+  struct PendingHandoff {
+    TaskExecutor* decode_te = nullptr;
+    workload::RequestSpec spec;
+    SeqCallback on_complete;
+  };
+  std::map<workload::RequestId, PendingHandoff> handoffs_;
+};
+
+}  // namespace deepserve::serving
+
+#endif  // DEEPSERVE_SERVING_TASK_EXECUTOR_H_

@@ -1,0 +1,79 @@
+#include "sim/simulator.h"
+
+#include <utility>
+
+namespace deepserve::sim {
+
+EventId Simulator::ScheduleAt(TimeNs t, EventFn fn) {
+  DS_CHECK_GE(t, now_) << "cannot schedule into the past";
+  DS_CHECK(fn != nullptr);
+  EventId id = next_id_++;
+  queue_.push(Event{t, next_seq_++, id, std::move(fn)});
+  ++pending_count_;
+  return id;
+}
+
+bool Simulator::Cancel(EventId id) {
+  if (id == kInvalidEventId) {
+    return false;
+  }
+  // Lazy deletion: mark the id; the event is skipped when popped. pending
+  // count is decremented immediately so Empty() reflects live events.
+  if (cancelled_.insert(id).second) {
+    if (pending_count_ > 0) {
+      --pending_count_;
+      return true;
+    }
+    cancelled_.erase(id);
+  }
+  return false;
+}
+
+void Simulator::FireTop() {
+  Event ev = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  if (auto it = cancelled_.find(ev.id); it != cancelled_.end()) {
+    cancelled_.erase(it);
+    return;
+  }
+  DS_CHECK_GE(ev.time, now_);
+  now_ = ev.time;
+  --pending_count_;
+  ++fired_count_;
+  ev.fn();
+}
+
+bool Simulator::Step() {
+  while (!queue_.empty()) {
+    bool was_cancelled = cancelled_.count(queue_.top().id) > 0;
+    FireTop();
+    if (!was_cancelled) {
+      return true;
+    }
+  }
+  return false;
+}
+
+size_t Simulator::Run() {
+  size_t fired = 0;
+  while (Step()) {
+    ++fired;
+  }
+  return fired;
+}
+
+size_t Simulator::RunUntil(TimeNs t) {
+  DS_CHECK_GE(t, now_);
+  size_t fired = 0;
+  while (!queue_.empty() && queue_.top().time <= t) {
+    bool was_cancelled = cancelled_.count(queue_.top().id) > 0;
+    FireTop();
+    if (!was_cancelled) {
+      ++fired;
+    }
+  }
+  now_ = t;
+  return fired;
+}
+
+}  // namespace deepserve::sim

@@ -1,0 +1,92 @@
+// Discrete-event simulation core.
+//
+// All timing in DeepServe flows through one Simulator: a virtual clock plus a
+// priority queue of (time, sequence, callback) events. The real system's
+// threads — FlowServe's sched-enqueue / sched-loop, RTC's background swapper,
+// DistFlow's transfer workers, the autoscaler's control loop — become event
+// chains here, so "asynchrony" is genuine overlap in virtual time and every
+// run replays deterministically. Events at equal timestamps fire in
+// scheduling order (FIFO tie-break), which keeps causality intuitive.
+#ifndef DEEPSERVE_SIM_SIMULATOR_H_
+#define DEEPSERVE_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/types.h"
+
+namespace deepserve::sim {
+
+using EventFn = std::function<void()>;
+using EventId = uint64_t;
+
+inline constexpr EventId kInvalidEventId = 0;
+
+class Simulator {
+ public:
+  Simulator() = default;
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  TimeNs Now() const { return now_; }
+
+  // Schedules fn at absolute virtual time t (>= Now()). Returns an id usable
+  // with Cancel().
+  EventId ScheduleAt(TimeNs t, EventFn fn);
+
+  // Schedules fn after the given delay (>= 0).
+  EventId ScheduleAfter(DurationNs delay, EventFn fn) { return ScheduleAt(now_ + delay, fn); }
+
+  // Cancels a pending event. Returns true if the event existed and had not
+  // yet fired; cancelling a fired or unknown id is a harmless no-op.
+  bool Cancel(EventId id);
+
+  // Runs events until the queue drains. Returns the number of events fired.
+  size_t Run();
+
+  // Runs events with timestamp <= t, then advances the clock to exactly t
+  // (even if the queue drained earlier). Returns events fired.
+  size_t RunUntil(TimeNs t);
+
+  // Fires the single earliest event. Returns false if the queue is empty.
+  bool Step();
+
+  bool Empty() const { return pending_count_ == 0; }
+  size_t PendingEvents() const { return pending_count_; }
+  uint64_t TotalFired() const { return fired_count_; }
+
+ private:
+  struct Event {
+    TimeNs time;
+    uint64_t seq;  // FIFO tie-break for equal timestamps.
+    EventId id;
+    EventFn fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) {
+        return a.time > b.time;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  void FireTop();
+
+  TimeNs now_ = 0;
+  uint64_t next_seq_ = 1;
+  EventId next_id_ = 1;
+  uint64_t fired_count_ = 0;
+  size_t pending_count_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::unordered_set<EventId> cancelled_;
+};
+
+}  // namespace deepserve::sim
+
+#endif  // DEEPSERVE_SIM_SIMULATOR_H_

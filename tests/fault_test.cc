@@ -1,0 +1,312 @@
+// Cancellation and fault-tolerance tests: request cancel paths in the
+// engine, TE failure injection, and JE re-dispatch of lost jobs.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "distflow/distflow.h"
+#include "flowserve/engine.h"
+#include "hw/cluster.h"
+#include "serving/cluster_manager.h"
+#include "serving/job_executor.h"
+#include "serving/predictor.h"
+#include "sim/simulator.h"
+#include "workload/tracegen.h"
+
+namespace deepserve {
+namespace {
+
+flowserve::EngineConfig SmallEngine(flowserve::EngineRole role) {
+  flowserve::EngineConfig config;
+  config.model = model::ModelSpec::Tiny1B();
+  config.parallelism = {1, 1, 1};
+  config.role = role;
+  config.kv_block_capacity_override = 4096;
+  return config;
+}
+
+workload::RequestSpec MakeRequest(workload::RequestId id, int64_t prefill, int64_t decode,
+                                  TokenId base = 700) {
+  workload::RequestSpec spec;
+  spec.id = id;
+  spec.decode_len = decode;
+  for (int64_t i = 0; i < prefill; ++i) {
+    spec.prompt.push_back(base + static_cast<TokenId>(i % 8000));
+  }
+  return spec;
+}
+
+// ---------------- Engine cancellation ----------------
+
+class CancelTest : public ::testing::Test {
+ protected:
+  CancelTest() : engine_(&sim_, SmallEngine(flowserve::EngineRole::kColocated)) {}
+  sim::Simulator sim_;
+  flowserve::Engine engine_;
+};
+
+TEST_F(CancelTest, CancelUnknownRequestFails) {
+  EXPECT_EQ(engine_.Cancel(42).code(), StatusCode::kNotFound);
+}
+
+TEST_F(CancelTest, CancelQueuedRequestFiresNoCallbacks) {
+  bool any_callback = false;
+  engine_.Submit(MakeRequest(1, 2048, 128),
+                 [&](const flowserve::Sequence&) { any_callback = true; },
+                 [&](const flowserve::Sequence&) { any_callback = true; });
+  // Cancel while still in the tokenizer (no events have run).
+  EXPECT_TRUE(engine_.Cancel(1).ok());
+  sim_.Run();
+  EXPECT_FALSE(any_callback);
+  EXPECT_TRUE(engine_.idle());
+  EXPECT_EQ(engine_.stats().cancelled, 1);
+}
+
+TEST_F(CancelTest, CancelMidPrefillReleasesKv) {
+  engine_.Submit(MakeRequest(1, 4096, 128), nullptr, nullptr);
+  sim_.RunUntil(MillisecondsToNs(120));  // some chunks done, prefill ongoing
+  EXPECT_GT(engine_.rtc().npu_blocks_used(), 0);
+  ASSERT_TRUE(engine_.Cancel(1).ok());
+  sim_.Run();
+  EXPECT_TRUE(engine_.idle());
+  // No cached entry was preserved for the cancelled request.
+  EXPECT_EQ(engine_.rtc().npu_blocks_used(), 0);
+}
+
+TEST_F(CancelTest, CancelMidDecodeLeavesOthersRunning) {
+  int completed = 0;
+  engine_.Submit(MakeRequest(1, 512, 512), nullptr,
+                 [&](const flowserve::Sequence&) { ++completed; });
+  engine_.Submit(MakeRequest(2, 512, 64, 30000), nullptr,
+                 [&](const flowserve::Sequence&) { ++completed; });
+  sim_.RunUntil(SecondsToNs(1.0));  // both decoding
+  ASSERT_TRUE(engine_.Cancel(1).ok());
+  sim_.Run();
+  EXPECT_EQ(completed, 1);  // only request 2 finished
+  EXPECT_TRUE(engine_.idle());
+}
+
+TEST_F(CancelTest, CancelDuringPopulateWait) {
+  // Build a cached entry, demote it, then cancel a request mid-populate.
+  auto first = MakeRequest(1, 2048, 2);
+  bool done = false;
+  engine_.Submit(first, nullptr, [&](const flowserve::Sequence&) { done = true; });
+  sim_.Run();
+  ASSERT_TRUE(done);
+  auto& rtc = engine_.rtc();
+  auto info = rtc.MatchByPrefixToken(first.prompt);
+  ASSERT_TRUE(info.hit());
+  rtc.Acquire(info.blocks);
+  rtc.Copy(info.blocks, rtc::Tier::kDram, nullptr);
+  sim_.Run();
+  rtc.Free(info.blocks);
+  ASSERT_TRUE(rtc.EnsureNpuFree(rtc.config().pool.npu_capacity).ok());  // force demote
+
+  // Slow transfers so the populate window is wide.
+  engine_.SetRtcTransferFn([this](rtc::Tier, rtc::Tier, Bytes, std::function<void()> cb) {
+    sim_.ScheduleAfter(SecondsToNs(5), std::move(cb));
+  });
+  auto second = MakeRequest(2, 2048, 4);
+  bool second_done = false;
+  engine_.Submit(second, nullptr, [&](const flowserve::Sequence&) { second_done = true; });
+  sim_.RunUntil(sim_.Now() + MillisecondsToNs(100));  // inside the populate
+  ASSERT_TRUE(engine_.Cancel(2).ok());
+  sim_.Run();
+  EXPECT_FALSE(second_done);
+  EXPECT_TRUE(engine_.idle());
+}
+
+TEST_F(CancelTest, AbortDropsEverything) {
+  int callbacks = 0;
+  for (int i = 0; i < 6; ++i) {
+    engine_.Submit(MakeRequest(static_cast<workload::RequestId>(i + 1), 1024, 256,
+                               static_cast<TokenId>(100 + 999 * i)),
+                   nullptr, [&](const flowserve::Sequence&) { ++callbacks; });
+  }
+  sim_.RunUntil(MillisecondsToNs(300));
+  size_t dropped = engine_.Abort();
+  EXPECT_EQ(dropped, 6u);
+  sim_.Run();
+  EXPECT_EQ(callbacks, 0);
+  EXPECT_TRUE(engine_.idle());
+  EXPECT_EQ(engine_.rtc().npu_blocks_used(), 0);
+  EXPECT_EQ(engine_.stats().aborted, 6);
+}
+
+TEST_F(CancelTest, EngineUsableAfterAbort) {
+  engine_.Submit(MakeRequest(1, 1024, 128), nullptr, nullptr);
+  sim_.RunUntil(MillisecondsToNs(100));
+  engine_.Abort();
+  bool done = false;
+  engine_.Submit(MakeRequest(2, 512, 16, 40000), nullptr,
+                 [&](const flowserve::Sequence&) { done = true; });
+  sim_.Run();
+  EXPECT_TRUE(done);
+}
+
+// ---------------- Platform fault tolerance ----------------
+
+class FaultToleranceTest : public ::testing::Test {
+ protected:
+  FaultToleranceTest() {
+    hw::ClusterConfig cc;
+    cc.num_machines = 4;
+    cluster_ = std::make_unique<hw::Cluster>(&sim_, cc);
+    transfer_ = std::make_unique<distflow::TransferEngine>(&sim_, cluster_.get(),
+                                                           distflow::DistFlowConfig{});
+    manager_ = std::make_unique<serving::ClusterManager>(&sim_, cluster_.get(),
+                                                         transfer_.get());
+    serving::JeConfig config;
+    config.policy = serving::SchedulingPolicy::kLoadOnly;
+    je_ = std::make_unique<serving::JobExecutor>(&sim_, config, serving::PdHeatmap::Default(),
+                                                 serving::MakeOraclePredictor());
+    manager_->AddFailureHandler([this](serving::TeId id) { je_->OnTeFailure(id); });
+  }
+
+  serving::TaskExecutor* AddTe(flowserve::EngineRole role) {
+    auto te = manager_->CreateReadyTe(SmallEngine(role)).value();
+    switch (role) {
+      case flowserve::EngineRole::kColocated:
+        je_->AddColocatedTe(te);
+        break;
+      case flowserve::EngineRole::kPrefillOnly:
+        je_->AddPrefillTe(te);
+        break;
+      case flowserve::EngineRole::kDecodeOnly:
+        je_->AddDecodeTe(te);
+        break;
+    }
+    endpoints_.push_back(te->id());
+    return te;
+  }
+
+  void Link() {
+    ASSERT_TRUE(transfer_->LinkCluster(endpoints_, nullptr).ok());
+    sim_.Run();
+  }
+
+  sim::Simulator sim_;
+  std::unique_ptr<hw::Cluster> cluster_;
+  std::unique_ptr<distflow::TransferEngine> transfer_;
+  std::unique_ptr<serving::ClusterManager> manager_;
+  std::unique_ptr<serving::JobExecutor> je_;
+  std::vector<distflow::EndpointId> endpoints_;
+};
+
+TEST_F(FaultToleranceTest, KillUnknownTeFails) {
+  EXPECT_FALSE(manager_->KillTe(99).ok());
+}
+
+TEST_F(FaultToleranceTest, ColocatedTeFailureRedispatchesInflightJobs) {
+  auto* te1 = AddTe(flowserve::EngineRole::kColocated);
+  auto* te2 = AddTe(flowserve::EngineRole::kColocated);
+  Link();
+  std::set<workload::RequestId> completed;
+  for (int i = 0; i < 8; ++i) {
+    auto spec = MakeRequest(static_cast<workload::RequestId>(i + 1), 1024, 1024,
+                            static_cast<TokenId>(100 + 777 * i));
+    je_->HandleRequest(spec, nullptr, [&completed, id = spec.id](const flowserve::Sequence&) {
+      completed.insert(id);
+    });
+  }
+  sim_.RunUntil(MillisecondsToNs(200));  // work in flight on both TEs
+  auto dropped = manager_->KillTe(te1->id());
+  ASSERT_TRUE(dropped.ok());
+  EXPECT_GT(*dropped, 0u);
+  sim_.Run();
+  // Every request completed despite the crash (retried on te2).
+  EXPECT_EQ(completed.size(), 8u);
+  EXPECT_GT(je_->stats().retries, 0);
+  EXPECT_EQ(je_->stats().failed_tes_handled, 1);
+  EXPECT_GT(te2->engine().stats().completed, 0);
+  EXPECT_EQ(te1->state(), serving::TeState::kStopped);
+}
+
+TEST_F(FaultToleranceTest, DecodeTeFailureRetriesDisaggregatedJobs) {
+  AddTe(flowserve::EngineRole::kPrefillOnly);
+  auto* decode1 = AddTe(flowserve::EngineRole::kDecodeOnly);
+  AddTe(flowserve::EngineRole::kDecodeOnly);
+  Link();
+  std::set<workload::RequestId> completed;
+  for (int i = 0; i < 6; ++i) {
+    auto spec = MakeRequest(static_cast<workload::RequestId>(i + 1), 2048, 2048,
+                            static_cast<TokenId>(100 + 555 * i));
+    je_->HandleRequest(spec, nullptr, [&completed, id = spec.id](const flowserve::Sequence&) {
+      completed.insert(id);
+    });
+  }
+  sim_.RunUntil(SecondsToNs(1));  // some decodes running on both decode TEs
+  ASSERT_TRUE(manager_->KillTe(decode1->id()).ok());
+  sim_.Run();
+  EXPECT_EQ(completed.size(), 6u);
+  EXPECT_GT(je_->stats().retries, 0);
+}
+
+TEST_F(FaultToleranceTest, PrefillTeFailureRetriesViaSurvivingPair) {
+  auto* prefill1 = AddTe(flowserve::EngineRole::kPrefillOnly);
+  AddTe(flowserve::EngineRole::kPrefillOnly);
+  AddTe(flowserve::EngineRole::kDecodeOnly);
+  Link();
+  std::set<workload::RequestId> completed;
+  for (int i = 0; i < 6; ++i) {
+    auto spec = MakeRequest(static_cast<workload::RequestId>(i + 1), 4096, 32,
+                            static_cast<TokenId>(100 + 311 * i));
+    je_->HandleRequest(spec, nullptr, [&completed, id = spec.id](const flowserve::Sequence&) {
+      completed.insert(id);
+    });
+  }
+  sim_.RunUntil(MillisecondsToNs(200));  // prefills in flight
+  ASSERT_TRUE(manager_->KillTe(prefill1->id()).ok());
+  sim_.Run();
+  EXPECT_EQ(completed.size(), 6u);
+}
+
+TEST_F(FaultToleranceTest, FailedJobsMarkedInLedger) {
+  auto* te1 = AddTe(flowserve::EngineRole::kColocated);
+  AddTe(flowserve::EngineRole::kColocated);
+  Link();
+  for (int i = 0; i < 4; ++i) {
+    je_->HandleRequest(MakeRequest(static_cast<workload::RequestId>(i + 1), 1024, 256,
+                                   static_cast<TokenId>(100 + 131 * i)),
+                       nullptr, nullptr);
+  }
+  sim_.RunUntil(MillisecondsToNs(400));
+  ASSERT_TRUE(manager_->KillTe(te1->id()).ok());
+  sim_.Run();
+  int failed = 0;
+  int completed = 0;
+  for (const auto& job : je_->jobs()) {
+    if (job.state == serving::JobState::kFailed) {
+      ++failed;
+    }
+    if (job.state == serving::JobState::kCompleted) {
+      ++completed;
+    }
+  }
+  EXPECT_GT(failed, 0);
+  // Retries created fresh (completed) jobs for the failed ones.
+  EXPECT_EQ(completed, 4 + failed > 4 ? completed : completed);
+  EXPECT_GE(completed, 4);
+}
+
+TEST_F(FaultToleranceTest, DoubleKillFails) {
+  auto* te1 = AddTe(flowserve::EngineRole::kColocated);
+  AddTe(flowserve::EngineRole::kColocated);
+  Link();
+  ASSERT_TRUE(manager_->KillTe(te1->id()).ok());
+  EXPECT_EQ(manager_->KillTe(te1->id()).status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(FaultToleranceTest, NpusReleasedAfterKill) {
+  auto* te1 = AddTe(flowserve::EngineRole::kColocated);
+  Link();
+  ASSERT_TRUE(manager_->KillTe(te1->id()).ok());
+  // Freed capacity is reusable immediately.
+  EXPECT_TRUE(manager_->CreateReadyTe(SmallEngine(flowserve::EngineRole::kColocated)).ok());
+}
+
+}  // namespace
+}  // namespace deepserve

@@ -1,0 +1,291 @@
+#include <gtest/gtest.h>
+
+#include "common/types.h"
+#include "hw/cluster.h"
+#include "hw/hccl.h"
+#include "hw/link.h"
+#include "hw/npu.h"
+#include "sim/simulator.h"
+
+namespace deepserve::hw {
+namespace {
+
+TEST(NpuTest, HbmAccounting) {
+  Npu npu(0, 0, NpuSpec::Gen2());
+  EXPECT_EQ(npu.hbm_used(), 0u);
+  ASSERT_TRUE(npu.AllocateHbm(GiB(10)).ok());
+  EXPECT_EQ(npu.hbm_used(), GiB(10));
+  EXPECT_EQ(npu.hbm_free(), npu.hbm_capacity() - GiB(10));
+  npu.FreeHbm(GiB(10));
+  EXPECT_EQ(npu.hbm_used(), 0u);
+}
+
+TEST(NpuTest, AllocationFailsWhenExhausted) {
+  Npu npu(0, 0, NpuSpec::Gen1());  // 32 GiB
+  ASSERT_TRUE(npu.AllocateHbm(GiB(30)).ok());
+  Status s = npu.AllocateHbm(GiB(4));
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+  // Failed allocation must not leak accounting.
+  EXPECT_EQ(npu.hbm_used(), GiB(30));
+}
+
+TEST(NpuSpecTest, GenerationsMatchPaperRanges) {
+  NpuSpec gen1 = NpuSpec::Gen1();
+  NpuSpec gen2 = NpuSpec::Gen2();
+  // "between 280 and 400 TFlops ... 32 to 64 GB" (§2).
+  EXPECT_GE(gen1.tflops_fp16, 280.0);
+  EXPECT_LE(gen2.tflops_fp16, 400.0);
+  EXPECT_EQ(gen1.hbm_capacity, GiB(32));
+  EXPECT_EQ(gen2.hbm_capacity, GiB(64));
+}
+
+class SharedLinkTest : public ::testing::Test {
+ protected:
+  sim::Simulator sim_;
+};
+
+TEST_F(SharedLinkTest, SingleFlowTakesBytesOverBandwidthPlusLatency) {
+  SharedLink link(&sim_, "l", LinkType::kPcie, 1e9 /* 1 GB/s */, MicrosecondsToNs(100));
+  TimeNs done = -1;
+  link.StartFlow(500'000'000, [&] { done = sim_.Now(); });
+  sim_.Run();
+  // 0.5 GB at 1 GB/s = 0.5 s (+100 us latency).
+  EXPECT_NEAR(NsToSeconds(done), 0.5 + 100e-6, 1e-3);
+}
+
+TEST_F(SharedLinkTest, IsolatedDurationMatchesSingleFlow) {
+  SharedLink link(&sim_, "l", LinkType::kHccs, 2e9, MicrosecondsToNs(10));
+  TimeNs done = -1;
+  link.StartFlow(1'000'000'000, [&] { done = sim_.Now(); });
+  sim_.Run();
+  EXPECT_NEAR(static_cast<double>(done), static_cast<double>(link.IsolatedDuration(1'000'000'000)),
+              static_cast<double>(MillisecondsToNs(1)));
+}
+
+TEST_F(SharedLinkTest, TwoConcurrentFlowsShareBandwidth) {
+  SharedLink link(&sim_, "l", LinkType::kPcie, 1e9, 0);
+  TimeNs done_a = -1;
+  TimeNs done_b = -1;
+  link.StartFlow(1'000'000'000, [&] { done_a = sim_.Now(); });
+  link.StartFlow(1'000'000'000, [&] { done_b = sim_.Now(); });
+  sim_.Run();
+  // Both 1 GB flows at a shared 1 GB/s finish together at ~2 s.
+  EXPECT_NEAR(NsToSeconds(done_a), 2.0, 0.01);
+  EXPECT_NEAR(NsToSeconds(done_b), 2.0, 0.01);
+}
+
+TEST_F(SharedLinkTest, LateFlowDelaysEarlyFlowProportionally) {
+  SharedLink link(&sim_, "l", LinkType::kPcie, 1e9, 0);
+  TimeNs done_a = -1;
+  TimeNs done_b = -1;
+  link.StartFlow(1'000'000'000, [&] { done_a = sim_.Now(); });
+  // Second flow starts at t=0.5s when A is half done.
+  sim_.ScheduleAt(SecondsToNs(0.5), [&] {
+    link.StartFlow(1'000'000'000, [&] { done_b = sim_.Now(); });
+  });
+  sim_.Run();
+  // A: 0.5 GB alone (0.5 s) + 0.5 GB shared (1.0 s) => 1.5 s total.
+  EXPECT_NEAR(NsToSeconds(done_a), 1.5, 0.01);
+  // B: shares until 1.5 s (transfers 0.5), then alone for 0.5 => 2.0 s.
+  EXPECT_NEAR(NsToSeconds(done_b), 2.0, 0.01);
+}
+
+TEST_F(SharedLinkTest, BandwidthScaleSlowsTransfers) {
+  SharedLink link(&sim_, "l", LinkType::kHccs, 1e9, 0);
+  link.SetBandwidthScale(0.5);
+  TimeNs done = -1;
+  link.StartFlow(1'000'000'000, [&] { done = sim_.Now(); });
+  sim_.Run();
+  EXPECT_NEAR(NsToSeconds(done), 2.0, 0.01);
+}
+
+TEST_F(SharedLinkTest, ZeroByteFlowCompletesAfterLatency) {
+  SharedLink link(&sim_, "l", LinkType::kRoce, 1e9, MicrosecondsToNs(25));
+  TimeNs done = -1;
+  link.StartFlow(0, [&] { done = sim_.Now(); });
+  sim_.Run();
+  EXPECT_EQ(done, MicrosecondsToNs(25));
+}
+
+TEST_F(SharedLinkTest, TracksTotalBytes) {
+  SharedLink link(&sim_, "l", LinkType::kPcie, 1e9, 0);
+  link.StartFlow(100, [] {});
+  link.StartFlow(200, [] {});
+  sim_.Run();
+  EXPECT_EQ(link.total_bytes_transferred(), 300u);
+}
+
+TEST_F(SharedLinkTest, ManyFlowsAllComplete) {
+  SharedLink link(&sim_, "l", LinkType::kPcie, 1e9, 0);
+  int completed = 0;
+  for (int i = 0; i < 64; ++i) {
+    link.StartFlow(1'000'000, [&] { ++completed; });
+  }
+  sim_.Run();
+  EXPECT_EQ(completed, 64);
+  EXPECT_EQ(link.active_flows(), 0u);
+}
+
+TEST(PageCacheTest, InsertAndLookup) {
+  PageCache cache(GiB(10));
+  EXPECT_TRUE(cache.Insert("llama3-8b", GiB(4), 0));
+  EXPECT_TRUE(cache.Contains("llama3-8b"));
+  EXPECT_EQ(cache.used(), GiB(4));
+}
+
+TEST(PageCacheTest, RejectsObjectLargerThanCapacity) {
+  PageCache cache(GiB(1));
+  EXPECT_FALSE(cache.Insert("llama3-70b", GiB(140), 0));
+  EXPECT_EQ(cache.used(), 0u);
+}
+
+TEST(PageCacheTest, EvictsLruToFit) {
+  PageCache cache(GiB(10));
+  EXPECT_TRUE(cache.Insert("a", GiB(4), 0));
+  EXPECT_TRUE(cache.Insert("b", GiB(4), 1));
+  cache.Touch("a", 2);  // a becomes most recent
+  EXPECT_TRUE(cache.Insert("c", GiB(4), 3));
+  EXPECT_TRUE(cache.Contains("a"));
+  EXPECT_FALSE(cache.Contains("b"));  // LRU evicted
+  EXPECT_TRUE(cache.Contains("c"));
+}
+
+TEST(PageCacheTest, EraseReleasesSpace) {
+  PageCache cache(GiB(8));
+  cache.Insert("a", GiB(8), 0);
+  cache.Erase("a");
+  EXPECT_EQ(cache.used(), 0u);
+  EXPECT_TRUE(cache.Insert("b", GiB(8), 1));
+}
+
+class ClusterTest : public ::testing::Test {
+ protected:
+  ClusterTest() : cluster_(&sim_, MakeConfig()) {}
+  static ClusterConfig MakeConfig() {
+    ClusterConfig config;
+    config.num_machines = 8;
+    config.machines_per_scaleup_domain = 4;
+    return config;
+  }
+  sim::Simulator sim_;
+  Cluster cluster_;
+};
+
+TEST_F(ClusterTest, GlobalNpuIdsMapToMachines) {
+  EXPECT_EQ(cluster_.total_npus(), 64);
+  EXPECT_EQ(cluster_.machine_of(0), 0);
+  EXPECT_EQ(cluster_.machine_of(7), 0);
+  EXPECT_EQ(cluster_.machine_of(8), 1);
+  EXPECT_EQ(cluster_.machine_of(63), 7);
+  EXPECT_EQ(cluster_.npu(13)->id(), 13);
+  EXPECT_EQ(cluster_.npu(13)->machine(), 1);
+}
+
+TEST_F(ClusterTest, ScaleUpDomainMembership) {
+  // Machines 0-3 are one domain; 4-7 another.
+  EXPECT_TRUE(cluster_.SameScaleUpDomain(0, 8 * 3));
+  EXPECT_FALSE(cluster_.SameScaleUpDomain(0, 8 * 4));
+}
+
+TEST_F(ClusterTest, InterNpuLinkChoosesFabric) {
+  EXPECT_EQ(cluster_.InterNpuLink(0, 8)->type(), LinkType::kHccs);
+  EXPECT_EQ(cluster_.InterNpuLink(0, 8 * 5)->type(), LinkType::kRoce);
+}
+
+TEST_F(ClusterTest, PcieLinksSharedBetweenNpuPairs) {
+  Machine* m = cluster_.machine(0);
+  EXPECT_EQ(m->pcie_link_for(0), m->pcie_link_for(1));
+  EXPECT_NE(m->pcie_link_for(0), m->pcie_link_for(2));
+}
+
+TEST_F(ClusterTest, HccsFasterThanRoce) {
+  EXPECT_GT(cluster_.hccs_link(0)->bandwidth_bps(), cluster_.roce_link(0)->bandwidth_bps());
+}
+
+class HcclTest : public ::testing::Test {
+ protected:
+  HcclTest() : cluster_(&sim_, MakeConfig()), hccl_(&cluster_) {}
+  static ClusterConfig MakeConfig() {
+    ClusterConfig config;
+    config.num_machines = 8;
+    config.machines_per_scaleup_domain = 4;
+    return config;
+  }
+  sim::Simulator sim_;
+  Cluster cluster_;
+  Hccl hccl_;
+};
+
+TEST_F(HcclTest, SendCompletesInBandwidthTime) {
+  TimeNs done = -1;
+  Bytes bytes = GiB(9);  // 9 GiB over 90 GB/s HCCS ≈ 0.107 s
+  hccl_.Send(0, 8, bytes, [&] { done = sim_.Now(); });
+  sim_.Run();
+  EXPECT_NEAR(NsToSeconds(done), static_cast<double>(bytes) / (90e9), 0.01);
+}
+
+TEST_F(HcclTest, CrossDomainSendUsesSlowerRoce) {
+  TimeNs hccs_done = -1;
+  TimeNs roce_done = -1;
+  {
+    sim::Simulator s1;
+    Cluster c1(&s1, MakeConfig());
+    Hccl h1(&c1);
+    h1.Send(0, 8, GiB(4), [&] { hccs_done = s1.Now(); });
+    s1.Run();
+  }
+  {
+    sim::Simulator s2;
+    Cluster c2(&s2, MakeConfig());
+    Hccl h2(&c2);
+    h2.Send(0, 8 * 5, GiB(4), [&] { roce_done = s2.Now(); });
+    s2.Run();
+  }
+  EXPECT_GT(roce_done, hccs_done * 3);
+}
+
+TEST_F(HcclTest, BroadcastToOneEqualsSend) {
+  TimeNs done = -1;
+  hccl_.Broadcast(0, 1, GiB(4), LinkType::kHccs, [&] { done = sim_.Now(); });
+  sim_.Run();
+  double expect_s = static_cast<double>(GiB(4)) / 90e9;
+  EXPECT_NEAR(NsToSeconds(done), expect_s, 0.01);
+}
+
+TEST_F(HcclTest, BroadcastGrowsLogarithmically) {
+  auto broadcast_time = [&](int n) {
+    sim::Simulator s;
+    Cluster c(&s, MakeConfig());
+    Hccl h(&c);
+    TimeNs done = -1;
+    h.Broadcast(0, n, GiB(8), LinkType::kHccs, [&] { done = s.Now(); });
+    s.Run();
+    return done;
+  };
+  TimeNs t1 = broadcast_time(1);
+  TimeNs t7 = broadcast_time(7);   // 3 rounds
+  TimeNs t63 = broadcast_time(63); // 6 rounds
+  EXPECT_NEAR(static_cast<double>(t7) / static_cast<double>(t1), 3.0, 0.2);
+  EXPECT_NEAR(static_cast<double>(t63) / static_cast<double>(t1), 6.0, 0.3);
+}
+
+TEST_F(HcclTest, BroadcastToZeroCompletesImmediately) {
+  bool done = false;
+  hccl_.Broadcast(0, 0, GiB(1), LinkType::kHccs, [&] { done = true; });
+  sim_.Run();
+  EXPECT_TRUE(done);
+}
+
+TEST_F(HcclTest, AllReduceScalesWithPayloadAndRanks) {
+  EXPECT_EQ(hccl_.AllReduceDuration(1, GiB(1)), 0);
+  DurationNs d2 = hccl_.AllReduceDuration(2, MiB(64));
+  DurationNs d8 = hccl_.AllReduceDuration(8, MiB(64));
+  EXPECT_GT(d2, 0);
+  EXPECT_GT(d8, d2);  // more wire traffic and more hops
+  DurationNs big = hccl_.AllReduceDuration(4, MiB(256));
+  DurationNs small = hccl_.AllReduceDuration(4, MiB(64));
+  EXPECT_GT(big, small);
+}
+
+}  // namespace
+}  // namespace deepserve::hw

@@ -1,0 +1,455 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "common/types.h"
+#include "hw/npu.h"
+#include "rtc/block_pool.h"
+#include "rtc/radix_tree.h"
+#include "rtc/rtc_executor.h"
+#include "rtc/rtc_master.h"
+#include "sim/simulator.h"
+
+namespace deepserve::rtc {
+namespace {
+
+std::vector<TokenId> Tokens(std::initializer_list<int> ids) {
+  std::vector<TokenId> out;
+  for (int id : ids) {
+    out.push_back(static_cast<TokenId>(id));
+  }
+  return out;
+}
+
+std::vector<TokenId> Iota(int n, int start = 1000) {
+  std::vector<TokenId> out(static_cast<size_t>(n));
+  std::iota(out.begin(), out.end(), static_cast<TokenId>(start));
+  return out;
+}
+
+// ---------------- ChainHash / TokensToBlockKeys ----------------
+
+TEST(ChainHashTest, DeterministicAndChainSensitive) {
+  auto a = Tokens({1, 2, 3, 4});
+  EXPECT_EQ(ChainHash(0, a), ChainHash(0, a));
+  EXPECT_NE(ChainHash(0, a), ChainHash(1, a));  // different chain prefix
+  auto b = Tokens({1, 2, 3, 5});
+  EXPECT_NE(ChainHash(0, a), ChainHash(0, b));
+}
+
+TEST(TokensToBlockKeysTest, DropsPartialTail) {
+  auto tokens = Iota(35);
+  auto keys = TokensToBlockKeys(tokens, 16);
+  EXPECT_EQ(keys.size(), 2u);  // 35 tokens -> 2 full 16-token blocks
+}
+
+TEST(TokensToBlockKeysTest, PrefixKeysArePrefix) {
+  auto tokens = Iota(64);
+  auto full = TokensToBlockKeys(tokens, 16);
+  auto half = TokensToBlockKeys(std::span(tokens).first(32), 16);
+  ASSERT_EQ(full.size(), 4u);
+  ASSERT_EQ(half.size(), 2u);
+  EXPECT_EQ(full[0], half[0]);
+  EXPECT_EQ(full[1], half[1]);
+}
+
+TEST(TokensToBlockKeysTest, DivergenceChangesAllLaterKeys) {
+  auto a = Iota(48);
+  auto b = a;
+  b[20] += 1;  // diverge inside block 1
+  auto ka = TokensToBlockKeys(a, 16);
+  auto kb = TokensToBlockKeys(b, 16);
+  EXPECT_EQ(ka[0], kb[0]);
+  EXPECT_NE(ka[1], kb[1]);
+  EXPECT_NE(ka[2], kb[2]);  // chain hash propagates divergence
+}
+
+// ---------------- RadixTree ----------------
+
+struct CountPayload {
+  int value = 0;
+  CountPayload SplitTail(size_t) { return CountPayload{value}; }
+};
+
+TEST(RadixTreeTest, InsertAndExactMatch) {
+  RadixTree<CountPayload> tree;
+  std::vector<BlockKey> keys = {11, 22, 33};
+  tree.Insert(keys, 1);
+  auto match = tree.Match(keys);
+  EXPECT_EQ(match.matched, 3u);
+  EXPECT_EQ(match.partial, nullptr);
+}
+
+TEST(RadixTreeTest, PartialMatchOnDivergence) {
+  RadixTree<CountPayload> tree;
+  std::vector<BlockKey> a = {1, 2, 3, 4};
+  tree.Insert(a, 1);
+  std::vector<BlockKey> b = {1, 2, 9, 9};
+  auto match = tree.Match(b);
+  EXPECT_EQ(match.matched, 2u);
+  ASSERT_NE(match.partial, nullptr);
+  EXPECT_EQ(match.partial_len, 2u);
+}
+
+TEST(RadixTreeTest, InsertSplitsSharedPrefix) {
+  RadixTree<CountPayload> tree;
+  std::vector<BlockKey> a = {1, 2, 3, 4};
+  std::vector<BlockKey> b = {1, 2, 7, 8};
+  tree.Insert(a, 1);
+  tree.Insert(b, 2);
+  // Nodes: [1,2] shared, [3,4], [7,8].
+  EXPECT_EQ(tree.NodeCount(), 3u);
+  EXPECT_EQ(tree.Match(a).matched, 4u);
+  EXPECT_EQ(tree.Match(b).matched, 4u);
+}
+
+TEST(RadixTreeTest, OnNewCallbackCoversExactlyNewSpans) {
+  RadixTree<CountPayload> tree;
+  std::vector<BlockKey> a = {1, 2, 3, 4};
+  std::vector<std::pair<size_t, size_t>> spans;
+  tree.Insert(a, 1, [&](auto&, size_t b, size_t e) { spans.emplace_back(b, e); });
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0], std::make_pair(size_t{0}, size_t{4}));
+  // Extending by two symbols creates exactly one new node covering [4, 6).
+  std::vector<BlockKey> ext = {1, 2, 3, 4, 5, 6};
+  spans.clear();
+  tree.Insert(ext, 2, [&](auto&, size_t b, size_t e) { spans.emplace_back(b, e); });
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0], std::make_pair(size_t{4}, size_t{6}));
+}
+
+TEST(RadixTreeTest, SplitPreservesDepthAndParentLinks) {
+  RadixTree<CountPayload> tree;
+  std::vector<BlockKey> a = {1, 2, 3, 4};
+  auto* leaf_a = tree.Insert(a, 1);
+  EXPECT_EQ(leaf_a->depth, 4u);
+  std::vector<BlockKey> b = {1, 2, 7};
+  auto* leaf_b = tree.Insert(b, 2);
+  EXPECT_EQ(leaf_b->depth, 3u);
+  ASSERT_NE(leaf_b->parent, nullptr);
+  EXPECT_EQ(leaf_b->parent->depth, 2u);
+  EXPECT_EQ(leaf_b->parent, tree.Match(a).path.front());
+}
+
+TEST(RadixTreeTest, LruLeafSelection) {
+  RadixTree<CountPayload> tree;
+  std::vector<BlockKey> a = {1, 2};
+  std::vector<BlockKey> b = {3, 4};
+  tree.Insert(a, /*now=*/10);
+  tree.Insert(b, /*now=*/20);
+  auto* lru = tree.FindLruLeaf([](const auto&) { return true; });
+  ASSERT_NE(lru, nullptr);
+  EXPECT_EQ(lru->last_access, 10);
+  tree.RemoveLeaf(lru);
+  EXPECT_EQ(tree.NodeCount(), 1u);
+}
+
+TEST(RadixTreeTest, MatchDoesNotCreateNodes) {
+  RadixTree<CountPayload> tree;
+  std::vector<BlockKey> a = {1, 2, 3};
+  tree.Match(a);
+  EXPECT_EQ(tree.NodeCount(), 0u);
+}
+
+// ---------------- BlockPool ----------------
+
+TEST(BlockPoolTest, AllocateRespectsCapacity) {
+  BlockPool pool({.npu_capacity = 4, .dram_capacity = 2});
+  auto a = pool.Allocate(4, Tier::kNpu, 0);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(pool.free_blocks(Tier::kNpu), 0);
+  EXPECT_FALSE(pool.Allocate(1, Tier::kNpu, 0).ok());
+  EXPECT_TRUE(pool.Allocate(2, Tier::kDram, 0).ok());
+}
+
+TEST(BlockPoolTest, FailedAllocateIsAtomic) {
+  BlockPool pool({.npu_capacity = 4, .dram_capacity = 0});
+  ASSERT_TRUE(pool.Allocate(3, Tier::kNpu, 0).ok());
+  EXPECT_FALSE(pool.Allocate(2, Tier::kNpu, 0).ok());
+  EXPECT_EQ(pool.used(Tier::kNpu), 3);
+}
+
+TEST(BlockPoolTest, UnrefDestroysPrivateBlocks) {
+  BlockPool pool({.npu_capacity = 4, .dram_capacity = 4});
+  auto blocks = pool.Allocate(2, Tier::kNpu, 0).value();
+  pool.Unref(blocks[0]);
+  EXPECT_FALSE(pool.Exists(blocks[0]));
+  EXPECT_EQ(pool.used(Tier::kNpu), 1);
+}
+
+TEST(BlockPoolTest, UnrefKeepsCachedBlocks) {
+  BlockPool pool({.npu_capacity = 4, .dram_capacity = 4});
+  auto blocks = pool.Allocate(1, Tier::kNpu, 0).value();
+  pool.SetKey(blocks[0], 0xabc);
+  pool.Unref(blocks[0]);
+  EXPECT_TRUE(pool.Exists(blocks[0]));
+  EXPECT_EQ(pool.info(blocks[0]).ref_count, 0);
+}
+
+TEST(BlockPoolTest, ResidencyBitmaskAndCounters) {
+  BlockPool pool({.npu_capacity = 4, .dram_capacity = 4});
+  BlockId id = pool.Allocate(1, Tier::kNpu, 0).value()[0];
+  ASSERT_TRUE(pool.AddResidency(id, Tier::kDram).ok());
+  EXPECT_TRUE(pool.info(id).resident(Tier::kNpu));
+  EXPECT_TRUE(pool.info(id).resident(Tier::kDram));
+  EXPECT_EQ(pool.used(Tier::kDram), 1);
+  pool.DropResidency(id, Tier::kNpu);
+  EXPECT_FALSE(pool.info(id).resident(Tier::kNpu));
+  EXPECT_EQ(pool.used(Tier::kNpu), 0);
+  // Idempotent add/drop.
+  ASSERT_TRUE(pool.AddResidency(id, Tier::kDram).ok());
+  EXPECT_EQ(pool.used(Tier::kDram), 1);
+  pool.DropResidency(id, Tier::kNpu);
+}
+
+TEST(BlockPoolTest, DestroyReleasesAllTiers) {
+  BlockPool pool({.npu_capacity = 4, .dram_capacity = 4});
+  BlockId id = pool.Allocate(1, Tier::kNpu, 0).value()[0];
+  ASSERT_TRUE(pool.AddResidency(id, Tier::kDram).ok());
+  pool.SetKey(id, 7);
+  pool.Unref(id);
+  pool.Destroy(id);
+  EXPECT_EQ(pool.used(Tier::kNpu), 0);
+  EXPECT_EQ(pool.used(Tier::kDram), 0);
+  EXPECT_FALSE(pool.Exists(id));
+}
+
+TEST(BlockPoolTest, SsdIsUnbounded) {
+  BlockPool pool({.npu_capacity = 1, .dram_capacity = 1});
+  EXPECT_TRUE(pool.Allocate(1000, Tier::kSsd, 0).ok());
+}
+
+// ---------------- RtcMaster ----------------
+
+class RtcMasterTest : public ::testing::Test {
+ protected:
+  RtcMasterTest() { Reset(64); }
+  void Reset(int64_t npu_blocks, bool background_swap = false) {
+    RtcConfig config;
+    config.block_size = 16;
+    config.pool.npu_capacity = npu_blocks;
+    config.pool.dram_capacity = 256;
+    config.bytes_per_block = 1 << 20;
+    config.enable_background_swap = background_swap;
+    master_ = std::make_unique<RtcMaster>(&sim_, config);
+  }
+
+  // Simulates a prefill: allocate blocks for the tokens, preserve, release.
+  std::vector<BlockId> PrefillAndPreserve(const std::vector<TokenId>& tokens) {
+    int64_t n = static_cast<int64_t>(tokens.size()) / 16;
+    auto blocks = master_->AllocBlocks(n).value();
+    master_->Preserve(tokens, blocks);
+    master_->Free(blocks);
+    return blocks;
+  }
+
+  sim::Simulator sim_;
+  std::unique_ptr<RtcMaster> master_;
+};
+
+TEST_F(RtcMasterTest, MissOnEmptyCache) {
+  auto info = master_->MatchByPrefixToken(Iota(64));
+  EXPECT_FALSE(info.hit());
+  EXPECT_EQ(master_->stats().match_misses, 1);
+}
+
+TEST_F(RtcMasterTest, HitAfterPreserve) {
+  auto tokens = Iota(64);
+  PrefillAndPreserve(tokens);
+  auto info = master_->MatchByPrefixToken(tokens);
+  EXPECT_EQ(info.matched_tokens, 64);
+  EXPECT_EQ(info.npu_tokens, 64);
+  EXPECT_FALSE(info.needs_populate());
+  EXPECT_EQ(master_->stats().match_hits, 1);
+}
+
+TEST_F(RtcMasterTest, PartialPrefixHit) {
+  PrefillAndPreserve(Iota(64));
+  auto longer = Iota(128);  // same first 64 tokens
+  auto info = master_->MatchByPrefixToken(longer);
+  EXPECT_EQ(info.matched_tokens, 64);
+}
+
+TEST_F(RtcMasterTest, DivergentPromptsShareOnlyCommonBlocks) {
+  auto a = Iota(64);
+  PrefillAndPreserve(a);
+  auto b = a;
+  b[40] = 7;  // diverges inside block 2
+  auto info = master_->MatchByPrefixToken(b);
+  EXPECT_EQ(info.matched_tokens, 32);  // blocks 0 and 1 only
+}
+
+TEST_F(RtcMasterTest, AcquirePinsAgainstEviction) {
+  auto tokens = Iota(16 * 60);
+  PrefillAndPreserve(tokens);
+  auto info = master_->MatchByPrefixToken(tokens);
+  master_->Acquire(info.blocks);
+  // Now demand more blocks than remain: eviction cannot touch pinned blocks.
+  EXPECT_FALSE(master_->AllocBlocks(10).ok());
+  master_->Free(info.blocks);
+  EXPECT_TRUE(master_->AllocBlocks(10).ok());  // eviction now allowed
+}
+
+TEST_F(RtcMasterTest, EvictionDiscardsLruEntry) {
+  Reset(8);
+  auto a = Iota(64, 0);       // 4 blocks
+  auto b = Iota(64, 50000);   // 4 blocks, distinct tokens
+  PrefillAndPreserve(a);
+  sim_.RunUntil(sim_.Now() + 100);
+  PrefillAndPreserve(b);
+  // Pool full of cached blocks; allocating forces eviction of LRU entry (a).
+  auto blocks = master_->AllocBlocks(4);
+  ASSERT_TRUE(blocks.ok());
+  EXPECT_FALSE(master_->MatchByPrefixToken(a).hit());
+  EXPECT_TRUE(master_->MatchByPrefixToken(b).hit());
+  EXPECT_GT(master_->stats().discarded_blocks, 0);
+}
+
+TEST_F(RtcMasterTest, MatchByIdRoundTrip) {
+  auto tokens = Iota(48);
+  auto blocks = master_->AllocBlocks(3).value();
+  ASSERT_TRUE(master_->PreserveById("ctx-1", tokens, blocks).ok());
+  master_->Free(blocks);
+  auto info = master_->MatchByID("ctx-1");
+  EXPECT_EQ(info.matched_tokens, 48);
+  EXPECT_FALSE(master_->MatchByID("ctx-2").hit());
+  EXPECT_TRUE(master_->DropById("ctx-1"));
+  EXPECT_FALSE(master_->MatchByID("ctx-1").hit());
+}
+
+TEST_F(RtcMasterTest, PreserveByIdRejectsBadInput) {
+  auto blocks = master_->AllocBlocks(1).value();
+  EXPECT_FALSE(master_->PreserveById("", Iota(16), blocks).ok());
+  EXPECT_FALSE(master_->PreserveById("x", Iota(5), blocks).ok());  // < 1 block
+  master_->Free(blocks);
+}
+
+TEST_F(RtcMasterTest, IdEntrySurvivesImplicitMatchToo) {
+  auto tokens = Iota(48);
+  auto blocks = master_->AllocBlocks(3).value();
+  ASSERT_TRUE(master_->PreserveById("ctx", tokens, blocks).ok());
+  master_->Free(blocks);
+  EXPECT_TRUE(master_->MatchByPrefixToken(tokens).hit());
+}
+
+TEST_F(RtcMasterTest, CopyToDramThenEvictKeepsEntryMatchable) {
+  Reset(8);
+  auto tokens = Iota(64);
+  auto blocks = master_->AllocBlocks(4).value();
+  master_->Preserve(tokens, blocks);
+  bool copied = false;
+  master_->Copy(blocks, Tier::kDram, [&] { copied = true; });
+  sim_.Run();
+  EXPECT_TRUE(copied);
+  master_->Free(blocks);
+  // Fill the NPU: the DRAM-backed entry gets demoted, not discarded.
+  ASSERT_TRUE(master_->AllocBlocks(8).ok());
+  auto info = master_->MatchByPrefixToken(tokens);
+  EXPECT_EQ(info.matched_tokens, 64);
+  EXPECT_TRUE(info.needs_populate());
+  EXPECT_EQ(info.npu_tokens, 0);
+  EXPECT_GT(master_->stats().evicted_blocks, 0);
+  EXPECT_EQ(master_->stats().discarded_blocks, 0);
+}
+
+TEST_F(RtcMasterTest, PopulateBringsBlocksBack) {
+  Reset(8);
+  auto tokens = Iota(64);
+  auto blocks = master_->AllocBlocks(4).value();
+  master_->Preserve(tokens, blocks);
+  master_->Copy(blocks, Tier::kDram, nullptr);
+  sim_.Run();
+  master_->Free(blocks);
+  auto filler = master_->AllocBlocks(8).value();  // forces NPU drop
+  master_->Free(filler);
+  auto info = master_->MatchByPrefixToken(tokens);
+  ASSERT_TRUE(info.needs_populate());
+  master_->Acquire(info.blocks);
+  auto ticket = master_->Populate(info);
+  ASSERT_TRUE(ticket.ok());
+  EXPECT_EQ(master_->QueryPopulate(*ticket), PopulateState::kInFlight);
+  bool ready = false;
+  master_->OnPopulateReady(*ticket, [&] { ready = true; });
+  sim_.Run();
+  EXPECT_TRUE(ready);
+  EXPECT_EQ(master_->QueryPopulate(*ticket), PopulateState::kReady);
+  auto again = master_->MatchByPrefixToken(tokens);
+  EXPECT_EQ(again.npu_tokens, 64);
+  master_->Free(info.blocks);
+}
+
+TEST_F(RtcMasterTest, PopulateOfResidentBlocksIsInstantlyReady) {
+  auto tokens = Iota(64);
+  PrefillAndPreserve(tokens);
+  auto info = master_->MatchByPrefixToken(tokens);
+  master_->Acquire(info.blocks);
+  auto ticket = master_->Populate(info);
+  ASSERT_TRUE(ticket.ok());
+  EXPECT_EQ(master_->QueryPopulate(*ticket), PopulateState::kReady);
+  master_->Free(info.blocks);
+}
+
+TEST_F(RtcMasterTest, QueryUnknownTicket) {
+  EXPECT_EQ(master_->QueryPopulate(9999), PopulateState::kUnknown);
+}
+
+TEST_F(RtcMasterTest, TruncateMatchRecomputesResidency) {
+  auto tokens = Iota(64);
+  PrefillAndPreserve(tokens);
+  auto info = master_->MatchByPrefixToken(tokens);
+  auto cut = master_->TruncateMatch(info, 40);  // not block aligned -> 32
+  EXPECT_EQ(cut.matched_tokens, 32);
+  EXPECT_EQ(cut.blocks.size(), 2u);
+  EXPECT_EQ(cut.npu_tokens, 32);
+  EXPECT_EQ(cut.offnpu_tokens, 0);
+}
+
+TEST_F(RtcMasterTest, PrefixCachingDisabled) {
+  RtcConfig config;
+  config.pool.npu_capacity = 16;
+  config.enable_prefix_caching = false;
+  RtcMaster master(&sim_, config);
+  auto tokens = Iota(64);
+  auto blocks = master.AllocBlocks(4).value();
+  master.Preserve(tokens, blocks);
+  master.Free(blocks);
+  EXPECT_FALSE(master.MatchByPrefixToken(tokens).hit());
+}
+
+TEST_F(RtcMasterTest, BackgroundSwapDemotesColdBlocks) {
+  Reset(16, /*background_swap=*/true);
+  // Fill most of the NPU with cold cache (above the 0.85 watermark).
+  PrefillAndPreserve(Iota(16 * 7, 0));
+  PrefillAndPreserve(Iota(16 * 7, 90000));
+  sim_.RunUntil(sim_.Now() + SecondsToNs(2));
+  EXPECT_GT(master_->stats().swapped_out_blocks, 0);
+  // Entries remain matchable after demotion.
+  EXPECT_TRUE(master_->MatchByPrefixToken(Iota(16 * 7, 0)).hit());
+}
+
+TEST_F(RtcMasterTest, TokenHitRateTracksReuse) {
+  auto tokens = Iota(64);
+  master_->MatchByPrefixToken(tokens);  // cold miss: 64 requested, 0 matched
+  PrefillAndPreserve(tokens);
+  master_->MatchByPrefixToken(tokens);  // hit: 64 requested, 64 matched
+  EXPECT_NEAR(master_->stats().TokenHitRate(), 0.5, 0.01);
+}
+
+TEST(RtcExecutorTest, MirrorsBlockTrafficOntoNpu) {
+  sim::Simulator sim;
+  hw::Npu npu(0, 0, hw::NpuSpec::Gen2());
+  RtcConfig config;
+  config.pool.npu_capacity = 128;
+  config.bytes_per_block = 4 << 20;
+  RtcMaster master(&sim, config);
+  RtcExecutor executor(&npu, config.bytes_per_block);
+  master.AddListener(&executor);
+  auto blocks = master.AllocBlocks(10).value();
+  EXPECT_EQ(npu.hbm_used(), 40ull << 20);
+  master.Free(blocks);
+  EXPECT_EQ(npu.hbm_used(), 0u);
+}
+
+}  // namespace
+}  // namespace deepserve::rtc

@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/types.h"
+#include "sim/simulator.h"
+
+namespace deepserve::sim {
+namespace {
+
+TEST(SimulatorTest, StartsAtZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.Now(), 0);
+  EXPECT_TRUE(sim.Empty());
+}
+
+TEST(SimulatorTest, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.ScheduleAt(30, [&] { order.push_back(3); });
+  sim.ScheduleAt(10, [&] { order.push_back(1); });
+  sim.ScheduleAt(20, [&] { order.push_back(2); });
+  EXPECT_EQ(sim.Run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.Now(), 30);
+}
+
+TEST(SimulatorTest, FifoTieBreakAtEqualTimestamps) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.ScheduleAt(100, [&order, i] { order.push_back(i); });
+  }
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(SimulatorTest, ScheduleAfterUsesCurrentTime) {
+  Simulator sim;
+  TimeNs inner_time = -1;
+  sim.ScheduleAt(50, [&] {
+    sim.ScheduleAfter(25, [&] { inner_time = sim.Now(); });
+  });
+  sim.Run();
+  EXPECT_EQ(inner_time, 75);
+}
+
+TEST(SimulatorTest, EventsCanScheduleMoreEvents) {
+  Simulator sim;
+  int fired = 0;
+  std::function<void()> chain = [&] {
+    ++fired;
+    if (fired < 10) {
+      sim.ScheduleAfter(1, chain);
+    }
+  };
+  sim.ScheduleAfter(1, chain);
+  sim.Run();
+  EXPECT_EQ(fired, 10);
+  EXPECT_EQ(sim.Now(), 10);
+}
+
+TEST(SimulatorTest, CancelPreventsFiring) {
+  Simulator sim;
+  bool fired = false;
+  EventId id = sim.ScheduleAt(10, [&] { fired = true; });
+  EXPECT_TRUE(sim.Cancel(id));
+  sim.Run();
+  EXPECT_FALSE(fired);
+  EXPECT_TRUE(sim.Empty());
+}
+
+TEST(SimulatorTest, CancelUnknownIdIsNoop) {
+  Simulator sim;
+  EXPECT_FALSE(sim.Cancel(kInvalidEventId));
+  EXPECT_FALSE(sim.Cancel(99999));
+}
+
+TEST(SimulatorTest, DoubleCancelReturnsFalse) {
+  Simulator sim;
+  EventId id = sim.ScheduleAt(10, [] {});
+  EXPECT_TRUE(sim.Cancel(id));
+  EXPECT_FALSE(sim.Cancel(id));
+  sim.Run();
+}
+
+TEST(SimulatorTest, RunUntilStopsAtBoundaryAndAdvancesClock) {
+  Simulator sim;
+  std::vector<TimeNs> fired;
+  sim.ScheduleAt(10, [&] { fired.push_back(10); });
+  sim.ScheduleAt(20, [&] { fired.push_back(20); });
+  sim.ScheduleAt(30, [&] { fired.push_back(30); });
+  EXPECT_EQ(sim.RunUntil(20), 2u);
+  EXPECT_EQ(sim.Now(), 20);
+  EXPECT_EQ(fired, (std::vector<TimeNs>{10, 20}));
+  EXPECT_EQ(sim.PendingEvents(), 1u);
+  sim.Run();
+  EXPECT_EQ(fired.back(), 30);
+}
+
+TEST(SimulatorTest, RunUntilAdvancesPastEmptyQueue) {
+  Simulator sim;
+  sim.RunUntil(1000);
+  EXPECT_EQ(sim.Now(), 1000);
+}
+
+TEST(SimulatorTest, StepFiresExactlyOne) {
+  Simulator sim;
+  int fired = 0;
+  sim.ScheduleAt(1, [&] { ++fired; });
+  sim.ScheduleAt(2, [&] { ++fired; });
+  EXPECT_TRUE(sim.Step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sim.Step());
+  EXPECT_EQ(fired, 2);
+  EXPECT_FALSE(sim.Step());
+}
+
+TEST(SimulatorTest, StepSkipsCancelled) {
+  Simulator sim;
+  bool fired = false;
+  EventId a = sim.ScheduleAt(1, [&] { fired = true; });
+  sim.ScheduleAt(2, [&] { fired = true; });
+  sim.Cancel(a);
+  EXPECT_TRUE(sim.Step());
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(sim.Now(), 2);
+}
+
+TEST(SimulatorTest, PendingCountTracksCancellations) {
+  Simulator sim;
+  EventId a = sim.ScheduleAt(5, [] {});
+  sim.ScheduleAt(6, [] {});
+  EXPECT_EQ(sim.PendingEvents(), 2u);
+  sim.Cancel(a);
+  EXPECT_EQ(sim.PendingEvents(), 1u);
+  EXPECT_FALSE(sim.Empty());
+  sim.Run();
+  EXPECT_TRUE(sim.Empty());
+}
+
+TEST(SimulatorTest, TotalFiredExcludesCancelled) {
+  Simulator sim;
+  EventId a = sim.ScheduleAt(1, [] {});
+  sim.ScheduleAt(2, [] {});
+  sim.Cancel(a);
+  sim.Run();
+  EXPECT_EQ(sim.TotalFired(), 1u);
+}
+
+// Property: an arbitrary interleaving of schedules/cancels never fires events
+// out of time order.
+TEST(SimulatorTest, PropertyMonotonicFiringTimes) {
+  Simulator sim;
+  std::vector<TimeNs> times;
+  uint64_t state = 12345;
+  auto next = [&state] {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    return state >> 33;
+  };
+  std::vector<EventId> ids;
+  for (int i = 0; i < 500; ++i) {
+    TimeNs t = static_cast<TimeNs>(next() % 10000);
+    ids.push_back(sim.ScheduleAt(t, [&times, &sim] { times.push_back(sim.Now()); }));
+    if (i % 3 == 0 && !ids.empty()) {
+      sim.Cancel(ids[next() % ids.size()]);
+    }
+  }
+  sim.Run();
+  for (size_t i = 1; i < times.size(); ++i) {
+    EXPECT_LE(times[i - 1], times[i]);
+  }
+}
+
+}  // namespace
+}  // namespace deepserve::sim

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_ae_disagg.dir/abl_ae_disagg.cpp.o"
+  "CMakeFiles/abl_ae_disagg.dir/abl_ae_disagg.cpp.o.d"
+  "abl_ae_disagg"
+  "abl_ae_disagg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_ae_disagg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_async_sched.dir/abl_async_sched.cpp.o"
+  "CMakeFiles/abl_async_sched.dir/abl_async_sched.cpp.o.d"
+  "abl_async_sched"
+  "abl_async_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_async_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_pic.dir/abl_pic.cpp.o"
+  "CMakeFiles/abl_pic.dir/abl_pic.cpp.o.d"
+  "abl_pic"
+  "abl_pic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_pic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_pp_chunking.dir/abl_pp_chunking.cpp.o"
+  "CMakeFiles/abl_pp_chunking.dir/abl_pp_chunking.cpp.o.d"
+  "abl_pp_chunking"
+  "abl_pp_chunking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_pp_chunking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig03_offline_serving.cpp" "bench/CMakeFiles/fig03_offline_serving.dir/fig03_offline_serving.cpp.o" "gcc" "bench/CMakeFiles/fig03_offline_serving.dir/fig03_offline_serving.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/serving/CMakeFiles/ds_serving.dir/DependInfo.cmake"
+  "/root/repo/build/src/flowserve/CMakeFiles/ds_flowserve.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ds_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/ds_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/distflow/CMakeFiles/ds_distflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtc/CMakeFiles/ds_rtc.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/ds_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ds_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ds_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_offline_serving.dir/fig03_offline_serving.cpp.o"
+  "CMakeFiles/fig03_offline_serving.dir/fig03_offline_serving.cpp.o.d"
+  "fig03_offline_serving"
+  "fig03_offline_serving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_offline_serving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_online_serving.dir/fig04_online_serving.cpp.o"
+  "CMakeFiles/fig04_online_serving.dir/fig04_online_serving.cpp.o.d"
+  "fig04_online_serving"
+  "fig04_online_serving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_online_serving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

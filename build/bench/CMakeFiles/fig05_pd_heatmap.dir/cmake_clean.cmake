@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_pd_heatmap.dir/fig05_pd_heatmap.cpp.o"
+  "CMakeFiles/fig05_pd_heatmap.dir/fig05_pd_heatmap.cpp.o.d"
+  "fig05_pd_heatmap"
+  "fig05_pd_heatmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_pd_heatmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

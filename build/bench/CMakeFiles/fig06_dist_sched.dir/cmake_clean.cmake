@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_dist_sched.dir/fig06_dist_sched.cpp.o"
+  "CMakeFiles/fig06_dist_sched.dir/fig06_dist_sched.cpp.o.d"
+  "fig06_dist_sched"
+  "fig06_dist_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_dist_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

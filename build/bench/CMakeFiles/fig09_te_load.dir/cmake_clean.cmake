@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_te_load.dir/fig09_te_load.cpp.o"
+  "CMakeFiles/fig09_te_load.dir/fig09_te_load.cpp.o.d"
+  "fig09_te_load"
+  "fig09_te_load.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_te_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

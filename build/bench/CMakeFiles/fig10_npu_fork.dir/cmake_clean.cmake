@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_npu_fork.dir/fig10_npu_fork.cpp.o"
+  "CMakeFiles/fig10_npu_fork.dir/fig10_npu_fork.cpp.o.d"
+  "fig10_npu_fork"
+  "fig10_npu_fork.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_npu_fork.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

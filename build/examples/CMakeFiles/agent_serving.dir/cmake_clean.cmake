@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agent_serving.dir/agent_serving.cpp.o"
+  "CMakeFiles/agent_serving.dir/agent_serving.cpp.o.d"
+  "agent_serving"
+  "agent_serving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agent_serving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/context_caching.dir/context_caching.cpp.o"
+  "CMakeFiles/context_caching.dir/context_caching.cpp.o.d"
+  "context_caching"
+  "context_caching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/context_caching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

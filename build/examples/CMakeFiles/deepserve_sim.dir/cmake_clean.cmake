@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deepserve_sim.dir/deepserve_sim.cpp.o"
+  "CMakeFiles/deepserve_sim.dir/deepserve_sim.cpp.o.d"
+  "deepserve_sim"
+  "deepserve_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deepserve_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disaggregated_serving.dir/disaggregated_serving.cpp.o"
+  "CMakeFiles/disaggregated_serving.dir/disaggregated_serving.cpp.o.d"
+  "disaggregated_serving"
+  "disaggregated_serving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disaggregated_serving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

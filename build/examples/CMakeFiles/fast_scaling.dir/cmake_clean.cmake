@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fast_scaling.dir/fast_scaling.cpp.o"
+  "CMakeFiles/fast_scaling.dir/fast_scaling.cpp.o.d"
+  "fast_scaling"
+  "fast_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fast_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

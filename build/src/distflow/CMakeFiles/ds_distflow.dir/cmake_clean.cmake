@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ds_distflow.dir/distflow.cc.o"
+  "CMakeFiles/ds_distflow.dir/distflow.cc.o.d"
+  "libds_distflow.a"
+  "libds_distflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ds_distflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ds_flowserve.dir/engine.cc.o"
+  "CMakeFiles/ds_flowserve.dir/engine.cc.o.d"
+  "libds_flowserve.a"
+  "libds_flowserve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ds_flowserve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

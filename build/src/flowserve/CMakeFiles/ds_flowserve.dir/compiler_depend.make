@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ds_flowserve.
+# This may be replaced when dependencies are built.

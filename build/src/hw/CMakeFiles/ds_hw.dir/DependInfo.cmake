@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/cluster.cc" "src/hw/CMakeFiles/ds_hw.dir/cluster.cc.o" "gcc" "src/hw/CMakeFiles/ds_hw.dir/cluster.cc.o.d"
+  "/root/repo/src/hw/hccl.cc" "src/hw/CMakeFiles/ds_hw.dir/hccl.cc.o" "gcc" "src/hw/CMakeFiles/ds_hw.dir/hccl.cc.o.d"
+  "/root/repo/src/hw/link.cc" "src/hw/CMakeFiles/ds_hw.dir/link.cc.o" "gcc" "src/hw/CMakeFiles/ds_hw.dir/link.cc.o.d"
+  "/root/repo/src/hw/npu.cc" "src/hw/CMakeFiles/ds_hw.dir/npu.cc.o" "gcc" "src/hw/CMakeFiles/ds_hw.dir/npu.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ds_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ds_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

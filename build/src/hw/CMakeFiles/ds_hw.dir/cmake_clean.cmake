@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ds_hw.dir/cluster.cc.o"
+  "CMakeFiles/ds_hw.dir/cluster.cc.o.d"
+  "CMakeFiles/ds_hw.dir/hccl.cc.o"
+  "CMakeFiles/ds_hw.dir/hccl.cc.o.d"
+  "CMakeFiles/ds_hw.dir/link.cc.o"
+  "CMakeFiles/ds_hw.dir/link.cc.o.d"
+  "CMakeFiles/ds_hw.dir/npu.cc.o"
+  "CMakeFiles/ds_hw.dir/npu.cc.o.d"
+  "libds_hw.a"
+  "libds_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ds_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ds_model.dir/cost_model.cc.o"
+  "CMakeFiles/ds_model.dir/cost_model.cc.o.d"
+  "CMakeFiles/ds_model.dir/model_spec.cc.o"
+  "CMakeFiles/ds_model.dir/model_spec.cc.o.d"
+  "CMakeFiles/ds_model.dir/tokenizer.cc.o"
+  "CMakeFiles/ds_model.dir/tokenizer.cc.o.d"
+  "libds_model.a"
+  "libds_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ds_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

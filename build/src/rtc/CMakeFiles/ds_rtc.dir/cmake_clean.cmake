@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ds_rtc.dir/block_pool.cc.o"
+  "CMakeFiles/ds_rtc.dir/block_pool.cc.o.d"
+  "CMakeFiles/ds_rtc.dir/rtc_master.cc.o"
+  "CMakeFiles/ds_rtc.dir/rtc_master.cc.o.d"
+  "libds_rtc.a"
+  "libds_rtc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ds_rtc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ds_serving.dir/cluster_manager.cc.o"
+  "CMakeFiles/ds_serving.dir/cluster_manager.cc.o.d"
+  "CMakeFiles/ds_serving.dir/finetune.cc.o"
+  "CMakeFiles/ds_serving.dir/finetune.cc.o.d"
+  "CMakeFiles/ds_serving.dir/frontend.cc.o"
+  "CMakeFiles/ds_serving.dir/frontend.cc.o.d"
+  "CMakeFiles/ds_serving.dir/heatmap.cc.o"
+  "CMakeFiles/ds_serving.dir/heatmap.cc.o.d"
+  "CMakeFiles/ds_serving.dir/job_executor.cc.o"
+  "CMakeFiles/ds_serving.dir/job_executor.cc.o.d"
+  "CMakeFiles/ds_serving.dir/predictor.cc.o"
+  "CMakeFiles/ds_serving.dir/predictor.cc.o.d"
+  "CMakeFiles/ds_serving.dir/task_executor.cc.o"
+  "CMakeFiles/ds_serving.dir/task_executor.cc.o.d"
+  "libds_serving.a"
+  "libds_serving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ds_serving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distflow_test.dir/distflow_test.cc.o"
+  "CMakeFiles/distflow_test.dir/distflow_test.cc.o.d"
+  "distflow_test"
+  "distflow_test.pdb"
+  "distflow_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distflow_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

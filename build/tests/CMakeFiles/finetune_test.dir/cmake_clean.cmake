@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/finetune_test.dir/finetune_test.cc.o"
+  "CMakeFiles/finetune_test.dir/finetune_test.cc.o.d"
+  "finetune_test"
+  "finetune_test.pdb"
+  "finetune_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/finetune_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flowserve_test.dir/flowserve_test.cc.o"
+  "CMakeFiles/flowserve_test.dir/flowserve_test.cc.o.d"
+  "flowserve_test"
+  "flowserve_test.pdb"
+  "flowserve_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flowserve_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

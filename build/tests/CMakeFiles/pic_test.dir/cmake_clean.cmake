@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pic_test.dir/pic_test.cc.o"
+  "CMakeFiles/pic_test.dir/pic_test.cc.o.d"
+  "pic_test"
+  "pic_test.pdb"
+  "pic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtc_test.dir/rtc_test.cc.o"
+  "CMakeFiles/rtc_test.dir/rtc_test.cc.o.d"
+  "rtc_test"
+  "rtc_test.pdb"
+  "rtc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/hw_test[1]_include.cmake")
+include("/root/repo/build/tests/model_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/rtc_test[1]_include.cmake")
+include("/root/repo/build/tests/distflow_test[1]_include.cmake")
+include("/root/repo/build/tests/flowserve_test[1]_include.cmake")
+include("/root/repo/build/tests/serving_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/fault_test[1]_include.cmake")
+include("/root/repo/build/tests/pic_test[1]_include.cmake")
+include("/root/repo/build/tests/finetune_test[1]_include.cmake")
+include("/root/repo/build/tests/moe_test[1]_include.cmake")
+include("/root/repo/build/tests/frontend_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/sched_policy_test[1]_include.cmake")

@@ -16,6 +16,9 @@ namespace {
 
 double MeasureTpot(bool ae, int batch, double link_gbps = 90.0) {
   sim::Simulator sim;
+  if (auto* session = bench::ObsSession::active()) {
+    session->Attach(sim);
+  }
   flowserve::EngineConfig config;
   config.model = model::ModelSpec::Mixtral8x7B();
   config.npu_spec = hw::NpuSpec::Gen2();
@@ -51,6 +54,9 @@ double MeasureTpot(bool ae, int batch, double link_gbps = 90.0) {
 
 int64_t KvCapacity(bool ae) {
   sim::Simulator sim;
+  if (auto* session = bench::ObsSession::active()) {
+    session->Attach(sim);
+  }
   flowserve::EngineConfig config;
   config.model = model::ModelSpec::Mixtral8x7B();
   config.parallelism = {4, 1, 1};
@@ -62,7 +68,8 @@ int64_t KvCapacity(bool ae) {
 }  // namespace
 }  // namespace deepserve
 
-int main() {
+int main(int argc, char** argv) {
+  deepserve::bench::ObsSession obs(argc, argv);
   using deepserve::bench::PrintHeader;
   using deepserve::bench::PrintRule;
   PrintHeader("Ablation: attention-expert disaggregation (Mixtral-8x7B TP=4)");

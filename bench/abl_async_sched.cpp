@@ -14,6 +14,9 @@ namespace {
 
 void RunLevel(const char* name, const flowserve::EngineFeatures& features, int batch) {
   sim::Simulator sim;
+  if (auto* session = bench::ObsSession::active()) {
+    session->Attach(sim);
+  }
   flowserve::EngineConfig config = bench::Engine34BTp4(flowserve::EngineRole::kColocated);
   config.features = features;
   config.enable_prefix_caching = false;
@@ -43,7 +46,8 @@ void RunLevel(const char* name, const flowserve::EngineFeatures& features, int b
 }  // namespace
 }  // namespace deepserve
 
-int main() {
+int main(int argc, char** argv) {
+  deepserve::bench::ObsSession obs(argc, argv);
   using deepserve::bench::PrintHeader;
   using deepserve::bench::PrintRule;
   PrintHeader("Ablation: async execution — where the iteration time goes (34B TP=4)");

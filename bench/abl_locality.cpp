@@ -43,7 +43,8 @@ void RunPolicy(const char* name, serving::SchedulingPolicy policy, double rps) {
 }  // namespace
 }  // namespace deepserve
 
-int main() {
+int main(int argc, char** argv) {
+  deepserve::bench::ObsSession obs(argc, argv);
   using deepserve::bench::PrintHeader;
   using deepserve::bench::PrintRule;
   PrintHeader("Ablation: locality-aware scheduling on a shared-prefix trace (4 TEs)");

@@ -23,6 +23,9 @@ struct RagResult {
 
 RagResult RunRag(bool prefix_caching, bool pic) {
   sim::Simulator sim;
+  if (auto* session = bench::ObsSession::active()) {
+    session->Attach(sim);
+  }
   flowserve::EngineConfig config = bench::Engine34BTp4(flowserve::EngineRole::kColocated);
   config.enable_prefix_caching = prefix_caching;
   config.enable_pic = pic;
@@ -79,7 +82,8 @@ RagResult RunRag(bool prefix_caching, bool pic) {
 }  // namespace
 }  // namespace deepserve
 
-int main() {
+int main(int argc, char** argv) {
+  deepserve::bench::ObsSession obs(argc, argv);
   using deepserve::bench::PrintHeader;
   using deepserve::bench::PrintRule;
   PrintHeader("Ablation: position-independent caching on a RAG workload (34B TP=4)");

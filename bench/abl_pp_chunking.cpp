@@ -16,6 +16,9 @@ namespace {
 
 double MeasureTtftMs(bool spread, int64_t prompt_len, int64_t chunk) {
   sim::Simulator sim;
+  if (auto* session = bench::ObsSession::active()) {
+    session->Attach(sim);
+  }
   flowserve::EngineConfig config = bench::Engine34BTp4(flowserve::EngineRole::kColocated);
   config.parallelism = {2, 4, 1};  // PP = 4
   config.prefill_chunk_tokens = chunk;
@@ -53,7 +56,8 @@ double MeasureTtftMs(bool spread, int64_t prompt_len, int64_t chunk) {
 }  // namespace
 }  // namespace deepserve
 
-int main() {
+int main(int argc, char** argv) {
+  deepserve::bench::ObsSession obs(argc, argv);
   using deepserve::bench::PrintHeader;
   using deepserve::bench::PrintRule;
   PrintHeader("Ablation: PP chunk spreading vs sticky micro-batch (PP=4, 34B)");

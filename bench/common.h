@@ -5,12 +5,15 @@
 #define DEEPSERVE_BENCH_COMMON_H_
 
 #include <cstdio>
+#include <cstring>
 #include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "distflow/distflow.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "hw/cluster.h"
 #include "serving/cluster_manager.h"
 #include "serving/job_executor.h"
@@ -44,6 +47,109 @@ inline flowserve::EngineConfig Engine34BTp4Paper(flowserve::EngineRole role) {
   return config;
 }
 
+// Command-line observability session for the benches. Parses
+//   --trace-out=<path>     Chrome trace_event JSON (chrome://tracing, Perfetto)
+//   --trace-jsonl=<path>   one event per line, for scripted analysis
+//   --metrics-out=<path>   metrics-registry dump (counters/gauges/stats)
+// and attaches its tracer/registry to every Testbed simulator built while it
+// is alive (raw-sim benches call Attach() themselves). Outputs are written
+// when the session is destroyed. With no flags given, nothing attaches and
+// the run is bit-identical to an uninstrumented one.
+class ObsSession {
+ public:
+  ObsSession(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      auto take = [&arg](const char* prefix, std::string* out) {
+        size_t n = std::strlen(prefix);
+        if (arg.compare(0, n, prefix) == 0) {
+          *out = arg.substr(n);
+          return true;
+        }
+        return false;
+      };
+      if (!take("--trace-out=", &chrome_path_) && !take("--trace-jsonl=", &jsonl_path_) &&
+          !take("--metrics-out=", &metrics_path_)) {
+        std::fprintf(stderr,
+                     "warning: ignoring unknown flag %s (supported: --trace-out=, "
+                     "--trace-jsonl=, --metrics-out=)\n",
+                     arg.c_str());
+      }
+    }
+    active_ = this;
+  }
+
+  ~ObsSession() {
+    Finish();
+    if (active_ == this) {
+      active_ = nullptr;
+    }
+  }
+
+  ObsSession(const ObsSession&) = delete;
+  ObsSession& operator=(const ObsSession&) = delete;
+
+  bool tracing() const { return !chrome_path_.empty() || !jsonl_path_.empty(); }
+  bool metrics_enabled() const { return !metrics_path_.empty(); }
+
+  void Attach(sim::Simulator& sim) {
+    if (tracing()) {
+      sim.SetTracer(&tracer_);
+    }
+    if (metrics_enabled()) {
+      sim.SetMetrics(&metrics_);
+    }
+  }
+
+  // Writes the requested outputs (idempotent; also runs at destruction).
+  void Finish() {
+    if (finished_) {
+      return;
+    }
+    finished_ = true;
+    auto report = [](const Status& status, const std::string& path, size_t events) {
+      if (!status.ok()) {
+        std::fprintf(stderr, "trace: %s\n", status.ToString().c_str());
+      } else {
+        std::fprintf(stderr, "trace: wrote %zu events to %s\n", events, path.c_str());
+      }
+    };
+    if (!chrome_path_.empty()) {
+      report(tracer_.WriteChromeJson(chrome_path_), chrome_path_, tracer_.size());
+    }
+    if (!jsonl_path_.empty()) {
+      report(tracer_.WriteJsonl(jsonl_path_), jsonl_path_, tracer_.size());
+    }
+    if (!metrics_path_.empty()) {
+      std::string dump = metrics_.Dump();
+      std::FILE* f = std::fopen(metrics_path_.c_str(), "w");
+      if (f == nullptr) {
+        std::fprintf(stderr, "metrics: cannot open %s\n", metrics_path_.c_str());
+      } else {
+        std::fwrite(dump.data(), 1, dump.size(), f);
+        std::fclose(f);
+        std::fprintf(stderr, "metrics: wrote %s\n", metrics_path_.c_str());
+      }
+    }
+  }
+
+  obs::Tracer& tracer() { return tracer_; }
+  obs::MetricsRegistry& metrics() { return metrics_; }
+
+  // The session currently in scope (benches construct exactly one, first
+  // thing in main), or nullptr when the bench takes no observability flags.
+  static ObsSession* active() { return active_; }
+
+ private:
+  std::string chrome_path_;
+  std::string jsonl_path_;
+  std::string metrics_path_;
+  bool finished_ = false;
+  obs::Tracer tracer_;
+  obs::MetricsRegistry metrics_;
+  static inline ObsSession* active_ = nullptr;
+};
+
 // A self-contained serving testbed: simulator, cluster, DistFlow, manager,
 // TEs, and one JE.
 class Testbed {
@@ -53,6 +159,9 @@ class Testbed {
                    serving::PdHeatmap heatmap = serving::PdHeatmap::Default(),
                    std::unique_ptr<serving::DecodeLengthPredictor> predictor =
                        serving::MakeOraclePredictor()) {
+    if (ObsSession* obs = ObsSession::active()) {
+      obs->Attach(sim_);
+    }
     hw::ClusterConfig cluster_config;
     cluster_config.num_machines = num_machines;
     cluster_config.machines_per_scaleup_domain = std::max(4, num_machines);

@@ -27,6 +27,9 @@ struct Point {
 
 Point RunOffline(const flowserve::EngineFeatures& features, int batch, int64_t prefill_len) {
   sim::Simulator sim;
+  if (auto* session = bench::ObsSession::active()) {
+    session->Attach(sim);
+  }
   flowserve::EngineConfig config = bench::Engine34BTp4(flowserve::EngineRole::kColocated);
   config.features = features;
   config.enable_prefix_caching = false;  // offline benchmark: no reuse
@@ -97,7 +100,8 @@ void RunPanel(int64_t prefill_len) {
 }  // namespace
 }  // namespace deepserve
 
-int main() {
+int main(int argc, char** argv) {
+  deepserve::bench::ObsSession obs(argc, argv);
   deepserve::RunPanel(2048);
   deepserve::RunPanel(4096);
 

@@ -36,7 +36,8 @@ void RunSetup(const Setup& setup, double rps) {
 }  // namespace
 }  // namespace deepserve
 
-int main() {
+int main(int argc, char** argv) {
+  deepserve::bench::ObsSession obs(argc, argv);
   using deepserve::bench::PrintHeader;
   using deepserve::bench::PrintRule;
   PrintHeader(

@@ -85,7 +85,8 @@ serving::PdHeatmap RunAtRps(double rps, bool print) {
 }  // namespace
 }  // namespace deepserve
 
-int main() {
+int main(int argc, char** argv) {
+  deepserve::bench::ObsSession obs(argc, argv);
   using deepserve::bench::PrintHeader;
   PrintHeader("Figure 5: PD-disaggregated vs PD-colocated heatmap (34B TP=4)");
   const std::vector<double> rps_levels = {0.2, 0.35, 0.5};

@@ -42,7 +42,8 @@ void RunCase(const PolicyCase& c, double rps) {
 }  // namespace
 }  // namespace deepserve
 
-int main() {
+int main(int argc, char** argv) {
+  deepserve::bench::ObsSession obs(argc, argv);
   using deepserve::bench::PrintHeader;
   using deepserve::bench::PrintRule;
   PrintHeader(

@@ -14,6 +14,9 @@ namespace {
 serving::ScalingBreakdown RunScale(serving::ScalingOptimizations opts, bool prewarm_pools,
                                    bool preload_model) {
   sim::Simulator sim;
+  if (auto* session = bench::ObsSession::active()) {
+    session->Attach(sim);
+  }
   hw::ClusterConfig cluster_config;
   cluster_config.num_machines = 4;
   hw::Cluster cluster(&sim, cluster_config);
@@ -57,7 +60,8 @@ void PrintRow(const char* name, const serving::ScalingBreakdown& b) {
 }  // namespace
 }  // namespace deepserve
 
-int main() {
+int main(int argc, char** argv) {
+  deepserve::bench::ObsSession obs(argc, argv);
   using deepserve::bench::PrintHeader;
   using deepserve::bench::PrintRule;
   using deepserve::serving::ScalingOptimizations;

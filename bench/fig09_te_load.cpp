@@ -26,6 +26,9 @@ struct ModelCase {
 // "dram-hit", "dram-miss", "fork-hccs", "fork-roce".
 double Measure(const ModelCase& mc, const std::string& mode) {
   sim::Simulator sim;
+  if (auto* session = bench::ObsSession::active()) {
+    session->Attach(sim);
+  }
   hw::ClusterConfig config;
   config.num_machines = 8;
   config.machines_per_scaleup_domain = 4;
@@ -64,7 +67,8 @@ double Measure(const ModelCase& mc, const std::string& mode) {
 }  // namespace
 }  // namespace deepserve
 
-int main() {
+int main(int argc, char** argv) {
+  deepserve::bench::ObsSession obs(argc, argv);
   using deepserve::bench::PrintHeader;
   using deepserve::bench::PrintRule;
   using deepserve::model::ModelSpec;

@@ -25,6 +25,9 @@ struct ForkResult {
 // of prefill and/or `busy_decode_batch` decoding sequences of 1K tokens.
 ForkResult RunFork(int count, int64_t busy_prefill, int busy_decode_batch) {
   sim::Simulator sim;
+  if (auto* session = bench::ObsSession::active()) {
+    session->Attach(sim);
+  }
   hw::ClusterConfig config;
   config.num_machines = 16;
   config.npus_per_machine = 8;
@@ -86,7 +89,8 @@ ForkResult RunFork(int count, int64_t busy_prefill, int busy_decode_batch) {
 }  // namespace
 }  // namespace deepserve
 
-int main() {
+int main(int argc, char** argv) {
+  deepserve::bench::ObsSession obs(argc, argv);
   using deepserve::bench::PrintHeader;
   using deepserve::bench::PrintRule;
   PrintHeader("Figure 10a: NPU-fork scalability (Llama3-8B TP=1, HCCS broadcast)");

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Tier-1 verification plus a sanitizer pass over the test suite.
+#
+#   ./ci.sh          # release-ish build + ctest, then ASan/UBSan build + ctest
+#   ./ci.sh --fast   # tier-1 only (skip the sanitizer build)
+set -euo pipefail
+cd "$(dirname "$0")"
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+echo "==> tier-1: configure + build + ctest (build/)"
+cmake -B build -S . >/dev/null
+cmake --build build -j "${JOBS}"
+(cd build && ctest --output-on-failure -j "${JOBS}")
+
+if [[ "${1:-}" == "--fast" ]]; then
+  echo "==> --fast: skipping sanitizer pass"
+  exit 0
+fi
+
+echo "==> sanitizers: ASan/UBSan build + ctest (build-asan/)"
+cmake -B build-asan -S . \
+  -DCMAKE_BUILD_TYPE=Debug \
+  -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer" \
+  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined" >/dev/null
+cmake --build build-asan -j "${JOBS}"
+(cd build-asan && ctest --output-on-failure -j "${JOBS}")
+
+echo "==> ci.sh: all green"

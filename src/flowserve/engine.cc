@@ -75,6 +75,33 @@ Engine::Engine(sim::Simulator* sim, EngineConfig config)
 
 Engine::~Engine() = default;
 
+int Engine::TracePid() {
+  obs::Tracer* tracer = sim_->tracer();
+  if (tracer == nullptr) {
+    return -1;
+  }
+  if (trace_pid_ < 0) {
+    trace_pid_ = tracer->NewTrack("engine/" + std::string(EngineRoleToString(config_.role)) +
+                                  "/" + config_.model.name);
+    for (const auto& group : groups_) {
+      tracer->SetLaneName(trace_pid_, group->index, "dp" + std::to_string(group->index));
+    }
+  }
+  return trace_pid_;
+}
+
+void Engine::EnsureMetrics() {
+  obs::MetricsRegistry* metrics = sim_->metrics();
+  if (metrics == nullptr || m_steps_ != nullptr) {
+    return;
+  }
+  m_steps_ = metrics->counter("engine.steps");
+  m_preemptions_ = metrics->counter("engine.preemptions");
+  m_prefill_tokens_ = metrics->counter("engine.prefill_tokens");
+  m_decode_tokens_ = metrics->counter("engine.decode_tokens");
+  m_step_ms_ = metrics->stats("engine.step_ms");
+}
+
 void Engine::AttachNpus(const std::vector<hw::Npu*>& npus) {
   const int ranks = config_.parallelism.tp * config_.parallelism.pp;
   DS_CHECK_EQ(static_cast<int>(npus.size()), ranks * config_.parallelism.dp)
@@ -142,6 +169,13 @@ void Engine::Submit(const workload::RequestSpec& spec, SeqCallback on_first_toke
   sequences_.push_back(std::move(owned));
   live_.insert(seq);
   ++stats_.submitted;
+  if (obs::Tracer* t = sim_->tracer()) {
+    t->Instant(sim_->Now(), TracePid(), seq->dp_group, "seq.submit",
+               {obs::Arg("req", static_cast<int64_t>(seq->request_id)),
+                obs::Arg("prompt_len", seq->prompt_len()),
+                obs::Arg("decode_len", seq->decode_target),
+                obs::Arg("priority", seq->priority)});
+  }
   // The tokenizer module runs independently ahead of sched-enqueue (§4.1).
   DurationNs tokenize = tokenizer_.EncodeDuration(static_cast<size_t>(seq->prompt_len()));
   sim_->ScheduleAfter(tokenize, [this, seq] {
@@ -227,6 +261,12 @@ void Engine::FinishEnqueue(Sequence* seq) {
   stats_.reused_tokens += seq->reused_tokens;
   seq->state = SeqState::kQueued;
   seq->enqueue_time = sim_->Now();
+  if (obs::Tracer* t = sim_->tracer()) {
+    t->Instant(sim_->Now(), TracePid(), group.index, "seq.enqueue",
+               {obs::Arg("req", static_cast<int64_t>(seq->request_id)),
+                obs::Arg("reused_tokens", seq->reused_tokens),
+                obs::Arg("pic_tokens", seq->pic_tokens)});
+  }
   group.ready.push_back(seq);
   KickLoop(group);
 }
@@ -239,6 +279,8 @@ Status Engine::SubmitPrefilled(const workload::RequestSpec& spec, SeqCallback on
   seq->request_id = spec.id;
   seq->prompt = spec.prompt;
   seq->decode_target = std::max<int64_t>(1, spec.decode_len);
+  seq->context_id = spec.context_id;
+  seq->priority = spec.priority;
   seq->prefill_target = seq->prompt_len();
   seq->prefilled = seq->prompt_len();
   seq->generated = 1;  // the prefill TE produced the first token
@@ -260,6 +302,13 @@ Status Engine::SubmitPrefilled(const workload::RequestSpec& spec, SeqCallback on
   ++stats_.submitted;
   sequences_.push_back(std::move(owned));
   live_.insert(seq);
+  if (obs::Tracer* t = sim_->tracer()) {
+    t->Instant(sim_->Now(), TracePid(), seq->dp_group, "seq.submit",
+               {obs::Arg("req", static_cast<int64_t>(seq->request_id)),
+                obs::Arg("prompt_len", seq->prompt_len()),
+                obs::Arg("decode_len", seq->decode_target),
+                obs::Arg("priority", seq->priority), obs::Arg("prefilled", true)});
+  }
   if (seq->decode_done()) {
     sim_->ScheduleAfter(0, [this, seq, &group] {
       if (Alive(seq)) {
@@ -347,11 +396,30 @@ bool Engine::PreemptVictim(DpGroup& group, Sequence* keep, const StepPlan* plan)
     return false;
   }
   ++stats_.preemptions;
+  EnsureMetrics();
+  if (m_preemptions_ != nullptr) {
+    m_preemptions_->Inc();
+  }
+  if (obs::Tracer* t = sim_->tracer()) {
+    t->Instant(sim_->Now(), TracePid(), group.index, "preempt",
+               {obs::Arg("req", static_cast<int64_t>(victim->request_id)),
+                obs::Arg("priority", victim->priority),
+                obs::Arg("state", SeqStateToString(victim->state)),
+                obs::Arg("prefilled", victim->prefilled)});
+  }
   group.rtc->Free(victim->blocks);
   victim->blocks.clear();
   victim->block_tokens = 0;
   victim->prefilled = 0;
   victim->reused_tokens = 0;
+  // Preemption drops all KV, including the position-independent pins: the
+  // rebuild recomputes from scratch, so releasing the PIC blocks keeps the
+  // pool accounting honest and lets the cache evict them if pressed.
+  if (!victim->pic_blocks.empty()) {
+    group.rtc->Free(victim->pic_blocks);
+    victim->pic_blocks.clear();
+  }
+  victim->pic_tokens = 0;
   victim->prefill_target = victim->prompt_len() + victim->generated;
   if (victim->state == SeqState::kDecoding) {
     group.decoding.erase(std::find(group.decoding.begin(), group.decoding.end(), victim));
@@ -420,9 +488,9 @@ bool Engine::BuildStep(DpGroup& group, StepPlan* plan) {
     }
     plan->prefill_chunks.emplace_back(seq, chunk);
     plan->shape.prefill_tokens += effective;
-    plan->shape.prefill_attended_tokens +=
-        model::AttendedTokens(seq->prefilled * effective / std::max<int64_t>(1, chunk),
-                              effective);
+    // The PIC discount shrinks the compute volume (effective < chunk), but the
+    // tokens that do run still attend over the full physical past context.
+    plan->shape.prefill_attended_tokens += model::AttendedTokens(seq->prefilled, effective);
     budget -= chunk;
   };
 
@@ -518,6 +586,7 @@ void Engine::RunStep(DpGroup& group) {
   }
   group.loop_running = true;
   ++stats_.steps;
+  stats_.prefill_attended_tokens += plan.shape.prefill_attended_tokens;
   stats_.npu_busy += plan.npu_time;
   stats_.cpu_sched_total += plan.cpu_time;
   DurationNs iteration;
@@ -549,6 +618,20 @@ void Engine::RunStep(DpGroup& group) {
           std::min(config_.prefill_chunk_tokens, group.current_chunk * 11 / 10 + 1);
     }
   }
+  EnsureMetrics();
+  if (m_steps_ != nullptr) {
+    m_steps_->Inc();
+    m_step_ms_->Add(NsToMilliseconds(iteration));
+  }
+  if (obs::Tracer* t = sim_->tracer()) {
+    t->Begin(sim_->Now(), TracePid(), group.index, "step",
+             {obs::Arg("prefill_tokens", plan.shape.prefill_tokens),
+              obs::Arg("attended_tokens", plan.shape.prefill_attended_tokens),
+              obs::Arg("decode_seqs", plan.shape.decode_seqs),
+              obs::Arg("decode_ctx", plan.shape.decode_context_tokens),
+              obs::Arg("npu_ms", NsToMilliseconds(plan.npu_time)),
+              obs::Arg("cpu_ms", NsToMilliseconds(plan.cpu_time))});
+  }
   ++busy_groups_;
   sim_->ScheduleAfter(iteration, [this, &group, plan = std::move(plan)]() mutable {
     --busy_groups_;
@@ -557,6 +640,13 @@ void Engine::RunStep(DpGroup& group) {
 }
 
 void Engine::CompleteStep(DpGroup& group, StepPlan plan) {
+  if (obs::Tracer* t = sim_->tracer()) {
+    t->End(sim_->Now(), TracePid(), group.index, "step");
+  }
+  if (m_prefill_tokens_ != nullptr) {
+    m_prefill_tokens_->Inc(plan.shape.prefill_tokens);
+    m_decode_tokens_->Inc(plan.shape.decode_seqs);
+  }
   for (auto& [seq, chunk] : plan.prefill_chunks) {
     if (!Alive(seq) || seq->state != SeqState::kPrefilling) {
       continue;  // cancelled or preempted while this step ran
@@ -604,7 +694,17 @@ void Engine::FinishPrefill(DpGroup& group, Sequence* seq, DurationNs extra_laten
       // Layers 1..L-1 streamed during prefill; only the last layer remains.
       kv_bytes /= static_cast<Bytes>(std::max(1, config_.model.num_layers));
     }
-    auto deliver = [this, &group, seq] {
+    const workload::RequestId req_id = seq->request_id;
+    if (obs::Tracer* t = sim_->tracer()) {
+      t->AsyncBegin(sim_->Now(), TracePid(), static_cast<uint64_t>(req_id), "kv_send",
+                    {obs::Arg("req", static_cast<int64_t>(req_id)),
+                     obs::Arg("bytes", static_cast<int64_t>(kv_bytes)),
+                     obs::Arg("tokens", seq->prefilled)});
+    }
+    auto deliver = [this, &group, seq, req_id] {
+      if (obs::Tracer* t = sim_->tracer()) {
+        t->AsyncEnd(sim_->Now(), TracePid(), static_cast<uint64_t>(req_id), "kv_send");
+      }
       if (!Alive(seq)) {
         return;
       }
@@ -644,6 +744,11 @@ void Engine::FinishSequence(DpGroup& group, Sequence* seq, DurationNs extra_late
   seq->state = SeqState::kFinished;
   if (seq->first_token_time == 0) {
     seq->first_token_time = seq->finish_time;
+  }
+  if (obs::Tracer* t = sim_->tracer()) {
+    t->Instant(sim_->Now(), TracePid(), group.index, "seq.finish",
+               {obs::Arg("req", static_cast<int64_t>(seq->request_id)),
+                obs::Arg("generated", seq->generated)});
   }
   if (seq->on_complete) {
     seq->on_complete(*seq);
@@ -693,6 +798,11 @@ Status Engine::Cancel(workload::RequestId request_id) {
     DpGroup& group = GroupFor(*seq);
     DetachFromGroup(group, seq);
     ++stats_.cancelled;
+    if (obs::Tracer* t = sim_->tracer()) {
+      t->Instant(sim_->Now(), TracePid(), group.index, "seq.cancel",
+                 {obs::Arg("req", static_cast<int64_t>(seq->request_id)),
+                  obs::Arg("state", SeqStateToString(seq->state))});
+    }
     // No preservation: a cancelled request's partial KV dies with its pins.
     ReleaseSequence(group, seq, /*preserve=*/false);
     return Status::Ok();

@@ -46,6 +46,9 @@ struct EngineStats {
   int64_t completed = 0;
   int64_t steps = 0;
   int64_t prefill_tokens_processed = 0;
+  // Attention-window tokens charged to prefill chunks (the quadratic FLOPs
+  // driver); pinned by the PIC step-shape unit tests.
+  int64_t prefill_attended_tokens = 0;
   int64_t decode_tokens_generated = 0;
   int64_t reused_tokens = 0;
   int64_t pic_reused_tokens = 0;
@@ -171,6 +174,12 @@ class Engine {
   // outlive a cancelled sequence; they must re-validate through this.
   bool Alive(const Sequence* seq) const { return live_.count(seq) > 0; }
   void DetachFromGroup(DpGroup& group, Sequence* seq);
+  // Lazily registers this engine's trace track (one Chrome "process", one
+  // lane per DP group). Returns -1 when no tracer is attached, so call sites
+  // stay zero-cost with tracing disabled.
+  int TracePid();
+  // Lazily binds registry counters; no-op until a registry is attached.
+  void EnsureMetrics();
 
   sim::Simulator* sim_;
   EngineConfig config_;
@@ -186,6 +195,13 @@ class Engine {
 
   EngineStats stats_;
   int busy_groups_ = 0;
+
+  int trace_pid_ = -1;
+  obs::Counter* m_steps_ = nullptr;
+  obs::Counter* m_preemptions_ = nullptr;
+  obs::Counter* m_prefill_tokens_ = nullptr;
+  obs::Counter* m_decode_tokens_ = nullptr;
+  OnlineStats* m_step_ms_ = nullptr;
 };
 
 }  // namespace deepserve::flowserve

@@ -1,0 +1,51 @@
+#include "obs/metrics.h"
+
+#include <cstdio>
+
+namespace deepserve::obs {
+
+Counter* MetricsRegistry::counter(const std::string& name) {
+  auto& slot = counters_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Counter>();
+  }
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::gauge(const std::string& name) {
+  auto& slot = gauges_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Gauge>();
+  }
+  return slot.get();
+}
+
+OnlineStats* MetricsRegistry::stats(const std::string& name) {
+  auto& slot = stats_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<OnlineStats>();
+  }
+  return slot.get();
+}
+
+std::string MetricsRegistry::Dump() const {
+  std::string out;
+  char buf[256];
+  for (const auto& [name, c] : counters_) {
+    std::snprintf(buf, sizeof(buf), "counter %-40s %lld\n", name.c_str(),
+                  static_cast<long long>(c->value()));
+    out += buf;
+  }
+  for (const auto& [name, g] : gauges_) {
+    std::snprintf(buf, sizeof(buf), "gauge   %-40s %.6g\n", name.c_str(), g->value());
+    out += buf;
+  }
+  for (const auto& [name, s] : stats_) {
+    std::snprintf(buf, sizeof(buf), "stats   %-40s count=%zu mean=%.6g min=%.6g max=%.6g\n",
+                  name.c_str(), s->count(), s->mean(), s->min(), s->max());
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace deepserve::obs

@@ -1,0 +1,73 @@
+// Named metrics registry: counters, gauges, and OnlineStats that subsystems
+// register once (get-or-create by name) and that dump uniformly.
+//
+// Naming convention (documented in README.md): dot-separated
+// `<subsystem>.<metric>` paths, lower_snake_case leaves, e.g.
+//   sim.events_fired, engine.steps, rtc.cache.hits, cm.scale_ups.
+// Several instances of a subsystem (engines in a fleet, per-DP-group RTCs)
+// share one entry — registry metrics are fleet-wide totals; per-entity
+// timelines belong to the Tracer.
+//
+// Handles returned by counter()/gauge()/stats() are stable for the registry's
+// lifetime, so hot paths hold the pointer and pay one null check + one
+// increment — never a map lookup.
+#ifndef DEEPSERVE_OBS_METRICS_H_
+#define DEEPSERVE_OBS_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/stats.h"
+
+namespace deepserve::obs {
+
+class Counter {
+ public:
+  void Inc(int64_t delta = 1) { value_ += delta; }
+  int64_t value() const { return value_; }
+
+ private:
+  int64_t value_ = 0;
+};
+
+class Gauge {
+ public:
+  void Set(double v) { value_ = v; }
+  void SetMax(double v) { value_ = v > value_ ? v : value_; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Get-or-create; the returned pointer stays valid for the registry's life.
+  Counter* counter(const std::string& name);
+  Gauge* gauge(const std::string& name);
+  OnlineStats* stats(const std::string& name);
+
+  size_t size() const { return counters_.size() + gauges_.size() + stats_.size(); }
+
+  // Sorted, uniform text dump:
+  //   counter <name> <value>
+  //   gauge   <name> <value>
+  //   stats   <name> count=<n> mean=<m> min=<lo> max=<hi>
+  std::string Dump() const;
+
+ private:
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<OnlineStats>> stats_;
+};
+
+}  // namespace deepserve::obs
+
+#endif  // DEEPSERVE_OBS_METRICS_H_

@@ -17,6 +17,18 @@ RtcMaster::RtcMaster(sim::Simulator* sim, RtcConfig config)
   };
 }
 
+int RtcMaster::TracePid() {
+  obs::Tracer* tracer = sim_->tracer();
+  if (tracer == nullptr) {
+    return -1;
+  }
+  if (trace_pid_ < 0) {
+    trace_pid_ = tracer->NewTrack("rtc");
+    tracer->SetLaneName(trace_pid_, 0, "cache");
+  }
+  return trace_pid_;
+}
+
 void RtcMaster::SyncListeners() {
   int64_t used = pool_.used(Tier::kNpu);
   int64_t delta = used - last_npu_used_;
@@ -75,14 +87,27 @@ MatchInfo RtcMaster::MatchByPrefixToken(std::span<const TokenId> prompt) {
   } else {
     ++stats_.match_misses;
   }
+  if (obs::Tracer* t = sim_->tracer()) {
+    t->Instant(sim_->Now(), TracePid(), 0, matched_tokens > 0 ? "cache.hit" : "cache.miss",
+               {obs::Arg("kind", "prefix"),
+                obs::Arg("matched_tokens", matched_tokens),
+                obs::Arg("requested_tokens", static_cast<int64_t>(prompt.size()))});
+  }
   return BuildMatchInfo(blocks, matched_tokens);
 }
 
 MatchInfo RtcMaster::MatchByID(const std::string& id) {
+  auto miss = [this, &id] {
+    ++stats_.match_misses;
+    if (obs::Tracer* t = sim_->tracer()) {
+      t->Instant(sim_->Now(), TracePid(), 0, "cache.miss",
+                 {obs::Arg("kind", "id"), obs::Arg("id", id)});
+    }
+    return MatchInfo{};
+  };
   auto it = id_index_.find(id);
   if (it == id_index_.end()) {
-    ++stats_.match_misses;
-    return MatchInfo{};
+    return miss();
   }
   // Validate against eviction: any discarded block invalidates the entry
   // (block ids are never reused, so Exists() is a safe liveness check).
@@ -90,14 +115,18 @@ MatchInfo RtcMaster::MatchByID(const std::string& id) {
     if (!pool_.Exists(block)) {
       id_index_.erase(it);
       id_tokens_.erase(id);
-      ++stats_.match_misses;
-      return MatchInfo{};
+      return miss();
     }
   }
   ++stats_.match_hits;
   int64_t tokens = id_tokens_.at(id);
   stats_.matched_tokens += tokens;
   stats_.requested_tokens += tokens;
+  if (obs::Tracer* t = sim_->tracer()) {
+    t->Instant(sim_->Now(), TracePid(), 0, "cache.hit",
+               {obs::Arg("kind", "id"), obs::Arg("id", id),
+                obs::Arg("matched_tokens", tokens)});
+  }
   return BuildMatchInfo(it->second, tokens);
 }
 
@@ -140,6 +169,12 @@ Result<PopulateTicket> RtcMaster::Populate(const MatchInfo& info) {
   inflight_populates_[ticket] = groups;
   ++stats_.populates;
   stats_.populated_blocks += needed;
+  if (obs::Tracer* t = sim_->tracer()) {
+    t->AsyncBegin(sim_->Now(), TracePid(), ticket, "populate",
+                  {obs::Arg("blocks", needed),
+                   obs::Arg("from_dram", static_cast<int64_t>(from_dram.size())),
+                   obs::Arg("from_ssd", static_cast<int64_t>(from_ssd.size()))});
+  }
 
   auto launch = [this, ticket](std::vector<BlockId> blocks, Tier src) {
     // Reserve NPU slots up-front so concurrent allocation cannot over-commit;
@@ -160,6 +195,9 @@ Result<PopulateTicket> RtcMaster::Populate(const MatchInfo& info) {
       auto it = inflight_populates_.find(ticket);
       DS_CHECK(it != inflight_populates_.end());
       if (--it->second == 0) {
+        if (obs::Tracer* t = sim_->tracer()) {
+          t->AsyncEnd(sim_->Now(), TracePid(), ticket, "populate");
+        }
         auto cb = populate_callbacks_.find(ticket);
         if (cb != populate_callbacks_.end()) {
           auto fn = std::move(cb->second);

@@ -187,6 +187,8 @@ class RtcMaster {
   using Tree = RadixTree<BlockRun>;
 
   MatchInfo BuildMatchInfo(const std::vector<BlockId>& blocks, int64_t matched_tokens);
+  // Lazily registers this cache's trace track; -1 when tracing is disabled.
+  int TracePid();
   void CommitBlocks(std::span<const TokenId> tokens, std::span<const BlockId> blocks);
   void SyncListeners();
   void MaybeArmSwap();
@@ -213,6 +215,7 @@ class RtcMaster {
   RtcStats stats_;
   int64_t last_npu_used_ = 0;
   bool swap_armed_ = false;
+  int trace_pid_ = -1;
 };
 
 }  // namespace deepserve::rtc

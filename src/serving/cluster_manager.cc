@@ -18,6 +18,25 @@ ClusterManager::ClusterManager(sim::Simulator* sim, hw::Cluster* cluster,
   npu_in_use_.assign(static_cast<size_t>(cluster_->total_npus()), false);
 }
 
+int ClusterManager::TracePid() {
+  obs::Tracer* tracer = sim_->tracer();
+  if (tracer == nullptr) {
+    return -1;
+  }
+  if (trace_pid_ < 0) {
+    trace_pid_ = tracer->NewTrack("cluster-manager");
+    tracer->SetLaneName(trace_pid_, 0, "scaling");
+  }
+  return trace_pid_;
+}
+
+void ClusterManager::TraceScalePhase(std::string_view phase, DurationNs duration) {
+  if (obs::Tracer* t = sim_->tracer()) {
+    t->Instant(sim_->Now(), TracePid(), 0, "scale.phase",
+               {obs::Arg("phase", phase), obs::Arg("ms", NsToMilliseconds(duration))});
+  }
+}
+
 Result<std::vector<hw::NpuId>> ClusterManager::AllocateNpus(int count) {
   DS_CHECK_GT(count, 0);
   // Pack onto as few machines as possible: first machine with enough free
@@ -177,6 +196,7 @@ void ClusterManager::RunScalerPre(std::shared_ptr<PipelineState> state) {
   }
   sim_->ScheduleAfter(cost, [this, state = std::move(state)]() mutable {
     state->breakdown.scaler_pre = sim_->Now() - state->stage_start;
+    TraceScalePhase("scaler-pre", state->breakdown.scaler_pre);
     RunTePreLoad(std::move(state));
   });
 }
@@ -200,6 +220,7 @@ void ClusterManager::RunTePreLoad(std::shared_ptr<PipelineState> state) {
   }
   sim_->ScheduleAfter(cost, [this, state = std::move(state)]() mutable {
     state->breakdown.te_pre_load = sim_->Now() - state->stage_start;
+    TraceScalePhase("te-pre-load", state->breakdown.te_pre_load);
     RunTeLoad(std::move(state));
   });
 }
@@ -213,6 +234,7 @@ void ClusterManager::RunTeLoad(std::shared_ptr<PipelineState> state) {
     // PyTorch tensor initialization happens once the bytes are local.
     sim_->ScheduleAfter(latency_.tensor_init, [this, state]() mutable {
       state->breakdown.te_load = sim_->Now() - state->stage_start;
+      TraceScalePhase("te-load", state->breakdown.te_load);
       RunTePostLoad(std::move(state));
     });
   };
@@ -289,6 +311,7 @@ void ClusterManager::RunTePostLoad(std::shared_ptr<PipelineState> state) {
   state->stage_start = sim_->Now();
   sim_->ScheduleAfter(PostLoadDuration(), [this, state = std::move(state)]() mutable {
     state->breakdown.te_post_load = sim_->Now() - state->stage_start;
+    TraceScalePhase("te-post-load", state->breakdown.te_post_load);
     RunScalerPost(std::move(state));
   });
 }
@@ -298,6 +321,7 @@ void ClusterManager::RunScalerPost(std::shared_ptr<PipelineState> state) {
   DurationNs cost = opts_.proactive_push ? latency_.push_latency : latency_.te_list_poll;
   sim_->ScheduleAfter(cost, [this, state = std::move(state)]() mutable {
     state->breakdown.scaler_post = sim_->Now() - state->stage_start;
+    TraceScalePhase("scaler-post", state->breakdown.scaler_post);
     TeConfig config;
     config.id = next_te_id_++;
     config.engine = state->request.engine;

@@ -20,6 +20,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/status.h"
@@ -186,6 +187,10 @@ class ClusterManager {
   void RunScalerPost(std::shared_ptr<PipelineState> state);
   DurationNs PostLoadDuration() const;
   void AutoscalerTick();
+  // Lazily registers the scaling-pipeline trace track; -1 when disabled.
+  int TracePid();
+  // Emits one scale.phase instant at the completion of a pipeline stage.
+  void TraceScalePhase(std::string_view phase, DurationNs duration);
 
   sim::Simulator* sim_;
   hw::Cluster* cluster_;
@@ -212,6 +217,7 @@ class ClusterManager {
 
   std::vector<std::function<void(TeId)>> failure_handlers_;
   ClusterManagerStats stats_;
+  int trace_pid_ = -1;
 };
 
 }  // namespace deepserve::serving

@@ -216,6 +216,18 @@ void JobExecutor::RecordRoute(const workload::RequestSpec& spec, PromptTree& tre
   TrimTree(tree);
 }
 
+int JobExecutor::TracePid() {
+  obs::Tracer* tracer = sim_->tracer();
+  if (tracer == nullptr) {
+    return -1;
+  }
+  if (trace_pid_ < 0) {
+    trace_pid_ = tracer->NewTrack("je");
+    tracer->SetLaneName(trace_pid_, 0, "routing");
+  }
+  return trace_pid_;
+}
+
 TaskRecord& JobExecutor::NewTask(JobId job, TaskType type, TeId te) {
   TaskRecord task;
   task.id = next_task_++;
@@ -331,12 +343,24 @@ void JobExecutor::HandleRequest(const workload::RequestSpec& spec, SeqCallback o
     TaskExecutor* p = SelectFrom(spec, prefill_tree_, prefill);
     RecordRoute(spec, prefill_tree_, p->id());
     outstanding.tes.push_back(p->id());
+    if (obs::Tracer* t = sim_->tracer()) {
+      t->Instant(sim_->Now(), TracePid(), 0, "je.route",
+                 {obs::Arg("req", static_cast<int64_t>(spec.id)),
+                  obs::Arg("route", "disaggregated"),
+                  obs::Arg("prefill_te", static_cast<int64_t>(p->id()))});
+    }
     DispatchDisaggregated(p, spec, std::move(on_first_token), complete_job);
   } else {
     ++stats_.routed_colocated;
     TaskExecutor* te = SelectFrom(spec, colocated_tree_, coloc);
     RecordRoute(spec, colocated_tree_, te->id());
     outstanding.tes.push_back(te->id());
+    if (obs::Tracer* t = sim_->tracer()) {
+      t->Instant(sim_->Now(), TracePid(), 0, "je.route",
+                 {obs::Arg("req", static_cast<int64_t>(spec.id)),
+                  obs::Arg("route", "colocated"),
+                  obs::Arg("te", static_cast<int64_t>(te->id()))});
+    }
     DispatchColocated(te, spec, std::move(on_first_token), complete_job);
   }
   ++rr_cursor_;
@@ -383,6 +407,10 @@ void JobExecutor::DispatchDisaggregated(TaskExecutor* prefill_te,
 
 void JobExecutor::OnTeFailure(TeId id) {
   ++stats_.failed_tes_handled;
+  if (obs::Tracer* t = sim_->tracer()) {
+    t->Instant(sim_->Now(), TracePid(), 0, "je.te_failure",
+               {obs::Arg("te", static_cast<int64_t>(id))});
+  }
   RemoveTe(id);
   // Collect jobs whose tasks ran on the dead TE, then re-dispatch each.
   std::vector<Outstanding> to_retry;

@@ -126,6 +126,8 @@ class JobExecutor {
                              SeqCallback on_first_token, SeqCallback on_complete);
 
   TaskRecord& NewTask(JobId job, TaskType type, TeId te);
+  // Lazily registers the JE's trace track; -1 when tracing is disabled.
+  int TracePid();
 
   sim::Simulator* sim_;
   JeConfig config_;
@@ -155,6 +157,7 @@ class JobExecutor {
   std::map<JobId, size_t> job_index_;
   std::map<TaskId, size_t> task_index_;
   JeStats stats_;
+  int trace_pid_ = -1;
 };
 
 }  // namespace deepserve::serving

@@ -4,12 +4,31 @@
 
 namespace deepserve::sim {
 
+void Simulator::SetMetrics(obs::MetricsRegistry* metrics) {
+  metrics_ = metrics;
+  if (metrics_ != nullptr) {
+    m_scheduled_ = metrics_->counter("sim.events_scheduled");
+    m_fired_ = metrics_->counter("sim.events_fired");
+    m_cancelled_ = metrics_->counter("sim.events_cancelled");
+    m_max_depth_ = metrics_->gauge("sim.event_queue_depth_max");
+  } else {
+    m_scheduled_ = nullptr;
+    m_fired_ = nullptr;
+    m_cancelled_ = nullptr;
+    m_max_depth_ = nullptr;
+  }
+}
+
 EventId Simulator::ScheduleAt(TimeNs t, EventFn fn) {
   DS_CHECK_GE(t, now_) << "cannot schedule into the past";
   DS_CHECK(fn != nullptr);
   EventId id = next_id_++;
   queue_.push(Event{t, next_seq_++, id, std::move(fn)});
   ++pending_count_;
+  if (m_scheduled_ != nullptr) {
+    m_scheduled_->Inc();
+    m_max_depth_->SetMax(static_cast<double>(pending_count_));
+  }
   return id;
 }
 
@@ -22,6 +41,9 @@ bool Simulator::Cancel(EventId id) {
   if (cancelled_.insert(id).second) {
     if (pending_count_ > 0) {
       --pending_count_;
+      if (m_cancelled_ != nullptr) {
+        m_cancelled_->Inc();
+      }
       return true;
     }
     cancelled_.erase(id);
@@ -40,6 +62,9 @@ void Simulator::FireTop() {
   now_ = ev.time;
   --pending_count_;
   ++fired_count_;
+  if (m_fired_ != nullptr) {
+    m_fired_->Inc();
+  }
   ev.fn();
 }
 

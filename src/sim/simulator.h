@@ -18,6 +18,8 @@
 
 #include "common/logging.h"
 #include "common/types.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace deepserve::sim {
 
@@ -60,6 +62,17 @@ class Simulator {
   size_t PendingEvents() const { return pending_count_; }
   uint64_t TotalFired() const { return fired_count_; }
 
+  // ---- observability attach points ----------------------------------------
+  // The Simulator is the one object every subsystem already holds, so it is
+  // the distribution point for the (optional) tracer and metrics registry.
+  // Both are owned by the caller and may be attached at any time; a null
+  // pointer (the default) means tracing/metrics are disabled and every
+  // instrumentation site reduces to one pointer compare.
+  void SetTracer(obs::Tracer* tracer) { tracer_ = tracer; }
+  obs::Tracer* tracer() const { return tracer_; }
+  void SetMetrics(obs::MetricsRegistry* metrics);
+  obs::MetricsRegistry* metrics() const { return metrics_; }
+
  private:
   struct Event {
     TimeNs time;
@@ -85,6 +98,15 @@ class Simulator {
   size_t pending_count_ = 0;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
   std::unordered_set<EventId> cancelled_;
+
+  obs::Tracer* tracer_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  // Cached registry handles (registered once in SetMetrics) so the hot
+  // schedule/fire paths never do a name lookup.
+  obs::Counter* m_scheduled_ = nullptr;
+  obs::Counter* m_fired_ = nullptr;
+  obs::Counter* m_cancelled_ = nullptr;
+  obs::Gauge* m_max_depth_ = nullptr;
 };
 
 }  // namespace deepserve::sim

@@ -353,6 +353,68 @@ TEST_F(EngineTest, StatsAccounting) {
   EXPECT_GT(stats.cpu_sched_total, 0);
 }
 
+TEST_F(EngineTest, CancelDuringInFlightStep) {
+  Start(TestConfig());
+  bool completed = false;
+  engine_->Submit(MakeRequest(7, 512, 50), nullptr,
+                  [&](const Sequence&) { completed = true; });
+  // Advance until the first step has been issued but not yet completed.
+  while (engine_->stats().steps < 1 && sim_.Step()) {
+  }
+  ASSERT_EQ(engine_->stats().steps, 1);
+  ASSERT_TRUE(engine_->Cancel(7).ok());
+  sim_.Run();  // the in-flight step's completion lands on a dead sequence
+  EXPECT_FALSE(completed);
+  EXPECT_EQ(engine_->stats().cancelled, 1);
+  EXPECT_EQ(engine_->stats().completed, 0);
+  EXPECT_TRUE(engine_->idle());
+  // Every block pin died with the cancellation.
+  EXPECT_TRUE(engine_->rtc().EnsureNpuFree(engine_->kv_block_capacity()).ok());
+  EXPECT_FALSE(engine_->Cancel(7).ok());
+}
+
+TEST_F(EngineTest, CancelDuringWaitingPopulate) {
+  auto config = TestConfig();
+  config.populate_bandwidth_gbps = 1e6;  // fetch always beats recompute
+  Start(config);
+  // Make KV transfers slow enough to park the request mid-populate.
+  engine_->SetRtcTransferFn(
+      [this](rtc::Tier, rtc::Tier, Bytes, std::function<void()> done) {
+        sim_.ScheduleAfter(MillisecondsToNs(10), std::move(done));
+      });
+  auto spec = MakeRequest(1, 256, 2);
+  ASSERT_TRUE(Run(spec).completed);  // warm the prefix cache
+  // Demote the cached prompt: copy to DRAM, then drop its NPU residency.
+  auto match = engine_->rtc().MatchByPrefixToken(spec.prompt);
+  ASSERT_GT(match.matched_tokens, 0);
+  engine_->rtc().Copy(match.blocks, rtc::Tier::kDram, [] {});
+  sim_.Run();
+  ASSERT_TRUE(engine_->rtc().EnsureNpuFree(engine_->kv_block_capacity()).ok());
+
+  // Same prompt again: the match is off-NPU and cheap to fetch, so the
+  // request parks in kWaitingPopulate while the (slow) transfer runs.
+  bool completed = false;
+  engine_->Submit(MakeRequest(2, 256, 2), nullptr,
+                  [&](const Sequence&) { completed = true; });
+  while (engine_->stats().populates_started < 1 && sim_.Step()) {
+  }
+  ASSERT_EQ(engine_->stats().populates_started, 1);
+  ASSERT_TRUE(engine_->Cancel(2).ok());
+  sim_.Run();  // the in-flight populate transfer still lands harmlessly
+  EXPECT_FALSE(completed);
+  EXPECT_EQ(engine_->stats().cancelled, 1);
+  EXPECT_EQ(engine_->stats().completed, 1);  // only the warm-up request
+  EXPECT_TRUE(engine_->idle());
+  // Exactly the repopulated cached prefix remains on-NPU (15 of the 16
+  // matched blocks; truncation dropped the tail block): the cancelled
+  // sequence leaked neither its acquisitions nor the populate pins.
+  EXPECT_EQ(engine_->rtc().pool().used(rtc::Tier::kNpu), 15);
+  // The populated blocks are still a usable cache entry.
+  auto third = Run(MakeRequest(3, 256, 2));
+  EXPECT_TRUE(third.completed);
+  EXPECT_EQ(third.reused, 15 * 16);
+}
+
 // Parameterized sweep: engines complete all work across batch-size and
 // prompt-length combinations without deadlock or leak.
 class EngineSweepTest : public ::testing::TestWithParam<std::tuple<int, int64_t, int64_t>> {};

@@ -177,5 +177,98 @@ TEST_F(EnginePicTest, PicBlocksReleasedAfterCompletion) {
   EXPECT_TRUE(engine.rtc().EnsureNpuFree(engine.kv_block_capacity()).ok());
 }
 
+// Pins the exact step-shape arithmetic. AttendedTokens(past, c) =
+// c*past + c*(c+1)/2; the PIC discount shrinks the chunk's *compute* tokens
+// (effective = floor(chunk * keep)) but those tokens still attend over the
+// full physical past context — the regression this test guards was scaling
+// the past-context term by effective/chunk too.
+TEST_F(EnginePicTest, StepShapeAttendedTokensPinned) {
+  sim::Simulator sim;
+  flowserve::EngineConfig config = Config(true);
+  config.prefill_chunk_tokens = 64;
+  flowserve::Engine engine(&sim, config);
+
+  // Plain 128-token prompt, two 64-token chunks, no reuse:
+  // A(0,64) + A(64,64) = 2080 + 6176 = 8256.
+  workload::RequestSpec plain;
+  plain.id = 1;
+  plain.prompt = Iota(128, 5000);
+  plain.decode_len = 2;
+  engine.Submit(plain, nullptr, nullptr);
+  sim.Run();
+  EXPECT_EQ(engine.stats().prefill_attended_tokens, 8256);
+
+  // PIC request: 64-token header + the now-cached 128-token document.
+  // coverage = 128/192, keep = 1 - (2/3)*0.85 = 13/30, effective =
+  // floor(64*keep) = 27 per chunk over three chunks:
+  // A(0,27) + A(64,27) + A(128,27) = 378 + 2106 + 3834 = 6318.
+  int64_t base = engine.stats().prefill_attended_tokens;
+  workload::RequestSpec spec;
+  spec.id = 2;
+  spec.prompt = Iota(64, 90000);
+  spec.prompt.insert(spec.prompt.end(), plain.prompt.begin(), plain.prompt.end());
+  spec.decode_len = 2;
+  engine.Submit(spec, nullptr, nullptr);
+  sim.Run();
+  EXPECT_EQ(engine.stats().pic_reused_tokens, 128);
+  EXPECT_EQ(engine.stats().prefill_attended_tokens - base, 6318);
+}
+
+// A preempted sequence must drop its PIC pins along with the rest of its KV:
+// the rebuild recomputes from scratch, and pinned-but-unowned blocks would
+// both leak pool capacity and leave a stale discount on the resumed prefill.
+TEST_F(EnginePicTest, PreemptionReleasesPicPins) {
+  sim::Simulator sim;
+  flowserve::EngineConfig config = Config(true);
+  config.prefill_chunk_tokens = 64;
+  config.kv_block_capacity_override = 29;
+  flowserve::Engine engine(&sim, config);
+
+  // Warm: cache a 128-token document (8 blocks). decode_len = 1 so the warm
+  // request generates no decode tokens — the wait loop below must trigger on
+  // the competitor's first decode step, not on this one.
+  workload::RequestSpec warm;
+  warm.id = 1;
+  warm.prompt = Iota(128, 5000);
+  warm.decode_len = 1;
+  engine.Submit(warm, nullptr, nullptr);
+  sim.Run();
+
+  // A long-decoding competitor (service class 0) claims the pool first.
+  workload::RequestSpec hog;
+  hog.id = 2;
+  hog.prompt = Iota(256, 40000);
+  hog.decode_len = 40;
+  hog.priority = 0;
+  bool hog_done = false;
+  engine.Submit(hog, nullptr, [&](const flowserve::Sequence&) { hog_done = true; });
+  while (engine.stats().decode_tokens_generated < 1 && sim.Step()) {
+  }
+
+  // The PIC request pins the cached document, stalls mid-prefill on the full
+  // pool, and is victimized when the competitor's decode grows into a new
+  // block. Its completion must report zero PIC reuse: the pins were dropped
+  // at preemption and the post-resume prefill ran undiscounted.
+  workload::RequestSpec spec;
+  spec.id = 3;
+  spec.prompt = Iota(64, 90000);
+  spec.prompt.insert(spec.prompt.end(), warm.prompt.begin(), warm.prompt.end());
+  spec.decode_len = 2;
+  spec.priority = 1;
+  int64_t pic_tokens_at_completion = -1;
+  engine.Submit(spec, nullptr, [&](const flowserve::Sequence& seq) {
+    pic_tokens_at_completion = seq.pic_tokens;
+  });
+  sim.Run();
+
+  EXPECT_TRUE(hog_done);
+  EXPECT_EQ(engine.stats().pic_reused_tokens, 128);  // the match did happen
+  EXPECT_GE(engine.stats().preemptions, 1);
+  EXPECT_EQ(pic_tokens_at_completion, 0);
+  EXPECT_TRUE(engine.idle());
+  // No leaked pins: the whole pool is reclaimable.
+  EXPECT_TRUE(engine.rtc().EnsureNpuFree(engine.kv_block_capacity()).ok());
+}
+
 }  // namespace
 }  // namespace deepserve

@@ -188,6 +188,30 @@ TEST_F(ServingTest, PdPairHandoffCompletesRequest) {
   EXPECT_EQ(decode->engine().stats().decode_tokens_generated, 63);
 }
 
+// The decode-side sequence must inherit the request's service class and
+// explicit-cache id across the PD handoff: priority drives the decode
+// engine's admission/preemption order, and context_id drives PreserveById at
+// completion. (Regression: SubmitPrefilled dropped both.)
+TEST_F(ServingTest, PdHandoffPreservesPriorityAndContextId) {
+  auto prefill = MakeTe(1, flowserve::EngineRole::kPrefillOnly);
+  auto decode = MakeTe(2, flowserve::EngineRole::kDecodeOnly);
+  auto spec = MakeRequest(1, 512, 16);
+  spec.priority = 2;
+  spec.context_id = "ctx-parity";
+  int priority_seen = -1;
+  std::string context_seen;
+  prefill->SubmitPrefill(spec, decode.get(), nullptr,
+                         [&](const flowserve::Sequence& seq) {
+                           priority_seen = seq.priority;
+                           context_seen = seq.context_id;
+                         });
+  sim_.Run();
+  EXPECT_EQ(priority_seen, 2);
+  EXPECT_EQ(context_seen, "ctx-parity");
+  // The preserved-by-id context is now matchable on the decode engine.
+  EXPECT_TRUE(decode->engine().rtc().MatchByID("ctx-parity").hit());
+}
+
 TEST_F(ServingTest, JobAndTaskRecordsForColocatedRoute) {
   auto je = MakeJe(SchedulingPolicy::kCombined);
   auto te = MakeTe(1, flowserve::EngineRole::kColocated);

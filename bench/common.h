@@ -226,11 +226,9 @@ class Testbed {
     for (const auto& spec : trace) {
       sim_.ScheduleAt(spec.arrival, [this, &metrics, first_tokens, spec] {
         je_->HandleRequest(
-            spec,
-            [first_tokens, id = spec.id](const flowserve::Sequence& seq) {
+            spec, {[first_tokens, id = spec.id](const flowserve::Sequence& seq) {
               (*first_tokens)[id] = seq.first_token_time;
-            },
-            [&metrics, first_tokens, spec](const flowserve::Sequence& seq) {
+            }, [&metrics, first_tokens, spec](const flowserve::Sequence& seq) {
               workload::RequestRecord record;
               record.id = spec.id;
               record.arrival = spec.arrival;
@@ -241,7 +239,7 @@ class Testbed {
               record.prefill_len = spec.prefill_len();
               record.decode_len = spec.decode_len;
               metrics.Record(record);
-            });
+            }, nullptr});
       });
     }
     sim_.Run();

@@ -59,7 +59,7 @@ ForkResult RunFork(int count, int64_t busy_prefill, int busy_decode_batch) {
     for (int64_t i = 0; i < prefill; ++i) {
       spec.prompt.push_back(static_cast<TokenId>(rng.UniformInt(256, 100000)));
     }
-    (*source)->SubmitUnified(spec, nullptr, nullptr);
+    (*source)->SubmitUnified(spec, {nullptr, nullptr, nullptr});
   };
   if (busy_prefill > 0) {
     for (int i = 0; i < 4; ++i) {

@@ -13,12 +13,19 @@ cmake -B build -S . >/dev/null
 cmake --build build -j "${JOBS}"
 (cd build && ctest --output-on-failure -j "${JOBS}")
 
+echo "==> fault-recovery smoke: fixed-seed chaos run, conservation asserted"
+# Exits non-zero if any accepted request terminates in neither (or both) of
+# on_complete / on_error.
+./build/bench/fig_fault_recovery --smoke --fault-seed=42 >/dev/null
+
 if [[ "${1:-}" == "--fast" ]]; then
   echo "==> --fast: skipping sanitizer pass"
   exit 0
 fi
 
 echo "==> sanitizers: ASan/UBSan build + ctest (build-asan/)"
+# The suite includes fault_test (chaos property tests), so the crash/recovery
+# paths run under both sanitizers here.
 cmake -B build-asan -S . \
   -DCMAKE_BUILD_TYPE=Debug \
   -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer" \

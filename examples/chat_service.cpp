@@ -62,11 +62,9 @@ int main() {
   for (const auto& spec : trace) {
     sim.ScheduleAt(spec.arrival, [&, spec] {
       je.HandleRequest(
-          spec,
-          [&first_tokens, id = spec.id](const flowserve::Sequence& seq) {
+          spec, {[&first_tokens, id = spec.id](const flowserve::Sequence& seq) {
             first_tokens[id] = seq.first_token_time;
-          },
-          [&metrics, &first_tokens, spec](const flowserve::Sequence& seq) {
+          }, [&metrics, &first_tokens, spec](const flowserve::Sequence& seq) {
             workload::RequestRecord record;
             record.id = spec.id;
             record.arrival = spec.arrival;
@@ -76,7 +74,7 @@ int main() {
             record.prefill_len = spec.prefill_len();
             record.decode_len = spec.decode_len;
             metrics.Record(record);
-          });
+          }, nullptr});
     });
   }
   sim.Run();

@@ -200,11 +200,9 @@ int main(int argc, char** argv) {
   for (const auto& spec : trace) {
     sim.ScheduleAt(spec.arrival, [&, spec] {
       je.HandleRequest(
-          spec,
-          [&first_tokens, id = spec.id](const flowserve::Sequence& seq) {
+          spec, {[&first_tokens, id = spec.id](const flowserve::Sequence& seq) {
             first_tokens[id] = seq.first_token_time;
-          },
-          [&metrics, &first_tokens, spec](const flowserve::Sequence& seq) {
+          }, [&metrics, &first_tokens, spec](const flowserve::Sequence& seq) {
             workload::RequestRecord record;
             record.id = spec.id;
             record.arrival = spec.arrival;
@@ -214,7 +212,7 @@ int main(int argc, char** argv) {
             record.prefill_len = spec.prefill_len();
             record.decode_len = spec.decode_len;
             metrics.Record(record);
-          });
+          }, nullptr});
     });
   }
   sim.Run();

@@ -41,18 +41,19 @@ void RunMode(flowserve::KvTransferMode mode, const char* label) {
     TimeNs submit = sim.Now();
     prefill_te->SubmitPrefill(
         spec, decode_te,
-        [submit, &spec](const flowserve::Sequence& seq) {
-          std::printf("req %llu: prefill of %lld tokens done, first token @ %.0f ms\n",
-                      static_cast<unsigned long long>(spec.id),
-                      static_cast<long long>(spec.prefill_len()),
-                      NsToMilliseconds(seq.first_token_time - submit));
-        },
-        [submit, &spec](const flowserve::Sequence& seq) {
-          std::printf("req %llu: decode finished @ %.0f ms (%lld tokens)\n",
-                      static_cast<unsigned long long>(spec.id),
-                      NsToMilliseconds(seq.finish_time - submit),
-                      static_cast<long long>(spec.decode_len));
-        });
+        {[submit, &spec](const flowserve::Sequence& seq) {
+           std::printf("req %llu: prefill of %lld tokens done, first token @ %.0f ms\n",
+                       static_cast<unsigned long long>(spec.id),
+                       static_cast<long long>(spec.prefill_len()),
+                       NsToMilliseconds(seq.first_token_time - submit));
+         },
+         [submit, &spec](const flowserve::Sequence& seq) {
+           std::printf("req %llu: decode finished @ %.0f ms (%lld tokens)\n",
+                       static_cast<unsigned long long>(spec.id),
+                       NsToMilliseconds(seq.finish_time - submit),
+                       static_cast<long long>(spec.decode_len));
+         },
+         nullptr});
   }
   sim.Run();
   Bytes kv_per_req = static_cast<Bytes>(2048) * engine.model.KvBytesPerToken();

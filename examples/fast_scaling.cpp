@@ -62,7 +62,7 @@ int main() {
       spec.arrival += t0 + SecondsToNs(start_s);
       spec.id += seed * 1000000;
       sim.ScheduleAt(spec.arrival, [&, spec] {
-        je.HandleRequest(spec, nullptr, [&metrics, spec](const flowserve::Sequence& seq) {
+        je.HandleRequest(spec, {nullptr, [&metrics, spec](const flowserve::Sequence& seq) {
           workload::RequestRecord record;
           record.id = spec.id;
           record.arrival = spec.arrival;
@@ -71,7 +71,7 @@ int main() {
           record.prefill_len = spec.prefill_len();
           record.decode_len = spec.decode_len;
           metrics.Record(record);
-        });
+        }, nullptr});
       });
     }
   };

@@ -599,6 +599,11 @@ void Engine::RunStep(DpGroup& group) {
     iteration = plan.npu_time + plan.cpu_time;
     stats_.cpu_stall += plan.cpu_time;
   }
+  if (step_time_multiplier_ != 1.0) {
+    // Injected slow-node straggler: the whole iteration stretches.
+    iteration = std::max<DurationNs>(
+        1, static_cast<DurationNs>(static_cast<double>(iteration) * step_time_multiplier_));
+  }
   if (plan.shape.decode_seqs > 0) {
     stats_.max_decode_step = std::max(stats_.max_decode_step, iteration);
   }
@@ -812,15 +817,23 @@ Status Engine::Cancel(workload::RequestId request_id) {
 
 size_t Engine::Abort() {
   size_t aborted = 0;
+  int64_t lost_tokens = 0;
   while (!sequences_.empty()) {
     Sequence* seq = sequences_.back().get();
+    lost_tokens += std::max<int64_t>(0, seq->context_len());
     DpGroup& group = GroupFor(*seq);
     DetachFromGroup(group, seq);
     ReleaseSequence(group, seq, /*preserve=*/false);
     ++aborted;
   }
   stats_.aborted += static_cast<int64_t>(aborted);
+  stats_.aborted_kv_tokens += lost_tokens;
   return aborted;
+}
+
+void Engine::SetStepTimeMultiplier(double multiplier) {
+  DS_CHECK(multiplier > 0.0);
+  step_time_multiplier_ = multiplier;
 }
 
 LoadInfo Engine::load() const {

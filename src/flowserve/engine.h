@@ -57,6 +57,10 @@ struct EngineStats {
   int64_t preemptions = 0;
   int64_t cancelled = 0;
   int64_t aborted = 0;
+  // KV context tokens held by sequences dropped via Abort(): the work a TE
+  // crash destroys. Re-dispatched requests re-enter as fresh prefills (RTC
+  // prefix reuse on the new TE softens the recompute).
+  int64_t aborted_kv_tokens = 0;
   // Longest single iteration that carried decode work: the worst inter-token
   // stall any decoding request saw (the quantity SLA-aware chunking bounds).
   DurationNs max_decode_step = 0;
@@ -93,6 +97,10 @@ class Engine {
   // Timed transfers for populate/swap (defaults to instantaneous).
   void SetRtcTransferFn(rtc::TransferFn fn);
   void SetKvSendFn(KvSendFn fn) { kv_send_ = std::move(fn); }
+  // Fault modeling: scales every iteration's wall-clock duration (slow-node
+  // straggler injection). 1.0 = healthy; must be > 0.
+  void SetStepTimeMultiplier(double multiplier);
+  double step_time_multiplier() const { return step_time_multiplier_; }
 
   // Request paths -------------------------------------------------------------
   // Full path: tokenizer -> sched-enqueue (RTC match / populate) -> batch.
@@ -192,6 +200,7 @@ class Engine {
   std::vector<SequencePtr> sequences_;  // owns all live sequences
   std::unordered_set<const Sequence*> live_;
   KvSendFn kv_send_;
+  double step_time_multiplier_ = 1.0;
 
   EngineStats stats_;
   int busy_groups_ = 0;

@@ -113,20 +113,120 @@ Status ClusterManager::StopTe(TeId id) {
 }
 
 Result<size_t> ClusterManager::KillTe(TeId id) {
+  return Crash(id, CrashKind::kTeShell, /*defer_detection=*/false);
+}
+
+Result<size_t> ClusterManager::CrashTe(TeId id, CrashKind kind) {
+  return Crash(id, kind, /*defer_detection=*/true);
+}
+
+Result<size_t> ClusterManager::Crash(TeId id, CrashKind kind, bool defer_detection) {
   TaskExecutor* target = te(id);
   if (target == nullptr) {
     return NotFoundError("no TE " + std::to_string(id));
   }
-  if (target->state() == TeState::kStopped) {
-    return FailedPreconditionError("TE " + std::to_string(id) + " already stopped");
+  if (target->state() == TeState::kStopped || target->state() == TeState::kFailed) {
+    return FailedPreconditionError("TE " + std::to_string(id) + " already down");
   }
   ++stats_.te_failures;
+  ++stats_.crashes;
+  int64_t kv_before = target->engine().stats().aborted_kv_tokens;
   size_t dropped = target->Fail();
-  ReleaseNpus(target->config().npus);
+  stats_.lost_requests += static_cast<int64_t>(dropped);
+  stats_.lost_kv_tokens += target->engine().stats().aborted_kv_tokens - kv_before;
+  crash_times_[id] = sim_->Now();
+  if (obs::Tracer* t = sim_->tracer()) {
+    t->Instant(sim_->Now(), TracePid(), 0, "fault.crash",
+               {obs::Arg("te", static_cast<int64_t>(id)),
+                obs::Arg("kind", kind == CrashKind::kNpu ? "npu" : "te-shell"),
+                obs::Arg("lost_requests", static_cast<int64_t>(dropped))});
+    t->AsyncBegin(sim_->Now(), TracePid(), static_cast<uint64_t>(id), "outage",
+                  {obs::Arg("te", static_cast<int64_t>(id))});
+  }
+  if (obs::MetricsRegistry* m = sim_->metrics()) {
+    m->counter("cm.faults.crashes")->Inc();
+    m->counter("cm.faults.lost_requests")->Inc(static_cast<int64_t>(dropped));
+  }
+  if (!defer_detection) {
+    DetectTeFailure(id);
+    return dropped;
+  }
+  // The platform notices via heartbeat lapse (NPU crash, quantized to the
+  // heartbeat grid) or the pod runtime's exit signal (TE-shell crash).
+  DurationNs latency;
+  if (kind == CrashKind::kNpu) {
+    latency = detection_.npu_crash_detect_latency();
+    if (detection_.heartbeat_interval > 0) {
+      TimeNs noticed = sim_->Now() + latency;
+      TimeNs grid = detection_.heartbeat_interval;
+      noticed = (noticed + grid - 1) / grid * grid;
+      latency = noticed - sim_->Now();
+    }
+  } else {
+    latency = detection_.shell_crash_detect_latency;
+  }
+  sim_->ScheduleAfter(latency, [this, id] { DetectTeFailure(id); });
+  return dropped;
+}
+
+void ClusterManager::DetectTeFailure(TeId id) {
+  ++stats_.detections;
+  TimeNs crashed = crash_times_.count(id) ? crash_times_[id] : sim_->Now();
+  DurationNs detect_latency = sim_->Now() - crashed;
+  if (obs::Tracer* t = sim_->tracer()) {
+    t->Instant(sim_->Now(), TracePid(), 0, "fault.detect",
+               {obs::Arg("te", static_cast<int64_t>(id)),
+                obs::Arg("detect_ms", NsToMilliseconds(detect_latency))});
+  }
+  if (obs::MetricsRegistry* m = sim_->metrics()) {
+    m->stats("cm.faults.detect_ms")->Add(NsToMilliseconds(detect_latency));
+  }
+  if (TaskExecutor* target = te(id)) {
+    ReleaseNpus(target->config().npus);
+  }
   for (const auto& handler : failure_handlers_) {
     handler(id);
   }
-  return dropped;
+  if (!replace_enabled_) {
+    // No replacement policy: recovery ends with re-dispatch, which the
+    // handlers above run synchronously.
+    stats_.mttr_total += detect_latency;
+    ++stats_.mttr_count;
+    if (obs::Tracer* t = sim_->tracer()) {
+      t->AsyncEnd(sim_->Now(), TracePid(), static_cast<uint64_t>(id), "outage");
+    }
+    return;
+  }
+  Status status = ScaleUp(replace_template_, [this, id, crashed](TaskExecutor* replacement,
+                                                                 const ScalingBreakdown&) {
+    ++stats_.replacements;
+    DurationNs mttr = sim_->Now() - crashed;
+    stats_.mttr_total += mttr;
+    ++stats_.mttr_count;
+    if (obs::Tracer* t = sim_->tracer()) {
+      t->AsyncEnd(sim_->Now(), TracePid(), static_cast<uint64_t>(id), "outage");
+      t->Instant(sim_->Now(), TracePid(), 0, "fault.recover",
+                 {obs::Arg("te", static_cast<int64_t>(id)),
+                  obs::Arg("replacement", static_cast<int64_t>(replacement->id())),
+                  obs::Arg("mttr_ms", NsToMilliseconds(mttr))});
+    }
+    if (obs::MetricsRegistry* m = sim_->metrics()) {
+      m->stats("cm.faults.mttr_ms")->Add(NsToMilliseconds(mttr));
+      m->counter("cm.faults.replacements")->Inc();
+    }
+    if (replace_on_ready_) {
+      replace_on_ready_(replacement);
+    }
+  });
+  if (!status.ok()) {
+    // Replacement could not even start (e.g. no free NPUs): recovery stalls
+    // at re-dispatch, same as the no-policy path.
+    stats_.mttr_total += detect_latency;
+    ++stats_.mttr_count;
+    if (obs::Tracer* t = sim_->tracer()) {
+      t->AsyncEnd(sim_->Now(), TracePid(), static_cast<uint64_t>(id), "outage");
+    }
+  }
 }
 
 void ClusterManager::PreloadModelToDram(hw::MachineId machine, const model::ModelSpec& model,

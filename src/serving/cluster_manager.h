@@ -103,6 +103,26 @@ struct AutoscalerConfig {
   int max_tes = 64;
 };
 
+// Heartbeat-based failure detection (§2: failures are routine at cluster
+// scale). A crashed TE's in-flight work is lost immediately, but recovery
+// (NPU release, JE notification, replacement scale-up) only starts once the
+// platform *notices* — after `missed_heartbeats` heartbeat lapses for an NPU
+// crash, or after the (faster) pod-runtime signal for a TE-shell exit.
+struct FaultDetectionConfig {
+  DurationNs heartbeat_interval = MillisecondsToNs(500);
+  int missed_heartbeats = 3;
+  DurationNs shell_crash_detect_latency = MillisecondsToNs(100);
+
+  DurationNs npu_crash_detect_latency() const {
+    return heartbeat_interval * missed_heartbeats;
+  }
+};
+
+enum class CrashKind {
+  kNpu,      // device dies under the shell; noticed via heartbeat lapse
+  kTeShell,  // shell process exits; noticed by the pod runtime
+};
+
 struct ClusterManagerStats {
   int64_t scale_ups = 0;
   int64_t te_failures = 0;
@@ -112,6 +132,19 @@ struct ClusterManagerStats {
   int64_t dram_hits = 0;
   int64_t dram_misses = 0;
   int64_t npu_forks = 0;
+  // Fault pipeline.
+  int64_t crashes = 0;          // CrashTe/KillTe calls that took a TE down
+  int64_t detections = 0;       // crashes the detector has noticed
+  int64_t replacements = 0;     // replacement TEs brought to ready
+  int64_t lost_requests = 0;    // in-flight requests dropped by crashes
+  int64_t lost_kv_tokens = 0;   // KV context tokens destroyed by crashes
+  DurationNs mttr_total = 0;    // crash -> recovered, summed
+  int64_t mttr_count = 0;
+
+  double mean_mttr_ms() const {
+    return mttr_count == 0 ? 0.0
+                           : NsToMilliseconds(mttr_total) / static_cast<double>(mttr_count);
+  }
 };
 
 class ClusterManager {
@@ -130,13 +163,32 @@ class ClusterManager {
   const std::vector<std::unique_ptr<TaskExecutor>>& tes() const { return tes_; }
   // Stops a TE and returns its NPUs to the free pool.
   Status StopTe(TeId id);
-  // Failure injection: crash a TE (in-flight work lost), release its NPUs,
-  // and notify every registered failure handler (typically JEs, which retry
-  // the lost jobs elsewhere). Returns how many requests the TE dropped.
+  // Failure injection with *immediate* detection: crash a TE (in-flight work
+  // lost), release its NPUs, and synchronously notify every registered
+  // failure handler (typically JEs, which retry the lost jobs elsewhere).
+  // Returns how many requests the TE dropped.
   Result<size_t> KillTe(TeId id);
+  // Failure injection with *realistic* detection: the TE dies silently now
+  // (work lost, state -> kFailed), but NPU release, handler notification, and
+  // the replacement scale-up only happen once the detector notices —
+  // according to the FaultDetectionConfig and the crash kind. NPU-crash
+  // detection lands on the heartbeat grid.
+  Result<size_t> CrashTe(TeId id, CrashKind kind = CrashKind::kNpu);
   // Registers a callback invoked with the TeId of every killed TE.
   void AddFailureHandler(std::function<void(TeId)> handler) {
     failure_handlers_.push_back(std::move(handler));
+  }
+  void SetFaultDetection(FaultDetectionConfig config) { detection_ = config; }
+  const FaultDetectionConfig& fault_detection() const { return detection_; }
+  // Auto-replacement: every detected crash triggers a ScaleUp from `request`;
+  // `on_ready` receives the replacement TE (add it to the JE's groups there).
+  // MTTR is measured crash -> replacement ready (detection time when no
+  // replacement policy is set).
+  void SetReplacementPolicy(ScaleRequest request,
+                            std::function<void(TaskExecutor*)> on_ready) {
+    replace_enabled_ = true;
+    replace_template_ = std::move(request);
+    replace_on_ready_ = std::move(on_ready);
   }
 
   // ---- pre-warming & pre-loading ----------------------------------------------
@@ -187,6 +239,12 @@ class ClusterManager {
   void RunScalerPost(std::shared_ptr<PipelineState> state);
   DurationNs PostLoadDuration() const;
   void AutoscalerTick();
+  // The crash core shared by KillTe (synchronous detection) and CrashTe
+  // (detection deferred per the crash kind).
+  Result<size_t> Crash(TeId id, CrashKind kind, bool defer_detection);
+  // The detector noticed `id` is dead: release NPUs, notify handlers, start
+  // the replacement scale-up.
+  void DetectTeFailure(TeId id);
   // Lazily registers the scaling-pipeline trace track; -1 when disabled.
   int TracePid();
   // Emits one scale.phase instant at the completion of a pipeline stage.
@@ -216,6 +274,14 @@ class ClusterManager {
   sim::EventId autoscaler_event_ = sim::kInvalidEventId;
 
   std::vector<std::function<void(TeId)>> failure_handlers_;
+
+  // Fault pipeline state.
+  FaultDetectionConfig detection_;
+  bool replace_enabled_ = false;
+  ScaleRequest replace_template_;
+  std::function<void(TaskExecutor*)> replace_on_ready_;
+  std::map<TeId, TimeNs> crash_times_;
+
   ClusterManagerStats stats_;
   int trace_pid_ = -1;
 };

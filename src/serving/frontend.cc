@@ -16,35 +16,63 @@ size_t Frontend::je_count(const std::string& model_name) const {
   return it == serving_.end() ? 0 : it->second.size();
 }
 
-bool Frontend::HasReadyCapacity(const JobExecutor& je) {
-  return je.colocated_count() + je.prefill_count() > 0;
+Status Frontend::ChatCompletion(const ChatRequest& request, ResponseHandler handler) {
+  ++stats_.requests;
+  auto reject = [this, &handler](Status status) {
+    ++stats_.rejected;
+    if (handler.on_error) {
+      handler.on_error(status);
+    }
+    return status;
+  };
+  if (sim_ != nullptr && request.deadline > 0 && sim_->Now() > request.deadline) {
+    return reject(DeadlineExceededError("request " + std::to_string(request.spec.id) +
+                                        " arrived past its deadline"));
+  }
+  auto it = serving_.find(request.model);
+  if (it == serving_.end() || it->second.empty()) {
+    return reject(NotFoundError("no serving JEs for model " + request.model));
+  }
+  workload::RequestSpec spec = request.spec;
+  if (request.priority >= 0) {
+    spec.priority = request.priority;
+  }
+  // Round-robin across JE replicas, skipping ones with no ready TEs.
+  std::vector<JobExecutor*>& jes = it->second;
+  size_t& cursor = rr_[request.model];
+  for (size_t attempt = 0; attempt < jes.size(); ++attempt) {
+    JobExecutor* je = jes[(cursor + attempt) % jes.size()];
+    if (!je->HasReadyCapacity()) {
+      continue;
+    }
+    cursor = (cursor + attempt + 1) % jes.size();
+    ++stats_.chat_dispatched;
+    // Wrap on_error so post-dispatch losses are visible in the frontend's
+    // accounting: requests == chat_dispatched + finetune_dispatched + rejected,
+    // and errors counts the dispatched ones that later failed.
+    ResponseHandler dispatched = std::move(handler);
+    dispatched.on_error = [this, on_error = std::move(dispatched.on_error)](
+                              const Status& status) {
+      ++stats_.errors;
+      if (on_error) {
+        on_error(status);
+      }
+    };
+    je->HandleRequest(spec, std::move(dispatched));
+    return Status::Ok();
+  }
+  return reject(UnavailableError("no JE for " + request.model + " has ready TEs"));
 }
 
 Status Frontend::ChatCompletion(const std::string& model_name,
                                 const workload::RequestSpec& spec,
                                 JobExecutor::SeqCallback on_first_token,
                                 JobExecutor::SeqCallback on_complete) {
-  ++stats_.requests;
-  auto it = serving_.find(model_name);
-  if (it == serving_.end() || it->second.empty()) {
-    ++stats_.rejected;
-    return NotFoundError("no serving JEs for model " + model_name);
-  }
-  // Round-robin across JE replicas, skipping ones with no serving capacity.
-  std::vector<JobExecutor*>& jes = it->second;
-  size_t& cursor = rr_[model_name];
-  for (size_t attempt = 0; attempt < jes.size(); ++attempt) {
-    JobExecutor* je = jes[(cursor + attempt) % jes.size()];
-    if (!HasReadyCapacity(*je)) {
-      continue;
-    }
-    cursor = (cursor + attempt + 1) % jes.size();
-    ++stats_.chat_dispatched;
-    je->HandleRequest(spec, std::move(on_first_token), std::move(on_complete));
-    return Status::Ok();
-  }
-  ++stats_.rejected;
-  return UnavailableError("no JE for " + model_name + " has ready TEs");
+  ChatRequest request;
+  request.model = model_name;
+  request.spec = spec;
+  return ChatCompletion(request, ResponseHandler{std::move(on_first_token),
+                                                 std::move(on_complete), nullptr});
 }
 
 Status Frontend::FineTune(const FineTuneRequest& request,

@@ -16,22 +16,35 @@
 #include "common/status.h"
 #include "serving/finetune.h"
 #include "serving/job_executor.h"
+#include "sim/simulator.h"
 #include "workload/request.h"
 
 namespace deepserve::serving {
 
 enum class ApiEndpoint { kChatCompletion, kFineTune };
 
+// A typed chat-completion request envelope. `deadline` (absolute sim time,
+// 0 = none) rejects requests that arrive past their deadline; `priority`
+// overrides spec.priority when >= 0.
+struct ChatRequest {
+  std::string model;
+  workload::RequestSpec spec;
+  TimeNs deadline = 0;
+  int priority = -1;
+};
+
 struct FrontendStats {
   int64_t requests = 0;
-  int64_t rejected = 0;
+  int64_t rejected = 0;  // failed before dispatch (ChatCompletion != OK)
+  int64_t errors = 0;    // failed after dispatch (on_error from the JE)
   int64_t chat_dispatched = 0;
   int64_t finetune_dispatched = 0;
 };
 
 class Frontend {
  public:
-  Frontend() = default;
+  // `sim` enables deadline checks; a null simulator skips them.
+  explicit Frontend(sim::Simulator* sim = nullptr) : sim_(sim) {}
 
   Frontend(const Frontend&) = delete;
   Frontend& operator=(const Frontend&) = delete;
@@ -41,11 +54,16 @@ class Frontend {
   void RegisterServingJe(const std::string& model_name, JobExecutor* je);
   void RegisterFineTuneExecutor(FineTuneJobExecutor* executor) { finetune_ = executor; }
 
-  // Chat-completion entry point. Fails with NOT_FOUND for unknown models and
-  // UNAVAILABLE when every JE replica for the model lacks ready TEs.
-  Status ChatCompletion(const std::string& model_name, const workload::RequestSpec& spec,
-                        JobExecutor::SeqCallback on_first_token,
-                        JobExecutor::SeqCallback on_complete);
+  // Chat-completion entry point. Pre-dispatch rejections (unknown model, no
+  // ready capacity anywhere, deadline already missed) return a non-OK Status
+  // AND fire handler.on_error; after a successful dispatch, late failures (TE
+  // crash with the retry budget exhausted, no ready TEs at re-dispatch time)
+  // arrive through handler.on_error. Every accepted request terminates in
+  // exactly one of on_complete / on_error.
+  Status ChatCompletion(const ChatRequest& request, ResponseHandler handler);
+  [[deprecated("use ChatCompletion(ChatRequest, ResponseHandler)")]] Status ChatCompletion(
+      const std::string& model_name, const workload::RequestSpec& spec,
+      JobExecutor::SeqCallback on_first_token, JobExecutor::SeqCallback on_complete);
 
   // Fine-tuning entry point.
   Status FineTune(const FineTuneRequest& request, FineTuneJobExecutor::Callback on_complete);
@@ -54,8 +72,7 @@ class Frontend {
   size_t je_count(const std::string& model_name) const;
 
  private:
-  static bool HasReadyCapacity(const JobExecutor& je);
-
+  sim::Simulator* sim_ = nullptr;
   std::map<std::string, std::vector<JobExecutor*>> serving_;
   std::map<std::string, size_t> rr_;
   FineTuneJobExecutor* finetune_ = nullptr;

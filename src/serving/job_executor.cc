@@ -243,9 +243,72 @@ TaskRecord& JobExecutor::NewTask(JobId job, TaskType type, TeId te) {
   return tasks_.back();
 }
 
+bool JobExecutor::HasReadyCapacity() const {
+  for (TaskExecutor* te : colocated_) {
+    if (te->ready()) {
+      return true;
+    }
+  }
+  bool prefill_ready = false;
+  for (TaskExecutor* te : prefill_) {
+    if (te->ready()) {
+      prefill_ready = true;
+      break;
+    }
+  }
+  if (!prefill_ready) {
+    return false;
+  }
+  for (TaskExecutor* te : decode_) {
+    if (te->ready()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void JobExecutor::HandleRequest(const workload::RequestSpec& spec, ResponseHandler handler) {
+  ++stats_.requests;
+  Dispatch(spec, std::move(handler), /*retries=*/0);
+}
+
 void JobExecutor::HandleRequest(const workload::RequestSpec& spec, SeqCallback on_first_token,
                                 SeqCallback on_complete) {
-  ++stats_.requests;
+  HandleRequest(spec,
+                ResponseHandler{std::move(on_first_token), std::move(on_complete), nullptr});
+}
+
+void JobExecutor::FailJob(JobId job_id, const Status& status) {
+  auto it = outstanding_.find(job_id);
+  if (it == outstanding_.end()) {
+    return;  // already completed, already failed, or owned by the retry path
+  }
+  ResponseHandler handler = std::move(it->second.handler);
+  workload::RequestId request = it->second.spec.id;
+  outstanding_.erase(it);
+  JobRecord& record = jobs_[job_index_.at(job_id)];
+  record.state = JobState::kFailed;
+  record.completed = sim_->Now();
+  for (TaskId task : record.tasks) {
+    TaskRecord& t = tasks_[task_index_.at(task)];
+    if (t.state != TaskState::kCompleted) {
+      t.state = TaskState::kFailed;
+      t.completed = sim_->Now();
+    }
+  }
+  ++stats_.errors;
+  if (obs::Tracer* t = sim_->tracer()) {
+    t->Instant(sim_->Now(), TracePid(), 0, "je.error",
+               {obs::Arg("req", static_cast<int64_t>(request)),
+                obs::Arg("code", StatusCodeToString(status.code()))});
+  }
+  if (handler.on_error) {
+    handler.on_error(status);
+  }
+}
+
+void JobExecutor::Dispatch(const workload::RequestSpec& spec, ResponseHandler handler,
+                           int retries) {
   JobRecord job;
   job.id = next_job_++;
   job.request = spec.id;
@@ -256,11 +319,22 @@ void JobExecutor::HandleRequest(const workload::RequestSpec& spec, SeqCallback o
   jobs_.push_back(job);
   JobId job_id = jobs_.back().id;
 
+  // Remember enough to re-dispatch if a TE carrying this job dies.
+  Outstanding& outstanding = outstanding_[job_id];
+  outstanding.spec = spec;
+  outstanding.handler = std::move(handler);
+  outstanding.retries = retries;
+
   std::vector<TaskExecutor*> coloc = ReadyTes(colocated_);
   std::vector<TaskExecutor*> prefill = ReadyTes(prefill_);
   std::vector<TaskExecutor*> decode = ReadyTes(decode_);
   bool disagg_available = !prefill.empty() && !decode.empty();
-  DS_CHECK(!coloc.empty() || disagg_available) << "no ready TEs";
+  if (coloc.empty() && !disagg_available) {
+    // Nothing can serve this request right now: fail it instead of crashing
+    // (a fleet mid-recovery legitimately hits this window).
+    FailJob(job_id, UnavailableError("no ready TEs for request " + std::to_string(spec.id)));
+    return;
+  }
 
   // ---- PD_aware: choose the TE sub-group -----------------------------------
   bool use_disagg;
@@ -315,7 +389,8 @@ void JobExecutor::HandleRequest(const workload::RequestSpec& spec, SeqCallback o
     use_disagg = true;
   }
 
-  auto complete_job = [this, job_id, on_complete](const flowserve::Sequence& seq) {
+  auto complete_job = [this, job_id,
+                       on_complete = outstanding.handler.on_complete](const flowserve::Sequence& seq) {
     JobRecord& record = jobs_[job_index_.at(job_id)];
     record.state = JobState::kCompleted;
     record.completed = sim_->Now();
@@ -332,11 +407,13 @@ void JobExecutor::HandleRequest(const workload::RequestSpec& spec, SeqCallback o
     }
   };
 
-  // Remember enough to re-dispatch if a TE carrying this job dies.
-  Outstanding& outstanding = outstanding_[job_id];
-  outstanding.spec = spec;
-  outstanding.on_first_token = on_first_token;
-  outstanding.on_complete = on_complete;
+  // The TE-level handler: task bookkeeping plus this job's termination paths.
+  // FailJob no-ops once the job completed or the retry path took ownership, so
+  // exactly one of on_complete / on_error ever reaches the caller.
+  ResponseHandler te_handler;
+  te_handler.on_first_token = outstanding.handler.on_first_token;
+  te_handler.on_complete = std::move(complete_job);
+  te_handler.on_error = [this, job_id](const Status& status) { FailJob(job_id, status); };
 
   if (use_disagg) {
     ++stats_.routed_disaggregated;
@@ -349,7 +426,7 @@ void JobExecutor::HandleRequest(const workload::RequestSpec& spec, SeqCallback o
                   obs::Arg("route", "disaggregated"),
                   obs::Arg("prefill_te", static_cast<int64_t>(p->id()))});
     }
-    DispatchDisaggregated(p, spec, std::move(on_first_token), complete_job);
+    DispatchDisaggregated(p, spec, std::move(te_handler));
   } else {
     ++stats_.routed_colocated;
     TaskExecutor* te = SelectFrom(spec, colocated_tree_, coloc);
@@ -361,28 +438,29 @@ void JobExecutor::HandleRequest(const workload::RequestSpec& spec, SeqCallback o
                   obs::Arg("route", "colocated"),
                   obs::Arg("te", static_cast<int64_t>(te->id()))});
     }
-    DispatchColocated(te, spec, std::move(on_first_token), complete_job);
+    DispatchColocated(te, spec, std::move(te_handler));
   }
   ++rr_cursor_;
 }
 
 void JobExecutor::DispatchColocated(TaskExecutor* te, const workload::RequestSpec& spec,
-                                    SeqCallback on_first_token, SeqCallback on_complete) {
+                                    ResponseHandler handler) {
   JobId job_id = jobs_.back().id;
   TaskRecord& task = NewTask(job_id, TaskType::kUnified, te->id());
   TaskId task_id = task.id;
-  te->SubmitUnified(spec, std::move(on_first_token),
-                    [this, task_id, cb = std::move(on_complete)](const flowserve::Sequence& seq) {
-                      TaskRecord& t = tasks_[task_index_.at(task_id)];
-                      t.state = TaskState::kCompleted;
-                      t.completed = sim_->Now();
-                      cb(seq);
-                    });
+  handler.on_complete = [this, task_id, cb = std::move(handler.on_complete)](
+                            const flowserve::Sequence& seq) {
+    TaskRecord& t = tasks_[task_index_.at(task_id)];
+    t.state = TaskState::kCompleted;
+    t.completed = sim_->Now();
+    cb(seq);
+  };
+  te->SubmitUnified(spec, std::move(handler));
 }
 
 void JobExecutor::DispatchDisaggregated(TaskExecutor* prefill_te,
                                         const workload::RequestSpec& spec,
-                                        SeqCallback on_first_token, SeqCallback on_complete) {
+                                        ResponseHandler handler) {
   JobId job_id = jobs_.back().id;
   std::vector<TaskExecutor*> decode = ReadyTes(decode_);
   DS_CHECK(!decode.empty());
@@ -392,17 +470,16 @@ void JobExecutor::DispatchDisaggregated(TaskExecutor* prefill_te,
   TaskId prefill_task_id = prefill_task.id;
   TaskRecord& decode_task = NewTask(job_id, TaskType::kDecode, decode_te->id());
   (void)decode_task;
-  prefill_te->SubmitPrefill(
-      spec, decode_te,
-      [this, prefill_task_id, cb = std::move(on_first_token)](const flowserve::Sequence& seq) {
-        TaskRecord& t = tasks_[task_index_.at(prefill_task_id)];
-        t.state = TaskState::kCompleted;
-        t.completed = sim_->Now();
-        if (cb) {
-          cb(seq);
-        }
-      },
-      std::move(on_complete));
+  handler.on_first_token = [this, prefill_task_id, cb = std::move(handler.on_first_token)](
+                               const flowserve::Sequence& seq) {
+    TaskRecord& t = tasks_[task_index_.at(prefill_task_id)];
+    t.state = TaskState::kCompleted;
+    t.completed = sim_->Now();
+    if (cb) {
+      cb(seq);
+    }
+  };
+  prefill_te->SubmitPrefill(spec, decode_te, std::move(handler));
 }
 
 void JobExecutor::OnTeFailure(TeId id) {
@@ -463,8 +540,30 @@ void JobExecutor::OnTeFailure(TeId id) {
         }
       }
     }
+    if (retry.retries >= config_.max_retries) {
+      // Retry budget exhausted: the request is gone for good — report it
+      // instead of redispatching forever.
+      ++stats_.errors;
+      if (obs::Tracer* t = sim_->tracer()) {
+        t->Instant(sim_->Now(), TracePid(), 0, "je.error",
+                   {obs::Arg("req", static_cast<int64_t>(retry.spec.id)),
+                    obs::Arg("code", "aborted"),
+                    obs::Arg("retries", static_cast<int64_t>(retry.retries))});
+      }
+      if (retry.handler.on_error) {
+        retry.handler.on_error(AbortedError("request " + std::to_string(retry.spec.id) +
+                                            " dropped after " + std::to_string(retry.retries) +
+                                            " re-dispatches"));
+      }
+      continue;
+    }
     ++stats_.retries;
-    HandleRequest(retry.spec, std::move(retry.on_first_token), std::move(retry.on_complete));
+    if (obs::Tracer* t = sim_->tracer()) {
+      t->Instant(sim_->Now(), TracePid(), 0, "je.redispatch",
+                 {obs::Arg("req", static_cast<int64_t>(retry.spec.id)),
+                  obs::Arg("attempt", static_cast<int64_t>(retry.retries + 1))});
+    }
+    Dispatch(retry.spec, std::move(retry.handler), retry.retries + 1);
   }
 }
 

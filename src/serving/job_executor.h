@@ -55,11 +55,15 @@ struct JeConfig {
   // the combined policy must not degrade badly there.
   double pd_overload_factor = 2.0;
   int64_t pd_overload_slack = 8;
+  // Fault tolerance: how many times one request may be re-dispatched after TE
+  // failures before it errors out through ResponseHandler::on_error.
+  int max_retries = 3;
 };
 
 struct JeStats {
-  int64_t requests = 0;
+  int64_t requests = 0;           // external requests (retries not re-counted)
   int64_t retries = 0;            // jobs re-dispatched after a TE failure
+  int64_t errors = 0;             // jobs terminated through on_error
   int64_t failed_tes_handled = 0;
   int64_t routed_colocated = 0;
   int64_t routed_disaggregated = 0;
@@ -83,10 +87,19 @@ class JobExecutor {
   void AddDecodeTe(TaskExecutor* te);
   void RemoveTe(TeId id);
 
-  // Frontend entry: create the job + task(s), run dist_sched, dispatch.
+  // Frontend entry: create the job + task(s), run dist_sched, dispatch. The
+  // handler's on_error fires (with the job marked failed) when no ready TE can
+  // take the request or when the retry budget is exhausted after TE crashes;
+  // otherwise on_complete fires exactly once when the request finishes.
   using SeqCallback = TaskExecutor::SeqCallback;
-  void HandleRequest(const workload::RequestSpec& spec, SeqCallback on_first_token,
-                     SeqCallback on_complete);
+  void HandleRequest(const workload::RequestSpec& spec, ResponseHandler handler);
+  [[deprecated("use HandleRequest(spec, ResponseHandler)")]] void HandleRequest(
+      const workload::RequestSpec& spec, SeqCallback on_first_token, SeqCallback on_complete);
+
+  // True when at least one route can serve a request right now: a ready
+  // colocated TE, or a ready prefill + ready decode pair. Unlike the group
+  // counts this consults TeState, so mid-scale-up or failed TEs don't count.
+  bool HasReadyCapacity() const;
 
   // Fault tolerance: a TE died. It leaves every group, its in-flight jobs are
   // marked failed, and their requests are re-dispatched to surviving TEs
@@ -120,10 +133,16 @@ class JobExecutor {
   void TrimTree(PromptTree& tree);
   std::vector<TaskExecutor*> ReadyTes(const std::vector<TaskExecutor*>& tes) const;
 
+  // The dispatch core behind HandleRequest and the failure-retry path.
+  // `retries` is how many times this request has already been re-dispatched.
+  void Dispatch(const workload::RequestSpec& spec, ResponseHandler handler, int retries);
+  // Terminates `job_id` through on_error (erasing it from outstanding_).
+  void FailJob(JobId job_id, const Status& status);
+
   void DispatchColocated(TaskExecutor* te, const workload::RequestSpec& spec,
-                         SeqCallback on_first_token, SeqCallback on_complete);
+                         ResponseHandler handler);
   void DispatchDisaggregated(TaskExecutor* prefill_te, const workload::RequestSpec& spec,
-                             SeqCallback on_first_token, SeqCallback on_complete);
+                             ResponseHandler handler);
 
   TaskRecord& NewTask(JobId job, TaskType type, TeId te);
   // Lazily registers the JE's trace track; -1 when tracing is disabled.
@@ -143,9 +162,9 @@ class JobExecutor {
 
   struct Outstanding {
     workload::RequestSpec spec;
-    SeqCallback on_first_token;
-    SeqCallback on_complete;
+    ResponseHandler handler;
     std::vector<TeId> tes;  // every TE this job's tasks run on
+    int retries = 0;        // re-dispatches consumed so far
   };
   std::map<JobId, Outstanding> outstanding_;
 

@@ -20,6 +20,8 @@ std::string_view TeStateToString(TeState state) {
       return "ready";
     case TeState::kStopped:
       return "stopped";
+    case TeState::kFailed:
+      return "failed";
   }
   return "?";
 }
@@ -76,46 +78,51 @@ void TaskExecutor::InstallKvSend() {
   });
 }
 
-void TaskExecutor::SubmitUnified(const workload::RequestSpec& spec, SeqCallback on_first_token,
-                                 SeqCallback on_complete) {
+void TaskExecutor::SubmitUnified(const workload::RequestSpec& spec, ResponseHandler handler) {
   DS_CHECK(role() == flowserve::EngineRole::kColocated)
       << "unified tasks need a PD-colocated engine";
-  engine_->Submit(spec, std::move(on_first_token), std::move(on_complete));
+  engine_->Submit(spec, std::move(handler.on_first_token), std::move(handler.on_complete));
 }
 
 void TaskExecutor::SubmitPrefill(const workload::RequestSpec& spec, TaskExecutor* decode_te,
-                                 SeqCallback on_first_token, SeqCallback on_complete) {
+                                 ResponseHandler handler) {
   DS_CHECK(role() == flowserve::EngineRole::kPrefillOnly);
   DS_CHECK(decode_te != nullptr);
   DS_CHECK(decode_te->role() == flowserve::EngineRole::kDecodeOnly);
-  handoffs_[spec.id] = PendingHandoff{decode_te, spec, std::move(on_complete)};
+  handoffs_[spec.id] = PendingHandoff{decode_te, spec, std::move(handler.on_complete),
+                                      std::move(handler.on_error)};
   engine_->Submit(
-      spec, std::move(on_first_token), [this](const flowserve::Sequence& seq) {
+      spec, std::move(handler.on_first_token), [this](const flowserve::Sequence& seq) {
         // Prefill finished and KV delivered: start the decode task.
         auto it = handoffs_.find(seq.request_id);
         DS_CHECK(it != handoffs_.end());
         PendingHandoff handoff = std::move(it->second);
         handoffs_.erase(it);
-        handoff.decode_te->AcceptPrefilled(handoff.spec, std::move(handoff.on_complete));
+        handoff.decode_te->AcceptPrefilled(handoff.spec, std::move(handoff.on_complete),
+                                           std::move(handoff.on_error));
       });
 }
 
 size_t TaskExecutor::Fail() {
-  state_ = TeState::kStopped;
+  state_ = TeState::kFailed;
   handoffs_.clear();
   return engine_->Abort();
 }
 
-void TaskExecutor::AcceptPrefilled(const workload::RequestSpec& spec, SeqCallback on_complete) {
+void TaskExecutor::AcceptPrefilled(const workload::RequestSpec& spec, SeqCallback on_complete,
+                                   ResponseHandler::ErrorCallback on_error) {
   if (!ready()) {
     return;  // decode TE died mid-hand-off; the JE failure path retries
   }
   Status status = engine_->SubmitPrefilled(spec, on_complete);
-  if (!status.ok()) {
+  if (status.code() == StatusCode::kResourceExhausted) {
     // Decode side momentarily out of KV: retry shortly (simple backpressure).
-    sim_->ScheduleAfter(MillisecondsToNs(10), [this, spec, cb = std::move(on_complete)] {
-      AcceptPrefilled(spec, std::move(cb));
-    });  // ready() is re-checked on entry, so a dead TE stops the retry loop
+    sim_->ScheduleAfter(MillisecondsToNs(10),
+                        [this, spec, cb = std::move(on_complete), err = std::move(on_error)] {
+                          AcceptPrefilled(spec, std::move(cb), std::move(err));
+                        });  // ready() is re-checked on entry, so a dead TE stops the retry loop
+  } else if (!status.ok() && on_error) {
+    on_error(status);  // non-retryable rejection: surface it instead of dropping
   }
 }
 

@@ -32,10 +32,25 @@ enum class TeState {
   kLoading,       // TE-Load: weights moving onto the NPU
   kPostLoading,   // TE-Post-Load: allocation + warmup
   kReady,
-  kStopped,
+  kStopped,  // graceful stop (scale-down)
+  kFailed,   // crashed; in-flight work lost
 };
 
 std::string_view TeStateToString(TeState state);
+
+// How a request reports back. Every accepted request terminates in exactly one
+// of on_complete or on_error; on_first_token fires at most once before either.
+// Any member may be null. on_error carries the reason a request was dropped
+// after acceptance (TE crash with the retry budget exhausted, no ready TEs at
+// re-dispatch time, deadline missed).
+struct ResponseHandler {
+  using SeqCallback = flowserve::Engine::SeqCallback;
+  using ErrorCallback = std::function<void(const Status&)>;
+
+  SeqCallback on_first_token;
+  SeqCallback on_complete;
+  ErrorCallback on_error;
+};
 
 struct TeConfig {
   TeId id = 0;
@@ -66,20 +81,20 @@ class TaskExecutor {
   void set_state(TeState state) { state_ = state; }
   bool ready() const { return state_ == TeState::kReady; }
 
-  // Failure injection: the TE crashes — every in-flight sequence is dropped
-  // without callbacks and the TE leaves the serving pool. Returns how many
-  // requests were lost (the JE's retry path re-dispatches them).
+  // Failure injection: the TE crashes (state -> kFailed) — every in-flight
+  // sequence is dropped without callbacks and the TE leaves the serving pool.
+  // Returns how many requests were lost (the JE's retry path re-dispatches
+  // them, or fires on_error once the retry budget runs out).
   size_t Fail();
 
   // ---- task entry points -----------------------------------------------------
   using SeqCallback = flowserve::Engine::SeqCallback;
   // PD-colocated: one unified task runs the whole request here.
-  void SubmitUnified(const workload::RequestSpec& spec, SeqCallback on_first_token,
-                     SeqCallback on_complete);
+  void SubmitUnified(const workload::RequestSpec& spec, ResponseHandler handler);
   // PD-disaggregated: prefill here, then KV hand-off to `decode_te`, where the
   // decode task finishes the request. `on_complete` fires from the decode TE.
   void SubmitPrefill(const workload::RequestSpec& spec, TaskExecutor* decode_te,
-                     SeqCallback on_first_token, SeqCallback on_complete);
+                     ResponseHandler handler);
 
   // TE-shell health surface for the cluster manager.
   flowserve::LoadInfo load() const { return engine_->load(); }
@@ -89,7 +104,8 @@ class TaskExecutor {
   }
 
  private:
-  void AcceptPrefilled(const workload::RequestSpec& spec, SeqCallback on_complete);
+  void AcceptPrefilled(const workload::RequestSpec& spec, SeqCallback on_complete,
+                       ResponseHandler::ErrorCallback on_error);
   void InstallKvSend();
 
   sim::Simulator* sim_;
@@ -104,6 +120,7 @@ class TaskExecutor {
     TaskExecutor* decode_te = nullptr;
     workload::RequestSpec spec;
     SeqCallback on_complete;
+    ResponseHandler::ErrorCallback on_error;
   };
   std::map<workload::RequestId, PendingHandoff> handoffs_;
 };

@@ -8,9 +8,12 @@
 #include <vector>
 
 #include "distflow/distflow.h"
+#include "faults/fault_injector.h"
 #include "flowserve/engine.h"
 #include "hw/cluster.h"
+#include "hw/link.h"
 #include "serving/cluster_manager.h"
+#include "serving/frontend.h"
 #include "serving/job_executor.h"
 #include "serving/predictor.h"
 #include "sim/simulator.h"
@@ -208,9 +211,9 @@ TEST_F(FaultToleranceTest, ColocatedTeFailureRedispatchesInflightJobs) {
   for (int i = 0; i < 8; ++i) {
     auto spec = MakeRequest(static_cast<workload::RequestId>(i + 1), 1024, 1024,
                             static_cast<TokenId>(100 + 777 * i));
-    je_->HandleRequest(spec, nullptr, [&completed, id = spec.id](const flowserve::Sequence&) {
+    je_->HandleRequest(spec, {nullptr, [&completed, id = spec.id](const flowserve::Sequence&) {
       completed.insert(id);
-    });
+    }, nullptr});
   }
   sim_.RunUntil(MillisecondsToNs(200));  // work in flight on both TEs
   auto dropped = manager_->KillTe(te1->id());
@@ -222,7 +225,7 @@ TEST_F(FaultToleranceTest, ColocatedTeFailureRedispatchesInflightJobs) {
   EXPECT_GT(je_->stats().retries, 0);
   EXPECT_EQ(je_->stats().failed_tes_handled, 1);
   EXPECT_GT(te2->engine().stats().completed, 0);
-  EXPECT_EQ(te1->state(), serving::TeState::kStopped);
+  EXPECT_EQ(te1->state(), serving::TeState::kFailed);
 }
 
 TEST_F(FaultToleranceTest, DecodeTeFailureRetriesDisaggregatedJobs) {
@@ -234,9 +237,9 @@ TEST_F(FaultToleranceTest, DecodeTeFailureRetriesDisaggregatedJobs) {
   for (int i = 0; i < 6; ++i) {
     auto spec = MakeRequest(static_cast<workload::RequestId>(i + 1), 2048, 2048,
                             static_cast<TokenId>(100 + 555 * i));
-    je_->HandleRequest(spec, nullptr, [&completed, id = spec.id](const flowserve::Sequence&) {
+    je_->HandleRequest(spec, {nullptr, [&completed, id = spec.id](const flowserve::Sequence&) {
       completed.insert(id);
-    });
+    }, nullptr});
   }
   sim_.RunUntil(SecondsToNs(1));  // some decodes running on both decode TEs
   ASSERT_TRUE(manager_->KillTe(decode1->id()).ok());
@@ -254,9 +257,9 @@ TEST_F(FaultToleranceTest, PrefillTeFailureRetriesViaSurvivingPair) {
   for (int i = 0; i < 6; ++i) {
     auto spec = MakeRequest(static_cast<workload::RequestId>(i + 1), 4096, 32,
                             static_cast<TokenId>(100 + 311 * i));
-    je_->HandleRequest(spec, nullptr, [&completed, id = spec.id](const flowserve::Sequence&) {
+    je_->HandleRequest(spec, {nullptr, [&completed, id = spec.id](const flowserve::Sequence&) {
       completed.insert(id);
-    });
+    }, nullptr});
   }
   sim_.RunUntil(MillisecondsToNs(200));  // prefills in flight
   ASSERT_TRUE(manager_->KillTe(prefill1->id()).ok());
@@ -270,8 +273,7 @@ TEST_F(FaultToleranceTest, FailedJobsMarkedInLedger) {
   Link();
   for (int i = 0; i < 4; ++i) {
     je_->HandleRequest(MakeRequest(static_cast<workload::RequestId>(i + 1), 1024, 256,
-                                   static_cast<TokenId>(100 + 131 * i)),
-                       nullptr, nullptr);
+                                   static_cast<TokenId>(100 + 131 * i)), {nullptr, nullptr, nullptr});
   }
   sim_.RunUntil(MillisecondsToNs(400));
   ASSERT_TRUE(manager_->KillTe(te1->id()).ok());
@@ -306,6 +308,407 @@ TEST_F(FaultToleranceTest, NpusReleasedAfterKill) {
   ASSERT_TRUE(manager_->KillTe(te1->id()).ok());
   // Freed capacity is reusable immediately.
   EXPECT_TRUE(manager_->CreateReadyTe(SmallEngine(flowserve::EngineRole::kColocated)).ok());
+}
+
+// ---------------- Deferred detection (CrashTe) ----------------
+
+TEST_F(FaultToleranceTest, NpuCrashDetectionLandsOnHeartbeatGrid) {
+  auto* te1 = AddTe(flowserve::EngineRole::kColocated);
+  AddTe(flowserve::EngineRole::kColocated);
+  Link();
+  std::set<workload::RequestId> completed;
+  for (int i = 0; i < 8; ++i) {
+    auto spec = MakeRequest(static_cast<workload::RequestId>(i + 1), 1024, 1024,
+                            static_cast<TokenId>(100 + 777 * i));
+    je_->HandleRequest(spec, {nullptr, [&completed, id = spec.id](const flowserve::Sequence&) {
+      completed.insert(id);
+    }, nullptr});
+  }
+  sim_.RunUntil(MillisecondsToNs(200));
+  ASSERT_TRUE(manager_->CrashTe(te1->id(), serving::CrashKind::kNpu).ok());
+  // The TE is dead immediately, but the platform has not noticed yet.
+  EXPECT_EQ(te1->state(), serving::TeState::kFailed);
+  EXPECT_EQ(je_->stats().failed_tes_handled, 0);
+  // Default detection: 3 missed 500ms heartbeats from t=200ms lands at
+  // 1700ms, quantized up to the 2000ms heartbeat tick.
+  sim_.RunUntil(MillisecondsToNs(1999));
+  EXPECT_EQ(manager_->stats().detections, 0);
+  sim_.RunUntil(MillisecondsToNs(2001));
+  EXPECT_EQ(manager_->stats().detections, 1);
+  EXPECT_EQ(je_->stats().failed_tes_handled, 1);
+  EXPECT_DOUBLE_EQ(manager_->stats().mean_mttr_ms(), 1800.0);
+  sim_.Run();
+  EXPECT_EQ(completed.size(), 8u);  // lost work re-dispatched after detection
+}
+
+TEST_F(FaultToleranceTest, ShellCrashDetectedFasterThanHeartbeatLapse) {
+  auto* te1 = AddTe(flowserve::EngineRole::kColocated);
+  AddTe(flowserve::EngineRole::kColocated);
+  Link();
+  sim_.RunUntil(MillisecondsToNs(200));
+  ASSERT_TRUE(manager_->CrashTe(te1->id(), serving::CrashKind::kTeShell).ok());
+  sim_.RunUntil(MillisecondsToNs(299));
+  EXPECT_EQ(manager_->stats().detections, 0);
+  sim_.RunUntil(MillisecondsToNs(301));  // pod-runtime signal after 100ms
+  EXPECT_EQ(manager_->stats().detections, 1);
+  EXPECT_DOUBLE_EQ(manager_->stats().mean_mttr_ms(), 100.0);
+}
+
+TEST_F(FaultToleranceTest, DetectionLatencyIsConfigurable) {
+  auto* te1 = AddTe(flowserve::EngineRole::kColocated);
+  AddTe(flowserve::EngineRole::kColocated);
+  Link();
+  serving::FaultDetectionConfig detection;
+  detection.heartbeat_interval = MillisecondsToNs(100);
+  detection.missed_heartbeats = 2;
+  manager_->SetFaultDetection(detection);
+  sim_.RunUntil(MillisecondsToNs(50));
+  ASSERT_TRUE(manager_->CrashTe(te1->id(), serving::CrashKind::kNpu).ok());
+  // 2 x 100ms from t=50ms lands at 250ms, quantized up to 300ms.
+  sim_.RunUntil(MillisecondsToNs(299));
+  EXPECT_EQ(manager_->stats().detections, 0);
+  sim_.RunUntil(MillisecondsToNs(301));
+  EXPECT_EQ(manager_->stats().detections, 1);
+}
+
+TEST_F(FaultToleranceTest, CrashAccountsLostKvTokens) {
+  auto* te1 = AddTe(flowserve::EngineRole::kColocated);
+  AddTe(flowserve::EngineRole::kColocated);
+  Link();
+  for (int i = 0; i < 4; ++i) {
+    je_->HandleRequest(MakeRequest(static_cast<workload::RequestId>(i + 1), 2048, 1024,
+                                   static_cast<TokenId>(100 + 991 * i)),
+                       {nullptr, nullptr, nullptr});
+  }
+  sim_.RunUntil(MillisecondsToNs(400));  // KV context built up on both TEs
+  ASSERT_TRUE(manager_->CrashTe(te1->id()).ok());
+  EXPECT_GT(manager_->stats().lost_requests, 0);
+  EXPECT_GT(manager_->stats().lost_kv_tokens, 0);
+  sim_.Run();
+}
+
+TEST_F(FaultToleranceTest, ReplacementPolicyRestoresCapacityAndRecordsMttr) {
+  auto* te1 = AddTe(flowserve::EngineRole::kColocated);
+  AddTe(flowserve::EngineRole::kColocated);
+  Link();
+  serving::TaskExecutor* replacement = nullptr;
+  serving::ScaleRequest request;
+  request.engine = SmallEngine(flowserve::EngineRole::kColocated);
+  manager_->SetReplacementPolicy(request, [&](serving::TaskExecutor* te) {
+    replacement = te;
+    je_->AddColocatedTe(te);
+  });
+  std::set<workload::RequestId> completed;
+  for (int i = 0; i < 8; ++i) {
+    auto spec = MakeRequest(static_cast<workload::RequestId>(i + 1), 1024, 1024,
+                            static_cast<TokenId>(100 + 777 * i));
+    je_->HandleRequest(spec, {nullptr, [&completed, id = spec.id](const flowserve::Sequence&) {
+      completed.insert(id);
+    }, nullptr});
+  }
+  sim_.RunUntil(MillisecondsToNs(200));
+  ASSERT_TRUE(manager_->CrashTe(te1->id()).ok());
+  sim_.Run();
+  EXPECT_EQ(manager_->stats().replacements, 1);
+  ASSERT_NE(replacement, nullptr);
+  EXPECT_TRUE(replacement->ready());
+  // MTTR spans crash -> replacement ready, so it exceeds detection latency.
+  EXPECT_GT(manager_->stats().mean_mttr_ms(), 1800.0);
+  EXPECT_EQ(completed.size(), 8u);
+}
+
+TEST_F(FaultToleranceTest, RetryBudgetExhaustionDeliversAborted) {
+  std::vector<serving::TaskExecutor*> tes;
+  for (int i = 0; i < 6; ++i) {
+    tes.push_back(AddTe(flowserve::EngineRole::kColocated));
+  }
+  Link();
+  int completions = 0;
+  int errors = 0;
+  Status seen = Status::Ok();
+  je_->HandleRequest(MakeRequest(1, 512, 40000),
+                     {nullptr, [&](const flowserve::Sequence&) { ++completions; },
+                      [&](const Status& e) {
+                        ++errors;
+                        seen = e;
+                      }});
+  sim_.RunUntil(MillisecondsToNs(50));
+  // Keep killing whichever TE holds the request until the retry budget runs
+  // out; capacity remains available throughout, so the terminal status is
+  // kAborted (budget), not kUnavailable (no capacity).
+  auto holder = [&]() -> serving::TaskExecutor* {
+    for (auto* te : tes) {
+      if (te->ready() && !te->engine().idle()) {
+        return te;
+      }
+    }
+    return nullptr;
+  };
+  for (int round = 0; round < 6; ++round) {
+    serving::TaskExecutor* h = holder();
+    if (h == nullptr) {
+      break;
+    }
+    ASSERT_TRUE(manager_->KillTe(h->id()).ok());
+    sim_.RunUntil(sim_.Now() + MillisecondsToNs(50));
+  }
+  EXPECT_EQ(completions, 0);
+  EXPECT_EQ(errors, 1);
+  EXPECT_EQ(seen.code(), StatusCode::kAborted);
+  EXPECT_EQ(je_->stats().retries, 3);  // default JeConfig::max_retries
+  EXPECT_EQ(je_->stats().errors, 1);
+}
+
+// ---------------- Fault injector ----------------
+
+TEST_F(FaultToleranceTest, SlowNodeMultiplierAppliesAndRestores) {
+  auto* te = AddTe(flowserve::EngineRole::kColocated);
+  Link();
+  faults::FaultInjector injector(&sim_, manager_.get(), /*seed=*/7);
+  faults::FaultEvent event;
+  event.time = sim_.Now();
+  event.kind = faults::FaultKind::kSlowNode;
+  event.target = 0;
+  event.factor = 2.0;
+  event.duration = SecondsToNs(1);
+  injector.Schedule(event);
+  sim_.RunUntil(MillisecondsToNs(1));
+  EXPECT_DOUBLE_EQ(te->engine().step_time_multiplier(), 2.0);
+  sim_.RunUntil(SecondsToNs(1.1));
+  EXPECT_DOUBLE_EQ(te->engine().step_time_multiplier(), 1.0);
+  EXPECT_EQ(injector.stats().slow_nodes, 1);
+  EXPECT_EQ(injector.stats().restores, 1);
+}
+
+TEST_F(FaultToleranceTest, StragglerStretchesCompletionTime) {
+  auto run = [&](double factor) {
+    sim::Simulator sim;
+    flowserve::Engine engine(&sim, SmallEngine(flowserve::EngineRole::kColocated));
+    engine.SetStepTimeMultiplier(factor);
+    TimeNs done = 0;
+    engine.Submit(MakeRequest(1, 1024, 256), nullptr,
+                  [&](const flowserve::Sequence& seq) { done = seq.finish_time; });
+    sim.Run();
+    return done;
+  };
+  TimeNs base = run(1.0);
+  TimeNs slow = run(3.0);
+  EXPECT_GT(base, 0);
+  EXPECT_GT(slow, 2 * base);  // ~3x modulo rounding
+}
+
+TEST_F(FaultToleranceTest, LinkDegradeScalesBandwidthAndRestores) {
+  AddTe(flowserve::EngineRole::kColocated);
+  Link();
+  faults::FaultInjector injector(&sim_, manager_.get(), /*seed=*/7);
+  faults::FaultEvent event;
+  event.time = sim_.Now();
+  event.kind = faults::FaultKind::kLinkDegrade;
+  event.target = 0;  // machine 0
+  event.factor = 0.25;
+  event.duration = SecondsToNs(2);
+  injector.Schedule(event);
+  sim_.RunUntil(MillisecondsToNs(1));
+  EXPECT_DOUBLE_EQ(cluster_->hccs_link(0)->bandwidth_scale(), 0.25);
+  EXPECT_DOUBLE_EQ(cluster_->roce_link(0)->bandwidth_scale(), 0.25);
+  sim_.RunUntil(SecondsToNs(2.1));
+  EXPECT_DOUBLE_EQ(cluster_->hccs_link(0)->bandwidth_scale(), 1.0);
+  EXPECT_DOUBLE_EQ(cluster_->roce_link(0)->bandwidth_scale(), 1.0);
+  EXPECT_EQ(injector.stats().link_degrades, 1);
+  EXPECT_EQ(injector.stats().restores, 1);
+}
+
+TEST_F(FaultToleranceTest, CrashWithNoLiveTargetIsSkipped) {
+  faults::FaultInjector injector(&sim_, manager_.get(), /*seed=*/7);
+  faults::FaultEvent event;
+  event.time = sim_.Now();
+  event.kind = faults::FaultKind::kNpuCrash;
+  injector.Schedule(event);
+  sim_.Run();
+  EXPECT_EQ(injector.stats().injected, 1);
+  EXPECT_EQ(injector.stats().skipped, 1);
+  EXPECT_EQ(manager_->stats().crashes, 0);
+}
+
+TEST(FaultScheduleTest, ParsesFullGrammar) {
+  auto result = faults::FaultInjector::ParseSchedule(
+      "npu@5;link@10:0.25x20;slow@30:3x10#2;shell@1.5");
+  ASSERT_TRUE(result.ok());
+  const auto& events = *result;
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events[0].kind, faults::FaultKind::kNpuCrash);
+  EXPECT_EQ(events[0].time, SecondsToNs(5));
+  EXPECT_EQ(events[0].target, -1);
+  EXPECT_EQ(events[1].kind, faults::FaultKind::kLinkDegrade);
+  EXPECT_DOUBLE_EQ(events[1].factor, 0.25);
+  EXPECT_EQ(events[1].duration, SecondsToNs(20));
+  EXPECT_EQ(events[2].kind, faults::FaultKind::kSlowNode);
+  EXPECT_DOUBLE_EQ(events[2].factor, 3.0);
+  EXPECT_EQ(events[2].duration, SecondsToNs(10));
+  EXPECT_EQ(events[2].target, 2);
+  EXPECT_EQ(events[3].kind, faults::FaultKind::kTeShellCrash);
+  EXPECT_EQ(events[3].time, SecondsToNs(1.5));
+}
+
+TEST(FaultScheduleTest, RejectsMalformedSpecs) {
+  EXPECT_FALSE(faults::FaultInjector::ParseSchedule("npu").ok());       // no '@'
+  EXPECT_FALSE(faults::FaultInjector::ParseSchedule("meteor@5").ok());  // unknown kind
+  EXPECT_FALSE(faults::FaultInjector::ParseSchedule("npu@").ok());      // missing time
+  EXPECT_FALSE(faults::FaultInjector::ParseSchedule("npu@-3").ok());    // negative time
+  EXPECT_FALSE(faults::FaultInjector::ParseSchedule("link@10:1.5").ok());  // factor > 1
+  EXPECT_FALSE(faults::FaultInjector::ParseSchedule("slow@5:0.5").ok());   // factor < 1
+}
+
+TEST(FaultPlanTest, SameSeedSamePlan) {
+  faults::FaultPlanConfig config;
+  config.count = 16;
+  auto a = faults::FaultInjector::GeneratePlan(99, config);
+  auto b = faults::FaultInjector::GeneratePlan(99, config);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].time, b[i].time);
+    EXPECT_EQ(a[i].kind, b[i].kind);
+    EXPECT_EQ(a[i].target, b[i].target);
+    EXPECT_DOUBLE_EQ(a[i].factor, b[i].factor);
+    EXPECT_EQ(a[i].duration, b[i].duration);
+  }
+  // Sorted by time, inside the window.
+  for (size_t i = 1; i < a.size(); ++i) {
+    EXPECT_LE(a[i - 1].time, a[i].time);
+  }
+  for (const auto& event : a) {
+    EXPECT_GE(event.time, config.window_start);
+    EXPECT_LE(event.time, config.window_end);
+  }
+  auto c = faults::FaultInjector::GeneratePlan(100, config);
+  bool differs = false;
+  for (size_t i = 0; i < std::min(a.size(), c.size()); ++i) {
+    differs = differs || a[i].time != c[i].time || a[i].kind != c[i].kind;
+  }
+  EXPECT_TRUE(differs);
+}
+
+// ---------------- Chaos property tests ----------------
+//
+// A full stack (Frontend -> JE -> 3 TEs, heartbeat detection, replacement
+// scale-ups) driven through a chaos plan. The acceptance properties:
+//   conservation — every request terminates in exactly ONE of
+//                  on_complete / on_error;
+//   determinism  — the same fault seed replays bit-for-bit;
+//   isolation    — with faults disabled, the seed is irrelevant.
+
+struct ChaosOutcome {
+  std::vector<workload::RequestId> completed;  // in completion order
+  std::vector<workload::RequestId> errored;    // in error order
+  int64_t double_terminated = 0;
+  int64_t crashes = 0;
+  int64_t replacements = 0;
+  TimeNs end_time = 0;
+
+  bool operator==(const ChaosOutcome& other) const {
+    return completed == other.completed && errored == other.errored &&
+           double_terminated == other.double_terminated && crashes == other.crashes &&
+           replacements == other.replacements && end_time == other.end_time;
+  }
+};
+
+ChaosOutcome RunChaos(uint64_t fault_seed, bool enable_faults) {
+  constexpr int kRequests = 40;
+  sim::Simulator sim;
+  hw::ClusterConfig cc;
+  cc.num_machines = 4;
+  hw::Cluster cluster(&sim, cc);
+  distflow::TransferEngine transfer(&sim, &cluster, distflow::DistFlowConfig{});
+  serving::ClusterManager manager(&sim, &cluster, &transfer);
+  serving::JeConfig config;
+  config.policy = serving::SchedulingPolicy::kLoadOnly;
+  serving::JobExecutor je(&sim, config, serving::PdHeatmap::Default(),
+                          serving::MakeOraclePredictor());
+  std::vector<distflow::EndpointId> endpoints;
+  for (int i = 0; i < 3; ++i) {
+    auto* te = manager.CreateReadyTe(SmallEngine(flowserve::EngineRole::kColocated)).value();
+    je.AddColocatedTe(te);
+    endpoints.push_back(te->id());
+  }
+  DS_CHECK_OK(transfer.LinkCluster(endpoints, nullptr));
+  sim.Run();
+  manager.AddFailureHandler([&](serving::TeId id) { je.OnTeFailure(id); });
+  serving::ScaleRequest replacement;
+  replacement.engine = SmallEngine(flowserve::EngineRole::kColocated);
+  manager.SetReplacementPolicy(replacement,
+                               [&](serving::TaskExecutor* te) { je.AddColocatedTe(te); });
+
+  serving::Frontend frontend(&sim);
+  frontend.RegisterServingJe("tiny-1b", &je);
+
+  faults::FaultInjector injector(&sim, &manager, fault_seed);
+  if (enable_faults) {
+    faults::FaultPlanConfig plan;
+    plan.count = 6;
+    plan.window_start = 0;
+    plan.window_end = SecondsToNs(10);
+    injector.ScheduleAll(faults::FaultInjector::GeneratePlan(fault_seed, plan));
+  }
+
+  ChaosOutcome outcome;
+  std::vector<int> terminations(kRequests + 1, 0);
+  for (int i = 0; i < kRequests; ++i) {
+    workload::RequestId id = static_cast<workload::RequestId>(i + 1);
+    sim.ScheduleAt(MillisecondsToNs(200) * i, [&, id, i] {
+      serving::ChatRequest request;
+      request.model = "tiny-1b";
+      request.spec = MakeRequest(id, 1024, 512, static_cast<TokenId>(100 + 37 * i));
+      serving::ResponseHandler handler;
+      handler.on_complete = [&outcome, &terminations, id](const flowserve::Sequence&) {
+        outcome.completed.push_back(id);
+        if (++terminations[id] > 1) {
+          ++outcome.double_terminated;
+        }
+      };
+      handler.on_error = [&outcome, &terminations, id](const Status&) {
+        outcome.errored.push_back(id);
+        if (++terminations[id] > 1) {
+          ++outcome.double_terminated;
+        }
+      };
+      (void)frontend.ChatCompletion(std::move(request), std::move(handler));
+    });
+  }
+  sim.Run();
+  outcome.crashes = manager.stats().crashes;
+  outcome.replacements = manager.stats().replacements;
+  outcome.end_time = sim.Now();
+  // Frontend accounting stays conservative under churn.
+  EXPECT_EQ(frontend.stats().requests,
+            frontend.stats().chat_dispatched + frontend.stats().rejected);
+  return outcome;
+}
+
+TEST(ChaosPropertyTest, EveryRequestTerminatesExactlyOnce) {
+  for (uint64_t seed : {1ull, 7ull, 13ull, 42ull, 1234ull}) {
+    ChaosOutcome outcome = RunChaos(seed, /*enable_faults=*/true);
+    EXPECT_EQ(outcome.completed.size() + outcome.errored.size(), 40u)
+        << "seed " << seed << " lost a request without on_error";
+    EXPECT_EQ(outcome.double_terminated, 0) << "seed " << seed;
+  }
+}
+
+TEST(ChaosPropertyTest, SameSeedReplaysBitForBit) {
+  for (uint64_t seed : {7ull, 42ull}) {
+    ChaosOutcome first = RunChaos(seed, /*enable_faults=*/true);
+    ChaosOutcome second = RunChaos(seed, /*enable_faults=*/true);
+    EXPECT_TRUE(first == second) << "seed " << seed << " diverged";
+    EXPECT_GT(first.crashes + first.errored.size(), 0u) << "chaos plan was a no-op";
+  }
+}
+
+TEST(ChaosPropertyTest, DisabledFaultsMakeSeedIrrelevant) {
+  ChaosOutcome a = RunChaos(7, /*enable_faults=*/false);
+  ChaosOutcome b = RunChaos(99, /*enable_faults=*/false);
+  EXPECT_TRUE(a == b);
+  EXPECT_EQ(a.errored.size(), 0u);
+  EXPECT_EQ(a.completed.size(), 40u);
+  EXPECT_EQ(a.crashes, 0);
 }
 
 }  // namespace

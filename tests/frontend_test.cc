@@ -43,6 +43,13 @@ workload::RequestSpec MakeRequest(workload::RequestId id, int64_t prefill, int64
 
 // ---------------- Frontend ----------------
 
+serving::ChatRequest Chat(const std::string& model, workload::RequestSpec spec) {
+  serving::ChatRequest request;
+  request.model = model;
+  request.spec = std::move(spec);
+  return request;
+}
+
 class FrontendTest : public ::testing::Test {
  protected:
   FrontendTest() {
@@ -62,6 +69,7 @@ class FrontendTest : public ::testing::Test {
         &sim_, config, serving::PdHeatmap::Default(), serving::MakeOraclePredictor());
     auto te = manager_->CreateReadyTe(SmallEngine(flowserve::EngineRole::kColocated)).value();
     je->AddColocatedTe(te);
+    last_te_ = te;
     return je;
   }
 
@@ -69,6 +77,7 @@ class FrontendTest : public ::testing::Test {
   std::unique_ptr<hw::Cluster> cluster_;
   std::unique_ptr<distflow::TransferEngine> transfer_;
   std::unique_ptr<serving::ClusterManager> manager_;
+  serving::TaskExecutor* last_te_ = nullptr;
 };
 
 TEST_F(FrontendTest, RoutesByModelName) {
@@ -77,19 +86,63 @@ TEST_F(FrontendTest, RoutesByModelName) {
   frontend.RegisterServingJe("tiny-1b", je.get());
   bool done = false;
   EXPECT_TRUE(frontend
-                  .ChatCompletion("tiny-1b", MakeRequest(1, 128, 8), nullptr,
-                                  [&](const flowserve::Sequence&) { done = true; })
+                  .ChatCompletion(Chat("tiny-1b", MakeRequest(1, 128, 8)),
+                                  {nullptr, [&](const flowserve::Sequence&) { done = true; },
+                                   nullptr})
                   .ok());
   sim_.Run();
   EXPECT_TRUE(done);
   EXPECT_EQ(frontend.stats().chat_dispatched, 1);
 }
 
-TEST_F(FrontendTest, UnknownModelRejected) {
+TEST_F(FrontendTest, UnknownModelRejectedThroughOnError) {
   serving::Frontend frontend;
-  Status s = frontend.ChatCompletion("gpt-17", MakeRequest(1, 64, 4), nullptr, nullptr);
+  Status seen = Status::Ok();
+  Status s = frontend.ChatCompletion(Chat("gpt-17", MakeRequest(1, 64, 4)),
+                                     {nullptr, nullptr, [&](const Status& e) { seen = e; }});
   EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(seen.code(), StatusCode::kNotFound);  // pre-dispatch rejection fires on_error
   EXPECT_EQ(frontend.stats().rejected, 1);
+  EXPECT_EQ(frontend.stats().errors, 0);  // rejected, not errored-after-dispatch
+}
+
+TEST_F(FrontendTest, DeadlineAlreadyMissedRejected) {
+  serving::Frontend frontend(&sim_);
+  auto je = MakeJeWithTe();
+  frontend.RegisterServingJe("tiny-1b", je.get());
+  sim_.ScheduleAt(MillisecondsToNs(100), [&] {
+    auto request = Chat("tiny-1b", MakeRequest(1, 64, 4));
+    request.deadline = MillisecondsToNs(50);  // already in the past
+    Status seen = Status::Ok();
+    EXPECT_EQ(frontend.ChatCompletion(std::move(request),
+                                      {nullptr, nullptr, [&](const Status& e) { seen = e; }})
+                  .code(),
+              StatusCode::kDeadlineExceeded);
+    EXPECT_EQ(seen.code(), StatusCode::kDeadlineExceeded);
+  });
+  sim_.Run();
+  EXPECT_EQ(frontend.stats().rejected, 1);
+  EXPECT_EQ(frontend.stats().chat_dispatched, 0);
+}
+
+TEST_F(FrontendTest, PriorityOverrideReachesEngine) {
+  serving::Frontend frontend;
+  auto je = MakeJeWithTe();
+  frontend.RegisterServingJe("tiny-1b", je.get());
+  auto request = Chat("tiny-1b", MakeRequest(1, 64, 4));
+  request.spec.priority = 2;
+  request.priority = 0;  // envelope overrides the spec
+  int seen_priority = -1;
+  ASSERT_TRUE(frontend
+                  .ChatCompletion(std::move(request),
+                                  {nullptr,
+                                   [&](const flowserve::Sequence& seq) {
+                                     seen_priority = seq.priority;
+                                   },
+                                   nullptr})
+                  .ok());
+  sim_.Run();
+  EXPECT_EQ(seen_priority, 0);
 }
 
 TEST_F(FrontendTest, RoundRobinAcrossJeReplicas) {
@@ -101,9 +154,10 @@ TEST_F(FrontendTest, RoundRobinAcrossJeReplicas) {
   EXPECT_EQ(frontend.je_count("tiny-1b"), 2u);
   for (int i = 0; i < 6; ++i) {
     ASSERT_TRUE(frontend
-                    .ChatCompletion("tiny-1b",
-                                    MakeRequest(static_cast<workload::RequestId>(i + 1), 64, 4),
-                                    nullptr, nullptr)
+                    .ChatCompletion(Chat("tiny-1b", MakeRequest(
+                                                        static_cast<workload::RequestId>(i + 1),
+                                                        64, 4)),
+                                    {nullptr, nullptr, nullptr})
                     .ok());
   }
   sim_.Run();
@@ -121,9 +175,10 @@ TEST_F(FrontendTest, SkipsJeWithoutCapacity) {
   frontend.RegisterServingJe("tiny-1b", good_je.get());
   for (int i = 0; i < 4; ++i) {
     ASSERT_TRUE(frontend
-                    .ChatCompletion("tiny-1b",
-                                    MakeRequest(static_cast<workload::RequestId>(i + 1), 64, 4),
-                                    nullptr, nullptr)
+                    .ChatCompletion(Chat("tiny-1b", MakeRequest(
+                                                        static_cast<workload::RequestId>(i + 1),
+                                                        64, 4)),
+                                    {nullptr, nullptr, nullptr})
                     .ok());
   }
   EXPECT_EQ(empty_je->stats().requests, 0);
@@ -137,8 +192,102 @@ TEST_F(FrontendTest, AllReplicasDownMeansUnavailable) {
   auto empty_je = std::make_unique<serving::JobExecutor>(
       &sim_, config, serving::PdHeatmap::Default(), serving::MakeOraclePredictor());
   frontend.RegisterServingJe("tiny-1b", empty_je.get());
-  EXPECT_EQ(frontend.ChatCompletion("tiny-1b", MakeRequest(1, 64, 4), nullptr, nullptr).code(),
+  EXPECT_EQ(frontend
+                .ChatCompletion(Chat("tiny-1b", MakeRequest(1, 64, 4)),
+                                {nullptr, nullptr, nullptr})
+                .code(),
             StatusCode::kUnavailable);
+  EXPECT_EQ(frontend.stats().rejected, 1);
+}
+
+TEST_F(FrontendTest, CapacityConsultsTeStateNotGroupMembership) {
+  // A JE whose only TE has failed still *has* the TE in its group; the old
+  // group-membership check would have routed to it. HasReadyCapacity must
+  // consult TeState instead.
+  serving::Frontend frontend;
+  auto je = MakeJeWithTe();
+  frontend.RegisterServingJe("tiny-1b", je.get());
+  ASSERT_TRUE(manager_->KillTe(last_te_->id()).ok());
+  EXPECT_EQ(frontend
+                .ChatCompletion(Chat("tiny-1b", MakeRequest(1, 64, 4)),
+                                {nullptr, nullptr, nullptr})
+                .code(),
+            StatusCode::kUnavailable);
+  EXPECT_EQ(je->stats().requests, 0);
+}
+
+TEST_F(FrontendTest, RoundRobinSkipsFailedReplicaAndResumesOnReplacement) {
+  serving::Frontend frontend;
+  auto je1 = MakeJeWithTe();
+  auto* te1 = last_te_;
+  auto je2 = MakeJeWithTe();
+  frontend.RegisterServingJe("tiny-1b", je1.get());
+  frontend.RegisterServingJe("tiny-1b", je2.get());
+  manager_->AddFailureHandler([&](serving::TeId id) {
+    je1->OnTeFailure(id);
+    je2->OnTeFailure(id);
+  });
+
+  // je1's TE fails mid-stream: subsequent requests all land on je2.
+  ASSERT_TRUE(manager_->KillTe(te1->id()).ok());
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(frontend
+                    .ChatCompletion(Chat("tiny-1b", MakeRequest(
+                                                        static_cast<workload::RequestId>(i + 1),
+                                                        64, 4)),
+                                    {nullptr, nullptr, nullptr})
+                    .ok());
+  }
+  EXPECT_EQ(je1->stats().requests, 0);
+  EXPECT_EQ(je2->stats().requests, 4);
+  sim_.Run();
+
+  // A replacement replica registered later re-enters the rotation.
+  auto je3 = MakeJeWithTe();
+  frontend.RegisterServingJe("tiny-1b", je3.get());
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(frontend
+                    .ChatCompletion(Chat("tiny-1b", MakeRequest(
+                                                        static_cast<workload::RequestId>(i + 10),
+                                                        64, 4)),
+                                    {nullptr, nullptr, nullptr})
+                    .ok());
+  }
+  sim_.Run();
+  EXPECT_EQ(je3->stats().requests, 2);
+  EXPECT_EQ(je2->stats().requests, 6);
+}
+
+TEST_F(FrontendTest, PostDispatchLossDeliversOnError) {
+  // The request is accepted (Status OK), then its TE dies with no surviving
+  // capacity: the failure must surface through on_error, exactly once.
+  serving::Frontend frontend;
+  auto je = MakeJeWithTe();
+  auto* te = last_te_;
+  frontend.RegisterServingJe("tiny-1b", je.get());
+  manager_->AddFailureHandler([&](serving::TeId id) { je->OnTeFailure(id); });
+
+  int completions = 0;
+  int errors = 0;
+  Status seen = Status::Ok();
+  ASSERT_TRUE(frontend
+                  .ChatCompletion(Chat("tiny-1b", MakeRequest(1, 2048, 2048)),
+                                  {nullptr,
+                                   [&](const flowserve::Sequence&) { ++completions; },
+                                   [&](const Status& e) {
+                                     ++errors;
+                                     seen = e;
+                                   }})
+                  .ok());
+  sim_.RunUntil(MillisecondsToNs(100));  // request in flight
+  ASSERT_TRUE(manager_->KillTe(te->id()).ok());
+  sim_.Run();
+  EXPECT_EQ(completions, 0);
+  EXPECT_EQ(errors, 1);
+  EXPECT_FALSE(seen.ok());
+  EXPECT_EQ(frontend.stats().errors, 1);
+  EXPECT_EQ(frontend.stats().rejected, 0);
+  EXPECT_EQ(frontend.stats().chat_dispatched, 1);
 }
 
 TEST_F(FrontendTest, FineTuneRouting) {

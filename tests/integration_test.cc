@@ -85,11 +85,9 @@ class PlatformTest : public ::testing::Test {
     for (const auto& spec : trace) {
       sim_.ScheduleAt(spec.arrival, [this, &metrics, first_tokens, spec] {
         je_->HandleRequest(
-            spec,
-            [first_tokens, id = spec.id](const flowserve::Sequence& seq) {
+            spec, {[first_tokens, id = spec.id](const flowserve::Sequence& seq) {
               (*first_tokens)[id] = seq.first_token_time;
-            },
-            [&metrics, first_tokens, spec](const flowserve::Sequence& seq) {
+            }, [&metrics, first_tokens, spec](const flowserve::Sequence& seq) {
               workload::RequestRecord record;
               record.id = spec.id;
               record.arrival = spec.arrival;
@@ -100,7 +98,7 @@ class PlatformTest : public ::testing::Test {
               record.prefill_len = spec.prefill_len();
               record.decode_len = spec.decode_len;
               metrics.Record(record);
-            });
+            }, nullptr});
       });
     }
     sim_.Run();
@@ -181,8 +179,9 @@ TEST_F(PlatformTest, ByRequestTransferSlowerThanByLayer) {
     sim.Run();
     TimeNs done = 0;
     auto batch = workload::TraceGenerator::FixedBatch(1, 2048, 64);
-    prefill->SubmitPrefill(batch[0], decode, nullptr,
-                           [&](const flowserve::Sequence& seq) { done = seq.finish_time; });
+    prefill->SubmitPrefill(
+        batch[0], decode,
+        {nullptr, [&](const flowserve::Sequence& seq) { done = seq.finish_time; }, nullptr});
     sim.Run();
     return done;
   };
@@ -205,10 +204,12 @@ TEST_F(PlatformTest, ScaledUpTeImmediatelyServes) {
                               ASSERT_NE(te, nullptr);
                               je_->AddColocatedTe(te);
                               auto batch = workload::TraceGenerator::FixedBatch(1, 256, 8);
-                              te->SubmitUnified(batch[0], nullptr,
-                                                [&](const flowserve::Sequence&) {
-                                                  served = true;
-                                                });
+                              te->SubmitUnified(batch[0],
+                                                {nullptr,
+                                                 [&](const flowserve::Sequence&) {
+                                                   served = true;
+                                                 },
+                                                 nullptr});
                             })
                   .ok());
   sim_.Run();
@@ -235,9 +236,9 @@ TEST_F(PlatformTest, DeterministicAcrossRuns) {
     std::vector<TimeNs> completions;
     for (const auto& spec : trace) {
       sim.ScheduleAt(spec.arrival, [&, spec] {
-        je.HandleRequest(spec, nullptr, [&](const flowserve::Sequence& seq) {
+        je.HandleRequest(spec, {nullptr, [&](const flowserve::Sequence& seq) {
           completions.push_back(seq.finish_time);
-        });
+        }, nullptr});
       });
     }
     sim.Run();

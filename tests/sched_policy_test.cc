@@ -62,8 +62,7 @@ TEST_F(SchedPolicyTest, BenchProducedHeatmapDrivesRouting) {
   je.AddPrefillTe(prefill.get());
   je.AddDecodeTe(decode.get());
   for (int i = 0; i < 4; ++i) {
-    je.HandleRequest(MakeRequest(static_cast<workload::RequestId>(i + 1), 128, 512), nullptr,
-                     nullptr);
+    je.HandleRequest(MakeRequest(static_cast<workload::RequestId>(i + 1), 128, 512), {nullptr, nullptr, nullptr});
   }
   sim_.Run();
   // Short-prefill/long-decode requests would default colocated; the loaded
@@ -92,8 +91,7 @@ TEST_F(SchedPolicyTest, OverloadGuardRedirectsToColocated) {
   // fires and the rest land on the idle colocated TE.
   for (int i = 0; i < 12; ++i) {
     je.HandleRequest(MakeRequest(static_cast<workload::RequestId>(i + 1), 1024, 512,
-                                 static_cast<TokenId>(100 + 613 * i)),
-                     nullptr, nullptr);
+                                 static_cast<TokenId>(100 + 613 * i)), {nullptr, nullptr, nullptr});
   }
   sim_.Run();
   EXPECT_GT(je.stats().routed_disaggregated, 0);
@@ -118,8 +116,7 @@ TEST_F(SchedPolicyTest, OverloadGuardAlsoProtectsColocatedSide) {
   je.AddDecodeTe(decode.get());
   for (int i = 0; i < 12; ++i) {
     je.HandleRequest(MakeRequest(static_cast<workload::RequestId>(i + 1), 1024, 512,
-                                 static_cast<TokenId>(100 + 419 * i)),
-                     nullptr, nullptr);
+                                 static_cast<TokenId>(100 + 419 * i)), {nullptr, nullptr, nullptr});
   }
   sim_.Run();
   EXPECT_GT(je.stats().routed_colocated, 0);
@@ -146,8 +143,7 @@ TEST_F(SchedPolicyTest, LoadBalanceSlackGatesLocality) {
     je.AddColocatedTe(&te1);
     je.AddColocatedTe(&te2);
     for (int i = 0; i < 6; ++i) {
-      je.HandleRequest(MakeRequest(static_cast<workload::RequestId>(i + 1), 512, 64, 777),
-                       nullptr, nullptr);
+      je.HandleRequest(MakeRequest(static_cast<workload::RequestId>(i + 1), 512, 64, 777), {nullptr, nullptr, nullptr});
     }
     sim.Run();
     if (slack > 0) {
@@ -168,8 +164,7 @@ TEST_F(SchedPolicyTest, PromptTreeCapIsEnforced) {
   je.AddColocatedTe(te.get());
   for (int i = 0; i < 64; ++i) {
     je.HandleRequest(MakeRequest(static_cast<workload::RequestId>(i + 1), 256, 2,
-                                 static_cast<TokenId>(1000 + 293 * i)),
-                     nullptr, nullptr);
+                                 static_cast<TokenId>(1000 + 293 * i)), {nullptr, nullptr, nullptr});
   }
   sim_.Run();
   // All requests served despite aggressive tree trimming.
@@ -200,7 +195,7 @@ TEST_F(SchedPolicyTest, PredictorErrorsChangeRouting) {
     je.AddColocatedTe(&coloc);
     je.AddPrefillTe(&prefill);
     je.AddDecodeTe(&decode);
-    je.HandleRequest(MakeRequest(1, 512, 64), nullptr, nullptr);
+    je.HandleRequest(MakeRequest(1, 512, 64), {nullptr, nullptr, nullptr});
     sim.Run();
     if (predicted > 512) {
       EXPECT_EQ(je.stats().routed_colocated, 1);

@@ -165,8 +165,8 @@ class ServingTest : public ::testing::Test {
 TEST_F(ServingTest, UnifiedTaskCompletesThroughTe) {
   auto te = MakeTe(1, flowserve::EngineRole::kColocated);
   bool done = false;
-  te->SubmitUnified(MakeRequest(1, 256, 16), nullptr,
-                    [&](const flowserve::Sequence&) { done = true; });
+  te->SubmitUnified(MakeRequest(1, 256, 16),
+                    {nullptr, [&](const flowserve::Sequence&) { done = true; }, nullptr});
   sim_.Run();
   EXPECT_TRUE(done);
 }
@@ -176,9 +176,10 @@ TEST_F(ServingTest, PdPairHandoffCompletesRequest) {
   auto decode = MakeTe(2, flowserve::EngineRole::kDecodeOnly);
   TimeNs first = 0;
   TimeNs finish = 0;
-  prefill->SubmitPrefill(MakeRequest(1, 512, 64), decode.get(),
-                         [&](const flowserve::Sequence& seq) { first = seq.first_token_time; },
-                         [&](const flowserve::Sequence& seq) { finish = seq.finish_time; });
+  prefill->SubmitPrefill(
+      MakeRequest(1, 512, 64), decode.get(),
+      {[&](const flowserve::Sequence& seq) { first = seq.first_token_time; },
+       [&](const flowserve::Sequence& seq) { finish = seq.finish_time; }, nullptr});
   sim_.Run();
   EXPECT_GT(first, 0);
   EXPECT_GT(finish, first);
@@ -200,11 +201,13 @@ TEST_F(ServingTest, PdHandoffPreservesPriorityAndContextId) {
   spec.context_id = "ctx-parity";
   int priority_seen = -1;
   std::string context_seen;
-  prefill->SubmitPrefill(spec, decode.get(), nullptr,
-                         [&](const flowserve::Sequence& seq) {
-                           priority_seen = seq.priority;
-                           context_seen = seq.context_id;
-                         });
+  prefill->SubmitPrefill(spec, decode.get(),
+                         {nullptr,
+                          [&](const flowserve::Sequence& seq) {
+                            priority_seen = seq.priority;
+                            context_seen = seq.context_id;
+                          },
+                          nullptr});
   sim_.Run();
   EXPECT_EQ(priority_seen, 2);
   EXPECT_EQ(context_seen, "ctx-parity");
@@ -217,8 +220,7 @@ TEST_F(ServingTest, JobAndTaskRecordsForColocatedRoute) {
   auto te = MakeTe(1, flowserve::EngineRole::kColocated);
   je.AddColocatedTe(te.get());
   bool done = false;
-  je.HandleRequest(MakeRequest(1, 256, 8), nullptr,
-                   [&](const flowserve::Sequence&) { done = true; });
+  je.HandleRequest(MakeRequest(1, 256, 8), {nullptr, [&](const flowserve::Sequence&) { done = true; }, nullptr});
   sim_.Run();
   EXPECT_TRUE(done);
   ASSERT_EQ(je.jobs().size(), 1u);
@@ -236,8 +238,7 @@ TEST_F(ServingTest, DisaggregatedJobCreatesTwoTasks) {
   je.AddDecodeTe(decode.get());
   bool done = false;
   // Long prefill, short decode: the heatmap must route this to the PD pair.
-  je.HandleRequest(MakeRequest(1, 4096, 32), nullptr,
-                   [&](const flowserve::Sequence&) { done = true; });
+  je.HandleRequest(MakeRequest(1, 4096, 32), {nullptr, [&](const flowserve::Sequence&) { done = true; }, nullptr});
   sim_.Run();
   EXPECT_TRUE(done);
   EXPECT_EQ(je.stats().routed_disaggregated, 1);
@@ -257,8 +258,8 @@ TEST_F(ServingTest, PdAwareRoutesByShape) {
   je.AddPrefillTe(prefill.get());
   je.AddDecodeTe(decode.get());
   // Long prefill / short decode -> disaggregated; the opposite -> colocated.
-  je.HandleRequest(MakeRequest(1, 8192, 64), nullptr, nullptr);
-  je.HandleRequest(MakeRequest(2, 256, 512), nullptr, nullptr);
+  je.HandleRequest(MakeRequest(1, 8192, 64), {nullptr, nullptr, nullptr});
+  je.HandleRequest(MakeRequest(2, 256, 512), {nullptr, nullptr, nullptr});
   sim_.Run();
   EXPECT_EQ(je.stats().routed_disaggregated, 1);
   EXPECT_EQ(je.stats().routed_colocated, 1);
@@ -271,8 +272,7 @@ TEST_F(ServingTest, RoundRobinAlternatesSlots) {
   je.AddColocatedTe(te1.get());
   je.AddColocatedTe(te2.get());
   for (int i = 0; i < 6; ++i) {
-    je.HandleRequest(MakeRequest(static_cast<workload::RequestId>(i + 1), 64, 4), nullptr,
-                     nullptr);
+    je.HandleRequest(MakeRequest(static_cast<workload::RequestId>(i + 1), 64, 4), {nullptr, nullptr, nullptr});
   }
   sim_.Run();
   EXPECT_EQ(te1->engine().stats().submitted, 3);
@@ -289,10 +289,8 @@ TEST_F(ServingTest, LocalityAwareRoutesSharedPrefixToSameTe) {
   // members can reuse the KV the earlier ones preserved.
   for (int i = 0; i < 4; ++i) {
     sim_.ScheduleAt(SecondsToNs(static_cast<double>(i) * 2.0), [&je, i] {
-      je.HandleRequest(MakeRequest(static_cast<workload::RequestId>(10 + i), 512, 2, 1000),
-                       nullptr, nullptr);
-      je.HandleRequest(MakeRequest(static_cast<workload::RequestId>(20 + i), 512, 2, 25000),
-                       nullptr, nullptr);
+      je.HandleRequest(MakeRequest(static_cast<workload::RequestId>(10 + i), 512, 2, 1000), {nullptr, nullptr, nullptr});
+      je.HandleRequest(MakeRequest(static_cast<workload::RequestId>(20 + i), 512, 2, 25000), {nullptr, nullptr, nullptr});
     });
   }
   sim_.Run();
@@ -316,8 +314,7 @@ TEST_F(ServingTest, LoadAwareKicksInWhenUnbalanced) {
   // Same prefix every time: pure locality would pile everything on one TE,
   // but load-aware spreads once the queue gap exceeds the slack.
   for (int i = 0; i < 8; ++i) {
-    je.HandleRequest(MakeRequest(static_cast<workload::RequestId>(i + 1), 2048, 64, 777),
-                     nullptr, nullptr);
+    je.HandleRequest(MakeRequest(static_cast<workload::RequestId>(i + 1), 2048, 64, 777), {nullptr, nullptr, nullptr});
   }
   sim_.Run();
   EXPECT_GT(je.stats().load_decisions, 0);
@@ -333,8 +330,7 @@ TEST_F(ServingTest, RemoveTeStopsRouting) {
   je.AddColocatedTe(te2.get());
   je.RemoveTe(1);
   for (int i = 0; i < 4; ++i) {
-    je.HandleRequest(MakeRequest(static_cast<workload::RequestId>(i + 1), 64, 2), nullptr,
-                     nullptr);
+    je.HandleRequest(MakeRequest(static_cast<workload::RequestId>(i + 1), 64, 2), {nullptr, nullptr, nullptr});
   }
   sim_.Run();
   EXPECT_EQ(te1->engine().stats().submitted, 0);
@@ -348,7 +344,7 @@ TEST_F(ServingTest, NonReadyTesAreSkipped) {
   te1->set_state(TeState::kLoading);
   je.AddColocatedTe(te1.get());
   je.AddColocatedTe(te2.get());
-  je.HandleRequest(MakeRequest(1, 64, 2), nullptr, nullptr);
+  je.HandleRequest(MakeRequest(1, 64, 2), {nullptr, nullptr, nullptr});
   sim_.Run();
   EXPECT_EQ(te1->engine().stats().submitted, 0);
   EXPECT_EQ(te2->engine().stats().submitted, 1);
@@ -386,8 +382,8 @@ TEST_F(ScalingTest, CreateReadyTeAllocatesNpus) {
   EXPECT_EQ((*te)->config().npus.size(), 1u);
   // Device accounting wired: engine KV traffic shows up on the NPU.
   bool done = false;
-  (*te)->SubmitUnified(MakeRequest(1, 256, 8), nullptr,
-                       [&](const flowserve::Sequence&) { done = true; });
+  (*te)->SubmitUnified(MakeRequest(1, 256, 8),
+                       {nullptr, [&](const flowserve::Sequence&) { done = true; }, nullptr});
   sim_.Run();
   EXPECT_TRUE(done);
 }
@@ -563,8 +559,7 @@ TEST_F(ScalingTest, AutoscalerAddsTesUnderLoad) {
   // Slam the system with enough work to trip the threshold.
   for (int i = 0; i < 64; ++i) {
     je.HandleRequest(MakeRequest(static_cast<workload::RequestId>(i + 1), 2048, 128,
-                                 static_cast<TokenId>(100 + 37 * i)),
-                     nullptr, nullptr);
+                                 static_cast<TokenId>(100 + 37 * i)), {nullptr, nullptr, nullptr});
   }
   sim_.RunUntil(SecondsToNs(120));
   manager.StopAutoscaler();

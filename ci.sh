@@ -18,6 +18,12 @@ echo "==> fault-recovery smoke: fixed-seed chaos run, conservation asserted"
 # on_complete / on_error.
 ./build/bench/fig_fault_recovery --smoke --fault-seed=42 >/dev/null
 
+echo "==> sched-policy smoke: fcfs/slo/priority-preempt ablation invariants"
+# Exits non-zero unless conservation holds for all three policies, slo keeps
+# max_decode_step under its TBT budget while shedding via on_error, and the
+# slo run replays bit-identically.
+./build/bench/abl_sched_policy --smoke >/dev/null
+
 if [[ "${1:-}" == "--fast" ]]; then
   echo "==> --fast: skipping sanitizer pass"
   exit 0

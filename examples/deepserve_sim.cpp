@@ -7,6 +7,10 @@
 //   deepserve_sim --model=yi-34b --tp=4 --colocated=2 --prefill-tes=1 \
 //                 --decode-tes=1 --policy=combined --trace=internal \
 //                 --rps=1.0 --duration=60 --seed=42 --csv=/tmp/run.csv
+//
+// Engine scheduling policy (src/flowserve/sched/): --sched-policy=fcfs|slo|
+// priority-preempt, --tbt-ms=<slo TBT budget>, --deadline-ms=<per-request
+// completion deadline; expired/unmeetable requests are shed under slo>.
 
 #include <cstdio>
 #include <cstdlib>
@@ -34,6 +38,9 @@ struct Flags {
   int prefill_tes = 0;
   int decode_tes = 0;
   std::string policy = "combined";
+  std::string sched_policy = "fcfs";  // engine policy: fcfs|slo|priority-preempt
+  double tbt_ms = 0.0;                // slo TBT budget (0 = unbounded)
+  double deadline_ms = 0.0;           // per-request deadline (0 = none)
   std::string trace = "internal";
   double rps = 1.0;
   double duration = 60.0;
@@ -65,6 +72,12 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
       flags->decode_tes = std::atoi(value.c_str());
     } else if (key == "policy") {
       flags->policy = value;
+    } else if (key == "sched-policy") {
+      flags->sched_policy = value;
+    } else if (key == "tbt-ms") {
+      flags->tbt_ms = std::atof(value.c_str());
+    } else if (key == "deadline-ms") {
+      flags->deadline_ms = std::atof(value.c_str());
     } else if (key == "trace") {
       flags->trace = value;
     } else if (key == "rps") {
@@ -144,6 +157,8 @@ int main(int argc, char** argv) {
   engine.model = *model;
   engine.npu_spec = cluster_config.npu_spec;
   engine.parallelism = {flags.tp, 1, 1};
+  engine.sched.policy = flags.sched_policy;
+  engine.sched.tbt_budget_ms = flags.tbt_ms;
   std::vector<distflow::EndpointId> endpoints;
   auto add_te = [&](flowserve::EngineRole role) -> bool {
     engine.role = role;
@@ -189,14 +204,21 @@ int main(int argc, char** argv) {
           ? workload::TraceGenerator::CodeGenTrace(flags.rps, flags.duration, flags.seed)
           : workload::TraceGenerator::InternalTrace(flags.rps, flags.duration, flags.seed);
   auto trace = workload::TraceGenerator(trace_config).Generate();
+  if (flags.deadline_ms > 0) {
+    for (auto& spec : trace) {
+      spec.deadline = spec.arrival + MillisecondsToNs(flags.deadline_ms);
+    }
+  }
   std::printf("deepserve_sim: %s %s, %d coloc + %dP%dD (tp%d, %s), policy=%s, "
-              "%.2f rps x %.0fs -> %zu requests\n",
+              "sched=%s, %.2f rps x %.0fs -> %zu requests\n",
               flags.model.c_str(), flags.gen.c_str(), flags.colocated, flags.prefill_tes,
               flags.decode_tes, flags.tp, cluster_config.npu_spec.name.c_str(),
-              flags.policy.c_str(), flags.rps, flags.duration, trace.size());
+              flags.policy.c_str(), flags.sched_policy.c_str(), flags.rps, flags.duration,
+              trace.size());
 
   workload::MetricsCollector metrics;
   std::map<workload::RequestId, TimeNs> first_tokens;
+  int64_t errored = 0;
   for (const auto& spec : trace) {
     sim.ScheduleAt(spec.arrival, [&, spec] {
       je.HandleRequest(
@@ -212,12 +234,16 @@ int main(int argc, char** argv) {
             record.prefill_len = spec.prefill_len();
             record.decode_len = spec.decode_len;
             metrics.Record(record);
-          }, nullptr});
+          }, [&errored](const Status&) { ++errored; }});
     });
   }
   sim.Run();
 
   std::printf("%s\n", metrics.Summary().c_str());
+  if (errored > 0) {
+    std::printf("errored (shed / deadline exceeded): %lld of %zu\n",
+                static_cast<long long>(errored), trace.size());
+  }
   std::printf("routing: %lld colocated, %lld disaggregated; locality hits %lld\n",
               static_cast<long long>(je.stats().routed_colocated),
               static_cast<long long>(je.stats().routed_disaggregated),

@@ -1,3 +1,6 @@
+// Engine construction, wiring, and the request submission paths. The step
+// loop lives in engine_step.cc and the completion/teardown paths in
+// engine_finish.cc; policy decisions are delegated to sched::SchedPolicy.
 #include "flowserve/engine.h"
 
 #include <algorithm>
@@ -46,6 +49,9 @@ Engine::Engine(sim::Simulator* sim, EngineConfig config)
       tokenizer_(config.model.vocab_size) {
   DS_CHECK(sim_ != nullptr);
   DS_CHECK_GE(config_.parallelism.dp, 1);
+  auto policy = sched::MakeSchedPolicy(config_.sched);
+  DS_CHECK(policy.ok()) << policy.status().ToString();
+  policy_ = std::move(*policy);
   if (config_.ae_disagg.enabled) {
     DS_CHECK(config_.model.is_moe()) << "AE disaggregation needs an MoE model";
     cost_.SetAeDisagg(config_.ae_disagg);
@@ -99,6 +105,9 @@ void Engine::EnsureMetrics() {
   m_preemptions_ = metrics->counter("engine.preemptions");
   m_prefill_tokens_ = metrics->counter("engine.prefill_tokens");
   m_decode_tokens_ = metrics->counter("engine.decode_tokens");
+  m_shed_ = metrics->counter("engine.shed");
+  m_deadline_misses_ = metrics->counter("engine.deadline_misses");
+  m_tbt_violations_ = metrics->counter("engine.tbt_violations");
   m_step_ms_ = metrics->stats("engine.step_ms");
 }
 
@@ -148,7 +157,7 @@ int Engine::PickDpGroup() const {
 }
 
 void Engine::Submit(const workload::RequestSpec& spec, SeqCallback on_first_token,
-                    SeqCallback on_complete) {
+                    SeqCallback on_complete, SeqErrorCallback on_error) {
   auto owned = std::make_unique<Sequence>();
   Sequence* seq = owned.get();
   seq->request_id = spec.id;
@@ -156,12 +165,14 @@ void Engine::Submit(const workload::RequestSpec& spec, SeqCallback on_first_toke
   seq->decode_target = std::max<int64_t>(1, spec.decode_len);
   seq->context_id = spec.context_id;
   seq->priority = spec.priority;
+  seq->deadline = spec.deadline;
   seq->prefill_target = seq->prompt_len();
   seq->arrival = spec.arrival;
   seq->submit_time = sim_->Now();
   seq->dp_group = PickDpGroup();
   seq->on_first_token = std::move(on_first_token);
   seq->on_complete = std::move(on_complete);
+  seq->on_error = std::move(on_error);
   seq->state = SeqState::kTokenizing;
   DS_CHECK_LE((seq->prompt_len() + seq->decode_target) / config_.block_size + 1,
               kv_block_capacity_)
@@ -271,7 +282,8 @@ void Engine::FinishEnqueue(Sequence* seq) {
   KickLoop(group);
 }
 
-Status Engine::SubmitPrefilled(const workload::RequestSpec& spec, SeqCallback on_complete) {
+Status Engine::SubmitPrefilled(const workload::RequestSpec& spec, SeqCallback on_complete,
+                               SeqErrorCallback on_error) {
   DS_CHECK(config_.role != EngineRole::kPrefillOnly)
       << "prefill-only engines cannot accept prefilled sequences";
   auto owned = std::make_unique<Sequence>();
@@ -281,6 +293,7 @@ Status Engine::SubmitPrefilled(const workload::RequestSpec& spec, SeqCallback on
   seq->decode_target = std::max<int64_t>(1, spec.decode_len);
   seq->context_id = spec.context_id;
   seq->priority = spec.priority;
+  seq->deadline = spec.deadline;
   seq->prefill_target = seq->prompt_len();
   seq->prefilled = seq->prompt_len();
   seq->generated = 1;  // the prefill TE produced the first token
@@ -288,6 +301,7 @@ Status Engine::SubmitPrefilled(const workload::RequestSpec& spec, SeqCallback on
   seq->submit_time = sim_->Now();
   seq->dp_group = PickDpGroup();
   seq->on_complete = std::move(on_complete);
+  seq->on_error = std::move(on_error);
   DpGroup& group = GroupFor(*seq);
   int64_t blocks_needed =
       (seq->context_len() + config_.block_size - 1) / config_.block_size;
@@ -320,515 +334,6 @@ Status Engine::SubmitPrefilled(const workload::RequestSpec& spec, SeqCallback on
   group.decoding.push_back(seq);
   KickLoop(group);
   return Status::Ok();
-}
-
-void Engine::KickLoop(DpGroup& group) {
-  if (!group.loop_running) {
-    RunStep(group);
-  }
-}
-
-bool Engine::EnsureBlocks(DpGroup& group, Sequence* seq, int64_t tokens, bool allow_preempt,
-                          const StepPlan* plan) {
-  int64_t needed =
-      (tokens + config_.block_size - 1) / config_.block_size -
-      static_cast<int64_t>(seq->blocks.size());
-  if (needed <= 0) {
-    return true;
-  }
-  while (true) {
-    auto blocks = group.rtc->AllocBlocks(needed);
-    if (blocks.ok()) {
-      for (rtc::BlockId id : *blocks) {
-        seq->blocks.push_back(id);
-      }
-      seq->block_tokens += needed * config_.block_size;
-      return true;
-    }
-    if (!allow_preempt || !PreemptVictim(group, seq, plan)) {
-      return false;
-    }
-  }
-}
-
-bool Engine::PreemptVictim(DpGroup& group, Sequence* keep, const StepPlan* plan) {
-  // Victimize the most recently admitted sequence (recompute-style
-  // preemption: its KV is dropped and rebuilt via chunked prefill later).
-  // Sequences already captured in the step being built are off-limits.
-  auto in_plan = [plan](const Sequence* candidate) {
-    if (plan == nullptr) {
-      return false;
-    }
-    for (const Sequence* s : plan->decode_seqs) {
-      if (s == candidate) {
-        return true;
-      }
-    }
-    for (const auto& [s, chunk] : plan->prefill_chunks) {
-      if (s == candidate) {
-        return true;
-      }
-    }
-    return false;
-  };
-  Sequence* victim = nullptr;
-  auto consider = [&](Sequence* candidate) {
-    if (candidate == keep || in_plan(candidate)) {
-      return;
-    }
-    if (candidate->state != SeqState::kDecoding && candidate->state != SeqState::kPrefilling) {
-      return;
-    }
-    // Victimize the lowest service class first, newest arrival within it.
-    if (victim == nullptr || candidate->priority > victim->priority ||
-        (candidate->priority == victim->priority &&
-         candidate->enqueue_time > victim->enqueue_time)) {
-      victim = candidate;
-    }
-  };
-  for (Sequence* candidate : group.decoding) {
-    consider(candidate);
-  }
-  for (Sequence* candidate : group.prefilling) {
-    consider(candidate);
-  }
-  if (victim == nullptr) {
-    return false;
-  }
-  ++stats_.preemptions;
-  EnsureMetrics();
-  if (m_preemptions_ != nullptr) {
-    m_preemptions_->Inc();
-  }
-  if (obs::Tracer* t = sim_->tracer()) {
-    t->Instant(sim_->Now(), TracePid(), group.index, "preempt",
-               {obs::Arg("req", static_cast<int64_t>(victim->request_id)),
-                obs::Arg("priority", victim->priority),
-                obs::Arg("state", SeqStateToString(victim->state)),
-                obs::Arg("prefilled", victim->prefilled)});
-  }
-  group.rtc->Free(victim->blocks);
-  victim->blocks.clear();
-  victim->block_tokens = 0;
-  victim->prefilled = 0;
-  victim->reused_tokens = 0;
-  // Preemption drops all KV, including the position-independent pins: the
-  // rebuild recomputes from scratch, so releasing the PIC blocks keeps the
-  // pool accounting honest and lets the cache evict them if pressed.
-  if (!victim->pic_blocks.empty()) {
-    group.rtc->Free(victim->pic_blocks);
-    victim->pic_blocks.clear();
-  }
-  victim->pic_tokens = 0;
-  victim->prefill_target = victim->prompt_len() + victim->generated;
-  if (victim->state == SeqState::kDecoding) {
-    group.decoding.erase(std::find(group.decoding.begin(), group.decoding.end(), victim));
-  } else {
-    group.prefilling.erase(std::find(group.prefilling.begin(), group.prefilling.end(), victim));
-  }
-  victim->state = SeqState::kQueued;
-  group.ready.push_front(victim);
-  return true;
-}
-
-bool Engine::BuildStep(DpGroup& group, StepPlan* plan) {
-  const int pp = config_.parallelism.pp;
-  const int mb = group.current_mb;
-  group.current_mb = (mb + 1) % std::max(1, pp);
-
-  // ---- decode side: every decoding sequence of this micro-batch -----------
-  std::vector<Sequence*> decode_snapshot = group.decoding;
-  for (Sequence* seq : decode_snapshot) {
-    if (seq->state != SeqState::kDecoding) {
-      continue;  // preempted earlier in this very build
-    }
-    if (pp > 1 && seq->micro_batch != mb) {
-      continue;
-    }
-    if (static_cast<int64_t>(plan->decode_seqs.size()) >= config_.max_batch_seqs) {
-      break;
-    }
-    if (!EnsureBlocks(group, seq, seq->context_len() + 1, /*allow_preempt=*/true, plan)) {
-      continue;  // stalls this step; retried next iteration
-    }
-    plan->decode_seqs.push_back(seq);
-    plan->shape.decode_seqs += 1;
-    plan->shape.decode_context_tokens += seq->context_len();
-  }
-
-  // ---- prefill side: continue chunks, then admit new sequences ------------
-  int64_t budget = config_.max_tokens_per_step - plan->shape.decode_seqs;
-  auto take_chunk = [&](Sequence* seq) {
-    if (budget <= 0) {
-      return;
-    }
-    int64_t remaining = seq->prefill_target - seq->prefilled;
-    if (remaining <= 0) {
-      return;
-    }
-    int64_t chunk_budget =
-        config_.adaptive_chunking && group.current_chunk > 0 ? group.current_chunk
-                                                             : config_.prefill_chunk_tokens;
-    int64_t chunk = config_.enable_chunked_prefill
-                        ? std::min({remaining, chunk_budget, budget})
-                        : remaining;  // unchunked: whole prompt in one step
-    if (!EnsureBlocks(group, seq, seq->prefilled + chunk, /*allow_preempt=*/false, plan)) {
-      return;
-    }
-    // PIC discount: tokens covered by position-independent reuse only pay the
-    // boundary-recompute fraction of their compute.
-    int64_t effective = chunk;
-    if (seq->pic_tokens > 0 && seq->prefill_target > seq->reused_tokens) {
-      double coverage = std::min(1.0, static_cast<double>(seq->pic_tokens) /
-                                          static_cast<double>(seq->prefill_target -
-                                                              seq->reused_tokens));
-      double keep = 1.0 - coverage * (1.0 - config_.pic_recompute_fraction);
-      effective = std::max<int64_t>(1, static_cast<int64_t>(
-                                           static_cast<double>(chunk) * keep));
-    }
-    plan->prefill_chunks.emplace_back(seq, chunk);
-    plan->shape.prefill_tokens += effective;
-    // The PIC discount shrinks the compute volume (effective < chunk), but the
-    // tokens that do run still attend over the full physical past context.
-    plan->shape.prefill_attended_tokens += model::AttendedTokens(seq->prefilled, effective);
-    budget -= chunk;
-  };
-
-  for (Sequence* seq : group.prefilling) {
-    if (seq->state != SeqState::kPrefilling) {
-      continue;
-    }
-    if (pp > 1 && !config_.pp_spread_chunks && seq->micro_batch != mb) {
-      continue;  // sticky chunks: only the home micro-batch advances them
-    }
-    take_chunk(seq);
-    if (budget <= 0) {
-      break;
-    }
-  }
-  while (budget > 0 && !group.ready.empty() &&
-         static_cast<int64_t>(group.prefilling.size() + group.decoding.size()) <
-             config_.max_batch_seqs) {
-    // Admit by service class first (priority 0 jumps the queue), FCFS within
-    // a class.
-    auto best = group.ready.begin();
-    for (auto it = group.ready.begin(); it != group.ready.end(); ++it) {
-      if ((*it)->priority < (*best)->priority ||
-          ((*it)->priority == (*best)->priority &&
-           (*it)->enqueue_time < (*best)->enqueue_time)) {
-        best = it;
-      }
-    }
-    Sequence* seq = *best;
-    group.ready.erase(best);
-    seq->state = SeqState::kPrefilling;
-    // Fill micro-batches round-robin so the pipeline actually pipelines.
-    seq->micro_batch = seq->micro_batch >= 0 ? seq->micro_batch : group.next_admit_mb;
-    group.next_admit_mb = (group.next_admit_mb + 1) % std::max(1, pp);
-    group.prefilling.push_back(seq);
-    if (pp == 1 || config_.pp_spread_chunks || seq->micro_batch == mb) {
-      take_chunk(seq);
-    }
-  }
-
-  if (plan->shape.empty() && !group.prefilling.empty()) {
-    // Everyone is stalled on KV blocks with no decode to preempt for us.
-    // Guarantee progress: let the oldest prefilling sequence take its chunk
-    // with preemption rights (any single request fits capacity by admission
-    // check, so this always eventually unblocks).
-    Sequence* oldest = group.prefilling.front();
-    for (Sequence* seq : group.prefilling) {
-      if (seq->enqueue_time < oldest->enqueue_time) {
-        oldest = seq;
-      }
-    }
-    int64_t remaining = oldest->prefill_target - oldest->prefilled;
-    int64_t chunk = config_.enable_chunked_prefill
-                        ? std::min(remaining, config_.prefill_chunk_tokens)
-                        : remaining;
-    if (chunk > 0 &&
-        EnsureBlocks(group, oldest, oldest->prefilled + chunk, /*allow_preempt=*/true, plan)) {
-      plan->prefill_chunks.emplace_back(oldest, chunk);
-      plan->shape.prefill_tokens += chunk;
-      plan->shape.prefill_attended_tokens += model::AttendedTokens(oldest->prefilled, chunk);
-    }
-  }
-  if (plan->shape.empty()) {
-    return false;
-  }
-  const EngineFeatures& f = config_.features;
-  plan->npu_time = cost_.StepDuration(plan->shape) + f.npu_step_overhead +
-                   plan->shape.decode_seqs * f.npu_sampling_per_seq;
-  int64_t batch_seqs =
-      plan->shape.decode_seqs + static_cast<int64_t>(plan->prefill_chunks.size());
-  plan->cpu_time = f.sched_overhead_base + f.ipc_overhead +
-                   batch_seqs * f.sched_overhead_per_seq +
-                   plan->shape.decode_seqs * f.sampling_overhead_per_seq;
-  plan->pipeline_drain = static_cast<DurationNs>(pp - 1) * plan->npu_time;
-  return true;
-}
-
-void Engine::RunStep(DpGroup& group) {
-  // Under PP, an empty micro-batch slot is a pipeline bubble: skip forward to
-  // the next micro-batch with work rather than stalling the whole engine.
-  StepPlan plan;
-  bool have_work = false;
-  for (int attempt = 0; attempt < std::max(1, config_.parallelism.pp); ++attempt) {
-    plan = StepPlan{};
-    if (BuildStep(group, &plan)) {
-      have_work = true;
-      break;
-    }
-  }
-  if (!have_work) {
-    group.loop_running = false;
-    return;
-  }
-  group.loop_running = true;
-  ++stats_.steps;
-  stats_.prefill_attended_tokens += plan.shape.prefill_attended_tokens;
-  stats_.npu_busy += plan.npu_time;
-  stats_.cpu_sched_total += plan.cpu_time;
-  DurationNs iteration;
-  if (config_.features.async_scheduling) {
-    // The scheduler prepares iteration N+1 while the NPU runs N; only CPU
-    // time exceeding the NPU time stalls the device.
-    iteration = std::max(plan.npu_time, plan.cpu_time);
-    stats_.cpu_stall += std::max<DurationNs>(0, plan.cpu_time - plan.npu_time);
-  } else {
-    iteration = plan.npu_time + plan.cpu_time;
-    stats_.cpu_stall += plan.cpu_time;
-  }
-  if (step_time_multiplier_ != 1.0) {
-    // Injected slow-node straggler: the whole iteration stretches.
-    iteration = std::max<DurationNs>(
-        1, static_cast<DurationNs>(static_cast<double>(iteration) * step_time_multiplier_));
-  }
-  if (plan.shape.decode_seqs > 0) {
-    stats_.max_decode_step = std::max(stats_.max_decode_step, iteration);
-  }
-  if (config_.adaptive_chunking && plan.shape.decode_seqs > 0 &&
-      !plan.prefill_chunks.empty()) {
-    // Feedback controller: decode-bearing mixed steps should stay under the
-    // TPOT target; shrink the chunk budget when they don't, recover slowly.
-    if (group.current_chunk == 0) {
-      group.current_chunk = config_.prefill_chunk_tokens;
-    }
-    double iter_ms = NsToMilliseconds(iteration);
-    if (iter_ms > config_.chunk_target_tpot_ms) {
-      group.current_chunk =
-          std::max(config_.min_chunk_tokens, group.current_chunk * 7 / 10);
-    } else if (iter_ms < 0.8 * config_.chunk_target_tpot_ms) {
-      group.current_chunk =
-          std::min(config_.prefill_chunk_tokens, group.current_chunk * 11 / 10 + 1);
-    }
-  }
-  EnsureMetrics();
-  if (m_steps_ != nullptr) {
-    m_steps_->Inc();
-    m_step_ms_->Add(NsToMilliseconds(iteration));
-  }
-  if (obs::Tracer* t = sim_->tracer()) {
-    t->Begin(sim_->Now(), TracePid(), group.index, "step",
-             {obs::Arg("prefill_tokens", plan.shape.prefill_tokens),
-              obs::Arg("attended_tokens", plan.shape.prefill_attended_tokens),
-              obs::Arg("decode_seqs", plan.shape.decode_seqs),
-              obs::Arg("decode_ctx", plan.shape.decode_context_tokens),
-              obs::Arg("npu_ms", NsToMilliseconds(plan.npu_time)),
-              obs::Arg("cpu_ms", NsToMilliseconds(plan.cpu_time))});
-  }
-  ++busy_groups_;
-  sim_->ScheduleAfter(iteration, [this, &group, plan = std::move(plan)]() mutable {
-    --busy_groups_;
-    CompleteStep(group, std::move(plan));
-  });
-}
-
-void Engine::CompleteStep(DpGroup& group, StepPlan plan) {
-  if (obs::Tracer* t = sim_->tracer()) {
-    t->End(sim_->Now(), TracePid(), group.index, "step");
-  }
-  if (m_prefill_tokens_ != nullptr) {
-    m_prefill_tokens_->Inc(plan.shape.prefill_tokens);
-    m_decode_tokens_->Inc(plan.shape.decode_seqs);
-  }
-  for (auto& [seq, chunk] : plan.prefill_chunks) {
-    if (!Alive(seq) || seq->state != SeqState::kPrefilling) {
-      continue;  // cancelled or preempted while this step ran
-    }
-    seq->prefilled += chunk;
-    stats_.prefill_tokens_processed += chunk;
-    if (seq->prefill_done()) {
-      FinishPrefill(group, seq, plan.pipeline_drain);
-    }
-  }
-  for (Sequence* seq : plan.decode_seqs) {
-    if (!Alive(seq) || seq->state != SeqState::kDecoding) {
-      continue;  // cancelled, preempted, or finished while this step ran
-    }
-    seq->generated += 1;
-    stats_.decode_tokens_generated += 1;
-    if (seq->decode_done()) {
-      FinishSequence(group, seq, plan.pipeline_drain);
-    }
-  }
-  RunStep(group);
-}
-
-void Engine::FinishPrefill(DpGroup& group, Sequence* seq, DurationNs extra_latency) {
-  auto it = std::find(group.prefilling.begin(), group.prefilling.end(), seq);
-  DS_CHECK(it != group.prefilling.end());
-  group.prefilling.erase(it);
-
-  bool was_resume = seq->prefill_target > seq->prompt_len();
-  if (!was_resume) {
-    // The prefill step emits the first output token.
-    seq->generated = std::max<int64_t>(seq->generated, 1);
-    if (seq->first_token_time == 0) {
-      seq->first_token_time = sim_->Now() + extra_latency;
-      if (seq->on_first_token) {
-        seq->on_first_token(*seq);
-      }
-    }
-  }
-
-  if (config_.role == EngineRole::kPrefillOnly) {
-    seq->state = SeqState::kAwaitingKvSend;
-    Bytes kv_bytes = static_cast<Bytes>(seq->prefilled) * config_.model.KvBytesPerToken();
-    if (config_.kv_transfer_mode == KvTransferMode::kByLayer) {
-      // Layers 1..L-1 streamed during prefill; only the last layer remains.
-      kv_bytes /= static_cast<Bytes>(std::max(1, config_.model.num_layers));
-    }
-    const workload::RequestId req_id = seq->request_id;
-    if (obs::Tracer* t = sim_->tracer()) {
-      t->AsyncBegin(sim_->Now(), TracePid(), static_cast<uint64_t>(req_id), "kv_send",
-                    {obs::Arg("req", static_cast<int64_t>(req_id)),
-                     obs::Arg("bytes", static_cast<int64_t>(kv_bytes)),
-                     obs::Arg("tokens", seq->prefilled)});
-    }
-    auto deliver = [this, &group, seq, req_id] {
-      if (obs::Tracer* t = sim_->tracer()) {
-        t->AsyncEnd(sim_->Now(), TracePid(), static_cast<uint64_t>(req_id), "kv_send");
-      }
-      if (!Alive(seq)) {
-        return;
-      }
-      seq->finish_time = sim_->Now();
-      seq->state = SeqState::kFinished;
-      if (seq->on_complete) {
-        seq->on_complete(*seq);
-      }
-      ++stats_.completed;
-      ReleaseSequence(group, seq, /*preserve=*/true);
-    };
-    if (kv_send_) {
-      kv_send_(*seq, kv_bytes, deliver);
-    } else {
-      sim_->ScheduleAfter(0, deliver);
-    }
-    return;
-  }
-
-  if (seq->decode_done()) {
-    // Single-token request (or resume past its target): complete directly.
-    seq->state = SeqState::kDecoding;
-    group.decoding.push_back(seq);
-    FinishSequence(group, seq, extra_latency);
-    return;
-  }
-  seq->state = SeqState::kDecoding;
-  group.decoding.push_back(seq);
-}
-
-void Engine::FinishSequence(DpGroup& group, Sequence* seq, DurationNs extra_latency) {
-  auto it = std::find(group.decoding.begin(), group.decoding.end(), seq);
-  if (it != group.decoding.end()) {
-    group.decoding.erase(it);
-  }
-  seq->finish_time = sim_->Now() + extra_latency;
-  seq->state = SeqState::kFinished;
-  if (seq->first_token_time == 0) {
-    seq->first_token_time = seq->finish_time;
-  }
-  if (obs::Tracer* t = sim_->tracer()) {
-    t->Instant(sim_->Now(), TracePid(), group.index, "seq.finish",
-               {obs::Arg("req", static_cast<int64_t>(seq->request_id)),
-                obs::Arg("generated", seq->generated)});
-  }
-  if (seq->on_complete) {
-    seq->on_complete(*seq);
-  }
-  ++stats_.completed;
-  ReleaseSequence(group, seq, /*preserve=*/true);
-}
-
-void Engine::ReleaseSequence(DpGroup& group, Sequence* seq, bool preserve) {
-  if (preserve && config_.enable_prefix_caching && !seq->blocks.empty()) {
-    group.rtc->Preserve(seq->prompt, seq->blocks);
-    if (!seq->context_id.empty()) {
-      (void)group.rtc->PreserveById(seq->context_id, seq->prompt, seq->blocks);
-    }
-  }
-  group.rtc->Free(seq->blocks);
-  seq->blocks.clear();
-  if (!seq->pic_blocks.empty()) {
-    group.rtc->Free(seq->pic_blocks);
-    seq->pic_blocks.clear();
-  }
-  live_.erase(seq);
-  auto owned = std::find_if(sequences_.begin(), sequences_.end(),
-                            [seq](const SequencePtr& p) { return p.get() == seq; });
-  DS_CHECK(owned != sequences_.end());
-  sequences_.erase(owned);
-}
-
-void Engine::DetachFromGroup(DpGroup& group, Sequence* seq) {
-  auto drop = [seq](auto& container) {
-    auto it = std::find(container.begin(), container.end(), seq);
-    if (it != container.end()) {
-      container.erase(it);
-    }
-  };
-  drop(group.ready);
-  drop(group.prefilling);
-  drop(group.decoding);
-}
-
-Status Engine::Cancel(workload::RequestId request_id) {
-  for (const auto& owned : sequences_) {
-    Sequence* seq = owned.get();
-    if (seq->request_id != request_id || seq->state == SeqState::kFinished) {
-      continue;
-    }
-    DpGroup& group = GroupFor(*seq);
-    DetachFromGroup(group, seq);
-    ++stats_.cancelled;
-    if (obs::Tracer* t = sim_->tracer()) {
-      t->Instant(sim_->Now(), TracePid(), group.index, "seq.cancel",
-                 {obs::Arg("req", static_cast<int64_t>(seq->request_id)),
-                  obs::Arg("state", SeqStateToString(seq->state))});
-    }
-    // No preservation: a cancelled request's partial KV dies with its pins.
-    ReleaseSequence(group, seq, /*preserve=*/false);
-    return Status::Ok();
-  }
-  return NotFoundError("no in-flight request " + std::to_string(request_id));
-}
-
-size_t Engine::Abort() {
-  size_t aborted = 0;
-  int64_t lost_tokens = 0;
-  while (!sequences_.empty()) {
-    Sequence* seq = sequences_.back().get();
-    lost_tokens += std::max<int64_t>(0, seq->context_len());
-    DpGroup& group = GroupFor(*seq);
-    DetachFromGroup(group, seq);
-    ReleaseSequence(group, seq, /*preserve=*/false);
-    ++aborted;
-  }
-  stats_.aborted += static_cast<int64_t>(aborted);
-  stats_.aborted_kv_tokens += lost_tokens;
-  return aborted;
 }
 
 void Engine::SetStepTimeMultiplier(double multiplier) {

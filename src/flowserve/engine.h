@@ -30,6 +30,7 @@
 #include "common/status.h"
 #include "common/types.h"
 #include "flowserve/engine_config.h"
+#include "flowserve/sched/sched_policy.h"
 #include "flowserve/sequence.h"
 #include "hw/npu.h"
 #include "model/cost_model.h"
@@ -67,6 +68,15 @@ struct EngineStats {
   DurationNs npu_busy = 0;
   DurationNs cpu_sched_total = 0;
   DurationNs cpu_stall = 0;  // iteration time lost waiting on the CPU
+  // Scheduling-policy outcomes. `shed` counts sequences the policy terminated
+  // early via on_error (deadline expired / provably unmeetable);
+  // `deadline_misses` counts both sheds past their deadline and completions
+  // that landed late; `tbt_violations` counts decode-bearing iterations that
+  // exceeded sched.tbt_budget_ms (counted for every policy when a budget is
+  // configured, enforced only by "slo").
+  int64_t shed = 0;
+  int64_t deadline_misses = 0;
+  int64_t tbt_violations = 0;
 };
 
 // Scheduler-visible load of an engine (feeds §5's load-aware policy).
@@ -80,6 +90,7 @@ struct LoadInfo {
 class Engine {
  public:
   using SeqCallback = std::function<void(const Sequence&)>;
+  using SeqErrorCallback = std::function<void(const Sequence&, const Status&)>;
   // (sequence, kv_bytes_to_move, on_delivered) — installed on prefill-only
   // engines by the TE layer; routes through DistFlow.
   using KvSendFn = std::function<void(const Sequence&, Bytes, std::function<void()>)>;
@@ -104,12 +115,15 @@ class Engine {
 
   // Request paths -------------------------------------------------------------
   // Full path: tokenizer -> sched-enqueue (RTC match / populate) -> batch.
+  // `on_error` fires (exactly once, instead of on_complete) when the
+  // scheduling policy sheds the sequence — e.g. DEADLINE_EXCEEDED under "slo".
   void Submit(const workload::RequestSpec& spec, SeqCallback on_first_token,
-              SeqCallback on_complete);
+              SeqCallback on_complete, SeqErrorCallback on_error = nullptr);
   // Decode-only TEs: admit a request whose prefill (and first token) happened
   // on a prefill TE; KV for the whole prompt is allocated here as arrived.
   // Fails when this engine cannot hold the context.
-  Status SubmitPrefilled(const workload::RequestSpec& spec, SeqCallback on_complete);
+  Status SubmitPrefilled(const workload::RequestSpec& spec, SeqCallback on_complete,
+                         SeqErrorCallback on_error = nullptr);
 
   // Lifecycle -------------------------------------------------------------------
   // Cancels one in-flight request: its KV pins are released (nothing is
@@ -124,6 +138,7 @@ class Engine {
   LoadInfo load() const;
   const EngineStats& stats() const { return stats_; }
   const EngineConfig& config() const { return config_; }
+  const sched::SchedPolicy& policy() const { return *policy_; }
   const model::CostModel& cost_model() const { return cost_; }
   model::Tokenizer& tokenizer() { return tokenizer_; }
   rtc::RtcMaster& rtc(int dp_group = 0);
@@ -161,20 +176,42 @@ class Engine {
     DurationNs pipeline_drain = 0;  // (pp-1) * stage time, latency adder
   };
 
+  // Submit/enqueue paths (engine.cc).
   void SchedEnqueue(Sequence* seq);
   void FinishEnqueue(Sequence* seq);
+  // Step loop (engine_step.cc).
   void KickLoop(DpGroup& group);
   void RunStep(DpGroup& group);
   bool BuildStep(DpGroup& group, StepPlan* plan);
   void CompleteStep(DpGroup& group, StepPlan plan);
+  // Shared iteration-cost arithmetic: BuildStep/RunStep and the policy's
+  // ChunkCostFn all go through these, so a policy's predicted step duration is
+  // exactly what RunStep will charge.
+  DurationNs NpuTime(const model::StepShape& shape) const;
+  DurationNs CpuTime(const model::StepShape& shape, int64_t prefill_chunks) const;
+  DurationNs IterationTime(DurationNs npu, DurationNs cpu) const;
+  // PIC discount: compute-volume tokens actually charged for a `chunk`-token
+  // prefill chunk of `seq`.
+  int64_t EffectiveChunkTokens(const Sequence& seq, int64_t chunk) const;
+  // Lower bound on `seq`'s remaining service time (best-case single-chunk
+  // prefill + per-token single-sequence decode floor); feeds shed verdicts.
+  DurationNs MinRemainingServiceTime(const Sequence& seq) const;
+  // Applies the policy's shed verdicts to every queued/running sequence of
+  // the group. No-op unless the policy wants shed checks.
+  void SweepSheds(DpGroup& group);
+  // Completion paths (engine_finish.cc).
   void FinishPrefill(DpGroup& group, Sequence* seq, DurationNs extra_latency);
   void FinishSequence(DpGroup& group, Sequence* seq, DurationNs extra_latency);
-  // Ensures `seq` has KV blocks covering `tokens`. Only decode growth may
-  // preempt (allow_preempt): admitting new prefills never steals KV from
-  // running work, which keeps admission livelock-free (FCFS-style priority).
+  // Terminates `seq` early with `status` via on_error (exactly once), then
+  // releases its KV without preservation.
+  void ShedSequence(DpGroup& group, Sequence* seq, const Status& status);
+  // Ensures `seq` has KV blocks covering `tokens`. allow_preempt lets the
+  // allocation steal from running work; which victim (if any) is the
+  // policy's call, tagged with why (`reason`).
   bool EnsureBlocks(DpGroup& group, Sequence* seq, int64_t tokens, bool allow_preempt,
-                    const StepPlan* plan);
-  bool PreemptVictim(DpGroup& group, Sequence* keep, const StepPlan* plan);
+                    StepPlan* plan, sched::PreemptReason reason);
+  bool PreemptVictim(DpGroup& group, Sequence* keep, StepPlan* plan,
+                     sched::PreemptReason reason);
   void ReleaseSequence(DpGroup& group, Sequence* seq, bool preserve);
   DpGroup& GroupFor(const Sequence& seq) { return *groups_[static_cast<size_t>(seq.dp_group)]; }
   int PickDpGroup() const;
@@ -193,6 +230,7 @@ class Engine {
   EngineConfig config_;
   model::CostModel cost_;
   model::Tokenizer tokenizer_;
+  std::unique_ptr<sched::SchedPolicy> policy_;
   int64_t kv_block_capacity_ = 0;
 
   std::vector<std::unique_ptr<DpGroup>> groups_;
@@ -210,6 +248,9 @@ class Engine {
   obs::Counter* m_preemptions_ = nullptr;
   obs::Counter* m_prefill_tokens_ = nullptr;
   obs::Counter* m_decode_tokens_ = nullptr;
+  obs::Counter* m_shed_ = nullptr;
+  obs::Counter* m_deadline_misses_ = nullptr;
+  obs::Counter* m_tbt_violations_ = nullptr;
   OnlineStats* m_step_ms_ = nullptr;
 };
 

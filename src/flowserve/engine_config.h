@@ -5,6 +5,7 @@
 #include <string>
 
 #include "common/types.h"
+#include "flowserve/sched/sched_config.h"
 #include "hw/npu.h"
 #include "model/cost_model.h"
 #include "model/model_spec.h"
@@ -118,6 +119,9 @@ struct EngineConfig {
   // model (tests override to small values).
   int64_t kv_block_capacity_override = 0;
   int64_t dram_block_capacity = 1 << 20;
+
+  // Scheduling-policy selection and knobs (src/flowserve/sched/).
+  sched::SchedConfig sched;
 };
 
 }  // namespace deepserve::flowserve

@@ -1,0 +1,39 @@
+#include "flowserve/sched/fcfs_policy.h"
+
+namespace deepserve::flowserve::sched {
+
+std::deque<Sequence*>::iterator FcfsPolicy::NextAdmission(std::deque<Sequence*>& ready,
+                                                          TimeNs /*now*/) const {
+  // Admit by service class first (priority 0 jumps the queue), FCFS within a
+  // class.
+  auto best = ready.begin();
+  for (auto it = ready.begin(); it != ready.end(); ++it) {
+    if ((*it)->priority < (*best)->priority ||
+        ((*it)->priority == (*best)->priority &&
+         (*it)->enqueue_time < (*best)->enqueue_time)) {
+      best = it;
+    }
+  }
+  return best;
+}
+
+int64_t FcfsPolicy::BoundChunk(const Sequence& /*seq*/, int64_t proposed,
+                               bool /*step_has_decode*/, const ChunkCostFn& /*cost*/) const {
+  return proposed;
+}
+
+Sequence* FcfsPolicy::PickVictim(const std::vector<Sequence*>& candidates,
+                                 const Sequence& /*keep*/, PreemptReason /*reason*/) const {
+  // Victimize the lowest service class first, newest arrival within it.
+  Sequence* victim = nullptr;
+  for (Sequence* candidate : candidates) {
+    if (victim == nullptr || candidate->priority > victim->priority ||
+        (candidate->priority == victim->priority &&
+         candidate->enqueue_time > victim->enqueue_time)) {
+      victim = candidate;
+    }
+  }
+  return victim;
+}
+
+}  // namespace deepserve::flowserve::sched

@@ -1,0 +1,27 @@
+// The historical engine policy: service-class priority + FCFS admission,
+// newest-first preemption, no chunk bounding, no shedding.
+#ifndef DEEPSERVE_FLOWSERVE_SCHED_FCFS_POLICY_H_
+#define DEEPSERVE_FLOWSERVE_SCHED_FCFS_POLICY_H_
+
+#include "flowserve/sched/sched_policy.h"
+
+namespace deepserve::flowserve::sched {
+
+// Must stay bit-identical to the pre-refactor engine (golden parity test):
+// every comparison below replicates the original BuildStep/PreemptVictim
+// code exactly, including strict-< tie handling (first candidate wins ties).
+class FcfsPolicy : public SchedPolicy {
+ public:
+  std::string_view name() const override { return "fcfs"; }
+
+  std::deque<Sequence*>::iterator NextAdmission(std::deque<Sequence*>& ready,
+                                                TimeNs now) const override;
+  int64_t BoundChunk(const Sequence& seq, int64_t proposed, bool step_has_decode,
+                     const ChunkCostFn& cost) const override;
+  Sequence* PickVictim(const std::vector<Sequence*>& candidates, const Sequence& keep,
+                       PreemptReason reason) const override;
+};
+
+}  // namespace deepserve::flowserve::sched
+
+#endif  // DEEPSERVE_FLOWSERVE_SCHED_FCFS_POLICY_H_

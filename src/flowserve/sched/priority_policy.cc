@@ -1,0 +1,40 @@
+#include "flowserve/sched/priority_policy.h"
+
+namespace deepserve::flowserve::sched {
+
+std::deque<Sequence*>::iterator PriorityPreemptPolicy::NextAdmission(
+    std::deque<Sequence*>& ready, TimeNs /*now*/) const {
+  auto best = ready.begin();
+  for (auto it = ready.begin(); it != ready.end(); ++it) {
+    if ((*it)->priority < (*best)->priority ||
+        ((*it)->priority == (*best)->priority &&
+         (*it)->enqueue_time < (*best)->enqueue_time)) {
+      best = it;
+    }
+  }
+  return best;
+}
+
+int64_t PriorityPreemptPolicy::BoundChunk(const Sequence& /*seq*/, int64_t proposed,
+                                          bool /*step_has_decode*/,
+                                          const ChunkCostFn& /*cost*/) const {
+  return proposed;
+}
+
+Sequence* PriorityPreemptPolicy::PickVictim(const std::vector<Sequence*>& candidates,
+                                            const Sequence& keep, PreemptReason reason) const {
+  Sequence* victim = nullptr;
+  for (Sequence* candidate : candidates) {
+    if (reason == PreemptReason::kAdmission && candidate->priority <= keep.priority) {
+      continue;  // strict: only evict a lower class than the beneficiary
+    }
+    if (victim == nullptr || candidate->priority > victim->priority ||
+        (candidate->priority == victim->priority &&
+         candidate->enqueue_time > victim->enqueue_time)) {
+      victim = candidate;
+    }
+  }
+  return victim;
+}
+
+}  // namespace deepserve::flowserve::sched

@@ -1,0 +1,31 @@
+// Strict service-class scheduling: admission of a higher class may preempt
+// strictly lower classes to obtain KV blocks.
+#ifndef DEEPSERVE_FLOWSERVE_SCHED_PRIORITY_POLICY_H_
+#define DEEPSERVE_FLOWSERVE_SCHED_PRIORITY_POLICY_H_
+
+#include "flowserve/sched/sched_policy.h"
+
+namespace deepserve::flowserve::sched {
+
+class PriorityPreemptPolicy : public SchedPolicy {
+ public:
+  std::string_view name() const override { return "priority-preempt"; }
+
+  // Same (priority, enqueue_time) admission order as fcfs.
+  std::deque<Sequence*>::iterator NextAdmission(std::deque<Sequence*>& ready,
+                                                TimeNs now) const override;
+  int64_t BoundChunk(const Sequence& seq, int64_t proposed, bool step_has_decode,
+                     const ChunkCostFn& cost) const override;
+  // kAdmission: only sequences of a strictly lower class (numerically greater
+  // priority) than `keep` are eligible — an interactive request never evicts
+  // a peer, so equal-class workloads degenerate to fcfs and stay
+  // livelock-free. kDecodeGrowth keeps the fcfs rule for liveness.
+  Sequence* PickVictim(const std::vector<Sequence*>& candidates, const Sequence& keep,
+                       PreemptReason reason) const override;
+
+  bool AdmissionMayPreempt(const Sequence& seq) const override { return true; }
+};
+
+}  // namespace deepserve::flowserve::sched
+
+#endif  // DEEPSERVE_FLOWSERVE_SCHED_PRIORITY_POLICY_H_

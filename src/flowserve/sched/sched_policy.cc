@@ -1,0 +1,23 @@
+#include "flowserve/sched/sched_policy.h"
+
+#include "flowserve/sched/fcfs_policy.h"
+#include "flowserve/sched/priority_policy.h"
+#include "flowserve/sched/slo_policy.h"
+
+namespace deepserve::flowserve::sched {
+
+Result<std::unique_ptr<SchedPolicy>> MakeSchedPolicy(const SchedConfig& config) {
+  if (config.policy == "fcfs") {
+    return std::unique_ptr<SchedPolicy>(std::make_unique<FcfsPolicy>());
+  }
+  if (config.policy == "slo") {
+    return std::unique_ptr<SchedPolicy>(std::make_unique<SloPolicy>(config));
+  }
+  if (config.policy == "priority-preempt") {
+    return std::unique_ptr<SchedPolicy>(std::make_unique<PriorityPreemptPolicy>());
+  }
+  return InvalidArgumentError("unknown sched policy \"" + config.policy +
+                              "\" (expected fcfs | slo | priority-preempt)");
+}
+
+}  // namespace deepserve::flowserve::sched

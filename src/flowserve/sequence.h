@@ -6,6 +6,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/status.h"
 #include "common/types.h"
 #include "rtc/block_pool.h"
 #include "workload/request.h"
@@ -30,6 +31,7 @@ struct Sequence {
   int64_t decode_target = 0;
   std::string context_id;  // explicit-cache id ("" = implicit only)
   int priority = 1;        // 0 = interactive, 1 = normal, 2 = batch
+  TimeNs deadline = 0;     // absolute completion deadline; 0 = none
 
   SeqState state = SeqState::kTokenizing;
 
@@ -61,9 +63,12 @@ struct Sequence {
   TimeNs first_token_time = 0;  // end of prefill
   TimeNs finish_time = 0;
 
-  // Fired once when the first token is produced, and once on completion.
+  // Fired once when the first token is produced, and once on termination:
+  // exactly one of on_complete (success) or on_error (shed / deadline
+  // exceeded) runs for every accepted sequence.
   std::function<void(const Sequence&)> on_first_token;
   std::function<void(const Sequence&)> on_complete;
+  std::function<void(const Sequence&, const Status&)> on_error;
 
   int64_t prompt_len() const { return static_cast<int64_t>(prompt.size()); }
   // Context the KV cache must hold: processed prefix plus generated tokens

@@ -37,6 +37,12 @@ Status Frontend::ChatCompletion(const ChatRequest& request, ResponseHandler hand
   if (request.priority >= 0) {
     spec.priority = request.priority;
   }
+  if (request.deadline > 0) {
+    // Thread the SLO all the way down: JE re-dispatch checks, engine
+    // scheduling policies (EDF / shed), and per-sequence miss accounting all
+    // read spec.deadline.
+    spec.deadline = request.deadline;
+  }
   // Round-robin across JE replicas, skipping ones with no ready TEs.
   std::vector<JobExecutor*>& jes = it->second;
   size_t& cursor = rr_[request.model];
@@ -62,17 +68,6 @@ Status Frontend::ChatCompletion(const ChatRequest& request, ResponseHandler hand
     return Status::Ok();
   }
   return reject(UnavailableError("no JE for " + request.model + " has ready TEs"));
-}
-
-Status Frontend::ChatCompletion(const std::string& model_name,
-                                const workload::RequestSpec& spec,
-                                JobExecutor::SeqCallback on_first_token,
-                                JobExecutor::SeqCallback on_complete) {
-  ChatRequest request;
-  request.model = model_name;
-  request.spec = spec;
-  return ChatCompletion(request, ResponseHandler{std::move(on_first_token),
-                                                 std::move(on_complete), nullptr});
 }
 
 Status Frontend::FineTune(const FineTuneRequest& request,

@@ -61,9 +61,6 @@ class Frontend {
   // arrive through handler.on_error. Every accepted request terminates in
   // exactly one of on_complete / on_error.
   Status ChatCompletion(const ChatRequest& request, ResponseHandler handler);
-  [[deprecated("use ChatCompletion(ChatRequest, ResponseHandler)")]] Status ChatCompletion(
-      const std::string& model_name, const workload::RequestSpec& spec,
-      JobExecutor::SeqCallback on_first_token, JobExecutor::SeqCallback on_complete);
 
   // Fine-tuning entry point.
   Status FineTune(const FineTuneRequest& request, FineTuneJobExecutor::Callback on_complete);

@@ -272,12 +272,6 @@ void JobExecutor::HandleRequest(const workload::RequestSpec& spec, ResponseHandl
   Dispatch(spec, std::move(handler), /*retries=*/0);
 }
 
-void JobExecutor::HandleRequest(const workload::RequestSpec& spec, SeqCallback on_first_token,
-                                SeqCallback on_complete) {
-  HandleRequest(spec,
-                ResponseHandler{std::move(on_first_token), std::move(on_complete), nullptr});
-}
-
 void JobExecutor::FailJob(JobId job_id, const Status& status) {
   auto it = outstanding_.find(job_id);
   if (it == outstanding_.end()) {
@@ -324,6 +318,16 @@ void JobExecutor::Dispatch(const workload::RequestSpec& spec, ResponseHandler ha
   outstanding.spec = spec;
   outstanding.handler = std::move(handler);
   outstanding.retries = retries;
+
+  if (config_.enforce_deadlines && spec.deadline > 0 && sim_->Now() > spec.deadline) {
+    // Already dead on arrival here — typically a crash re-dispatch of a
+    // request whose deadline lapsed while the fleet recovered. Don't queue
+    // work no one is waiting for.
+    ++stats_.deadline_failures;
+    FailJob(job_id, DeadlineExceededError("request " + std::to_string(spec.id) +
+                                          " expired before dispatch"));
+    return;
+  }
 
   std::vector<TaskExecutor*> coloc = ReadyTes(colocated_);
   std::vector<TaskExecutor*> prefill = ReadyTes(prefill_);

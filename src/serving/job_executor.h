@@ -58,12 +58,17 @@ struct JeConfig {
   // Fault tolerance: how many times one request may be re-dispatched after TE
   // failures before it errors out through ResponseHandler::on_error.
   int max_retries = 3;
+  // Fail requests whose deadline (spec.deadline > 0) has already passed at
+  // dispatch/re-dispatch time with DEADLINE_EXCEEDED instead of queueing dead
+  // work — in particular a crash-retry of an expired request.
+  bool enforce_deadlines = true;
 };
 
 struct JeStats {
   int64_t requests = 0;           // external requests (retries not re-counted)
   int64_t retries = 0;            // jobs re-dispatched after a TE failure
   int64_t errors = 0;             // jobs terminated through on_error
+  int64_t deadline_failures = 0;  // errors that were expired at (re-)dispatch
   int64_t failed_tes_handled = 0;
   int64_t routed_colocated = 0;
   int64_t routed_disaggregated = 0;
@@ -93,8 +98,6 @@ class JobExecutor {
   // otherwise on_complete fires exactly once when the request finishes.
   using SeqCallback = TaskExecutor::SeqCallback;
   void HandleRequest(const workload::RequestSpec& spec, ResponseHandler handler);
-  [[deprecated("use HandleRequest(spec, ResponseHandler)")]] void HandleRequest(
-      const workload::RequestSpec& spec, SeqCallback on_first_token, SeqCallback on_complete);
 
   // True when at least one route can serve a request right now: a ready
   // colocated TE, or a ready prefill + ready decode pair. Unlike the group

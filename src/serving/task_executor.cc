@@ -81,7 +81,15 @@ void TaskExecutor::InstallKvSend() {
 void TaskExecutor::SubmitUnified(const workload::RequestSpec& spec, ResponseHandler handler) {
   DS_CHECK(role() == flowserve::EngineRole::kColocated)
       << "unified tasks need a PD-colocated engine";
-  engine_->Submit(spec, std::move(handler.on_first_token), std::move(handler.on_complete));
+  flowserve::Engine::SeqErrorCallback on_error;
+  if (handler.on_error) {
+    // Scheduling-policy sheds (deadline expired / unmeetable) surface as the
+    // request's error path, same as a crash with the retry budget exhausted.
+    on_error = [err = std::move(handler.on_error)](const flowserve::Sequence&,
+                                                   const Status& status) { err(status); };
+  }
+  engine_->Submit(spec, std::move(handler.on_first_token), std::move(handler.on_complete),
+                  std::move(on_error));
 }
 
 void TaskExecutor::SubmitPrefill(const workload::RequestSpec& spec, TaskExecutor* decode_te,
@@ -92,7 +100,8 @@ void TaskExecutor::SubmitPrefill(const workload::RequestSpec& spec, TaskExecutor
   handoffs_[spec.id] = PendingHandoff{decode_te, spec, std::move(handler.on_complete),
                                       std::move(handler.on_error)};
   engine_->Submit(
-      spec, std::move(handler.on_first_token), [this](const flowserve::Sequence& seq) {
+      spec, std::move(handler.on_first_token),
+      [this](const flowserve::Sequence& seq) {
         // Prefill finished and KV delivered: start the decode task.
         auto it = handoffs_.find(seq.request_id);
         DS_CHECK(it != handoffs_.end());
@@ -100,6 +109,19 @@ void TaskExecutor::SubmitPrefill(const workload::RequestSpec& spec, TaskExecutor
         handoffs_.erase(it);
         handoff.decode_te->AcceptPrefilled(handoff.spec, std::move(handoff.on_complete),
                                            std::move(handoff.on_error));
+      },
+      [this](const flowserve::Sequence& seq, const Status& status) {
+        // Shed during prefill: drop the pending hand-off (the decode task
+        // never starts) and surface the error once.
+        auto it = handoffs_.find(seq.request_id);
+        if (it == handoffs_.end()) {
+          return;
+        }
+        auto on_error = std::move(it->second.on_error);
+        handoffs_.erase(it);
+        if (on_error) {
+          on_error(status);
+        }
       });
 }
 
@@ -114,7 +136,13 @@ void TaskExecutor::AcceptPrefilled(const workload::RequestSpec& spec, SeqCallbac
   if (!ready()) {
     return;  // decode TE died mid-hand-off; the JE failure path retries
   }
-  Status status = engine_->SubmitPrefilled(spec, on_complete);
+  flowserve::Engine::SeqErrorCallback shed_error;
+  if (on_error) {
+    shed_error = [err = on_error](const flowserve::Sequence&, const Status& status) {
+      err(status);
+    };
+  }
+  Status status = engine_->SubmitPrefilled(spec, on_complete, std::move(shed_error));
   if (status.code() == StatusCode::kResourceExhausted) {
     // Decode side momentarily out of KV: retry shortly (simple backpressure).
     sim_->ScheduleAfter(MillisecondsToNs(10),

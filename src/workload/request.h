@@ -27,6 +27,10 @@ struct RequestSpec {
   // Multi-tenant service class: 0 = interactive (jumps queues), 1 = normal,
   // 2 = batch/background. Schedulers admit lower values first.
   int priority = 1;
+  // Absolute completion deadline (sim clock); 0 = none. Threaded from
+  // ChatRequest.deadline down to the engine scheduler, where deadline-aware
+  // policies use it for EDF ordering and shed decisions.
+  TimeNs deadline = 0;
 
   int64_t prefill_len() const { return static_cast<int64_t>(prompt.size()); }
 };

@@ -603,16 +603,21 @@ struct ChaosOutcome {
   int64_t double_terminated = 0;
   int64_t crashes = 0;
   int64_t replacements = 0;
+  int64_t sheds = 0;  // engine-level policy sheds (slo chaos variant)
   TimeNs end_time = 0;
 
   bool operator==(const ChaosOutcome& other) const {
     return completed == other.completed && errored == other.errored &&
            double_terminated == other.double_terminated && crashes == other.crashes &&
-           replacements == other.replacements && end_time == other.end_time;
+           replacements == other.replacements && sheds == other.sheds &&
+           end_time == other.end_time;
   }
 };
 
-ChaosOutcome RunChaos(uint64_t fault_seed, bool enable_faults) {
+// `slo_deadlines` runs the same chaos plan with the engines on the "slo"
+// scheduling policy and a tight deadline on every other request, so the
+// conservation property additionally covers deadline sheds racing TE crashes.
+ChaosOutcome RunChaos(uint64_t fault_seed, bool enable_faults, bool slo_deadlines = false) {
   constexpr int kRequests = 40;
   sim::Simulator sim;
   hw::ClusterConfig cc;
@@ -624,19 +629,27 @@ ChaosOutcome RunChaos(uint64_t fault_seed, bool enable_faults) {
   config.policy = serving::SchedulingPolicy::kLoadOnly;
   serving::JobExecutor je(&sim, config, serving::PdHeatmap::Default(),
                           serving::MakeOraclePredictor());
+  flowserve::EngineConfig engine_config = SmallEngine(flowserve::EngineRole::kColocated);
+  if (slo_deadlines) {
+    engine_config.sched.policy = "slo";
+  }
+  std::vector<serving::TaskExecutor*> tes;
   std::vector<distflow::EndpointId> endpoints;
   for (int i = 0; i < 3; ++i) {
-    auto* te = manager.CreateReadyTe(SmallEngine(flowserve::EngineRole::kColocated)).value();
+    auto* te = manager.CreateReadyTe(engine_config).value();
     je.AddColocatedTe(te);
+    tes.push_back(te);
     endpoints.push_back(te->id());
   }
   DS_CHECK_OK(transfer.LinkCluster(endpoints, nullptr));
   sim.Run();
   manager.AddFailureHandler([&](serving::TeId id) { je.OnTeFailure(id); });
   serving::ScaleRequest replacement;
-  replacement.engine = SmallEngine(flowserve::EngineRole::kColocated);
-  manager.SetReplacementPolicy(replacement,
-                               [&](serving::TaskExecutor* te) { je.AddColocatedTe(te); });
+  replacement.engine = engine_config;
+  manager.SetReplacementPolicy(replacement, [&](serving::TaskExecutor* te) {
+    je.AddColocatedTe(te);
+    tes.push_back(te);
+  });
 
   serving::Frontend frontend(&sim);
   frontend.RegisterServingJe("tiny-1b", &je);
@@ -658,6 +671,11 @@ ChaosOutcome RunChaos(uint64_t fault_seed, bool enable_faults) {
       serving::ChatRequest request;
       request.model = "tiny-1b";
       request.spec = MakeRequest(id, 1024, 512, static_cast<TokenId>(100 + 37 * i));
+      if (slo_deadlines && i % 2 == 0) {
+        // Tight enough that some requests expire under load/crashes, loose
+        // enough that some still finish: both termination paths get exercised.
+        request.deadline = sim.Now() + MillisecondsToNs(1500);
+      }
       serving::ResponseHandler handler;
       handler.on_complete = [&outcome, &terminations, id](const flowserve::Sequence&) {
         outcome.completed.push_back(id);
@@ -677,6 +695,9 @@ ChaosOutcome RunChaos(uint64_t fault_seed, bool enable_faults) {
   sim.Run();
   outcome.crashes = manager.stats().crashes;
   outcome.replacements = manager.stats().replacements;
+  for (serving::TaskExecutor* te : tes) {
+    outcome.sheds += te->engine().stats().shed;
+  }
   outcome.end_time = sim.Now();
   // Frontend accounting stays conservative under churn.
   EXPECT_EQ(frontend.stats().requests,
@@ -700,6 +721,25 @@ TEST(ChaosPropertyTest, SameSeedReplaysBitForBit) {
     EXPECT_TRUE(first == second) << "seed " << seed << " diverged";
     EXPECT_GT(first.crashes + first.errored.size(), 0u) << "chaos plan was a no-op";
   }
+}
+
+TEST(ChaosPropertyTest, ShedsAndCrashesConserveRequests) {
+  // Deadline sheds (slo policy) racing TE crashes must preserve the
+  // exactly-once termination property, and must replay bit-for-bit.
+  bool any_sheds = false;
+  for (uint64_t seed : {1ull, 7ull, 42ull}) {
+    ChaosOutcome outcome = RunChaos(seed, /*enable_faults=*/true, /*slo_deadlines=*/true);
+    EXPECT_EQ(outcome.completed.size() + outcome.errored.size(), 40u)
+        << "seed " << seed << " lost a request without on_error";
+    EXPECT_EQ(outcome.double_terminated, 0) << "seed " << seed;
+    // Every engine-level shed must have surfaced through on_error.
+    EXPECT_LE(outcome.sheds, static_cast<int64_t>(outcome.errored.size())) << "seed " << seed;
+    any_sheds = any_sheds || outcome.sheds > 0;
+
+    ChaosOutcome replay = RunChaos(seed, /*enable_faults=*/true, /*slo_deadlines=*/true);
+    EXPECT_TRUE(outcome == replay) << "seed " << seed << " diverged";
+  }
+  EXPECT_TRUE(any_sheds) << "deadlines were a no-op: nothing was shed";
 }
 
 TEST(ChaosPropertyTest, DisabledFaultsMakeSeedIrrelevant) {

@@ -24,6 +24,12 @@ echo "==> sched-policy smoke: fcfs/slo/priority-preempt ablation invariants"
 # slo run replays bit-identically.
 ./build/bench/abl_sched_policy --smoke >/dev/null
 
+echo "==> autoscale smoke: reactive/predictive/slo policy comparison invariants"
+# Exits non-zero unless graceful drains lose nothing, the predictive run
+# replays bit-identically, and predictive beats reactive on p99 TTFT and SLO
+# violations at no more TE-seconds.
+./build/bench/fig_autoscale --smoke >/dev/null
+
 if [[ "${1:-}" == "--fast" ]]; then
   echo "==> --fast: skipping sanitizer pass"
   exit 0

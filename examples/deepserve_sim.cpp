@@ -40,14 +40,23 @@ struct Flags {
   std::string policy = "combined";
   std::string sched_policy = "fcfs";  // engine policy: fcfs|slo|priority-preempt
   double tbt_ms = 0.0;                // slo TBT budget (0 = unbounded)
+  double ttft_ms = 0.0;               // TTFT SLO budget, counted only (0 = off)
   double deadline_ms = 0.0;           // per-request deadline (0 = none)
   std::string trace = "internal";
   double rps = 1.0;
+  double peak_rps = 0.0;  // bursty trace peak (0 = 4x rps)
+  double period = 0.0;    // bursty trace period seconds (0 = duration / 3)
   double duration = 60.0;
   uint64_t seed = 42;
   double predictor_accuracy = 0.9;
   std::string csv;
   std::string gen = "gen2";
+  // Autoscaler: empty = off; reactive|predictive|slo runs the colocated group
+  // between min 1 and --max-tes TEs over the trace.
+  std::string scale_policy;
+  int headroom = 1;
+  bool drain = true;  // graceful drain on scale-down (0 = legacy instant stop)
+  int max_tes = 8;
 };
 
 bool ParseFlags(int argc, char** argv, Flags* flags) {
@@ -76,12 +85,26 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
       flags->sched_policy = value;
     } else if (key == "tbt-ms") {
       flags->tbt_ms = std::atof(value.c_str());
+    } else if (key == "ttft-ms") {
+      flags->ttft_ms = std::atof(value.c_str());
     } else if (key == "deadline-ms") {
       flags->deadline_ms = std::atof(value.c_str());
     } else if (key == "trace") {
       flags->trace = value;
     } else if (key == "rps") {
       flags->rps = std::atof(value.c_str());
+    } else if (key == "peak-rps") {
+      flags->peak_rps = std::atof(value.c_str());
+    } else if (key == "period") {
+      flags->period = std::atof(value.c_str());
+    } else if (key == "scale-policy") {
+      flags->scale_policy = value;
+    } else if (key == "headroom") {
+      flags->headroom = std::atoi(value.c_str());
+    } else if (key == "drain") {
+      flags->drain = std::atoi(value.c_str()) != 0;
+    } else if (key == "max-tes") {
+      flags->max_tes = std::atoi(value.c_str());
     } else if (key == "duration") {
       flags->duration = std::atof(value.c_str());
     } else if (key == "seed") {
@@ -159,6 +182,7 @@ int main(int argc, char** argv) {
   engine.parallelism = {flags.tp, 1, 1};
   engine.sched.policy = flags.sched_policy;
   engine.sched.tbt_budget_ms = flags.tbt_ms;
+  engine.sched.ttft_budget_ms = flags.ttft_ms;
   std::vector<distflow::EndpointId> endpoints;
   auto add_te = [&](flowserve::EngineRole role) -> bool {
     engine.role = role;
@@ -199,15 +223,50 @@ int main(int argc, char** argv) {
   DS_CHECK_OK(transfer.LinkCluster(endpoints, nullptr));
   sim.Run();
 
+  bool autoscale = !flags.scale_policy.empty();
+  if (autoscale) {
+    // Pre-warm pools + DRAM preload so mid-trace scale-ups ride the fast path.
+    manager.ReservePrewarmedPods(flags.max_tes);
+    manager.ReservePrewarmedTes(flags.max_tes);
+    for (int m = 0; m < cluster_config.num_machines; ++m) {
+      manager.PreloadModelToDram(m, *model);
+    }
+    sim.Run();
+    manager.AddFailureHandler([&je](serving::TeId id) { je.OnTeFailure(id); });
+  }
+  // Preloading advances sim time; shift trace arrivals so t=0 lands "now".
+  const TimeNs t0 = sim.Now();
+
   workload::TraceConfig trace_config =
       flags.trace == "codegen"
           ? workload::TraceGenerator::CodeGenTrace(flags.rps, flags.duration, flags.seed)
           : workload::TraceGenerator::InternalTrace(flags.rps, flags.duration, flags.seed);
-  auto trace = workload::TraceGenerator(trace_config).Generate();
+  std::vector<workload::RequestSpec> trace;
+  if (flags.trace == "bursty") {
+    double peak = flags.peak_rps > 0 ? flags.peak_rps : flags.rps * 4.0;
+    double period = flags.period > 0 ? flags.period : flags.duration / 3.0;
+    trace = workload::TraceGenerator(trace_config).GenerateBursty(flags.rps, peak, period);
+  } else {
+    trace = workload::TraceGenerator(trace_config).Generate();
+  }
+  for (auto& spec : trace) {
+    spec.arrival += t0;
+  }
   if (flags.deadline_ms > 0) {
     for (auto& spec : trace) {
       spec.deadline = spec.arrival + MillisecondsToNs(flags.deadline_ms);
     }
+  }
+
+  if (autoscale) {
+    serving::AutoscalerConfig as_config;
+    as_config.policy = flags.scale_policy;
+    as_config.headroom_tes = flags.headroom;
+    as_config.graceful_drain = flags.drain;
+    as_config.min_tes = 1;
+    as_config.max_tes = flags.max_tes;
+    engine.role = flowserve::EngineRole::kColocated;
+    manager.StartAutoscaler(&je, as_config, serving::ScaleRequest{engine});
   }
   std::printf("deepserve_sim: %s %s, %d coloc + %dP%dD (tp%d, %s), policy=%s, "
               "sched=%s, %.2f rps x %.0fs -> %zu requests\n",
@@ -237,9 +296,27 @@ int main(int argc, char** argv) {
           }, [&errored](const Status&) { ++errored; }});
     });
   }
+  if (autoscale) {
+    // The autoscaler's periodic tick keeps the queue non-empty: run to the
+    // trace horizon, stop it, then drain the remaining in-flight work.
+    sim.RunUntil(t0 + SecondsToNs(flags.duration));
+    manager.StopAutoscaler();
+  }
   sim.Run();
 
   std::printf("%s\n", metrics.Summary().c_str());
+  if (autoscale) {
+    const serving::AutoscalerStats& as = manager.autoscaler()->stats();
+    std::printf("autoscaler(%s): %lld scale-ups, %lld scale-downs; drains %lld done "
+                "(%.1f ms mean, %lld seqs drained), %lld aborted, %lld timed out\n",
+                flags.scale_policy.c_str(),
+                static_cast<long long>(manager.stats().scale_ups),
+                static_cast<long long>(manager.stats().scale_downs),
+                static_cast<long long>(as.drains_completed), as.mean_drain_ms(),
+                static_cast<long long>(as.drained_seqs),
+                static_cast<long long>(as.drains_aborted),
+                static_cast<long long>(as.drain_timeouts));
+  }
   if (errored > 0) {
     std::printf("errored (shed / deadline exceeded): %lld of %zu\n",
                 static_cast<long long>(errored), trace.size());

@@ -1,6 +1,8 @@
 #include "faults/fault_injector.h"
 
 #include <algorithm>
+#include <cerrno>
+#include <cmath>
 #include <cstdlib>
 
 #include "common/logging.h"
@@ -9,6 +11,46 @@
 #include "obs/trace.h"
 
 namespace deepserve::faults {
+
+namespace {
+
+// Strict field parsers for the schedule grammar. std::atof/atoi silently
+// accept trailing garbage ("5abc"), have undefined behavior on overflow, and
+// can't signal failure — a fuzzed or truncated plan string must come back as
+// InvalidArgument, never as UB or a bogus event.
+bool ParseDoubleField(const std::string& text, double* out) {
+  if (text.empty()) {
+    return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  double value = std::strtod(text.c_str(), &end);
+  if (end != text.c_str() + text.size() || errno == ERANGE || !std::isfinite(value)) {
+    return false;
+  }
+  *out = value;
+  return true;
+}
+
+bool ParseIntField(const std::string& text, int64_t min, int64_t max, int64_t* out) {
+  if (text.empty()) {
+    return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  long long value = std::strtoll(text.c_str(), &end, 10);
+  if (end != text.c_str() + text.size() || errno == ERANGE || value < min || value > max) {
+    return false;
+  }
+  *out = value;
+  return true;
+}
+
+// Cap every time-like field so SecondsToNs can't overflow TimeNs
+// (1e7 s = 1e16 ns, comfortably under the int64 ceiling).
+constexpr double kMaxScheduleSeconds = 1e7;
+
+}  // namespace
 
 std::string_view FaultKindToString(FaultKind kind) {
   switch (kind) {
@@ -264,25 +306,43 @@ Result<std::vector<FaultEvent>> FaultInjector::ParseSchedule(const std::string& 
     std::string tail = item.substr(at + 1);
     size_t hash = tail.find('#');
     if (hash != std::string::npos) {
-      event.target = std::atoi(tail.c_str() + hash + 1);
+      int64_t target = 0;
+      if (!ParseIntField(tail.substr(hash + 1), 0, 1'000'000, &target)) {
+        return InvalidArgumentError("fault event '" + item +
+                                    "' has a bad target ordinal (want 0..1000000)");
+      }
+      event.target = static_cast<int>(target);
       tail = tail.substr(0, hash);
     }
     size_t x = tail.find('x');
     if (x != std::string::npos) {
-      event.duration = SecondsToNs(std::atof(tail.c_str() + x + 1));
+      double duration_s = 0.0;
+      if (!ParseDoubleField(tail.substr(x + 1), &duration_s) || duration_s < 0 ||
+          duration_s > kMaxScheduleSeconds) {
+        return InvalidArgumentError("fault event '" + item + "' has a bad duration");
+      }
+      event.duration = SecondsToNs(duration_s);
       tail = tail.substr(0, x);
     }
     size_t colon = tail.find(':');
     if (colon != std::string::npos) {
-      event.factor = std::atof(tail.c_str() + colon + 1);
+      if (!ParseDoubleField(tail.substr(colon + 1), &event.factor)) {
+        return InvalidArgumentError("fault event '" + item + "' has a bad factor");
+      }
       tail = tail.substr(0, colon);
     }
     if (tail.empty()) {
       return InvalidArgumentError("fault event '" + item + "' missing a time");
     }
-    double seconds = std::atof(tail.c_str());
+    double seconds = 0.0;
+    if (!ParseDoubleField(tail, &seconds)) {
+      return InvalidArgumentError("fault event '" + item + "' has a malformed time");
+    }
     if (seconds < 0) {
       return InvalidArgumentError("fault event '" + item + "' has a negative time");
+    }
+    if (seconds > kMaxScheduleSeconds) {
+      return InvalidArgumentError("fault event '" + item + "' has an out-of-range time");
     }
     event.time = SecondsToNs(seconds);
     if (event.kind == FaultKind::kLinkDegrade &&

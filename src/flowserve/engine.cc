@@ -108,7 +108,16 @@ void Engine::EnsureMetrics() {
   m_shed_ = metrics->counter("engine.shed");
   m_deadline_misses_ = metrics->counter("engine.deadline_misses");
   m_tbt_violations_ = metrics->counter("engine.tbt_violations");
+  m_ttft_violations_ = metrics->counter("engine.ttft_violations");
   m_step_ms_ = metrics->stats("engine.step_ms");
+}
+
+void Engine::NotifyWhenIdle(std::function<void()> cb) {
+  if (sequences_.empty()) {
+    sim_->ScheduleAfter(0, std::move(cb));
+    return;
+  }
+  idle_waiters_.push_back(std::move(cb));
 }
 
 void Engine::AttachNpus(const std::vector<hw::Npu*>& npus) {
@@ -158,6 +167,7 @@ int Engine::PickDpGroup() const {
 
 void Engine::Submit(const workload::RequestSpec& spec, SeqCallback on_first_token,
                     SeqCallback on_complete, SeqErrorCallback on_error) {
+  DS_CHECK(!draining_) << "Submit() on a draining engine; the TE stopped admitting";
   auto owned = std::make_unique<Sequence>();
   Sequence* seq = owned.get();
   seq->request_id = spec.id;

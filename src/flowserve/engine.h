@@ -77,6 +77,11 @@ struct EngineStats {
   int64_t shed = 0;
   int64_t deadline_misses = 0;
   int64_t tbt_violations = 0;
+  // First tokens emitted later than sched.ttft_budget_ms after request
+  // arrival (counted when the budget is > 0; never counted on decode-only
+  // engines, whose first token was produced by the prefill TE). Feeds the
+  // "slo" autoscaler policy.
+  int64_t ttft_violations = 0;
 };
 
 // Scheduler-visible load of an engine (feeds §5's load-aware policy).
@@ -149,6 +154,17 @@ class Engine {
   // Drains nothing, simply reports whether all work completed.
   bool idle() const;
 
+  // Drain mode (graceful scale-down): stop admitting new requests while
+  // in-flight work runs to completion. Submit() on a draining engine is a
+  // programming error (the TE/JE layers stop routing first); SubmitPrefilled
+  // stays allowed so already-committed PD hand-offs can land.
+  void BeginDrain() { draining_ = true; }
+  bool draining() const { return draining_; }
+  // Invokes cb (via a 0-delay event, preserving FIFO causality) once no live
+  // sequences remain — immediately if already idle. One-shot: re-arm to keep
+  // watching. Fires on *any* path that empties the engine, including Abort().
+  void NotifyWhenIdle(std::function<void()> cb);
+
  private:
   struct PendingKick;
 
@@ -213,6 +229,10 @@ class Engine {
   bool PreemptVictim(DpGroup& group, Sequence* keep, StepPlan* plan,
                      sched::PreemptReason reason);
   void ReleaseSequence(DpGroup& group, Sequence* seq, bool preserve);
+  // Counts a TTFT violation when sched.ttft_budget_ms > 0 and seq's first
+  // token landed past budget after arrival. Call where first_token_time is
+  // assigned.
+  void CountFirstToken(const Sequence& seq);
   DpGroup& GroupFor(const Sequence& seq) { return *groups_[static_cast<size_t>(seq.dp_group)]; }
   int PickDpGroup() const;
   // Deferred callbacks (tokenizer, populate, KV-send, step completion) may
@@ -239,6 +259,8 @@ class Engine {
   std::unordered_set<const Sequence*> live_;
   KvSendFn kv_send_;
   double step_time_multiplier_ = 1.0;
+  bool draining_ = false;
+  std::vector<std::function<void()>> idle_waiters_;
 
   EngineStats stats_;
   int busy_groups_ = 0;
@@ -251,6 +273,7 @@ class Engine {
   obs::Counter* m_shed_ = nullptr;
   obs::Counter* m_deadline_misses_ = nullptr;
   obs::Counter* m_tbt_violations_ = nullptr;
+  obs::Counter* m_ttft_violations_ = nullptr;
   OnlineStats* m_step_ms_ = nullptr;
 };
 

@@ -20,6 +20,23 @@ bool MissedDeadline(const Sequence& seq) {
 
 }  // namespace
 
+void Engine::CountFirstToken(const Sequence& seq) {
+  if (config_.sched.ttft_budget_ms <= 0.0 || config_.role == EngineRole::kDecodeOnly) {
+    // Decode-only engines admit sequences whose first token was already
+    // produced on the prefill TE; charging their finish time as TTFT would
+    // double-count.
+    return;
+  }
+  TimeNs start = seq.arrival > 0 ? seq.arrival : seq.submit_time;
+  if (seq.first_token_time - start > MillisecondsToNs(config_.sched.ttft_budget_ms)) {
+    ++stats_.ttft_violations;
+    EnsureMetrics();
+    if (m_ttft_violations_ != nullptr) {
+      m_ttft_violations_->Inc();
+    }
+  }
+}
+
 void Engine::FinishPrefill(DpGroup& group, Sequence* seq, DurationNs extra_latency) {
   auto it = std::find(group.prefilling.begin(), group.prefilling.end(), seq);
   DS_CHECK(it != group.prefilling.end());
@@ -31,6 +48,7 @@ void Engine::FinishPrefill(DpGroup& group, Sequence* seq, DurationNs extra_laten
     seq->generated = std::max<int64_t>(seq->generated, 1);
     if (seq->first_token_time == 0) {
       seq->first_token_time = sim_->Now() + extra_latency;
+      CountFirstToken(*seq);
       if (seq->on_first_token) {
         seq->on_first_token(*seq);
       }
@@ -101,6 +119,7 @@ void Engine::FinishSequence(DpGroup& group, Sequence* seq, DurationNs extra_late
   seq->state = SeqState::kFinished;
   if (seq->first_token_time == 0) {
     seq->first_token_time = seq->finish_time;
+    CountFirstToken(*seq);
   }
   if (MissedDeadline(*seq)) {
     ++stats_.deadline_misses;
@@ -170,6 +189,16 @@ void Engine::ReleaseSequence(DpGroup& group, Sequence* seq, bool preserve) {
                             [seq](const SequencePtr& p) { return p.get() == seq; });
   DS_CHECK(owned != sequences_.end());
   sequences_.erase(owned);
+  if (sequences_.empty() && !idle_waiters_.empty()) {
+    // Fire as 0-delay events: waiters (e.g. the drain completion path) run
+    // after the current completion fully unwinds, and re-validate state
+    // themselves — ReleaseSequence is also reached from Abort().
+    auto waiters = std::move(idle_waiters_);
+    idle_waiters_.clear();
+    for (auto& waiter : waiters) {
+      sim_->ScheduleAfter(0, std::move(waiter));
+    }
+  }
 }
 
 void Engine::DetachFromGroup(DpGroup& group, Sequence* seq) {

@@ -29,6 +29,11 @@ struct SchedConfig {
   // *counted* (EngineStats::tbt_violations) for every policy when > 0.
   double tbt_budget_ms = 0.0;
 
+  // Time-to-first-token budget, measured from request arrival (submit time
+  // when no arrival is stamped). Counted only (EngineStats::ttft_violations)
+  // for every policy when > 0 — it feeds the "slo" autoscaler, not shedding.
+  double ttft_budget_ms = 0.0;
+
   // "slo" shedding toggles.
   bool shed_expired = true;     // deadline already passed while queued/running
   bool shed_unmeetable = true;  // lower-bound service time cannot meet it

@@ -48,4 +48,13 @@ std::string MetricsRegistry::Dump() const {
   return out;
 }
 
+uint64_t MetricsRegistry::Fingerprint() const {
+  uint64_t hash = 1469598103934665603ull;
+  for (char c : Dump()) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
 }  // namespace deepserve::obs

@@ -62,6 +62,11 @@ class MetricsRegistry {
   //   stats   <name> count=<n> mean=<m> min=<lo> max=<hi>
   std::string Dump() const;
 
+  // FNV-1a hash of Dump(): one word summarizing every registered metric.
+  // Two runs are metric-identical iff their fingerprints match (used by the
+  // end-to-end determinism tests).
+  uint64_t Fingerprint() const;
+
  private:
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;

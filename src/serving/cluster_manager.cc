@@ -107,6 +107,12 @@ Status ClusterManager::StopTe(TeId id) {
   if (target == nullptr) {
     return NotFoundError("no TE " + std::to_string(id));
   }
+  if (target->state() == TeState::kStopped || target->state() == TeState::kFailed) {
+    // Already down — its NPUs were released on the stop/failure path, and a
+    // second release would corrupt the free pool.
+    return FailedPreconditionError("TE " + std::to_string(id) + " already " +
+                                   std::string(TeStateToString(target->state())));
+  }
   target->set_state(TeState::kStopped);
   ReleaseNpus(target->config().npus);
   return Status::Ok();
@@ -516,81 +522,64 @@ Status ClusterManager::ScaleUpMany(
 }
 
 // ---------------------------------------------------------------------------
-// Autoscaler.
+// Autoscaler (mechanism + policies live in serving/autoscaler.{h,cc}).
 // ---------------------------------------------------------------------------
 
 void ClusterManager::StartAutoscaler(JobExecutor* je, AutoscalerConfig config,
                                      ScaleRequest template_request) {
   DS_CHECK(je != nullptr);
-  autoscaler_je_ = je;
-  autoscaler_config_ = config;
-  autoscaler_template_ = std::move(template_request);
-  autoscaler_running_ = true;
-  autoscaler_live_tes_ = static_cast<int>(je->colocated_count());
-  autoscaler_event_ =
-      sim_->ScheduleAfter(autoscaler_config_.check_interval, [this] { AutoscalerTick(); });
+  autoscaler_ =
+      std::make_unique<Autoscaler>(sim_, this, je, std::move(config), std::move(template_request));
+  autoscaler_->Start();
 }
 
 void ClusterManager::StopAutoscaler() {
-  autoscaler_running_ = false;
-  if (autoscaler_event_ != sim::kInvalidEventId) {
-    sim_->Cancel(autoscaler_event_);
-    autoscaler_event_ = sim::kInvalidEventId;
+  if (autoscaler_ != nullptr) {
+    autoscaler_->Stop();
   }
 }
 
-void ClusterManager::AutoscalerTick() {
-  autoscaler_event_ = sim::kInvalidEventId;
-  if (!autoscaler_running_) {
-    return;
-  }
-  // Average queue depth over the JE's live colocated TEs.
-  int64_t total_depth = 0;
-  int live = 0;
-  std::vector<TaskExecutor*> live_tes;
-  for (const auto& te : tes_) {
-    if (te->ready() && te->role() == flowserve::EngineRole::kColocated) {
-      total_depth += te->queue_depth();
-      ++live;
-      live_tes.push_back(te.get());
+DurationNs ClusterManager::EstimateScaleUpLead(const ScaleRequest& request) const {
+  DurationNs lead = 0;
+  // Scaler-Pre.
+  lead += (opts_.prewarmed_pods && prewarmed_pods_ > 0) ? latency_.pod_adapt_prewarmed
+                                                        : latency_.pod_create_cold;
+  // TE-Pre-Load.
+  if (opts_.prewarmed_tes && prewarmed_tes_ > 0) {
+    lead += latency_.te_adapt_prewarmed;
+  } else {
+    DurationNs cost = latency_.te_preload_cold;
+    if (opts_.optimized_preload) {
+      cost = static_cast<DurationNs>(static_cast<double>(cost) *
+                                     latency_.te_preload_optimized_factor);
     }
+    lead += cost;
   }
-  if (live > 0) {
-    int64_t avg = total_depth / live;
-    if (avg >= autoscaler_config_.scale_up_queue_depth &&
-        live < autoscaler_config_.max_tes && !autoscaler_scaling_) {
-      autoscaler_scaling_ = true;
-      Status status = ScaleUp(autoscaler_template_, [this](TaskExecutor* te, const auto&) {
-        autoscaler_scaling_ = false;
-        if (te != nullptr && autoscaler_je_ != nullptr) {
-          autoscaler_je_->AddColocatedTe(te);
-          ++autoscaler_live_tes_;
-        }
-      });
-      if (!status.ok()) {
-        autoscaler_scaling_ = false;
-      }
-    } else if (avg <= autoscaler_config_.scale_down_queue_depth &&
-               live > autoscaler_config_.min_tes) {
-      // Shed the least-loaded idle TE.
-      TaskExecutor* victim = nullptr;
-      for (TaskExecutor* te : live_tes) {
-        if (te->queue_depth() == 0 && (victim == nullptr || te->id() > victim->id())) {
-          victim = te;
-        }
-      }
-      if (victim != nullptr) {
-        autoscaler_je_->RemoveTe(victim->id());
-        DS_CHECK_OK(StopTe(victim->id()));
-        ++stats_.scale_downs;
-        --autoscaler_live_tes_;
-      }
+  // TE-Load: contention-free transfer estimates (actual runs share links).
+  const model::ModelSpec& model = request.engine.model;
+  Bytes per_npu = model::WeightBytesPerNpu(model, request.engine.parallelism);
+  auto source_it =
+      request.fork_source != kInvalidTe ? te_by_id_.find(request.fork_source) : te_by_id_.end();
+  const TaskExecutor* source = source_it != te_by_id_.end() ? source_it->second : nullptr;
+  if (opts_.npu_fork && source != nullptr && source->ready()) {
+    hw::MachineId src_machine = cluster_->machine_of(source->primary_npu());
+    hw::SharedLink* link = cluster_->LinkOfType(src_machine, request.fork_link);
+    DS_CHECK(link != nullptr);
+    lead += link->IsolatedDuration(per_npu);
+  } else {
+    // Placement is unknown until ScaleUp allocates; machine 0 stands in —
+    // links are homogeneous and DRAM preloads normally cover every machine.
+    hw::Machine* host = cluster_->machine(0);
+    if (!(opts_.dram_preload && host->page_cache().Contains(model.name))) {
+      lead += host->ssd_link()->IsolatedDuration(model.WeightBytes());
     }
+    lead += host->pcie_link_for(0)->IsolatedDuration(per_npu);
   }
-  if (autoscaler_running_) {
-    autoscaler_event_ =
-        sim_->ScheduleAfter(autoscaler_config_.check_interval, [this] { AutoscalerTick(); });
-  }
+  lead += latency_.tensor_init;
+  // TE-Post-Load + Scaler-Post.
+  lead += PostLoadDuration();
+  lead += opts_.proactive_push ? latency_.push_latency : latency_.te_list_poll;
+  return lead;
 }
 
 }  // namespace deepserve::serving

@@ -27,6 +27,7 @@
 #include "distflow/distflow.h"
 #include "hw/cluster.h"
 #include "hw/hccl.h"
+#include "serving/autoscaler.h"
 #include "serving/job_executor.h"
 #include "serving/task_executor.h"
 #include "sim/simulator.h"
@@ -88,20 +89,8 @@ struct ScalingBreakdown {
   }
 };
 
-struct ScaleRequest {
-  flowserve::EngineConfig engine;
-  // NPU-fork source; kInvalidTe = local load (DRAM/SSD via PCIe).
-  TeId fork_source = kInvalidTe;
-  hw::LinkType fork_link = hw::LinkType::kHccs;
-};
-
-struct AutoscalerConfig {
-  DurationNs check_interval = SecondsToNs(2.0);
-  int64_t scale_up_queue_depth = 16;   // avg queue depth triggering scale-up
-  int64_t scale_down_queue_depth = 1;  // below this (and >min), shed a TE
-  int min_tes = 1;
-  int max_tes = 64;
-};
+// ScaleRequest and AutoscalerConfig live in serving/autoscaler.h (included
+// above) next to the ScalePolicy layer they parameterize.
 
 // Heartbeat-based failure detection (§2: failures are routine at cluster
 // scale). A crashed TE's in-flight work is lost immediately, but recovery
@@ -215,11 +204,23 @@ class ClusterManager {
 
   // ---- autoscaler --------------------------------------------------------------
   // Watches `je`'s colocated group and scales it between min/max TEs using
-  // `template_request`. Runs until StopAutoscaler() (keeps the event queue
-  // non-empty: drive the simulator with RunUntil).
+  // `template_request`, under the ScalePolicy named by config.policy
+  // (reactive|predictive|slo; invalid names are a programming error). Runs
+  // until StopAutoscaler() (keeps the event queue non-empty: drive the
+  // simulator with RunUntil). Restarting replaces the previous autoscaler.
   void StartAutoscaler(JobExecutor* je, AutoscalerConfig config, ScaleRequest template_request);
   void StopAutoscaler();
-  int autoscaler_target() const { return autoscaler_live_tes_; }
+  // The running autoscaler (nullptr before StartAutoscaler): policy state,
+  // drain stats, admission-counter override.
+  Autoscaler* autoscaler() { return autoscaler_.get(); }
+  // Live ready colocated TEs as the autoscaler sees them — recomputed from
+  // cluster state, so crashes between ticks can't skew it.
+  int autoscaler_target() const { return autoscaler_ ? autoscaler_->live_tes() : 0; }
+
+  // How long a ScaleUp(request) launched now would take to deliver a ready
+  // TE, mirroring the five-stage pipeline's cost model without consuming
+  // pre-warm pools. This is the lead time predictive scaling plans around.
+  DurationNs EstimateScaleUpLead(const ScaleRequest& request) const;
 
   const ClusterManagerStats& stats() const { return stats_; }
   const ScalingOptimizations& optimizations() const { return opts_; }
@@ -238,7 +239,10 @@ class ClusterManager {
   void RunTePostLoad(std::shared_ptr<PipelineState> state);
   void RunScalerPost(std::shared_ptr<PipelineState> state);
   DurationNs PostLoadDuration() const;
-  void AutoscalerTick();
+  // Autoscaler scale-downs count in ClusterManagerStats like the historical
+  // in-class tick's did.
+  void RecordAutoscalerScaleDown() { ++stats_.scale_downs; }
+  friend class Autoscaler;
   // The crash core shared by KillTe (synchronous detection) and CrashTe
   // (detection deferred per the crash kind).
   Result<size_t> Crash(TeId id, CrashKind kind, bool defer_detection);
@@ -264,14 +268,7 @@ class ClusterManager {
   int prewarmed_pods_ = 0;
   int prewarmed_tes_ = 0;
 
-  // Autoscaler state.
-  JobExecutor* autoscaler_je_ = nullptr;
-  AutoscalerConfig autoscaler_config_;
-  ScaleRequest autoscaler_template_;
-  bool autoscaler_running_ = false;
-  bool autoscaler_scaling_ = false;  // a scale-up in flight
-  int autoscaler_live_tes_ = 0;
-  sim::EventId autoscaler_event_ = sim::kInvalidEventId;
+  std::unique_ptr<Autoscaler> autoscaler_;
 
   std::vector<std::function<void(TeId)>> failure_handlers_;
 

@@ -67,6 +67,7 @@ Status Frontend::ChatCompletion(const ChatRequest& request, ResponseHandler hand
     je->HandleRequest(spec, std::move(dispatched));
     return Status::Ok();
   }
+  ++stats_.rejected_no_capacity;
   return reject(UnavailableError("no JE for " + request.model + " has ready TEs"));
 }
 

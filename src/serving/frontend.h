@@ -36,7 +36,10 @@ struct ChatRequest {
 struct FrontendStats {
   int64_t requests = 0;
   int64_t rejected = 0;  // failed before dispatch (ChatCompletion != OK)
-  int64_t errors = 0;    // failed after dispatch (on_error from the JE)
+  // Subset of `rejected`: turned away because no registered JE had a ready
+  // TE — the scale-up-lag signal an autoscaler should be driving to zero.
+  int64_t rejected_no_capacity = 0;
+  int64_t errors = 0;  // failed after dispatch (on_error from the JE)
   int64_t chat_dispatched = 0;
   int64_t finetune_dispatched = 0;
 };

@@ -78,16 +78,19 @@ void JobExecutor::AddDecodeTe(TaskExecutor* te) {
   decode_.push_back(te);
 }
 
-void JobExecutor::RemoveTe(TeId id) {
-  auto drop = [id](std::vector<TaskExecutor*>& tes) {
-    tes.erase(std::remove_if(tes.begin(), tes.end(),
-                             [id](TaskExecutor* te) { return te->id() == id; }),
-              tes.end());
+bool JobExecutor::RemoveTe(TeId id) {
+  bool removed = false;
+  auto drop = [id, &removed](std::vector<TaskExecutor*>& tes) {
+    auto tail = std::remove_if(tes.begin(), tes.end(),
+                               [id](TaskExecutor* te) { return te->id() == id; });
+    removed = removed || tail != tes.end();
+    tes.erase(tail, tes.end());
   };
   drop(colocated_);
   drop(prefill_);
   drop(decode_);
   // Prompt-tree tags for the departed TE are cleaned lazily during matching.
+  return removed;
 }
 
 std::vector<TaskExecutor*> JobExecutor::ReadyTes(const std::vector<TaskExecutor*>& tes) const {

@@ -90,7 +90,10 @@ class JobExecutor {
   void AddColocatedTe(TaskExecutor* te);
   void AddPrefillTe(TaskExecutor* te);
   void AddDecodeTe(TaskExecutor* te);
-  void RemoveTe(TeId id);
+  // Returns whether the TE was actually a member of any group (false lets
+  // callers — e.g. the autoscaler — detect retiring a TE someone else
+  // already removed).
+  bool RemoveTe(TeId id);
 
   // Frontend entry: create the job + task(s), run dist_sched, dispatch. The
   // handler's on_error fires (with the job marked failed) when no ready TE can

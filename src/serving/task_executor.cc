@@ -18,6 +18,8 @@ std::string_view TeStateToString(TeState state) {
       return "post-loading";
     case TeState::kReady:
       return "ready";
+    case TeState::kDraining:
+      return "draining";
     case TeState::kStopped:
       return "stopped";
     case TeState::kFailed:
@@ -128,14 +130,47 @@ void TaskExecutor::SubmitPrefill(const workload::RequestSpec& spec, TaskExecutor
 size_t TaskExecutor::Fail() {
   state_ = TeState::kFailed;
   handoffs_.clear();
+  on_drained_ = nullptr;  // a crash supersedes any drain in progress
   return engine_->Abort();
+}
+
+void TaskExecutor::StartDrain(std::function<void()> on_drained) {
+  DS_CHECK(state_ == TeState::kReady)
+      << "drain needs a ready TE, TE " << config_.id << " is " << TeStateToString(state_);
+  state_ = TeState::kDraining;
+  drain_started_ = sim_->Now();
+  drain_inflight_ = queue_depth();
+  on_drained_ = std::move(on_drained);
+  engine_->BeginDrain();
+  ArmDrainWait();
+}
+
+void TaskExecutor::ArmDrainWait() {
+  engine_->NotifyWhenIdle([this] {
+    if (state_ != TeState::kDraining) {
+      return;  // crashed / force-stopped mid-drain; the failure path owns cleanup
+    }
+    if (!engine_->idle() || !handoffs_.empty()) {
+      // A committed PD hand-off (or retry) landed after the engine emptied:
+      // keep waiting — drains lose nothing.
+      ArmDrainWait();
+      return;
+    }
+    auto done = std::move(on_drained_);
+    on_drained_ = nullptr;
+    if (done) {
+      done();
+    }
+  });
 }
 
 void TaskExecutor::AcceptPrefilled(const workload::RequestSpec& spec, SeqCallback on_complete,
                                    ResponseHandler::ErrorCallback on_error) {
-  if (!ready()) {
+  if (!ready() && state_ != TeState::kDraining) {
     return;  // decode TE died mid-hand-off; the JE failure path retries
   }
+  // kDraining still accepts: the hand-off was committed while this TE was
+  // ready, and a drain must finish — not orphan — in-flight work.
   flowserve::Engine::SeqErrorCallback shed_error;
   if (on_error) {
     shed_error = [err = on_error](const flowserve::Sequence&, const Status& status) {

@@ -32,8 +32,9 @@ enum class TeState {
   kLoading,       // TE-Load: weights moving onto the NPU
   kPostLoading,   // TE-Post-Load: allocation + warmup
   kReady,
-  kStopped,  // graceful stop (scale-down)
-  kFailed,   // crashed; in-flight work lost
+  kDraining,  // graceful scale-down: no new admissions, in-flight work finishing
+  kStopped,   // stopped (scale-down complete)
+  kFailed,    // crashed; in-flight work lost
 };
 
 std::string_view TeStateToString(TeState state);
@@ -80,6 +81,20 @@ class TaskExecutor {
   TeState state() const { return state_; }
   void set_state(TeState state) { state_ = state; }
   bool ready() const { return state_ == TeState::kReady; }
+  bool draining() const { return state_ == TeState::kDraining; }
+
+  // Graceful scale-down: kReady -> kDraining. ready() goes false, so the
+  // JE/Frontend stop routing here; the engine refuses new Submits but lets
+  // in-flight work (including committed PD hand-offs) run to completion.
+  // `on_drained` fires exactly once (as a 0-delay event) when the last
+  // sequence leaves — unless a crash supersedes the drain, in which case it
+  // never fires and the failure path owns cleanup. The caller stops the TE
+  // from the callback.
+  void StartDrain(std::function<void()> on_drained);
+  TimeNs drain_started() const { return drain_started_; }
+  // Queue depth captured at StartDrain: the in-flight work the drain waited
+  // out rather than killed.
+  int64_t drain_inflight() const { return drain_inflight_; }
 
   // Failure injection: the TE crashes (state -> kFailed) — every in-flight
   // sequence is dropped without callbacks and the TE leaves the serving pool.
@@ -107,6 +122,7 @@ class TaskExecutor {
   void AcceptPrefilled(const workload::RequestSpec& spec, SeqCallback on_complete,
                        ResponseHandler::ErrorCallback on_error);
   void InstallKvSend();
+  void ArmDrainWait();
 
   sim::Simulator* sim_;
   TeConfig config_;
@@ -123,6 +139,10 @@ class TaskExecutor {
     ResponseHandler::ErrorCallback on_error;
   };
   std::map<workload::RequestId, PendingHandoff> handoffs_;
+
+  std::function<void()> on_drained_;
+  TimeNs drain_started_ = 0;
+  int64_t drain_inflight_ = 0;
 };
 
 }  // namespace deepserve::serving

@@ -109,6 +109,61 @@ class Simulator {
   obs::Gauge* m_max_depth_ = nullptr;
 };
 
+// Fixed-interval control loop (heartbeats, autoscaler ticks, samplers). The
+// body runs BEFORE the next firing is scheduled, so at equal timestamps the
+// re-scheduled tick keeps the same FIFO position a hand-rolled
+// "run-then-ScheduleAfter" loop would have — replacing such a loop with a
+// PeriodicTask is replay-identical.
+class PeriodicTask {
+ public:
+  PeriodicTask() = default;
+  ~PeriodicTask() { Stop(); }
+
+  PeriodicTask(const PeriodicTask&) = delete;
+  PeriodicTask& operator=(const PeriodicTask&) = delete;
+
+  // First firing is one interval from now. Restarting an already-running task
+  // cancels the pending firing first.
+  void Start(Simulator* sim, DurationNs interval, EventFn fn) {
+    DS_CHECK(sim != nullptr);
+    DS_CHECK(interval > 0);
+    Stop();
+    sim_ = sim;
+    interval_ = interval;
+    fn_ = std::move(fn);
+    running_ = true;
+    event_ = sim_->ScheduleAfter(interval_, [this] { Fire(); });
+  }
+
+  void Stop() {
+    running_ = false;
+    if (sim_ != nullptr && event_ != kInvalidEventId) {
+      sim_->Cancel(event_);
+    }
+    event_ = kInvalidEventId;
+  }
+
+  bool running() const { return running_; }
+
+ private:
+  void Fire() {
+    event_ = kInvalidEventId;
+    if (!running_) {
+      return;
+    }
+    fn_();
+    if (running_) {  // fn_ may have called Stop()
+      event_ = sim_->ScheduleAfter(interval_, [this] { Fire(); });
+    }
+  }
+
+  Simulator* sim_ = nullptr;
+  DurationNs interval_ = 0;
+  EventFn fn_;
+  bool running_ = false;
+  EventId event_ = kInvalidEventId;
+};
+
 }  // namespace deepserve::sim
 
 #endif  // DEEPSERVE_SIM_SIMULATOR_H_

@@ -79,6 +79,42 @@ std::vector<RequestSpec> TraceGenerator::Generate() {
   return out;
 }
 
+std::vector<RequestSpec> TraceGenerator::GenerateBursty(double base_rps, double peak_rps,
+                                                        double period_s, double sharpness) {
+  DS_CHECK_GT(peak_rps, 0.0);
+  DS_CHECK(base_rps >= 0.0 && base_rps <= peak_rps);
+  DS_CHECK_GT(period_s, 0.0);
+  DS_CHECK_GT(sharpness, 0.0);
+  constexpr double kTwoPi = 6.283185307179586;
+  std::vector<RequestSpec> out;
+  Rng arrivals = rng_.Fork();
+  Rng lengths = rng_.Fork();
+  Rng prompts = rng_.Fork();
+  Rng thinning = rng_.Fork();
+  double t = 0.0;
+  RequestId next_id = 1;
+  while (true) {
+    t += arrivals.Exponential(peak_rps);
+    if (t >= config_.duration_s) {
+      break;
+    }
+    double rate =
+        base_rps + (peak_rps - base_rps) *
+                       std::pow(0.5 * (1.0 - std::cos(kTwoPi * t / period_s)), sharpness);
+    if (thinning.NextDouble() * peak_rps > rate) {
+      continue;  // thinned out: instantaneous rate is below the envelope
+    }
+    RequestSpec req;
+    req.id = next_id++;
+    req.arrival = SecondsToNs(t);
+    int64_t plen = config_.prefill.Sample(lengths);
+    req.decode_len = config_.decode.Sample(lengths);
+    req.prompt = MakePrompt(plen, prompts);
+    out.push_back(std::move(req));
+  }
+  return out;
+}
+
 std::vector<RequestSpec> TraceGenerator::FixedBatch(int count, int64_t prefill_len,
                                                     int64_t decode_len, uint64_t seed) {
   Rng rng(seed);

@@ -1,0 +1,193 @@
+// Fuzz-style robustness tests for FaultInjector::ParseSchedule. The parser
+// faces operator-typed strings (CLI flags, config files); the contract is
+// that NO input crashes it or slips an out-of-range value through — malformed
+// specs come back as InvalidArgument with the offending clause intact. CI
+// runs this binary under ASan/UBSan, so any strtod/strtoll misuse, overflow,
+// or container misstep surfaces here.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "faults/fault_injector.h"
+
+namespace deepserve {
+namespace {
+
+using faults::FaultEvent;
+using faults::FaultInjector;
+
+// Every event a successful parse returns must be in-range: this is what the
+// strict field parsing guarantees downstream code can rely on.
+void ExpectSane(const std::vector<FaultEvent>& events, const std::string& spec) {
+  for (const FaultEvent& e : events) {
+    EXPECT_GE(e.time, 0) << spec;
+    EXPECT_GE(e.duration, 0) << spec;
+    EXPECT_GE(e.target, -1) << spec;
+    EXPECT_LE(e.target, 1'000'000) << spec;
+    EXPECT_TRUE(std::isfinite(e.factor)) << spec;
+    if (e.kind == faults::FaultKind::kLinkDegrade) {
+      EXPECT_GT(e.factor, 0.0) << spec;
+      EXPECT_LE(e.factor, 1.0) << spec;
+    }
+    if (e.kind == faults::FaultKind::kSlowNode) {
+      EXPECT_GE(e.factor, 1.0) << spec;
+    }
+  }
+}
+
+TEST(FaultFuzzTest, MalformedSpecsReturnErrorsNotCrashes) {
+  const char* kBad[] = {
+      "npu",
+      "npu@",
+      "@5",
+      "npu@@5",
+      "npu@abc",
+      "npu@5abc",        // trailing garbage after the number
+      "npu@-3",
+      "npu@1e999",       // double overflow (ERANGE)
+      "npu@nan",
+      "npu@inf",
+      "npu@99999999999999",  // past the schedule-horizon cap
+      "npu@5x",
+      "npu@5xabc",
+      "npu@5x-2",
+      "npu@5x1e999",
+      "npu@5x999999999999",
+      "link@5:",
+      "link@5:abc",
+      "link@5:1.5",   // bandwidth scale > 1
+      "link@5:0",     // scale must be positive
+      "link@5:-0.5",
+      "link@5:nan",
+      "link@5:1e999",
+      "slow@5:0.5",   // multiplier < 1
+      "slow@5:inf",
+      "npu@5#",
+      "npu@5#abc",
+      "npu@5#-1",
+      "npu@5#1.5",
+      "npu@5#99999999999999999999",  // strtoll overflow
+      "npu@5#2#3",
+      "meteor@5",
+      "npu@5:0.5x10#2:extra",
+      "npu@0x10#2x",  // duplicate duration marker
+  };
+  for (const char* spec : kBad) {
+    auto result = FaultInjector::ParseSchedule(spec);
+    EXPECT_FALSE(result.ok()) << "accepted malformed spec: \"" << spec << "\"";
+    if (!result.ok()) {
+      EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument) << spec;
+    }
+  }
+}
+
+TEST(FaultFuzzTest, EmptyClausesAreTolerated) {
+  // ';'-splitting skips empty items: trailing/duplicate separators and the
+  // empty string are all fine (an unset CLI flag parses to zero events).
+  for (const char* spec : {"", ";", ";;;", "npu@5;", "npu@5;;shell@1"}) {
+    auto result = FaultInjector::ParseSchedule(spec);
+    EXPECT_TRUE(result.ok()) << "\"" << spec << "\": " << result.status().ToString();
+  }
+  EXPECT_EQ(FaultInjector::ParseSchedule("")->size(), 0u);
+  EXPECT_EQ(FaultInjector::ParseSchedule("npu@5;;shell@1")->size(), 2u);
+}
+
+TEST(FaultFuzzTest, ValidGrammarCornersStillParse) {
+  // Boundary values the strict parser must keep accepting.
+  auto ok = FaultInjector::ParseSchedule("link@0:1;slow@5:1;npu@5#0;shell@5x0;npu@5#1000000");
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_EQ(ok->size(), 5u);
+  ExpectSane(*ok, "corners");
+  // Fractional seconds and scientific notation are fine when in range.
+  auto sci = FaultInjector::ParseSchedule("npu@1.5e1;link@0.25:0.5x1e1");
+  ASSERT_TRUE(sci.ok()) << sci.status().ToString();
+  EXPECT_EQ((*sci)[0].time, SecondsToNs(15.0));
+  EXPECT_EQ((*sci)[1].duration, SecondsToNs(10.0));
+}
+
+// Random byte soup over the grammar's alphabet: the parser must classify
+// every string as parsed-and-sane or InvalidArgument, never crash or hang.
+TEST(FaultFuzzTest, RandomAlphabetSoupNeverCrashes) {
+  const std::string alphabet = "npushellinkslowmeteor@:x#;.0123456789-+eE \t";
+  int accepted = 0;
+  for (uint64_t seed = 1; seed <= 400; ++seed) {
+    Rng rng(seed);
+    std::string spec(static_cast<size_t>(rng.UniformInt(0, 48)), '\0');
+    for (char& c : spec) {
+      c = alphabet[static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(alphabet.size()) - 1))];
+    }
+    auto result = FaultInjector::ParseSchedule(spec);
+    if (result.ok()) {
+      ++accepted;
+      ExpectSane(*result, spec);
+    } else {
+      EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument) << "\"" << spec << "\"";
+    }
+  }
+  // The soup is heavily malformed; this mostly documents that acceptance is
+  // possible but rare.
+  EXPECT_LT(accepted, 100);
+}
+
+// Mutate valid specs one byte at a time: flips between valid and invalid must
+// be clean (correct status either way, sane values when accepted).
+TEST(FaultFuzzTest, SingleByteMutationsOfValidSpecs) {
+  const std::string alphabet = "npushellinkslowx@:#;.0123456789-eE";
+  const std::string valid[] = {
+      "npu@5",
+      "link@10:0.25x20",
+      "slow@30:3x10#2",
+      "npu@5;shell@1.5;link@2:0.5",
+  };
+  for (const std::string& base : valid) {
+    ASSERT_TRUE(FaultInjector::ParseSchedule(base).ok()) << base;
+    Rng rng(static_cast<uint64_t>(base.size()) * 77 + 13);
+    for (int trial = 0; trial < 300; ++trial) {
+      std::string spec = base;
+      size_t pos = static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(spec.size()) - 1));
+      switch (rng.UniformInt(0, 2)) {
+        case 0:  // substitute
+          spec[pos] =
+              alphabet[static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(alphabet.size()) - 1))];
+          break;
+        case 1:  // delete
+          spec.erase(pos, 1);
+          break;
+        case 2:  // insert
+          spec.insert(pos, 1,
+                      alphabet[static_cast<size_t>(
+                          rng.UniformInt(0, static_cast<int64_t>(alphabet.size()) - 1))]);
+          break;
+      }
+      auto result = FaultInjector::ParseSchedule(spec);
+      if (result.ok()) {
+        ExpectSane(*result, spec);
+      } else {
+        EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument) << "\"" << spec << "\"";
+      }
+    }
+  }
+}
+
+// Parsed plans must inject cleanly: run a handful of accepted random plans
+// against a live cluster and require the injector to stay conservative.
+TEST(FaultFuzzTest, GeneratedPlansRoundTripThroughScheduler) {
+  for (uint64_t seed : {3ull, 19ull}) {
+    faults::FaultPlanConfig plan_config;
+    plan_config.count = 8;
+    auto plan = FaultInjector::GeneratePlan(seed, plan_config);
+    ASSERT_EQ(plan.size(), 8u);
+    for (size_t i = 1; i < plan.size(); ++i) {
+      EXPECT_LE(plan[i - 1].time, plan[i].time) << "plan not sorted";
+    }
+    ExpectSane(plan, "generated");
+  }
+}
+
+}  // namespace
+}  // namespace deepserve

@@ -604,20 +604,28 @@ struct ChaosOutcome {
   int64_t crashes = 0;
   int64_t replacements = 0;
   int64_t sheds = 0;  // engine-level policy sheds (slo chaos variant)
+  int64_t drains_started = 0;  // autoscaler chaos variant
+  int64_t drains_aborted = 0;
+  int64_t drain_timeouts = 0;
   TimeNs end_time = 0;
 
   bool operator==(const ChaosOutcome& other) const {
     return completed == other.completed && errored == other.errored &&
            double_terminated == other.double_terminated && crashes == other.crashes &&
            replacements == other.replacements && sheds == other.sheds &&
-           end_time == other.end_time;
+           drains_started == other.drains_started && drains_aborted == other.drains_aborted &&
+           drain_timeouts == other.drain_timeouts && end_time == other.end_time;
   }
 };
 
 // `slo_deadlines` runs the same chaos plan with the engines on the "slo"
 // scheduling policy and a tight deadline on every other request, so the
 // conservation property additionally covers deadline sheds racing TE crashes.
-ChaosOutcome RunChaos(uint64_t fault_seed, bool enable_faults, bool slo_deadlines = false) {
+// `autoscale` additionally runs a churny graceful-drain autoscaler over the
+// colocated group, so drains race the chaos plan's crashes and the drain
+// timeout's force-kill path.
+ChaosOutcome RunChaos(uint64_t fault_seed, bool enable_faults, bool slo_deadlines = false,
+                      bool autoscale = false) {
   constexpr int kRequests = 40;
   sim::Simulator sim;
   hw::ClusterConfig cc;
@@ -650,6 +658,24 @@ ChaosOutcome RunChaos(uint64_t fault_seed, bool enable_faults, bool slo_deadline
     je.AddColocatedTe(te);
     tes.push_back(te);
   });
+
+  if (autoscale) {
+    // Churny on purpose: sheds quickly when queues thin out, scales back up
+    // under pressure, and force-kills drains that stall — maximizing the
+    // window where a draining TE can be hit by a chaos crash.
+    serving::AutoscalerConfig as;
+    as.policy = "reactive";
+    as.check_interval = MillisecondsToNs(250);
+    as.scale_up_queue_depth = 4;
+    as.scale_down_queue_depth = 2;
+    as.min_tes = 1;
+    as.max_tes = 3;
+    as.graceful_drain = true;
+    as.drain_timeout = SecondsToNs(2);
+    serving::ScaleRequest scale_request;
+    scale_request.engine = engine_config;
+    manager.StartAutoscaler(&je, as, scale_request);
+  }
 
   serving::Frontend frontend(&sim);
   frontend.RegisterServingJe("tiny-1b", &je);
@@ -692,7 +718,18 @@ ChaosOutcome RunChaos(uint64_t fault_seed, bool enable_faults, bool slo_deadline
       (void)frontend.ChatCompletion(std::move(request), std::move(handler));
     });
   }
+  if (autoscale) {
+    sim.RunUntil(SecondsToNs(60));
+    manager.StopAutoscaler();
+  }
   sim.Run();
+  if (autoscale) {
+    // Read after the final Run(): pending drain timeouts may still fire.
+    const serving::AutoscalerStats& as_stats = manager.autoscaler()->stats();
+    outcome.drains_started = as_stats.drains_started;
+    outcome.drains_aborted = as_stats.drains_aborted;
+    outcome.drain_timeouts = as_stats.drain_timeouts;
+  }
   outcome.crashes = manager.stats().crashes;
   outcome.replacements = manager.stats().replacements;
   for (serving::TaskExecutor* te : tes) {
@@ -740,6 +777,26 @@ TEST(ChaosPropertyTest, ShedsAndCrashesConserveRequests) {
     EXPECT_TRUE(outcome == replay) << "seed " << seed << " diverged";
   }
   EXPECT_TRUE(any_sheds) << "deadlines were a no-op: nothing was shed";
+}
+
+TEST(ChaosPropertyTest, DrainingTesRacingCrashesConserveRequests) {
+  // Graceful drains (and their force-kill timeouts) racing chaos crashes and
+  // replacement scale-ups must preserve exactly-once termination, and the
+  // whole tangle must replay bit-for-bit.
+  bool any_drains = false;
+  for (uint64_t seed : {1ull, 7ull, 13ull, 42ull}) {
+    ChaosOutcome outcome =
+        RunChaos(seed, /*enable_faults=*/true, /*slo_deadlines=*/false, /*autoscale=*/true);
+    EXPECT_EQ(outcome.completed.size() + outcome.errored.size(), 40u)
+        << "seed " << seed << " lost a request";
+    EXPECT_EQ(outcome.double_terminated, 0) << "seed " << seed;
+    any_drains = any_drains || outcome.drains_started > 0;
+
+    ChaosOutcome replay =
+        RunChaos(seed, /*enable_faults=*/true, /*slo_deadlines=*/false, /*autoscale=*/true);
+    EXPECT_TRUE(outcome == replay) << "seed " << seed << " diverged";
+  }
+  EXPECT_TRUE(any_drains) << "the autoscaler never drained: the race was not exercised";
 }
 
 TEST(ChaosPropertyTest, DisabledFaultsMakeSeedIrrelevant) {

@@ -1,0 +1,222 @@
+// RadixTree property tests against a naive reference model.
+//
+// The reference for Match is the *coverage set*: every prefix of every
+// root-to-node string the tree currently stores. Match(q) must return the
+// longest prefix of q in that set — true whether the match ends on a node
+// boundary or partway through a compressed edge, and it stays true across
+// edge splits and leaf evictions. Structural invariants (edge keys, depth
+// bookkeeping, parent pointers, compression) are re-audited after every
+// mutation.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "common/rng.h"
+#include "rtc/radix_tree.h"
+
+namespace deepserve::rtc {
+namespace {
+
+// Minimal payload satisfying the SplitTail contract.
+struct Span {
+  Span SplitTail(size_t) { return Span{}; }
+};
+
+using Tree = RadixTree<Span>;
+using Key = BlockKey;
+using Seq = std::vector<Key>;
+
+// Coverage-set reference: longest prefix of `q` present in `coverage`.
+size_t NaiveMatch(const std::set<Seq>& coverage, const Seq& q) {
+  for (size_t len = q.size(); len > 0; --len) {
+    if (coverage.count(Seq(q.begin(), q.begin() + static_cast<ptrdiff_t>(len))) > 0) {
+      return len;
+    }
+  }
+  return 0;
+}
+
+void AddCoverage(std::set<Seq>* coverage, const Seq& seq) {
+  for (size_t len = 1; len <= seq.size(); ++len) {
+    coverage->insert(Seq(seq.begin(), seq.begin() + static_cast<ptrdiff_t>(len)));
+  }
+}
+
+// The full root-to-end string of `node`.
+Seq FullString(const Tree::Node* node) {
+  std::vector<const Tree::Node*> chain;
+  for (const Tree::Node* n = node; n != nullptr && n->parent != nullptr; n = n->parent) {
+    chain.push_back(n);
+  }
+  Seq out;
+  for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+    out.insert(out.end(), (*it)->edge.begin(), (*it)->edge.end());
+  }
+  return out;
+}
+
+// Random sequence over a tiny alphabet so prefixes collide and force splits.
+Seq RandomSeq(Rng& rng, size_t max_len) {
+  Seq seq(static_cast<size_t>(rng.UniformInt(1, static_cast<int64_t>(max_len))));
+  for (Key& k : seq) {
+    k = static_cast<Key>(rng.UniformInt(1, 5));
+  }
+  return seq;
+}
+
+void AuditStructure(Tree& tree) {
+  tree.Visit([&](Tree::Node* node) {
+    ASSERT_FALSE(node->edge.empty()) << "non-root node with empty edge";
+    ASSERT_NE(node->parent, nullptr);
+    // The child is keyed by its first edge symbol in the parent's map.
+    auto it = node->parent->children.find(node->edge.front());
+    ASSERT_NE(it, node->parent->children.end());
+    EXPECT_EQ(it->second.get(), node) << "child map key does not lead back to the node";
+    // Depth bookkeeping survives splits.
+    EXPECT_EQ(node->depth, node->parent->depth + node->edge.size());
+    for (auto& [key, child] : node->children) {
+      EXPECT_EQ(child->parent, node);
+      EXPECT_EQ(key, child->edge.front());
+    }
+  });
+}
+
+TEST(RadixPropertyTest, MatchAgreesWithNaiveReferenceUnderRandomInserts) {
+  for (uint64_t seed : {3ull, 17ull, 91ull}) {
+    Rng rng(seed);
+    Tree tree;
+    std::set<Seq> coverage;
+    std::vector<Seq> inserted;
+    for (int round = 0; round < 200; ++round) {
+      Seq seq = RandomSeq(rng, 12);
+      tree.Insert(seq, /*now=*/round);
+      AddCoverage(&coverage, seq);
+      inserted.push_back(seq);
+      AuditStructure(tree);
+
+      // An inserted sequence always fully matches.
+      EXPECT_EQ(tree.Match(seq).matched, seq.size()) << "seed " << seed;
+      // Random probes agree with the reference, including partial-edge hits.
+      for (int probe = 0; probe < 10; ++probe) {
+        Seq q = RandomSeq(rng, 14);
+        EXPECT_EQ(tree.Match(q).matched, NaiveMatch(coverage, q))
+            << "seed " << seed << " round " << round;
+      }
+      // A previously inserted sequence stays fully matched (splits must not
+      // lose coverage).
+      const Seq& old = inserted[static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(inserted.size()) - 1))];
+      EXPECT_EQ(tree.Match(old).matched, old.size()) << "seed " << seed;
+    }
+  }
+}
+
+TEST(RadixPropertyTest, MatchResultPathIsConsistent) {
+  Rng rng(7);
+  Tree tree;
+  for (int round = 0; round < 100; ++round) {
+    tree.Insert(RandomSeq(rng, 10), round);
+  }
+  for (int probe = 0; probe < 200; ++probe) {
+    Seq q = RandomSeq(rng, 12);
+    Tree::MatchResult m = tree.Match(q);
+    ASSERT_LE(m.matched, q.size());
+    // Fully-matched path nodes chain root-most first and sum to the match
+    // minus any partial tail.
+    size_t covered = 0;
+    const Tree::Node* prev = nullptr;
+    for (const Tree::Node* node : m.path) {
+      covered += node->edge.size();
+      if (prev != nullptr) {
+        EXPECT_EQ(node->parent, prev);
+      }
+      prev = node;
+    }
+    if (m.partial != nullptr) {
+      EXPECT_GT(m.partial_len, 0u);
+      EXPECT_LT(m.partial_len, m.partial->edge.size());
+      covered += m.partial_len;
+    }
+    EXPECT_EQ(covered, m.matched);
+    // The matched symbols really are a prefix of q spelled by the tree.
+    if (!m.path.empty() || m.partial != nullptr) {
+      const Tree::Node* deepest = m.partial != nullptr ? m.partial : m.path.back();
+      Seq spelled = FullString(deepest);
+      spelled.resize(m.matched);
+      EXPECT_TRUE(std::equal(spelled.begin(), spelled.end(), q.begin()));
+    }
+  }
+}
+
+TEST(RadixPropertyTest, LruEvictionKeepsMatchConsistent) {
+  for (uint64_t seed : {5ull, 23ull}) {
+    Rng rng(seed);
+    Tree tree;
+    std::set<Seq> coverage;
+    TimeNs now = 0;
+    for (int round = 0; round < 150; ++round) {
+      ++now;
+      if (round < 30 || rng.NextDouble() < 0.6) {
+        Seq seq = RandomSeq(rng, 10);
+        tree.Insert(seq, now);
+        AddCoverage(&coverage, seq);
+      } else {
+        // Evict the least-recently-used leaf, mirroring in the reference:
+        // the leaf's exclusive span (strings longer than its parent's depth
+        // along its full string) disappears.
+        Tree::Node* leaf = tree.FindLruLeaf([](const Tree::Node&) { return true; });
+        if (leaf == nullptr) {
+          continue;
+        }
+        // FindLruLeaf returns a minimal-last_access leaf.
+        tree.Visit([&](Tree::Node* node) {
+          if (node->is_leaf()) {
+            EXPECT_LE(leaf->last_access, node->last_access);
+          }
+        });
+        Seq full = FullString(leaf);
+        size_t keep = leaf->parent->depth;
+        for (size_t len = keep + 1; len <= full.size(); ++len) {
+          coverage.erase(Seq(full.begin(), full.begin() + static_cast<ptrdiff_t>(len)));
+        }
+        tree.RemoveLeaf(leaf);
+      }
+      AuditStructure(tree);
+      for (int probe = 0; probe < 8; ++probe) {
+        Seq q = RandomSeq(rng, 12);
+        EXPECT_EQ(tree.Match(q).matched, NaiveMatch(coverage, q))
+            << "seed " << seed << " round " << round;
+      }
+    }
+  }
+}
+
+TEST(RadixPropertyTest, TokensToBlockKeysDropsPartialTailAndChains) {
+  std::vector<TokenId> tokens;
+  for (int i = 0; i < 70; ++i) {
+    tokens.push_back(1000 + i);
+  }
+  auto keys = TokensToBlockKeys(tokens, /*block_size=*/16);
+  ASSERT_EQ(keys.size(), 4u) << "70 tokens / 16 = 4 full blocks";
+  // Chain property: a prefix of tokens yields a prefix of keys.
+  auto prefix_keys =
+      TokensToBlockKeys(std::span<const TokenId>(tokens.data(), 32), /*block_size=*/16);
+  ASSERT_EQ(prefix_keys.size(), 2u);
+  EXPECT_EQ(prefix_keys[0], keys[0]);
+  EXPECT_EQ(prefix_keys[1], keys[1]);
+  // Divergence in the last block of a prefix changes that key only from
+  // there on (chain hashing).
+  std::vector<TokenId> fork = tokens;
+  fork[40] = 9;
+  auto fork_keys = TokensToBlockKeys(fork, /*block_size=*/16);
+  EXPECT_EQ(fork_keys[0], keys[0]);
+  EXPECT_EQ(fork_keys[1], keys[1]);
+  EXPECT_NE(fork_keys[2], keys[2]);
+  EXPECT_NE(fork_keys[3], keys[3]);
+}
+
+}  // namespace
+}  // namespace deepserve::rtc

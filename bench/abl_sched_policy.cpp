@@ -160,6 +160,8 @@ RunResult RunPolicy(const Options& options, const std::string& policy,
         }
         mix(id * 2 + 1);
       };
+      // Intentional discard: a synchronous rejection also fires on_error, so
+      // the conservation counters already account for it.
       (void)frontend.ChatCompletion(std::move(request), std::move(handler));
     });
   }

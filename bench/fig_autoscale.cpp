@@ -27,6 +27,7 @@
 //   --max-tes=N       autoscaler ceiling (default 4)
 //   --seed=N          trace seed (default 42)
 //   --policy=P        run only one policy (default: all three)
+//   --dump-timeline   per-sample held-TE timeline on stderr
 //   --smoke           small fixed run; exits non-zero unless conservation
 //                     holds (drains lose nothing), the predictive run replays
 //                     bit-identically, and predictive beats reactive on p99
@@ -60,6 +61,7 @@ struct Options {
   uint64_t seed = 42;
   std::string policy;  // empty = all
   bool smoke = false;
+  bool dump_timeline = false;  // per-sample held-TE trace on stderr
 };
 
 bool TakeFlag(const std::string& arg, const char* prefix, std::string* out) {
@@ -173,7 +175,7 @@ RunResult RunPolicy(const Options& options, const std::string& policy,
   // trace window (a draining TE still holds its NPUs).
   const DurationNs sample = MillisecondsToNs(500);
   for (TimeNs t = t0; t < horizon; t += sample) {
-    bed.sim().ScheduleAt(t, [&bed, &result, sample] {
+    bed.sim().ScheduleAt(t, [&bed, &result, &options, sample] {
       int held = 0;
       for (const auto& te : bed.manager().tes()) {
         if (te->ready() || te->draining()) {
@@ -181,7 +183,7 @@ RunResult RunPolicy(const Options& options, const std::string& policy,
         }
       }
       result.te_seconds += static_cast<double>(held) * NsToSeconds(sample);
-      if (std::getenv("FIG_AUTOSCALE_DUMP") != nullptr) {
+      if (options.dump_timeline) {
         std::fprintf(stderr, "t=%.1f held=%d\n", NsToSeconds(bed.sim().Now()), held);
       }
     });
@@ -233,6 +235,8 @@ int main(int argc, char** argv) {
       options.seed = std::strtoull(value.c_str(), nullptr, 10);
     } else if (TakeFlag(arg, "--policy=", &value)) {
       options.policy = value;
+    } else if (arg == "--dump-timeline") {
+      options.dump_timeline = true;
     } else if (arg == "--smoke") {
       // Sharp-spike geometry: crests saturate max_tes, so reactive's
       // serialized late scale-ups land post-crest and clear backlog into the

@@ -164,6 +164,8 @@ int main(int argc, char** argv) {
           ++double_terminated;
         }
       };
+      // Intentional discard: a synchronous rejection also fires on_error, so
+      // the conservation counters already account for it.
       (void)frontend.ChatCompletion(std::move(request), std::move(handler));
     });
   }

@@ -1,15 +1,22 @@
 #!/usr/bin/env bash
-# Tier-1 verification plus a sanitizer pass over the test suite.
+# Static analysis, tier-1 verification, and a sanitizer pass over the suite.
 #
-#   ./ci.sh          # release-ish build + ctest, then ASan/UBSan build + ctest
-#   ./ci.sh --fast   # tier-1 only (skip the sanitizer build)
+#   ./ci.sh          # lint, release-ish build + ctest, then ASan/UBSan pass
+#   ./ci.sh --fast   # lint + tier-1 only (skip the sanitizer build)
 set -euo pipefail
 cd "$(dirname "$0")"
 
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
-echo "==> tier-1: configure + build + ctest (build/)"
+echo "==> ds_lint: determinism / Status / obs / hygiene rules over the tree"
+# Fast-fail gate: builds only the lint tool, then walks src/ bench/ examples/
+# tests/. Non-zero exit on any finding, including stale suppressions; output
+# is stable-sorted file:line so failures diff cleanly. See DESIGN.md.
 cmake -B build -S . >/dev/null
+cmake --build build -j "${JOBS}" --target ds_lint >/dev/null
+./build/tools/ds_lint/ds_lint --root .
+
+echo "==> tier-1: configure + build + ctest (build/)"
 cmake --build build -j "${JOBS}"
 (cd build && ctest --output-on-failure -j "${JOBS}")
 

@@ -4,8 +4,8 @@
 // the Job Executor, and prints (or exports) the serving metrics. Everything
 // is a flag, so new experiments need no recompilation:
 //
-//   deepserve_sim --model=yi-34b --tp=4 --colocated=2 --prefill-tes=1 \
-//                 --decode-tes=1 --policy=combined --trace=internal \
+//   deepserve_sim --model=yi-34b --tp=4 --colocated=2 --prefill-tes=1
+//                 --decode-tes=1 --policy=combined --trace=internal
 //                 --rps=1.0 --duration=60 --seed=42 --csv=/tmp/run.csv
 //
 // Engine scheduling policy (src/flowserve/sched/): --sched-policy=fcfs|slo|

@@ -1,0 +1,78 @@
+// Deterministic drain helpers for unordered containers.
+//
+// The DES substrate must replay bit-identically per seed, so iterating a
+// std::unordered_map / std::unordered_set in hash order is banned by ds_lint
+// (rule `unordered-iter`): hash order varies with libstdc++ version, rehash
+// history, and pointer values, and any decision made inside such a loop
+// silently de-syncs two otherwise identical runs. Code that genuinely needs
+// to walk an unordered member drains a *sorted snapshot* instead:
+//
+//   for (const auto& [id, tokens] : SortedItems(id_tokens_)) { ... }
+//
+// The snapshot copies keys (and, for SortedItems, values), which is fine for
+// the drain/dump/audit call sites these are meant for; hot paths should not
+// be iterating hash maps in the first place. Keys must be `<`-comparable, or
+// pass an explicit comparator.
+#ifndef DEEPSERVE_COMMON_SORTED_VIEW_H_
+#define DEEPSERVE_COMMON_SORTED_VIEW_H_
+
+#include <algorithm>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace deepserve {
+
+// Sorted copy of the keys of a map-like container, or of the elements of a
+// set-like container (where value_type == key_type).
+template <typename Container, typename Compare>
+std::vector<typename Container::key_type> SortedKeys(const Container& c, Compare cmp) {
+  std::vector<typename Container::key_type> keys;
+  keys.reserve(c.size());
+  for (const auto& entry : c) {
+    if constexpr (std::is_same_v<typename Container::value_type,
+                                 typename Container::key_type>) {
+      keys.push_back(entry);
+    } else {
+      keys.push_back(entry.first);
+    }
+  }
+  std::sort(keys.begin(), keys.end(), cmp);
+  return keys;
+}
+
+template <typename Container>
+std::vector<typename Container::key_type> SortedKeys(const Container& c) {
+  using Key = typename Container::key_type;
+  return SortedKeys(c, [](const Key& a, const Key& b) { return a < b; });
+}
+
+// Set-flavored alias: reads better at call sites draining an unordered_set.
+template <typename Container>
+std::vector<typename Container::key_type> SortedValues(const Container& c) {
+  return SortedKeys(c);
+}
+
+// Sorted-by-key copy of a map's (key, value) pairs.
+template <typename Container, typename Compare>
+std::vector<std::pair<typename Container::key_type, typename Container::mapped_type>>
+SortedItems(const Container& c, Compare key_cmp) {
+  std::vector<std::pair<typename Container::key_type, typename Container::mapped_type>>
+      items;
+  items.reserve(c.size());
+  for (const auto& [key, value] : c) items.emplace_back(key, value);
+  std::sort(items.begin(), items.end(),
+            [&key_cmp](const auto& a, const auto& b) { return key_cmp(a.first, b.first); });
+  return items;
+}
+
+template <typename Container>
+std::vector<std::pair<typename Container::key_type, typename Container::mapped_type>>
+SortedItems(const Container& c) {
+  using Key = typename Container::key_type;
+  return SortedItems(c, [](const Key& a, const Key& b) { return a < b; });
+}
+
+}  // namespace deepserve
+
+#endif  // DEEPSERVE_COMMON_SORTED_VIEW_H_

@@ -36,7 +36,7 @@ class [[nodiscard]] Status {
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string message) : code_(code), message_(std::move(message)) {}
 
-  static Status Ok() { return Status(); }
+  [[nodiscard]] static Status Ok() { return Status(); }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -54,16 +54,16 @@ class [[nodiscard]] Status {
   std::string message_;
 };
 
-Status InvalidArgumentError(std::string message);
-Status NotFoundError(std::string message);
-Status AlreadyExistsError(std::string message);
-Status ResourceExhaustedError(std::string message);
-Status FailedPreconditionError(std::string message);
-Status UnavailableError(std::string message);
-Status InternalError(std::string message);
-Status UnimplementedError(std::string message);
-Status DeadlineExceededError(std::string message);
-Status AbortedError(std::string message);
+[[nodiscard]] Status InvalidArgumentError(std::string message);
+[[nodiscard]] Status NotFoundError(std::string message);
+[[nodiscard]] Status AlreadyExistsError(std::string message);
+[[nodiscard]] Status ResourceExhaustedError(std::string message);
+[[nodiscard]] Status FailedPreconditionError(std::string message);
+[[nodiscard]] Status UnavailableError(std::string message);
+[[nodiscard]] Status InternalError(std::string message);
+[[nodiscard]] Status UnimplementedError(std::string message);
+[[nodiscard]] Status DeadlineExceededError(std::string message);
+[[nodiscard]] Status AbortedError(std::string message);
 
 // Result<T>: either a value or a non-OK Status.
 template <typename T>

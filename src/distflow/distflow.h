@@ -79,21 +79,21 @@ class TransferEngine {
   // ---- control plane --------------------------------------------------------
   // Registers an endpoint backed by the given NPU (its machine provides the
   // DRAM/SSD tiers for that endpoint).
-  Status RegisterEndpoint(EndpointId id, hw::NpuId npu);
+  [[nodiscard]] Status RegisterEndpoint(EndpointId id, hw::NpuId npu);
   bool HasEndpoint(EndpointId id) const { return endpoints_.count(id) > 0; }
 
   // Establishes connections among all pairs in `group` (async; completion
   // fires after the setup latency). Transfers between unlinked distinct
   // endpoints are rejected.
-  Status LinkCluster(const std::vector<EndpointId>& group, std::function<void()> on_ready);
+  [[nodiscard]] Status LinkCluster(const std::vector<EndpointId>& group, std::function<void()> on_ready);
   bool Linked(EndpointId a, EndpointId b) const;
 
   // ---- data plane -----------------------------------------------------------
   // Moves min(src.length, dst.length) bytes; `on_complete` fires at landing.
-  Status Transfer(const MemRegion& src, const MemRegion& dst, std::function<void()> on_complete);
+  [[nodiscard]] Status Transfer(const MemRegion& src, const MemRegion& dst, std::function<void()> on_complete);
 
   // Estimated isolated duration of such a transfer (scheduler cost model).
-  Result<DurationNs> EstimateTransfer(const MemRegion& src, const MemRegion& dst) const;
+  [[nodiscard]] Result<DurationNs> EstimateTransfer(const MemRegion& src, const MemRegion& dst) const;
 
   const DistFlowStats& stats() const { return stats_; }
   const DistFlowConfig& config() const { return config_; }
@@ -103,7 +103,7 @@ class TransferEngine {
     std::vector<hw::SharedLink*> hops;  // traversed in order
   };
 
-  Result<Route> Resolve(const MemRegion& src, const MemRegion& dst) const;
+  [[nodiscard]] Result<Route> Resolve(const MemRegion& src, const MemRegion& dst) const;
   void SubmitViaWorker(EndpointId src, EndpointId dst, std::function<void()> start);
   void RunHops(std::vector<hw::SharedLink*> hops, size_t index, Bytes bytes,
                std::function<void()> on_complete);

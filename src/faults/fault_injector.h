@@ -98,7 +98,7 @@ class FaultInjector {
   //   "npu@5"                 NPU crash at t=5s, seeded target
   //   "link@10:0.25x20"       links at 25% bandwidth for 20s at t=10s
   //   "slow@30:3x10#2"        TE ordinal 2 runs 3x slower for 10s at t=30s
-  static Result<std::vector<FaultEvent>> ParseSchedule(const std::string& spec);
+  [[nodiscard]] static Result<std::vector<FaultEvent>> ParseSchedule(const std::string& spec);
 
   const FaultInjectorStats& stats() const { return stats_; }
 

@@ -127,14 +127,14 @@ class Engine {
   // Decode-only TEs: admit a request whose prefill (and first token) happened
   // on a prefill TE; KV for the whole prompt is allocated here as arrived.
   // Fails when this engine cannot hold the context.
-  Status SubmitPrefilled(const workload::RequestSpec& spec, SeqCallback on_complete,
+  [[nodiscard]] Status SubmitPrefilled(const workload::RequestSpec& spec, SeqCallback on_complete,
                          SeqErrorCallback on_error = nullptr);
 
   // Lifecycle -------------------------------------------------------------------
   // Cancels one in-flight request: its KV pins are released (nothing is
   // preserved) and no further callbacks fire for it. NOT_FOUND if the request
   // is unknown or already finished.
-  Status Cancel(workload::RequestId request_id);
+  [[nodiscard]] Status Cancel(workload::RequestId request_id);
   // Drops every in-flight request without callbacks (TE failure path).
   // Returns how many sequences were aborted.
   size_t Abort();

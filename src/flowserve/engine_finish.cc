@@ -175,6 +175,8 @@ void Engine::ReleaseSequence(DpGroup& group, Sequence* seq, bool preserve) {
   if (preserve && config_.enable_prefix_caching && !seq->blocks.empty()) {
     group.rtc->Preserve(seq->prompt, seq->blocks);
     if (!seq->context_id.empty()) {
+      // Intentional discard: a duplicate context id means another sequence
+      // already committed this prefix; the private copy simply dies on Free.
       (void)group.rtc->PreserveById(seq->context_id, seq->prompt, seq->blocks);
     }
   }

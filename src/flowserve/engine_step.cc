@@ -363,6 +363,7 @@ bool Engine::BuildStep(DpGroup& group, StepPlan* plan) {
   return true;
 }
 
+// ds-lint: allow(span-pairing, the "step" slice spans the step's sim-time duration and closes in CompleteStep)
 void Engine::RunStep(DpGroup& group) {
   // Under PP, an empty micro-batch slot is a pipeline bubble: skip forward to
   // the next micro-batch with work rather than stalling the whole engine.
@@ -439,6 +440,7 @@ void Engine::RunStep(DpGroup& group) {
   });
 }
 
+// ds-lint: allow(span-pairing, closes the "step" slice opened in RunStep at the step's sim-time start)
 void Engine::CompleteStep(DpGroup& group, StepPlan plan) {
   if (obs::Tracer* t = sim_->tracer()) {
     t->End(sim_->Now(), TracePid(), group.index, "step");

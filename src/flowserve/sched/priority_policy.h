@@ -23,7 +23,7 @@ class PriorityPreemptPolicy : public SchedPolicy {
   Sequence* PickVictim(const std::vector<Sequence*>& candidates, const Sequence& keep,
                        PreemptReason reason) const override;
 
-  bool AdmissionMayPreempt(const Sequence& seq) const override { return true; }
+  bool AdmissionMayPreempt(const Sequence& /*seq*/) const override { return true; }
 };
 
 }  // namespace deepserve::flowserve::sched

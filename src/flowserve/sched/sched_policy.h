@@ -84,7 +84,7 @@ class SchedPolicy {
   // lower bound on the sequence's remaining service time (best-case prefill
   // + per-token decode floor). Return a non-OK status (typically
   // DEADLINE_EXCEEDED) to shed; the engine then fires on_error exactly once.
-  virtual Status ShedVerdict(const Sequence& /*seq*/, TimeNs /*now*/,
+  [[nodiscard]] virtual Status ShedVerdict(const Sequence& /*seq*/, TimeNs /*now*/,
                              DurationNs /*min_remaining*/) const {
     return Status::Ok();
   }
@@ -92,7 +92,7 @@ class SchedPolicy {
 
 // Builds the policy named by `config.policy` ("fcfs", "slo",
 // "priority-preempt"). INVALID_ARGUMENT for unknown names.
-Result<std::unique_ptr<SchedPolicy>> MakeSchedPolicy(const SchedConfig& config);
+[[nodiscard]] Result<std::unique_ptr<SchedPolicy>> MakeSchedPolicy(const SchedConfig& config);
 
 }  // namespace deepserve::flowserve::sched
 

@@ -29,7 +29,7 @@ class SloPolicy : public SchedPolicy {
                        PreemptReason reason) const override;
 
   bool WantsShedChecks() const override { return true; }
-  Status ShedVerdict(const Sequence& seq, TimeNs now, DurationNs min_remaining) const override;
+  [[nodiscard]] Status ShedVerdict(const Sequence& seq, TimeNs now, DurationNs min_remaining) const override;
 
  private:
   DurationNs tbt_budget_ns_ = 0;  // 0 = no chunk bounding

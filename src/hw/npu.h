@@ -53,7 +53,7 @@ class Npu {
 
   // Reserves HBM; fails with RESOURCE_EXHAUSTED when capacity would be
   // exceeded (the caller decides whether to evict or reject).
-  Status AllocateHbm(Bytes bytes);
+  [[nodiscard]] Status AllocateHbm(Bytes bytes);
   void FreeHbm(Bytes bytes);
 
  private:

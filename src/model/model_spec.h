@@ -52,7 +52,7 @@ struct ModelSpec {
   }
 
   // Named presets. Fails with NOT_FOUND for unknown names.
-  static Result<ModelSpec> Preset(const std::string& name);
+  [[nodiscard]] static Result<ModelSpec> Preset(const std::string& name);
 
   static ModelSpec Llama3_8B();
   static ModelSpec Mixtral8x7B();      // 8 experts, top-2

@@ -134,8 +134,8 @@ class Tracer {
   // One JSON object per line: {"ts":..,"ph":..,"pid":..,"name":..,args...}.
   std::string ToJsonl() const;
 
-  Status WriteChromeJson(const std::string& path) const;
-  Status WriteJsonl(const std::string& path) const;
+  [[nodiscard]] Status WriteChromeJson(const std::string& path) const;
+  [[nodiscard]] Status WriteJsonl(const std::string& path) const;
 
  private:
   std::vector<TraceEvent> events_;

@@ -52,7 +52,7 @@ class BlockPool {
   // Creates `n` fresh private blocks resident on `tier`, each with ref 1.
   // Fails with RESOURCE_EXHAUSTED without allocating anything if the tier
   // lacks capacity (caller evicts and retries).
-  Result<std::vector<BlockId>> Allocate(int64_t n, Tier tier, TimeNs now);
+  [[nodiscard]] Result<std::vector<BlockId>> Allocate(int64_t n, Tier tier, TimeNs now);
 
   void Ref(BlockId id);
   // Drops one reference. Blocks are never destroyed here — an unreferenced
@@ -61,7 +61,7 @@ class BlockPool {
   void Unref(BlockId id);
 
   // Adds/removes a tier copy. AddResidency fails when the tier is full.
-  Status AddResidency(BlockId id, Tier tier);
+  [[nodiscard]] Status AddResidency(BlockId id, Tier tier);
   void DropResidency(BlockId id, Tier tier);
 
   // Destroys an unreferenced block outright (eviction path).

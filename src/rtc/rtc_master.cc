@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "common/sorted_view.h"
 
 namespace deepserve::rtc {
 
@@ -465,6 +466,10 @@ Status RtcMaster::PreserveById(const std::string& id, std::span<const TokenId> t
 bool RtcMaster::DropById(const std::string& id) {
   id_tokens_.erase(id);
   return id_index_.erase(id) > 0;
+}
+
+std::vector<std::pair<std::string, int64_t>> RtcMaster::CacheEntries() const {
+  return SortedItems(id_tokens_);
 }
 
 void RtcMaster::MaybeArmSwap() {

@@ -135,7 +135,7 @@ class RtcMaster {
   // ---- Table 1: populate ---------------------------------------------------
   // Starts fetching `info`'s off-NPU blocks into the NPU (async). The blocks
   // must be pinned (Acquire) first so eviction cannot race the fetch.
-  Result<PopulateTicket> Populate(const MatchInfo& info);
+  [[nodiscard]] Result<PopulateTicket> Populate(const MatchInfo& info);
   PopulateState QueryPopulate(PopulateTicket ticket) const;
   // Registers a one-shot callback fired when the ticket becomes ready (fires
   // immediately if it already is). This is how the sched-enqueue thread
@@ -151,9 +151,9 @@ class RtcMaster {
   // Pins matched blocks for a sequence (one ref each) and refreshes LRU.
   void Acquire(std::span<const BlockId> blocks);
   // Allocates n fresh NPU blocks for prefill, evicting cold cache as needed.
-  Result<std::vector<BlockId>> AllocBlocks(int64_t n);
+  [[nodiscard]] Result<std::vector<BlockId>> AllocBlocks(int64_t n);
   // Allocates one more NPU block for a decoding sequence.
-  Result<BlockId> AppendBlock();
+  [[nodiscard]] Result<BlockId> AppendBlock();
   // Copies blocks to `dst` (timed through the TransferFn); used by explicit
   // checkpointing and by the background swapper.
   void Copy(std::span<const BlockId> blocks, Tier dst, std::function<void()> on_complete);
@@ -168,7 +168,7 @@ class RtcMaster {
   // duplicates simply die on Free.
   void Preserve(std::span<const TokenId> tokens, std::span<const BlockId> blocks);
   // Explicit context caching: additionally registers the prefix under `id`.
-  Status PreserveById(const std::string& id, std::span<const TokenId> tokens,
+  [[nodiscard]] Status PreserveById(const std::string& id, std::span<const TokenId> tokens,
                       std::span<const BlockId> blocks);
   bool DropById(const std::string& id);
 
@@ -179,9 +179,15 @@ class RtcMaster {
   int64_t npu_blocks_used() const { return pool_.used(Tier::kNpu); }
   int64_t npu_blocks_free() const { return pool_.free_blocks(Tier::kNpu); }
   size_t index_nodes() const { return tree_.NodeCount(); }
+  // Deterministic snapshot of the explicit context cache: (id, cached token
+  // count) sorted by id. The backing index is an unordered_map, so callers
+  // (dumps, audits, tests) must come through this sorted view rather than
+  // iterate it directly — see common/sorted_view.h and ds_lint rule
+  // `unordered-iter`.
+  std::vector<std::pair<std::string, int64_t>> CacheEntries() const;
 
   // Frees at least `n` NPU block slots by demoting/discarding cold cache.
-  Status EnsureNpuFree(int64_t n);
+  [[nodiscard]] Status EnsureNpuFree(int64_t n);
 
  private:
   using Tree = RadixTree<BlockRun>;

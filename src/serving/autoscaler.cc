@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <utility>
 #include <vector>
 
@@ -220,13 +221,13 @@ class SloScalePolicy final : public ScalePolicy {
 
 Result<std::unique_ptr<ScalePolicy>> MakeScalePolicy(const AutoscalerConfig& config) {
   if (config.policy == "reactive") {
-    return std::unique_ptr<ScalePolicy>(new ReactivePolicy(config));
+    return std::unique_ptr<ScalePolicy>(std::make_unique<ReactivePolicy>(config));
   }
   if (config.policy == "predictive") {
-    return std::unique_ptr<ScalePolicy>(new PredictivePolicy(config));
+    return std::unique_ptr<ScalePolicy>(std::make_unique<PredictivePolicy>(config));
   }
   if (config.policy == "slo") {
-    return std::unique_ptr<ScalePolicy>(new SloScalePolicy(config));
+    return std::unique_ptr<ScalePolicy>(std::make_unique<SloScalePolicy>(config));
   }
   return InvalidArgumentError("unknown scale policy \"" + config.policy +
                               "\" (reactive|predictive|slo)");

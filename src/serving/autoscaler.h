@@ -131,7 +131,7 @@ class ScalePolicy {
 };
 
 // Factory keyed on AutoscalerConfig::policy (reactive|predictive|slo).
-Result<std::unique_ptr<ScalePolicy>> MakeScalePolicy(const AutoscalerConfig& config);
+[[nodiscard]] Result<std::unique_ptr<ScalePolicy>> MakeScalePolicy(const AutoscalerConfig& config);
 
 struct AutoscalerStats {
   int64_t ticks = 0;

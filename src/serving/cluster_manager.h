@@ -151,18 +151,18 @@ class ClusterManager {
   TaskExecutor* te(TeId id);
   const std::vector<std::unique_ptr<TaskExecutor>>& tes() const { return tes_; }
   // Stops a TE and returns its NPUs to the free pool.
-  Status StopTe(TeId id);
+  [[nodiscard]] Status StopTe(TeId id);
   // Failure injection with *immediate* detection: crash a TE (in-flight work
   // lost), release its NPUs, and synchronously notify every registered
   // failure handler (typically JEs, which retry the lost jobs elsewhere).
   // Returns how many requests the TE dropped.
-  Result<size_t> KillTe(TeId id);
+  [[nodiscard]] Result<size_t> KillTe(TeId id);
   // Failure injection with *realistic* detection: the TE dies silently now
   // (work lost, state -> kFailed), but NPU release, handler notification, and
   // the replacement scale-up only happen once the detector notices —
   // according to the FaultDetectionConfig and the crash kind. NPU-crash
   // detection lands on the heartbeat grid.
-  Result<size_t> CrashTe(TeId id, CrashKind kind = CrashKind::kNpu);
+  [[nodiscard]] Result<size_t> CrashTe(TeId id, CrashKind kind = CrashKind::kNpu);
   // Registers a callback invoked with the TeId of every killed TE.
   void AddFailureHandler(std::function<void(TeId)> handler) {
     failure_handlers_.push_back(std::move(handler));
@@ -197,9 +197,9 @@ class ClusterManager {
   // ---- fast scaling -----------------------------------------------------------
   using ScaleCallback = std::function<void(TaskExecutor*, const ScalingBreakdown&)>;
   // Runs the five-step pipeline; the TE is usable when the callback fires.
-  Status ScaleUp(const ScaleRequest& request, ScaleCallback on_ready);
+  [[nodiscard]] Status ScaleUp(const ScaleRequest& request, ScaleCallback on_ready);
   // NPU-fork to `count` new TEs in parallel via HCCL broadcast (Fig. 10a).
-  Status ScaleUpMany(const ScaleRequest& request, int count,
+  [[nodiscard]] Status ScaleUpMany(const ScaleRequest& request, int count,
                      std::function<void(std::vector<TaskExecutor*>, DurationNs)> on_ready);
 
   // ---- autoscaler --------------------------------------------------------------
@@ -227,7 +227,7 @@ class ClusterManager {
   hw::Cluster* cluster() { return cluster_; }
 
   // Places tp*pp*dp NPUs (packed onto as few machines as possible).
-  Result<std::vector<hw::NpuId>> AllocateNpus(int count);
+  [[nodiscard]] Result<std::vector<hw::NpuId>> AllocateNpus(int count);
   void ReleaseNpus(const std::vector<hw::NpuId>& npus);
 
  private:
@@ -245,7 +245,7 @@ class ClusterManager {
   friend class Autoscaler;
   // The crash core shared by KillTe (synchronous detection) and CrashTe
   // (detection deferred per the crash kind).
-  Result<size_t> Crash(TeId id, CrashKind kind, bool defer_detection);
+  [[nodiscard]] Result<size_t> Crash(TeId id, CrashKind kind, bool defer_detection);
   // The detector noticed `id` is dead: release NPUs, notify handlers, start
   // the replacement scale-up.
   void DetectTeFailure(TeId id);

@@ -71,7 +71,7 @@ class FineTuneJobExecutor {
 
   using Callback = std::function<void(const FineTuneResult&)>;
   // Queues the request; tasks run as soon as NPUs can be placed.
-  Status Submit(const FineTuneRequest& request, Callback on_complete);
+  [[nodiscard]] Status Submit(const FineTuneRequest& request, Callback on_complete);
 
   // Estimated wall time of the train task alone (for capacity planning).
   DurationNs EstimateTrainDuration(const FineTuneRequest& request) const;

@@ -63,10 +63,10 @@ class Frontend {
   // crash with the retry budget exhausted, no ready TEs at re-dispatch time)
   // arrive through handler.on_error. Every accepted request terminates in
   // exactly one of on_complete / on_error.
-  Status ChatCompletion(const ChatRequest& request, ResponseHandler handler);
+  [[nodiscard]] Status ChatCompletion(const ChatRequest& request, ResponseHandler handler);
 
   // Fine-tuning entry point.
-  Status FineTune(const FineTuneRequest& request, FineTuneJobExecutor::Callback on_complete);
+  [[nodiscard]] Status FineTune(const FineTuneRequest& request, FineTuneJobExecutor::Callback on_complete);
 
   const FrontendStats& stats() const { return stats_; }
   size_t je_count(const std::string& model_name) const;

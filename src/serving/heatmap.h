@@ -46,7 +46,7 @@ class PdHeatmap {
 
   // Text round-trip so a bench-generated heatmap can feed the scheduler.
   std::string Serialize() const;
-  static Result<PdHeatmap> Parse(const std::string& text);
+  [[nodiscard]] static Result<PdHeatmap> Parse(const std::string& text);
 
   // The bundled default grid, shaped after the §5.3.1 study: PD-disaggregated
   // wins for long prefills with short relative decodes, with the advantage

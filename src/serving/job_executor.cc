@@ -344,7 +344,7 @@ void JobExecutor::Dispatch(const workload::RequestSpec& spec, ResponseHandler ha
   }
 
   // ---- PD_aware: choose the TE sub-group -----------------------------------
-  bool use_disagg;
+  bool use_disagg = false;
   switch (config_.policy) {
     case SchedulingPolicy::kRoundRobin: {
       // Baseline: alternate over routing slots (each colocated TE and the
@@ -526,7 +526,9 @@ void JobExecutor::OnTeFailure(TeId id) {
   for (auto& retry : to_retry) {
     // A surviving TE of a disaggregated pair may still hold half the job
     // (e.g. the prefill finished but the decode TE died, or vice versa);
-    // cancel the leftover so its KV pins are released before the retry.
+    // cancel the leftover so its KV pins are released before the retry. The
+    // Cancel Status is intentionally discarded: kNotFound just means that
+    // side of the pair never admitted (or already finished) the sequence.
     for (TeId te_id : retry.tes) {
       if (te_id == id) {
         continue;

@@ -69,7 +69,7 @@ class TaskExecutor {
 
   // Registers this TE's DistFlow endpoint, mirrors KV traffic onto its NPUs,
   // and routes RTC populate/swap plus PD KV hand-offs through DistFlow.
-  Status AttachFabric(hw::Cluster* cluster, distflow::TransferEngine* transfer);
+  [[nodiscard]] Status AttachFabric(hw::Cluster* cluster, distflow::TransferEngine* transfer);
 
   TeId id() const { return config_.id; }
   flowserve::EngineRole role() const { return config_.engine.role; }

@@ -65,7 +65,7 @@ class MetricsCollector {
 
   // Per-request CSV (header + one row per record) for offline analysis.
   void WriteCsv(std::ostream& out) const;
-  Status WriteCsvFile(const std::string& path) const;
+  [[nodiscard]] Status WriteCsvFile(const std::string& path) const;
 
  private:
   SampleStats ttft_ms_;

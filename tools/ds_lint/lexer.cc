@@ -1,0 +1,185 @@
+#include "token.h"
+
+#include <cctype>
+
+namespace ds_lint {
+namespace {
+
+bool IsIdentStart(char c) { return std::isalpha(static_cast<unsigned char>(c)) || c == '_'; }
+bool IsIdentChar(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_'; }
+
+// Multi-character punctuators the rules care about. Longest match first.
+const char* kPuncts3[] = {"...", "<<=", ">>=", "->*", nullptr};
+const char* kPuncts2[] = {"::", "->", "[[", "]]", "<<", ">>", "<=", ">=", "==", "!=",
+                          "&&", "||", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+                          "++", "--", nullptr};
+
+}  // namespace
+
+LexedFile Lex(const std::string& src) {
+  LexedFile out;
+  size_t i = 0;
+  const size_t n = src.size();
+  int line = 1;
+  bool line_has_token = false;  // any non-ws content seen on the current line
+
+  auto advance = [&](size_t count) {
+    for (size_t k = 0; k < count && i < n; ++k, ++i) {
+      if (src[i] == '\n') {
+        ++line;
+        line_has_token = false;
+      }
+    }
+  };
+
+  while (i < n) {
+    char c = src[i];
+    if (c == '\n' || std::isspace(static_cast<unsigned char>(c))) {
+      advance(1);
+      continue;
+    }
+
+    // Line comment (handles backslash-continuation, which extends it).
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      int start_line = line;
+      bool standalone = !line_has_token;
+      size_t j = i + 2;
+      std::string body;
+      while (j < n) {
+        if (src[j] == '\\' && j + 1 < n && src[j + 1] == '\n') {
+          body += ' ';
+          j += 2;
+          continue;
+        }
+        if (src[j] == '\n') break;
+        body += src[j++];
+      }
+      out.comments.push_back({body, start_line, standalone});
+      advance(j - i);
+      continue;
+    }
+
+    // Block comment.
+    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      int start_line = line;
+      bool standalone = !line_has_token;
+      size_t j = i + 2;
+      while (j + 1 < n && !(src[j] == '*' && src[j + 1] == '/')) ++j;
+      std::string body = src.substr(i + 2, j - (i + 2));
+      out.comments.push_back({body, start_line, standalone});
+      advance((j + 1 < n ? j + 2 : n) - i);
+      // A block comment followed by code on the same line still counts as
+      // leading content for "standalone" purposes.
+      line_has_token = true;
+      continue;
+    }
+
+    line_has_token = true;
+
+    // Preprocessor directive: swallow the whole logical line (with
+    // continuations) as one token so includes like <string> never leak angle
+    // brackets into the stream.
+    if (c == '#' && [&] {
+          // Only when '#' is the first non-ws char of the line.
+          size_t k = i;
+          while (k > 0 && src[k - 1] != '\n') {
+            if (!std::isspace(static_cast<unsigned char>(src[k - 1]))) return false;
+            --k;
+          }
+          return true;
+        }()) {
+      int start_line = line;
+      std::string text;
+      size_t j = i;
+      while (j < n) {
+        if (src[j] == '\\' && j + 1 < n && src[j + 1] == '\n') {
+          text += ' ';
+          j += 2;
+          continue;
+        }
+        if (src[j] == '\n') break;
+        // Strip trailing // comments from the directive.
+        if (src[j] == '/' && j + 1 < n && (src[j + 1] == '/' || src[j + 1] == '*')) break;
+        text += src[j++];
+      }
+      out.tokens.push_back({Tok::kPreproc, text, start_line});
+      advance(j - i);
+      continue;
+    }
+
+    // Raw string literal: R"delim( ... )delim"
+    if (c == 'R' && i + 1 < n && src[i + 1] == '"') {
+      size_t j = i + 2;
+      std::string delim;
+      while (j < n && src[j] != '(') delim += src[j++];
+      std::string close = ")" + delim + "\"";
+      size_t end = src.find(close, j);
+      size_t stop = (end == std::string::npos) ? n : end + close.size();
+      out.tokens.push_back({Tok::kString, src.substr(i, stop - i), line});
+      advance(stop - i);
+      continue;
+    }
+
+    // String / char literal (optionally prefixed u8, u, U, L).
+    if (c == '"' || c == '\'' ||
+        (IsIdentStart(c) && i + 1 < n &&
+         (src[i + 1] == '"' || src[i + 1] == '\'') && (c == 'u' || c == 'U' || c == 'L'))) {
+      size_t j = i;
+      while (j < n && src[j] != '"' && src[j] != '\'') ++j;  // skip prefix
+      char quote = src[j];
+      size_t k = j + 1;
+      while (k < n && src[k] != quote) {
+        if (src[k] == '\\' && k + 1 < n) ++k;
+        ++k;
+      }
+      size_t stop = (k < n) ? k + 1 : n;
+      out.tokens.push_back(
+          {quote == '"' ? Tok::kString : Tok::kChar, src.substr(i, stop - i), line});
+      advance(stop - i);
+      continue;
+    }
+
+    if (IsIdentStart(c)) {
+      size_t j = i;
+      while (j < n && IsIdentChar(src[j])) ++j;
+      out.tokens.push_back({Tok::kIdent, src.substr(i, j - i), line});
+      advance(j - i);
+      continue;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n && std::isdigit(static_cast<unsigned char>(src[i + 1])))) {
+      // pp-number: digits, idents, dots, and exponent signs.
+      size_t j = i;
+      while (j < n && (IsIdentChar(src[j]) || src[j] == '.' ||
+                       ((src[j] == '+' || src[j] == '-') && j > i &&
+                        (src[j - 1] == 'e' || src[j - 1] == 'E' || src[j - 1] == 'p' ||
+                         src[j - 1] == 'P')))) {
+        ++j;
+      }
+      out.tokens.push_back({Tok::kNumber, src.substr(i, j - i), line});
+      advance(j - i);
+      continue;
+    }
+
+    // Punctuation, longest match first.
+    auto try_match = [&](const char* const* table, size_t len) -> bool {
+      for (size_t t = 0; table[t] != nullptr; ++t) {
+        if (src.compare(i, len, table[t]) == 0) {
+          out.tokens.push_back({Tok::kPunct, table[t], line});
+          advance(len);
+          return true;
+        }
+      }
+      return false;
+    };
+    if (i + 2 < n && try_match(kPuncts3, 3)) continue;
+    if (i + 1 < n && try_match(kPuncts2, 2)) continue;
+    out.tokens.push_back({Tok::kPunct, std::string(1, c), line});
+    advance(1);
+  }
+
+  return out;
+}
+
+}  // namespace ds_lint

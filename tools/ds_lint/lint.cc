@@ -1,0 +1,196 @@
+#include "lint.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+namespace ds_lint {
+namespace {
+
+struct Suppression {
+  int line = 0;         // line of the allow comment
+  int target_line = 0;  // line the suppression applies to
+  std::string rule;
+  std::string reason;
+  bool used = false;
+};
+
+std::string Trim(const std::string& s) {
+  size_t b = s.find_first_not_of(" \t");
+  if (b == std::string::npos) return "";
+  size_t e = s.find_last_not_of(" \t");
+  return s.substr(b, e - b + 1);
+}
+
+// Parses every `allow(<rule>[, <reason>])` in comments tagged `ds-lint:`.
+// A suppression applies to its own line, or — when the comment stands alone
+// on a line — to the next line that carries code. It never reaches further:
+// `allow(...)` two lines above a violation does not silence it.
+std::vector<Suppression> ParseSuppressions(const FileCtx& f,
+                                           std::vector<Finding>* out) {
+  std::vector<Suppression> sups;
+  for (const Comment& c : f.lexed.comments) {
+    size_t tag = c.text.find("ds-lint:");
+    if (tag == std::string::npos) continue;
+    int target = c.line;
+    if (c.standalone) {
+      target = c.line;  // fallback if nothing follows
+      int best = 0;
+      for (const Token& t : f.lexed.tokens) {
+        if (t.line > c.line && (best == 0 || t.line < best)) best = t.line;
+      }
+      if (best != 0) target = best;
+    }
+    size_t pos = tag;
+    bool saw_allow = false;
+    while ((pos = c.text.find("allow(", pos)) != std::string::npos) {
+      saw_allow = true;
+      size_t open = pos + 5;
+      size_t close = c.text.find(')', open);
+      if (close == std::string::npos) {
+        out->push_back({f.path, c.line, "bad-suppression",
+                        "malformed suppression: missing ')' after allow("});
+        break;
+      }
+      std::string inner = c.text.substr(open + 1, close - open - 1);
+      size_t comma = inner.find(',');
+      std::string rule = Trim(comma == std::string::npos ? inner : inner.substr(0, comma));
+      std::string reason =
+          comma == std::string::npos ? "" : Trim(inner.substr(comma + 1));
+      if (!IsKnownRule(rule)) {
+        out->push_back({f.path, c.line, "bad-suppression",
+                        "allow(" + rule + ") names an unknown rule"});
+      } else if (reason.empty()) {
+        out->push_back({f.path, c.line, "bad-suppression",
+                        "allow(" + rule +
+                            ") must carry a reason: allow(" + rule + ", <why>)"});
+      } else {
+        sups.push_back({c.line, target, rule, reason, false});
+      }
+      pos = close;
+    }
+    if (!saw_allow) {
+      out->push_back({f.path, c.line, "bad-suppression",
+                      "'ds-lint:' comment without an allow(<rule>, <reason>) clause"});
+    }
+  }
+  return sups;
+}
+
+}  // namespace
+
+const std::vector<std::unique_ptr<Rule>>& AllRules() {
+  static const std::vector<std::unique_ptr<Rule>>* rules = [] {
+    auto* all = new std::vector<std::unique_ptr<Rule>>();
+    for (auto* make : {MakeDeterminismRules, MakeStatusRules, MakeObsRules,
+                       MakeHygieneRules}) {
+      for (auto& r : make()) all->push_back(std::move(r));
+    }
+    return all;
+  }();
+  return *rules;
+}
+
+bool IsKnownRule(std::string_view id) {
+  for (const auto& r : AllRules()) {
+    if (r->id() == id) return true;
+  }
+  return false;
+}
+
+FileCtx BuildFileCtx(std::string path, const std::string& source) {
+  FileCtx ctx;
+  ctx.path = std::move(path);
+  ctx.is_header = ctx.path.size() >= 2 && ctx.path.rfind(".h") == ctx.path.size() - 2;
+  ctx.lexed = Lex(source);
+  ctx.structure = Scan(ctx.lexed.tokens);
+  return ctx;
+}
+
+std::vector<Finding> LintSources(
+    const std::vector<std::pair<std::string, std::string>>& sources) {
+  std::vector<FileCtx> files;
+  files.reserve(sources.size());
+  for (const auto& [path, src] : sources) files.push_back(BuildFileCtx(path, src));
+
+  // Pass 1: cross-file index.
+  ProjectIndex index;
+  for (const FileCtx& f : files) {
+    for (const MemberDecl& m : f.structure.members) {
+      if (!m.unordered) continue;
+      index.unordered_members[m.class_name].insert(m.name);
+      index.unordered_member_names.insert(m.name);
+    }
+    for (const FuncDecl& fn : f.structure.functions) {
+      if (fn.returns_status) ++index.status_decls[fn.name];
+      if (fn.returns_non_status) ++index.non_status_decls[fn.name];
+    }
+  }
+
+  // Pass 2: rules + suppressions per file.
+  std::vector<Finding> findings;
+  for (const FileCtx& f : files) {
+    std::vector<Finding> raw;
+    for (const auto& rule : AllRules()) rule->Check(f, index, &raw);
+    std::vector<Finding> meta;  // bad-suppression findings, never suppressible
+    std::vector<Suppression> sups = ParseSuppressions(f, &meta);
+    for (Finding& fd : raw) {
+      bool suppressed = false;
+      for (Suppression& s : sups) {
+        if (s.rule == fd.rule && s.target_line == fd.line) {
+          s.used = true;
+          suppressed = true;
+        }
+      }
+      if (!suppressed) findings.push_back(std::move(fd));
+    }
+    for (const Suppression& s : sups) {
+      if (!s.used) {
+        findings.push_back({f.path, s.line, "stale-suppression",
+                            "allow(" + s.rule +
+                                ") matches no finding — remove the stale "
+                                "suppression"});
+      }
+    }
+    findings.insert(findings.end(), meta.begin(), meta.end());
+  }
+
+  std::sort(findings.begin(), findings.end());
+  findings.erase(std::unique(findings.begin(), findings.end()), findings.end());
+  return findings;
+}
+
+std::vector<Finding> LintPaths(const std::vector<std::string>& paths,
+                               const std::string& strip_prefix) {
+  std::vector<std::pair<std::string, std::string>> sources;
+  std::vector<Finding> io_errors;
+  for (const std::string& path : paths) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      io_errors.push_back({path, 0, "io-error", "cannot read file"});
+      continue;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    std::string display = path;
+    if (!strip_prefix.empty() && display.rfind(strip_prefix, 0) == 0) {
+      display = display.substr(strip_prefix.size());
+      while (!display.empty() && display.front() == '/') display.erase(display.begin());
+    }
+    sources.emplace_back(display, buf.str());
+  }
+  std::vector<Finding> findings = LintSources(sources);
+  findings.insert(findings.end(), io_errors.begin(), io_errors.end());
+  std::sort(findings.begin(), findings.end());
+  return findings;
+}
+
+std::string FormatFindings(const std::vector<Finding>& findings) {
+  std::ostringstream out;
+  for (const Finding& f : findings) {
+    out << f.file << ":" << f.line << ": [" << f.rule << "] " << f.message << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace ds_lint

@@ -1,0 +1,107 @@
+// ds_lint public API: file loading, the rule framework, and the driver.
+//
+// A rule is one class in one file (see rules_*.cc); it sees a single file's
+// tokens + structure plus the cross-file ProjectIndex and emits Findings.
+// The driver applies `// ds-lint: allow(<rule>, <reason>)` suppressions,
+// turns unused ones into stale-suppression findings, and returns everything
+// in a stable (file, line, rule, message) order so CI diffs are reviewable.
+#ifndef DEEPSERVE_TOOLS_DS_LINT_LINT_H_
+#define DEEPSERVE_TOOLS_DS_LINT_LINT_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "scanner.h"
+#include "token.h"
+
+namespace ds_lint {
+
+struct Finding {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+
+  bool operator<(const Finding& o) const {
+    if (file != o.file) return file < o.file;
+    if (line != o.line) return line < o.line;
+    if (rule != o.rule) return rule < o.rule;
+    return message < o.message;
+  }
+  bool operator==(const Finding& o) const {
+    return file == o.file && line == o.line && rule == o.rule && message == o.message;
+  }
+};
+
+struct FileCtx {
+  std::string path;  // normalized, '/'-separated, relative to the lint root
+  bool is_header = false;
+  LexedFile lexed;
+  FileStructure structure;
+};
+
+// Cross-file knowledge built in a first pass over every linted file.
+struct ProjectIndex {
+  // class name -> unordered_{map,set} member names.
+  std::map<std::string, std::set<std::string>> unordered_members;
+  // Member names that are unordered in *some* class (for obj.member_ sites
+  // where the object's type is unknown to a token-level tool).
+  std::set<std::string> unordered_member_names;
+  // Function name -> how it was declared across the project. A name is only
+  // treated as status-returning if it is never also declared otherwise, so
+  // overload ambiguity cannot produce false discarded-status findings.
+  std::map<std::string, int> status_decls;
+  std::map<std::string, int> non_status_decls;
+
+  bool UnambiguouslyStatus(const std::string& name) const {
+    auto it = status_decls.find(name);
+    if (it == status_decls.end() || it->second == 0) return false;
+    auto other = non_status_decls.find(name);
+    return other == non_status_decls.end() || other->second == 0;
+  }
+};
+
+class Rule {
+ public:
+  virtual ~Rule() = default;
+  virtual std::string_view id() const = 0;
+  virtual void Check(const FileCtx& file, const ProjectIndex& index,
+                     std::vector<Finding>* out) const = 0;
+};
+
+// All registered rules. Adding a rule = one new file with one class,
+// registered here.
+const std::vector<std::unique_ptr<Rule>>& AllRules();
+// True iff `id` names a registered rule (used to reject typo'd suppressions).
+bool IsKnownRule(std::string_view id);
+
+// Rule factories, one per family file.
+std::vector<std::unique_ptr<Rule>> MakeDeterminismRules();
+std::vector<std::unique_ptr<Rule>> MakeStatusRules();
+std::vector<std::unique_ptr<Rule>> MakeObsRules();
+std::vector<std::unique_ptr<Rule>> MakeHygieneRules();
+
+// Lints one in-memory file (path is used for reporting and path-scoped
+// rules). Exposed for the fixture self-tests.
+FileCtx BuildFileCtx(std::string path, const std::string& source);
+
+// Full run over a set of (path, source) pairs: index pass, rule pass,
+// suppression pass, stale-suppression pass. Result is sorted and deduped.
+std::vector<Finding> LintSources(
+    const std::vector<std::pair<std::string, std::string>>& sources);
+
+// Loads files from disk (paths sorted for determinism) and lints them.
+// Nonexistent/unreadable files become findings rather than crashes.
+std::vector<Finding> LintPaths(const std::vector<std::string>& paths,
+                               const std::string& strip_prefix);
+
+// `<file>:<line>: [<rule>] <message>` lines.
+std::string FormatFindings(const std::vector<Finding>& findings);
+
+}  // namespace ds_lint
+
+#endif  // DEEPSERVE_TOOLS_DS_LINT_LINT_H_

@@ -1,0 +1,93 @@
+// ds_lint CLI — first stage of ci.sh.
+//
+//   ds_lint [--root <dir>] [paths...]
+//
+// Paths (files or directories) default to src bench examples tests under
+// the root. Exit status: 0 when clean, 1 when findings, 2 on usage errors.
+// Output is deterministic: files are walked in sorted order and findings
+// print in a stable (file, line, rule, message) order, so CI diffs review
+// cleanly.
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "lint.h"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool LintableFile(const fs::path& p) {
+  std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".cc" || ext == ".cpp";
+}
+
+bool SkippedDir(const fs::path& p) {
+  std::string name = p.filename().string();
+  return name == "testdata" || name.rfind("build", 0) == 0 || name == ".git";
+}
+
+void Collect(const fs::path& p, std::vector<std::string>* out) {
+  std::error_code ec;
+  if (fs::is_directory(p, ec)) {
+    std::vector<fs::path> entries;
+    for (const auto& e : fs::directory_iterator(p, ec)) entries.push_back(e.path());
+    std::sort(entries.begin(), entries.end());
+    for (const fs::path& e : entries) {
+      if (fs::is_directory(e, ec)) {
+        if (!SkippedDir(e)) Collect(e, out);
+      } else if (LintableFile(e)) {
+        out->push_back(e.string());
+      }
+    }
+  } else if (fs::exists(p, ec) && LintableFile(p)) {
+    out->push_back(p.string());
+  } else {
+    std::cerr << "ds_lint: warning: skipping " << p.string() << " (not found / not lintable)\n";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  std::vector<std::string> inputs;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--root") == 0 && i + 1 < argc) {
+      root = argv[++i];
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      std::cout << "usage: ds_lint [--root <dir>] [paths...]\n"
+                   "rules: ";
+      for (const auto& r : ds_lint::AllRules()) std::cout << r->id() << " ";
+      std::cout << "\nsuppress with: // ds-lint: allow(<rule>, <reason>)\n";
+      return 0;
+    } else if (argv[i][0] == '-') {
+      std::cerr << "ds_lint: unknown flag " << argv[i] << "\n";
+      return 2;
+    } else {
+      inputs.push_back(argv[i]);
+    }
+  }
+  if (inputs.empty()) inputs = {"src", "bench", "examples", "tests"};
+
+  std::vector<std::string> files;
+  for (const std::string& in : inputs) {
+    fs::path p(in);
+    Collect(p.is_absolute() ? p : fs::path(root) / p, &files);
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+
+  std::vector<ds_lint::Finding> findings = ds_lint::LintPaths(files, root);
+  if (findings.empty()) {
+    std::cout << "ds_lint: " << files.size() << " file(s) clean\n";
+    return 0;
+  }
+  std::cout << ds_lint::FormatFindings(findings);
+  std::cout << "ds_lint: " << findings.size() << " finding(s) in " << files.size()
+            << " file(s)\n";
+  return 1;
+}

@@ -1,0 +1,128 @@
+// Family H: mechanical hygiene that keeps the other rules (and the build)
+// trustworthy: every header is include-guarded, headers never inject
+// namespaces into includers, and ownership outside src/common/ goes through
+// smart pointers / containers so the sanitizer pass stays meaningful.
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "lint.h"
+#include "rules_util.h"
+
+namespace ds_lint {
+namespace {
+
+// Splits a preprocessor directive into whitespace-separated words with the
+// leading '#' glued to the first word ("# pragma" -> "#pragma").
+std::vector<std::string> DirectiveWords(const std::string& text) {
+  std::istringstream in(text);
+  std::vector<std::string> words;
+  std::string w;
+  while (in >> w) words.push_back(w);
+  if (words.size() >= 2 && words[0] == "#") {
+    words.erase(words.begin());
+    words[0] = "#" + words[0];
+  }
+  return words;
+}
+
+// Accepts either `#pragma once` or a classic `#ifndef G` / `#define G` pair
+// as the first directives of a header.
+class HeaderGuardRule : public Rule {
+ public:
+  std::string_view id() const override { return "header-guard"; }
+
+  void Check(const FileCtx& f, const ProjectIndex&,
+             std::vector<Finding>* out) const override {
+    if (!f.is_header) return;
+    const auto& t = f.lexed.tokens;
+    // First token of the file must be a guard directive (comments are not
+    // tokens, so a license/doc header is fine).
+    if (t.empty()) return;
+    int line = t[0].line;
+    if (t[0].kind != Tok::kPreproc) {
+      out->push_back({f.path, line, std::string(id()),
+                      "header must open with '#pragma once' or an "
+                      "#ifndef/#define include guard"});
+      return;
+    }
+    auto words = DirectiveWords(t[0].text);
+    if (words.size() >= 2 && words[0] == "#pragma" && words[1] == "once") return;
+    if (words.size() >= 2 && words[0] == "#ifndef") {
+      size_t i = 1;
+      while (i < t.size() && t[i].kind != Tok::kPreproc) ++i;
+      auto def = i < t.size() ? DirectiveWords(t[i].text) : std::vector<std::string>{};
+      if (def.size() >= 2 && def[0] == "#define" && def[1] == words[1]) return;
+      out->push_back({f.path, line, std::string(id()),
+                      "include guard mismatch: #ifndef " + words[1] +
+                          " is not followed by #define " + words[1]});
+      return;
+    }
+    out->push_back({f.path, line, std::string(id()),
+                    "header must open with '#pragma once' or an "
+                    "#ifndef/#define include guard"});
+  }
+};
+
+class UsingNamespaceHeaderRule : public Rule {
+ public:
+  std::string_view id() const override { return "using-namespace-header"; }
+
+  void Check(const FileCtx& f, const ProjectIndex&,
+             std::vector<Finding>* out) const override {
+    if (!f.is_header) return;
+    const auto& t = f.lexed.tokens;
+    for (size_t i = 0; i + 1 < t.size(); ++i) {
+      if (IsTok(t, i, "using") && IsTok(t, i + 1, "namespace")) {
+        out->push_back({f.path, t[i].line, std::string(id()),
+                        "'using namespace' in a header leaks into every "
+                        "includer — qualify or alias instead"});
+      }
+    }
+  }
+};
+
+class RawNewDeleteRule : public Rule {
+ public:
+  std::string_view id() const override { return "raw-new-delete"; }
+
+  void Check(const FileCtx& f, const ProjectIndex&,
+             std::vector<Finding>* out) const override {
+    if (f.path.rfind("src/common/", 0) == 0) return;  // allocators live here
+    const auto& t = f.lexed.tokens;
+    for (size_t i = 0; i < t.size(); ++i) {
+      if (!IsIdentTok(t, i)) continue;
+      if (t[i].text == "new") {
+        size_t p = PrevTok(t, i);
+        // `operator new` declarations are not raw allocations.
+        if (p != static_cast<size_t>(-1) && t[p].text == "operator") continue;
+        out->push_back({f.path, t[i].line, std::string(id()),
+                        "raw 'new' outside src/common/ — use std::make_unique "
+                        "or a container"});
+      } else if (t[i].text == "delete") {
+        size_t p = PrevTok(t, i);
+        // `= delete` (deleted functions) and `operator delete` declarations
+        // are not raw deallocations.
+        if (p != static_cast<size_t>(-1) &&
+            (t[p].text == "=" || t[p].text == "operator")) {
+          continue;
+        }
+        out->push_back({f.path, t[i].line, std::string(id()),
+                        "raw 'delete' outside src/common/ — ownership must go "
+                        "through smart pointers"});
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<std::unique_ptr<Rule>> MakeHygieneRules() {
+  std::vector<std::unique_ptr<Rule>> rules;
+  rules.push_back(std::make_unique<HeaderGuardRule>());
+  rules.push_back(std::make_unique<UsingNamespaceHeaderRule>());
+  rules.push_back(std::make_unique<RawNewDeleteRule>());
+  return rules;
+}
+
+}  // namespace ds_lint

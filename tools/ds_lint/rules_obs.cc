@@ -1,0 +1,115 @@
+// Family O: observability hygiene. The tracer's sync Begin/End slices must
+// strictly nest per (pid, tid) lane (obs/trace.h), so a function that opens
+// a slice must close it; spans that intentionally straddle sim-time (the
+// engine "step" slice) use the async API or carry an audited allow. Metric
+// names must be string literals in the documented <subsystem>.<metric>
+// lower_snake_case grammar so the metric set is statically known and the
+// registry fingerprint stays comparable across runs.
+#include <cctype>
+#include <memory>
+#include <string>
+
+#include "lint.h"
+#include "rules_util.h"
+
+namespace ds_lint {
+namespace {
+
+class SpanPairingRule : public Rule {
+ public:
+  std::string_view id() const override { return "span-pairing"; }
+
+  void Check(const FileCtx& f, const ProjectIndex&,
+             std::vector<Finding>* out) const override {
+    const auto& t = f.lexed.tokens;
+    for (const FuncDecl& fn : f.structure.functions) {
+      if (!fn.has_body) continue;
+      int begins = 0, ends = 0;
+      for (size_t i = fn.body_begin; i < fn.body_end; ++i) {
+        if (!IsIdentTok(t, i) || !IsTok(t, i + 1, "(")) continue;
+        size_t p = PrevTok(t, i);
+        if (p == static_cast<size_t>(-1) || (t[p].text != "." && t[p].text != "->")) continue;
+        if (t[i].text == "Begin") ++begins;
+        if (t[i].text == "End") ++ends;
+      }
+      if (begins != ends) {
+        out->push_back({f.path, fn.line, std::string(id()),
+                        "'" + fn.name + "' opens " + std::to_string(begins) +
+                            " sync trace span(s) but closes " + std::to_string(ends) +
+                            " — Begin/End must pair within a function (use the "
+                            "async span API for spans that straddle sim time)"});
+      }
+    }
+  }
+};
+
+class MetricNameRule : public Rule {
+ public:
+  std::string_view id() const override { return "metric-name"; }
+
+  void Check(const FileCtx& f, const ProjectIndex&,
+             std::vector<Finding>* out) const override {
+    const auto& t = f.lexed.tokens;
+    for (size_t i = 0; i < t.size(); ++i) {
+      if (!IsIdentTok(t, i) || !IsTok(t, i + 1, "(")) continue;
+      const std::string& name = t[i].text;
+      if (name != "counter" && name != "gauge" && name != "stats") continue;
+      size_t p = PrevTok(t, i);
+      if (p == static_cast<size_t>(-1) || (t[p].text != "." && t[p].text != "->")) continue;
+      size_t arg = i + 2;
+      while (arg < t.size() && t[arg].kind == Tok::kPreproc) ++arg;
+      if (arg >= t.size() || IsTok(t, arg, ")")) continue;  // no-arg accessor
+      if (t[arg].kind != Tok::kString) {
+        out->push_back({f.path, t[i].line, std::string(id()),
+                        "metric name passed to '" + name +
+                            "' must be a string literal so the registered metric "
+                            "set is statically known"});
+        continue;
+      }
+      std::string literal = Unquote(t[arg].text);
+      if (!ValidMetricName(literal)) {
+        out->push_back({f.path, t[i].line, std::string(id()),
+                        "metric name \"" + literal +
+                            "\" violates the <subsystem>.<metric> lower_snake_case "
+                            "convention (README.md)"});
+      }
+    }
+  }
+
+ private:
+  static std::string Unquote(const std::string& lit) {
+    size_t open = lit.find('"');
+    size_t close = lit.rfind('"');
+    if (open == std::string::npos || close <= open) return lit;
+    return lit.substr(open + 1, close - open - 1);
+  }
+
+  // [a-z0-9_]+(\.[a-z0-9_]+)*
+  static bool ValidMetricName(const std::string& s) {
+    if (s.empty() || s.front() == '.' || s.back() == '.') return false;
+    bool prev_dot = true;  // forbid leading dot / empty segment
+    for (char c : s) {
+      if (c == '.') {
+        if (prev_dot) return false;
+        prev_dot = true;
+      } else if (std::islower(static_cast<unsigned char>(c)) ||
+                 std::isdigit(static_cast<unsigned char>(c)) || c == '_') {
+        prev_dot = false;
+      } else {
+        return false;
+      }
+    }
+    return !prev_dot;
+  }
+};
+
+}  // namespace
+
+std::vector<std::unique_ptr<Rule>> MakeObsRules() {
+  std::vector<std::unique_ptr<Rule>> rules;
+  rules.push_back(std::make_unique<SpanPairingRule>());
+  rules.push_back(std::make_unique<MetricNameRule>());
+  return rules;
+}
+
+}  // namespace ds_lint

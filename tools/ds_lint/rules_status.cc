@@ -1,0 +1,128 @@
+// Family S: Status discipline. Errors in this codebase travel as
+// common/status.h Status / Result<T>; a silently dropped Status is a lost
+// failure (the PD-handoff and PIC accounting bugs fixed in PR 1 both hid
+// behind ignored returns). Rule S1 keeps declarations explicit, S2 keeps
+// call sites honest: an intentional discard must be `(void)`-cast (compiler
+// enforced once -Werror is on) or carry an allow annotation.
+#include <cctype>
+#include <memory>
+#include <string>
+
+#include "lint.h"
+#include "rules_util.h"
+
+namespace ds_lint {
+namespace {
+
+// S1: every by-value Status/Result-returning function *declaration* in a
+// header must be [[nodiscard]]. Out-of-line definitions (`A::f`) are skipped
+// — the attribute belongs on the declaration.
+class NodiscardStatusRule : public Rule {
+ public:
+  std::string_view id() const override { return "nodiscard-status"; }
+
+  void Check(const FileCtx& f, const ProjectIndex&,
+             std::vector<Finding>* out) const override {
+    if (!f.is_header) return;
+    for (const FuncDecl& fn : f.structure.functions) {
+      if (fn.returns_status && !fn.qualified && !fn.has_nodiscard) {
+        out->push_back({f.path, fn.line, std::string(id()),
+                        "'" + fn.name +
+                            "' returns Status/Result by value and must be "
+                            "declared [[nodiscard]]"});
+      }
+    }
+  }
+};
+
+// S2: a bare call-statement `Foo(...);` / `obj.Foo(...);` whose callee is
+// (unambiguously, across every linted file) status-returning discards the
+// error. Fix it, propagate it (DS_RETURN_IF_ERROR), or discard explicitly
+// with `(void)` — the `(void)` form never matches this rule because the
+// statement no longer begins with the call chain.
+class DiscardedStatusRule : public Rule {
+ public:
+  std::string_view id() const override { return "discarded-status"; }
+
+  void Check(const FileCtx& f, const ProjectIndex& idx,
+             std::vector<Finding>* out) const override {
+    const auto& t = f.lexed.tokens;
+    for (const FuncDecl& fn : f.structure.functions) {
+      if (!fn.has_body) continue;
+      size_t i = fn.body_begin + 1;
+      while (i < fn.body_end) {
+        if (t[i].kind == Tok::kPreproc) { ++i; continue; }
+        if (t[i].text == ";" || t[i].text == "{" || t[i].text == "}") { ++i; continue; }
+        i = CheckStatement(f, idx, i, fn.body_end, out);
+      }
+    }
+  }
+
+ private:
+  // Returns the index one past the statement that starts at `s`.
+  size_t CheckStatement(const FileCtx& f, const ProjectIndex& idx, size_t s,
+                        size_t end, std::vector<Finding>* out) const {
+    const auto& t = f.lexed.tokens;
+    // Control-flow headers are transparent: `if (x) Foo();` must examine
+    // `Foo();` as its own statement start.
+    if (IsTok(t, s, "if") || IsTok(t, s, "while") || IsTok(t, s, "for") ||
+        IsTok(t, s, "switch") || IsTok(t, s, "catch")) {
+      size_t j = s + 1;
+      while (j < end && IsIdentTok(t, j)) ++j;  // `if constexpr`, etc.
+      if (IsTok(t, j, "(")) return MatchDelim(t, j) + 1;
+      return j;
+    }
+    if (IsTok(t, s, "else") || IsTok(t, s, "do") || IsTok(t, s, "try")) return s + 1;
+    // Try to match: chain `(` args `)` `;` — and nothing else.
+    size_t j = s;
+    size_t callee = static_cast<size_t>(-1);
+    if (IsIdentTok(t, j)) {
+      callee = j;
+      ++j;
+      while (j < end && (IsTok(t, j, "::") || IsTok(t, j, ".") || IsTok(t, j, "->")) &&
+             IsIdentTok(t, j + 1)) {
+        callee = j + 1;
+        j += 2;
+      }
+      if (IsTok(t, j, "(")) {
+        size_t close = MatchDelim(t, j);
+        if (close < end && IsTok(t, close + 1, ";")) {
+          const std::string& name = t[callee].text;
+          if (idx.UnambiguouslyStatus(name)) {
+            out->push_back(
+                {f.path, t[s].line, std::string(id()),
+                 "result of status-returning call '" + name +
+                     "' is discarded — handle it, DS_RETURN_IF_ERROR it, or "
+                     "cast to (void) for an audited intentional discard"});
+          }
+          return close + 2;
+        }
+      }
+    }
+    // Not a bare call statement: skip to the end of this statement, treating
+    // nested braces (lambdas, compound statements) as statement boundaries so
+    // their contents are re-examined by the outer loop.
+    j = s;
+    while (j < end) {
+      if (t[j].kind == Tok::kPreproc) { ++j; continue; }
+      if (t[j].text == ";") return j + 1;
+      // Brace: stop here so the outer loop re-enters the block and examines
+      // its contents (lambda bodies included) statement by statement.
+      if (t[j].text == "{" || t[j].text == "}") return j + 1;
+      if (t[j].text == "(" || t[j].text == "[") { j = MatchDelim(t, j) + 1; continue; }
+      ++j;
+    }
+    return j;
+  }
+};
+
+}  // namespace
+
+std::vector<std::unique_ptr<Rule>> MakeStatusRules() {
+  std::vector<std::unique_ptr<Rule>> rules;
+  rules.push_back(std::make_unique<NodiscardStatusRule>());
+  rules.push_back(std::make_unique<DiscardedStatusRule>());
+  return rules;
+}
+
+}  // namespace ds_lint

@@ -1,0 +1,366 @@
+#include "scanner.h"
+
+#include <set>
+
+namespace ds_lint {
+namespace {
+
+bool TokIs(const std::vector<Token>& t, size_t i, const char* s) {
+  return i < t.size() && t[i].kind != Tok::kPreproc && t[i].text == s;
+}
+bool TokIsIdent(const std::vector<Token>& t, size_t i) {
+  return i < t.size() && t[i].kind == Tok::kIdent;
+}
+
+const std::set<std::string>& Specifiers() {
+  static const std::set<std::string> kSpecs = {
+      "static", "virtual", "inline", "constexpr", "consteval", "constinit",
+      "explicit", "friend", "extern", "typename", "mutable"};
+  return kSpecs;
+}
+
+// Skips a balanced <...> starting at `open` (which holds '<'). Template-arg
+// heuristic: bails out (returns open + 1) if it runs into ; { } first, which
+// means the '<' was a comparison, not a template bracket.
+size_t SkipAngles(const std::vector<Token>& t, size_t open) {
+  int depth = 0;
+  for (size_t i = open; i < t.size(); ++i) {
+    if (t[i].kind == Tok::kPreproc) continue;
+    const std::string& s = t[i].text;
+    if (s == "<") ++depth;
+    else if (s == ">") --depth;
+    else if (s == ">>") depth -= 2;
+    else if (s == "(") {
+      i = MatchDelim(t, i);
+      continue;
+    } else if (s == ";" || s == "{" || s == "}") {
+      return open + 1;
+    }
+    if (depth <= 0) return i + 1;
+  }
+  return open + 1;
+}
+
+class Scanner {
+ public:
+  explicit Scanner(const std::vector<Token>& tokens) : t_(tokens) {}
+
+  FileStructure Run() {
+    ParseScope(0, t_.size(), "", false);
+    return std::move(out_);
+  }
+
+ private:
+  const std::vector<Token>& t_;
+  FileStructure out_;
+
+  void ParseScope(size_t begin, size_t end, const std::string& cls, bool in_class) {
+    size_t i = begin;
+    while (i < end) {
+      if (t_[i].kind == Tok::kPreproc || TokIs(t_, i, ";")) {
+        ++i;
+      } else if (TokIs(t_, i, "namespace")) {
+        i = ParseNamespace(i, end);
+      } else if (TokIs(t_, i, "template")) {
+        ++i;
+        if (TokIs(t_, i, "<")) i = SkipAngles(t_, i);
+      } else if ((TokIs(t_, i, "class") || TokIs(t_, i, "struct") || TokIs(t_, i, "union")) &&
+                 !(i > begin && TokIs(t_, i - 1, "enum"))) {
+        i = ParseClass(i, end);
+      } else if (TokIs(t_, i, "enum")) {
+        i = SkipToSemi(i, end);
+      } else if (TokIs(t_, i, "using") || TokIs(t_, i, "typedef") ||
+                 TokIs(t_, i, "static_assert") || TokIs(t_, i, "friend")) {
+        i = SkipToSemi(i, end);
+      } else if (TokIs(t_, i, "public") || TokIs(t_, i, "private") ||
+                 TokIs(t_, i, "protected")) {
+        i += TokIs(t_, i + 1, ":") ? 2 : 1;
+      } else if (TokIs(t_, i, "extern") && i + 1 < end && t_[i + 1].kind == Tok::kString) {
+        i += 2;
+        if (TokIs(t_, i, "{")) {
+          size_t close = MatchDelim(t_, i);
+          ParseScope(i + 1, close, cls, in_class);
+          i = close + 1;
+        }
+      } else if (TokIs(t_, i, "}")) {
+        ++i;  // stray close (shouldn't happen inside a well-formed range)
+      } else {
+        i = ParseDeclaration(i, end, cls, in_class);
+      }
+    }
+  }
+
+  size_t ParseNamespace(size_t i, size_t end) {
+    ++i;  // 'namespace'
+    while (i < end && (TokIsIdent(t_, i) || TokIs(t_, i, "::"))) ++i;
+    if (TokIs(t_, i, "=")) return SkipToSemi(i, end);  // namespace alias
+    if (TokIs(t_, i, "{")) {
+      size_t close = MatchDelim(t_, i);
+      ParseScope(i + 1, close, "", false);
+      return close + 1;
+    }
+    return i + 1;
+  }
+
+  size_t ParseClass(size_t i, size_t end) {
+    ++i;  // 'class' / 'struct' / 'union'
+    std::string name;
+    while (i < end) {
+      if (TokIs(t_, i, "[[")) {
+        while (i < end && !TokIs(t_, i, "]]")) ++i;
+        ++i;
+      } else if (TokIsIdent(t_, i) && t_[i].text != "final") {
+        name = t_[i].text;
+        ++i;
+        if (TokIs(t_, i, "<")) i = SkipAngles(t_, i);  // specialization
+      } else if (TokIs(t_, i, "final")) {
+        ++i;
+      } else if (TokIs(t_, i, ":")) {
+        // Base clause: scan to the body brace.
+        int paren = 0;
+        while (i < end && !(paren == 0 && (TokIs(t_, i, "{") || TokIs(t_, i, ";")))) {
+          if (TokIs(t_, i, "(")) ++paren;
+          if (TokIs(t_, i, ")")) --paren;
+          if (TokIs(t_, i, "<")) { i = SkipAngles(t_, i); continue; }
+          ++i;
+        }
+      } else {
+        break;
+      }
+      if (TokIs(t_, i, "{") || TokIs(t_, i, ";")) break;
+    }
+    if (TokIs(t_, i, ";")) return i + 1;  // forward declaration
+    if (TokIs(t_, i, "{")) {
+      size_t close = MatchDelim(t_, i);
+      ParseScope(i + 1, close, name, true);
+      return close + 1;
+    }
+    return i + 1;  // unrecognized; resync
+  }
+
+  size_t SkipToSemi(size_t i, size_t end) {
+    while (i < end && !TokIs(t_, i, ";")) {
+      if (TokIs(t_, i, "{") || TokIs(t_, i, "(") || TokIs(t_, i, "[")) {
+        i = MatchDelim(t_, i);
+      }
+      ++i;
+    }
+    return i + 1;
+  }
+
+  // Parses one member/function/variable declaration starting at `i`.
+  size_t ParseDeclaration(size_t i, size_t end, const std::string& cls, bool in_class) {
+    const size_t decl_start = i;
+    bool nodiscard = false;
+    size_t name_idx = 0;   // token index of the declarator name
+    std::string name, qual_class;
+    bool qualified = false, is_operator = false;
+    size_t params_open = 0;
+
+    size_t j = i;
+    while (j < end) {
+      if (t_[j].kind == Tok::kPreproc) { ++j; continue; }
+      const std::string& s = t_[j].text;
+      if (s == "[[") {
+        size_t k = j;
+        while (k < end && !TokIs(t_, k, "]]")) {
+          if (TokIsIdent(t_, k) && t_[k].text == "nodiscard") nodiscard = true;
+          ++k;
+        }
+        j = k + 1;
+        continue;
+      }
+      if (s == "<" && TokIsIdent(t_, j - 1)) { j = SkipAngles(t_, j); continue; }
+      if (s == "=") return SkipToSemi(j, end);  // variable with initializer
+      if (s == "{") {
+        // Braced variable initializer at this point (no params seen yet).
+        size_t close = MatchDelim(t_, j);
+        if (in_class) RecordField(decl_start, j, cls);
+        return SkipToSemi(close, end);
+      }
+      if (s == ";") {
+        if (in_class) RecordField(decl_start, j, cls);
+        return j + 1;
+      }
+      if (s == "(") {
+        // Candidate function declarator: identify the name just before.
+        if (TokIsIdent(t_, j - 1) && j > decl_start) {
+          name_idx = j - 1;
+          name = t_[name_idx].text;
+          if (name_idx > decl_start && TokIs(t_, name_idx - 1, "operator")) {
+            is_operator = true;  // conversion operator: `operator bool(`
+          }
+          if (name_idx >= decl_start + 2 && TokIs(t_, name_idx - 1, "::") &&
+              TokIsIdent(t_, name_idx - 2)) {
+            qualified = true;
+            qual_class = t_[name_idx - 2].text;
+          }
+          params_open = j;
+          break;
+        }
+        if (j > decl_start && t_[j - 1].kind == Tok::kPunct && j >= decl_start + 2 &&
+            TokIs(t_, j - 2, "operator")) {
+          is_operator = true;  // `operator==(`, `operator=(` ...
+          name_idx = j - 1;
+          name = "operator" + t_[j - 1].text;
+          params_open = j;
+          break;
+        }
+        // Parenthesized declarator / expression-ish construct: skip group.
+        j = MatchDelim(t_, j) + 1;
+        continue;
+      }
+      ++j;
+    }
+    if (params_open == 0) return SkipToSemi(j, end);
+
+    FuncDecl fn;
+    fn.name = name;
+    fn.line = t_[name_idx].line;
+    fn.qualified = qualified;
+    fn.class_name = qualified ? qual_class : cls;
+    fn.has_nodiscard = nodiscard;
+    const std::string& owner = fn.class_name;
+    bool is_ctor_like = is_operator || name == owner ||
+                        (name_idx > decl_start && TokIs(t_, name_idx - 1, "~"));
+    if (!is_ctor_like) ClassifyReturnType(decl_start, name_idx, &fn);
+
+    size_t close = MatchDelim(t_, params_open);
+    j = close + 1;
+
+    // Post-parameter zone: qualifiers, trailing return, `= default/delete/0`,
+    // constructor init-list, then either `;` (declaration) or `{` (body).
+    while (j < end) {
+      if (t_[j].kind == Tok::kPreproc) { ++j; continue; }
+      const std::string& s = t_[j].text;
+      if (s == "const" || s == "noexcept" || s == "override" || s == "final" ||
+          s == "&" || s == "&&" || s == "mutable" || s == "try") {
+        ++j;
+        if (TokIs(t_, j, "(")) j = MatchDelim(t_, j) + 1;  // noexcept(...)
+        continue;
+      }
+      if (s == "[[") {
+        while (j < end && !TokIs(t_, j, "]]")) ++j;
+        ++j;
+        continue;
+      }
+      if (s == "->") {  // trailing return type
+        ++j;
+        while (j < end && !TokIs(t_, j, "{") && !TokIs(t_, j, ";") && !TokIs(t_, j, "=")) {
+          if (TokIs(t_, j, "<")) { j = SkipAngles(t_, j); continue; }
+          if (TokIs(t_, j, "(")) { j = MatchDelim(t_, j) + 1; continue; }
+          ++j;
+        }
+        continue;
+      }
+      if (s == "=") {  // = default / = delete / = 0 (pure virtual)
+        j = SkipToSemi(j, end);
+        out_.functions.push_back(fn);
+        return j;
+      }
+      if (s == ":") {  // constructor init-list
+        ++j;
+        while (j < end) {
+          while (j < end && (TokIsIdent(t_, j) || TokIs(t_, j, "::"))) {
+            ++j;
+            if (TokIs(t_, j, "<")) j = SkipAngles(t_, j);
+          }
+          if (TokIs(t_, j, "(") || TokIs(t_, j, "{")) j = MatchDelim(t_, j) + 1;
+          if (TokIs(t_, j, ",")) { ++j; continue; }
+          break;
+        }
+        continue;
+      }
+      if (s == ";") {
+        out_.functions.push_back(fn);
+        return j + 1;
+      }
+      if (s == "{") {
+        fn.has_body = true;
+        fn.body_begin = j;
+        fn.body_end = MatchDelim(t_, j);
+        out_.functions.push_back(fn);
+        return fn.body_end + 1;
+      }
+      // Unexpected token (macro between ')' and '{', K&R-isms): resync.
+      ++j;
+    }
+    out_.functions.push_back(fn);
+    return j;
+  }
+
+  // Return type = tokens in [decl_start, name_idx) minus specifiers and
+  // attributes; `Status` or `Result<...>` by value counts as status-returning.
+  void ClassifyReturnType(size_t decl_start, size_t name_idx, FuncDecl* fn) {
+    std::vector<size_t> type;
+    for (size_t k = decl_start; k < name_idx; ++k) {
+      if (t_[k].kind == Tok::kPreproc) continue;
+      if (TokIs(t_, k, "[[")) {
+        while (k < name_idx && !TokIs(t_, k, "]]")) ++k;
+        continue;
+      }
+      if (TokIsIdent(t_, k) && Specifiers().count(t_[k].text) > 0) continue;
+      type.push_back(k);
+    }
+    // Strip leading namespace qualifiers: `a::b::Status` -> `Status`.
+    while (type.size() >= 2 && TokIsIdent(t_, type[0]) && TokIs(t_, type[1], "::")) {
+      type.erase(type.begin(), type.begin() + 2);
+    }
+    if (type.empty()) return;  // constructor-like; already filtered upstream
+    bool by_value = true;
+    for (size_t k : type) {
+      if (TokIs(t_, k, "*") || TokIs(t_, k, "&") || TokIs(t_, k, "&&")) by_value = false;
+    }
+    const std::string& head = t_[type[0]].text;
+    if (by_value && (head == "Status" || head == "Result" || head == "StatusOr")) {
+      fn->returns_status = true;
+    } else {
+      fn->returns_non_status = true;
+    }
+  }
+
+  // Field declaration ending at `semi`; indexes unordered_{map,set} members.
+  void RecordField(size_t decl_start, size_t semi, const std::string& cls) {
+    size_t unordered_at = 0;
+    bool unordered = false;
+    for (size_t k = decl_start; k < semi; ++k) {
+      if (TokIsIdent(t_, k) &&
+          (t_[k].text == "unordered_map" || t_[k].text == "unordered_set")) {
+        unordered = true;
+        unordered_at = k;
+        break;
+      }
+    }
+    if (!unordered) return;
+    size_t k = unordered_at + 1;
+    if (TokIs(t_, k, "<")) k = SkipAngles(t_, k);
+    while (k < semi && (TokIs(t_, k, "*") || TokIs(t_, k, "&") || TokIs(t_, k, "const"))) ++k;
+    if (k < semi && TokIsIdent(t_, k)) {
+      out_.members.push_back({cls, t_[k].text, t_[k].line, true});
+    }
+  }
+};
+
+}  // namespace
+
+size_t MatchDelim(const std::vector<Token>& tokens, size_t open) {
+  if (open >= tokens.size()) return tokens.size();
+  const std::string& o = tokens[open].text;
+  std::string c = o == "(" ? ")" : o == "[" ? "]" : o == "{" ? "}" : "";
+  if (c.empty()) return tokens.size();
+  int depth = 0;
+  for (size_t i = open; i < tokens.size(); ++i) {
+    if (tokens[i].kind == Tok::kPreproc) continue;
+    if (tokens[i].kind == Tok::kPunct) {
+      if (tokens[i].text == o) ++depth;
+      else if (tokens[i].text == c) {
+        if (--depth == 0) return i;
+      }
+    }
+  }
+  return tokens.size();
+}
+
+FileStructure Scan(const std::vector<Token>& tokens) { return Scanner(tokens).Run(); }
+
+}  // namespace ds_lint

@@ -1,0 +1,59 @@
+// Structural index over a lexed file: class bodies with their field
+// declarations, and function declarations/definitions with body token ranges.
+//
+// This is deliberately a heuristic single-pass scanner, not a parser. It
+// understands just enough C++ (namespaces, class bodies, templates,
+// constructor init-lists, `= default/delete`, attributes) to answer the
+// questions the rules ask:
+//   * which members of which class are std::unordered_{map,set}?
+//   * which functions return Status / Result<T> by value, and are they
+//     marked [[nodiscard]]?
+//   * where does each function body begin and end (token indices)?
+// Anything it cannot classify it skips, so unknown constructs produce no
+// findings rather than wrong ones.
+#ifndef DEEPSERVE_TOOLS_DS_LINT_SCANNER_H_
+#define DEEPSERVE_TOOLS_DS_LINT_SCANNER_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "token.h"
+
+namespace ds_lint {
+
+struct MemberDecl {
+  std::string class_name;
+  std::string name;
+  int line;
+  bool unordered;  // declared std::unordered_map / std::unordered_set
+};
+
+struct FuncDecl {
+  std::string class_name;  // enclosing class, or the A in `A::f` for
+                           // out-of-line definitions; "" for free functions
+  std::string name;
+  int line;                 // line of the name token
+  bool has_body = false;
+  size_t body_begin = 0;    // token index of '{' (valid iff has_body)
+  size_t body_end = 0;      // token index of matching '}' (valid iff has_body)
+  bool qualified = false;   // declarator was A::f (out-of-line definition)
+  bool returns_status = false;       // returns Status or Result<T> by value
+  bool has_nodiscard = false;        // [[nodiscard]] present on the declaration
+  bool returns_non_status = false;   // any other return type (incl. void)
+};
+
+struct FileStructure {
+  std::vector<MemberDecl> members;
+  std::vector<FuncDecl> functions;
+};
+
+FileStructure Scan(const std::vector<Token>& tokens);
+
+// Finds the index of the matching closer for tokens[open] (one of ( [ { ),
+// skipping preprocessor tokens. Returns tokens.size() if unbalanced.
+size_t MatchDelim(const std::vector<Token>& tokens, size_t open);
+
+}  // namespace ds_lint
+
+#endif  // DEEPSERVE_TOOLS_DS_LINT_SCANNER_H_

@@ -1,0 +1,86 @@
+// Fixture: every classic determinism killer. Each violating line carries a
+// `ds-lint-expect:` marker naming the rule(s) that must fire there.
+#include <chrono>
+#include <cstdlib>
+#include <random>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace deepserve {
+
+class BadCache {
+ public:
+  // Range-for over an unordered member: flagged via the per-class member
+  // index built from the declarations below.
+  long Sum() const {
+    long total = 0;
+    for (const auto& [k, v] : index_) {  // ds-lint-expect: unordered-iter
+      total += v;
+    }
+    for (int id : live_) {  // ds-lint-expect: unordered-iter
+      total += id;
+    }
+    for (auto it = index_.begin(); it != index_.end(); ++it) {  // ds-lint-expect: unordered-iter
+      total += it->second;
+    }
+    return total;
+  }
+
+  std::unordered_map<int, int>* mutable_index() { return &index_; }
+
+ private:
+  std::unordered_map<int, int> index_;
+  std::unordered_set<int> live_;
+};
+
+// A *different* class whose member named `items_` is a plain vector: loops
+// over it must NOT be flagged even though BadOther::items_ below is
+// unordered — declaration-to-loop matching is per class for bare members.
+class GoodVector {
+ public:
+  long Sum() const {
+    long total = 0;
+    for (int v : items_) total += v;
+    return total;
+  }
+
+ private:
+  std::vector<int> items_;
+};
+
+class BadOther {
+ public:
+  std::unordered_set<int> items_;
+};
+
+// Member access through an object resolves against the cross-class member
+// index (a token-level tool cannot type `other`).
+long SumOther(const BadOther& other) {
+  long total = 0;
+  for (int v : other.items_) total += v;  // ds-lint-expect: unordered-iter
+  return total;
+}
+
+long WallClock() {
+  auto now = std::chrono::system_clock::now();  // ds-lint-expect: banned-type
+  (void)now;
+  return std::chrono::steady_clock::now().time_since_epoch().count();  // ds-lint-expect: banned-type
+}
+
+int AmbientEntropy() {
+  std::random_device rd;  // ds-lint-expect: banned-type
+  srand(42);              // ds-lint-expect: banned-call
+  int x = rand();         // ds-lint-expect: banned-call
+  const char* home = getenv("HOME");  // ds-lint-expect: banned-call
+  (void)home;
+  return x + static_cast<int>(rd());
+}
+
+// Member functions that merely *shadow* a libc name are fine.
+struct Shadow {
+  long time() const { return 7; }
+};
+long UseShadow(const Shadow& s) { return s.time(); }
+
+}  // namespace deepserve

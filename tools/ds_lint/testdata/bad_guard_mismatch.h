@@ -1,0 +1,12 @@
+// Fixture: #ifndef guard whose #define does not match (classic copy-paste
+// slip that silently voids the guard).
+#ifndef DS_LINT_TESTDATA_BAD_GUARD_MISMATCH_H_  // ds-lint-expect: header-guard
+#define DS_LINT_TESTDATA_SOME_OTHER_GUARD_H_
+
+namespace deepserve {
+
+inline int Answer() { return 42; }
+
+}  // namespace deepserve
+
+#endif  // DS_LINT_TESTDATA_BAD_GUARD_MISMATCH_H_

@@ -1,0 +1,15 @@
+// Fixture: raw ownership outside src/common/.
+namespace deepserve {
+
+struct Node {
+  int value = 0;
+};
+
+int UseRaw() {
+  Node* n = new Node();  // ds-lint-expect: raw-new-delete
+  int v = n->value;
+  delete n;  // ds-lint-expect: raw-new-delete
+  return v;
+}
+
+}  // namespace deepserve

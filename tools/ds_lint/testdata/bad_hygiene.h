@@ -1,0 +1,11 @@
+// Fixture: header that opens with an #include instead of a guard, then
+// leaks a namespace into every includer.
+#include <string>  // ds-lint-expect: header-guard
+
+namespace deepserve {
+
+using namespace std;  // ds-lint-expect: using-namespace-header
+
+inline string Greet() { return "hi"; }
+
+}  // namespace deepserve

@@ -1,0 +1,40 @@
+// Fixture: observability violations. Span-pairing findings anchor to the
+// function's declaration line; metric-name findings to the call line.
+#include <cstdint>
+#include <string>
+
+namespace deepserve {
+
+struct FakeTracer {
+  void Begin(int64_t now, int pid, int tid, const std::string& name) {}
+  void End(int64_t now, int pid, int tid) {}
+};
+
+struct FakeCounter {
+  void Inc() {}
+};
+
+struct FakeRegistry {
+  FakeCounter* counter(const std::string& name) { return nullptr; }
+  FakeCounter* gauge(const std::string& name) { return nullptr; }
+};
+
+void LeakSpan(FakeTracer& tracer) {  // ds-lint-expect: span-pairing
+  tracer.Begin(0, 0, 0, "engine.step");
+  // Missing End: a crash or early return would corrupt lane nesting.
+}
+
+void DoubleClose(FakeTracer* tracer) {  // ds-lint-expect: span-pairing
+  tracer->Begin(0, 0, 0, "sched.admit");
+  tracer->End(1, 0, 0);
+  tracer->End(2, 0, 0);
+}
+
+void BadMetrics(FakeRegistry& reg, const std::string& dynamic_name) {
+  reg.counter(dynamic_name)->Inc();          // ds-lint-expect: metric-name
+  reg.counter("Engine.Completed")->Inc();    // ds-lint-expect: metric-name
+  reg.gauge("autoscaler..replicas")->Inc();  // ds-lint-expect: metric-name
+  reg.gauge("autoscaler.replicas.")->Inc();  // ds-lint-expect: metric-name
+}
+
+}  // namespace deepserve

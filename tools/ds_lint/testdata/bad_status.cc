@@ -1,0 +1,31 @@
+// Fixture: bare call statements that silently discard a Status. The callees
+// are declared in this file so the cross-file index knows they are
+// unambiguously status-returning.
+#include "bad_status.h"
+
+namespace deepserve {
+
+[[nodiscard]] Status MustCheck();
+[[nodiscard]] Result<int> MustCount();
+void Plain();
+
+void Caller(BadService& svc) {
+  MustCheck();   // ds-lint-expect: discarded-status
+  MustCount();   // ds-lint-expect: discarded-status
+  svc.Start();   // ds-lint-expect: discarded-status
+
+  // Control-flow headers are transparent: the body statement is still a
+  // bare discarding call.
+  if (svc.Count().ok()) MustCheck();  // ds-lint-expect: discarded-status
+
+  // All of these consume or explicitly void the value — clean.
+  Status s = MustCheck();
+  if (!s.ok()) {
+    Plain();
+  }
+  (void)MustCheck();
+  bool ok = MustCheck().ok();
+  (void)ok;
+}
+
+}  // namespace deepserve

@@ -1,0 +1,30 @@
+// Fixture: Status-returning declarations missing [[nodiscard]].
+#ifndef DS_LINT_TESTDATA_BAD_STATUS_H_
+#define DS_LINT_TESTDATA_BAD_STATUS_H_
+
+namespace deepserve {
+
+class Status {
+ public:
+  [[nodiscard]] static Status Ok() { return Status(); }
+  bool ok() const { return true; }
+};
+
+template <typename T>
+class Result {
+ public:
+  bool ok() const { return true; }
+};
+
+class BadService {
+ public:
+  Status Start();             // ds-lint-expect: nodiscard-status
+  Result<int> Count() const;  // ds-lint-expect: nodiscard-status
+  void Stop();
+};
+
+Status FreeStart(BadService& svc);  // ds-lint-expect: nodiscard-status
+
+}  // namespace deepserve
+
+#endif  // DS_LINT_TESTDATA_BAD_STATUS_H_

@@ -1,0 +1,52 @@
+// Fixture: determinism-clean code. Unordered members are looked up (never
+// iterated) or drained through sorted snapshots; randomness and time come
+// from the deterministic substrate. Expects zero findings.
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/sorted_view.h"
+
+namespace deepserve {
+
+class GoodCache {
+ public:
+  // Lookups into unordered members are fine — only iteration is ordered-
+  // sensitive.
+  bool Has(int id) const { return index_.find(id) != index_.end(); }
+
+  // Ordered containers iterate freely.
+  long SumOrdered() const {
+    long total = 0;
+    for (const auto& [k, v] : ordered_) total += v;
+    return total;
+  }
+
+  // Draining through a sorted snapshot is the blessed pattern.
+  std::vector<int> Drain() {
+    std::vector<int> out;
+    for (const auto& [key, value] : SortedItems(index_)) {
+      out.push_back(key + value);
+    }
+    for (int key : SortedKeys(index_)) out.push_back(key);
+    for (int v : SortedValues(live_)) out.push_back(v);
+    return out;
+  }
+
+ private:
+  std::unordered_map<int, int> index_;
+  std::unordered_set<int> live_;
+  std::map<int, long> ordered_;
+};
+
+// mt19937-style seeded generators are deterministic and allowed; sim time
+// comes from the simulator, not the wall clock.
+struct FakeSim {
+  long Now() const { return now_; }
+  long now_ = 0;
+};
+
+long UseSimTime(const FakeSim& sim) { return sim.Now(); }
+
+}  // namespace deepserve

@@ -1,0 +1,24 @@
+// Fixture: hygiene-clean header using the `#pragma once` guard form.
+#pragma once
+
+#include <memory>
+#include <string>
+
+namespace deepserve {
+
+// Namespace aliases (not `using namespace`) are the sanctioned shorthand.
+namespace ds = ::deepserve;
+
+class Widget {
+ public:
+  Widget() = default;
+  Widget(const Widget&) = delete;             // `= delete` is not a deallocation
+  Widget& operator=(const Widget&) = delete;
+
+  static std::unique_ptr<Widget> Make() { return std::make_unique<Widget>(); }
+
+ private:
+  std::string name_;
+};
+
+}  // namespace deepserve

@@ -1,0 +1,18 @@
+// Fixture: hygiene-clean header using the classic #ifndef/#define guard form
+// (the convention throughout src/).
+#ifndef DS_LINT_TESTDATA_GOOD_HYGIENE2_H_
+#define DS_LINT_TESTDATA_GOOD_HYGIENE2_H_
+
+#include <cstddef>
+
+namespace deepserve {
+
+struct Arena {
+  // Declaring class-specific operator delete is not a raw deallocation.
+  static void* operator new(std::size_t size);
+  static void operator delete(void* p) noexcept;
+};
+
+}  // namespace deepserve
+
+#endif  // DS_LINT_TESTDATA_GOOD_HYGIENE2_H_

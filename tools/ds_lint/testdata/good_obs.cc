@@ -1,0 +1,48 @@
+// Fixture: observability-clean code. Sync spans pair within each function,
+// async spans (exempt from pairing) straddle freely, and metric names follow
+// the <subsystem>.<metric> lower_snake_case grammar. Expects zero findings.
+#include <cstdint>
+#include <string>
+
+namespace deepserve {
+
+struct FakeTracer {
+  void Begin(int64_t now, int pid, int tid, const std::string& name) {}
+  void End(int64_t now, int pid, int tid) {}
+  void AsyncBegin(int64_t now, int pid, uint64_t id, const std::string& name) {}
+  void AsyncEnd(int64_t now, int pid, uint64_t id, const std::string& name) {}
+};
+
+struct FakeCounter {
+  void Inc() {}
+};
+
+struct FakeRegistry {
+  FakeCounter* counter(const std::string& name) { return nullptr; }
+  FakeCounter* gauge(const std::string& name) { return nullptr; }
+};
+
+void PairedSpan(FakeTracer& tracer) {
+  tracer.Begin(0, 0, 0, "engine.step");
+  tracer.End(10, 0, 0);
+}
+
+void TwoPairedSpans(FakeTracer* tracer) {
+  tracer->Begin(0, 0, 0, "sched.admit");
+  tracer->End(1, 0, 0);
+  tracer->Begin(2, 0, 0, "sched.plan");
+  tracer->End(3, 0, 0);
+}
+
+// Async spans may open in one function and close in another; the pairing
+// rule only constrains the sync API.
+void OpenAsync(FakeTracer& tracer) { tracer.AsyncBegin(0, 0, 42, "kv_send"); }
+void CloseAsync(FakeTracer& tracer) { tracer.AsyncEnd(9, 0, 42, "kv_send"); }
+
+void GoodMetrics(FakeRegistry& reg) {
+  reg.counter("engine.completed_total")->Inc();
+  reg.counter("rtc.cache_hits")->Inc();
+  reg.gauge("autoscaler.ready_replicas_v2")->Inc();
+}
+
+}  // namespace deepserve

@@ -1,0 +1,46 @@
+// Fixture: Status-discipline-clean header. Every Status/Result-returning
+// declaration carries [[nodiscard]]; out-of-class definitions and
+// pointer/reference returns are exempt. Expects zero findings.
+#ifndef DS_LINT_TESTDATA_GOOD_STATUS_H_
+#define DS_LINT_TESTDATA_GOOD_STATUS_H_
+
+#include <string>
+
+namespace deepserve {
+
+class Status {
+ public:
+  [[nodiscard]] static Status Ok() { return Status(); }
+  bool ok() const { return true; }
+};
+
+template <typename T>
+class Result {
+ public:
+  bool ok() const { return true; }
+};
+
+class GoodService {
+ public:
+  [[nodiscard]] Status Start();
+  [[nodiscard]] Result<int> Count() const;
+
+  // Returning a pointer or reference to a Status is not a discardable
+  // temporary; no annotation required.
+  Status* last_error() { return &last_; }
+  const Status& last_ref() const { return last_; }
+
+  // Non-status returns need nothing.
+  std::string Name() const { return name_; }
+  void Stop();
+
+ private:
+  Status last_;
+  std::string name_;
+};
+
+[[nodiscard]] Status FreeStart(GoodService& svc);
+
+}  // namespace deepserve
+
+#endif  // DS_LINT_TESTDATA_GOOD_STATUS_H_

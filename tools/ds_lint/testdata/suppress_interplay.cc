@@ -1,0 +1,69 @@
+// Fixture: suppression grammar and scope. Exercises same-line and next-line
+// allows, the two-lines-away gap (the allow goes stale AND the violation
+// still fires), wrong-rule allows, stale allows, missing reasons, unknown
+// rules, and tag-without-allow comments.
+#include <cstdlib>
+#include <random>
+#include <unordered_map>
+
+namespace deepserve {
+
+void SameLineAllow() {
+  srand(1);  // ds-lint: allow(banned-call, fixture exercises same-line suppression)
+}
+
+void NextLineAllow() {
+  // ds-lint: allow(banned-call, a standalone allow reaches the next code line)
+  srand(2);
+}
+
+class Interplay {
+ public:
+  // The standalone allow below binds to the `total += 1;` line only. It
+  // does NOT reach the loop two lines later, so the loop still fires and
+  // the allow itself is reported stale.
+  long MisplacedAllow() const {
+    long total = 0;
+    // ds-lint: allow(unordered-iter, reaches only the next code line) ds-lint-expect: stale-suppression
+    total += 1;
+    for (const auto& [k, v] : map_) {  // ds-lint-expect: unordered-iter
+      total += v;
+    }
+    return total;
+  }
+
+ private:
+  std::unordered_map<int, long> map_;
+};
+
+void WrongRuleAllow() {
+  // An allow naming a different rule does not suppress this line's finding
+  // and is itself stale.
+  std::random_device rd;  // ds-lint: allow(banned-call, wrong rule cannot help) ds-lint-expect: banned-type stale-suppression
+  (void)rd;
+}
+
+void PureStale() {
+  int x = 3;  // ds-lint: allow(banned-call, nothing here to suppress) ds-lint-expect: stale-suppression
+  (void)x;
+}
+
+void MissingReason() {
+  // A reason-less allow is rejected as bad-suppression and suppresses
+  // nothing, so the violation also fires.
+  srand(3);  // ds-lint: allow(banned-call) ds-lint-expect: banned-call bad-suppression
+}
+
+void UnknownRule() {
+  // ds-lint: allow(no-such-rule, reasons do not save unknown rules) ds-lint-expect: bad-suppression
+  int y = 4;
+  (void)y;
+}
+
+void TagWithoutAllow() {
+  // ds-lint: see DESIGN.md for the rule catalogue ds-lint-expect: bad-suppression
+  int z = 5;
+  (void)z;
+}
+
+}  // namespace deepserve

@@ -1,0 +1,49 @@
+// Token model shared by the ds_lint lexer, scanner, and rules.
+//
+// ds_lint works at token level on purpose: it needs no libclang, builds in
+// milliseconds, and the project invariants it enforces (banned identifiers,
+// iteration over unordered members, discarded Status calls, span pairing)
+// are all expressible over a token stream plus a light structural index.
+#ifndef DEEPSERVE_TOOLS_DS_LINT_TOKEN_H_
+#define DEEPSERVE_TOOLS_DS_LINT_TOKEN_H_
+
+#include <string>
+#include <vector>
+
+namespace ds_lint {
+
+enum class Tok {
+  kIdent,    // identifiers and keywords
+  kNumber,   // numeric literals (pp-number, good enough for lint)
+  kString,   // "...", R"(...)", prefixed forms; text is the raw literal
+  kChar,     // '...'
+  kPunct,    // operators / punctuation; multi-char: :: -> [[ ]] and friends
+  kPreproc,  // one whole preprocessor directive (continuations joined)
+};
+
+struct Token {
+  Tok kind;
+  std::string text;
+  int line;  // 1-based line of the token's first character
+};
+
+// A comment, kept out of the token stream but retained for suppression and
+// fixture-expectation parsing.
+struct Comment {
+  std::string text;  // body without the // or /* */ markers
+  int line;          // line the comment starts on
+  bool standalone;   // comment is the first non-whitespace on its line
+};
+
+struct LexedFile {
+  std::vector<Token> tokens;
+  std::vector<Comment> comments;
+};
+
+// Tokenizes C++ source. Never fails: unrecognized bytes become single-char
+// kPunct tokens, so the linter degrades gracefully on odd input.
+LexedFile Lex(const std::string& source);
+
+}  // namespace ds_lint
+
+#endif  // DEEPSERVE_TOOLS_DS_LINT_TOKEN_H_

@@ -37,6 +37,12 @@ echo "==> autoscale smoke: reactive/predictive/slo policy comparison invariants"
 # violations at no more TE-seconds.
 ./build/bench/fig_autoscale --smoke >/dev/null
 
+echo "==> perf_sim smoke: DES core throughput, replay determinism, BENCH_perf.json"
+# Exits non-zero unless the full-stack 64-TE replay is bit-identical across
+# two runs and the cancellation-heavy scenario beats the embedded pre-PR
+# event core by >= 3x events/sec. Writes the tracked BENCH_perf.json.
+./build/bench/perf_sim --smoke --out=BENCH_perf.json >/dev/null
+
 if [[ "${1:-}" == "--fast" ]]; then
   echo "==> --fast: skipping sanitizer pass"
   exit 0

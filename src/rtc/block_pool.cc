@@ -4,6 +4,17 @@
 
 namespace deepserve::rtc {
 
+namespace {
+// Generations occupy the high 32 bits of the (signed) BlockId; keeping them
+// in [1, 2^31) keeps every id positive and never 0 or kInvalidBlock.
+constexpr uint32_t kMaxGen = 0x7fffffffu;
+
+constexpr BlockId MakeId(size_t idx, uint32_t gen) {
+  return static_cast<BlockId>((static_cast<uint64_t>(gen) << 32) |
+                              static_cast<uint64_t>(idx));
+}
+}  // namespace
+
 std::string_view TierToString(Tier tier) {
   switch (tier) {
     case Tier::kNpu:
@@ -43,31 +54,37 @@ Result<std::vector<BlockId>> BlockPool::Allocate(int64_t n, Tier tier, TimeNs no
   std::vector<BlockId> ids;
   ids.reserve(static_cast<size_t>(n));
   for (int64_t i = 0; i < n; ++i) {
-    BlockId id = next_id_++;
-    BlockInfo info;
-    info.ref_count = 1;
-    info.residency = TierBit(tier);
-    info.last_access = now;
-    blocks_.emplace(id, info);
-    ids.push_back(id);
+    size_t idx;
+    if (!free_slots_.empty()) {
+      idx = free_slots_.back();
+      free_slots_.pop_back();
+    } else {
+      DS_CHECK_LT(slots_.size(), size_t{0xffffffff}) << "block slab exhausted";
+      idx = slots_.size();
+      slots_.emplace_back();
+    }
+    Slot& slot = slots_[idx];
+    slot.live = true;
+    slot.info = BlockInfo{};
+    slot.info.ref_count = 1;
+    slot.info.residency = TierBit(tier);
+    slot.info.last_access = now;
+    ids.push_back(MakeId(idx, slot.gen));
   }
+  live_count_ += static_cast<size_t>(n);
   used_[static_cast<size_t>(tier)] += n;
   return ids;
 }
 
 BlockInfo& BlockPool::mutable_info(BlockId id) {
-  auto it = blocks_.find(id);
-  DS_CHECK(it != blocks_.end()) << "unknown block " << id;
-  return it->second;
+  DS_CHECK(Exists(id)) << "unknown block " << id;
+  return slots_[IndexOf(id)].info;
 }
 
 const BlockInfo& BlockPool::info(BlockId id) const {
-  auto it = blocks_.find(id);
-  DS_CHECK(it != blocks_.end()) << "unknown block " << id;
-  return it->second;
+  DS_CHECK(Exists(id)) << "unknown block " << id;
+  return slots_[IndexOf(id)].info;
 }
-
-void BlockPool::Ref(BlockId id) { ++mutable_info(id).ref_count; }
 
 void BlockPool::Unref(BlockId id) {
   BlockInfo& info = mutable_info(id);
@@ -108,11 +125,13 @@ void BlockPool::Destroy(BlockId id) {
       --used_[static_cast<size_t>(tier)];
     }
   }
-  blocks_.erase(id);
+  size_t idx = IndexOf(id);
+  Slot& slot = slots_[idx];
+  slot.live = false;
+  slot.info = BlockInfo{};
+  slot.gen = slot.gen == kMaxGen ? 1 : slot.gen + 1;
+  free_slots_.push_back(static_cast<uint32_t>(idx));
+  --live_count_;
 }
-
-void BlockPool::SetKey(BlockId id, BlockKey key) { mutable_info(id).key = key; }
-
-void BlockPool::Touch(BlockId id, TimeNs now) { mutable_info(id).last_access = now; }
 
 }  // namespace deepserve::rtc

@@ -6,12 +6,18 @@
 // DRAM simultaneously), a content key once the block is committed to the
 // cache index, and LRU metadata. The pool enforces per-tier capacity and is
 // purely logical — byte-level HBM effects are applied by RtcExecutors.
+//
+// Storage is a dense slot vector indexed by the low 32 bits of the BlockId,
+// with destroyed slots recycled through a free list. The high bits carry a
+// per-slot generation, so a stale id (a block destroyed and its slot reused)
+// never aliases the new occupant: Exists() is a bounds check plus a
+// generation compare, and every Ref/Unref/Touch on the engine's per-token hot
+// path is a direct index instead of an unordered_map lookup.
 #ifndef DEEPSERVE_RTC_BLOCK_POOL_H_
 #define DEEPSERVE_RTC_BLOCK_POOL_H_
 
 #include <cstdint>
 #include <span>
-#include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
@@ -54,7 +60,7 @@ class BlockPool {
   // lacks capacity (caller evicts and retries).
   [[nodiscard]] Result<std::vector<BlockId>> Allocate(int64_t n, Tier tier, TimeNs now);
 
-  void Ref(BlockId id);
+  void Ref(BlockId id) { ++mutable_info(id).ref_count; }
   // Drops one reference. Blocks are never destroyed here — an unreferenced
   // cached block stays preserved until evicted; an unreferenced private
   // (uncached) block is destroyed and its residency released.
@@ -64,26 +70,43 @@ class BlockPool {
   [[nodiscard]] Status AddResidency(BlockId id, Tier tier);
   void DropResidency(BlockId id, Tier tier);
 
-  // Destroys an unreferenced block outright (eviction path).
+  // Destroys an unreferenced block outright (eviction path). The slot is
+  // recycled under a new generation, so the old id stops resolving.
   void Destroy(BlockId id);
 
-  void SetKey(BlockId id, BlockKey key);
-  void Touch(BlockId id, TimeNs now);
+  void SetKey(BlockId id, BlockKey key) { mutable_info(id).key = key; }
+  void Touch(BlockId id, TimeNs now) { mutable_info(id).last_access = now; }
 
   const BlockInfo& info(BlockId id) const;
-  bool Exists(BlockId id) const { return blocks_.count(id) > 0; }
+  bool Exists(BlockId id) const {
+    size_t idx = IndexOf(id);
+    return id != kInvalidBlock && idx < slots_.size() && slots_[idx].live &&
+           slots_[idx].gen == GenOf(id);
+  }
 
   int64_t used(Tier tier) const { return used_[static_cast<size_t>(tier)]; }
   int64_t capacity(Tier tier) const;
   int64_t free_blocks(Tier tier) const { return capacity(tier) - used(tier); }
-  size_t total_blocks() const { return blocks_.size(); }
+  size_t total_blocks() const { return live_count_; }
 
  private:
+  struct Slot {
+    BlockInfo info;
+    uint32_t gen = 1;
+    bool live = false;
+  };
+
+  static size_t IndexOf(BlockId id) {
+    return static_cast<size_t>(static_cast<uint64_t>(id) & 0xffffffffull);
+  }
+  static uint32_t GenOf(BlockId id) { return static_cast<uint32_t>(static_cast<uint64_t>(id) >> 32); }
+
   BlockInfo& mutable_info(BlockId id);
 
   BlockPoolConfig config_;
-  BlockId next_id_ = 1;
-  std::unordered_map<BlockId, BlockInfo> blocks_;
+  std::vector<Slot> slots_;
+  std::vector<uint32_t> free_slots_;  // LIFO
+  size_t live_count_ = 0;
   int64_t used_[3] = {0, 0, 0};
 };
 

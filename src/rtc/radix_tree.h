@@ -8,6 +8,14 @@
 // global tree", which here is literal — both are RadixTree<V> over the same
 // BlockKey stream.
 //
+// Node children live in a ChildMap: a sorted inline array for the common
+// low-fanout case (radix nodes overwhelmingly have a handful of children),
+// spilling to a std::map only past kInlineChildren — the root of a global
+// prompt tree can fan out to one child per distinct opening block. Both modes
+// look up by exact key and iterate in ascending key order, so traversal order
+// (and with it eviction tie-breaking and replay determinism) is identical to
+// the previous pure-std::map representation.
+//
 // V is the per-node payload covering that node's span. It must be default-
 // constructible and provide:
 //   V SplitTail(size_t offset)  — split at `offset` symbols into this node's
@@ -16,11 +24,13 @@
 #ifndef DEEPSERVE_RTC_RADIX_TREE_H_
 #define DEEPSERVE_RTC_RADIX_TREE_H_
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "common/logging.h"
@@ -62,12 +72,125 @@ inline std::vector<BlockKey> TokensToBlockKeys(std::span<const TokenId> tokens, 
 template <typename V>
 class RadixTree {
  public:
+  struct Node;
+
+  // Children of one node, keyed by first edge symbol. Inline-sorted up to
+  // kInlineChildren entries (find = short linear scan, insert = memmove of a
+  // few 16-byte entries); larger fanouts migrate wholesale to a std::map and
+  // stay there. Iteration is ascending by key in both modes.
+  class ChildMap {
+   public:
+    static constexpr size_t kInlineChildren = 8;
+
+    ChildMap() = default;
+    ChildMap(ChildMap&&) noexcept = default;
+    ChildMap& operator=(ChildMap&&) noexcept = default;
+    ChildMap(const ChildMap&) = delete;
+    ChildMap& operator=(const ChildMap&) = delete;
+
+    size_t size() const { return spill_ != nullptr ? spill_->size() : inline_count_; }
+    bool empty() const { return size() == 0; }
+
+    Node* Find(BlockKey key) const {
+      if (spill_ != nullptr) {
+        auto it = spill_->find(key);
+        return it != spill_->end() ? it->second.get() : nullptr;
+      }
+      for (size_t i = 0; i < inline_count_; ++i) {
+        if (inline_[i].key == key) {
+          return inline_[i].node.get();
+        }
+      }
+      return nullptr;
+    }
+
+    // Inserts a child under `key` (which must be absent) and returns it.
+    Node* Emplace(BlockKey key, std::unique_ptr<Node> child) {
+      DS_CHECK(Find(key) == nullptr) << "duplicate child key";
+      Node* raw = child.get();
+      if (spill_ == nullptr && inline_count_ == kInlineChildren) {
+        Spill();
+      }
+      if (spill_ != nullptr) {
+        spill_->emplace(key, std::move(child));
+        return raw;
+      }
+      size_t pos = inline_count_;
+      while (pos > 0 && inline_[pos - 1].key > key) {
+        inline_[pos] = std::move(inline_[pos - 1]);
+        --pos;
+      }
+      inline_[pos] = Entry{key, std::move(child)};
+      ++inline_count_;
+      return raw;
+    }
+
+    // Detaches and returns the child under `key`; the key must be present.
+    std::unique_ptr<Node> Remove(BlockKey key) {
+      if (spill_ != nullptr) {
+        auto it = spill_->find(key);
+        DS_CHECK(it != spill_->end()) << "removing absent child key";
+        std::unique_ptr<Node> out = std::move(it->second);
+        spill_->erase(it);
+        return out;
+      }
+      for (size_t i = 0; i < inline_count_; ++i) {
+        if (inline_[i].key == key) {
+          std::unique_ptr<Node> out = std::move(inline_[i].node);
+          for (size_t j = i + 1; j < inline_count_; ++j) {
+            inline_[j - 1] = std::move(inline_[j]);
+          }
+          --inline_count_;
+          inline_[inline_count_] = Entry{};
+          return out;
+        }
+      }
+      DS_CHECK(false) << "removing absent child key";
+      return nullptr;
+    }
+
+    // Visits (key, child) pairs in ascending key order.
+    template <typename Fn>
+    void ForEach(const Fn& fn) const {
+      if (spill_ != nullptr) {
+        for (const auto& [key, child] : *spill_) {
+          fn(key, child.get());
+        }
+        return;
+      }
+      for (size_t i = 0; i < inline_count_; ++i) {
+        fn(inline_[i].key, inline_[i].node.get());
+      }
+    }
+
+    bool spilled() const { return spill_ != nullptr; }
+
+   private:
+    struct Entry {
+      BlockKey key = 0;
+      std::unique_ptr<Node> node;
+    };
+
+    void Spill() {
+      spill_ = std::make_unique<std::map<BlockKey, std::unique_ptr<Node>>>();
+      for (size_t i = 0; i < inline_count_; ++i) {
+        spill_->emplace(inline_[i].key, std::move(inline_[i].node));
+        inline_[i] = Entry{};
+      }
+      inline_count_ = 0;
+    }
+
+    std::array<Entry, kInlineChildren> inline_{};
+    size_t inline_count_ = 0;
+    std::unique_ptr<std::map<BlockKey, std::unique_ptr<Node>>> spill_;
+  };
+
   struct Node {
     std::vector<BlockKey> edge;  // symbols on the edge from the parent
     V value{};                   // payload covering this node's edge span
     TimeNs last_access = 0;
     Node* parent = nullptr;
-    std::map<BlockKey, std::unique_ptr<Node>> children;  // keyed by first edge symbol
+    ChildMap children;  // keyed by first edge symbol
 
     bool is_leaf() const { return children.empty(); }
     // Depth in symbols from the root to the END of this node's edge.
@@ -89,11 +212,10 @@ class RadixTree {
     const Node* node = root_.get();
     size_t pos = 0;
     while (pos < keys.size()) {
-      auto it = node->children.find(keys[pos]);
-      if (it == node->children.end()) {
+      Node* child = node->children.Find(keys[pos]);
+      if (child == nullptr) {
         break;
       }
-      Node* child = it->second.get();
       size_t i = 0;
       while (i < child->edge.size() && pos + i < keys.size() && child->edge[i] == keys[pos + i]) {
         ++i;
@@ -123,21 +245,19 @@ class RadixTree {
     size_t pos = 0;
     node->last_access = now;
     while (pos < keys.size()) {
-      auto it = node->children.find(keys[pos]);
-      if (it == node->children.end()) {
-        auto child = std::make_unique<Node>();
-        child->edge.assign(keys.begin() + static_cast<ptrdiff_t>(pos), keys.end());
-        child->parent = node;
-        child->depth = node->depth + child->edge.size();
-        child->last_access = now;
-        Node* raw = child.get();
-        node->children.emplace(keys[pos], std::move(child));
+      Node* child = node->children.Find(keys[pos]);
+      if (child == nullptr) {
+        auto fresh = std::make_unique<Node>();
+        fresh->edge.assign(keys.begin() + static_cast<ptrdiff_t>(pos), keys.end());
+        fresh->parent = node;
+        fresh->depth = node->depth + fresh->edge.size();
+        fresh->last_access = now;
+        Node* raw = node->children.Emplace(keys[pos], std::move(fresh));
         if (on_new) {
           on_new(*raw, pos, keys.size());
         }
         return raw;
       }
-      Node* child = it->second.get();
       size_t i = 0;
       while (i < child->edge.size() && pos + i < keys.size() && child->edge[i] == keys[pos + i]) {
         ++i;
@@ -159,10 +279,9 @@ class RadixTree {
     DS_CHECK(node->is_leaf());
     DS_CHECK(node->parent != nullptr) << "cannot remove the root";
     Node* parent = node->parent;
-    auto it = parent->children.find(node->edge.front());
-    DS_CHECK(it != parent->children.end());
-    DS_CHECK_EQ(it->second.get(), node);
-    parent->children.erase(it);
+    DS_CHECK_EQ(parent->children.Find(node->edge.front()), node)
+        << "child map key does not lead back to the node";
+    parent->children.Remove(node->edge.front());
   }
 
   // Least-recently-used leaf for which `evictable` holds; nullptr if none.
@@ -201,21 +320,20 @@ class RadixTree {
     tail->last_access = child->last_access;
     tail->children = std::move(child->children);
     tail->depth = child->depth;
-    for (auto& [key, grandchild] : tail->children) {
-      grandchild->parent = tail.get();
-    }
+    tail->children.ForEach([&](BlockKey, Node* grandchild) { grandchild->parent = tail.get(); });
     child->edge.resize(offset);
     child->depth = child->depth - tail->edge.size();
+    child->children = ChildMap{};
     tail->parent = child;
     BlockKey tail_first = tail->edge.front();
-    child->children.emplace(tail_first, std::move(tail));
+    child->children.Emplace(tail_first, std::move(tail));
   }
 
   void VisitSubtree(Node* node, const std::function<void(Node*)>& fn) {
-    for (auto& [key, child] : node->children) {
-      fn(child.get());
-      VisitSubtree(child.get(), fn);
-    }
+    node->children.ForEach([&](BlockKey, Node* child) {
+      fn(child);
+      VisitSubtree(child, fn);
+    });
   }
 
   void VisitLeaves(Node* node, const std::function<void(Node*)>& fn) {
@@ -223,9 +341,7 @@ class RadixTree {
       fn(node);
       return;
     }
-    for (auto& [key, child] : node->children) {
-      VisitLeaves(child.get(), fn);
-    }
+    node->children.ForEach([&](BlockKey, Node* child) { VisitLeaves(child, fn); });
   }
 
   std::unique_ptr<Node> root_;

@@ -22,61 +22,38 @@ void Simulator::SetMetrics(obs::MetricsRegistry* metrics) {
 EventId Simulator::ScheduleAt(TimeNs t, EventFn fn) {
   DS_CHECK_GE(t, now_) << "cannot schedule into the past";
   DS_CHECK(fn != nullptr);
-  EventId id = next_id_++;
-  queue_.push(Event{t, next_seq_++, id, std::move(fn)});
-  ++pending_count_;
+  EventId id = queue_.Insert(t, std::move(fn));
   if (m_scheduled_ != nullptr) {
     m_scheduled_->Inc();
-    m_max_depth_->SetMax(static_cast<double>(pending_count_));
+    m_max_depth_->SetMax(static_cast<double>(queue_.live()));
   }
   return id;
 }
 
 bool Simulator::Cancel(EventId id) {
-  if (id == kInvalidEventId) {
+  if (!queue_.Cancel(id)) {
     return false;
   }
-  // Lazy deletion: mark the id; the event is skipped when popped. pending
-  // count is decremented immediately so Empty() reflects live events.
-  if (cancelled_.insert(id).second) {
-    if (pending_count_ > 0) {
-      --pending_count_;
-      if (m_cancelled_ != nullptr) {
-        m_cancelled_->Inc();
-      }
-      return true;
-    }
-    cancelled_.erase(id);
+  if (m_cancelled_ != nullptr) {
+    m_cancelled_->Inc();
   }
-  return false;
+  return true;
 }
 
-void Simulator::FireTop() {
-  Event ev = std::move(const_cast<Event&>(queue_.top()));
-  queue_.pop();
-  if (auto it = cancelled_.find(ev.id); it != cancelled_.end()) {
-    cancelled_.erase(it);
-    return;
+bool Simulator::Step() {
+  TimeNs t = 0;
+  EventFn fn;
+  if (!queue_.PopIfDue(kTimeNever, &t, &fn)) {
+    return false;
   }
-  DS_CHECK_GE(ev.time, now_);
-  now_ = ev.time;
-  --pending_count_;
+  DS_CHECK_GE(t, now_);
+  now_ = t;
   ++fired_count_;
   if (m_fired_ != nullptr) {
     m_fired_->Inc();
   }
-  ev.fn();
-}
-
-bool Simulator::Step() {
-  while (!queue_.empty()) {
-    bool was_cancelled = cancelled_.count(queue_.top().id) > 0;
-    FireTop();
-    if (!was_cancelled) {
-      return true;
-    }
-  }
-  return false;
+  fn();
+  return true;
 }
 
 size_t Simulator::Run() {
@@ -90,12 +67,18 @@ size_t Simulator::Run() {
 size_t Simulator::RunUntil(TimeNs t) {
   DS_CHECK_GE(t, now_);
   size_t fired = 0;
-  while (!queue_.empty() && queue_.top().time <= t) {
-    bool was_cancelled = cancelled_.count(queue_.top().id) > 0;
-    FireTop();
-    if (!was_cancelled) {
-      ++fired;
+  TimeNs et = 0;
+  EventFn fn;
+  while (queue_.PopIfDue(t, &et, &fn)) {
+    DS_CHECK_GE(et, now_);
+    now_ = et;
+    ++fired_count_;
+    ++fired;
+    if (m_fired_ != nullptr) {
+      m_fired_->Inc();
     }
+    fn();
+    fn.Reset();  // destroy captures before the next pop reuses the slot
   }
   now_ = t;
   return fired;

@@ -1,32 +1,41 @@
 // Discrete-event simulation core.
 //
 // All timing in DeepServe flows through one Simulator: a virtual clock plus a
-// priority queue of (time, sequence, callback) events. The real system's
+// calendar queue of (time, sequence, callback) events. The real system's
 // threads — FlowServe's sched-enqueue / sched-loop, RTC's background swapper,
 // DistFlow's transfer workers, the autoscaler's control loop — become event
 // chains here, so "asynchrony" is genuine overlap in virtual time and every
 // run replays deterministically. Events at equal timestamps fire in
 // scheduling order (FIFO tie-break), which keeps causality intuitive.
+//
+// The storage under the clock is sim/event_queue.h: slab-allocated event
+// records addressed by generation-checked handles, ordered by a calendar
+// queue. EventIds are those handles, so Cancel() is an O(1) tombstone and
+// cancelling a fired, cancelled, or never-issued id is detected exactly (a
+// true no-op returning false) instead of by the global-count heuristic the
+// old binary-heap core used.
 #ifndef DEEPSERVE_SIM_SIMULATOR_H_
 #define DEEPSERVE_SIM_SIMULATOR_H_
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
-#include <vector>
+#include <memory>
+#include <utility>
 
 #include "common/logging.h"
+#include "common/small_fn.h"
 #include "common/types.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "sim/event_queue.h"
 
 namespace deepserve::sim {
 
-using EventFn = std::function<void()>;
-using EventId = uint64_t;
+// Event callbacks are small-buffer-optimized and move-only; any callable
+// (lambda, std::function, function pointer) converts implicitly.
+using EventFn = common::SmallFn;
+using EventId = EventQueue::Handle;
 
-inline constexpr EventId kInvalidEventId = 0;
+inline constexpr EventId kInvalidEventId = EventQueue::kNilHandle;
 
 class Simulator {
  public:
@@ -42,11 +51,18 @@ class Simulator {
   EventId ScheduleAt(TimeNs t, EventFn fn);
 
   // Schedules fn after the given delay (>= 0).
-  EventId ScheduleAfter(DurationNs delay, EventFn fn) { return ScheduleAt(now_ + delay, fn); }
+  EventId ScheduleAfter(DurationNs delay, EventFn fn) {
+    return ScheduleAt(now_ + delay, std::move(fn));
+  }
 
   // Cancels a pending event. Returns true if the event existed and had not
-  // yet fired; cancelling a fired or unknown id is a harmless no-op.
+  // yet fired; cancelling a fired, already-cancelled, or unknown id is a
+  // harmless no-op returning false (the handle's generation detects it —
+  // counts are never touched).
   bool Cancel(EventId id);
+
+  // True iff `id` names a scheduled, not-yet-fired event.
+  bool IsScheduled(EventId id) const { return queue_.Live(id); }
 
   // Runs events until the queue drains. Returns the number of events fired.
   size_t Run();
@@ -58,8 +74,8 @@ class Simulator {
   // Fires the single earliest event. Returns false if the queue is empty.
   bool Step();
 
-  bool Empty() const { return pending_count_ == 0; }
-  size_t PendingEvents() const { return pending_count_; }
+  bool Empty() const { return queue_.empty(); }
+  size_t PendingEvents() const { return queue_.live(); }
   uint64_t TotalFired() const { return fired_count_; }
 
   // ---- observability attach points ----------------------------------------
@@ -74,30 +90,9 @@ class Simulator {
   obs::MetricsRegistry* metrics() const { return metrics_; }
 
  private:
-  struct Event {
-    TimeNs time;
-    uint64_t seq;  // FIFO tie-break for equal timestamps.
-    EventId id;
-    EventFn fn;
-  };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.time != b.time) {
-        return a.time > b.time;
-      }
-      return a.seq > b.seq;
-    }
-  };
-
-  void FireTop();
-
   TimeNs now_ = 0;
-  uint64_t next_seq_ = 1;
-  EventId next_id_ = 1;
   uint64_t fired_count_ = 0;
-  size_t pending_count_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
-  std::unordered_set<EventId> cancelled_;
+  EventQueue queue_;
 
   obs::Tracer* tracer_ = nullptr;
   obs::MetricsRegistry* metrics_ = nullptr;
@@ -114,6 +109,11 @@ class Simulator {
 // re-scheduled tick keeps the same FIFO position a hand-rolled
 // "run-then-ScheduleAfter" loop would have — replacing such a loop with a
 // PeriodicTask is replay-identical.
+//
+// Restart safety: every Start()/Stop() bumps an epoch; an in-flight firing
+// carries the epoch it was scheduled under and goes inert when they differ.
+// In particular Start() called from inside the task's own callback replaces
+// the chain instead of forking a second, uncancellable one.
 class PeriodicTask {
  public:
   PeriodicTask() = default;
@@ -130,13 +130,16 @@ class PeriodicTask {
     Stop();
     sim_ = sim;
     interval_ = interval;
-    fn_ = std::move(fn);
+    // Held behind a shared_ptr so a Start() issued from inside the running
+    // callback can swap fn_ without destroying the closure mid-call.
+    fn_ = std::make_shared<EventFn>(std::move(fn));
     running_ = true;
-    event_ = sim_->ScheduleAfter(interval_, [this] { Fire(); });
+    event_ = sim_->ScheduleAfter(interval_, [this, epoch = epoch_] { Fire(epoch); });
   }
 
   void Stop() {
     running_ = false;
+    ++epoch_;  // any in-flight firing from the previous chain goes inert
     if (sim_ != nullptr && event_ != kInvalidEventId) {
       sim_->Cancel(event_);
     }
@@ -146,21 +149,23 @@ class PeriodicTask {
   bool running() const { return running_; }
 
  private:
-  void Fire() {
-    event_ = kInvalidEventId;
-    if (!running_) {
-      return;
+  void Fire(uint64_t epoch) {
+    if (!running_ || epoch != epoch_) {
+      return;  // stale chain: stopped or restarted since this was scheduled
     }
-    fn_();
-    if (running_) {  // fn_ may have called Stop()
-      event_ = sim_->ScheduleAfter(interval_, [this] { Fire(); });
+    event_ = kInvalidEventId;
+    auto keep = fn_;  // survives a Start()/Stop() issued by the body
+    (*keep)();
+    if (running_ && epoch == epoch_) {  // body may have called Stop()/Start()
+      event_ = sim_->ScheduleAfter(interval_, [this, epoch] { Fire(epoch); });
     }
   }
 
   Simulator* sim_ = nullptr;
   DurationNs interval_ = 0;
-  EventFn fn_;
+  std::shared_ptr<EventFn> fn_;
   bool running_ = false;
+  uint64_t epoch_ = 0;
   EventId event_ = kInvalidEventId;
 };
 

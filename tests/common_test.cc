@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cmath>
+#include <memory>
 #include <set>
 #include <string>
 #include <unordered_map>
@@ -9,6 +11,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/small_fn.h"
 #include "common/sorted_view.h"
 #include "common/stats.h"
 #include "common/status.h"
@@ -282,6 +285,73 @@ TEST(SortedViewTest, EmptyContainers) {
   EXPECT_TRUE(SortedKeys(m).empty());
   EXPECT_TRUE(SortedItems(m).empty());
   EXPECT_TRUE(SortedValues(s).empty());
+}
+
+TEST(SmallFnTest, EmptyByDefault) {
+  common::SmallFn fn;
+  EXPECT_FALSE(static_cast<bool>(fn));
+  EXPECT_TRUE(fn == nullptr);
+}
+
+TEST(SmallFnTest, SmallCaptureStoredInlineAndInvocable) {
+  int hits = 0;
+  int* p = &hits;
+  common::SmallFn fn([p] { ++*p; });
+  EXPECT_TRUE(static_cast<bool>(fn));
+  EXPECT_TRUE(fn.is_inline());
+  fn();
+  fn();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(SmallFnTest, OversizedCaptureFallsBackToHeap) {
+  std::array<int64_t, 16> big{};  // 128 bytes > kInlineBytes
+  big[7] = 42;
+  int64_t seen = 0;
+  common::SmallFn fn([big, &seen] { seen = big[7]; });
+  EXPECT_FALSE(fn.is_inline());
+  fn();
+  EXPECT_EQ(seen, 42);
+}
+
+TEST(SmallFnTest, MoveTransfersOwnershipForBothStorageModes) {
+  for (bool heap : {false, true}) {
+    auto counter = std::make_shared<int>(0);
+    common::SmallFn src;
+    if (heap) {
+      std::array<int64_t, 16> pad{};
+      src = common::SmallFn([counter, pad] { *counter += 1 + static_cast<int>(pad[0]); });
+    } else {
+      src = common::SmallFn([counter] { ++*counter; });
+    }
+    EXPECT_EQ(src.is_inline(), !heap);
+    common::SmallFn dst = std::move(src);
+    EXPECT_FALSE(static_cast<bool>(src));
+    EXPECT_TRUE(static_cast<bool>(dst));
+    dst();
+    EXPECT_EQ(*counter, 1);
+    // Destroying the moved-to wrapper releases the capture.
+    dst.Reset();
+    EXPECT_EQ(counter.use_count(), 1);
+  }
+}
+
+TEST(SmallFnTest, ResetDestroysCapture) {
+  auto token = std::make_shared<int>(7);
+  common::SmallFn fn([token] {});
+  EXPECT_EQ(token.use_count(), 2);
+  fn.Reset();
+  EXPECT_EQ(token.use_count(), 1);
+  EXPECT_FALSE(static_cast<bool>(fn));
+}
+
+TEST(SmallFnTest, MoveAssignmentReleasesPreviousCapture) {
+  auto old_token = std::make_shared<int>(1);
+  auto new_token = std::make_shared<int>(2);
+  common::SmallFn fn([old_token] {});
+  fn = common::SmallFn([new_token] {});
+  EXPECT_EQ(old_token.use_count(), 1);
+  EXPECT_EQ(new_token.use_count(), 2);
 }
 
 }  // namespace

@@ -72,15 +72,15 @@ void AuditStructure(Tree& tree) {
     ASSERT_FALSE(node->edge.empty()) << "non-root node with empty edge";
     ASSERT_NE(node->parent, nullptr);
     // The child is keyed by its first edge symbol in the parent's map.
-    auto it = node->parent->children.find(node->edge.front());
-    ASSERT_NE(it, node->parent->children.end());
-    EXPECT_EQ(it->second.get(), node) << "child map key does not lead back to the node";
+    Tree::Node* found = node->parent->children.Find(node->edge.front());
+    ASSERT_NE(found, nullptr);
+    EXPECT_EQ(found, node) << "child map key does not lead back to the node";
     // Depth bookkeeping survives splits.
     EXPECT_EQ(node->depth, node->parent->depth + node->edge.size());
-    for (auto& [key, child] : node->children) {
+    node->children.ForEach([&](Key key, Tree::Node* child) {
       EXPECT_EQ(child->parent, node);
       EXPECT_EQ(key, child->edge.front());
-    }
+    });
   });
 }
 

@@ -53,15 +53,6 @@ struct Options {
   bool smoke = false;
 };
 
-bool TakeFlag(const std::string& arg, const char* prefix, std::string* out) {
-  size_t n = std::strlen(prefix);
-  if (arg.compare(0, n, prefix) != 0) {
-    return false;
-  }
-  *out = arg.substr(n);
-  return true;
-}
-
 struct RunResult {
   int64_t submitted = 0;
   int64_t completed = 0;
@@ -160,9 +151,16 @@ RunResult RunPolicy(const Options& options, const std::string& policy,
         }
         mix(id * 2 + 1);
       };
-      // Intentional discard: a synchronous rejection also fires on_error, so
-      // the conservation counters already account for it.
-      (void)frontend.ChatCompletion(std::move(request), std::move(handler));
+      // A pre-dispatch rejection reports through the returned Status alone
+      // (the handler never fires): fold it into the error terminations.
+      Status status = frontend.ChatCompletion(std::move(request), std::move(handler));
+      if (!status.ok()) {
+        ++result.errored;
+        if (++(*terminations)[spec.id] > 1) {
+          ++result.double_terminated;
+        }
+        mix(spec.id * 2 + 1);
+      }
     });
   }
   bed.sim().Run();
@@ -184,30 +182,21 @@ RunResult RunPolicy(const Options& options, const std::string& policy,
 
 int main(int argc, char** argv) {
   Options options;
-  std::vector<char*> obs_args{argv[0]};
-  for (int i = 1; i < argc; ++i) {
-    std::string arg = argv[i];
-    std::string value;
-    if (TakeFlag(arg, "--rps=", &value)) {
-      options.rps = std::atof(value.c_str());
-    } else if (TakeFlag(arg, "--duration-s=", &value)) {
-      options.duration_s = std::atof(value.c_str());
-    } else if (TakeFlag(arg, "--deadline-ms=", &value)) {
-      options.deadline_ms = std::atof(value.c_str());
-    } else if (TakeFlag(arg, "--tbt-ms=", &value)) {
-      options.tbt_ms = std::atof(value.c_str());
-    } else if (TakeFlag(arg, "--seed=", &value)) {
-      options.seed = std::strtoull(value.c_str(), nullptr, 10);
-    } else if (TakeFlag(arg, "--policy=", &value)) {
-      options.policy = value;
-    } else if (arg == "--smoke") {
-      options.smoke = true;
-      options.rps = 2.5;
-      options.duration_s = 8.0;
-      options.deadline_ms = 8000.0;
-    } else {
-      obs_args.push_back(argv[i]);
-    }
+  bench::OptionRegistry registry;
+  registry.Flag("rps", &options.rps, "offered load (fleet saturates ~1)");
+  registry.Flag("duration-s", &options.duration_s, "trace horizon in seconds");
+  registry.Flag("deadline-ms", &options.deadline_ms, "per-request completion deadline");
+  registry.Flag("tbt-ms", &options.tbt_ms, "slo TBT budget for decode-bearing steps");
+  registry.Flag("seed", &options.seed, "trace seed");
+  registry.Flag("policy", &options.policy,
+                "run only one policy: fcfs | slo | priority-preempt (default: all)");
+  registry.Flag("smoke", &options.smoke,
+                "small fixed run that exits non-zero on conservation/TBT/replay failures");
+  std::vector<char*> obs_args = registry.Parse(argc, argv);
+  if (options.smoke) {
+    options.rps = 2.5;
+    options.duration_s = 8.0;
+    options.deadline_ms = 8000.0;
   }
   bench::ObsSession obs(static_cast<int>(obs_args.size()), obs_args.data());
 

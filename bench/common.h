@@ -4,8 +4,11 @@
 #ifndef DEEPSERVE_BENCH_COMMON_H_
 #define DEEPSERVE_BENCH_COMMON_H_
 
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -18,12 +21,140 @@
 #include "serving/cluster_manager.h"
 #include "serving/job_executor.h"
 #include "serving/predictor.h"
+#include "serving/route_policy.h"
 #include "serving/task_executor.h"
 #include "sim/simulator.h"
 #include "workload/metrics.h"
 #include "workload/tracegen.h"
 
 namespace deepserve::bench {
+
+// Uniform command-line parsing for the benches. Register typed flags up
+// front, then Parse() consumes the matching argv entries and returns the
+// leftovers (argv[0] plus anything unrecognized) ready to hand to ObsSession.
+// `--help` prints every registered flag plus the ObsSession ones and exits.
+//
+// Value flags are spelled --name=VALUE; bool flags are bare --name switches.
+// Help order is registration order, so related flags group naturally.
+class OptionRegistry {
+ public:
+  void Flag(const std::string& name, double* out, const std::string& help) {
+    Add(name, help, /*is_switch=*/false,
+        [out](const std::string& value) { *out = std::atof(value.c_str()); });
+  }
+  void Flag(const std::string& name, int* out, const std::string& help) {
+    Add(name, help, /*is_switch=*/false,
+        [out](const std::string& value) { *out = std::atoi(value.c_str()); });
+  }
+  void Flag(const std::string& name, uint64_t* out, const std::string& help) {
+    Add(name, help, /*is_switch=*/false, [out](const std::string& value) {
+      *out = std::strtoull(value.c_str(), nullptr, 10);
+    });
+  }
+  void Flag(const std::string& name, std::string* out, const std::string& help) {
+    Add(name, help, /*is_switch=*/false, [out](const std::string& value) { *out = value; });
+  }
+  void Flag(const std::string& name, bool* out, const std::string& help) {
+    Add(name, help, /*is_switch=*/true, [out](const std::string&) { *out = true; });
+  }
+
+  std::vector<char*> Parse(int argc, char** argv) {
+    std::vector<char*> rest{argv[0]};
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg == "--help" || arg == "-h") {
+        PrintHelp(argv[0]);
+        std::exit(0);
+      }
+      if (!Consume(arg)) {
+        rest.push_back(argv[i]);
+      }
+    }
+    return rest;
+  }
+
+  void PrintHelp(const char* argv0) const {
+    std::printf("usage: %s [flags]\n", argv0);
+    for (const auto& entry : entries_) {
+      std::printf("  --%s%s\n        %s\n", entry.name.c_str(), entry.is_switch ? "" : "=VALUE",
+                  entry.help.c_str());
+    }
+    std::printf(
+        "  --trace-out=PATH\n        Chrome trace_event JSON (chrome://tracing, Perfetto)\n"
+        "  --trace-jsonl=PATH\n        one trace event per line, for scripted analysis\n"
+        "  --metrics-out=PATH\n        metrics-registry dump (counters/gauges/stats)\n");
+  }
+
+ private:
+  struct Entry {
+    std::string name;
+    std::string help;
+    bool is_switch;
+    std::function<void(const std::string&)> set;
+  };
+
+  void Add(const std::string& name, const std::string& help, bool is_switch,
+           std::function<void(const std::string&)> set) {
+    entries_.push_back(Entry{name, help, is_switch, std::move(set)});
+  }
+
+  bool Consume(const std::string& arg) {
+    for (const auto& entry : entries_) {
+      if (entry.is_switch) {
+        if (arg == "--" + entry.name) {
+          entry.set("");
+          return true;
+        }
+      } else {
+        std::string prefix = "--" + entry.name + "=";
+        if (arg.compare(0, prefix.size(), prefix) == 0) {
+          entry.set(arg.substr(prefix.size()));
+          return true;
+        }
+      }
+    }
+    return false;
+  }
+
+  std::vector<Entry> entries_;  // registration order == help order (deterministic)
+};
+
+// The traffic-management flags shared by deepserve_sim and the traffic
+// benches, mapped onto serving::RouteConfig.
+struct RouteOptions {
+  std::string lb_policy = "rr";
+  double hedge_ms = 0.0;      // 0 disables hedging
+  int retry_budget = 0;       // budget floor; 0 leaves retries uncapped
+  int outlier_errors = 0;     // consecutive errors before ejection; 0 = off
+  double outlier_base_s = 5.0;
+  double outlier_max_s = 60.0;
+
+  void Register(OptionRegistry& options) {
+    options.Flag("lb-policy", &lb_policy, "routing policy: rr | p2c | wlc | slo");
+    options.Flag("hedge-ms", &hedge_ms,
+                 "hedge-delay floor in ms; stragglers are duplicated onto a second "
+                 "replica after max(this, observed p95) (0 = no hedging)");
+    options.Flag("retry-budget", &retry_budget,
+                 "shared crash-retry budget floor across JEs (0 = uncapped retries)");
+    options.Flag("outlier-errors", &outlier_errors,
+                 "consecutive errors before ejecting a replica (0 = ejection off)");
+    options.Flag("outlier-base-s", &outlier_base_s, "initial ejection duration, seconds");
+    options.Flag("outlier-max-s", &outlier_max_s, "ejection-backoff cap, seconds");
+  }
+
+  serving::RouteConfig ToConfig(uint64_t seed) const {
+    serving::RouteConfig config;
+    config.policy = lb_policy;
+    config.seed = seed;
+    config.hedge_floor = MillisecondsToNs(hedge_ms);
+    config.retry_budget = retry_budget > 0;
+    config.retry_floor = retry_budget;
+    config.eject_consecutive_errors = outlier_errors;
+    config.eject_base = SecondsToNs(outlier_base_s);
+    config.eject_max = SecondsToNs(outlier_max_s);
+    return config;
+  }
+};
 
 // The paper's default serving instance: the 34B model at TP=4 on Gen2 NPUs.
 inline flowserve::EngineConfig Engine34BTp4(flowserve::EngineRole role) {

@@ -64,15 +64,6 @@ struct Options {
   bool dump_timeline = false;  // per-sample held-TE trace on stderr
 };
 
-bool TakeFlag(const std::string& arg, const char* prefix, std::string* out) {
-  size_t n = std::strlen(prefix);
-  if (arg.compare(0, n, prefix) != 0) {
-    return false;
-  }
-  *out = arg.substr(n);
-  return true;
-}
-
 struct RunResult {
   int64_t submitted = 0;
   int64_t completed = 0;
@@ -213,43 +204,30 @@ RunResult RunPolicy(const Options& options, const std::string& policy,
 
 int main(int argc, char** argv) {
   Options options;
-  std::vector<char*> obs_args{argv[0]};
-  for (int i = 1; i < argc; ++i) {
-    std::string arg = argv[i];
-    std::string value;
-    if (TakeFlag(arg, "--base-rps=", &value)) {
-      options.base_rps = std::atof(value.c_str());
-    } else if (TakeFlag(arg, "--peak-rps=", &value)) {
-      options.peak_rps = std::atof(value.c_str());
-    } else if (TakeFlag(arg, "--period-s=", &value)) {
-      options.period_s = std::atof(value.c_str());
-    } else if (TakeFlag(arg, "--duration-s=", &value)) {
-      options.duration_s = std::atof(value.c_str());
-    } else if (TakeFlag(arg, "--sharpness=", &value)) {
-      options.sharpness = std::atof(value.c_str());
-    } else if (TakeFlag(arg, "--ttft-slo-ms=", &value)) {
-      options.ttft_slo_ms = std::atof(value.c_str());
-    } else if (TakeFlag(arg, "--max-tes=", &value)) {
-      options.max_tes = std::atoi(value.c_str());
-    } else if (TakeFlag(arg, "--seed=", &value)) {
-      options.seed = std::strtoull(value.c_str(), nullptr, 10);
-    } else if (TakeFlag(arg, "--policy=", &value)) {
-      options.policy = value;
-    } else if (arg == "--dump-timeline") {
-      options.dump_timeline = true;
-    } else if (arg == "--smoke") {
-      // Sharp-spike geometry: crests saturate max_tes, so reactive's
-      // serialized late scale-ups land post-crest and clear backlog into the
-      // trough, letting predictive win latency *and* TE-seconds.
-      options.smoke = true;
-      options.base_rps = 0.2;
-      options.peak_rps = 8.0;
-      options.period_s = 40.0;
-      options.sharpness = 12.0;
-      options.duration_s = 80.0;
-    } else {
-      obs_args.push_back(argv[i]);
-    }
+  bench::OptionRegistry registry;
+  registry.Flag("base-rps", &options.base_rps, "trough arrival rate of the diurnal wave");
+  registry.Flag("peak-rps", &options.peak_rps, "crest arrival rate of the diurnal wave");
+  registry.Flag("period-s", &options.period_s, "wave period in seconds");
+  registry.Flag("duration-s", &options.duration_s, "trace horizon in seconds");
+  registry.Flag("sharpness", &options.sharpness, "wave shape exponent (higher = spikier crests)");
+  registry.Flag("ttft-slo-ms", &options.ttft_slo_ms, "TTFT SLO used for the attainment column");
+  registry.Flag("max-tes", &options.max_tes, "autoscaler ceiling");
+  registry.Flag("seed", &options.seed, "trace seed");
+  registry.Flag("policy", &options.policy,
+                "run only one policy: reactive | predictive | hybrid (default: all)");
+  registry.Flag("dump-timeline", &options.dump_timeline, "per-sample held-TE trace on stderr");
+  registry.Flag("smoke", &options.smoke,
+                "sharp-spike fixed run; exits non-zero unless predictive beats reactive");
+  std::vector<char*> obs_args = registry.Parse(argc, argv);
+  if (options.smoke) {
+    // Sharp-spike geometry: crests saturate max_tes, so reactive's
+    // serialized late scale-ups land post-crest and clear backlog into the
+    // trough, letting predictive win latency *and* TE-seconds.
+    options.base_rps = 0.2;
+    options.peak_rps = 8.0;
+    options.period_s = 40.0;
+    options.sharpness = 12.0;
+    options.duration_s = 80.0;
   }
   bench::ObsSession obs(static_cast<int>(obs_args.size()), obs_args.data());
 

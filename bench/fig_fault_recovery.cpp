@@ -44,42 +44,27 @@ struct Options {
   double duration_s = 20.0;
 };
 
-bool TakeFlag(const std::string& arg, const char* prefix, std::string* out) {
-  size_t n = std::strlen(prefix);
-  if (arg.compare(0, n, prefix) != 0) {
-    return false;
-  }
-  *out = arg.substr(n);
-  return true;
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
   Options options;
-  std::vector<char*> obs_args{argv[0]};
-  for (int i = 1; i < argc; ++i) {
-    std::string arg = argv[i];
-    std::string value;
-    if (TakeFlag(arg, "--fault-seed=", &value)) {
-      options.fault_seed = std::strtoull(value.c_str(), nullptr, 10);
-    } else if (TakeFlag(arg, "--fault-schedule=", &value)) {
-      options.schedule = value;
-    } else if (TakeFlag(arg, "--detect-ms=", &value)) {
-      options.detect_ms = std::atof(value.c_str());
-    } else if (TakeFlag(arg, "--rps=", &value)) {
-      options.rps = std::atof(value.c_str());
-    } else if (TakeFlag(arg, "--duration-s=", &value)) {
-      options.duration_s = std::atof(value.c_str());
-    } else if (arg == "--no-faults") {
-      options.no_faults = true;
-    } else if (arg == "--smoke") {
-      options.smoke = true;
-      options.rps = 4.0;
-      options.duration_s = 10.0;
-    } else {
-      obs_args.push_back(argv[i]);
-    }
+  bench::OptionRegistry registry;
+  registry.Flag("fault-seed", &options.fault_seed,
+                "master seed for the generated chaos plan");
+  registry.Flag("fault-schedule", &options.schedule,
+                "explicit plan, e.g. \"npu@5;link@10:0.25x20;slow@30:3x10\" "
+                "(overrides --fault-seed's generated plan)");
+  registry.Flag("detect-ms", &options.detect_ms,
+                "NPU-crash detection latency target in ms (shell crashes detect at /10)");
+  registry.Flag("rps", &options.rps, "request arrival rate");
+  registry.Flag("duration-s", &options.duration_s, "trace duration in seconds");
+  registry.Flag("no-faults", &options.no_faults, "disable injection (baseline run)");
+  registry.Flag("smoke", &options.smoke,
+                "small fixed run that exits non-zero on a conservation violation");
+  std::vector<char*> obs_args = registry.Parse(argc, argv);
+  if (options.smoke) {
+    options.rps = 4.0;
+    options.duration_s = 10.0;
   }
   bench::ObsSession obs(static_cast<int>(obs_args.size()), obs_args.data());
 
@@ -141,6 +126,7 @@ int main(int argc, char** argv) {
 
   int64_t completed = 0;
   int64_t errored = 0;
+  int64_t rejected = 0;
   int64_t double_terminated = 0;
   int64_t goodput_tokens = 0;
   std::map<workload::RequestId, int> terminations;
@@ -164,9 +150,15 @@ int main(int argc, char** argv) {
           ++double_terminated;
         }
       };
-      // Intentional discard: a synchronous rejection also fires on_error, so
-      // the conservation counters already account for it.
-      (void)frontend.ChatCompletion(std::move(request), std::move(handler));
+      // A pre-dispatch rejection reports through the returned Status alone
+      // (the handler never fires), so it is this request's one termination.
+      Status status = frontend.ChatCompletion(std::move(request), std::move(handler));
+      if (!status.ok()) {
+        ++rejected;
+        if (++terminations[spec.id] > 1) {
+          ++double_terminated;
+        }
+      }
     });
   }
   bed.sim().Run();
@@ -191,7 +183,7 @@ int main(int argc, char** argv) {
   bench::PrintRule();
   std::printf("%-34s %12" PRId64 "\n", "requests submitted", fe.requests);
   std::printf("%-34s %12" PRId64 "\n", "dispatched", fe.chat_dispatched);
-  std::printf("%-34s %12" PRId64 "\n", "rejected pre-dispatch", fe.rejected);
+  std::printf("%-34s %12" PRId64 "\n", "rejected pre-dispatch", fe.rejected_total());
   std::printf("%-34s %12" PRId64 "\n", "completed", completed);
   std::printf("%-34s %12" PRId64 "\n", "errored (on_error)", errored);
   std::printf("%-34s %12" PRId64 "\n", "JE re-dispatches", je.stats().retries);
@@ -208,18 +200,18 @@ int main(int argc, char** argv) {
 
   if (options.smoke) {
     int64_t submitted = static_cast<int64_t>(trace.size());
-    bool conserved = completed + errored == submitted && double_terminated == 0 &&
-                     fe.requests == fe.chat_dispatched + fe.rejected;
+    bool conserved = completed + errored + rejected == submitted && double_terminated == 0 &&
+                     fe.requests == fe.chat_dispatched + fe.rejected_total();
     if (!conserved) {
       std::fprintf(stderr,
                    "CONSERVATION VIOLATED: submitted=%" PRId64 " completed=%" PRId64
-                   " errored=%" PRId64 " double_terminated=%" PRId64 "\n",
-                   submitted, completed, errored, double_terminated);
+                   " errored=%" PRId64 " rejected=%" PRId64 " double_terminated=%" PRId64 "\n",
+                   submitted, completed, errored, rejected, double_terminated);
       return 1;
     }
-    std::printf("smoke: conservation holds (%" PRId64 " completed + %" PRId64
-                " errored == %" PRId64 " submitted, 0 double-terminations)\n",
-                completed, errored, submitted);
+    std::printf("smoke: conservation holds (%" PRId64 " completed + %" PRId64 " errored + %" PRId64
+                " rejected == %" PRId64 " submitted, 0 double-terminations)\n",
+                completed, errored, rejected, submitted);
   }
   return 0;
 }

@@ -66,14 +66,6 @@ struct Options {
   bool smoke = false;
 };
 
-bool TakeFlag(const std::string& arg, const char* prefix, std::string* out) {
-  size_t n = std::strlen(prefix);
-  if (arg.compare(0, n, prefix) != 0) {
-    return false;
-  }
-  *out = arg.substr(n);
-  return true;
-}
 
 // ---------------------------------------------------------------------------
 // Pre-PR event core, kept verbatim (minus observability) as the measured
@@ -492,19 +484,14 @@ int RunAll(const Options& opt) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  bench::ObsSession obs(argc, argv);
   Options opt;
-  for (int i = 1; i < argc; ++i) {
-    std::string arg = argv[i];
-    std::string value;
-    if (arg == "--smoke") {
-      opt.smoke = true;
-    } else if (TakeFlag(arg, "--out=", &value)) {
-      opt.out = value;
-    } else if (TakeFlag(arg, "--seed=", &value)) {
-      opt.seed = static_cast<uint64_t>(std::strtoull(value.c_str(), nullptr, 10));
-    }
-    // Unknown flags are reported by ObsSession.
-  }
+  bench::OptionRegistry registry;
+  registry.Flag("out", &opt.out, "machine-readable result JSON path");
+  registry.Flag("seed", &opt.seed, "workload seed");
+  registry.Flag("smoke", &opt.smoke,
+                "fast run; exits non-zero unless replay is bit-identical and the "
+                "slab core beats the legacy heap on cancel_storm");
+  std::vector<char*> obs_args = registry.Parse(argc, argv);
+  bench::ObsSession obs(static_cast<int>(obs_args.size()), obs_args.data());
   return RunAll(opt);
 }

@@ -25,6 +25,12 @@ echo "==> fault-recovery smoke: fixed-seed chaos run, conservation asserted"
 # on_complete / on_error.
 ./build/bench/fig_fault_recovery --smoke --fault-seed=42 >/dev/null
 
+echo "==> traffic smoke: routing-policy ablation under a flash crowd + slow TE"
+# Exits non-zero unless request conservation holds in every variant, p2c+eject
+# and wlc+eject beat plain rr on both goodput and p99 TTFT, the slow TE gets
+# ejected, and the rr+eject run replays bit-identically.
+./build/bench/fig_traffic --smoke >/dev/null
+
 echo "==> sched-policy smoke: fcfs/slo/priority-preempt ablation invariants"
 # Exits non-zero unless conservation holds for all three policies, slo keeps
 # max_decode_step under its TBT budget while shedding via on_error, and the

@@ -11,18 +11,30 @@
 // Engine scheduling policy (src/flowserve/sched/): --sched-policy=fcfs|slo|
 // priority-preempt, --tbt-ms=<slo TBT budget>, --deadline-ms=<per-request
 // completion deadline; expired/unmeetable requests are shed under slo>.
+//
+// Frontend traffic management (src/serving/route_policy.h): requests flow
+// through a Frontend over --je-replicas JE replicas (each with its own copy
+// of the --colocated/--prefill-tes/--decode-tes fleet). --lb-policy picks the
+// routing policy (rr|p2c|wlc|slo), --hedge-ms arms straggler hedging,
+// --retry-budget caps crash re-dispatches fleet-wide, and --outlier-errors /
+// --outlier-base-s / --outlier-max-s configure outlier ejection. Run with
+// --help for the full flag table.
 
 #include <cstdio>
 #include <cstdlib>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "bench/common.h"
 #include "distflow/distflow.h"
 #include "hw/cluster.h"
 #include "serving/cluster_manager.h"
+#include "serving/frontend.h"
 #include "serving/job_executor.h"
 #include "serving/predictor.h"
+#include "serving/route_policy.h"
 #include "sim/simulator.h"
 #include "workload/metrics.h"
 #include "workload/tracegen.h"
@@ -37,6 +49,7 @@ struct Flags {
   int colocated = 2;
   int prefill_tes = 0;
   int decode_tes = 0;
+  int je_replicas = 1;  // JE replicas behind the frontend (fleet per replica)
   std::string policy = "combined";
   std::string sched_policy = "fcfs";  // engine policy: fcfs|slo|priority-preempt
   double tbt_ms = 0.0;                // slo TBT budget (0 = unbounded)
@@ -51,74 +64,51 @@ struct Flags {
   double predictor_accuracy = 0.9;
   std::string csv;
   std::string gen = "gen2";
-  // Autoscaler: empty = off; reactive|predictive|slo runs the colocated group
-  // between min 1 and --max-tes TEs over the trace.
+  // Autoscaler: empty = off; reactive|predictive|slo runs replica 0's
+  // colocated group between min 1 and --max-tes TEs over the trace.
   std::string scale_policy;
   int headroom = 1;
-  bool drain = true;  // graceful drain on scale-down (0 = legacy instant stop)
+  int drain = 1;  // graceful drain on scale-down (0 = legacy instant stop)
   int max_tes = 8;
+  bench::RouteOptions route;  // --lb-policy / --hedge-ms / --retry-budget / --outlier-*
 };
 
 bool ParseFlags(int argc, char** argv, Flags* flags) {
-  for (int i = 1; i < argc; ++i) {
-    std::string arg = argv[i];
-    auto eq = arg.find('=');
-    if (arg.rfind("--", 0) != 0 || eq == std::string::npos) {
-      std::fprintf(stderr, "bad flag: %s (expected --key=value)\n", arg.c_str());
-      return false;
-    }
-    std::string key = arg.substr(2, eq - 2);
-    std::string value = arg.substr(eq + 1);
-    if (key == "model") {
-      flags->model = value;
-    } else if (key == "tp") {
-      flags->tp = std::atoi(value.c_str());
-    } else if (key == "colocated") {
-      flags->colocated = std::atoi(value.c_str());
-    } else if (key == "prefill-tes") {
-      flags->prefill_tes = std::atoi(value.c_str());
-    } else if (key == "decode-tes") {
-      flags->decode_tes = std::atoi(value.c_str());
-    } else if (key == "policy") {
-      flags->policy = value;
-    } else if (key == "sched-policy") {
-      flags->sched_policy = value;
-    } else if (key == "tbt-ms") {
-      flags->tbt_ms = std::atof(value.c_str());
-    } else if (key == "ttft-ms") {
-      flags->ttft_ms = std::atof(value.c_str());
-    } else if (key == "deadline-ms") {
-      flags->deadline_ms = std::atof(value.c_str());
-    } else if (key == "trace") {
-      flags->trace = value;
-    } else if (key == "rps") {
-      flags->rps = std::atof(value.c_str());
-    } else if (key == "peak-rps") {
-      flags->peak_rps = std::atof(value.c_str());
-    } else if (key == "period") {
-      flags->period = std::atof(value.c_str());
-    } else if (key == "scale-policy") {
-      flags->scale_policy = value;
-    } else if (key == "headroom") {
-      flags->headroom = std::atoi(value.c_str());
-    } else if (key == "drain") {
-      flags->drain = std::atoi(value.c_str()) != 0;
-    } else if (key == "max-tes") {
-      flags->max_tes = std::atoi(value.c_str());
-    } else if (key == "duration") {
-      flags->duration = std::atof(value.c_str());
-    } else if (key == "seed") {
-      flags->seed = std::strtoull(value.c_str(), nullptr, 10);
-    } else if (key == "predictor") {
-      flags->predictor_accuracy = std::atof(value.c_str());
-    } else if (key == "csv") {
-      flags->csv = value;
-    } else if (key == "gen") {
-      flags->gen = value;
-    } else {
-      std::fprintf(stderr, "unknown flag --%s\n", key.c_str());
-      return false;
-    }
+  bench::OptionRegistry registry;
+  registry.Flag("model", &flags->model, "model preset (yi-34b, tiny-1b, ...)");
+  registry.Flag("tp", &flags->tp, "tensor-parallel degree per TE");
+  registry.Flag("colocated", &flags->colocated, "PD-colocated TEs per JE replica");
+  registry.Flag("prefill-tes", &flags->prefill_tes, "prefill-only TEs per JE replica");
+  registry.Flag("decode-tes", &flags->decode_tes, "decode-only TEs per JE replica");
+  registry.Flag("je-replicas", &flags->je_replicas,
+                "JE replicas behind the frontend, each with its own fleet");
+  registry.Flag("policy", &flags->policy,
+                "JE scheduling policy: rr|load|locality|pd-aware|combined");
+  registry.Flag("sched-policy", &flags->sched_policy,
+                "engine scheduling policy: fcfs|slo|priority-preempt");
+  registry.Flag("tbt-ms", &flags->tbt_ms, "slo TBT budget (0 = unbounded)");
+  registry.Flag("ttft-ms", &flags->ttft_ms, "TTFT SLO budget, counted only (0 = off)");
+  registry.Flag("deadline-ms", &flags->deadline_ms, "per-request deadline (0 = none)");
+  registry.Flag("trace", &flags->trace, "trace shape: internal|codegen|bursty");
+  registry.Flag("rps", &flags->rps, "arrival rate (bursty: base rate)");
+  registry.Flag("peak-rps", &flags->peak_rps, "bursty trace peak (0 = 4x rps)");
+  registry.Flag("period", &flags->period, "bursty trace period seconds (0 = duration/3)");
+  registry.Flag("duration", &flags->duration, "trace horizon in seconds");
+  registry.Flag("seed", &flags->seed, "trace / predictor / p2c seed");
+  registry.Flag("predictor", &flags->predictor_accuracy,
+                "decode-length predictor accuracy (1.0 = oracle)");
+  registry.Flag("csv", &flags->csv, "write per-request metrics CSV here");
+  registry.Flag("gen", &flags->gen, "NPU generation: gen1|gen2");
+  registry.Flag("scale-policy", &flags->scale_policy,
+                "autoscaler policy over replica 0 (empty = off): reactive|predictive|slo");
+  registry.Flag("headroom", &flags->headroom, "autoscaler headroom TEs");
+  registry.Flag("drain", &flags->drain, "graceful drain on scale-down (0 = instant stop)");
+  registry.Flag("max-tes", &flags->max_tes, "autoscaler ceiling");
+  flags->route.Register(registry);
+  std::vector<char*> rest = registry.Parse(argc, argv);
+  for (size_t i = 1; i < rest.size(); ++i) {
+    std::fprintf(stderr, "unknown flag %s (see --help)\n", rest[i]);
+    return false;
   }
   return true;
 }
@@ -156,10 +146,22 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", policy.status().ToString().c_str());
     return 2;
   }
+  // Validate --lb-policy up front for a clean CLI error (the Frontend itself
+  // treats an unknown policy as a programming error).
+  auto lb_policy = serving::MakeRoutePolicy(flags.route.ToConfig(flags.seed));
+  if (!lb_policy.ok()) {
+    std::fprintf(stderr, "%s\n", lb_policy.status().ToString().c_str());
+    return 2;
+  }
 
+  if (flags.je_replicas < 1) {
+    std::fprintf(stderr, "--je-replicas must be >= 1\n");
+    return 2;
+  }
   sim::Simulator sim;
   hw::ClusterConfig cluster_config;
-  int instances = flags.colocated + flags.prefill_tes + flags.decode_tes;
+  int instances =
+      flags.je_replicas * (flags.colocated + flags.prefill_tes + flags.decode_tes);
   cluster_config.npu_spec = flags.gen == "gen1" ? hw::NpuSpec::Gen1() : hw::NpuSpec::Gen2();
   cluster_config.num_machines =
       std::max(1, (instances * flags.tp + cluster_config.npus_per_machine - 1) /
@@ -170,11 +172,14 @@ int main(int argc, char** argv) {
 
   serving::JeConfig je_config;
   je_config.policy = *policy;
-  serving::JobExecutor je(&sim, je_config, serving::PdHeatmap::Default(),
-                          flags.predictor_accuracy >= 1.0
-                              ? serving::MakeOraclePredictor()
-                              : serving::MakeNoisyPredictor(flags.predictor_accuracy,
-                                                            flags.seed));
+  std::vector<std::unique_ptr<serving::JobExecutor>> jes;
+  for (int r = 0; r < flags.je_replicas; ++r) {
+    jes.push_back(std::make_unique<serving::JobExecutor>(
+        &sim, je_config, serving::PdHeatmap::Default(),
+        flags.predictor_accuracy >= 1.0
+            ? serving::MakeOraclePredictor()
+            : serving::MakeNoisyPredictor(flags.predictor_accuracy, flags.seed)));
+  }
 
   flowserve::EngineConfig engine;
   engine.model = *model;
@@ -184,7 +189,7 @@ int main(int argc, char** argv) {
   engine.sched.tbt_budget_ms = flags.tbt_ms;
   engine.sched.ttft_budget_ms = flags.ttft_ms;
   std::vector<distflow::EndpointId> endpoints;
-  auto add_te = [&](flowserve::EngineRole role) -> bool {
+  auto add_te = [&](serving::JobExecutor* je, flowserve::EngineRole role) -> bool {
     engine.role = role;
     auto te = manager.CreateReadyTe(engine);
     if (!te.ok()) {
@@ -194,34 +199,41 @@ int main(int argc, char** argv) {
     endpoints.push_back((*te)->id());
     switch (role) {
       case flowserve::EngineRole::kColocated:
-        je.AddColocatedTe(*te);
+        je->AddColocatedTe(*te);
         break;
       case flowserve::EngineRole::kPrefillOnly:
-        je.AddPrefillTe(*te);
+        je->AddPrefillTe(*te);
         break;
       case flowserve::EngineRole::kDecodeOnly:
-        je.AddDecodeTe(*te);
+        je->AddDecodeTe(*te);
         break;
     }
     return true;
   };
-  for (int i = 0; i < flags.colocated; ++i) {
-    if (!add_te(flowserve::EngineRole::kColocated)) {
-      return 1;
+  for (auto& je : jes) {
+    for (int i = 0; i < flags.colocated; ++i) {
+      if (!add_te(je.get(), flowserve::EngineRole::kColocated)) {
+        return 1;
+      }
     }
-  }
-  for (int i = 0; i < flags.prefill_tes; ++i) {
-    if (!add_te(flowserve::EngineRole::kPrefillOnly)) {
-      return 1;
+    for (int i = 0; i < flags.prefill_tes; ++i) {
+      if (!add_te(je.get(), flowserve::EngineRole::kPrefillOnly)) {
+        return 1;
+      }
     }
-  }
-  for (int i = 0; i < flags.decode_tes; ++i) {
-    if (!add_te(flowserve::EngineRole::kDecodeOnly)) {
-      return 1;
+    for (int i = 0; i < flags.decode_tes; ++i) {
+      if (!add_te(je.get(), flowserve::EngineRole::kDecodeOnly)) {
+        return 1;
+      }
     }
   }
   DS_CHECK_OK(transfer.LinkCluster(endpoints, nullptr));
   sim.Run();
+
+  serving::Frontend frontend(&sim, flags.route.ToConfig(flags.seed));
+  for (auto& je : jes) {
+    frontend.RegisterServingJe(flags.model, je.get());
+  }
 
   bool autoscale = !flags.scale_policy.empty();
   if (autoscale) {
@@ -232,8 +244,12 @@ int main(int argc, char** argv) {
       manager.PreloadModelToDram(m, *model);
     }
     sim.Run();
-    manager.AddFailureHandler([&je](serving::TeId id) { je.OnTeFailure(id); });
   }
+  manager.AddFailureHandler([&jes](serving::TeId id) {
+    for (auto& je : jes) {
+      je->OnTeFailure(id);
+    }
+  });
   // Preloading advances sim time; shift trace arrivals so t=0 lands "now".
   const TimeNs t0 = sim.Now();
 
@@ -266,24 +282,31 @@ int main(int argc, char** argv) {
     as_config.min_tes = 1;
     as_config.max_tes = flags.max_tes;
     engine.role = flowserve::EngineRole::kColocated;
-    manager.StartAutoscaler(&je, as_config, serving::ScaleRequest{engine});
+    manager.StartAutoscaler(jes[0].get(), as_config, serving::ScaleRequest{engine});
   }
-  std::printf("deepserve_sim: %s %s, %d coloc + %dP%dD (tp%d, %s), policy=%s, "
-              "sched=%s, %.2f rps x %.0fs -> %zu requests\n",
-              flags.model.c_str(), flags.gen.c_str(), flags.colocated, flags.prefill_tes,
-              flags.decode_tes, flags.tp, cluster_config.npu_spec.name.c_str(),
-              flags.policy.c_str(), flags.sched_policy.c_str(), flags.rps, flags.duration,
-              trace.size());
+  std::printf("deepserve_sim: %s %s, %d x (%d coloc + %dP%dD) (tp%d, %s), policy=%s, "
+              "sched=%s, lb=%s, %.2f rps x %.0fs -> %zu requests\n",
+              flags.model.c_str(), flags.gen.c_str(), flags.je_replicas, flags.colocated,
+              flags.prefill_tes, flags.decode_tes, flags.tp,
+              cluster_config.npu_spec.name.c_str(), flags.policy.c_str(),
+              flags.sched_policy.c_str(), flags.route.lb_policy.c_str(), flags.rps,
+              flags.duration, trace.size());
 
   workload::MetricsCollector metrics;
   std::map<workload::RequestId, TimeNs> first_tokens;
   int64_t errored = 0;
+  int64_t rejected = 0;
   for (const auto& spec : trace) {
     sim.ScheduleAt(spec.arrival, [&, spec] {
-      je.HandleRequest(
-          spec, {[&first_tokens, id = spec.id](const flowserve::Sequence& seq) {
+      serving::ChatRequest request;
+      request.model = flags.model;
+      request.spec = spec;
+      request.deadline = spec.deadline;
+      serving::ResponseHandler handler{
+          [&first_tokens, id = spec.id](const flowserve::Sequence& seq) {
             first_tokens[id] = seq.first_token_time;
-          }, [&metrics, &first_tokens, spec](const flowserve::Sequence& seq) {
+          },
+          [&metrics, &first_tokens, spec](const flowserve::Sequence& seq) {
             workload::RequestRecord record;
             record.id = spec.id;
             record.arrival = spec.arrival;
@@ -293,7 +316,13 @@ int main(int argc, char** argv) {
             record.prefill_len = spec.prefill_len();
             record.decode_len = spec.decode_len;
             metrics.Record(record);
-          }, [&errored](const Status&) { ++errored; }});
+          },
+          [&errored](const Status&) { ++errored; }};
+      // Pre-dispatch rejections report through the Status; the handler never
+      // fires for them.
+      if (!frontend.ChatCompletion(std::move(request), std::move(handler)).ok()) {
+        ++rejected;
+      }
     });
   }
   if (autoscale) {
@@ -317,14 +346,35 @@ int main(int argc, char** argv) {
                 static_cast<long long>(as.drains_aborted),
                 static_cast<long long>(as.drain_timeouts));
   }
-  if (errored > 0) {
-    std::printf("errored (shed / deadline exceeded): %lld of %zu\n",
-                static_cast<long long>(errored), trace.size());
+  if (errored > 0 || rejected > 0) {
+    std::printf("errored (shed / deadline exceeded): %lld, rejected pre-dispatch: %lld "
+                "of %zu\n",
+                static_cast<long long>(errored), static_cast<long long>(rejected),
+                trace.size());
+  }
+  int64_t routed_colocated = 0;
+  int64_t routed_disaggregated = 0;
+  int64_t locality_hits = 0;
+  for (auto& je : jes) {
+    routed_colocated += je->stats().routed_colocated;
+    routed_disaggregated += je->stats().routed_disaggregated;
+    locality_hits += je->stats().locality_hits;
   }
   std::printf("routing: %lld colocated, %lld disaggregated; locality hits %lld\n",
-              static_cast<long long>(je.stats().routed_colocated),
-              static_cast<long long>(je.stats().routed_disaggregated),
-              static_cast<long long>(je.stats().locality_hits));
+              static_cast<long long>(routed_colocated),
+              static_cast<long long>(routed_disaggregated),
+              static_cast<long long>(locality_hits));
+  const serving::FrontendStats& fe = frontend.stats();
+  if (fe.hedges_launched > 0 || fe.ejections > 0 || fe.rejected_total() > 0) {
+    std::printf("traffic(%s): %lld hedges (%lld wins, %lld cancels), %lld ejections "
+                "(%lld readmissions), %lld rejected\n",
+                flags.route.lb_policy.c_str(), static_cast<long long>(fe.hedges_launched),
+                static_cast<long long>(fe.hedge_wins),
+                static_cast<long long>(fe.hedge_cancels),
+                static_cast<long long>(fe.ejections),
+                static_cast<long long>(fe.readmissions),
+                static_cast<long long>(fe.rejected_total()));
+  }
   if (!flags.csv.empty()) {
     Status status = metrics.WriteCsvFile(flags.csv);
     if (!status.ok()) {

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "serving/route_policy.h"
 
 namespace deepserve::serving {
 
@@ -268,6 +269,75 @@ bool JobExecutor::HasReadyCapacity() const {
     }
   }
   return false;
+}
+
+int JobExecutor::ReadyCapacityWeight() const {
+  int coloc = 0;
+  for (TaskExecutor* te : colocated_) {
+    if (te->ready()) {
+      ++coloc;
+    }
+  }
+  int prefill = 0;
+  for (TaskExecutor* te : prefill_) {
+    if (te->ready()) {
+      ++prefill;
+    }
+  }
+  int decode = 0;
+  for (TaskExecutor* te : decode_) {
+    if (te->ready()) {
+      ++decode;
+    }
+  }
+  return coloc + std::min(prefill, decode);
+}
+
+size_t JobExecutor::CancelRequest(workload::RequestId request_id) {
+  size_t dropped = 0;
+  for (auto it = outstanding_.begin(); it != outstanding_.end();) {
+    if (it->second.spec.id != request_id) {
+      ++it;
+      continue;
+    }
+    JobId job_id = it->first;
+    std::vector<TeId> tes = std::move(it->second.tes);
+    it = outstanding_.erase(it);  // the handler dies here without firing
+    JobRecord& record = jobs_[job_index_.at(job_id)];
+    record.state = JobState::kFailed;
+    record.completed = sim_->Now();
+    for (TaskId task : record.tasks) {
+      TaskRecord& t = tasks_[task_index_.at(task)];
+      if (t.state != TaskState::kCompleted) {
+        t.state = TaskState::kFailed;
+        t.completed = sim_->Now();
+      }
+    }
+    for (TeId te_id : tes) {
+      for (TaskExecutor* te : colocated_) {
+        if (te->id() == te_id) {
+          te->CancelRequest(request_id);
+        }
+      }
+      for (TaskExecutor* te : prefill_) {
+        if (te->id() == te_id) {
+          te->CancelRequest(request_id);
+        }
+      }
+      for (TaskExecutor* te : decode_) {
+        if (te->id() == te_id) {
+          te->CancelRequest(request_id);
+        }
+      }
+    }
+    ++stats_.cancelled;
+    ++dropped;
+    if (obs::Tracer* t = sim_->tracer()) {
+      t->Instant(sim_->Now(), TracePid(), 0, "je.cancel",
+                 {obs::Arg("req", static_cast<int64_t>(request_id))});
+    }
+  }
+  return dropped;
 }
 
 void JobExecutor::HandleRequest(const workload::RequestSpec& spec, ResponseHandler handler) {
@@ -549,7 +619,16 @@ void JobExecutor::OnTeFailure(TeId id) {
         }
       }
     }
-    if (retry.retries >= config_.max_retries) {
+    bool budget_ok = true;
+    if (retry.retries < config_.max_retries && retry_budget_ != nullptr &&
+        !retry_budget_->TryAcquire()) {
+      // The fleet-wide retry budget (shared across every JE the frontend
+      // registered) is dry: give up even though this request has per-request
+      // retries left — retry storms must not amplify a failing fleet.
+      budget_ok = false;
+      ++stats_.budget_denied;
+    }
+    if (retry.retries >= config_.max_retries || !budget_ok) {
       // Retry budget exhausted: the request is gone for good — report it
       // instead of redispatching forever.
       ++stats_.errors;

@@ -34,6 +34,8 @@
 
 namespace deepserve::serving {
 
+class RetryBudget;
+
 enum class SchedulingPolicy {
   kRoundRobin,
   kLoadOnly,
@@ -67,6 +69,8 @@ struct JeConfig {
 struct JeStats {
   int64_t requests = 0;           // external requests (retries not re-counted)
   int64_t retries = 0;            // jobs re-dispatched after a TE failure
+  int64_t budget_denied = 0;      // retries refused by the shared RetryBudget
+  int64_t cancelled = 0;          // jobs dropped via CancelRequest (no callbacks)
   int64_t errors = 0;             // jobs terminated through on_error
   int64_t deadline_failures = 0;  // errors that were expired at (re-)dispatch
   int64_t failed_tes_handled = 0;
@@ -106,6 +110,21 @@ class JobExecutor {
   // colocated TE, or a ready prefill + ready decode pair. Unlike the group
   // counts this consults TeState, so mid-scale-up or failed TEs don't count.
   bool HasReadyCapacity() const;
+
+  // Ready serving slots for weighted load balancing: ready colocated TEs plus
+  // min(ready prefill, ready decode) PD pairs. 0 iff !HasReadyCapacity().
+  int ReadyCapacityWeight() const;
+
+  // Drops every outstanding job carrying this request id WITHOUT firing its
+  // handler (the caller owns termination — the frontend's hedge path), and
+  // cancels the engine-side sequence on every TE the job touched so its KV
+  // pins release. Returns how many jobs were dropped (0 = none in flight).
+  size_t CancelRequest(workload::RequestId request_id);
+
+  // Installs a shared retry budget (frontend-owned): beyond the per-request
+  // max_retries cap, each crash re-dispatch must also acquire a budget token
+  // or the request errors out. nullptr = per-request cap only.
+  void SetRetryBudget(RetryBudget* budget) { retry_budget_ = budget; }
 
   // Fault tolerance: a TE died. It leaves every group, its in-flight jobs are
   // marked failed, and their requests are re-dispatched to surviving TEs
@@ -158,6 +177,7 @@ class JobExecutor {
   JeConfig config_;
   PdHeatmap heatmap_;
   std::unique_ptr<DecodeLengthPredictor> predictor_;
+  RetryBudget* retry_budget_ = nullptr;
 
   std::vector<TaskExecutor*> colocated_;
   std::vector<TaskExecutor*> prefill_;

@@ -1,0 +1,36 @@
+#include "serving/route/p2c_policy.h"
+
+#include "common/logging.h"
+
+namespace deepserve::serving {
+
+RouteDecision P2cRoutePolicy::Pick(const RouteContext& ctx) {
+  const std::vector<JeSnapshot>& c = ctx.candidates;
+  DS_CHECK(!c.empty());
+  if (c.size() == 1) {
+    return RouteDecision{false, 0};
+  }
+  size_t i;
+  size_t j;
+  if (c.size() == 2) {
+    i = 0;
+    j = 1;
+    rng_.Next();  // keep the stream advancing one value per 2-way decision
+  } else {
+    i = static_cast<size_t>(rng_.UniformInt(0, static_cast<int64_t>(c.size()) - 1));
+    j = static_cast<size_t>(rng_.UniformInt(0, static_cast<int64_t>(c.size()) - 2));
+    if (j >= i) {
+      ++j;  // distinct second sample
+    }
+  }
+  // Less-loaded wins; ties to the lower replica index.
+  size_t choice;
+  if (c[i].outstanding != c[j].outstanding) {
+    choice = c[i].outstanding < c[j].outstanding ? i : j;
+  } else {
+    choice = c[i].index < c[j].index ? i : j;
+  }
+  return RouteDecision{false, choice};
+}
+
+}  // namespace deepserve::serving

@@ -1,0 +1,29 @@
+// Power-of-two-choices route policy: sample two distinct replicas, dispatch
+// to the less-loaded one. O(1) per decision yet exponentially better load
+// spread than random — the classic balls-into-bins result.
+#ifndef DEEPSERVE_SERVING_ROUTE_P2C_POLICY_H_
+#define DEEPSERVE_SERVING_ROUTE_P2C_POLICY_H_
+
+#include "common/rng.h"
+#include "serving/route_policy.h"
+
+namespace deepserve::serving {
+
+// Draws from a private seeded SplitMix64 stream (two draws per decision, one
+// when only two candidates exist, none for a single candidate), compares
+// outstanding load, and breaks ties toward the lower replica index — both
+// pinned by unit tests so replays stay bit-identical.
+class P2cRoutePolicy : public RoutePolicy {
+ public:
+  explicit P2cRoutePolicy(uint64_t seed) : rng_(seed) {}
+
+  std::string_view name() const override { return "p2c"; }
+  RouteDecision Pick(const RouteContext& ctx) override;
+
+ private:
+  Rng rng_;
+};
+
+}  // namespace deepserve::serving
+
+#endif  // DEEPSERVE_SERVING_ROUTE_P2C_POLICY_H_

@@ -1,0 +1,26 @@
+#include "serving/route/rr_policy.h"
+
+#include "common/logging.h"
+
+namespace deepserve::serving {
+
+RouteDecision RrRoutePolicy::Pick(const RouteContext& ctx) {
+  DS_CHECK(!ctx.candidates.empty());
+  size_t n = ctx.replica_count;
+  DS_CHECK_GT(n, 0u);
+  // Smallest (index - cursor) mod n = the first eligible replica the legacy
+  // loop would have stopped at.
+  size_t best = 0;
+  size_t best_distance = n;
+  for (size_t i = 0; i < ctx.candidates.size(); ++i) {
+    size_t distance = (ctx.candidates[i].index + n - cursor_ % n) % n;
+    if (distance < best_distance) {
+      best = i;
+      best_distance = distance;
+    }
+  }
+  cursor_ = (ctx.candidates[best].index + 1) % n;
+  return RouteDecision{false, best};
+}
+
+}  // namespace deepserve::serving

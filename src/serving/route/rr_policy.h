@@ -1,0 +1,25 @@
+// Round-robin route policy: the legacy frontend dispatch order, kept
+// bit-identical (golden parity test) so "rr" remains the default.
+#ifndef DEEPSERVE_SERVING_ROUTE_RR_POLICY_H_
+#define DEEPSERVE_SERVING_ROUTE_RR_POLICY_H_
+
+#include "serving/route_policy.h"
+
+namespace deepserve::serving {
+
+// Picks the first eligible replica at-or-after a cursor in circular index
+// order, then parks the cursor just past the pick — exactly the legacy
+// "advance until a JE has capacity" loop, restated over the pre-filtered
+// candidate list.
+class RrRoutePolicy : public RoutePolicy {
+ public:
+  std::string_view name() const override { return "rr"; }
+  RouteDecision Pick(const RouteContext& ctx) override;
+
+ private:
+  size_t cursor_ = 0;
+};
+
+}  // namespace deepserve::serving
+
+#endif  // DEEPSERVE_SERVING_ROUTE_RR_POLICY_H_

@@ -1,0 +1,23 @@
+#include "serving/route/slo_policy.h"
+
+#include "common/logging.h"
+
+namespace deepserve::serving {
+
+RouteDecision SloRoutePolicy::Pick(const RouteContext& ctx) {
+  DS_CHECK(!ctx.candidates.empty());
+  // Fleet pressure counts every replica's outstanding work (ejected ones
+  // included — their load is still real) against the ready slots.
+  double pressure = static_cast<double>(ctx.total_outstanding) /
+                    static_cast<double>(std::max(ctx.total_weight, 1));
+  double depth = ctx.priority >= 2 ? batch_depth_
+               : ctx.priority >= 1 ? normal_depth_
+                                   : 0.0;  // interactive is never shed
+  if (depth > 0.0 && pressure >= depth) {
+    ++sheds_;
+    return RouteDecision{true, 0};
+  }
+  return RouteDecision{false, PickLeastLoaded(ctx.candidates)};
+}
+
+}  // namespace deepserve::serving

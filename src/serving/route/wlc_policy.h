@@ -1,0 +1,21 @@
+// Weighted least-connections route policy: outstanding load normalized by
+// each replica's ready serving slots, so a 4-TE replica legitimately carries
+// 4x the connections of a 1-TE one.
+#ifndef DEEPSERVE_SERVING_ROUTE_WLC_POLICY_H_
+#define DEEPSERVE_SERVING_ROUTE_WLC_POLICY_H_
+
+#include "serving/route_policy.h"
+
+namespace deepserve::serving {
+
+class WlcRoutePolicy : public RoutePolicy {
+ public:
+  std::string_view name() const override { return "wlc"; }
+  RouteDecision Pick(const RouteContext& ctx) override {
+    return RouteDecision{false, PickLeastLoaded(ctx.candidates)};
+  }
+};
+
+}  // namespace deepserve::serving
+
+#endif  // DEEPSERVE_SERVING_ROUTE_WLC_POLICY_H_

@@ -127,6 +127,14 @@ void TaskExecutor::SubmitPrefill(const workload::RequestSpec& spec, TaskExecutor
       });
 }
 
+bool TaskExecutor::CancelRequest(workload::RequestId request_id) {
+  bool dropped = handoffs_.erase(request_id) > 0;
+  // kNotFound just means this side never admitted (or already finished) the
+  // sequence — e.g. the decode half of a pair still mid-hand-off.
+  dropped = engine_->Cancel(request_id).ok() || dropped;
+  return dropped;
+}
+
 size_t TaskExecutor::Fail() {
   state_ = TeState::kFailed;
   handoffs_.clear();

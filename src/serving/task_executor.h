@@ -111,6 +111,12 @@ class TaskExecutor {
   void SubmitPrefill(const workload::RequestSpec& spec, TaskExecutor* decode_te,
                      ResponseHandler handler);
 
+  // Drops this request's work on this TE without firing any callback: a
+  // pending PD hand-off (if any) is discarded and the engine-side sequence is
+  // cancelled, releasing its KV pins. Returns true when anything was dropped.
+  // Used by the JE's cancel path (hedge losers); the caller owns termination.
+  bool CancelRequest(workload::RequestId request_id);
+
   // TE-shell health surface for the cluster manager.
   flowserve::LoadInfo load() const { return engine_->load(); }
   int64_t queue_depth() const {

@@ -607,6 +607,9 @@ struct ChaosOutcome {
   int64_t drains_started = 0;  // autoscaler chaos variant
   int64_t drains_aborted = 0;
   int64_t drain_timeouts = 0;
+  int64_t hedges = 0;  // hedged chaos variant
+  int64_t hedge_cancels = 0;
+  int64_t ejections = 0;
   TimeNs end_time = 0;
 
   bool operator==(const ChaosOutcome& other) const {
@@ -614,7 +617,9 @@ struct ChaosOutcome {
            double_terminated == other.double_terminated && crashes == other.crashes &&
            replacements == other.replacements && sheds == other.sheds &&
            drains_started == other.drains_started && drains_aborted == other.drains_aborted &&
-           drain_timeouts == other.drain_timeouts && end_time == other.end_time;
+           drain_timeouts == other.drain_timeouts && hedges == other.hedges &&
+           hedge_cancels == other.hedge_cancels && ejections == other.ejections &&
+           end_time == other.end_time;
   }
 };
 
@@ -715,7 +720,15 @@ ChaosOutcome RunChaos(uint64_t fault_seed, bool enable_faults, bool slo_deadline
           ++outcome.double_terminated;
         }
       };
-      (void)frontend.ChatCompletion(std::move(request), std::move(handler));
+      // A pre-dispatch rejection reports through the Status alone (the
+      // handler never fires): count it as this request's one termination.
+      Status status = frontend.ChatCompletion(std::move(request), std::move(handler));
+      if (!status.ok()) {
+        outcome.errored.push_back(id);
+        if (++terminations[id] > 1) {
+          ++outcome.double_terminated;
+        }
+      }
     });
   }
   if (autoscale) {
@@ -738,7 +751,7 @@ ChaosOutcome RunChaos(uint64_t fault_seed, bool enable_faults, bool slo_deadline
   outcome.end_time = sim.Now();
   // Frontend accounting stays conservative under churn.
   EXPECT_EQ(frontend.stats().requests,
-            frontend.stats().chat_dispatched + frontend.stats().rejected);
+            frontend.stats().chat_dispatched + frontend.stats().rejected_total());
   return outcome;
 }
 
@@ -797,6 +810,130 @@ TEST(ChaosPropertyTest, DrainingTesRacingCrashesConserveRequests) {
     EXPECT_TRUE(outcome == replay) << "seed " << seed << " diverged";
   }
   EXPECT_TRUE(any_drains) << "the autoscaler never drained: the race was not exercised";
+}
+
+// Hedged requests racing TE crashes: two JE replicas behind a p2c frontend
+// with hedging, outlier ejection, and a shared retry budget, driven through
+// the same generated chaos plans. On top of exactly-once termination this
+// pins engine-level token conservation — every sequence that entered an
+// engine left it through exactly one of complete/cancel/abort/shed, so
+// cancelled hedge losers release their tokens instead of leaking them.
+ChaosOutcome RunHedgeChaos(uint64_t fault_seed) {
+  constexpr int kRequests = 40;
+  sim::Simulator sim;
+  hw::ClusterConfig cc;
+  cc.num_machines = 4;
+  hw::Cluster cluster(&sim, cc);
+  distflow::TransferEngine transfer(&sim, &cluster, distflow::DistFlowConfig{});
+  serving::ClusterManager manager(&sim, &cluster, &transfer);
+  serving::JeConfig config;
+  config.policy = serving::SchedulingPolicy::kLoadOnly;
+  flowserve::EngineConfig engine_config = SmallEngine(flowserve::EngineRole::kColocated);
+  std::vector<std::unique_ptr<serving::JobExecutor>> jes;
+  std::vector<serving::TaskExecutor*> tes;
+  std::vector<distflow::EndpointId> endpoints;
+  for (int i = 0; i < 2; ++i) {
+    jes.push_back(std::make_unique<serving::JobExecutor>(
+        &sim, config, serving::PdHeatmap::Default(), serving::MakeOraclePredictor()));
+    for (int t = 0; t < 2; ++t) {
+      auto* te = manager.CreateReadyTe(engine_config).value();
+      jes[i]->AddColocatedTe(te);
+      tes.push_back(te);
+      endpoints.push_back(te->id());
+    }
+  }
+  DS_CHECK_OK(transfer.LinkCluster(endpoints, nullptr));
+  sim.Run();
+  manager.AddFailureHandler([&](serving::TeId id) {
+    for (auto& je : jes) {
+      je->OnTeFailure(id);
+    }
+  });
+
+  serving::RouteConfig route;
+  route.policy = "p2c";
+  route.seed = 5;
+  route.hedge_floor = MillisecondsToNs(400);
+  route.eject_consecutive_errors = 2;
+  route.retry_budget = true;
+  route.retry_floor = 6;
+  serving::Frontend frontend(&sim, route);
+  for (auto& je : jes) {
+    frontend.RegisterServingJe("tiny-1b", je.get());
+  }
+
+  faults::FaultInjector injector(&sim, &manager, fault_seed);
+  faults::FaultPlanConfig plan;
+  plan.count = 6;
+  plan.window_start = 0;
+  plan.window_end = SecondsToNs(10);
+  injector.ScheduleAll(faults::FaultInjector::GeneratePlan(fault_seed, plan));
+
+  ChaosOutcome outcome;
+  std::vector<int> terminations(kRequests + 1, 0);
+  for (int i = 0; i < kRequests; ++i) {
+    workload::RequestId id = static_cast<workload::RequestId>(i + 1);
+    sim.ScheduleAt(MillisecondsToNs(200) * i, [&, id, i] {
+      serving::ChatRequest request;
+      request.model = "tiny-1b";
+      request.spec = MakeRequest(id, 1024, 512, static_cast<TokenId>(100 + 37 * i));
+      serving::ResponseHandler handler;
+      handler.on_complete = [&outcome, &terminations, id](const flowserve::Sequence&) {
+        outcome.completed.push_back(id);
+        if (++terminations[id] > 1) {
+          ++outcome.double_terminated;
+        }
+      };
+      handler.on_error = [&outcome, &terminations, id](const Status&) {
+        outcome.errored.push_back(id);
+        if (++terminations[id] > 1) {
+          ++outcome.double_terminated;
+        }
+      };
+      Status status = frontend.ChatCompletion(std::move(request), std::move(handler));
+      if (!status.ok()) {
+        outcome.errored.push_back(id);
+        if (++terminations[id] > 1) {
+          ++outcome.double_terminated;
+        }
+      }
+    });
+  }
+  sim.Run();
+  outcome.crashes = manager.stats().crashes;
+  outcome.hedges = frontend.stats().hedges_launched;
+  outcome.hedge_cancels = frontend.stats().hedge_cancels;
+  outcome.ejections = frontend.stats().ejections;
+  outcome.end_time = sim.Now();
+  EXPECT_EQ(frontend.stats().requests,
+            frontend.stats().chat_dispatched + frontend.stats().rejected_total());
+  for (serving::TaskExecutor* te : tes) {
+    const flowserve::EngineStats& es = te->engine().stats();
+    EXPECT_EQ(es.submitted, es.completed + es.cancelled + es.aborted + es.shed)
+        << "TE " << te->id() << " leaked sequences";
+    if (te->ready()) {
+      EXPECT_TRUE(te->engine().idle()) << "TE " << te->id() << " still holds work at end";
+    }
+  }
+  return outcome;
+}
+
+TEST(ChaosPropertyTest, HedgedRequestsRacingCrashesConserveRequestsAndTokens) {
+  bool any_hedges = false;
+  bool any_cancels = false;
+  for (uint64_t seed : {1ull, 7ull, 42ull}) {
+    ChaosOutcome outcome = RunHedgeChaos(seed);
+    EXPECT_EQ(outcome.completed.size() + outcome.errored.size(), 40u)
+        << "seed " << seed << " lost a request";
+    EXPECT_EQ(outcome.double_terminated, 0) << "seed " << seed;
+    any_hedges = any_hedges || outcome.hedges > 0;
+    any_cancels = any_cancels || outcome.hedge_cancels > 0;
+
+    ChaosOutcome replay = RunHedgeChaos(seed);
+    EXPECT_TRUE(outcome == replay) << "seed " << seed << " diverged";
+  }
+  EXPECT_TRUE(any_hedges) << "hedging was a no-op under chaos";
+  EXPECT_TRUE(any_cancels) << "no hedge loser was ever cancelled";
 }
 
 TEST(ChaosPropertyTest, DisabledFaultsMakeSeedIrrelevant) {

@@ -95,14 +95,18 @@ TEST_F(FrontendTest, RoutesByModelName) {
   EXPECT_EQ(frontend.stats().chat_dispatched, 1);
 }
 
-TEST_F(FrontendTest, UnknownModelRejectedThroughOnError) {
+TEST_F(FrontendTest, UnknownModelRejectedThroughStatusExactlyOnce) {
+  // Exactly-once reporting: a pre-dispatch rejection is the returned Status
+  // and nothing else — the handler must NOT also fire (callers that count
+  // both would double-count the request).
   serving::Frontend frontend;
-  Status seen = Status::Ok();
+  int error_calls = 0;
   Status s = frontend.ChatCompletion(Chat("gpt-17", MakeRequest(1, 64, 4)),
-                                     {nullptr, nullptr, [&](const Status& e) { seen = e; }});
+                                     {nullptr, nullptr, [&](const Status&) { ++error_calls; }});
   EXPECT_EQ(s.code(), StatusCode::kNotFound);
-  EXPECT_EQ(seen.code(), StatusCode::kNotFound);  // pre-dispatch rejection fires on_error
-  EXPECT_EQ(frontend.stats().rejected, 1);
+  EXPECT_EQ(error_calls, 0);  // the Status is the one and only report
+  EXPECT_EQ(frontend.stats().rejected(serving::RejectReason::kUnknownModel), 1);
+  EXPECT_EQ(frontend.stats().rejected_total(), 1);
   EXPECT_EQ(frontend.stats().errors, 0);  // rejected, not errored-after-dispatch
 }
 
@@ -113,15 +117,15 @@ TEST_F(FrontendTest, DeadlineAlreadyMissedRejected) {
   sim_.ScheduleAt(MillisecondsToNs(100), [&] {
     auto request = Chat("tiny-1b", MakeRequest(1, 64, 4));
     request.deadline = MillisecondsToNs(50);  // already in the past
-    Status seen = Status::Ok();
+    int error_calls = 0;
     EXPECT_EQ(frontend.ChatCompletion(std::move(request),
-                                      {nullptr, nullptr, [&](const Status& e) { seen = e; }})
+                                      {nullptr, nullptr, [&](const Status&) { ++error_calls; }})
                   .code(),
               StatusCode::kDeadlineExceeded);
-    EXPECT_EQ(seen.code(), StatusCode::kDeadlineExceeded);
+    EXPECT_EQ(error_calls, 0);  // reported via Status only
   });
   sim_.Run();
-  EXPECT_EQ(frontend.stats().rejected, 1);
+  EXPECT_EQ(frontend.stats().rejected(serving::RejectReason::kDeadline), 1);
   EXPECT_EQ(frontend.stats().chat_dispatched, 0);
 }
 
@@ -197,7 +201,7 @@ TEST_F(FrontendTest, AllReplicasDownMeansUnavailable) {
                                 {nullptr, nullptr, nullptr})
                 .code(),
             StatusCode::kUnavailable);
-  EXPECT_EQ(frontend.stats().rejected, 1);
+  EXPECT_EQ(frontend.stats().rejected(serving::RejectReason::kNoCapacity), 1);
 }
 
 TEST_F(FrontendTest, CapacityConsultsTeStateNotGroupMembership) {
@@ -286,7 +290,7 @@ TEST_F(FrontendTest, PostDispatchLossDeliversOnError) {
   EXPECT_EQ(errors, 1);
   EXPECT_FALSE(seen.ok());
   EXPECT_EQ(frontend.stats().errors, 1);
-  EXPECT_EQ(frontend.stats().rejected, 0);
+  EXPECT_EQ(frontend.stats().rejected_total(), 0);
   EXPECT_EQ(frontend.stats().chat_dispatched, 1);
 }
 

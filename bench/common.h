@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "ctrl/control_log.h"
 #include "distflow/distflow.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -156,6 +157,36 @@ struct RouteOptions {
   }
 };
 
+// The replicated-control-plane flags shared by deepserve_sim and the
+// failover benches, mapped onto ctrl::CtrlConfig.
+struct CtrlOptions {
+  int replicas = 1;         // 1 = degenerate unreplicated log (the default)
+  double latency_ms = 1.0;  // append -> applied-on-a-standby delay
+  double lease_ms = 500.0;  // leader lease (failover-delay floor)
+
+  void Register(OptionRegistry& options) {
+    options.Flag("ctrl-replicas", &replicas,
+                 "control-plane log replicas per domain (1 = unreplicated: a "
+                 "leader crash is permanent; >=2 enables standby failover)");
+    options.Flag("ctrl-latency-ms", &latency_ms,
+                 "control-log replication latency in ms (standby lag charged "
+                 "at takeover)");
+    options.Flag("ctrl-lease-ms", &lease_ms,
+                 "leader lease in ms a standby must wait out before takeover");
+  }
+
+  bool replicated() const { return replicas > 1; }
+
+  ctrl::CtrlConfig ToConfig() const {
+    ctrl::CtrlConfig config;
+    config.replicas = replicas;
+    config.quorum = replicas / 2 + 1;
+    config.replication_latency = MillisecondsToNs(latency_ms);
+    config.lease_duration = MillisecondsToNs(lease_ms);
+    return config;
+  }
+};
+
 // The paper's default serving instance: the 34B model at TP=4 on Gen2 NPUs.
 inline flowserve::EngineConfig Engine34BTp4(flowserve::EngineRole role) {
   flowserve::EngineConfig config;
@@ -285,11 +316,15 @@ class ObsSession {
 // TEs, and one JE.
 class Testbed {
  public:
+  // `ctrl`: when non-null, the CM's TeDirectory (and any JE that calls
+  // AttachControl(ctrl_log(), ...)) lives on a shared control log with this
+  // replication config; null keeps the CM's internal degenerate log.
   explicit Testbed(int num_machines = 4,
                    serving::SchedulingPolicy policy = serving::SchedulingPolicy::kCombined,
                    serving::PdHeatmap heatmap = serving::PdHeatmap::Default(),
                    std::unique_ptr<serving::DecodeLengthPredictor> predictor =
-                       serving::MakeOraclePredictor()) {
+                       serving::MakeOraclePredictor(),
+                   const ctrl::CtrlConfig* ctrl = nullptr) {
     if (ObsSession* obs = ObsSession::active()) {
       obs->Attach(sim_);
     }
@@ -299,7 +334,13 @@ class Testbed {
     cluster_ = std::make_unique<hw::Cluster>(&sim_, cluster_config);
     transfer_ = std::make_unique<distflow::TransferEngine>(&sim_, cluster_.get(),
                                                            distflow::DistFlowConfig{});
-    manager_ = std::make_unique<serving::ClusterManager>(&sim_, cluster_.get(), transfer_.get());
+    if (ctrl != nullptr) {
+      ctrl_log_ = std::make_unique<ctrl::ControlLog>(&sim_, *ctrl);
+    }
+    manager_ = std::make_unique<serving::ClusterManager>(&sim_, cluster_.get(), transfer_.get(),
+                                                         serving::ScalingOptimizations{},
+                                                         serving::ScalingLatencyModel{},
+                                                         ctrl_log_.get());
     serving::JeConfig je_config;
     je_config.policy = policy;
     je_ = std::make_unique<serving::JobExecutor>(&sim_, je_config, std::move(heatmap),
@@ -382,11 +423,15 @@ class Testbed {
   distflow::TransferEngine& transfer() { return *transfer_; }
   serving::ClusterManager& manager() { return *manager_; }
   serving::JobExecutor& je() { return *je_; }
+  // The shared control log, or null when the Testbed was built without one
+  // (the CM then runs on its internal degenerate log).
+  ctrl::ControlLog* ctrl_log() { return ctrl_log_.get(); }
 
  private:
   sim::Simulator sim_;
   std::unique_ptr<hw::Cluster> cluster_;
   std::unique_ptr<distflow::TransferEngine> transfer_;
+  std::unique_ptr<ctrl::ControlLog> ctrl_log_;  // before manager_: CM detaches in ~
   std::unique_ptr<serving::ClusterManager> manager_;
   std::unique_ptr<serving::JobExecutor> je_;
 };

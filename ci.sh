@@ -25,6 +25,13 @@ echo "==> fault-recovery smoke: fixed-seed chaos run, conservation asserted"
 # on_complete / on_error.
 ./build/bench/fig_fault_recovery --smoke --fault-seed=42 >/dev/null
 
+echo "==> ctrl-failover smoke: CM leader crash, conservation + replay asserted"
+# Exits non-zero unless the replicated run conserves every request across the
+# leader crash and replays bit-identically, the single-replica ablation
+# accounts for every request (terminations + undetected losses == submitted),
+# and every CM crash in the replicated run failed over.
+./build/bench/fig_ctrl_failover --smoke >/dev/null
+
 echo "==> traffic smoke: routing-policy ablation under a flash crowd + slow TE"
 # Exits non-zero unless request conservation holds in every variant, p2c+eject
 # and wlc+eject beat plain rr on both goodput and p99 TTFT, the slow TE gets

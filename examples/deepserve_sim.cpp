@@ -19,6 +19,12 @@
 // --retry-budget caps crash re-dispatches fleet-wide, and --outlier-errors /
 // --outlier-base-s / --outlier-max-s configure outlier ejection. Run with
 // --help for the full flag table.
+//
+// Replicated control plane (src/ctrl/): --ctrl-replicas=N puts the CM's TE
+// directory and every JE's job table on a shared sequenced log with N
+// replicas (--ctrl-latency-ms / --ctrl-lease-ms tune replication lag and the
+// leader lease). The default (1) keeps the historical unreplicated control
+// plane, bit-identical to builds without the flag.
 
 #include <cstdio>
 #include <cstdlib>
@@ -71,6 +77,7 @@ struct Flags {
   int drain = 1;  // graceful drain on scale-down (0 = legacy instant stop)
   int max_tes = 8;
   bench::RouteOptions route;  // --lb-policy / --hedge-ms / --retry-budget / --outlier-*
+  bench::CtrlOptions ctrl;    // --ctrl-replicas / --ctrl-latency-ms / --ctrl-lease-ms
 };
 
 bool ParseFlags(int argc, char** argv, Flags* flags) {
@@ -105,6 +112,7 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
   registry.Flag("drain", &flags->drain, "graceful drain on scale-down (0 = instant stop)");
   registry.Flag("max-tes", &flags->max_tes, "autoscaler ceiling");
   flags->route.Register(registry);
+  flags->ctrl.Register(registry);
   std::vector<char*> rest = registry.Parse(argc, argv);
   for (size_t i = 1; i < rest.size(); ++i) {
     std::fprintf(stderr, "unknown flag %s (see --help)\n", rest[i]);
@@ -168,7 +176,12 @@ int main(int argc, char** argv) {
                       cluster_config.npus_per_machine);
   hw::Cluster cluster(&sim, cluster_config);
   distflow::TransferEngine transfer(&sim, &cluster, {});
-  serving::ClusterManager manager(&sim, &cluster, &transfer);
+  // Outlives `manager` (the CM detaches its state machine at destruction).
+  std::unique_ptr<ctrl::ControlLog> ctrl_log;
+  if (flags.ctrl.replicated()) {
+    ctrl_log = std::make_unique<ctrl::ControlLog>(&sim, flags.ctrl.ToConfig());
+  }
+  serving::ClusterManager manager(&sim, &cluster, &transfer, {}, {}, ctrl_log.get());
 
   serving::JeConfig je_config;
   je_config.policy = *policy;
@@ -179,6 +192,11 @@ int main(int argc, char** argv) {
         flags.predictor_accuracy >= 1.0
             ? serving::MakeOraclePredictor()
             : serving::MakeNoisyPredictor(flags.predictor_accuracy, flags.seed)));
+    if (ctrl_log != nullptr) {
+      // Each replica's job table gets its own log domain; AttachControl also
+      // registers the replica's TE-failure handler with the manager.
+      jes.back()->AttachControl(ctrl_log.get(), &manager);
+    }
   }
 
   flowserve::EngineConfig engine;
@@ -245,11 +263,15 @@ int main(int argc, char** argv) {
     }
     sim.Run();
   }
-  manager.AddFailureHandler([&jes](serving::TeId id) {
-    for (auto& je : jes) {
-      je->OnTeFailure(id);
-    }
-  });
+  if (ctrl_log == nullptr) {
+    // With a shared control log, AttachControl already registered per-JE
+    // failure handlers; registering again would double-dispatch retries.
+    manager.AddFailureHandler([&jes](serving::TeId id) {
+      for (auto& je : jes) {
+        je->OnTeFailure(id);
+      }
+    });
+  }
   // Preloading advances sim time; shift trace arrivals so t=0 lands "now".
   const TimeNs t0 = sim.Now();
 

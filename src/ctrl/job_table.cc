@@ -1,0 +1,196 @@
+#include "ctrl/job_table.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace deepserve::ctrl {
+
+namespace {
+
+// Marks `job` and its not-yet-completed tasks with `state` at `time` —
+// the shared tail of the JobExecutor's complete/fail paths.
+void CloseJob(serving::JobRecord* job, std::vector<serving::TaskRecord>* tasks,
+              const std::map<serving::TaskId, size_t>& task_index,
+              serving::JobState state, serving::TaskState task_state, TimeNs time) {
+  job->state = state;
+  job->completed = time;
+  for (serving::TaskId task : job->tasks) {
+    serving::TaskRecord& t = (*tasks)[task_index.at(task)];
+    if (t.state != serving::TaskState::kCompleted) {
+      t.state = task_state;
+      t.completed = time;
+    }
+  }
+}
+
+}  // namespace
+
+const serving::JobRecord* JobTable::FindJob(serving::JobId id) const {
+  auto it = job_index_.find(id);
+  return it == job_index_.end() ? nullptr : &jobs_[it->second];
+}
+
+void JobTable::Apply(const LogRecord& record) {
+  DS_CHECK(record.domain == domain());
+  ++applied_;
+  switch (record.type) {
+    case kTeAdded: {
+      DS_CHECK(record.ints.size() == 2);
+      const int64_t group = record.ints[0];
+      DS_CHECK(group >= 0 && group < 3);
+      groups_[group].push_back(static_cast<serving::TeId>(record.ints[1]));
+      break;
+    }
+    case kTeRemoved: {
+      DS_CHECK(record.ints.size() == 1);
+      const auto id = static_cast<serving::TeId>(record.ints[0]);
+      for (auto& group : groups_) {
+        group.erase(std::remove(group.begin(), group.end(), id), group.end());
+      }
+      break;
+    }
+    case kJobCreated: {
+      DS_CHECK(record.ints.size() >= 7);
+      const auto job_id = static_cast<serving::JobId>(record.ints[0]);
+      DS_CHECK(job_id == next_job_);
+      ++next_job_;
+      serving::JobRecord job;
+      job.id = job_id;
+      job.request = static_cast<workload::RequestId>(record.ints[1]);
+      job.type = serving::JobType::kChatCompletion;
+      job.state = serving::JobState::kRunning;
+      job.created = record.time;
+      job_index_[job.id] = jobs_.size();
+      jobs_.push_back(std::move(job));
+      Outstanding& outstanding = outstanding_[job_id];
+      outstanding.retries = static_cast<int>(record.ints[2]);
+      outstanding.spec.id = static_cast<workload::RequestId>(record.ints[1]);
+      outstanding.spec.arrival = record.ints[3];
+      outstanding.spec.decode_len = record.ints[4];
+      outstanding.spec.priority = static_cast<int>(record.ints[5]);
+      outstanding.spec.deadline = record.ints[6];
+      outstanding.spec.prompt.assign(record.ints.begin() + 7, record.ints.end());
+      outstanding.spec.context_id = record.str;
+      break;
+    }
+    case kJobTeBound: {
+      DS_CHECK(record.ints.size() == 2);
+      auto it = outstanding_.find(static_cast<serving::JobId>(record.ints[0]));
+      DS_CHECK(it != outstanding_.end());
+      it->second.tes.push_back(static_cast<serving::TeId>(record.ints[1]));
+      break;
+    }
+    case kTaskCreated: {
+      DS_CHECK(record.ints.size() == 4);
+      const auto task_id = static_cast<serving::TaskId>(record.ints[0]);
+      DS_CHECK(task_id == next_task_);
+      ++next_task_;
+      serving::TaskRecord task;
+      task.id = task_id;
+      task.job = static_cast<serving::JobId>(record.ints[1]);
+      task.type = static_cast<serving::TaskType>(record.ints[2]);
+      task.te = static_cast<serving::TeId>(record.ints[3]);
+      task.state = serving::TaskState::kDispatched;
+      task.created = record.time;
+      task.dispatched = record.time;
+      task_index_[task.id] = tasks_.size();
+      jobs_[job_index_.at(task.job)].tasks.push_back(task.id);
+      tasks_.push_back(task);
+      break;
+    }
+    case kTaskCompleted: {
+      DS_CHECK(record.ints.size() == 1);
+      serving::TaskRecord& task =
+          tasks_[task_index_.at(static_cast<serving::TaskId>(record.ints[0]))];
+      task.state = serving::TaskState::kCompleted;
+      task.completed = record.time;
+      break;
+    }
+    case kJobCompleted: {
+      DS_CHECK(record.ints.size() == 1);
+      const auto job_id = static_cast<serving::JobId>(record.ints[0]);
+      CloseJob(&jobs_[job_index_.at(job_id)], &tasks_, task_index_,
+               serving::JobState::kCompleted, serving::TaskState::kCompleted, record.time);
+      outstanding_.erase(job_id);
+      break;
+    }
+    case kJobFailed: {
+      DS_CHECK(record.ints.size() == 1);
+      const auto job_id = static_cast<serving::JobId>(record.ints[0]);
+      CloseJob(&jobs_[job_index_.at(job_id)], &tasks_, task_index_,
+               serving::JobState::kFailed, serving::TaskState::kFailed, record.time);
+      outstanding_.erase(job_id);
+      break;
+    }
+    case kRrAdvanced: {
+      ++rr_cursor_;
+      break;
+    }
+    case kEpoch: {
+      ++epoch_;
+      break;
+    }
+    default:
+      DS_CHECK(false);
+  }
+}
+
+uint64_t JobTable::Fingerprint() const {
+  uint64_t hash = kFnvOffset;
+  Mix(&hash, static_cast<uint64_t>(next_job_));
+  Mix(&hash, static_cast<uint64_t>(next_task_));
+  Mix(&hash, rr_cursor_);
+  Mix(&hash, static_cast<uint64_t>(epoch_));
+  for (const auto& group : groups_) {
+    Mix(&hash, group.size());
+    for (serving::TeId id : group) {
+      Mix(&hash, static_cast<uint64_t>(id));
+    }
+  }
+  Mix(&hash, jobs_.size());
+  for (const serving::JobRecord& job : jobs_) {
+    Mix(&hash, static_cast<uint64_t>(job.id));
+    Mix(&hash, static_cast<uint64_t>(job.request));
+    Mix(&hash, static_cast<uint64_t>(job.state));
+    Mix(&hash, static_cast<uint64_t>(job.created));
+    Mix(&hash, static_cast<uint64_t>(job.completed));
+    Mix(&hash, job.tasks.size());
+    for (serving::TaskId task : job.tasks) {
+      Mix(&hash, static_cast<uint64_t>(task));
+    }
+  }
+  Mix(&hash, tasks_.size());
+  for (const serving::TaskRecord& task : tasks_) {
+    Mix(&hash, static_cast<uint64_t>(task.id));
+    Mix(&hash, static_cast<uint64_t>(task.job));
+    Mix(&hash, static_cast<uint64_t>(task.type));
+    Mix(&hash, static_cast<uint64_t>(task.state));
+    Mix(&hash, static_cast<uint64_t>(task.te));
+    Mix(&hash, static_cast<uint64_t>(task.created));
+    Mix(&hash, static_cast<uint64_t>(task.dispatched));
+    Mix(&hash, static_cast<uint64_t>(task.completed));
+  }
+  Mix(&hash, outstanding_.size());
+  for (const auto& [job_id, outstanding] : outstanding_) {
+    Mix(&hash, static_cast<uint64_t>(job_id));
+    Mix(&hash, static_cast<uint64_t>(outstanding.spec.id));
+    Mix(&hash, static_cast<uint64_t>(outstanding.spec.arrival));
+    Mix(&hash, static_cast<uint64_t>(outstanding.spec.decode_len));
+    Mix(&hash, static_cast<uint64_t>(outstanding.spec.priority));
+    Mix(&hash, static_cast<uint64_t>(outstanding.spec.deadline));
+    Mix(&hash, outstanding.spec.prompt.size());
+    for (TokenId token : outstanding.spec.prompt) {
+      Mix(&hash, static_cast<uint64_t>(token));
+    }
+    MixString(&hash, outstanding.spec.context_id);
+    Mix(&hash, static_cast<uint64_t>(outstanding.retries));
+    Mix(&hash, outstanding.tes.size());
+    for (serving::TeId te : outstanding.tes) {
+      Mix(&hash, static_cast<uint64_t>(te));
+    }
+  }
+  return hash;
+}
+
+}  // namespace deepserve::ctrl

@@ -9,6 +9,7 @@
 #include "hw/link.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "serving/job_executor.h"
 
 namespace deepserve::faults {
 
@@ -62,6 +63,10 @@ std::string_view FaultKindToString(FaultKind kind) {
       return "link-degrade";
     case FaultKind::kSlowNode:
       return "slow-node";
+    case FaultKind::kCmCrash:
+      return "cm-crash";
+    case FaultKind::kJeCrash:
+      return "je-crash";
   }
   return "?";
 }
@@ -92,6 +97,11 @@ void FaultInjector::TraceFault(const FaultEvent& event, std::string_view detail,
                {obs::Arg("kind", FaultKindToString(event.kind)), obs::Arg("target", target),
                 obs::Arg("detail", detail), obs::Arg("factor", event.factor)});
   }
+}
+
+void FaultInjector::RegisterJobExecutor(serving::JobExecutor* je) {
+  DS_CHECK(je != nullptr);
+  jes_.push_back(je);
 }
 
 void FaultInjector::Schedule(const FaultEvent& event) {
@@ -226,6 +236,36 @@ void FaultInjector::Fire(const FaultEvent& event) {
       }
       return;
     }
+    case FaultKind::kCmCrash: {
+      TraceFault(event, "cm", 0);
+      // Already-down leaders (double crash in one chaos plan) are a skip, not
+      // an error — the plan generator doesn't know the recovery timeline.
+      Status crashed = manager_->CrashControlLeader();
+      if (!crashed.ok()) {
+        ++stats_.skipped;
+        return;
+      }
+      ++stats_.cm_crashes;
+      return;
+    }
+    case FaultKind::kJeCrash: {
+      if (jes_.empty()) {
+        ++stats_.skipped;
+        return;
+      }
+      size_t index = event.target >= 0
+                         ? static_cast<size_t>(event.target) % jes_.size()
+                         : static_cast<size_t>(rng_.UniformInt(
+                               0, static_cast<int64_t>(jes_.size()) - 1));
+      TraceFault(event, "je", static_cast<int64_t>(index));
+      Status crashed = jes_[index]->CrashLeader();
+      if (!crashed.ok()) {
+        ++stats_.skipped;
+        return;
+      }
+      ++stats_.je_crashes;
+      return;
+    }
   }
 }
 
@@ -234,7 +274,8 @@ std::vector<FaultEvent> FaultInjector::GeneratePlan(uint64_t seed,
   DS_CHECK(config.window_end >= config.window_start);
   Rng rng(seed);
   double total_weight = config.npu_crash_weight + config.shell_crash_weight +
-                        config.link_degrade_weight + config.slow_node_weight;
+                        config.link_degrade_weight + config.slow_node_weight +
+                        config.cm_crash_weight + config.je_crash_weight;
   DS_CHECK(total_weight > 0.0);
   std::vector<FaultEvent> plan;
   plan.reserve(static_cast<size_t>(config.count));
@@ -255,6 +296,13 @@ std::vector<FaultEvent> FaultInjector::GeneratePlan(uint64_t seed,
                        static_cast<DurationNs>(rng.NextDouble() *
                                                static_cast<double>(config.transient_duration_max -
                                                                    config.transient_duration_min));
+    } else if ((pick -= config.cm_crash_weight) < 0) {
+      // The new kinds carry zero default weight and slow-node stays the
+      // catch-all branch, so legacy configs reproduce their historical draw
+      // sequences exactly (no new floating-point comparison can flip them).
+      event.kind = FaultKind::kCmCrash;
+    } else if ((pick -= config.je_crash_weight) < 0) {
+      event.kind = FaultKind::kJeCrash;
     } else {
       event.kind = FaultKind::kSlowNode;
       event.factor = rng.Uniform(config.straggle_factor_min, config.straggle_factor_max);
@@ -298,9 +346,13 @@ Result<std::vector<FaultEvent>> FaultInjector::ParseSchedule(const std::string& 
     } else if (kind == "slow") {
       event.kind = FaultKind::kSlowNode;
       event.factor = 2.0;
+    } else if (kind == "cm") {
+      event.kind = FaultKind::kCmCrash;
+    } else if (kind == "je") {
+      event.kind = FaultKind::kJeCrash;
     } else {
       return InvalidArgumentError("unknown fault kind '" + kind +
-                                  "' (want npu|shell|link|slow)");
+                                  "' (want npu|shell|link|slow|cm|je)");
     }
     // Tail grammar: <seconds>[:<factor>][x<duration_s>][#<target>]
     std::string tail = item.substr(at + 1);
@@ -326,10 +378,27 @@ Result<std::vector<FaultEvent>> FaultInjector::ParseSchedule(const std::string& 
     }
     size_t colon = tail.find(':');
     if (colon != std::string::npos) {
-      if (!ParseDoubleField(tail.substr(colon + 1), &event.factor)) {
+      if (event.kind == FaultKind::kJeCrash) {
+        // For je crashes the colon field is the JE ordinal ("je@12:1"), not a
+        // factor — there is nothing to scale on a leader crash.
+        int64_t ordinal = 0;
+        if (!ParseIntField(tail.substr(colon + 1), 0, 1'000'000, &ordinal)) {
+          return InvalidArgumentError("fault event '" + item +
+                                      "' has a bad JE ordinal (want 0..1000000)");
+        }
+        event.target = static_cast<int>(ordinal);
+      } else if (event.kind == FaultKind::kCmCrash) {
+        return InvalidArgumentError("cm crash takes no ':' field: '" + item + "'");
+      } else if (!ParseDoubleField(tail.substr(colon + 1), &event.factor)) {
         return InvalidArgumentError("fault event '" + item + "' has a bad factor");
       }
       tail = tail.substr(0, colon);
+    }
+    if ((event.kind == FaultKind::kCmCrash || event.kind == FaultKind::kJeCrash) &&
+        event.duration > 0) {
+      return InvalidArgumentError(
+          "control-plane crashes are permanent (recovery is the control "
+          "log's failover): '" + item + "'");
     }
     if (tail.empty()) {
       return InvalidArgumentError("fault event '" + item + "' missing a time");

@@ -9,10 +9,15 @@
 //                        for `duration` (a flap restores it afterwards)
 //   - slow node        — a TE's engine steps stretch by `factor` for
 //                        `duration` (straggler)
+//   - CM leader crash  — the ClusterManager's control-plane leader dies; a
+//                        standby replays the shared log and takes over
+//   - JE leader crash  — one JobExecutor's leader dies (ordinal selects
+//                        which); same log-replay takeover
 // Targets are picked deterministically at fire time (explicit ordinal, or a
 // forked-Rng draw over the eligible set), so one master seed replays an
 // entire chaos run bit-for-bit. Recovery is the ClusterManager's job:
-// detection -> JE re-dispatch -> replacement scale-up.
+// detection -> JE re-dispatch -> replacement scale-up. Control-plane crashes
+// recover via ctrl::ControlLog failover (or never, on a single replica).
 #ifndef DEEPSERVE_FAULTS_FAULT_INJECTOR_H_
 #define DEEPSERVE_FAULTS_FAULT_INJECTOR_H_
 
@@ -26,6 +31,10 @@
 #include "serving/cluster_manager.h"
 #include "sim/simulator.h"
 
+namespace deepserve::serving {
+class JobExecutor;
+}
+
 namespace deepserve::faults {
 
 enum class FaultKind {
@@ -33,6 +42,8 @@ enum class FaultKind {
   kTeShellCrash,
   kLinkDegrade,
   kSlowNode,
+  kCmCrash,
+  kJeCrash,
 };
 
 std::string_view FaultKindToString(FaultKind kind);
@@ -56,8 +67,11 @@ struct FaultInjectorStats {
   int64_t shell_crashes = 0;
   int64_t link_degrades = 0;
   int64_t slow_nodes = 0;
+  int64_t cm_crashes = 0;
+  int64_t je_crashes = 0;
   int64_t restores = 0;
-  int64_t skipped = 0;  // fired with no eligible target (whole fleet down)
+  int64_t skipped = 0;  // fired with no eligible target (whole fleet down,
+                        // or the targeted leader is already down)
 };
 
 // Knobs for GeneratePlan: `count` faults at uniform-random times over
@@ -70,6 +84,10 @@ struct FaultPlanConfig {
   double shell_crash_weight = 1.0;
   double link_degrade_weight = 1.0;
   double slow_node_weight = 1.0;
+  // Control-plane crashes default OFF so pre-existing seeded plans draw the
+  // exact same event sequences they always did.
+  double cm_crash_weight = 0.0;
+  double je_crash_weight = 0.0;
   double degrade_factor_min = 0.1;  // link bandwidth scale range
   double degrade_factor_max = 0.6;
   double straggle_factor_min = 1.5;  // step-time multiplier range
@@ -85,6 +103,10 @@ class FaultInjector {
   FaultInjector(const FaultInjector&) = delete;
   FaultInjector& operator=(const FaultInjector&) = delete;
 
+  // Registers a JobExecutor as a je-crash target. Ordinal = registration
+  // order. Without any registration, je crashes are counted as skipped.
+  void RegisterJobExecutor(serving::JobExecutor* je);
+
   // Schedules one fault event into the timeline (must be >= Now()).
   void Schedule(const FaultEvent& event);
   void ScheduleAll(const std::vector<FaultEvent>& events);
@@ -94,10 +116,15 @@ class FaultInjector {
 
   // Parses a fault schedule spec: events joined by ';', each
   //   <kind>@<seconds>[:<factor>][x<duration_s>][#<target>]
-  // with kind one of npu|shell|link|slow. Examples:
+  // with kind one of npu|shell|link|slow|cm|je. For `je`, the colon field is
+  // the JE ordinal instead of a factor; `cm`/`je` crashes are permanent
+  // events (recovery is the control log's job) so `x<duration>` is rejected.
+  // Examples:
   //   "npu@5"                 NPU crash at t=5s, seeded target
   //   "link@10:0.25x20"       links at 25% bandwidth for 20s at t=10s
   //   "slow@30:3x10#2"        TE ordinal 2 runs 3x slower for 10s at t=30s
+  //   "cm@12"                 CM leader crash at t=12s
+  //   "je@12:1"               JE ordinal 1 leader crash at t=12s
   [[nodiscard]] static Result<std::vector<FaultEvent>> ParseSchedule(const std::string& spec);
 
   const FaultInjectorStats& stats() const { return stats_; }
@@ -113,6 +140,7 @@ class FaultInjector {
 
   sim::Simulator* sim_;
   serving::ClusterManager* manager_;
+  std::vector<serving::JobExecutor*> jes_;
   Rng rng_;
   FaultInjectorStats stats_;
   int trace_pid_ = -1;

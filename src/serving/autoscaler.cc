@@ -313,6 +313,11 @@ ScaleSignals Autoscaler::GatherSignals() const {
 }
 
 void Autoscaler::Tick() {
+  if (!cm_->leader_up()) {
+    // The autoscaler is control-plane brains: with the CM leader down it can
+    // neither place nor stop TEs. Ticks resume after failover.
+    return;
+  }
   ++stats_.ticks;
   EnsureMetrics();
   ScaleSignals signals = GatherSignals();
@@ -345,12 +350,14 @@ void Autoscaler::Tick() {
 void Autoscaler::LaunchScaleUp() {
   ++pending_scale_ups_;
   auto alive = alive_;
-  Status status =
+  Result<TeId> launched =
       cm_->ScaleUp(template_, [this, alive](TaskExecutor* te, const ScalingBreakdown&) {
         if (!*alive) {
           return;
         }
         --pending_scale_ups_;
+        // te == nullptr: the pipeline was aborted (its provisioning TE was
+        // crashed); the slot simply frees up for a later tick.
         if (te != nullptr && je_ != nullptr) {
           je_->AddColocatedTe(te);
           ++stats_.scale_ups_completed;
@@ -359,7 +366,7 @@ void Autoscaler::LaunchScaleUp() {
           }
         }
       });
-  if (!status.ok()) {
+  if (!launched.ok()) {
     --pending_scale_ups_;  // e.g. cluster out of NPUs; try again next tick
     return;
   }
@@ -429,6 +436,17 @@ void Autoscaler::BeginDrain(TaskExecutor* victim) {
 }
 
 void Autoscaler::FinishDrain(TeId id) {
+  if (!cm_->leader_up()) {
+    // The drain completed while the control leader was down: StopTe would be
+    // rejected. Park the completion; the new leader finishes the retirement.
+    auto alive = alive_;
+    cm_->DeferUntilRecovery([this, alive, id] {
+      if (*alive) {
+        FinishDrain(id);
+      }
+    });
+    return;
+  }
   auto timeout = drain_timeouts_.find(id);
   if (timeout != drain_timeouts_.end()) {
     sim_->Cancel(timeout->second);

@@ -8,14 +8,88 @@
 
 namespace deepserve::serving {
 
+namespace {
+
+std::vector<int64_t> NpuInts(const std::vector<hw::NpuId>& npus) {
+  std::vector<int64_t> ints;
+  ints.reserve(npus.size());
+  for (hw::NpuId id : npus) {
+    ints.push_back(id);
+  }
+  return ints;
+}
+
+std::vector<hw::NpuId> NpusFromInts(const std::vector<int64_t>& ints) {
+  std::vector<hw::NpuId> npus;
+  npus.reserve(ints.size());
+  for (int64_t id : ints) {
+    npus.push_back(static_cast<hw::NpuId>(id));
+  }
+  return npus;
+}
+
+}  // namespace
+
+struct ClusterManager::PipelineState {
+  ScaleRequest request;
+  ScaleCallback on_ready;
+  ScalingBreakdown breakdown;
+  std::vector<hw::NpuId> npus;
+  TimeNs stage_start = 0;
+  int64_t pipe = -1;        // directory pipeline id (reserved at launch)
+  TeId te_id = kInvalidTe;  // directory TE id (reserved at launch)
+  bool aborted = false;     // KillTe/CrashTe hit the TE mid-provisioning
+};
+
 ClusterManager::ClusterManager(sim::Simulator* sim, hw::Cluster* cluster,
                                distflow::TransferEngine* transfer, ScalingOptimizations opts,
-                               ScalingLatencyModel latency)
+                               ScalingLatencyModel latency, ctrl::ControlLog* ctrl_log)
     : sim_(sim), cluster_(cluster), transfer_(transfer), hccl_(cluster), opts_(opts),
       latency_(latency) {
   DS_CHECK(sim_ != nullptr);
   DS_CHECK(cluster_ != nullptr);
-  npu_in_use_.assign(static_cast<size_t>(cluster_->total_npus()), false);
+  if (ctrl_log == nullptr) {
+    // Degenerate private log: single replica, zero latency. Every append
+    // applies inline and schedules nothing, so behavior is bit-identical to
+    // state held in plain members.
+    owned_log_ = std::make_unique<ctrl::ControlLog>(sim_);
+    ctrl_log = owned_log_.get();
+  }
+  log_ = ctrl_log;
+  directory_.set_domain(log_->RegisterDomain("te-directory"));
+  log_->Attach(&directory_);
+  AppendDir(ctrl::TeDirectory::kInit, {cluster_->total_npus()});
+}
+
+ClusterManager::~ClusterManager() {
+  log_->Detach(directory_.domain());
+}
+
+void ClusterManager::AppendDir(int32_t type, std::vector<int64_t> ints) {
+  ctrl::LogRecord record;
+  record.domain = directory_.domain();
+  record.type = type;
+  record.ints = std::move(ints);
+  log_->Append(std::move(record));
+}
+
+void ClusterManager::DeferUntilRecovery(std::function<void()> op) {
+  if (leader_up_) {
+    op();
+    return;
+  }
+  ++stats_.deferred_ops;
+  deferred_ops_.push_back(std::move(op));
+}
+
+void ClusterManager::StageContinue(const std::shared_ptr<PipelineState>& state,
+                                   std::function<void()> body) {
+  if (state->aborted) {
+    // The TE was killed mid-provisioning; AbortPipeline already released its
+    // NPUs and fired the callback. Pending flows/timers just drain.
+    return;
+  }
+  DeferUntilRecovery(std::move(body));
 }
 
 int ClusterManager::TracePid() {
@@ -39,15 +113,20 @@ void ClusterManager::TraceScalePhase(std::string_view phase, DurationNs duration
 
 Result<std::vector<hw::NpuId>> ClusterManager::AllocateNpus(int count) {
   DS_CHECK_GT(count, 0);
+  if (!leader_up_) {
+    return UnavailableError("control leader down: cannot place NPUs");
+  }
   // Pack onto as few machines as possible: first machine with enough free
-  // NPUs wins; otherwise span machines greedily.
+  // NPUs wins; otherwise span machines greedily. The in-use bitmap is
+  // replicated state; the packing decision is made here and recorded.
+  const std::vector<uint8_t>& in_use = directory_.npu_in_use();
   const int per_machine = cluster_->config().npus_per_machine;
   std::vector<hw::NpuId> picked;
   for (int m = 0; m < cluster_->num_machines() && static_cast<int>(picked.size()) < count; ++m) {
     std::vector<hw::NpuId> here;
     for (int i = 0; i < per_machine; ++i) {
       hw::NpuId id = m * per_machine + i;
-      if (!npu_in_use_[static_cast<size_t>(id)]) {
+      if (in_use[static_cast<size_t>(id)] == 0) {
         here.push_back(id);
       }
     }
@@ -65,25 +144,40 @@ Result<std::vector<hw::NpuId>> ClusterManager::AllocateNpus(int count) {
   if (static_cast<int>(picked.size()) < count) {
     return ResourceExhaustedError("cluster out of NPUs: need " + std::to_string(count));
   }
-  for (hw::NpuId id : picked) {
-    npu_in_use_[static_cast<size_t>(id)] = true;
-  }
+  AppendDir(ctrl::TeDirectory::kNpusAllocated, NpuInts(picked));
   return picked;
 }
 
 void ClusterManager::ReleaseNpus(const std::vector<hw::NpuId>& npus) {
-  for (hw::NpuId id : npus) {
-    DS_CHECK(npu_in_use_[static_cast<size_t>(id)]);
-    npu_in_use_[static_cast<size_t>(id)] = false;
-  }
+  // Apply() checks each NPU was actually in use.
+  AppendDir(ctrl::TeDirectory::kNpusReleased, NpuInts(npus));
+}
+
+void ClusterManager::ReservePrewarmedPods(int count) {
+  DS_CHECK(leader_up_);
+  AppendDir(ctrl::TeDirectory::kReservePods, {count});
+}
+
+void ClusterManager::ReservePrewarmedTes(int count) {
+  DS_CHECK(leader_up_);
+  AppendDir(ctrl::TeDirectory::kReserveTes, {count});
 }
 
 Result<TaskExecutor*> ClusterManager::CreateReadyTe(
     const flowserve::EngineConfig& engine_config) {
+  if (!leader_up_) {
+    return UnavailableError("control leader down: cannot create TE");
+  }
   DS_ASSIGN_OR_RETURN(std::vector<hw::NpuId> npus,
                       AllocateNpus(engine_config.parallelism.TotalNpus()));
+  const TeId id = directory_.next_te_id();
+  std::vector<int64_t> ints = {id};
+  for (hw::NpuId npu : npus) {
+    ints.push_back(npu);
+  }
+  AppendDir(ctrl::TeDirectory::kTeCreated, std::move(ints));
   TeConfig config;
-  config.id = next_te_id_++;
+  config.id = id;
   config.engine = engine_config;
   config.npus = std::move(npus);
   auto te = std::make_unique<TaskExecutor>(sim_, std::move(config));
@@ -92,30 +186,54 @@ Result<TaskExecutor*> ClusterManager::CreateReadyTe(
   }
   te->set_state(TeState::kReady);
   TaskExecutor* raw = te.get();
-  te_by_id_[raw->id()] = raw;
+  bindings_[raw->id()] = raw;
   tes_.push_back(std::move(te));
   return raw;
 }
 
 TaskExecutor* ClusterManager::te(TeId id) {
-  auto it = te_by_id_.find(id);
-  return it == te_by_id_.end() ? nullptr : it->second;
+  auto it = bindings_.find(id);
+  return it == bindings_.end() ? nullptr : it->second;
 }
 
 Status ClusterManager::StopTe(TeId id) {
-  TaskExecutor* target = te(id);
-  if (target == nullptr) {
+  if (!leader_up_) {
+    return UnavailableError("control leader down: cannot stop TE " + std::to_string(id));
+  }
+  const ctrl::TeDirectory::TeMeta* meta = directory_.Find(id);
+  if (meta == nullptr) {
     return NotFoundError("no TE " + std::to_string(id));
   }
-  if (target->state() == TeState::kStopped || target->state() == TeState::kFailed) {
+  if (meta->lifecycle == ctrl::TeDirectory::Lifecycle::kProvisioning) {
+    return FailedPreconditionError("TE " + std::to_string(id) +
+                                   " still provisioning (KillTe aborts the pipeline)");
+  }
+  if (meta->lifecycle != ctrl::TeDirectory::Lifecycle::kReady) {
     // Already down — its NPUs were released on the stop/failure path, and a
     // second release would corrupt the free pool.
-    return FailedPreconditionError("TE " + std::to_string(id) + " already " +
-                                   std::string(TeStateToString(target->state())));
+    return FailedPreconditionError("TE " + std::to_string(id) + " already down");
   }
+  TaskExecutor* target = bindings_.at(id);
+  AppendDir(ctrl::TeDirectory::kTeStopped, {id});
   target->set_state(TeState::kStopped);
   ReleaseNpus(target->config().npus);
   return Status::Ok();
+}
+
+int64_t ClusterManager::AddFailureHandler(std::function<void(TeId)> handler) {
+  const int64_t id = next_handler_id_++;
+  failure_handlers_.emplace_back(id, std::move(handler));
+  return id;
+}
+
+bool ClusterManager::RemoveFailureHandler(int64_t handler_id) {
+  auto it = std::find_if(failure_handlers_.begin(), failure_handlers_.end(),
+                         [handler_id](const auto& entry) { return entry.first == handler_id; });
+  if (it == failure_handlers_.end()) {
+    return false;
+  }
+  failure_handlers_.erase(it);
+  return true;
 }
 
 Result<size_t> ClusterManager::KillTe(TeId id) {
@@ -127,11 +245,24 @@ Result<size_t> ClusterManager::CrashTe(TeId id, CrashKind kind) {
 }
 
 Result<size_t> ClusterManager::Crash(TeId id, CrashKind kind, bool defer_detection) {
-  TaskExecutor* target = te(id);
-  if (target == nullptr) {
+  const ctrl::TeDirectory::TeMeta* meta = directory_.Find(id);
+  if (meta == nullptr) {
     return NotFoundError("no TE " + std::to_string(id));
   }
+  if (meta->lifecycle == ctrl::TeDirectory::Lifecycle::kProvisioning) {
+    if (!leader_up_) {
+      return UnavailableError("control leader down: cannot abort pipeline of TE " +
+                              std::to_string(id));
+    }
+    return AbortPipeline(id, kind);
+  }
+  if (meta->lifecycle != ctrl::TeDirectory::Lifecycle::kReady) {
+    return FailedPreconditionError("TE " + std::to_string(id) + " already down");
+  }
+  TaskExecutor* target = bindings_.at(id);
   if (target->state() == TeState::kStopped || target->state() == TeState::kFailed) {
+    // Killed earlier during this leader outage; its crash record is still in
+    // the pod-runtime backlog.
     return FailedPreconditionError("TE " + std::to_string(id) + " already down");
   }
   ++stats_.te_failures;
@@ -140,7 +271,14 @@ Result<size_t> ClusterManager::Crash(TeId id, CrashKind kind, bool defer_detecti
   size_t dropped = target->Fail();
   stats_.lost_requests += static_cast<int64_t>(dropped);
   stats_.lost_kv_tokens += target->engine().stats().aborted_kv_tokens - kv_before;
-  crash_times_[id] = sim_->Now();
+  if (leader_up_) {
+    AppendDir(ctrl::TeDirectory::kTeCrashed,
+              {id, static_cast<int64_t>(kind), sim_->Now()});
+  } else {
+    // The TE is dead either way (data plane), but no leader is listening: the
+    // pod runtime buffers the report until a standby takes over.
+    pending_crashes_.push_back(PendingCrash{id, kind, sim_->Now()});
+  }
   if (obs::Tracer* t = sim_->tracer()) {
     t->Instant(sim_->Now(), TracePid(), 0, "fault.crash",
                {obs::Arg("te", static_cast<int64_t>(id)),
@@ -154,7 +292,12 @@ Result<size_t> ClusterManager::Crash(TeId id, CrashKind kind, bool defer_detecti
     m->counter("cm.faults.lost_requests")->Inc(static_cast<int64_t>(dropped));
   }
   if (!defer_detection) {
-    DetectTeFailure(id);
+    DetectTeFailure(id);  // no-op while the leader is down: the takeover scan detects
+    return dropped;
+  }
+  if (!leader_up_) {
+    // Nothing watches heartbeats during the outage; the takeover scan picks
+    // this crash up via its buffered report.
     return dropped;
   }
   // The platform notices via heartbeat lapse (NPU crash, quantized to the
@@ -175,9 +318,49 @@ Result<size_t> ClusterManager::Crash(TeId id, CrashKind kind, bool defer_detecti
   return dropped;
 }
 
+Result<size_t> ClusterManager::AbortPipeline(TeId id, CrashKind kind) {
+  const ctrl::TeDirectory::TeMeta* meta = directory_.Find(id);
+  DS_CHECK(meta != nullptr);
+  DS_CHECK(meta->lifecycle == ctrl::TeDirectory::Lifecycle::kProvisioning);
+  auto it = live_pipelines_.find(meta->pipeline);
+  DS_CHECK(it != live_pipelines_.end());
+  std::shared_ptr<PipelineState> state = it->second;
+  live_pipelines_.erase(it);
+  state->aborted = true;
+  ++stats_.crashes;
+  ++stats_.scale_aborts;
+  AppendDir(ctrl::TeDirectory::kPipelineAborted, {state->pipe});
+  ReleaseNpus(state->npus);
+  if (obs::Tracer* t = sim_->tracer()) {
+    t->Instant(sim_->Now(), TracePid(), 0, "fault.crash",
+               {obs::Arg("te", static_cast<int64_t>(id)),
+                obs::Arg("kind", kind == CrashKind::kNpu ? "npu" : "te-shell"),
+                obs::Arg("provisioning", true)});
+  }
+  if (obs::MetricsRegistry* m = sim_->metrics()) {
+    m->counter("cm.faults.scale_aborts")->Inc();
+  }
+  // The TE never served: no failure handlers (no JE ever saw it), no lost
+  // requests, no MTTR sample. The caller that launched the pipeline learns
+  // via its own callback.
+  if (state->on_ready) {
+    state->on_ready(nullptr, state->breakdown);
+  }
+  return size_t{0};
+}
+
 void ClusterManager::DetectTeFailure(TeId id) {
+  if (!leader_up_) {
+    return;  // the takeover health scan re-runs detection
+  }
+  const ctrl::TeDirectory::TeMeta* meta = directory_.Find(id);
+  DS_CHECK(meta != nullptr);
+  if (meta->detected) {
+    return;  // a detection timer firing after the takeover scan already did this
+  }
+  AppendDir(ctrl::TeDirectory::kTeDetected, {id});
   ++stats_.detections;
-  TimeNs crashed = crash_times_.count(id) ? crash_times_[id] : sim_->Now();
+  TimeNs crashed = meta->crash_time >= 0 ? meta->crash_time : sim_->Now();
   DurationNs detect_latency = sim_->Now() - crashed;
   if (obs::Tracer* t = sim_->tracer()) {
     t->Instant(sim_->Now(), TracePid(), 0, "fault.detect",
@@ -187,10 +370,8 @@ void ClusterManager::DetectTeFailure(TeId id) {
   if (obs::MetricsRegistry* m = sim_->metrics()) {
     m->stats("cm.faults.detect_ms")->Add(NsToMilliseconds(detect_latency));
   }
-  if (TaskExecutor* target = te(id)) {
-    ReleaseNpus(target->config().npus);
-  }
-  for (const auto& handler : failure_handlers_) {
+  ReleaseNpus(NpusFromInts(meta->npus));
+  for (const auto& [handler_id, handler] : failure_handlers_) {
     handler(id);
   }
   if (!replace_enabled_) {
@@ -203,28 +384,39 @@ void ClusterManager::DetectTeFailure(TeId id) {
     }
     return;
   }
-  Status status = ScaleUp(replace_template_, [this, id, crashed](TaskExecutor* replacement,
-                                                                 const ScalingBreakdown&) {
-    ++stats_.replacements;
-    DurationNs mttr = sim_->Now() - crashed;
-    stats_.mttr_total += mttr;
-    ++stats_.mttr_count;
-    if (obs::Tracer* t = sim_->tracer()) {
-      t->AsyncEnd(sim_->Now(), TracePid(), static_cast<uint64_t>(id), "outage");
-      t->Instant(sim_->Now(), TracePid(), 0, "fault.recover",
-                 {obs::Arg("te", static_cast<int64_t>(id)),
-                  obs::Arg("replacement", static_cast<int64_t>(replacement->id())),
-                  obs::Arg("mttr_ms", NsToMilliseconds(mttr))});
-    }
-    if (obs::MetricsRegistry* m = sim_->metrics()) {
-      m->stats("cm.faults.mttr_ms")->Add(NsToMilliseconds(mttr));
-      m->counter("cm.faults.replacements")->Inc();
-    }
-    if (replace_on_ready_) {
-      replace_on_ready_(replacement);
-    }
-  });
-  if (!status.ok()) {
+  Result<TeId> launched =
+      ScaleUp(replace_template_, [this, id, crashed](TaskExecutor* replacement,
+                                                     const ScalingBreakdown&) {
+        if (replacement == nullptr) {
+          // The replacement pipeline was itself killed mid-flight: recovery
+          // for the original outage stalls at re-dispatch.
+          stats_.mttr_total += sim_->Now() - crashed;
+          ++stats_.mttr_count;
+          if (obs::Tracer* t = sim_->tracer()) {
+            t->AsyncEnd(sim_->Now(), TracePid(), static_cast<uint64_t>(id), "outage");
+          }
+          return;
+        }
+        ++stats_.replacements;
+        DurationNs mttr = sim_->Now() - crashed;
+        stats_.mttr_total += mttr;
+        ++stats_.mttr_count;
+        if (obs::Tracer* t = sim_->tracer()) {
+          t->AsyncEnd(sim_->Now(), TracePid(), static_cast<uint64_t>(id), "outage");
+          t->Instant(sim_->Now(), TracePid(), 0, "fault.recover",
+                     {obs::Arg("te", static_cast<int64_t>(id)),
+                      obs::Arg("replacement", static_cast<int64_t>(replacement->id())),
+                      obs::Arg("mttr_ms", NsToMilliseconds(mttr))});
+        }
+        if (obs::MetricsRegistry* m = sim_->metrics()) {
+          m->stats("cm.faults.mttr_ms")->Add(NsToMilliseconds(mttr));
+          m->counter("cm.faults.replacements")->Inc();
+        }
+        if (replace_on_ready_) {
+          replace_on_ready_(replacement);
+        }
+      });
+  if (!launched.ok()) {
     // Replacement could not even start (e.g. no free NPUs): recovery stalls
     // at re-dispatch, same as the no-policy path.
     stats_.mttr_total += detect_latency;
@@ -232,6 +424,91 @@ void ClusterManager::DetectTeFailure(TeId id) {
     if (obs::Tracer* t = sim_->tracer()) {
       t->AsyncEnd(sim_->Now(), TracePid(), static_cast<uint64_t>(id), "outage");
     }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Control-plane leader failover.
+// ---------------------------------------------------------------------------
+
+Status ClusterManager::CrashControlLeader() {
+  if (!leader_up_) {
+    return FailedPreconditionError("control leader already down");
+  }
+  leader_up_ = false;
+  leader_crash_time_ = sim_->Now();
+  ++stats_.cm_crashes;
+  if (obs::Tracer* t = sim_->tracer()) {
+    t->Instant(sim_->Now(), TracePid(), 0, "fault.cm_crash",
+               {obs::Arg("replicated", log_->replicated()),
+                obs::Arg("log_records", static_cast<int64_t>(log_->records().size()))});
+  }
+  if (obs::MetricsRegistry* m = sim_->metrics()) {
+    m->counter("cm.ctrl.crashes")->Inc();
+  }
+  if (log_->replicated()) {
+    // A standby waits out the lease, fetches the sealed tail, replays it,
+    // and takes over. With a single replica the outage is permanent unless
+    // RecoverControlLeader() is invoked by hand.
+    const int64_t epoch_at_crash = directory_.epoch();
+    sim_->ScheduleAfter(log_->FailoverDelay(sim_->Now()), [this, epoch_at_crash] {
+      if (!leader_up_ && directory_.epoch() == epoch_at_crash) {
+        RecoverControlLeader();
+      }
+    });
+  }
+  return Status::Ok();
+}
+
+void ClusterManager::RecoverControlLeader() {
+  DS_CHECK(!leader_up_);
+  // Standby proof-of-completeness: a fresh directory built from nothing but
+  // the log must reconstruct the live state bit-for-bit. Then swap it in —
+  // the log's attachment points at &directory_, which assignment preserves.
+  ctrl::TeDirectory standby(directory_.domain());
+  log_->ReplayInto(&standby);
+  DS_CHECK(standby.Fingerprint() == directory_.Fingerprint())
+      << "control-log replay diverged from live TE directory";
+  directory_ = std::move(standby);
+  leader_up_ = true;
+  AppendDir(ctrl::TeDirectory::kEpoch);
+  ++stats_.cm_failovers;
+  const DurationNs outage = sim_->Now() - leader_crash_time_;
+  stats_.cm_outage_total += outage;
+  if (obs::Tracer* t = sim_->tracer()) {
+    t->Instant(sim_->Now(), TracePid(), 0, "fault.cm_failover",
+               {obs::Arg("epoch", directory_.epoch()),
+                obs::Arg("outage_ms", NsToMilliseconds(outage))});
+  }
+  if (obs::MetricsRegistry* m = sim_->metrics()) {
+    m->counter("cm.ctrl.failovers")->Inc();
+    m->stats("cm.ctrl.outage_ms")->Add(NsToMilliseconds(outage));
+  }
+  // 1. Pod-runtime backlog: TE crashes observed while no leader was
+  //    listening become records now (stamped with their original times).
+  std::vector<PendingCrash> crashes;
+  crashes.swap(pending_crashes_);
+  for (const PendingCrash& pc : crashes) {
+    AppendDir(ctrl::TeDirectory::kTeCrashed,
+              {pc.id, static_cast<int64_t>(pc.kind), pc.time});
+  }
+  // 2. Parked control ops (pipeline stage transitions, drain completions,
+  //    ScaleUpMany creations) resume in arrival order.
+  std::vector<std::function<void()>> ops;
+  ops.swap(deferred_ops_);
+  for (auto& op : ops) {
+    op();
+  }
+  // 3. Health scan: anything crashed and never detected (buffered reports
+  //    above, or detection timers that fired into the outage) recovers now.
+  std::vector<TeId> undetected;
+  for (const auto& [id, meta] : directory_.entries()) {
+    if (meta.lifecycle == ctrl::TeDirectory::Lifecycle::kFailed && !meta.detected) {
+      undetected.push_back(id);
+    }
+  }
+  for (TeId id : undetected) {
+    DetectTeFailure(id);
   }
 }
 
@@ -267,15 +544,10 @@ void ClusterManager::PredictivePreload(const std::vector<model::ModelSpec>& rank
 // The five-step scaling pipeline.
 // ---------------------------------------------------------------------------
 
-struct ClusterManager::PipelineState {
-  ScaleRequest request;
-  ScaleCallback on_ready;
-  ScalingBreakdown breakdown;
-  std::vector<hw::NpuId> npus;
-  TimeNs stage_start = 0;
-};
-
-Status ClusterManager::ScaleUp(const ScaleRequest& request, ScaleCallback on_ready) {
+Result<TeId> ClusterManager::ScaleUp(const ScaleRequest& request, ScaleCallback on_ready) {
+  if (!leader_up_) {
+    return UnavailableError("control leader down: cannot scale up");
+  }
   auto npus = AllocateNpus(request.engine.parallelism.TotalNpus());
   if (!npus.ok()) {
     return npus.status();
@@ -284,16 +556,27 @@ Status ClusterManager::ScaleUp(const ScaleRequest& request, ScaleCallback on_rea
   state->request = request;
   state->on_ready = std::move(on_ready);
   state->npus = std::move(npus).value();
+  // Both the pipeline id and the TE id are reserved up front, so the TE is
+  // addressable (e.g. by KillTe) while still provisioning.
+  state->pipe = directory_.next_pipeline();
+  state->te_id = directory_.next_te_id();
+  std::vector<int64_t> ints = {state->pipe, state->te_id};
+  for (hw::NpuId id : state->npus) {
+    ints.push_back(id);
+  }
+  AppendDir(ctrl::TeDirectory::kPipelineStarted, std::move(ints));
+  live_pipelines_[state->pipe] = state;
   ++stats_.scale_ups;
+  const TeId reserved = state->te_id;
   RunScalerPre(std::move(state));
-  return Status::Ok();
+  return reserved;
 }
 
 void ClusterManager::RunScalerPre(std::shared_ptr<PipelineState> state) {
   state->stage_start = sim_->Now();
   DurationNs cost;
-  if (opts_.prewarmed_pods && prewarmed_pods_ > 0) {
-    --prewarmed_pods_;
+  if (opts_.prewarmed_pods && directory_.prewarmed_pods() > 0) {
+    AppendDir(ctrl::TeDirectory::kPodsConsumed, {1});
     ++stats_.prewarmed_pod_hits;
     state->breakdown.used_prewarmed_pod = true;
     cost = latency_.pod_adapt_prewarmed;
@@ -301,19 +584,22 @@ void ClusterManager::RunScalerPre(std::shared_ptr<PipelineState> state) {
     cost = latency_.pod_create_cold;
   }
   sim_->ScheduleAfter(cost, [this, state = std::move(state)]() mutable {
-    state->breakdown.scaler_pre = sim_->Now() - state->stage_start;
-    TraceScalePhase("scaler-pre", state->breakdown.scaler_pre);
-    RunTePreLoad(std::move(state));
+    StageContinue(state, [this, state] {
+      state->breakdown.scaler_pre = sim_->Now() - state->stage_start;
+      TraceScalePhase("scaler-pre", state->breakdown.scaler_pre);
+      AppendDir(ctrl::TeDirectory::kStageDone, {state->pipe, 1});
+      RunTePreLoad(state);
+    });
   });
 }
 
 void ClusterManager::RunTePreLoad(std::shared_ptr<PipelineState> state) {
   state->stage_start = sim_->Now();
   DurationNs cost;
-  if (opts_.prewarmed_tes && prewarmed_tes_ > 0) {
+  if (opts_.prewarmed_tes && directory_.prewarmed_tes() > 0) {
     // Model- and parallelism-agnostic pre-warmed SPMD master/executor pools:
     // adapting one to this model is quick config repacking.
-    --prewarmed_tes_;
+    AppendDir(ctrl::TeDirectory::kWarmTesConsumed, {1});
     ++stats_.prewarmed_te_hits;
     state->breakdown.used_prewarmed_te = true;
     cost = latency_.te_adapt_prewarmed;
@@ -325,9 +611,12 @@ void ClusterManager::RunTePreLoad(std::shared_ptr<PipelineState> state) {
     }
   }
   sim_->ScheduleAfter(cost, [this, state = std::move(state)]() mutable {
-    state->breakdown.te_pre_load = sim_->Now() - state->stage_start;
-    TraceScalePhase("te-pre-load", state->breakdown.te_pre_load);
-    RunTeLoad(std::move(state));
+    StageContinue(state, [this, state] {
+      state->breakdown.te_pre_load = sim_->Now() - state->stage_start;
+      TraceScalePhase("te-pre-load", state->breakdown.te_pre_load);
+      AppendDir(ctrl::TeDirectory::kStageDone, {state->pipe, 2});
+      RunTeLoad(state);
+    });
   });
 }
 
@@ -339,9 +628,12 @@ void ClusterManager::RunTeLoad(std::shared_ptr<PipelineState> state) {
   auto finish_stage = [this, state]() {
     // PyTorch tensor initialization happens once the bytes are local.
     sim_->ScheduleAfter(latency_.tensor_init, [this, state]() mutable {
-      state->breakdown.te_load = sim_->Now() - state->stage_start;
-      TraceScalePhase("te-load", state->breakdown.te_load);
-      RunTePostLoad(std::move(state));
+      StageContinue(state, [this, state] {
+        state->breakdown.te_load = sim_->Now() - state->stage_start;
+        TraceScalePhase("te-load", state->breakdown.te_load);
+        AppendDir(ctrl::TeDirectory::kStageDone, {state->pipe, 3});
+        RunTePostLoad(state);
+      });
     });
   };
 
@@ -371,7 +663,7 @@ void ClusterManager::RunTeLoad(std::shared_ptr<PipelineState> state) {
   hw::Machine* host = cluster_->machine(machine);
   bool hit = opts_.dram_preload && host->page_cache().Contains(model.name);
   state->breakdown.dram_hit = hit;
-  auto pcie_phase = [this, state, host, per_npu, finish_stage] {
+  auto pcie_phase = [this, state, per_npu, finish_stage] {
     auto remaining = std::make_shared<int>(static_cast<int>(state->npus.size()));
     const int per_machine = cluster_->config().npus_per_machine;
     for (hw::NpuId id : state->npus) {
@@ -416,9 +708,12 @@ DurationNs ClusterManager::PostLoadDuration() const {
 void ClusterManager::RunTePostLoad(std::shared_ptr<PipelineState> state) {
   state->stage_start = sim_->Now();
   sim_->ScheduleAfter(PostLoadDuration(), [this, state = std::move(state)]() mutable {
-    state->breakdown.te_post_load = sim_->Now() - state->stage_start;
-    TraceScalePhase("te-post-load", state->breakdown.te_post_load);
-    RunScalerPost(std::move(state));
+    StageContinue(state, [this, state] {
+      state->breakdown.te_post_load = sim_->Now() - state->stage_start;
+      TraceScalePhase("te-post-load", state->breakdown.te_post_load);
+      AppendDir(ctrl::TeDirectory::kStageDone, {state->pipe, 4});
+      RunScalerPost(state);
+    });
   });
 }
 
@@ -426,24 +721,28 @@ void ClusterManager::RunScalerPost(std::shared_ptr<PipelineState> state) {
   state->stage_start = sim_->Now();
   DurationNs cost = opts_.proactive_push ? latency_.push_latency : latency_.te_list_poll;
   sim_->ScheduleAfter(cost, [this, state = std::move(state)]() mutable {
-    state->breakdown.scaler_post = sim_->Now() - state->stage_start;
-    TraceScalePhase("scaler-post", state->breakdown.scaler_post);
-    TeConfig config;
-    config.id = next_te_id_++;
-    config.engine = state->request.engine;
-    config.npus = state->npus;
-    auto te = std::make_unique<TaskExecutor>(sim_, std::move(config));
-    if (transfer_ != nullptr) {
-      Status attached = te->AttachFabric(cluster_, transfer_);
-      DS_CHECK(attached.ok()) << attached.ToString();
-    }
-    te->set_state(TeState::kReady);
-    TaskExecutor* raw = te.get();
-    te_by_id_[raw->id()] = raw;
-    tes_.push_back(std::move(te));
-    if (state->on_ready) {
-      state->on_ready(raw, state->breakdown);
-    }
+    StageContinue(state, [this, state] {
+      state->breakdown.scaler_post = sim_->Now() - state->stage_start;
+      TraceScalePhase("scaler-post", state->breakdown.scaler_post);
+      AppendDir(ctrl::TeDirectory::kPipelineDone, {state->pipe});
+      TeConfig config;
+      config.id = state->te_id;
+      config.engine = state->request.engine;
+      config.npus = state->npus;
+      auto te = std::make_unique<TaskExecutor>(sim_, std::move(config));
+      if (transfer_ != nullptr) {
+        Status attached = te->AttachFabric(cluster_, transfer_);
+        DS_CHECK(attached.ok()) << attached.ToString();
+      }
+      te->set_state(TeState::kReady);
+      TaskExecutor* raw = te.get();
+      bindings_[raw->id()] = raw;
+      tes_.push_back(std::move(te));
+      live_pipelines_.erase(state->pipe);
+      if (state->on_ready) {
+        state->on_ready(raw, state->breakdown);
+      }
+    });
   });
 }
 
@@ -451,27 +750,29 @@ Status ClusterManager::ScaleUpMany(
     const ScaleRequest& request, int count,
     std::function<void(std::vector<TaskExecutor*>, DurationNs)> on_ready) {
   DS_CHECK_GT(count, 0);
+  if (!leader_up_) {
+    return UnavailableError("control leader down: cannot scale up");
+  }
   TaskExecutor* source = request.fork_source != kInvalidTe ? te(request.fork_source) : nullptr;
   if (source == nullptr || !source->ready()) {
     return FailedPreconditionError("ScaleUpMany needs a ready NPU-fork source");
   }
   TimeNs start = sim_->Now();
   // Steps 1/2/4/5 proceed per-TE in parallel; TE-Load is one broadcast.
-  DurationNs pre = (opts_.prewarmed_pods && prewarmed_pods_ >= count)
-                       ? latency_.pod_adapt_prewarmed
-                       : latency_.pod_create_cold;
-  if (opts_.prewarmed_pods && prewarmed_pods_ >= count) {
-    prewarmed_pods_ -= count;
+  const bool pod_hit = opts_.prewarmed_pods && directory_.prewarmed_pods() >= count;
+  DurationNs pre = pod_hit ? latency_.pod_adapt_prewarmed : latency_.pod_create_cold;
+  if (pod_hit) {
+    AppendDir(ctrl::TeDirectory::kPodsConsumed, {count});
     stats_.prewarmed_pod_hits += count;
   }
-  DurationNs preload = (opts_.prewarmed_tes && prewarmed_tes_ >= count)
-                           ? latency_.te_adapt_prewarmed
-                           : static_cast<DurationNs>(
-                                 static_cast<double>(latency_.te_preload_cold) *
-                                 (opts_.optimized_preload ? latency_.te_preload_optimized_factor
-                                                          : 1.0));
-  if (opts_.prewarmed_tes && prewarmed_tes_ >= count) {
-    prewarmed_tes_ -= count;
+  const bool te_hit = opts_.prewarmed_tes && directory_.prewarmed_tes() >= count;
+  DurationNs preload = te_hit ? latency_.te_adapt_prewarmed
+                              : static_cast<DurationNs>(
+                                    static_cast<double>(latency_.te_preload_cold) *
+                                    (opts_.optimized_preload ? latency_.te_preload_optimized_factor
+                                                             : 1.0));
+  if (te_hit) {
+    AppendDir(ctrl::TeDirectory::kWarmTesConsumed, {count});
     stats_.prewarmed_te_hits += count;
   }
   Bytes per_npu =
@@ -492,29 +793,37 @@ Status ClusterManager::ScaleUpMany(
                             (opts_.proactive_push ? latency_.push_latency
                                                   : latency_.te_list_poll);
           sim_->ScheduleAfter(tail, [this, request, count, start, cb = std::move(cb)] {
-            std::vector<TaskExecutor*> created;
-            for (int i = 0; i < count; ++i) {
-              auto npus = AllocateNpus(request.engine.parallelism.TotalNpus());
-              if (!npus.ok()) {
-                break;  // cluster exhausted: report what we got
+            DeferUntilRecovery([this, request, count, start, cb] {
+              std::vector<TaskExecutor*> created;
+              for (int i = 0; i < count; ++i) {
+                auto npus = AllocateNpus(request.engine.parallelism.TotalNpus());
+                if (!npus.ok()) {
+                  break;  // cluster exhausted: report what we got
+                }
+                const TeId id = directory_.next_te_id();
+                std::vector<int64_t> ints = {id};
+                for (hw::NpuId npu : npus.value()) {
+                  ints.push_back(npu);
+                }
+                AppendDir(ctrl::TeDirectory::kTeCreated, std::move(ints));
+                TeConfig config;
+                config.id = id;
+                config.engine = request.engine;
+                config.npus = std::move(npus).value();
+                auto te = std::make_unique<TaskExecutor>(sim_, std::move(config));
+                if (transfer_ != nullptr) {
+                  Status attached = te->AttachFabric(cluster_, transfer_);
+                  DS_CHECK(attached.ok()) << attached.ToString();
+                }
+                te->set_state(TeState::kReady);
+                bindings_[te->id()] = te.get();
+                created.push_back(te.get());
+                tes_.push_back(std::move(te));
               }
-              TeConfig config;
-              config.id = next_te_id_++;
-              config.engine = request.engine;
-              config.npus = std::move(npus).value();
-              auto te = std::make_unique<TaskExecutor>(sim_, std::move(config));
-              if (transfer_ != nullptr) {
-                Status attached = te->AttachFabric(cluster_, transfer_);
-                DS_CHECK(attached.ok()) << attached.ToString();
+              if (cb) {
+                cb(std::move(created), sim_->Now() - start);
               }
-              te->set_state(TeState::kReady);
-              te_by_id_[te->id()] = te.get();
-              created.push_back(te.get());
-              tes_.push_back(std::move(te));
-            }
-            if (cb) {
-              cb(std::move(created), sim_->Now() - start);
-            }
+            });
           });
         });
   });
@@ -542,10 +851,11 @@ void ClusterManager::StopAutoscaler() {
 DurationNs ClusterManager::EstimateScaleUpLead(const ScaleRequest& request) const {
   DurationNs lead = 0;
   // Scaler-Pre.
-  lead += (opts_.prewarmed_pods && prewarmed_pods_ > 0) ? latency_.pod_adapt_prewarmed
-                                                        : latency_.pod_create_cold;
+  lead += (opts_.prewarmed_pods && directory_.prewarmed_pods() > 0)
+              ? latency_.pod_adapt_prewarmed
+              : latency_.pod_create_cold;
   // TE-Pre-Load.
-  if (opts_.prewarmed_tes && prewarmed_tes_ > 0) {
+  if (opts_.prewarmed_tes && directory_.prewarmed_tes() > 0) {
     lead += latency_.te_adapt_prewarmed;
   } else {
     DurationNs cost = latency_.te_preload_cold;
@@ -559,8 +869,8 @@ DurationNs ClusterManager::EstimateScaleUpLead(const ScaleRequest& request) cons
   const model::ModelSpec& model = request.engine.model;
   Bytes per_npu = model::WeightBytesPerNpu(model, request.engine.parallelism);
   auto source_it =
-      request.fork_source != kInvalidTe ? te_by_id_.find(request.fork_source) : te_by_id_.end();
-  const TaskExecutor* source = source_it != te_by_id_.end() ? source_it->second : nullptr;
+      request.fork_source != kInvalidTe ? bindings_.find(request.fork_source) : bindings_.end();
+  const TaskExecutor* source = source_it != bindings_.end() ? source_it->second : nullptr;
   if (opts_.npu_fork && source != nullptr && source->ready()) {
     hw::MachineId src_machine = cluster_->machine_of(source->primary_npu());
     hw::SharedLink* link = cluster_->LinkOfType(src_machine, request.fork_link);

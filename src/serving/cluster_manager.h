@@ -13,6 +13,18 @@
 //   4. TE-Post-Load  — readiness           (offline profiling, async block
 //                      allocation, dummy-request warmup)
 //   5. Scaler-Post   — announce to JEs     (proactive push vs. polling)
+//
+// Control-plane state vs. runtime bindings: the authoritative registry —
+// which TE ids exist, their lifecycle, NPU placement, the device-in-use
+// bitmap, pre-warm pool counters, crash bookkeeping, in-flight pipelines —
+// lives in a ctrl::TeDirectory state machine that mutates only through
+// ctrl::ControlLog records, so a standby leader replaying the log owns
+// bit-identical state. The live TaskExecutor objects, scheduled events, and
+// in-flight link flows are data plane: they keep running through a
+// control-plane outage, and a new leader re-binds to them at takeover
+// (CrashControlLeader / RecoverControlLeader). In the degenerate
+// single-replica zero-latency log config, every Append applies inline and
+// schedules nothing, so behavior is bit-identical to the pre-log tree.
 #ifndef DEEPSERVE_SERVING_CLUSTER_MANAGER_H_
 #define DEEPSERVE_SERVING_CLUSTER_MANAGER_H_
 
@@ -24,6 +36,8 @@
 #include <vector>
 
 #include "common/status.h"
+#include "ctrl/control_log.h"
+#include "ctrl/te_directory.h"
 #include "distflow/distflow.h"
 #include "hw/cluster.h"
 #include "hw/hccl.h"
@@ -129,6 +143,12 @@ struct ClusterManagerStats {
   int64_t lost_kv_tokens = 0;   // KV context tokens destroyed by crashes
   DurationNs mttr_total = 0;    // crash -> recovered, summed
   int64_t mttr_count = 0;
+  // Control-plane fault pipeline.
+  int64_t scale_aborts = 0;   // provisioning pipelines killed by a crash
+  int64_t cm_crashes = 0;     // control-leader crashes injected
+  int64_t cm_failovers = 0;   // standby takeovers completed
+  int64_t deferred_ops = 0;   // control ops parked during leader outages
+  DurationNs cm_outage_total = 0;  // leader crash -> takeover, summed
 
   double mean_mttr_ms() const {
     return mttr_count == 0 ? 0.0
@@ -138,8 +158,15 @@ struct ClusterManagerStats {
 
 class ClusterManager {
  public:
+  // `ctrl_log`: the sequenced shared log holding this manager's TeDirectory
+  // domain. nullptr = an internally-owned degenerate log (single replica,
+  // zero latency) — bit-identical to the historical in-member state.
   ClusterManager(sim::Simulator* sim, hw::Cluster* cluster, distflow::TransferEngine* transfer,
-                 ScalingOptimizations opts = {}, ScalingLatencyModel latency = {});
+                 ScalingOptimizations opts = {}, ScalingLatencyModel latency = {},
+                 ctrl::ControlLog* ctrl_log = nullptr);
+
+  // Detaches the TeDirectory from a shared (externally owned) control log.
+  ~ClusterManager();
 
   ClusterManager(const ClusterManager&) = delete;
   ClusterManager& operator=(const ClusterManager&) = delete;
@@ -155,18 +182,24 @@ class ClusterManager {
   // Failure injection with *immediate* detection: crash a TE (in-flight work
   // lost), release its NPUs, and synchronously notify every registered
   // failure handler (typically JEs, which retry the lost jobs elsewhere).
-  // Returns how many requests the TE dropped.
+  // Returns how many requests the TE dropped. On a TE id still provisioning
+  // (its ScaleUp pipeline in flight), the pipeline is aborted instead: NPUs
+  // release, the ready callback fires with nullptr, and 0 is returned.
   [[nodiscard]] Result<size_t> KillTe(TeId id);
   // Failure injection with *realistic* detection: the TE dies silently now
   // (work lost, state -> kFailed), but NPU release, handler notification, and
   // the replacement scale-up only happen once the detector notices —
   // according to the FaultDetectionConfig and the crash kind. NPU-crash
-  // detection lands on the heartbeat grid.
+  // detection lands on the heartbeat grid. Provisioning ids abort as KillTe.
   [[nodiscard]] Result<size_t> CrashTe(TeId id, CrashKind kind = CrashKind::kNpu);
-  // Registers a callback invoked with the TeId of every killed TE.
-  void AddFailureHandler(std::function<void(TeId)> handler) {
-    failure_handlers_.push_back(std::move(handler));
-  }
+  // Registers a callback invoked with the TeId of every killed TE. The
+  // returned registration id deregisters it again via RemoveFailureHandler —
+  // a failed-over JE must drop its predecessor's handler or crashes fire on
+  // a stale instance.
+  int64_t AddFailureHandler(std::function<void(TeId)> handler);
+  // Returns whether the registration existed. Handlers fire in registration
+  // order regardless of removals.
+  bool RemoveFailureHandler(int64_t handler_id);
   void SetFaultDetection(FaultDetectionConfig config) { detection_ = config; }
   const FaultDetectionConfig& fault_detection() const { return detection_; }
   // Auto-replacement: every detected crash triggers a ScaleUp from `request`;
@@ -180,11 +213,32 @@ class ClusterManager {
     replace_on_ready_ = std::move(on_ready);
   }
 
+  // ---- control-plane failover -------------------------------------------------
+  // Crashes the CM leader: every mutating entry point returns UNAVAILABLE and
+  // in-flight pipeline transitions park until a standby takes over. With a
+  // replicated log the takeover is scheduled automatically after
+  // ControlLog::FailoverDelay (lease + replication gap + tail replay); with a
+  // single replica the outage is permanent unless RecoverControlLeader() is
+  // called by hand. Data-plane TEs keep serving throughout.
+  [[nodiscard]] Status CrashControlLeader();
+  // Standby takeover: replays the log into a fresh TeDirectory, checks it
+  // reconstructs the live state bit-identically, swaps it in, bumps the
+  // epoch, replays crash reports observed during the outage, resumes parked
+  // control ops, and re-detects undetected failures.
+  void RecoverControlLeader();
+  bool leader_up() const { return leader_up_; }
+  int64_t control_epoch() const { return directory_.epoch(); }
+  // Runs `op` now, or parks it until the next RecoverControlLeader() when the
+  // leader is down (used by pipeline stages and the autoscaler's drain path).
+  void DeferUntilRecovery(std::function<void()> op);
+  ctrl::ControlLog* ctrl_log() { return log_; }
+  const ctrl::TeDirectory& directory() const { return directory_; }
+
   // ---- pre-warming & pre-loading ----------------------------------------------
-  void ReservePrewarmedPods(int count) { prewarmed_pods_ += count; }
-  void ReservePrewarmedTes(int count) { prewarmed_tes_ += count; }
-  int prewarmed_pods() const { return prewarmed_pods_; }
-  int prewarmed_tes() const { return prewarmed_tes_; }
+  void ReservePrewarmedPods(int count);
+  void ReservePrewarmedTes(int count);
+  int prewarmed_pods() const { return directory_.prewarmed_pods(); }
+  int prewarmed_tes() const { return directory_.prewarmed_tes(); }
 
   // Streams a model's safetensors file from SSD into a machine's DRAM page
   // cache (timed); `on_done` fires when resident.
@@ -197,8 +251,12 @@ class ClusterManager {
   // ---- fast scaling -----------------------------------------------------------
   using ScaleCallback = std::function<void(TaskExecutor*, const ScalingBreakdown&)>;
   // Runs the five-step pipeline; the TE is usable when the callback fires.
-  [[nodiscard]] Status ScaleUp(const ScaleRequest& request, ScaleCallback on_ready);
+  // Returns the TE id reserved for the pipeline (usable with KillTe/CrashTe
+  // to abort it mid-flight, in which case the callback fires with nullptr).
+  [[nodiscard]] Result<TeId> ScaleUp(const ScaleRequest& request, ScaleCallback on_ready);
   // NPU-fork to `count` new TEs in parallel via HCCL broadcast (Fig. 10a).
+  // Ids are assigned at creation time (pipeline end), so these TEs are not
+  // individually abortable mid-flight.
   [[nodiscard]] Status ScaleUpMany(const ScaleRequest& request, int count,
                      std::function<void(std::vector<TaskExecutor*>, DurationNs)> on_ready);
 
@@ -232,6 +290,11 @@ class ClusterManager {
 
  private:
   struct PipelineState;
+  struct PendingCrash {
+    TeId id = kInvalidTe;
+    CrashKind kind = CrashKind::kNpu;
+    TimeNs time = 0;
+  };
 
   void RunScalerPre(std::shared_ptr<PipelineState> state);
   void RunTePreLoad(std::shared_ptr<PipelineState> state);
@@ -239,6 +302,11 @@ class ClusterManager {
   void RunTePostLoad(std::shared_ptr<PipelineState> state);
   void RunScalerPost(std::shared_ptr<PipelineState> state);
   DurationNs PostLoadDuration() const;
+  // Runs a pipeline-stage continuation: dropped if the pipeline was aborted,
+  // parked if the control leader is down (a standby resumes it at takeover).
+  void StageContinue(const std::shared_ptr<PipelineState>& state, std::function<void()> body);
+  // Appends one TeDirectory record to the control log.
+  void AppendDir(int32_t type, std::vector<int64_t> ints = {});
   // Autoscaler scale-downs count in ClusterManagerStats like the historical
   // in-class tick's did.
   void RecordAutoscalerScaleDown() { ++stats_.scale_downs; }
@@ -246,8 +314,11 @@ class ClusterManager {
   // The crash core shared by KillTe (synchronous detection) and CrashTe
   // (detection deferred per the crash kind).
   [[nodiscard]] Result<size_t> Crash(TeId id, CrashKind kind, bool defer_detection);
+  // Satellite of the crash path: kill a TE whose five-stage pipeline is still
+  // in flight — abort the pipeline instead of delivering a dead-TE callback.
+  [[nodiscard]] Result<size_t> AbortPipeline(TeId id, CrashKind kind);
   // The detector noticed `id` is dead: release NPUs, notify handlers, start
-  // the replacement scale-up.
+  // the replacement scale-up. Idempotent (failover re-scans crashed TEs).
   void DetectTeFailure(TeId id);
   // Lazily registers the scaling-pipeline trace track; -1 when disabled.
   int TracePid();
@@ -261,23 +332,34 @@ class ClusterManager {
   ScalingOptimizations opts_;
   ScalingLatencyModel latency_;
 
+  // Replicated control-plane state (see file comment) + its log.
+  std::unique_ptr<ctrl::ControlLog> owned_log_;
+  ctrl::ControlLog* log_ = nullptr;
+  ctrl::TeDirectory directory_;
+
+  // Runtime bindings (data plane): the live TaskExecutor objects in creation
+  // order, and the id -> object map a re-elected leader re-binds through.
   std::vector<std::unique_ptr<TaskExecutor>> tes_;
-  std::map<TeId, TaskExecutor*> te_by_id_;
-  TeId next_te_id_ = 1;
-  std::vector<bool> npu_in_use_;
-  int prewarmed_pods_ = 0;
-  int prewarmed_tes_ = 0;
+  std::map<TeId, TaskExecutor*> bindings_;
+  // Pipelines with stages still in flight, by pipeline id (abort path).
+  std::map<int64_t, std::shared_ptr<PipelineState>> live_pipelines_;
 
   std::unique_ptr<Autoscaler> autoscaler_;
 
-  std::vector<std::function<void(TeId)>> failure_handlers_;
+  std::vector<std::pair<int64_t, std::function<void(TeId)>>> failure_handlers_;
+  int64_t next_handler_id_ = 1;
 
   // Fault pipeline state.
   FaultDetectionConfig detection_;
   bool replace_enabled_ = false;
   ScaleRequest replace_template_;
   std::function<void(TaskExecutor*)> replace_on_ready_;
-  std::map<TeId, TimeNs> crash_times_;
+
+  // Leader failover state.
+  bool leader_up_ = true;
+  TimeNs leader_crash_time_ = 0;
+  std::vector<std::function<void()>> deferred_ops_;
+  std::vector<PendingCrash> pending_crashes_;  // pod-runtime backlog during outage
 
   ClusterManagerStats stats_;
   int trace_pid_ = -1;

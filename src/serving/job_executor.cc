@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "serving/cluster_manager.h"
 #include "serving/route_policy.h"
 
 namespace deepserve::serving {
@@ -62,24 +63,105 @@ JobExecutor::JobExecutor(sim::Simulator* sim, JeConfig config, PdHeatmap heatmap
       predictor_(std::move(predictor)) {
   DS_CHECK(sim_ != nullptr);
   DS_CHECK(predictor_ != nullptr);
+  // Default control plane: a private degenerate log (single replica, zero
+  // latency) — bit-identical behavior to unreplicated bookkeeping.
+  owned_log_ = std::make_unique<ctrl::ControlLog>(sim_);
+  log_ = owned_log_.get();
+  table_.set_domain(log_->RegisterDomain("job-table"));
+  log_->Attach(&table_);
+}
+
+JobExecutor::~JobExecutor() {
+  if (cm_ != nullptr && failure_handler_id_ != 0) {
+    cm_->RemoveFailureHandler(failure_handler_id_);
+  }
+  log_->Detach(table_.domain());
+}
+
+void JobExecutor::AttachControl(ctrl::ControlLog* log, ClusterManager* cm) {
+  DS_CHECK(log != nullptr);
+  DS_CHECK(table_.applied() == 0)
+      << "AttachControl must precede any JE state (TEs, requests)";
+  log_->Detach(table_.domain());
+  table_.set_domain(log->RegisterDomain("job-table"));
+  log_ = log;
+  owned_log_.reset();
+  log_->Attach(&table_);
+  cm_ = cm;
+  if (cm_ != nullptr) {
+    failure_handler_id_ = cm_->AddFailureHandler([this](TeId id) { OnTeFailure(id); });
+  }
+}
+
+void JobExecutor::AppendJob(int32_t type, std::vector<int64_t> ints, std::string str) {
+  ctrl::LogRecord record;
+  record.domain = table_.domain();
+  record.type = type;
+  record.ints = std::move(ints);
+  record.str = std::move(str);
+  log_->Append(std::move(record));
+}
+
+void JobExecutor::RunOrDefer(std::function<void()> op) {
+  if (!down_) {
+    op();
+    return;
+  }
+  if (!log_->replicated()) {
+    // No standby will ever take over; the op targets state that was already
+    // failed out in CrashLeader (or is moot), so it is dropped.
+    return;
+  }
+  ++stats_.deferred_ops;
+  deferred_ops_.push_back(std::move(op));
 }
 
 void JobExecutor::AddColocatedTe(TaskExecutor* te) {
   DS_CHECK(te->role() == flowserve::EngineRole::kColocated);
+  if (down_) {
+    RunOrDefer([this, te] { AddColocatedTe(te); });
+    return;
+  }
+  AppendJob(ctrl::JobTable::kTeAdded,
+            {ctrl::JobTable::kColocated, static_cast<int64_t>(te->id())});
   colocated_.push_back(te);
 }
 
 void JobExecutor::AddPrefillTe(TaskExecutor* te) {
   DS_CHECK(te->role() == flowserve::EngineRole::kPrefillOnly);
+  if (down_) {
+    RunOrDefer([this, te] { AddPrefillTe(te); });
+    return;
+  }
+  AppendJob(ctrl::JobTable::kTeAdded,
+            {ctrl::JobTable::kPrefill, static_cast<int64_t>(te->id())});
   prefill_.push_back(te);
 }
 
 void JobExecutor::AddDecodeTe(TaskExecutor* te) {
   DS_CHECK(te->role() == flowserve::EngineRole::kDecodeOnly);
+  if (down_) {
+    RunOrDefer([this, te] { AddDecodeTe(te); });
+    return;
+  }
+  AppendJob(ctrl::JobTable::kTeAdded,
+            {ctrl::JobTable::kDecode, static_cast<int64_t>(te->id())});
   decode_.push_back(te);
 }
 
 bool JobExecutor::RemoveTe(TeId id) {
+  auto member = [this, id] {
+    auto has = [id](const std::vector<TaskExecutor*>& tes) {
+      return std::any_of(tes.begin(), tes.end(),
+                         [id](TaskExecutor* te) { return te->id() == id; });
+    };
+    return has(colocated_) || has(prefill_) || has(decode_);
+  };
+  if (down_) {
+    bool removed = member();
+    RunOrDefer([this, id] { RemoveTe(id); });
+    return removed;
+  }
   bool removed = false;
   auto drop = [id, &removed](std::vector<TaskExecutor*>& tes) {
     auto tail = std::remove_if(tes.begin(), tes.end(),
@@ -90,6 +172,9 @@ bool JobExecutor::RemoveTe(TeId id) {
   drop(colocated_);
   drop(prefill_);
   drop(decode_);
+  if (removed) {
+    AppendJob(ctrl::JobTable::kTeRemoved, {static_cast<int64_t>(id)});
+  }
   // Prompt-tree tags for the departed TE are cleaned lazily during matching.
   return removed;
 }
@@ -174,8 +259,8 @@ TaskExecutor* JobExecutor::SelectFrom(const workload::RequestSpec& spec, PromptT
   DS_CHECK(!tes.empty());
   switch (config_.policy) {
     case SchedulingPolicy::kRoundRobin:
-      // rr_cursor_ advances once per request in HandleRequest.
-      return tes[rr_cursor_ % tes.size()];
+      // The cursor advances once per request (kRrAdvanced) in Dispatch.
+      return tes[table_.rr_cursor() % tes.size()];
     case SchedulingPolicy::kLoadOnly:
       ++stats_.load_decisions;
       return LoadAware(tes);
@@ -232,22 +317,18 @@ int JobExecutor::TracePid() {
   return trace_pid_;
 }
 
-TaskRecord& JobExecutor::NewTask(JobId job, TaskType type, TeId te) {
-  TaskRecord task;
-  task.id = next_task_++;
-  task.job = job;
-  task.type = type;
-  task.te = te;
-  task.state = TaskState::kDispatched;
-  task.created = sim_->Now();
-  task.dispatched = sim_->Now();
-  task_index_[task.id] = tasks_.size();
-  jobs_[job_index_.at(job)].tasks.push_back(task.id);
-  tasks_.push_back(task);
-  return tasks_.back();
+TaskId JobExecutor::NewTask(JobId job, TaskType type, TeId te) {
+  const TaskId task_id = table_.next_task();
+  AppendJob(ctrl::JobTable::kTaskCreated,
+            {static_cast<int64_t>(task_id), static_cast<int64_t>(job),
+             static_cast<int64_t>(type), static_cast<int64_t>(te)});
+  return task_id;
 }
 
 bool JobExecutor::HasReadyCapacity() const {
+  if (down_) {
+    return false;
+  }
   for (TaskExecutor* te : colocated_) {
     if (te->ready()) {
       return true;
@@ -272,6 +353,9 @@ bool JobExecutor::HasReadyCapacity() const {
 }
 
 int JobExecutor::ReadyCapacityWeight() const {
+  if (down_) {
+    return 0;
+  }
   int coloc = 0;
   for (TaskExecutor* te : colocated_) {
     if (te->ready()) {
@@ -294,25 +378,22 @@ int JobExecutor::ReadyCapacityWeight() const {
 }
 
 size_t JobExecutor::CancelRequest(workload::RequestId request_id) {
-  size_t dropped = 0;
-  for (auto it = outstanding_.begin(); it != outstanding_.end();) {
-    if (it->second.spec.id != request_id) {
-      ++it;
-      continue;
+  if (down_) {
+    // Parked until takeover (or dropped when no standby exists — the crash
+    // already failed every outstanding job, so there is nothing to cancel).
+    RunOrDefer([this, request_id] { CancelRequest(request_id); });
+    return 0;
+  }
+  std::vector<JobId> hits;
+  for (const auto& [job_id, outstanding] : table_.outstanding()) {
+    if (outstanding.spec.id == request_id) {
+      hits.push_back(job_id);
     }
-    JobId job_id = it->first;
-    std::vector<TeId> tes = std::move(it->second.tes);
-    it = outstanding_.erase(it);  // the handler dies here without firing
-    JobRecord& record = jobs_[job_index_.at(job_id)];
-    record.state = JobState::kFailed;
-    record.completed = sim_->Now();
-    for (TaskId task : record.tasks) {
-      TaskRecord& t = tasks_[task_index_.at(task)];
-      if (t.state != TaskState::kCompleted) {
-        t.state = TaskState::kFailed;
-        t.completed = sim_->Now();
-      }
-    }
+  }
+  for (JobId job_id : hits) {
+    std::vector<TeId> tes = table_.outstanding().at(job_id).tes;
+    AppendJob(ctrl::JobTable::kJobFailed, {static_cast<int64_t>(job_id)});
+    handlers_.erase(job_id);  // the handler dies here without firing
     for (TeId te_id : tes) {
       for (TaskExecutor* te : colocated_) {
         if (te->id() == te_id) {
@@ -331,38 +412,49 @@ size_t JobExecutor::CancelRequest(workload::RequestId request_id) {
       }
     }
     ++stats_.cancelled;
-    ++dropped;
     if (obs::Tracer* t = sim_->tracer()) {
       t->Instant(sim_->Now(), TracePid(), 0, "je.cancel",
                  {obs::Arg("req", static_cast<int64_t>(request_id))});
     }
   }
-  return dropped;
+  return hits.size();
 }
 
 void JobExecutor::HandleRequest(const workload::RequestSpec& spec, ResponseHandler handler) {
   ++stats_.requests;
+  if (down_) {
+    if (log_->replicated()) {
+      // The standby picks these up at takeover.
+      ++stats_.queued_arrivals;
+      pending_arrivals_.push_back({spec, std::move(handler)});
+    } else {
+      ++stats_.errors;
+      if (obs::Tracer* t = sim_->tracer()) {
+        t->Instant(sim_->Now(), TracePid(), 0, "je.error",
+                   {obs::Arg("req", static_cast<int64_t>(spec.id)),
+                    obs::Arg("code", "unavailable")});
+      }
+      if (handler.on_error) {
+        handler.on_error(UnavailableError("job executor leader down with no standby"));
+      }
+    }
+    return;
+  }
   Dispatch(spec, std::move(handler), /*retries=*/0);
 }
 
 void JobExecutor::FailJob(JobId job_id, const Status& status) {
-  auto it = outstanding_.find(job_id);
-  if (it == outstanding_.end()) {
+  if (!table_.IsOutstanding(job_id)) {
     return;  // already completed, already failed, or owned by the retry path
   }
-  ResponseHandler handler = std::move(it->second.handler);
-  workload::RequestId request = it->second.spec.id;
-  outstanding_.erase(it);
-  JobRecord& record = jobs_[job_index_.at(job_id)];
-  record.state = JobState::kFailed;
-  record.completed = sim_->Now();
-  for (TaskId task : record.tasks) {
-    TaskRecord& t = tasks_[task_index_.at(task)];
-    if (t.state != TaskState::kCompleted) {
-      t.state = TaskState::kFailed;
-      t.completed = sim_->Now();
-    }
+  workload::RequestId request = table_.outstanding().at(job_id).spec.id;
+  ResponseHandler handler;
+  auto it = handlers_.find(job_id);
+  if (it != handlers_.end()) {
+    handler = std::move(it->second);
+    handlers_.erase(it);
   }
+  AppendJob(ctrl::JobTable::kJobFailed, {static_cast<int64_t>(job_id)});
   ++stats_.errors;
   if (obs::Tracer* t = sim_->tracer()) {
     t->Instant(sim_->Now(), TracePid(), 0, "je.error",
@@ -376,21 +468,21 @@ void JobExecutor::FailJob(JobId job_id, const Status& status) {
 
 void JobExecutor::Dispatch(const workload::RequestSpec& spec, ResponseHandler handler,
                            int retries) {
-  JobRecord job;
-  job.id = next_job_++;
-  job.request = spec.id;
-  job.type = JobType::kChatCompletion;
-  job.state = JobState::kRunning;
-  job.created = sim_->Now();
-  job_index_[job.id] = jobs_.size();
-  jobs_.push_back(job);
-  JobId job_id = jobs_.back().id;
-
-  // Remember enough to re-dispatch if a TE carrying this job dies.
-  Outstanding& outstanding = outstanding_[job_id];
-  outstanding.spec = spec;
-  outstanding.handler = std::move(handler);
-  outstanding.retries = retries;
+  const JobId job_id = table_.next_job();
+  {
+    // kJobCreated carries the full spec: a standby replaying the log can
+    // re-dispatch or fail this request without the leader's memory.
+    std::vector<int64_t> ints = {static_cast<int64_t>(job_id),
+                                 static_cast<int64_t>(spec.id),
+                                 retries,
+                                 spec.arrival,
+                                 spec.decode_len,
+                                 spec.priority,
+                                 spec.deadline};
+    ints.insert(ints.end(), spec.prompt.begin(), spec.prompt.end());
+    AppendJob(ctrl::JobTable::kJobCreated, std::move(ints), spec.context_id);
+  }
+  handlers_[job_id] = std::move(handler);
 
   if (config_.enforce_deadlines && spec.deadline > 0 && sim_->Now() > spec.deadline) {
     // Already dead on arrival here — typically a crash re-dispatch of a
@@ -420,7 +512,7 @@ void JobExecutor::Dispatch(const workload::RequestSpec& spec, ResponseHandler ha
       // Baseline: alternate over routing slots (each colocated TE and the
       // disaggregated pool each count as one slot).
       size_t slots = coloc.size() + (disagg_available ? 1 : 0);
-      size_t slot = rr_cursor_ % std::max<size_t>(1, slots);
+      size_t slot = table_.rr_cursor() % std::max<size_t>(1, slots);
       use_disagg = disagg_available && slot == coloc.size();
       break;
     }
@@ -466,37 +558,42 @@ void JobExecutor::Dispatch(const workload::RequestSpec& spec, ResponseHandler ha
     use_disagg = true;
   }
 
+  // Completion races a leader outage: a sequence finishing while the leader
+  // is down parks here until the standby takes over. The IsOutstanding guard
+  // makes termination exactly-once even if the job was failed/cancelled in
+  // the interim (e.g. its TE died during the outage and the retry path took
+  // ownership).
+  ResponseHandler& stored = handlers_.at(job_id);
   auto complete_job = [this, job_id,
-                       on_complete = outstanding.handler.on_complete](const flowserve::Sequence& seq) {
-    JobRecord& record = jobs_[job_index_.at(job_id)];
-    record.state = JobState::kCompleted;
-    record.completed = sim_->Now();
-    for (TaskId task : record.tasks) {
-      TaskRecord& t = tasks_[task_index_.at(task)];
-      if (t.state != TaskState::kCompleted) {
-        t.state = TaskState::kCompleted;
-        t.completed = sim_->Now();
+                       on_complete = stored.on_complete](const flowserve::Sequence& seq) {
+    RunOrDefer([this, job_id, on_complete, seq] {
+      if (!table_.IsOutstanding(job_id)) {
+        return;
       }
-    }
-    outstanding_.erase(job_id);
-    if (on_complete) {
-      on_complete(seq);
-    }
+      AppendJob(ctrl::JobTable::kJobCompleted, {static_cast<int64_t>(job_id)});
+      handlers_.erase(job_id);
+      if (on_complete) {
+        on_complete(seq);
+      }
+    });
   };
 
   // The TE-level handler: task bookkeeping plus this job's termination paths.
   // FailJob no-ops once the job completed or the retry path took ownership, so
   // exactly one of on_complete / on_error ever reaches the caller.
   ResponseHandler te_handler;
-  te_handler.on_first_token = outstanding.handler.on_first_token;
+  te_handler.on_first_token = stored.on_first_token;
   te_handler.on_complete = std::move(complete_job);
-  te_handler.on_error = [this, job_id](const Status& status) { FailJob(job_id, status); };
+  te_handler.on_error = [this, job_id](const Status& status) {
+    RunOrDefer([this, job_id, status] { FailJob(job_id, status); });
+  };
 
   if (use_disagg) {
     ++stats_.routed_disaggregated;
     TaskExecutor* p = SelectFrom(spec, prefill_tree_, prefill);
     RecordRoute(spec, prefill_tree_, p->id());
-    outstanding.tes.push_back(p->id());
+    AppendJob(ctrl::JobTable::kJobTeBound,
+              {static_cast<int64_t>(job_id), static_cast<int64_t>(p->id())});
     if (obs::Tracer* t = sim_->tracer()) {
       t->Instant(sim_->Now(), TracePid(), 0, "je.route",
                  {obs::Arg("req", static_cast<int64_t>(spec.id)),
@@ -508,7 +605,8 @@ void JobExecutor::Dispatch(const workload::RequestSpec& spec, ResponseHandler ha
     ++stats_.routed_colocated;
     TaskExecutor* te = SelectFrom(spec, colocated_tree_, coloc);
     RecordRoute(spec, colocated_tree_, te->id());
-    outstanding.tes.push_back(te->id());
+    AppendJob(ctrl::JobTable::kJobTeBound,
+              {static_cast<int64_t>(job_id), static_cast<int64_t>(te->id())});
     if (obs::Tracer* t = sim_->tracer()) {
       t->Instant(sim_->Now(), TracePid(), 0, "je.route",
                  {obs::Arg("req", static_cast<int64_t>(spec.id)),
@@ -517,20 +615,19 @@ void JobExecutor::Dispatch(const workload::RequestSpec& spec, ResponseHandler ha
     }
     DispatchColocated(te, spec, std::move(te_handler));
   }
-  ++rr_cursor_;
+  AppendJob(ctrl::JobTable::kRrAdvanced);
 }
 
 void JobExecutor::DispatchColocated(TaskExecutor* te, const workload::RequestSpec& spec,
                                     ResponseHandler handler) {
-  JobId job_id = jobs_.back().id;
-  TaskRecord& task = NewTask(job_id, TaskType::kUnified, te->id());
-  TaskId task_id = task.id;
+  JobId job_id = table_.jobs().back().id;
+  TaskId task_id = NewTask(job_id, TaskType::kUnified, te->id());
   handler.on_complete = [this, task_id, cb = std::move(handler.on_complete)](
                             const flowserve::Sequence& seq) {
-    TaskRecord& t = tasks_[task_index_.at(task_id)];
-    t.state = TaskState::kCompleted;
-    t.completed = sim_->Now();
-    cb(seq);
+    RunOrDefer([this, task_id, cb, seq] {
+      AppendJob(ctrl::JobTable::kTaskCompleted, {static_cast<int64_t>(task_id)});
+      cb(seq);
+    });
   };
   te->SubmitUnified(spec, std::move(handler));
 }
@@ -538,28 +635,33 @@ void JobExecutor::DispatchColocated(TaskExecutor* te, const workload::RequestSpe
 void JobExecutor::DispatchDisaggregated(TaskExecutor* prefill_te,
                                         const workload::RequestSpec& spec,
                                         ResponseHandler handler) {
-  JobId job_id = jobs_.back().id;
+  JobId job_id = table_.jobs().back().id;
   std::vector<TaskExecutor*> decode = ReadyTes(decode_);
   DS_CHECK(!decode.empty());
   TaskExecutor* decode_te = LoadAware(decode);
-  outstanding_[job_id].tes.push_back(decode_te->id());
-  TaskRecord& prefill_task = NewTask(job_id, TaskType::kPrefill, prefill_te->id());
-  TaskId prefill_task_id = prefill_task.id;
-  TaskRecord& decode_task = NewTask(job_id, TaskType::kDecode, decode_te->id());
-  (void)decode_task;
+  AppendJob(ctrl::JobTable::kJobTeBound,
+            {static_cast<int64_t>(job_id), static_cast<int64_t>(decode_te->id())});
+  TaskId prefill_task_id = NewTask(job_id, TaskType::kPrefill, prefill_te->id());
+  (void)NewTask(job_id, TaskType::kDecode, decode_te->id());
   handler.on_first_token = [this, prefill_task_id, cb = std::move(handler.on_first_token)](
                                const flowserve::Sequence& seq) {
-    TaskRecord& t = tasks_[task_index_.at(prefill_task_id)];
-    t.state = TaskState::kCompleted;
-    t.completed = sim_->Now();
-    if (cb) {
-      cb(seq);
-    }
+    RunOrDefer([this, prefill_task_id, cb, seq] {
+      AppendJob(ctrl::JobTable::kTaskCompleted, {static_cast<int64_t>(prefill_task_id)});
+      if (cb) {
+        cb(seq);
+      }
+    });
   };
   prefill_te->SubmitPrefill(spec, decode_te, std::move(handler));
 }
 
 void JobExecutor::OnTeFailure(TeId id) {
+  if (down_) {
+    // Parked: the standby reconciles dead TEs at takeover, and this handler
+    // re-runs first so membership and retries aren't double-processed.
+    RunOrDefer([this, id] { OnTeFailure(id); });
+    return;
+  }
   ++stats_.failed_tes_handled;
   if (obs::Tracer* t = sim_->tracer()) {
     t->Instant(sim_->Now(), TracePid(), 0, "je.te_failure",
@@ -567,31 +669,33 @@ void JobExecutor::OnTeFailure(TeId id) {
   }
   RemoveTe(id);
   // Collect jobs whose tasks ran on the dead TE, then re-dispatch each.
-  std::vector<Outstanding> to_retry;
-  for (auto it = outstanding_.begin(); it != outstanding_.end();) {
-    bool hit = false;
-    for (TeId te : it->second.tes) {
-      if (te == id) {
-        hit = true;
-        break;
-      }
+  struct Retry {
+    workload::RequestSpec spec;
+    std::vector<TeId> tes;
+    int retries = 0;
+    ResponseHandler handler;
+  };
+  std::vector<JobId> hit_jobs;
+  for (const auto& [job_id, outstanding] : table_.outstanding()) {
+    if (std::find(outstanding.tes.begin(), outstanding.tes.end(), id) !=
+        outstanding.tes.end()) {
+      hit_jobs.push_back(job_id);
     }
-    if (!hit) {
-      ++it;
-      continue;
+  }
+  std::vector<Retry> to_retry;
+  for (JobId job_id : hit_jobs) {
+    const ctrl::JobTable::Outstanding& outstanding = table_.outstanding().at(job_id);
+    Retry retry;
+    retry.spec = outstanding.spec;
+    retry.tes = outstanding.tes;
+    retry.retries = outstanding.retries;
+    auto it = handlers_.find(job_id);
+    if (it != handlers_.end()) {
+      retry.handler = std::move(it->second);
+      handlers_.erase(it);
     }
-    JobRecord& record = jobs_[job_index_.at(it->first)];
-    record.state = JobState::kFailed;
-    record.completed = sim_->Now();
-    for (TaskId task : record.tasks) {
-      TaskRecord& t = tasks_[task_index_.at(task)];
-      if (t.state != TaskState::kCompleted) {
-        t.state = TaskState::kFailed;
-        t.completed = sim_->Now();
-      }
-    }
-    to_retry.push_back(std::move(it->second));
-    it = outstanding_.erase(it);
+    AppendJob(ctrl::JobTable::kJobFailed, {static_cast<int64_t>(job_id)});
+    to_retry.push_back(std::move(retry));
   }
   for (auto& retry : to_retry) {
     // A surviving TE of a disaggregated pair may still hold half the job
@@ -652,6 +756,138 @@ void JobExecutor::OnTeFailure(TeId id) {
                   obs::Arg("attempt", static_cast<int64_t>(retry.retries + 1))});
     }
     Dispatch(retry.spec, std::move(retry.handler), retry.retries + 1);
+  }
+}
+
+Status JobExecutor::CrashLeader() {
+  if (down_) {
+    return FailedPreconditionError("job executor leader already down");
+  }
+  ++stats_.je_crashes;
+  crash_time_ = sim_->Now();
+  if (obs::Tracer* t = sim_->tracer()) {
+    t->Instant(sim_->Now(), TracePid(), 0, "je.crash",
+               {obs::Arg("replicated", static_cast<int64_t>(log_->replicated())),
+                obs::Arg("log_records", log_->CountDomain(table_.domain()))});
+  }
+  // The dead leader's failure subscription must not fire into a down JE's
+  // retry path; the standby re-subscribes at takeover.
+  if (cm_ != nullptr && failure_handler_id_ != 0) {
+    cm_->RemoveFailureHandler(failure_handler_id_);
+    failure_handler_id_ = 0;
+  }
+  if (!log_->replicated()) {
+    // Permanent outage: the crash destroys all in-flight scheduling state and
+    // no standby will replay it. Clients observe severed connections — every
+    // outstanding job fails, and engine-side sequences are cancelled so their
+    // KV pins release (token conservation).
+    std::vector<JobId> doomed;
+    for (const auto& [job_id, outstanding] : table_.outstanding()) {
+      doomed.push_back(job_id);
+    }
+    for (JobId job_id : doomed) {
+      const ctrl::JobTable::Outstanding& outstanding = table_.outstanding().at(job_id);
+      workload::RequestId request = outstanding.spec.id;
+      std::vector<TeId> tes = outstanding.tes;
+      for (TeId te_id : tes) {
+        for (TaskExecutor* te : colocated_) {
+          if (te->id() == te_id) {
+            (void)te->engine().Cancel(request);
+          }
+        }
+        for (TaskExecutor* te : prefill_) {
+          if (te->id() == te_id) {
+            (void)te->engine().Cancel(request);
+          }
+        }
+        for (TaskExecutor* te : decode_) {
+          if (te->id() == te_id) {
+            (void)te->engine().Cancel(request);
+          }
+        }
+      }
+      FailJob(job_id, UnavailableError("request " + std::to_string(request) +
+                                       " severed by job executor crash (no standby)"));
+    }
+    down_ = true;
+    return Status::Ok();
+  }
+  down_ = true;
+  const int64_t epoch_at_crash = table_.epoch();
+  sim_->ScheduleAfter(log_->FailoverDelay(crash_time_), [this, epoch_at_crash] {
+    // Guard against a manual RecoverLeader (or a crash/recover cycle) that
+    // already bumped the epoch before this timer fired.
+    if (down_ && table_.epoch() == epoch_at_crash) {
+      RecoverLeader();
+    }
+  });
+  return Status::Ok();
+}
+
+void JobExecutor::RecoverLeader() {
+  DS_CHECK(down_) << "RecoverLeader on a live job executor leader";
+  // Standby takeover: rebuild the job table purely from the shared log and
+  // prove the replay converged before swapping it in.
+  ctrl::JobTable standby(table_.domain());
+  log_->ReplayInto(&standby);
+  DS_CHECK(standby.Fingerprint() == table_.Fingerprint())
+      << "control-log replay diverged from live job table — a mutation "
+         "bypassed the log";
+  table_ = std::move(standby);
+  down_ = false;
+  AppendJob(ctrl::JobTable::kEpoch);
+  ++stats_.je_failovers;
+  stats_.je_outage_total += sim_->Now() - crash_time_;
+  if (obs::Tracer* t = sim_->tracer()) {
+    t->Instant(sim_->Now(), TracePid(), 0, "je.failover",
+               {obs::Arg("epoch", table_.epoch()),
+                obs::Arg("outage_ms", NsToMilliseconds(sim_->Now() - crash_time_))});
+  }
+  // Re-establish runtime bindings: TE pointers from replicated ids, and the
+  // failure subscription the dead leader held.
+  std::vector<TeId> unbound;
+  if (cm_ != nullptr) {
+    std::vector<TaskExecutor*>* groups[3] = {&colocated_, &prefill_, &decode_};
+    for (int g = 0; g < 3; ++g) {
+      groups[g]->clear();
+      for (TeId id : table_.group(static_cast<ctrl::JobTable::Group>(g))) {
+        TaskExecutor* te = cm_->te(id);
+        if (te != nullptr) {
+          groups[g]->push_back(te);
+        } else {
+          unbound.push_back(id);
+        }
+      }
+    }
+    failure_handler_id_ = cm_->AddFailureHandler([this](TeId id) { OnTeFailure(id); });
+  }
+  // Drain order matters: (1) parked completions/failures/TE events first (so
+  // membership changes and retries that predate the outage's end aren't
+  // double-processed by the reconcile scan), (2) reconcile TEs that died or
+  // stopped during the outage, (3) buffered arrivals last, against the
+  // reconciled fleet.
+  std::vector<std::function<void()>> ops = std::move(deferred_ops_);
+  deferred_ops_.clear();
+  for (auto& op : ops) {
+    op();
+  }
+  for (TeId id : unbound) {
+    OnTeFailure(id);
+  }
+  for (auto* group : {&colocated_, &prefill_, &decode_}) {
+    std::vector<TaskExecutor*> members = *group;  // handlers mutate the groups
+    for (TaskExecutor* te : members) {
+      if (te->state() == TeState::kFailed) {
+        OnTeFailure(te->id());
+      } else if (te->state() == TeState::kStopped) {
+        RemoveTe(te->id());
+      }
+    }
+  }
+  std::vector<PendingArrival> arrivals = std::move(pending_arrivals_);
+  pending_arrivals_.clear();
+  for (auto& arrival : arrivals) {
+    Dispatch(arrival.spec, std::move(arrival.handler), /*retries=*/0);
   }
 }
 

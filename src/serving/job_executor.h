@@ -14,6 +14,15 @@
 // block-key chains the TE-local RTC trees use ("shares an index with its
 // corresponding global tree"). Round-robin and single-factor policies are
 // also provided as the baselines the paper compares against.
+//
+// Control-plane state vs. runtime bindings: the job/task records, outstanding
+// map, retry counts, id counters, round-robin cursor, and TE group membership
+// (as ids) live in a ctrl::JobTable state machine mutating only through
+// ctrl::ControlLog records, so a standby JE leader replaying the log can take
+// over (CrashLeader / RecoverLeader). Runtime-only artifacts stay here:
+// ResponseHandlers (modeled as connections the standby re-establishes),
+// TaskExecutor pointers (re-bound from ids via the ClusterManager), and the
+// prompt-tree caches (rebuildable; affect only routing quality).
 #ifndef DEEPSERVE_SERVING_JOB_EXECUTOR_H_
 #define DEEPSERVE_SERVING_JOB_EXECUTOR_H_
 
@@ -24,6 +33,8 @@
 #include <vector>
 
 #include "common/types.h"
+#include "ctrl/control_log.h"
+#include "ctrl/job_table.h"
 #include "rtc/radix_tree.h"
 #include "serving/heatmap.h"
 #include "serving/job.h"
@@ -34,6 +45,7 @@
 
 namespace deepserve::serving {
 
+class ClusterManager;
 class RetryBudget;
 
 enum class SchedulingPolicy {
@@ -79,15 +91,30 @@ struct JeStats {
   int64_t locality_decisions = 0;
   int64_t load_decisions = 0;
   int64_t locality_hits = 0;  // dispatches with a non-empty prefix match
+  // Control-plane fault pipeline.
+  int64_t je_crashes = 0;       // leader crashes injected
+  int64_t je_failovers = 0;     // standby takeovers completed
+  int64_t deferred_ops = 0;     // completions/failures parked during outages
+  int64_t queued_arrivals = 0;  // arrivals buffered until takeover
+  DurationNs je_outage_total = 0;
 };
 
 class JobExecutor {
  public:
   JobExecutor(sim::Simulator* sim, JeConfig config, PdHeatmap heatmap,
               std::unique_ptr<DecodeLengthPredictor> predictor);
+  // Detaches the JobTable from a shared (externally owned) control log.
+  ~JobExecutor();
 
   JobExecutor(const JobExecutor&) = delete;
   JobExecutor& operator=(const JobExecutor&) = delete;
+
+  // Moves this JE's JobTable domain onto a shared control log (default: an
+  // internally owned degenerate single-replica log). Must be called before
+  // any state exists — TE registrations, requests. When `cm` is given, the
+  // JE registers its own TE failure handler with it (replacing manual
+  // AddFailureHandler wiring) and can re-bind TE pointers after failover.
+  void AttachControl(ctrl::ControlLog* log, ClusterManager* cm = nullptr);
 
   // TE group membership. Colocated TEs serve unified tasks; prefill/decode
   // TEs are pooled and paired per request (so 2P1D and 2P2D both work).
@@ -96,7 +123,8 @@ class JobExecutor {
   void AddDecodeTe(TaskExecutor* te);
   // Returns whether the TE was actually a member of any group (false lets
   // callers — e.g. the autoscaler — detect retiring a TE someone else
-  // already removed).
+  // already removed). While the leader is down the removal is parked until
+  // takeover; the return value reflects current membership either way.
   bool RemoveTe(TeId id);
 
   // Frontend entry: create the job + task(s), run dist_sched, dispatch. The
@@ -109,6 +137,7 @@ class JobExecutor {
   // True when at least one route can serve a request right now: a ready
   // colocated TE, or a ready prefill + ready decode pair. Unlike the group
   // counts this consults TeState, so mid-scale-up or failed TEs don't count.
+  // Always false while this JE's leader is down.
   bool HasReadyCapacity() const;
 
   // Ready serving slots for weighted load balancing: ready colocated TEs plus
@@ -119,6 +148,7 @@ class JobExecutor {
   // handler (the caller owns termination — the frontend's hedge path), and
   // cancels the engine-side sequence on every TE the job touched so its KV
   // pins release. Returns how many jobs were dropped (0 = none in flight).
+  // While the leader is down the cancel is parked and 0 is returned.
   size_t CancelRequest(workload::RequestId request_id);
 
   // Installs a shared retry budget (frontend-owned): beyond the per-request
@@ -128,12 +158,29 @@ class JobExecutor {
 
   // Fault tolerance: a TE died. It leaves every group, its in-flight jobs are
   // marked failed, and their requests are re-dispatched to surviving TEs
-  // (wire this to ClusterManager::AddFailureHandler).
+  // (wire this to ClusterManager::AddFailureHandler, or let AttachControl do
+  // it). Parked until takeover while the leader is down.
   void OnTeFailure(TeId id);
 
+  // ---- control-plane failover -------------------------------------------------
+  // Crashes this JE's leader. With a replicated log, a standby replays the
+  // job table and takes over after ControlLog::FailoverDelay: completions
+  // that arrive meanwhile are parked, new arrivals are buffered, and recovery
+  // reconciles TEs that died during the outage. With a single replica the
+  // outage is permanent: every outstanding job fails with UNAVAILABLE and
+  // subsequent arrivals are rejected immediately.
+  [[nodiscard]] Status CrashLeader();
+  // Standby takeover: replay + fingerprint check + swap, epoch bump, handler
+  // re-registration, TE re-binding, parked-op drain, dead-TE reconciliation,
+  // then buffered-arrival dispatch.
+  void RecoverLeader();
+  bool leader_up() const { return !down_; }
+  int64_t control_epoch() const { return table_.epoch(); }
+  const ctrl::JobTable& table() const { return table_; }
+
   const JeStats& stats() const { return stats_; }
-  const std::vector<JobRecord>& jobs() const { return jobs_; }
-  const std::vector<TaskRecord>& tasks() const { return tasks_; }
+  const std::vector<JobRecord>& jobs() const { return table_.jobs(); }
+  const std::vector<TaskRecord>& tasks() const { return table_.tasks(); }
   size_t colocated_count() const { return colocated_.size(); }
   size_t prefill_count() const { return prefill_.size(); }
   size_t decode_count() const { return decode_.size(); }
@@ -161,7 +208,8 @@ class JobExecutor {
   // The dispatch core behind HandleRequest and the failure-retry path.
   // `retries` is how many times this request has already been re-dispatched.
   void Dispatch(const workload::RequestSpec& spec, ResponseHandler handler, int retries);
-  // Terminates `job_id` through on_error (erasing it from outstanding_).
+  // Terminates `job_id` through on_error (erasing it from the outstanding
+  // map). No-op when the job already finished or the retry path owns it.
   void FailJob(JobId job_id, const Status& status);
 
   void DispatchColocated(TaskExecutor* te, const workload::RequestSpec& spec,
@@ -169,7 +217,13 @@ class JobExecutor {
   void DispatchDisaggregated(TaskExecutor* prefill_te, const workload::RequestSpec& spec,
                              ResponseHandler handler);
 
-  TaskRecord& NewTask(JobId job, TaskType type, TeId te);
+  TaskId NewTask(JobId job, TaskType type, TeId te);
+  // Appends one JobTable record to the control log.
+  void AppendJob(int32_t type, std::vector<int64_t> ints = {}, std::string str = {});
+  // Runs a completion/failure continuation now, or parks it until the next
+  // RecoverLeader() while this JE's leader is down. With a single-replica log
+  // a parked op is dropped instead — no takeover will ever come.
+  void RunOrDefer(std::function<void()> op);
   // Lazily registers the JE's trace track; -1 when tracing is disabled.
   int TracePid();
 
@@ -179,28 +233,32 @@ class JobExecutor {
   std::unique_ptr<DecodeLengthPredictor> predictor_;
   RetryBudget* retry_budget_ = nullptr;
 
+  // Replicated control-plane state (see file comment) + its log.
+  std::unique_ptr<ctrl::ControlLog> owned_log_;
+  ctrl::ControlLog* log_ = nullptr;
+  ctrl::JobTable table_;
+
+  // Runtime bindings (data plane / per-leader artifacts).
   std::vector<TaskExecutor*> colocated_;
   std::vector<TaskExecutor*> prefill_;
   std::vector<TaskExecutor*> decode_;
+  std::map<JobId, ResponseHandler> handlers_;
 
   PromptTree colocated_tree_;
   PromptTree prefill_tree_;
 
-  struct Outstanding {
+  // Leader failover state.
+  ClusterManager* cm_ = nullptr;
+  int64_t failure_handler_id_ = 0;  // 0 = not registered via AttachControl
+  bool down_ = false;
+  TimeNs crash_time_ = 0;
+  std::vector<std::function<void()>> deferred_ops_;
+  struct PendingArrival {
     workload::RequestSpec spec;
     ResponseHandler handler;
-    std::vector<TeId> tes;  // every TE this job's tasks run on
-    int retries = 0;        // re-dispatches consumed so far
   };
-  std::map<JobId, Outstanding> outstanding_;
+  std::vector<PendingArrival> pending_arrivals_;
 
-  size_t rr_cursor_ = 0;
-  JobId next_job_ = 1;
-  TaskId next_task_ = 1;
-  std::vector<JobRecord> jobs_;
-  std::vector<TaskRecord> tasks_;
-  std::map<JobId, size_t> job_index_;
-  std::map<TaskId, size_t> task_index_;
   JeStats stats_;
   int trace_pid_ = -1;
 };

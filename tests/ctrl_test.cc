@@ -1,0 +1,742 @@
+// Replicated control-plane tests: the sequenced shared log, deterministic
+// state-machine replay, CM/JE leader failover, the pipeline-abort crash path,
+// and the 3-seed golden parity pin proving the degenerate log config is
+// bit-identical to the pre-log tree.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "ctrl/control_log.h"
+#include "ctrl/job_table.h"
+#include "ctrl/te_directory.h"
+#include "distflow/distflow.h"
+#include "faults/fault_injector.h"
+#include "hw/cluster.h"
+#include "obs/metrics.h"
+#include "serving/cluster_manager.h"
+#include "serving/job_executor.h"
+#include "serving/predictor.h"
+#include "sim/simulator.h"
+#include "workload/tracegen.h"
+
+namespace deepserve {
+namespace {
+
+flowserve::EngineConfig SmallEngine(flowserve::EngineRole role) {
+  flowserve::EngineConfig config;
+  config.model = model::ModelSpec::Tiny1B();
+  config.parallelism = {1, 1, 1};
+  config.role = role;
+  config.kv_block_capacity_override = 4096;
+  return config;
+}
+
+workload::RequestSpec MakeRequest(workload::RequestId id, int64_t prefill, int64_t decode,
+                                  TokenId base = 700) {
+  workload::RequestSpec spec;
+  spec.id = id;
+  spec.decode_len = decode;
+  for (int64_t i = 0; i < prefill; ++i) {
+    spec.prompt.push_back(base + static_cast<TokenId>(i % 8000));
+  }
+  return spec;
+}
+
+// ---------------- ControlLog: sequencing, apply, replay ----------------
+
+TEST(ControlLogTest, SequencesAcrossDomainsInAppendOrder) {
+  sim::Simulator sim;
+  ctrl::ControlLog log(&sim);
+  const int32_t alpha = log.RegisterDomain("alpha");
+  const int32_t beta = log.RegisterDomain("beta");
+  EXPECT_NE(alpha, beta);
+
+  EXPECT_EQ(log.Append({0, 0, alpha, 1, {}, {}}).seq, 0u);
+  EXPECT_EQ(log.Append({0, 0, beta, 1, {}, {}}).seq, 1u);
+  EXPECT_EQ(log.Append({0, 0, alpha, 2, {}, {}}).seq, 2u);
+  EXPECT_EQ(log.next_seq(), 3u);
+  EXPECT_EQ(log.CountDomain(alpha), 2);
+  EXPECT_EQ(log.CountDomain(beta), 1);
+  EXPECT_EQ(log.records().size(), 3u);
+}
+
+TEST(ControlLogTest, AppendAppliesInlineToAttachedMachine) {
+  sim::Simulator sim;
+  ctrl::ControlLog log(&sim);
+  ctrl::JobTable table(log.RegisterDomain("job-table"));
+  log.Attach(&table);
+
+  log.Append({0, 0, table.domain(), ctrl::JobTable::kRrAdvanced, {}, {}});
+  log.Append({0, 0, table.domain(), ctrl::JobTable::kTeAdded,
+              {ctrl::JobTable::kColocated, 7}, {}});
+  EXPECT_EQ(table.rr_cursor(), 1u);
+  ASSERT_EQ(table.group(ctrl::JobTable::kColocated).size(), 1u);
+  EXPECT_EQ(table.group(ctrl::JobTable::kColocated)[0], 7);
+  EXPECT_EQ(table.applied(), 2u);
+
+  // Detached machines stop observing appends.
+  log.Detach(table.domain());
+  log.Append({0, 0, table.domain(), ctrl::JobTable::kRrAdvanced, {}, {}});
+  EXPECT_EQ(table.rr_cursor(), 1u);
+}
+
+TEST(ControlLogTest, ReplayFromNothingMatchesLiveFingerprint) {
+  sim::Simulator sim;
+  ctrl::ControlLog log(&sim);
+  ctrl::JobTable live(log.RegisterDomain("job-table"));
+  log.Attach(&live);
+  const int32_t other = log.RegisterDomain("other");
+
+  log.Append({0, 0, live.domain(), ctrl::JobTable::kTeAdded, {ctrl::JobTable::kColocated, 3}, {}});
+  log.Append({0, 0, other, 99, {1, 2, 3}, "noise"});  // foreign domain: must be filtered
+  log.Append({0, 0, live.domain(), ctrl::JobTable::kTeAdded, {ctrl::JobTable::kPrefill, 4}, {}});
+  log.Append({0, 0, live.domain(), ctrl::JobTable::kRrAdvanced, {}, {}});
+  log.Append({0, 0, live.domain(), ctrl::JobTable::kTeRemoved, {3}, {}});
+
+  ctrl::JobTable standby(live.domain());
+  log.ReplayInto(&standby);
+  EXPECT_EQ(standby.Fingerprint(), live.Fingerprint());
+  EXPECT_EQ(standby.applied(), live.applied());
+}
+
+TEST(ControlLogTest, SnapshotPlusRangeReplayMatchesLive) {
+  sim::Simulator sim;
+  ctrl::ControlLog log(&sim);
+  ctrl::JobTable live(log.RegisterDomain("job-table"));
+  log.Attach(&live);
+
+  log.Append({0, 0, live.domain(), ctrl::JobTable::kTeAdded, {ctrl::JobTable::kColocated, 1}, {}});
+  log.Append({0, 0, live.domain(), ctrl::JobTable::kTeAdded, {ctrl::JobTable::kDecode, 2}, {}});
+
+  // The "snapshot" is a plain value copy taken at a known sequence point.
+  ctrl::JobTable snapshot = live;
+  const uint64_t snapshot_seq = log.next_seq() - 1;
+
+  log.Append({0, 0, live.domain(), ctrl::JobTable::kRrAdvanced, {}, {}});
+  log.Append({0, 0, live.domain(), ctrl::JobTable::kTeRemoved, {2}, {}});
+
+  EXPECT_NE(snapshot.Fingerprint(), live.Fingerprint());
+  log.ReplayRange(&snapshot, snapshot_seq);
+  EXPECT_EQ(snapshot.Fingerprint(), live.Fingerprint());
+  EXPECT_EQ(snapshot.applied(), live.applied());
+}
+
+TEST(ControlLogTest, FailoverDelayChargesLeaseGapAndTailReplay) {
+  sim::Simulator sim;
+  ctrl::CtrlConfig config;
+  config.replicas = 3;
+  config.quorum = 2;
+  config.replication_latency = MillisecondsToNs(2);
+  config.lease_duration = MillisecondsToNs(100);
+  config.replay_cost_per_record = MicrosecondsToNs(2);
+  ctrl::ControlLog log(&sim, config);
+  EXPECT_TRUE(log.replicated());
+  const int32_t domain = log.RegisterDomain("dir");
+
+  // Three records at t=0, two more at t=10ms.
+  for (int i = 0; i < 3; ++i) log.Append({0, 0, domain, 1, {}, {}});
+  sim.ScheduleAt(MillisecondsToNs(10), [&] {
+    log.Append({0, 0, domain, 1, {}, {}});
+    log.Append({0, 0, domain, 1, {}, {}});
+  });
+  sim.Run();
+
+  // Crash at t=11ms: the replication horizon is 9ms, so only the two records
+  // stamped at 10ms are still unreplicated.
+  const TimeNs crash = MillisecondsToNs(11);
+  EXPECT_EQ(log.UnreplicatedAt(crash), 2);
+  EXPECT_EQ(log.FailoverDelay(crash),
+            MillisecondsToNs(100) + MillisecondsToNs(2) + 2 * MicrosecondsToNs(2));
+
+  // Long after the appends everything has replicated; only lease + fetch remain.
+  EXPECT_EQ(log.UnreplicatedAt(SecondsToNs(5)), 0);
+  EXPECT_EQ(log.FailoverDelay(SecondsToNs(5)), MillisecondsToNs(100) + MillisecondsToNs(2));
+}
+
+TEST(ControlLogTest, DegenerateConfigIsNotReplicated) {
+  sim::Simulator sim;
+  ctrl::ControlLog degenerate(&sim);
+  EXPECT_FALSE(degenerate.replicated());
+  EXPECT_EQ(degenerate.UnreplicatedAt(SecondsToNs(1)), 0);
+}
+
+// ---------------- State-machine replay through the real stack ----------------
+
+class CtrlStackTest : public ::testing::Test {
+ protected:
+  CtrlStackTest()
+      : cluster_(&sim_, MakeClusterConfig()),
+        transfer_(&sim_, &cluster_, distflow::DistFlowConfig{}) {}
+
+  static hw::ClusterConfig MakeClusterConfig() {
+    hw::ClusterConfig config;
+    config.num_machines = 3;
+    return config;
+  }
+
+  sim::Simulator sim_;
+  hw::Cluster cluster_;
+  distflow::TransferEngine transfer_;
+};
+
+TEST_F(CtrlStackTest, TeDirectoryReplayMatchesLiveAfterScaleStopCrash) {
+  serving::ClusterManager manager(&sim_, &cluster_, &transfer_);
+  manager.ReservePrewarmedPods(2);
+  manager.ReservePrewarmedTes(2);
+  manager.PreloadModelToDram(0, model::ModelSpec::Tiny1B());
+  sim_.Run();
+
+  auto* te_a = manager.CreateReadyTe(SmallEngine(flowserve::EngineRole::kColocated)).value();
+  auto* te_b = manager.CreateReadyTe(SmallEngine(flowserve::EngineRole::kColocated)).value();
+  serving::ScaleRequest request;
+  request.engine = SmallEngine(flowserve::EngineRole::kColocated);
+  int ready = 0;
+  ASSERT_TRUE(manager.ScaleUp(request, [&](serving::TaskExecutor* te,
+                                           const serving::ScalingBreakdown&) {
+                       if (te != nullptr) ++ready;
+                     })
+                  .ok());
+  sim_.Run();
+  EXPECT_EQ(ready, 1);
+  ASSERT_TRUE(manager.StopTe(te_a->id()).ok());
+  ASSERT_TRUE(manager.CrashTe(te_b->id(), serving::CrashKind::kNpu).ok());
+  sim_.Run();  // heartbeat detection lands
+
+  ctrl::TeDirectory standby(manager.directory().domain());
+  manager.ctrl_log()->ReplayInto(&standby);
+  EXPECT_EQ(standby.Fingerprint(), manager.directory().Fingerprint());
+  EXPECT_EQ(standby.applied(), manager.directory().applied());
+  EXPECT_EQ(standby.npus_in_use(), manager.directory().npus_in_use());
+}
+
+TEST_F(CtrlStackTest, JobTableReplayMatchesLiveAfterTraffic) {
+  ctrl::ControlLog log(&sim_);
+  serving::ClusterManager manager(&sim_, &cluster_, &transfer_, {}, {}, &log);
+  serving::JeConfig je_config;
+  je_config.policy = serving::SchedulingPolicy::kLoadOnly;
+  serving::JobExecutor je(&sim_, je_config, serving::PdHeatmap::Default(),
+                          serving::MakeOraclePredictor());
+  je.AttachControl(&log, &manager);
+  je.AddColocatedTe(manager.CreateReadyTe(SmallEngine(flowserve::EngineRole::kColocated)).value());
+  je.AddColocatedTe(manager.CreateReadyTe(SmallEngine(flowserve::EngineRole::kColocated)).value());
+
+  int completed = 0;
+  for (int i = 1; i <= 6; ++i) {
+    sim_.ScheduleAt(MillisecondsToNs(50 * i), [&, i] {
+      je.HandleRequest(MakeRequest(i, 128, 16),
+                       {nullptr, [&](const flowserve::Sequence&) { ++completed; }, nullptr});
+    });
+  }
+  sim_.Run();
+  EXPECT_EQ(completed, 6);
+
+  ctrl::JobTable standby(je.table().domain());
+  log.ReplayInto(&standby);
+  EXPECT_EQ(standby.Fingerprint(), je.table().Fingerprint());
+  EXPECT_EQ(standby.applied(), je.table().applied());
+  EXPECT_EQ(standby.jobs().size(), je.table().jobs().size());
+  EXPECT_TRUE(standby.outstanding().empty());
+}
+
+// ---------------- Pipeline abort: crash during provisioning ----------------
+
+TEST_F(CtrlStackTest, KillTeMidPipelineAbortsWithoutReadyCallback) {
+  serving::ClusterManager manager(&sim_, &cluster_, &transfer_);  // cold: no pools
+  const int64_t npus_before = manager.directory().npus_in_use();
+
+  serving::ScaleRequest request;
+  request.engine = SmallEngine(flowserve::EngineRole::kColocated);
+  int callbacks = 0;
+  serving::TaskExecutor* delivered = reinterpret_cast<serving::TaskExecutor*>(0x1);
+  auto id = manager.ScaleUp(request, [&](serving::TaskExecutor* te,
+                                         const serving::ScalingBreakdown&) {
+    ++callbacks;
+    delivered = te;
+  });
+  ASSERT_TRUE(id.ok());
+  EXPECT_GT(manager.directory().npus_in_use(), npus_before);
+  EXPECT_EQ(manager.directory().open_pipelines().size(), 1u);
+
+  sim_.RunUntil(SecondsToNs(5));  // mid Scaler-Pre (cold pod creation is 12s)
+  auto dropped = manager.KillTe(id.value());
+  ASSERT_TRUE(dropped.ok());
+  EXPECT_EQ(dropped.value(), 0u);  // a provisioning TE holds no requests
+  sim_.Run();
+
+  EXPECT_EQ(callbacks, 1);
+  EXPECT_EQ(delivered, nullptr);
+  EXPECT_EQ(manager.stats().scale_aborts, 1);
+  EXPECT_EQ(manager.stats().crashes, 1);
+  EXPECT_EQ(manager.stats().te_failures, 0);  // never a serving TE
+  EXPECT_EQ(manager.stats().replacements, 0);
+  EXPECT_EQ(manager.stats().mttr_count, 0);
+  EXPECT_EQ(manager.directory().npus_in_use(), npus_before);  // NPUs conserved
+  EXPECT_TRUE(manager.directory().open_pipelines().empty());
+  EXPECT_EQ(manager.te(id.value()), nullptr);  // no live binding ever made
+  EXPECT_TRUE(manager.tes().empty());
+  const auto* meta = manager.directory().Find(id.value());
+  ASSERT_NE(meta, nullptr);
+  EXPECT_EQ(meta->lifecycle, ctrl::TeDirectory::Lifecycle::kAborted);
+}
+
+TEST_F(CtrlStackTest, CrashTeMidPipelineAbortsLikeKill) {
+  serving::ClusterManager manager(&sim_, &cluster_, &transfer_);
+  serving::ScaleRequest request;
+  request.engine = SmallEngine(flowserve::EngineRole::kColocated);
+  int callbacks = 0;
+  serving::TaskExecutor* delivered = reinterpret_cast<serving::TaskExecutor*>(0x1);
+  auto id = manager.ScaleUp(request, [&](serving::TaskExecutor* te,
+                                         const serving::ScalingBreakdown&) {
+    ++callbacks;
+    delivered = te;
+  });
+  ASSERT_TRUE(id.ok());
+  sim_.RunUntil(SecondsToNs(20));  // mid TE-Pre-Load
+  auto dropped = manager.CrashTe(id.value(), serving::CrashKind::kTeShell);
+  ASSERT_TRUE(dropped.ok());
+  EXPECT_EQ(dropped.value(), 0u);
+  sim_.Run();
+
+  EXPECT_EQ(callbacks, 1);
+  EXPECT_EQ(delivered, nullptr);
+  EXPECT_EQ(manager.stats().scale_aborts, 1);
+  EXPECT_EQ(manager.stats().scale_ups, 1);  // launched, not delivered
+  EXPECT_EQ(manager.directory().npus_in_use(), 0);
+  // Double-kill of the aborted id is rejected.
+  EXPECT_FALSE(manager.KillTe(id.value()).ok());
+}
+
+// ---------------- CM leader failover ----------------
+
+TEST_F(CtrlStackTest, CmFailoverResumesParkedPipelineExactlyOnce) {
+  ctrl::CtrlConfig config;
+  config.replicas = 3;
+  config.quorum = 2;
+  config.replication_latency = MillisecondsToNs(1);
+  config.lease_duration = SecondsToNs(10);
+  ctrl::ControlLog log(&sim_, config);
+  serving::ClusterManager manager(&sim_, &cluster_, &transfer_, {}, {}, &log);
+
+  serving::ScaleRequest request;
+  request.engine = SmallEngine(flowserve::EngineRole::kColocated);
+  int callbacks = 0;
+  serving::TaskExecutor* delivered = nullptr;
+  ASSERT_TRUE(manager.ScaleUp(request, [&](serving::TaskExecutor* te,
+                                           const serving::ScalingBreakdown&) {
+                       ++callbacks;
+                       delivered = te;
+                     })
+                  .ok());
+
+  // Crash the leader mid Scaler-Pre; the 12s stage boundary lands inside the
+  // ~10s outage and must park rather than advance.
+  sim_.RunUntil(SecondsToNs(5));
+  ASSERT_TRUE(manager.CrashControlLeader().ok());
+  EXPECT_FALSE(manager.leader_up());
+  EXPECT_FALSE(manager.CrashControlLeader().ok());  // already down
+  auto during_outage = manager.ScaleUp(request, [](serving::TaskExecutor*,
+                                                   const serving::ScalingBreakdown&) {});
+  EXPECT_EQ(during_outage.status().code(), StatusCode::kUnavailable);
+
+  sim_.Run();
+  EXPECT_TRUE(manager.leader_up());
+  EXPECT_EQ(manager.control_epoch(), 1);
+  EXPECT_EQ(manager.stats().cm_crashes, 1);
+  EXPECT_EQ(manager.stats().cm_failovers, 1);
+  EXPECT_GE(manager.stats().deferred_ops, 1);
+  EXPECT_GT(manager.stats().cm_outage_total, 0);
+  // The pipeline delivered exactly one ready TE — no drop, no double-fire.
+  EXPECT_EQ(callbacks, 1);
+  ASSERT_NE(delivered, nullptr);
+  EXPECT_TRUE(delivered->ready());
+  EXPECT_EQ(manager.stats().scale_ups, 1);
+  EXPECT_EQ(manager.tes().size(), 1u);
+  EXPECT_TRUE(manager.directory().open_pipelines().empty());
+}
+
+TEST_F(CtrlStackTest, TeCrashDuringCmOutageDetectedAtTakeover) {
+  ctrl::CtrlConfig config;
+  config.replicas = 3;
+  config.quorum = 2;
+  config.replication_latency = MillisecondsToNs(1);
+  config.lease_duration = SecondsToNs(2);
+  ctrl::ControlLog log(&sim_, config);
+  serving::ClusterManager manager(&sim_, &cluster_, &transfer_, {}, {}, &log);
+  manager.ReservePrewarmedPods(2);
+  manager.ReservePrewarmedTes(2);
+  manager.PreloadModelToDram(0, model::ModelSpec::Tiny1B());
+  sim_.Run();
+
+  serving::JeConfig je_config;
+  je_config.policy = serving::SchedulingPolicy::kLoadOnly;
+  serving::JobExecutor je(&sim_, je_config, serving::PdHeatmap::Default(),
+                          serving::MakeOraclePredictor());
+  std::vector<serving::TeId> failed_tes;
+  manager.AddFailureHandler([&](serving::TeId id) {
+    failed_tes.push_back(id);
+    je.OnTeFailure(id);
+  });
+  serving::ScaleRequest replacement;
+  replacement.engine = SmallEngine(flowserve::EngineRole::kColocated);
+  manager.SetReplacementPolicy(replacement,
+                               [&](serving::TaskExecutor* te) { je.AddColocatedTe(te); });
+
+  auto* te = manager.CreateReadyTe(SmallEngine(flowserve::EngineRole::kColocated)).value();
+  je.AddColocatedTe(te);
+  const serving::TeId victim = te->id();
+
+  sim_.RunUntil(SecondsToNs(1));
+  ASSERT_TRUE(manager.CrashControlLeader().ok());
+  // The TE dies while no leader is listening: the data plane loses it now,
+  // but the report sits in the pod-runtime backlog until takeover.
+  auto dropped = manager.CrashTe(victim, serving::CrashKind::kTeShell);
+  ASSERT_TRUE(dropped.ok());
+  EXPECT_EQ(manager.stats().detections, 0);
+  EXPECT_TRUE(failed_tes.empty());
+
+  sim_.Run();
+  EXPECT_TRUE(manager.leader_up());
+  EXPECT_EQ(manager.stats().detections, 1);
+  ASSERT_EQ(failed_tes.size(), 1u);
+  EXPECT_EQ(failed_tes[0], victim);
+  EXPECT_EQ(manager.stats().replacements, 1);
+  EXPECT_EQ(manager.stats().mttr_count, 1);
+  // MTTR spans crash -> replacement ready, so it covers the outage remainder.
+  EXPECT_GT(manager.stats().mttr_total, 0);
+  EXPECT_EQ(je.colocated_count(), 1u);  // replacement joined the group
+}
+
+TEST_F(CtrlStackTest, SingleReplicaOutageIsPermanentUntilManualRecovery) {
+  serving::ClusterManager manager(&sim_, &cluster_, &transfer_);  // degenerate log
+  auto* te = manager.CreateReadyTe(SmallEngine(flowserve::EngineRole::kColocated)).value();
+  ASSERT_NE(te, nullptr);
+
+  ASSERT_TRUE(manager.CrashControlLeader().ok());
+  sim_.RunUntil(SecondsToNs(60));
+  EXPECT_FALSE(manager.leader_up());  // no standby: nobody takes over
+  EXPECT_EQ(manager.stats().cm_failovers, 0);
+  serving::ScaleRequest request;
+  request.engine = SmallEngine(flowserve::EngineRole::kColocated);
+  EXPECT_EQ(manager.ScaleUp(request, [](serving::TaskExecutor*,
+                                        const serving::ScalingBreakdown&) {})
+                .status()
+                .code(),
+            StatusCode::kUnavailable);
+  EXPECT_FALSE(manager.StopTe(te->id()).ok());
+
+  manager.RecoverControlLeader();
+  EXPECT_TRUE(manager.leader_up());
+  EXPECT_EQ(manager.control_epoch(), 1);
+  EXPECT_TRUE(manager.StopTe(te->id()).ok());
+}
+
+// ---------------- JE leader failover ----------------
+
+TEST_F(CtrlStackTest, JeFailoverLosesNoRequestsAndFiresHandlersExactlyOnce) {
+  ctrl::CtrlConfig config;
+  config.replicas = 3;
+  config.quorum = 2;
+  config.replication_latency = MillisecondsToNs(1);
+  config.lease_duration = MillisecondsToNs(100);
+  ctrl::ControlLog log(&sim_, config);
+  serving::ClusterManager manager(&sim_, &cluster_, &transfer_, {}, {}, &log);
+  serving::JeConfig je_config;
+  je_config.policy = serving::SchedulingPolicy::kLoadOnly;
+  serving::JobExecutor je(&sim_, je_config, serving::PdHeatmap::Default(),
+                          serving::MakeOraclePredictor());
+  je.AttachControl(&log, &manager);
+  je.AddColocatedTe(manager.CreateReadyTe(SmallEngine(flowserve::EngineRole::kColocated)).value());
+  je.AddColocatedTe(manager.CreateReadyTe(SmallEngine(flowserve::EngineRole::kColocated)).value());
+
+  constexpr int kRequests = 12;
+  std::map<workload::RequestId, int> terminations;
+  int completed = 0, errored = 0;
+  for (int i = 1; i <= kRequests; ++i) {
+    sim_.ScheduleAt(MillisecondsToNs(100 * (i - 1)), [&, i] {
+      je.HandleRequest(MakeRequest(i, 256, 32),
+                       {nullptr,
+                        [&, i](const flowserve::Sequence&) {
+                          ++completed;
+                          ++terminations[i];
+                        },
+                        [&, i](const Status&) {
+                          ++errored;
+                          ++terminations[i];
+                        }});
+    });
+  }
+  // Crash mid-stream: some requests in flight (their completions must park),
+  // some yet to arrive (they must buffer, then dispatch at takeover).
+  sim_.ScheduleAt(MillisecondsToNs(650), [&] {
+    ASSERT_TRUE(je.CrashLeader().ok());
+    EXPECT_FALSE(je.leader_up());
+    EXPECT_FALSE(je.HasReadyCapacity());
+    EXPECT_EQ(je.ReadyCapacityWeight(), 0);
+    EXPECT_FALSE(je.CrashLeader().ok());  // already down
+  });
+  sim_.Run();
+
+  EXPECT_TRUE(je.leader_up());
+  EXPECT_EQ(je.control_epoch(), 1);
+  EXPECT_EQ(je.stats().je_crashes, 1);
+  EXPECT_EQ(je.stats().je_failovers, 1);
+  EXPECT_GT(je.stats().je_outage_total, 0);
+  EXPECT_GE(je.stats().queued_arrivals, 1);
+  // Zero token loss: every request terminated, each exactly once, none failed.
+  EXPECT_EQ(completed, kRequests);
+  EXPECT_EQ(errored, 0);
+  ASSERT_EQ(terminations.size(), static_cast<size_t>(kRequests));
+  for (const auto& [id, count] : terminations) {
+    EXPECT_EQ(count, 1) << "request " << id << " terminated " << count << " times";
+  }
+  EXPECT_TRUE(je.table().outstanding().empty());
+}
+
+TEST_F(CtrlStackTest, TeDeathDuringJeOutageReconciledAtTakeover) {
+  ctrl::CtrlConfig config;
+  config.replicas = 3;
+  config.quorum = 2;
+  config.replication_latency = MillisecondsToNs(1);
+  config.lease_duration = MillisecondsToNs(200);
+  ctrl::ControlLog log(&sim_, config);
+  serving::ClusterManager manager(&sim_, &cluster_, &transfer_, {}, {}, &log);
+  serving::JeConfig je_config;
+  je_config.policy = serving::SchedulingPolicy::kLoadOnly;
+  serving::JobExecutor je(&sim_, je_config, serving::PdHeatmap::Default(),
+                          serving::MakeOraclePredictor());
+  je.AttachControl(&log, &manager);
+  auto* te_a = manager.CreateReadyTe(SmallEngine(flowserve::EngineRole::kColocated)).value();
+  auto* te_b = manager.CreateReadyTe(SmallEngine(flowserve::EngineRole::kColocated)).value();
+  je.AddColocatedTe(te_a);
+  je.AddColocatedTe(te_b);
+
+  constexpr int kRequests = 6;
+  std::map<workload::RequestId, int> terminations;
+  int completed = 0, errored = 0;
+  for (int i = 1; i <= kRequests; ++i) {
+    sim_.ScheduleAt(MillisecondsToNs(80 * i), [&, i] {
+      je.HandleRequest(MakeRequest(i, 512, 128),
+                       {nullptr,
+                        [&, i](const flowserve::Sequence&) {
+                          ++completed;
+                          ++terminations[i];
+                        },
+                        [&, i](const Status&) {
+                          ++errored;
+                          ++terminations[i];
+                        }});
+    });
+  }
+  sim_.ScheduleAt(MillisecondsToNs(550), [&] { ASSERT_TRUE(je.CrashLeader().ok()); });
+  // The CM leader is alive and kills the TE immediately; the JE's handler
+  // (registered by AttachControl) parks the failure until its own takeover.
+  sim_.ScheduleAt(MillisecondsToNs(600),
+                  [&] { ASSERT_TRUE(manager.KillTe(te_a->id()).ok()); });
+  sim_.Run();
+
+  EXPECT_TRUE(je.leader_up());
+  EXPECT_EQ(je.stats().je_failovers, 1);
+  EXPECT_EQ(je.stats().failed_tes_handled, 1);
+  EXPECT_EQ(je.colocated_count(), 1u);  // the dead TE left the group
+  // Every request terminated exactly once; lost jobs were re-dispatched to
+  // the survivor rather than erroring.
+  EXPECT_EQ(completed + errored, kRequests);
+  ASSERT_EQ(terminations.size(), static_cast<size_t>(kRequests));
+  for (const auto& [id, count] : terminations) {
+    EXPECT_EQ(count, 1) << "request " << id << " terminated " << count << " times";
+  }
+  EXPECT_EQ(completed, kRequests);
+  EXPECT_TRUE(je.table().outstanding().empty());
+}
+
+TEST_F(CtrlStackTest, SingleReplicaJeCrashFailsOutstandingAndRejectsArrivals) {
+  serving::ClusterManager manager(&sim_, &cluster_, &transfer_);
+  serving::JeConfig je_config;
+  je_config.policy = serving::SchedulingPolicy::kLoadOnly;
+  serving::JobExecutor je(&sim_, je_config, serving::PdHeatmap::Default(),
+                          serving::MakeOraclePredictor());  // owned degenerate log
+  auto* te = manager.CreateReadyTe(SmallEngine(flowserve::EngineRole::kColocated)).value();
+  je.AddColocatedTe(te);
+
+  int completed = 0;
+  std::vector<StatusCode> errors;
+  for (int i = 1; i <= 3; ++i) {
+    je.HandleRequest(MakeRequest(i, 1024, 256),
+                     {nullptr, [&](const flowserve::Sequence&) { ++completed; },
+                      [&](const Status& status) { errors.push_back(status.code()); }});
+  }
+  sim_.RunUntil(MillisecondsToNs(300));  // all in flight
+  ASSERT_TRUE(je.CrashLeader().ok());
+  EXPECT_FALSE(je.leader_up());
+  // No standby: every outstanding job severed immediately, engine side too.
+  ASSERT_EQ(errors.size(), 3u);
+  for (StatusCode code : errors) EXPECT_EQ(code, StatusCode::kUnavailable);
+  EXPECT_TRUE(je.table().outstanding().empty());
+
+  // Subsequent arrivals are rejected synchronously.
+  je.HandleRequest(MakeRequest(9, 64, 8),
+                   {nullptr, [&](const flowserve::Sequence&) { ++completed; },
+                    [&](const Status& status) { errors.push_back(status.code()); }});
+  ASSERT_EQ(errors.size(), 4u);
+  EXPECT_EQ(errors.back(), StatusCode::kUnavailable);
+
+  sim_.Run();
+  EXPECT_EQ(completed, 0);
+  EXPECT_TRUE(te->engine().idle());  // severed sequences were cancelled
+  EXPECT_EQ(je.stats().je_crashes, 1);
+  EXPECT_EQ(je.stats().je_failovers, 0);
+  EXPECT_FALSE(je.leader_up());
+}
+
+// ---------------- Golden parity: degenerate log == pre-log tree ----------------
+
+struct GoldenRow {
+  uint64_t seed;
+  int64_t completed;
+  int64_t errored;
+  int64_t crashes;
+  int64_t replacements;
+  int64_t scale_ups;
+  int64_t scale_downs;
+  int64_t end_time;
+  uint64_t timeline_hash;
+  uint64_t metrics_fp;
+};
+
+// Captured from the pre-refactor tree (before control-plane state moved onto
+// the log) by running this exact scenario. The degenerate single-replica
+// zero-latency log MUST reproduce these bit-for-bit: any event-stream drift
+// in the refactor shows up as a hash mismatch here.
+constexpr GoldenRow kGolden[] = {
+    {11ull, 58, 0, 2, 2, 6, 6, 40560063275ll, 0xfddb339fbba5727cull, 0xb344e94c032cf0d1ull},
+    {23ull, 68, 0, 1, 1, 3, 3, 40560063275ll, 0x662823d88727037bull, 0xeb2254c033da04c5ull},
+    {47ull, 63, 0, 3, 3, 8, 4, 46062566707ll, 0x4d6ea56212654424ull, 0xff986b5e5a6e85dbull},
+};
+
+GoldenRow RunGoldenStack(uint64_t seed) {
+  sim::Simulator sim;
+  obs::MetricsRegistry metrics;
+  sim.SetMetrics(&metrics);
+  hw::ClusterConfig cluster_config;
+  cluster_config.num_machines = 3;
+  hw::Cluster cluster(&sim, cluster_config);
+  distflow::TransferEngine transfer(&sim, &cluster, distflow::DistFlowConfig{});
+  serving::ClusterManager manager(&sim, &cluster, &transfer);
+  manager.ReservePrewarmedPods(6);
+  manager.ReservePrewarmedTes(6);
+  for (int m = 0; m < cluster.num_machines(); ++m) {
+    manager.PreloadModelToDram(m, model::ModelSpec::Tiny1B());
+  }
+  sim.Run();
+
+  serving::JeConfig je_config;
+  je_config.policy = serving::SchedulingPolicy::kLoadOnly;
+  serving::JobExecutor je(&sim, je_config, serving::PdHeatmap::Default(),
+                          serving::MakeOraclePredictor());
+  manager.AddFailureHandler([&](serving::TeId id) { je.OnTeFailure(id); });
+  serving::ScaleRequest replacement;
+  replacement.engine = SmallEngine(flowserve::EngineRole::kColocated);
+  manager.SetReplacementPolicy(replacement,
+                               [&](serving::TaskExecutor* te) { je.AddColocatedTe(te); });
+
+  std::vector<distflow::EndpointId> endpoints;
+  auto* colocated =
+      manager.CreateReadyTe(SmallEngine(flowserve::EngineRole::kColocated)).value();
+  je.AddColocatedTe(colocated);
+  endpoints.push_back(colocated->id());
+  auto* prefill =
+      manager.CreateReadyTe(SmallEngine(flowserve::EngineRole::kPrefillOnly)).value();
+  je.AddPrefillTe(prefill);
+  endpoints.push_back(prefill->id());
+  auto* decode =
+      manager.CreateReadyTe(SmallEngine(flowserve::EngineRole::kDecodeOnly)).value();
+  je.AddDecodeTe(decode);
+  endpoints.push_back(decode->id());
+  EXPECT_TRUE(transfer.LinkCluster(endpoints, nullptr).ok());
+  sim.Run();
+
+  serving::AutoscalerConfig as;
+  as.policy = "predictive";
+  as.check_interval = MillisecondsToNs(500);
+  as.scale_up_queue_depth = 4;
+  as.scale_down_queue_depth = 1;
+  as.min_tes = 1;
+  as.max_tes = 3;
+  as.te_capacity_rps = 2.0;
+  as.down_stable_ticks = 3;
+  serving::ScaleRequest request;
+  request.engine = SmallEngine(flowserve::EngineRole::kColocated);
+  manager.StartAutoscaler(&je, as, request);
+
+  faults::FaultInjector injector(&sim, &manager, seed);
+  faults::FaultPlanConfig plan;
+  plan.count = 5;
+  plan.window_start = SecondsToNs(2);
+  plan.window_end = SecondsToNs(25);
+  injector.ScheduleAll(faults::FaultInjector::GeneratePlan(seed, plan));
+
+  auto trace_config = workload::TraceGenerator::InternalTrace(2.0, 30.0, seed);
+  trace_config.prefill = workload::LengthDistribution{512, 0.3, 64, 2048};
+  trace_config.decode = workload::LengthDistribution{64, 0.4, 8, 256};
+  auto trace =
+      workload::TraceGenerator(trace_config).GenerateBursty(0.5, 6.0, 12.0, /*sharpness=*/3.0);
+  const TimeNs t0 = sim.Now();
+
+  GoldenRow row{};
+  row.seed = seed;
+  uint64_t hash = 1469598103934665603ull;
+  auto mix = [&hash](uint64_t v) {
+    hash ^= v;
+    hash *= 1099511628211ull;
+  };
+  for (auto& spec : trace) {
+    spec.arrival += t0;
+    sim.ScheduleAt(spec.arrival, [&, spec] {
+      je.HandleRequest(spec, {nullptr,
+                              [&, id = spec.id](const flowserve::Sequence& seq) {
+                                ++row.completed;
+                                mix(id);
+                                mix(static_cast<uint64_t>(seq.first_token_time));
+                                mix(static_cast<uint64_t>(seq.finish_time));
+                              },
+                              [&, id = spec.id](const Status&) {
+                                ++row.errored;
+                                mix(id * 2 + 1);
+                              }});
+    });
+  }
+  sim.RunUntil(t0 + SecondsToNs(40));
+  manager.StopAutoscaler();
+  sim.Run();
+
+  row.crashes = manager.stats().crashes;
+  row.replacements = manager.stats().replacements;
+  row.scale_ups = manager.stats().scale_ups;
+  row.scale_downs = manager.stats().scale_downs;
+  row.end_time = sim.Now();
+  row.timeline_hash = hash;
+  row.metrics_fp = metrics.Fingerprint();
+  return row;
+}
+
+TEST(CtrlParityTest, DegenerateLogMatchesPreLogGoldensAcrossThreeSeeds) {
+  for (const GoldenRow& want : kGolden) {
+    const GoldenRow got = RunGoldenStack(want.seed);
+    EXPECT_EQ(got.completed, want.completed) << "seed " << want.seed;
+    EXPECT_EQ(got.errored, want.errored) << "seed " << want.seed;
+    EXPECT_EQ(got.crashes, want.crashes) << "seed " << want.seed;
+    EXPECT_EQ(got.replacements, want.replacements) << "seed " << want.seed;
+    EXPECT_EQ(got.scale_ups, want.scale_ups) << "seed " << want.seed;
+    EXPECT_EQ(got.scale_downs, want.scale_downs) << "seed " << want.seed;
+    EXPECT_EQ(got.end_time, want.end_time) << "seed " << want.seed;
+    EXPECT_EQ(got.timeline_hash, want.timeline_hash) << "seed " << want.seed;
+    EXPECT_EQ(got.metrics_fp, want.metrics_fp) << "seed " << want.seed;
+  }
+}
+
+}  // namespace
+}  // namespace deepserve

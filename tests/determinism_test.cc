@@ -9,9 +9,11 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
+#include "ctrl/control_log.h"
 #include "distflow/distflow.h"
 #include "faults/fault_injector.h"
 #include "hw/cluster.h"
@@ -27,8 +29,10 @@ namespace deepserve {
 namespace {
 
 struct Outcome {
+  int64_t requests = 0;
   int64_t completed = 0;
   int64_t errored = 0;
+  int64_t double_terminated = 0;
   uint64_t timeline_hash = 0;
   TimeNs end_time = 0;
   int64_t crashes = 0;
@@ -37,15 +41,22 @@ struct Outcome {
   int64_t scale_downs = 0;
   int64_t drains_completed = 0;
   int64_t drained_seqs = 0;
+  int64_t cm_crashes = 0;
+  int64_t cm_failovers = 0;
+  int64_t je_crashes = 0;
+  int64_t je_failovers = 0;
   uint64_t metrics_fingerprint = 0;
   std::string metrics_dump;
 
   bool operator==(const Outcome& other) const {
-    return completed == other.completed && errored == other.errored &&
+    return requests == other.requests && completed == other.completed &&
+           errored == other.errored && double_terminated == other.double_terminated &&
            timeline_hash == other.timeline_hash && end_time == other.end_time &&
            crashes == other.crashes && replacements == other.replacements &&
            scale_ups == other.scale_ups && scale_downs == other.scale_downs &&
            drains_completed == other.drains_completed && drained_seqs == other.drained_seqs &&
+           cm_crashes == other.cm_crashes && cm_failovers == other.cm_failovers &&
+           je_crashes == other.je_crashes && je_failovers == other.je_failovers &&
            metrics_fingerprint == other.metrics_fingerprint &&
            metrics_dump == other.metrics_dump;
   }
@@ -60,7 +71,10 @@ flowserve::EngineConfig TinyEngine(flowserve::EngineRole role) {
   return config;
 }
 
-Outcome RunStack(uint64_t seed, bool enable_faults) {
+// `ctrl_faults` puts the CM and JE on a shared replicated control log and
+// mixes cm/je leader crashes into the chaos plan, extending the bit-identical
+// replay pin across leader outages and log-replay takeovers.
+Outcome RunStack(uint64_t seed, bool enable_faults, bool ctrl_faults = false) {
   sim::Simulator sim;
   obs::MetricsRegistry metrics;
   sim.SetMetrics(&metrics);
@@ -68,7 +82,16 @@ Outcome RunStack(uint64_t seed, bool enable_faults) {
   cluster_config.num_machines = 3;
   hw::Cluster cluster(&sim, cluster_config);
   distflow::TransferEngine transfer(&sim, &cluster, distflow::DistFlowConfig{});
-  serving::ClusterManager manager(&sim, &cluster, &transfer);
+  ctrl::CtrlConfig ctrl_config;
+  if (ctrl_faults) {
+    ctrl_config.replicas = 3;
+    ctrl_config.quorum = 2;
+    ctrl_config.replication_latency = MillisecondsToNs(1);
+    ctrl_config.lease_duration = MillisecondsToNs(300);
+  }
+  ctrl::ControlLog ctrl_log(&sim, ctrl_config);
+  serving::ClusterManager manager(&sim, &cluster, &transfer, {}, {},
+                                  ctrl_faults ? &ctrl_log : nullptr);
   manager.ReservePrewarmedPods(6);
   manager.ReservePrewarmedTes(6);
   for (int m = 0; m < cluster.num_machines(); ++m) {
@@ -80,7 +103,11 @@ Outcome RunStack(uint64_t seed, bool enable_faults) {
   je_config.policy = serving::SchedulingPolicy::kLoadOnly;
   serving::JobExecutor je(&sim, je_config, serving::PdHeatmap::Default(),
                           serving::MakeOraclePredictor());
-  manager.AddFailureHandler([&](serving::TeId id) { je.OnTeFailure(id); });
+  if (ctrl_faults) {
+    je.AttachControl(&ctrl_log, &manager);  // also registers the TE failure handler
+  } else {
+    manager.AddFailureHandler([&](serving::TeId id) { je.OnTeFailure(id); });
+  }
 
   // One colocated TE (the autoscaler's group) plus a disaggregated
   // prefill/decode pair sharing the dispatch layer.
@@ -111,11 +138,19 @@ Outcome RunStack(uint64_t seed, bool enable_faults) {
   manager.StartAutoscaler(&je, as, request);
 
   faults::FaultInjector injector(&sim, &manager, seed);
+  if (ctrl_faults) {
+    injector.RegisterJobExecutor(&je);
+  }
   if (enable_faults) {
     faults::FaultPlanConfig plan;
     plan.count = 5;
     plan.window_start = SecondsToNs(2);
     plan.window_end = SecondsToNs(25);
+    if (ctrl_faults) {
+      plan.count = 7;
+      plan.cm_crash_weight = 1.5;
+      plan.je_crash_weight = 1.5;
+    }
     injector.ScheduleAll(faults::FaultInjector::GeneratePlan(seed, plan));
   }
 
@@ -127,6 +162,8 @@ Outcome RunStack(uint64_t seed, bool enable_faults) {
   const TimeNs t0 = sim.Now();
 
   Outcome out;
+  out.requests = static_cast<int64_t>(trace.size());
+  std::map<workload::RequestId, int> terminations;
   uint64_t hash = 1469598103934665603ull;
   auto mix = [&hash](uint64_t v) {
     hash ^= v;
@@ -138,12 +175,14 @@ Outcome RunStack(uint64_t seed, bool enable_faults) {
       je.HandleRequest(spec, {nullptr,
                               [&, id = spec.id](const flowserve::Sequence& seq) {
                                 ++out.completed;
+                                if (++terminations[id] > 1) ++out.double_terminated;
                                 mix(id);
                                 mix(static_cast<uint64_t>(seq.first_token_time));
                                 mix(static_cast<uint64_t>(seq.finish_time));
                               },
                               [&, id = spec.id](const Status&) {
                                 ++out.errored;
+                                if (++terminations[id] > 1) ++out.double_terminated;
                                 mix(id * 2 + 1);
                               }});
     });
@@ -161,6 +200,10 @@ Outcome RunStack(uint64_t seed, bool enable_faults) {
   const serving::AutoscalerStats& as_stats = manager.autoscaler()->stats();
   out.drains_completed = as_stats.drains_completed;
   out.drained_seqs = as_stats.drained_seqs;
+  out.cm_crashes = manager.stats().cm_crashes;
+  out.cm_failovers = manager.stats().cm_failovers;
+  out.je_crashes = je.stats().je_crashes;
+  out.je_failovers = je.stats().je_failovers;
   out.metrics_fingerprint = metrics.Fingerprint();
   out.metrics_dump = metrics.Dump();
   return out;
@@ -176,6 +219,28 @@ TEST(DeterminismTest, SameSeedReplaysBitIdentically) {
     EXPECT_GT(first.completed, 0) << "seed " << seed;
     EXPECT_GT(first.metrics_fingerprint, 0ull) << "seed " << seed;
   }
+}
+
+TEST(DeterminismTest, ControlPlaneCrashRunsReplayBitIdenticallyWithZeroLoss) {
+  // Three seeds, cm/je crashes in the mix: the fingerprint (timeline hash +
+  // every counter + full metrics dump) must replay bit-identically, every
+  // request must terminate exactly once, and every leader crash must have
+  // failed over by the end of the run.
+  bool any_ctrl = false;
+  for (uint64_t seed : {3ull, 11ull, 29ull}) {
+    Outcome first = RunStack(seed, /*enable_faults=*/true, /*ctrl_faults=*/true);
+    Outcome second = RunStack(seed, /*enable_faults=*/true, /*ctrl_faults=*/true);
+    EXPECT_TRUE(first == second) << "seed " << seed << " diverged;\nfirst:\n"
+                                 << first.metrics_dump << "\nsecond:\n" << second.metrics_dump;
+    EXPECT_EQ(first.completed + first.errored, first.requests)
+        << "seed " << seed << " lost a request across a leader outage";
+    EXPECT_EQ(first.double_terminated, 0) << "seed " << seed;
+    EXPECT_EQ(first.cm_failovers, first.cm_crashes) << "seed " << seed;
+    EXPECT_EQ(first.je_failovers, first.je_crashes) << "seed " << seed;
+    EXPECT_GT(first.completed, 0) << "seed " << seed;
+    any_ctrl = any_ctrl || first.cm_crashes + first.je_crashes > 0;
+  }
+  EXPECT_TRUE(any_ctrl) << "no control-plane crash fired across the three seeds";
 }
 
 TEST(DeterminismTest, SameSeedSameMetricsWithoutFaults) {

@@ -122,6 +122,12 @@ TEST(DsLintFixtures, BadHygieneFlagsGuardsNamespacesAndRawOwnership) {
   CheckFixtures({"bad_hygiene.h", "bad_guard_mismatch.h", "bad_hygiene.cc"});
 }
 
+TEST(DsLintFixtures, GoodCtrlIsClean) { CheckFixtures({"good_ctrl.cc"}); }
+
+TEST(DsLintFixtures, BadCtrlFlagsMutationOutsideApply) {
+  CheckFixtures({"bad_ctrl.cc"});
+}
+
 TEST(DsLintFixtures, SuppressionInterplay) {
   CheckFixtures({"suppress_interplay.cc"});
 }
@@ -163,7 +169,7 @@ TEST(DsLintRules, EveryRuleIdIsKnownAndUnique) {
     EXPECT_TRUE(ids.insert(std::string(rule->id())).second)
         << "duplicate rule id " << rule->id();
   }
-  // One rule file per family; the four families together.
+  // One rule file per family; the five families together.
   EXPECT_GE(ids.size(), 10u);
   EXPECT_FALSE(IsKnownRule("no-such-rule"));
 }

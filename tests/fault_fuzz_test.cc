@@ -76,6 +76,14 @@ TEST(FaultFuzzTest, MalformedSpecsReturnErrorsNotCrashes) {
       "meteor@5",
       "npu@5:0.5x10#2:extra",
       "npu@0x10#2x",  // duplicate duration marker
+      "cm@5:2",       // cm crash takes no ':' field
+      "cm@5x10",      // control-plane crashes are permanent
+      "je@5x10",
+      "je@5:",        // empty ordinal
+      "je@5:bad",
+      "je@5:-1",
+      "je@5:1.5",     // ordinal must be integral
+      "je@5:99999999999999999999",  // strtoll overflow
   };
   for (const char* spec : kBad) {
     auto result = FaultInjector::ParseSchedule(spec);
@@ -103,6 +111,13 @@ TEST(FaultFuzzTest, ValidGrammarCornersStillParse) {
   ASSERT_TRUE(ok.ok()) << ok.status().ToString();
   EXPECT_EQ(ok->size(), 5u);
   ExpectSane(*ok, "corners");
+  // Control-plane crash clauses: seeded cm, je by ':' ordinal and by '#'.
+  auto ctrl = FaultInjector::ParseSchedule("cm@0;je@5;je@5:0;je@5:1000000;je@5#3");
+  ASSERT_TRUE(ctrl.ok()) << ctrl.status().ToString();
+  EXPECT_EQ(ctrl->size(), 5u);
+  ExpectSane(*ctrl, "ctrl corners");
+  EXPECT_EQ((*ctrl)[2].target, 0);
+  EXPECT_EQ((*ctrl)[4].target, 3);
   // Fractional seconds and scientific notation are fine when in range.
   auto sci = FaultInjector::ParseSchedule("npu@1.5e1;link@0.25:0.5x1e1");
   ASSERT_TRUE(sci.ok()) << sci.status().ToString();
@@ -113,7 +128,7 @@ TEST(FaultFuzzTest, ValidGrammarCornersStillParse) {
 // Random byte soup over the grammar's alphabet: the parser must classify
 // every string as parsed-and-sane or InvalidArgument, never crash or hang.
 TEST(FaultFuzzTest, RandomAlphabetSoupNeverCrashes) {
-  const std::string alphabet = "npushellinkslowmeteor@:x#;.0123456789-+eE \t";
+  const std::string alphabet = "npushellinkslowmeteorcmje@:x#;.0123456789-+eE \t";
   int accepted = 0;
   for (uint64_t seed = 1; seed <= 400; ++seed) {
     Rng rng(seed);
@@ -137,12 +152,13 @@ TEST(FaultFuzzTest, RandomAlphabetSoupNeverCrashes) {
 // Mutate valid specs one byte at a time: flips between valid and invalid must
 // be clean (correct status either way, sane values when accepted).
 TEST(FaultFuzzTest, SingleByteMutationsOfValidSpecs) {
-  const std::string alphabet = "npushellinkslowx@:#;.0123456789-eE";
+  const std::string alphabet = "npushellinkslowcmjex@:#;.0123456789-eE";
   const std::string valid[] = {
       "npu@5",
       "link@10:0.25x20",
       "slow@30:3x10#2",
       "npu@5;shell@1.5;link@2:0.5",
+      "cm@12;je@7:1",
   };
   for (const std::string& base : valid) {
     ASSERT_TRUE(FaultInjector::ParseSchedule(base).ok()) << base;

@@ -7,6 +7,7 @@
 #include <set>
 #include <vector>
 
+#include "ctrl/control_log.h"
 #include "distflow/distflow.h"
 #include "faults/fault_injector.h"
 #include "flowserve/engine.h"
@@ -530,12 +531,51 @@ TEST_F(FaultToleranceTest, CrashWithNoLiveTargetIsSkipped) {
   EXPECT_EQ(manager_->stats().crashes, 0);
 }
 
+TEST_F(FaultToleranceTest, CmCrashEventTakesControlLeaderDown) {
+  AddTe(flowserve::EngineRole::kColocated);
+  Link();
+  faults::FaultInjector injector(&sim_, manager_.get(), /*seed=*/7);
+  faults::FaultEvent event;
+  event.time = sim_.Now();
+  event.kind = faults::FaultKind::kCmCrash;
+  injector.Schedule(event);
+  event.time = sim_.Now() + SecondsToNs(1);  // second crash: leader already down
+  injector.Schedule(event);
+  sim_.Run();
+  EXPECT_EQ(injector.stats().cm_crashes, 1);
+  EXPECT_EQ(injector.stats().skipped, 1);
+  EXPECT_EQ(manager_->stats().cm_crashes, 1);
+  EXPECT_FALSE(manager_->leader_up());  // degenerate log: nobody takes over
+}
+
+TEST_F(FaultToleranceTest, JeCrashEventNeedsARegisteredExecutor) {
+  AddTe(flowserve::EngineRole::kColocated);
+  Link();
+  faults::FaultInjector injector(&sim_, manager_.get(), /*seed=*/7);
+  faults::FaultEvent event;
+  event.time = sim_.Now();
+  event.kind = faults::FaultKind::kJeCrash;
+  injector.Schedule(event);  // no JE registered yet: skipped
+  sim_.Run();
+  EXPECT_EQ(injector.stats().je_crashes, 0);
+  EXPECT_EQ(injector.stats().skipped, 1);
+
+  injector.RegisterJobExecutor(je_.get());
+  event.time = sim_.Now();
+  event.target = 0;
+  injector.Schedule(event);
+  sim_.Run();
+  EXPECT_EQ(injector.stats().je_crashes, 1);
+  EXPECT_EQ(je_->stats().je_crashes, 1);
+  EXPECT_FALSE(je_->leader_up());
+}
+
 TEST(FaultScheduleTest, ParsesFullGrammar) {
   auto result = faults::FaultInjector::ParseSchedule(
-      "npu@5;link@10:0.25x20;slow@30:3x10#2;shell@1.5");
+      "npu@5;link@10:0.25x20;slow@30:3x10#2;shell@1.5;cm@12;je@7:1");
   ASSERT_TRUE(result.ok());
   const auto& events = *result;
-  ASSERT_EQ(events.size(), 4u);
+  ASSERT_EQ(events.size(), 6u);
   EXPECT_EQ(events[0].kind, faults::FaultKind::kNpuCrash);
   EXPECT_EQ(events[0].time, SecondsToNs(5));
   EXPECT_EQ(events[0].target, -1);
@@ -548,6 +588,13 @@ TEST(FaultScheduleTest, ParsesFullGrammar) {
   EXPECT_EQ(events[2].target, 2);
   EXPECT_EQ(events[3].kind, faults::FaultKind::kTeShellCrash);
   EXPECT_EQ(events[3].time, SecondsToNs(1.5));
+  EXPECT_EQ(events[4].kind, faults::FaultKind::kCmCrash);
+  EXPECT_EQ(events[4].time, SecondsToNs(12));
+  EXPECT_EQ(events[4].target, -1);
+  EXPECT_EQ(events[4].duration, 0);  // permanent: recovery is the log's failover
+  EXPECT_EQ(events[5].kind, faults::FaultKind::kJeCrash);
+  EXPECT_EQ(events[5].time, SecondsToNs(7));
+  EXPECT_EQ(events[5].target, 1);  // ':' field is the JE ordinal
 }
 
 TEST(FaultScheduleTest, RejectsMalformedSpecs) {
@@ -557,6 +604,11 @@ TEST(FaultScheduleTest, RejectsMalformedSpecs) {
   EXPECT_FALSE(faults::FaultInjector::ParseSchedule("npu@-3").ok());    // negative time
   EXPECT_FALSE(faults::FaultInjector::ParseSchedule("link@10:1.5").ok());  // factor > 1
   EXPECT_FALSE(faults::FaultInjector::ParseSchedule("slow@5:0.5").ok());   // factor < 1
+  EXPECT_FALSE(faults::FaultInjector::ParseSchedule("cm@5:2").ok());    // cm takes no ':'
+  EXPECT_FALSE(faults::FaultInjector::ParseSchedule("cm@5x10").ok());   // crash is permanent
+  EXPECT_FALSE(faults::FaultInjector::ParseSchedule("je@5x10").ok());   // crash is permanent
+  EXPECT_FALSE(faults::FaultInjector::ParseSchedule("je@5:bad").ok());  // ordinal not a number
+  EXPECT_FALSE(faults::FaultInjector::ParseSchedule("je@5:-1").ok());   // negative ordinal
 }
 
 TEST(FaultPlanTest, SameSeedSamePlan) {
@@ -610,6 +662,10 @@ struct ChaosOutcome {
   int64_t hedges = 0;  // hedged chaos variant
   int64_t hedge_cancels = 0;
   int64_t ejections = 0;
+  int64_t cm_crashes = 0;  // control-plane chaos variant
+  int64_t cm_failovers = 0;
+  int64_t je_crashes = 0;
+  int64_t je_failovers = 0;
   TimeNs end_time = 0;
 
   bool operator==(const ChaosOutcome& other) const {
@@ -619,6 +675,8 @@ struct ChaosOutcome {
            drains_started == other.drains_started && drains_aborted == other.drains_aborted &&
            drain_timeouts == other.drain_timeouts && hedges == other.hedges &&
            hedge_cancels == other.hedge_cancels && ejections == other.ejections &&
+           cm_crashes == other.cm_crashes && cm_failovers == other.cm_failovers &&
+           je_crashes == other.je_crashes && je_failovers == other.je_failovers &&
            end_time == other.end_time;
   }
 };
@@ -629,19 +687,34 @@ struct ChaosOutcome {
 // `autoscale` additionally runs a churny graceful-drain autoscaler over the
 // colocated group, so drains race the chaos plan's crashes and the drain
 // timeout's force-kill path.
+// `ctrl_chaos` puts the CM and the JE on a shared replicated control log and
+// adds cm/je leader crashes to the chaos plan, so leader outages and
+// log-replay takeovers race everything above.
 ChaosOutcome RunChaos(uint64_t fault_seed, bool enable_faults, bool slo_deadlines = false,
-                      bool autoscale = false) {
+                      bool autoscale = false, bool ctrl_chaos = false) {
   constexpr int kRequests = 40;
   sim::Simulator sim;
   hw::ClusterConfig cc;
   cc.num_machines = 4;
   hw::Cluster cluster(&sim, cc);
   distflow::TransferEngine transfer(&sim, &cluster, distflow::DistFlowConfig{});
-  serving::ClusterManager manager(&sim, &cluster, &transfer);
+  ctrl::CtrlConfig ctrl_config;
+  if (ctrl_chaos) {
+    ctrl_config.replicas = 3;
+    ctrl_config.quorum = 2;
+    ctrl_config.replication_latency = MillisecondsToNs(1);
+    ctrl_config.lease_duration = MillisecondsToNs(300);
+  }
+  ctrl::ControlLog ctrl_log(&sim, ctrl_config);
+  serving::ClusterManager manager(&sim, &cluster, &transfer, {}, {},
+                                  ctrl_chaos ? &ctrl_log : nullptr);
   serving::JeConfig config;
   config.policy = serving::SchedulingPolicy::kLoadOnly;
   serving::JobExecutor je(&sim, config, serving::PdHeatmap::Default(),
                           serving::MakeOraclePredictor());
+  if (ctrl_chaos) {
+    je.AttachControl(&ctrl_log, &manager);  // also registers the TE failure handler
+  }
   flowserve::EngineConfig engine_config = SmallEngine(flowserve::EngineRole::kColocated);
   if (slo_deadlines) {
     engine_config.sched.policy = "slo";
@@ -656,7 +729,9 @@ ChaosOutcome RunChaos(uint64_t fault_seed, bool enable_faults, bool slo_deadline
   }
   DS_CHECK_OK(transfer.LinkCluster(endpoints, nullptr));
   sim.Run();
-  manager.AddFailureHandler([&](serving::TeId id) { je.OnTeFailure(id); });
+  if (!ctrl_chaos) {
+    manager.AddFailureHandler([&](serving::TeId id) { je.OnTeFailure(id); });
+  }
   serving::ScaleRequest replacement;
   replacement.engine = engine_config;
   manager.SetReplacementPolicy(replacement, [&](serving::TaskExecutor* te) {
@@ -686,11 +761,19 @@ ChaosOutcome RunChaos(uint64_t fault_seed, bool enable_faults, bool slo_deadline
   frontend.RegisterServingJe("tiny-1b", &je);
 
   faults::FaultInjector injector(&sim, &manager, fault_seed);
+  if (ctrl_chaos) {
+    injector.RegisterJobExecutor(&je);
+  }
   if (enable_faults) {
     faults::FaultPlanConfig plan;
     plan.count = 6;
     plan.window_start = 0;
     plan.window_end = SecondsToNs(10);
+    if (ctrl_chaos) {
+      plan.count = 8;
+      plan.cm_crash_weight = 1.5;
+      plan.je_crash_weight = 1.5;
+    }
     injector.ScheduleAll(faults::FaultInjector::GeneratePlan(fault_seed, plan));
   }
 
@@ -745,6 +828,10 @@ ChaosOutcome RunChaos(uint64_t fault_seed, bool enable_faults, bool slo_deadline
   }
   outcome.crashes = manager.stats().crashes;
   outcome.replacements = manager.stats().replacements;
+  outcome.cm_crashes = manager.stats().cm_crashes;
+  outcome.cm_failovers = manager.stats().cm_failovers;
+  outcome.je_crashes = je.stats().je_crashes;
+  outcome.je_failovers = je.stats().je_failovers;
   for (serving::TaskExecutor* te : tes) {
     outcome.sheds += te->engine().stats().shed;
   }
@@ -810,6 +897,31 @@ TEST(ChaosPropertyTest, DrainingTesRacingCrashesConserveRequests) {
     EXPECT_TRUE(outcome == replay) << "seed " << seed << " diverged";
   }
   EXPECT_TRUE(any_drains) << "the autoscaler never drained: the race was not exercised";
+}
+
+TEST(ChaosPropertyTest, ControlPlaneCrashesConserveRequestsAndReplay) {
+  // CM and JE leader crashes (shared replicated log, log-replay takeover)
+  // racing TE crashes, link flaps, and stragglers: exactly-once termination
+  // and bit-identical replay must survive leader outages, and every injected
+  // leader crash must eventually fail over (finite MTTR, no token loss).
+  bool any_ctrl = false;
+  for (uint64_t seed : {1ull, 7ull, 42ull}) {
+    ChaosOutcome outcome = RunChaos(seed, /*enable_faults=*/true, /*slo_deadlines=*/false,
+                                    /*autoscale=*/false, /*ctrl_chaos=*/true);
+    EXPECT_EQ(outcome.completed.size() + outcome.errored.size(), 40u)
+        << "seed " << seed << " lost a request across a leader outage";
+    EXPECT_EQ(outcome.double_terminated, 0) << "seed " << seed;
+    EXPECT_EQ(outcome.cm_failovers, outcome.cm_crashes)
+        << "seed " << seed << " left a CM outage unrecovered";
+    EXPECT_EQ(outcome.je_failovers, outcome.je_crashes)
+        << "seed " << seed << " left a JE outage unrecovered";
+    any_ctrl = any_ctrl || outcome.cm_crashes + outcome.je_crashes > 0;
+
+    ChaosOutcome replay = RunChaos(seed, /*enable_faults=*/true, /*slo_deadlines=*/false,
+                                   /*autoscale=*/false, /*ctrl_chaos=*/true);
+    EXPECT_TRUE(outcome == replay) << "seed " << seed << " diverged";
+  }
+  EXPECT_TRUE(any_ctrl) << "no control-plane crash fired: the chaos mix was a no-op";
 }
 
 // Hedged requests racing TE crashes: two JE replicas behind a p2c frontend

@@ -83,7 +83,7 @@ const std::vector<std::unique_ptr<Rule>>& AllRules() {
   static const std::vector<std::unique_ptr<Rule>>* rules = [] {
     auto* all = new std::vector<std::unique_ptr<Rule>>();
     for (auto* make : {MakeDeterminismRules, MakeStatusRules, MakeObsRules,
-                       MakeHygieneRules}) {
+                       MakeHygieneRules, MakeCtrlRules}) {
       for (auto& r : make()) all->push_back(std::move(r));
     }
     return all;
@@ -125,6 +125,7 @@ std::vector<Finding> LintSources(
       if (fn.returns_status) ++index.status_decls[fn.name];
       if (fn.returns_non_status) ++index.non_status_decls[fn.name];
     }
+    IndexCtrlStateMachines(f, &index);
   }
 
   // Pass 2: rules + suppressions per file.

@@ -56,6 +56,10 @@ struct ProjectIndex {
   // overload ambiguity cannot produce false discarded-status findings.
   std::map<std::string, int> status_decls;
   std::map<std::string, int> non_status_decls;
+  // class name -> trailing-underscore member names, for classes deriving from
+  // ctrl::CtrlStateMachine (replicated state machines whose state must only
+  // change inside Apply()). Built by IndexCtrlStateMachines.
+  std::map<std::string, std::set<std::string>> ctrl_members;
 
   bool UnambiguouslyStatus(const std::string& name) const {
     auto it = status_decls.find(name);
@@ -84,6 +88,11 @@ std::vector<std::unique_ptr<Rule>> MakeDeterminismRules();
 std::vector<std::unique_ptr<Rule>> MakeStatusRules();
 std::vector<std::unique_ptr<Rule>> MakeObsRules();
 std::vector<std::unique_ptr<Rule>> MakeHygieneRules();
+std::vector<std::unique_ptr<Rule>> MakeCtrlRules();
+
+// Pass-1 helper for the ctrl family: records the members of every class that
+// derives from CtrlStateMachine into index->ctrl_members.
+void IndexCtrlStateMachines(const FileCtx& file, ProjectIndex* index);
 
 // Lints one in-memory file (path is used for reporting and path-scoped
 // rules). Exposed for the fixture self-tests.

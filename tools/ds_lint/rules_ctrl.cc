@@ -1,0 +1,153 @@
+// Family C: replicated control-plane state machines. Classes deriving from
+// ctrl::CtrlStateMachine are deterministic replicas: their entire state is a
+// fold of Apply(LogRecord) over the shared log, so replaying the same prefix
+// must reproduce the same bits. Any member mutation outside Apply() (or a
+// constructor, which only sets the pre-log initial state) silently forks the
+// replica from the log and breaks failover replay — this family bans it at
+// the token level. Helper methods invoked from Apply() must carry an
+// `Apply` name prefix, which documents the contract at the call site.
+#include <memory>
+#include <set>
+#include <string>
+
+#include "lint.h"
+#include "rules_util.h"
+
+namespace ds_lint {
+namespace {
+
+constexpr size_t kNone = static_cast<size_t>(-1);
+
+// Compound assignment and increment operators lex as single tokens, so each
+// entry here is one punct token that writes through its left operand.
+bool IsWriteOp(const std::string& text) {
+  static const std::set<std::string>* ops = new std::set<std::string>{
+      "=",  "+=", "-=", "*=",  "/=",  "%=", "&=",
+      "|=", "^=", "<<=", ">>=", "++", "--"};
+  return ops->count(text) > 0;
+}
+
+// Container methods that mutate the receiver. `find`/`at`/`count`/iterators
+// are deliberately absent: reads stay legal everywhere.
+bool IsMutatingCall(const std::string& name) {
+  static const std::set<std::string>* calls = new std::set<std::string>{
+      "push_back", "pop_back",  "push_front", "pop_front", "push",
+      "pop",       "insert",    "erase",      "clear",     "assign",
+      "resize",    "reserve",   "swap",       "emplace",   "emplace_back",
+      "emplace_front"};
+  return calls->count(name) > 0;
+}
+
+size_t NextCode(const std::vector<Token>& t, size_t i) {
+  while (i < t.size() && t[i].kind == Tok::kPreproc) ++i;
+  return i;
+}
+
+// True iff the member token at `i` (whose previous code token is `p`) is the
+// target of a write: prefix/postfix ++/--, an assignment, a mutating
+// container call, or any of those applied after one or more subscripts.
+bool MutatesAt(const std::vector<Token>& t, size_t i, size_t p) {
+  if (p != kNone && (t[p].text == "++" || t[p].text == "--")) return true;
+  size_t j = NextCode(t, i + 1);
+  // `m_[k] = v`, `m_[k][l] += v`, `m_[k].erase(...)`: skip subscripts.
+  while (j < t.size() && t[j].kind == Tok::kPunct && t[j].text == "[") {
+    size_t close = MatchDelim(t, j);
+    if (close >= t.size()) return false;
+    j = NextCode(t, close + 1);
+  }
+  if (j >= t.size()) return false;
+  if (t[j].kind == Tok::kPunct && IsWriteOp(t[j].text)) return true;
+  if (t[j].kind == Tok::kPunct && (t[j].text == "." || t[j].text == "->")) {
+    size_t call = NextCode(t, j + 1);
+    return IsIdentTok(t, call) && IsMutatingCall(t[call].text) &&
+           IsTok(t, call + 1, "(");
+  }
+  return false;
+}
+
+class CtrlApplyOnlyRule : public Rule {
+ public:
+  std::string_view id() const override { return "ctrl-apply-only"; }
+
+  void Check(const FileCtx& f, const ProjectIndex& index,
+             std::vector<Finding>* out) const override {
+    if (index.ctrl_members.empty()) return;
+    const auto& t = f.lexed.tokens;
+    for (const FuncDecl& fn : f.structure.functions) {
+      if (!fn.has_body || fn.class_name.empty()) continue;
+      auto cls = index.ctrl_members.find(fn.class_name);
+      if (cls == index.ctrl_members.end()) continue;
+      // Constructors/destructors set the pre-log initial state; Apply() and
+      // Apply*-prefixed helpers are the log-application path itself.
+      if (fn.name == fn.class_name) continue;
+      if (fn.name.rfind("Apply", 0) == 0) continue;
+      const std::set<std::string>& members = cls->second;
+      for (size_t i = fn.body_begin + 1; i < fn.body_end; ++i) {
+        if (!IsIdentTok(t, i) || members.count(t[i].text) == 0) continue;
+        size_t p = PrevTok(t, i);
+        if (p != kNone && (t[p].text == "." || t[p].text == "->")) {
+          // `obj.member_` is some other object's member — unless the object
+          // is `this`, in which case it is a bare access after all.
+          size_t pp = PrevTok(t, p);
+          if (pp == kNone || !IsIdentTok(t, pp) || t[pp].text != "this") continue;
+        }
+        if (MutatesAt(t, i, p)) {
+          out->push_back(
+              {f.path, t[i].line, std::string(id()),
+               "'" + fn.class_name + "::" + fn.name + "' mutates state-machine "
+               "member '" + t[i].text + "' outside Apply() — CtrlStateMachine "
+               "state must change only by applying log records, or replayed "
+               "replicas diverge from the leader"});
+        }
+      }
+    }
+  }
+};
+
+}  // namespace
+
+void IndexCtrlStateMachines(const FileCtx& file, ProjectIndex* index) {
+  const auto& t = file.lexed.tokens;
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (!IsIdentTok(t, i) ||
+        (t[i].text != "class" && t[i].text != "struct")) {
+      continue;
+    }
+    size_t p = PrevTok(t, i);
+    if (p != kNone && IsIdentTok(t, p) && t[p].text == "enum") continue;
+    size_t name = NextCode(t, i + 1);
+    if (!IsIdentTok(t, name)) continue;
+    // Scan the base-clause region (between the class name and the body) for
+    // the CtrlStateMachine base; forward declarations stop at ';'.
+    bool derives = false;
+    size_t open = name + 1;
+    for (; open < t.size(); ++open) {
+      if (t[open].kind == Tok::kPreproc) continue;
+      if (t[open].text == "{" || t[open].text == ";") break;
+      if (IsIdentTok(t, open) && t[open].text == "CtrlStateMachine") derives = true;
+    }
+    if (open >= t.size() || t[open].text != "{" || !derives) continue;
+    size_t close = MatchDelim(t, open);
+    if (close >= t.size()) continue;
+    // Trailing-underscore identifiers in the class body are its members (the
+    // style guide reserves the suffix for data members). Skipping `obj.x_`
+    // accesses keeps other classes' members out of the set.
+    std::set<std::string>& members = (*index).ctrl_members[t[name].text];
+    for (size_t k = open + 1; k < close; ++k) {
+      if (!IsIdentTok(t, k)) continue;
+      const std::string& text = t[k].text;
+      if (text.size() < 2 || text.back() != '_') continue;
+      size_t kp = PrevTok(t, k);
+      if (kp != kNone && (t[kp].text == "." || t[kp].text == "->")) continue;
+      members.insert(text);
+    }
+  }
+}
+
+std::vector<std::unique_ptr<Rule>> MakeCtrlRules() {
+  std::vector<std::unique_ptr<Rule>> rules;
+  rules.push_back(std::make_unique<CtrlApplyOnlyRule>());
+  return rules;
+}
+
+}  // namespace ds_lint

@@ -1,0 +1,76 @@
+// Fixture: direct mutation of CtrlStateMachine-subclass state outside
+// Apply(). Every marked line must fire ctrl-apply-only; the constructor and
+// Apply-prefixed helpers must not.
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace deepserve::ctrl {
+
+class CtrlStateMachine {
+ public:
+  explicit CtrlStateMachine(int32_t domain) : domain_(domain) {}
+  virtual ~CtrlStateMachine() = default;
+  int32_t domain() const { return domain_; }
+
+ private:
+  int32_t domain_;
+};
+
+struct LogRecord {
+  int64_t seq = 0;
+};
+
+class BadTable final : public CtrlStateMachine {
+ public:
+  // Constructors seed the pre-log initial state: not flagged.
+  BadTable() : CtrlStateMachine(0) { epoch_ = 1; }
+
+  void Apply(const LogRecord& record) {
+    ++applied_;
+    jobs_.push_back(record.seq);
+    index_[record.seq] = applied_;
+  }
+
+  // Apply-prefixed helpers are the log-application path: not flagged.
+  void ApplyCompaction() { jobs_.clear(); }
+
+  void Reset() {
+    applied_ = 0;       // ds-lint-expect: ctrl-apply-only
+    jobs_.clear();      // ds-lint-expect: ctrl-apply-only
+    index_.erase(0);    // ds-lint-expect: ctrl-apply-only
+  }
+
+  void Bump(int64_t by) {
+    ++epoch_;           // ds-lint-expect: ctrl-apply-only
+    applied_ += by;     // ds-lint-expect: ctrl-apply-only
+    jobs_[0] = by;      // ds-lint-expect: ctrl-apply-only
+    index_[by] += by;   // ds-lint-expect: ctrl-apply-only
+    this->epoch_--;     // ds-lint-expect: ctrl-apply-only
+  }
+
+ private:
+  int64_t applied_ = 0;
+  int64_t epoch_ = 0;
+  std::vector<int64_t> jobs_;
+  std::map<int64_t, int64_t> index_;
+};
+
+// Out-of-line definitions are matched by qualified name.
+class BadDirectory final : public CtrlStateMachine {
+ public:
+  BadDirectory() : CtrlStateMachine(1) {}
+  void Apply(const LogRecord& record);
+  void Detect(int64_t id);
+
+ private:
+  std::vector<int64_t> failed_;
+};
+
+void BadDirectory::Apply(const LogRecord& record) { failed_.push_back(record.seq); }
+
+void BadDirectory::Detect(int64_t id) {
+  failed_.push_back(id);  // ds-lint-expect: ctrl-apply-only
+}
+
+}  // namespace deepserve::ctrl

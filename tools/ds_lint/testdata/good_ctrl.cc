@@ -1,0 +1,74 @@
+// Fixture: ctrl-apply-only-clean code. A CtrlStateMachine subclass whose
+// state changes only inside Apply(), const views that read freely, and a
+// non-subclass with the same member names that may mutate anywhere.
+// Expects zero findings.
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace deepserve::ctrl {
+
+class CtrlStateMachine {
+ public:
+  explicit CtrlStateMachine(int32_t domain) : domain_(domain) {}
+  virtual ~CtrlStateMachine() = default;
+  int32_t domain() const { return domain_; }
+
+ private:
+  int32_t domain_;
+};
+
+struct LogRecord {
+  int64_t seq = 0;
+};
+
+class GoodTable final : public CtrlStateMachine {
+ public:
+  explicit GoodTable(int32_t domain) : CtrlStateMachine(domain) {}
+
+  // The one mutation path: fold a log record into the state.
+  void Apply(const LogRecord& record) {
+    ++applied_;
+    if (record.seq % 2 == 0) {
+      jobs_.push_back(record.seq);
+    } else {
+      jobs_.clear();
+    }
+    index_[record.seq] = applied_;
+  }
+
+  // Reads — lookups, iteration, comparisons — are legal everywhere.
+  int64_t applied() const { return applied_; }
+  bool Empty() const { return jobs_.empty() && applied_ == 0; }
+  int64_t Sum() const {
+    int64_t total = applied_;
+    for (int64_t v : jobs_) total += v;
+    auto it = index_.find(0);
+    if (it != index_.end()) total += it->second;
+    return total;
+  }
+
+ private:
+  int64_t applied_ = 0;
+  std::vector<int64_t> jobs_;
+  std::map<int64_t, int64_t> index_;
+};
+
+// Same member names in a class that is NOT a CtrlStateMachine: mutation is
+// out of the rule's scope (per-class member matching).
+class PlainTable {
+ public:
+  void Reset() {
+    applied_ = 0;
+    jobs_.clear();
+  }
+
+ private:
+  int64_t applied_ = 0;
+  std::vector<int64_t> jobs_;
+};
+
+// `obj.member_` through another object is not a bare state-machine member.
+inline void DrainPlain(PlainTable* table) { table->Reset(); }
+
+}  // namespace deepserve::ctrl

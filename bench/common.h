@@ -347,6 +347,26 @@ class Testbed {
                                                  std::move(predictor));
   }
 
+  // Custom-cluster testbed (heterogeneous fleets, SuperPod fabric): the
+  // caller supplies the full ClusterConfig and JeConfig instead of the
+  // homogeneous defaults above.
+  Testbed(const hw::ClusterConfig& cluster_config, const serving::JeConfig& je_config,
+          std::unique_ptr<serving::DecodeLengthPredictor> predictor =
+              serving::MakeOraclePredictor()) {
+    if (ObsSession* obs = ObsSession::active()) {
+      obs->Attach(sim_);
+    }
+    cluster_ = std::make_unique<hw::Cluster>(&sim_, cluster_config);
+    transfer_ = std::make_unique<distflow::TransferEngine>(&sim_, cluster_.get(),
+                                                           distflow::DistFlowConfig{});
+    manager_ = std::make_unique<serving::ClusterManager>(&sim_, cluster_.get(), transfer_.get(),
+                                                         serving::ScalingOptimizations{},
+                                                         serving::ScalingLatencyModel{},
+                                                         nullptr);
+    je_ = std::make_unique<serving::JobExecutor>(&sim_, je_config, serving::PdHeatmap::Default(),
+                                                 std::move(predictor));
+  }
+
   // Builds `colocated` unified TEs plus `prefill`/`decode` disaggregated TEs
   // and links their DistFlow endpoints.
   void BuildFleet(const flowserve::EngineConfig& base, int colocated, int prefill, int decode) {

@@ -50,6 +50,12 @@ echo "==> autoscale smoke: reactive/predictive/slo policy comparison invariants"
 # violations at no more TE-seconds.
 ./build/bench/fig_autoscale --smoke >/dev/null
 
+echo "==> hetero smoke: cost-aware vs hetero-blind placement on a Gen1/Gen2 mix"
+# Exits non-zero unless conservation holds in both modes, cost-aware placement
+# puts more TEs on Gen1 than the blind first-fit, beats it on tokens-per-dollar,
+# and the aware run replays bit-identically.
+./build/bench/fig_hetero --smoke >/dev/null
+
 echo "==> perf_sim smoke: DES core throughput, replay determinism, BENCH_perf.json"
 # Exits non-zero unless the full-stack 64-TE replay is bit-identical across
 # two runs and the cancellation-heavy scenario beats the embedded pre-PR

@@ -70,6 +70,16 @@ struct Flags {
   double predictor_accuracy = 0.9;
   std::string csv;
   std::string gen = "gen2";
+  // Heterogeneous cluster: "gen1:2,gen2:2" builds 2 Gen1 + 2 Gen2 machines
+  // (machine order follows the mix) and turns on cost-aware placement +
+  // dispatch. Empty = homogeneous --gen cluster, bit-identical to before.
+  std::string npu_mix;
+  double npu_cost_gen1 = 0.0;  // $/NPU-hour override (0 = preset)
+  double npu_cost_gen2 = 0.0;
+  bool hetero_blind = false;  // ignore generations when placing/dispatching
+  bool superpod = false;      // add the UB fabric tier between HCCS and RoCE
+  double ub_gbps = 196.0;
+  int machines_per_superpod = 0;  // 0 = whole cluster is one SuperPod
   // Autoscaler: empty = off; reactive|predictive|slo runs replica 0's
   // colocated group between min 1 and --max-tes TEs over the trace.
   std::string scale_policy;
@@ -106,6 +116,18 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
                 "decode-length predictor accuracy (1.0 = oracle)");
   registry.Flag("csv", &flags->csv, "write per-request metrics CSV here");
   registry.Flag("gen", &flags->gen, "NPU generation: gen1|gen2");
+  registry.Flag("npu-mix", &flags->npu_mix,
+                "heterogeneous machine mix, e.g. gen1:2,gen2:2 (empty = homogeneous --gen)");
+  registry.Flag("npu-cost-gen1", &flags->npu_cost_gen1,
+                "Gen1 $/NPU-hour override (0 = preset)");
+  registry.Flag("npu-cost-gen2", &flags->npu_cost_gen2,
+                "Gen2 $/NPU-hour override (0 = preset)");
+  registry.Flag("hetero-blind", &flags->hetero_blind,
+                "generation-blind placement and dispatch (baseline)");
+  registry.Flag("superpod", &flags->superpod, "enable the SuperPod UB fabric tier");
+  registry.Flag("ub-gbps", &flags->ub_gbps, "UB fabric bandwidth in GB/s");
+  registry.Flag("machines-per-superpod", &flags->machines_per_superpod,
+                "SuperPod size in machines (0 = whole cluster)");
   registry.Flag("scale-policy", &flags->scale_policy,
                 "autoscaler policy over replica 0 (empty = off): reactive|predictive|slo");
   registry.Flag("headroom", &flags->headroom, "autoscaler headroom TEs");
@@ -174,6 +196,33 @@ int main(int argc, char** argv) {
   cluster_config.num_machines =
       std::max(1, (instances * flags.tp + cluster_config.npus_per_machine - 1) /
                       cluster_config.npus_per_machine);
+  if (!flags.npu_mix.empty()) {
+    auto mix = hw::ParseNpuMix(flags.npu_mix);
+    if (!mix.ok()) {
+      std::fprintf(stderr, "%s\n", mix.status().ToString().c_str());
+      return 2;
+    }
+    for (auto& spec : *mix) {
+      if (spec.name == "ascend-gen1" && flags.npu_cost_gen1 > 0) {
+        spec.cost_per_hour = flags.npu_cost_gen1;
+      }
+      if (spec.name == "ascend-gen2" && flags.npu_cost_gen2 > 0) {
+        spec.cost_per_hour = flags.npu_cost_gen2;
+      }
+    }
+    cluster_config.machine_specs = *mix;
+    cluster_config.num_machines = static_cast<int>(mix->size());
+    if (instances * flags.tp > cluster_config.num_machines * cluster_config.npus_per_machine) {
+      std::fprintf(stderr, "--npu-mix supplies %d machines but the fleet needs %d NPUs\n",
+                   cluster_config.num_machines, instances * flags.tp);
+      return 2;
+    }
+  }
+  if (flags.superpod) {
+    cluster_config.enable_superpod = true;
+    cluster_config.ub_gbps = flags.ub_gbps;
+    cluster_config.machines_per_superpod = flags.machines_per_superpod;
+  }
   hw::Cluster cluster(&sim, cluster_config);
   distflow::TransferEngine transfer(&sim, &cluster, {});
   // Outlives `manager` (the CM detaches its state machine at destruction).
@@ -182,9 +231,15 @@ int main(int argc, char** argv) {
     ctrl_log = std::make_unique<ctrl::ControlLog>(&sim, flags.ctrl.ToConfig());
   }
   serving::ClusterManager manager(&sim, &cluster, &transfer, {}, {}, ctrl_log.get());
+  if (!flags.npu_mix.empty() && flags.hetero_blind) {
+    serving::PlacementConfig placement;
+    placement.hetero_aware = false;
+    manager.SetPlacement(placement);
+  }
 
   serving::JeConfig je_config;
   je_config.policy = *policy;
+  je_config.cost_aware = !flags.npu_mix.empty() && !flags.hetero_blind;
   std::vector<std::unique_ptr<serving::JobExecutor>> jes;
   for (int r = 0; r < flags.je_replicas; ++r) {
     jes.push_back(std::make_unique<serving::JobExecutor>(
@@ -202,6 +257,11 @@ int main(int argc, char** argv) {
   flowserve::EngineConfig engine;
   engine.model = *model;
   engine.npu_spec = cluster_config.npu_spec;
+  if (!flags.npu_mix.empty()) {
+    // Each TE's cost model must reflect the silicon it actually lands on.
+    engine.npu_spec = cluster_config.machine_specs.front();
+    engine.npu_spec_from_placement = true;
+  }
   engine.parallelism = {flags.tp, 1, 1};
   engine.sched.policy = flags.sched_policy;
   engine.sched.tbt_budget_ms = flags.tbt_ms;
@@ -313,6 +373,11 @@ int main(int argc, char** argv) {
               cluster_config.npu_spec.name.c_str(), flags.policy.c_str(),
               flags.sched_policy.c_str(), flags.route.lb_policy.c_str(), flags.rps,
               flags.duration, trace.size());
+  if (!flags.npu_mix.empty()) {
+    std::printf("hetero: mix=%s, placement=%s, superpod=%s\n", flags.npu_mix.c_str(),
+                flags.hetero_blind ? "blind" : "cost-aware",
+                cluster_config.enable_superpod ? "on" : "off");
+  }
 
   workload::MetricsCollector metrics;
   std::map<workload::RequestId, TimeNs> first_tokens;
@@ -386,6 +451,16 @@ int main(int argc, char** argv) {
               static_cast<long long>(routed_colocated),
               static_cast<long long>(routed_disaggregated),
               static_cast<long long>(locality_hits));
+  if (!flags.npu_mix.empty()) {
+    int64_t narrowed = 0;
+    int64_t fallbacks = 0;
+    for (auto& je : jes) {
+      narrowed += je->stats().cost_narrowed;
+      fallbacks += je->stats().cost_fallbacks;
+    }
+    std::printf("hetero dispatch: %lld cost-narrowed, %lld fallbacks\n",
+                static_cast<long long>(narrowed), static_cast<long long>(fallbacks));
+  }
   const serving::FrontendStats& fe = frontend.stats();
   if (fe.hedges_launched > 0 || fe.ejections > 0 || fe.rejected_total() > 0) {
     std::printf("traffic(%s): %lld hedges (%lld wins, %lld cancels), %lld ejections "

@@ -22,6 +22,10 @@ namespace deepserve::hw {
 
 struct ClusterConfig {
   NpuSpec npu_spec = NpuSpec::Gen2();
+  // Heterogeneous fleets: one spec per machine, front-loaded by group (e.g.
+  // the result of ParseNpuMix("gen1:2,gen2:2")). Empty = every machine runs
+  // npu_spec — the homogeneous path, bit-identical to pre-heterogeneity runs.
+  std::vector<NpuSpec> machine_specs;
   int num_machines = 4;
   int npus_per_machine = 8;
   // Two NPUs share one PCIe root link (source of the TP-rank contention the
@@ -30,6 +34,15 @@ struct ClusterConfig {
   // Machines within the same scale-up domain are connected pairwise by HCCS;
   // everything else goes over RoCE.
   int machines_per_scaleup_domain = 4;
+
+  // SuperPod scale-up tier (CloudMatrix-class unified bus): when enabled,
+  // machines in the same SuperPod but different HCCS domains talk over a
+  // per-machine UB attachment — bandwidth above HCCS — instead of dropping
+  // all the way to RoCE.
+  bool enable_superpod = false;
+  int machines_per_superpod = 0;  // 0 = the whole cluster is one SuperPod
+  double ub_gbps = 196.0;
+  DurationNs ub_latency = MicrosecondsToNs(4);
 
   Bytes dram_capacity = 1536ull << 30;  // 1.5 TB, as in the paper
   double pcie_gbps = 32.0;              // PCIe 4.0 x16 per direction
@@ -42,7 +55,26 @@ struct ClusterConfig {
   DurationNs ssd_latency = MicrosecondsToNs(80);
   DurationNs hccs_latency = MicrosecondsToNs(10);
   DurationNs roce_latency = MicrosecondsToNs(25);
+
+  // The spec a machine's NPUs are built from (npu_spec unless machine_specs
+  // assigns a per-machine generation).
+  const NpuSpec& spec_for_machine(MachineId m) const {
+    return machine_specs.empty() ? npu_spec : machine_specs[static_cast<size_t>(m)];
+  }
+  // True when at least two machines would run different generations.
+  bool heterogeneous() const;
+  // Structural sanity: positive counts, npus_per_machine divisible by
+  // npus_per_pcie_link, machine_specs (when present) sized num_machines with
+  // non-degenerate specs, SuperPods aligned to scale-up domains.
+  [[nodiscard]] Status Validate() const;
 };
+
+// Parses the --npu-mix grammar: comma-separated "gen:count" groups, e.g.
+// "gen1:2,gen2:2" = two Gen1 machines then two Gen2 machines (generation
+// names: gen1|gen2). Returns one NpuSpec per machine; INVALID_ARGUMENT on a
+// malformed mix (unknown generation, non-positive or non-numeric count,
+// empty group).
+[[nodiscard]] Result<std::vector<NpuSpec>> ParseNpuMix(const std::string& mix);
 
 // DRAM page cache tracking which model files (by name) are resident. Used by
 // the DRAM pre-loading optimization: a "DRAM-hit" model load streams from the
@@ -117,16 +149,28 @@ class Cluster {
 
   bool SameMachine(NpuId a, NpuId b) const { return machine_of(a) == machine_of(b); }
   bool SameScaleUpDomain(NpuId a, NpuId b) const;
+  bool SameSuperPod(NpuId a, NpuId b) const;
+
+  // The generation actually installed at a placement — what cost-aware
+  // layers consult instead of the cluster-wide default.
+  const NpuSpec& spec_of_machine(MachineId m) const { return config_.spec_for_machine(m); }
+  const NpuSpec& spec_of(NpuId id) const { return config_.spec_for_machine(machine_of(id)); }
+  bool heterogeneous() const { return config_.heterogeneous(); }
 
   // The NPU-to-NPU link used for a p2p transfer between two NPUs: the
-  // machine's HCCS egress if both sit in one scale-up domain, otherwise the
-  // source machine's RoCE NIC. Same-machine transfers use HCCS as well.
+  // machine's HCCS egress if both sit in one scale-up domain; else the UB
+  // attachment if the SuperPod tier is enabled and both sit in one SuperPod;
+  // otherwise the source machine's RoCE NIC. Same-machine transfers use HCCS.
   SharedLink* InterNpuLink(NpuId src, NpuId dst);
-  // Explicit-backend variant (NPU-fork benchmarks force HCCS vs RoCE).
+  // Explicit-backend variant (NPU-fork benchmarks force HCCS vs RoCE vs UB).
   SharedLink* LinkOfType(MachineId machine, LinkType type);
 
   SharedLink* hccs_link(MachineId machine) { return hccs_links_[static_cast<size_t>(machine)].get(); }
   SharedLink* roce_link(MachineId machine) { return roce_links_[static_cast<size_t>(machine)].get(); }
+  // The machine's UB attachment; nullptr unless enable_superpod.
+  SharedLink* ub_link(MachineId machine) {
+    return ub_links_.empty() ? nullptr : ub_links_[static_cast<size_t>(machine)].get();
+  }
 
  private:
   sim::Simulator* sim_;
@@ -135,6 +179,7 @@ class Cluster {
   // Per-machine fabric egress links.
   std::vector<std::unique_ptr<SharedLink>> hccs_links_;
   std::vector<std::unique_ptr<SharedLink>> roce_links_;
+  std::vector<std::unique_ptr<SharedLink>> ub_links_;  // empty unless superpod
 };
 
 }  // namespace deepserve::hw

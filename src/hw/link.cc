@@ -21,6 +21,8 @@ std::string_view LinkTypeToString(LinkType type) {
       return "SSD";
     case LinkType::kMemcpy:
       return "memcpy";
+    case LinkType::kUb:
+      return "UB";
   }
   return "?";
 }

@@ -19,7 +19,10 @@
 
 namespace deepserve::hw {
 
-enum class LinkType { kPcie, kHccs, kRoce, kSsd, kMemcpy };
+// kUb is the SuperPod-class unified-bus scale-up fabric (CloudMatrix-style):
+// wider than HCCS, spanning whole SuperPods rather than single scale-up
+// domains. Built only when ClusterConfig::enable_superpod is set.
+enum class LinkType { kPcie, kHccs, kRoce, kSsd, kMemcpy, kUb };
 
 std::string_view LinkTypeToString(LinkType type);
 

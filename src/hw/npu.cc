@@ -10,6 +10,7 @@ NpuSpec NpuSpec::Gen1() {
   spec.tflops_fp16 = 280.0;
   spec.hbm_bandwidth_gbps = 800.0;
   spec.hbm_capacity = 32ull << 30;
+  spec.cost_per_hour = 1.0;
   return spec;
 }
 
@@ -19,6 +20,7 @@ NpuSpec NpuSpec::Gen2() {
   spec.tflops_fp16 = 400.0;
   spec.hbm_bandwidth_gbps = 1600.0;
   spec.hbm_capacity = 64ull << 30;
+  spec.cost_per_hour = 2.5;
   return spec;
 }
 

@@ -28,6 +28,11 @@ struct NpuSpec {
   // Fraction of peak achievable by well-tuned kernels (MFU / bandwidth eff.).
   double compute_efficiency = 0.45;
   double memory_efficiency = 0.80;
+  // Amortized $/hour of holding one card (cloud list-price shape: the newer
+  // generation costs proportionally more than its bandwidth advantage, so
+  // tokens-per-second-per-dollar can favor either generation depending on
+  // whether the model fits the smaller HBM). Feeds cost-aware placement.
+  double cost_per_hour = 1.8;
 
   static NpuSpec Gen1();  // 280 TFLOPS, 32 GiB HBM
   static NpuSpec Gen2();  // 400 TFLOPS, 64 GiB HBM

@@ -172,4 +172,42 @@ int64_t CostModel::MaxKvTokensPerNpu(double hbm_utilization) const {
   return static_cast<int64_t>((budget - weights) / kv);
 }
 
+double EstimateDecodeTokensPerSecond(const ModelSpec& model, const hw::NpuSpec& npu,
+                                     const ParallelismConfig& parallelism) {
+  if (WeightBytesPerNpu(model, parallelism) >= npu.hbm_capacity) {
+    return 0.0;  // weights alone overflow HBM: this generation cannot serve
+  }
+  // Reference decode step: a healthy continuous batch at a mid-size context.
+  // Absolute numbers matter less than the cross-generation ordering, which
+  // the roofline preserves for any fixed reference point.
+  constexpr int64_t kBatch = 32;
+  constexpr int64_t kContext = 1024;
+  CostModel cost(model, npu, parallelism);
+  DurationNs step = cost.DecodeStepDuration(kBatch, kContext);
+  if (step <= 0) {
+    return 0.0;
+  }
+  return static_cast<double>(kBatch) * 1e9 / static_cast<double>(step);
+}
+
+double TokensPerSecondPerDollar(const ModelSpec& model, const hw::NpuSpec& npu,
+                                const ParallelismConfig& parallelism) {
+  double dollar_rate = npu.cost_per_hour * static_cast<double>(parallelism.TotalNpus());
+  if (dollar_rate <= 0.0) {
+    return 0.0;
+  }
+  return EstimateDecodeTokensPerSecond(model, npu, parallelism) / dollar_rate;
+}
+
+bool FitsHbm(const ModelSpec& model, const hw::NpuSpec& npu,
+             const ParallelismConfig& parallelism, int64_t min_kv_tokens,
+             double hbm_utilization) {
+  Bytes budget = static_cast<Bytes>(static_cast<double>(npu.hbm_capacity) * hbm_utilization);
+  if (WeightBytesPerNpu(model, parallelism) >= budget) {
+    return false;
+  }
+  CostModel cost(model, npu, parallelism);
+  return cost.MaxKvTokensPerNpu(hbm_utilization) >= min_kv_tokens;
+}
+
 }  // namespace deepserve::model

@@ -55,6 +55,23 @@ struct AeDisaggConfig {
   DurationNs per_layer_latency = MicrosecondsToNs(10);
 };
 
+// ---- cost/perf placement signals (pure functions of the spec triple) -------
+// Roofline decode throughput (tokens/s) of one serving instance built from
+// `npu`, at a reference decode batch — the perf half of the placement score.
+double EstimateDecodeTokensPerSecond(const ModelSpec& model, const hw::NpuSpec& npu,
+                                     const ParallelismConfig& parallelism);
+// Throughput per dollar-hour of the whole instance (cost_per_hour * NPUs):
+// the generation score cost-aware placement ranks by. 0 when the model's
+// weights don't fit the NPU at all.
+double TokensPerSecondPerDollar(const ModelSpec& model, const hw::NpuSpec& npu,
+                                const ParallelismConfig& parallelism);
+// Whether `npu`'s HBM fits the per-NPU weight shard plus at least
+// `min_kv_tokens` of KV context at the utilization target — the feasibility
+// gate ahead of the score.
+bool FitsHbm(const ModelSpec& model, const hw::NpuSpec& npu,
+             const ParallelismConfig& parallelism, int64_t min_kv_tokens,
+             double hbm_utilization = 0.90);
+
 class CostModel {
  public:
   CostModel(ModelSpec model, hw::NpuSpec npu, ParallelismConfig parallelism,

@@ -309,6 +309,10 @@ ScaleSignals Autoscaler::GatherSignals() const {
   }
   s.admitted_requests = admission_fn_ ? admission_fn_() : je_->stats().requests;
   s.scale_up_lead = cm_->EstimateScaleUpLead(template_);
+  GenerationChoice choice = cm_->PreviewPlacement(template_.engine);
+  s.scale_up_generation = choice.generation;
+  s.scale_up_tokens_per_dollar = choice.tokens_per_dollar;
+  s.scale_up_feasible = choice.feasible;
   return s;
 }
 

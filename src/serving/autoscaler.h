@@ -111,6 +111,14 @@ struct ScaleSignals {
   // ClusterManager::EstimateScaleUpLead for the template request: how long a
   // scale-up started now would take to deliver ready capacity.
   DurationNs scale_up_lead = 0;
+  // Generation-aware context on heterogeneous clusters: the generation a
+  // scale-up launched now would land on (cost-aware placement picks the
+  // feasible generation with the best tokens-per-second-per-dollar), its
+  // score, and whether any generation fits the model at all. On homogeneous
+  // clusters this is the single installed generation.
+  std::string scale_up_generation;
+  double scale_up_tokens_per_dollar = 0.0;
+  bool scale_up_feasible = true;
 };
 
 struct ScaleDecision {

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "model/cost_model.h"
 #include "model/model_spec.h"
 
 namespace deepserve::serving {
@@ -112,6 +113,11 @@ void ClusterManager::TraceScalePhase(std::string_view phase, DurationNs duration
 }
 
 Result<std::vector<hw::NpuId>> ClusterManager::AllocateNpus(int count) {
+  return AllocateNpusOn(count, nullptr);
+}
+
+Result<std::vector<hw::NpuId>> ClusterManager::AllocateNpusOn(
+    int count, const std::vector<uint8_t>* machine_ok) {
   DS_CHECK_GT(count, 0);
   if (!leader_up_) {
     return UnavailableError("control leader down: cannot place NPUs");
@@ -123,6 +129,9 @@ Result<std::vector<hw::NpuId>> ClusterManager::AllocateNpus(int count) {
   const int per_machine = cluster_->config().npus_per_machine;
   std::vector<hw::NpuId> picked;
   for (int m = 0; m < cluster_->num_machines() && static_cast<int>(picked.size()) < count; ++m) {
+    if (machine_ok != nullptr && (*machine_ok)[static_cast<size_t>(m)] == 0) {
+      continue;
+    }
     std::vector<hw::NpuId> here;
     for (int i = 0; i < per_machine; ++i) {
       hw::NpuId id = m * per_machine + i;
@@ -148,6 +157,122 @@ Result<std::vector<hw::NpuId>> ClusterManager::AllocateNpus(int count) {
   return picked;
 }
 
+namespace {
+
+// One machine-generation group of a heterogeneous cluster, scored for
+// placement. Groups keep machine order, so equal scores tie-break toward the
+// lower machine ids the first-fit would have picked anyway.
+struct GenGroup {
+  std::string name;
+  double score = 0.0;
+  bool fits = false;
+  std::vector<uint8_t> machines;  // num_machines-wide membership mask
+};
+
+std::vector<GenGroup> ScoreGenerations(const hw::Cluster& cluster,
+                                       const flowserve::EngineConfig& engine,
+                                       int64_t min_kv_tokens) {
+  std::vector<GenGroup> groups;
+  for (int m = 0; m < cluster.num_machines(); ++m) {
+    const hw::NpuSpec& spec = cluster.spec_of_machine(m);
+    GenGroup* group = nullptr;
+    for (GenGroup& g : groups) {
+      if (g.name == spec.name) {
+        group = &g;
+        break;
+      }
+    }
+    if (group == nullptr) {
+      groups.push_back(GenGroup{spec.name,
+                                model::TokensPerSecondPerDollar(engine.model, spec,
+                                                                engine.parallelism),
+                                model::FitsHbm(engine.model, spec, engine.parallelism,
+                                               min_kv_tokens, engine.hbm_utilization),
+                                std::vector<uint8_t>(static_cast<size_t>(cluster.num_machines()),
+                                                     0)});
+      group = &groups.back();
+    }
+    group->machines[static_cast<size_t>(m)] = 1;
+  }
+  std::stable_sort(groups.begin(), groups.end(),
+                   [](const GenGroup& a, const GenGroup& b) { return a.score > b.score; });
+  return groups;
+}
+
+}  // namespace
+
+Result<std::vector<hw::NpuId>> ClusterManager::AllocateNpusForEngine(
+    const flowserve::EngineConfig& engine) {
+  const int count = engine.parallelism.TotalNpus();
+  if (!placement_.hetero_aware || !cluster_->heterogeneous()) {
+    return AllocateNpus(count);
+  }
+  std::vector<GenGroup> groups =
+      ScoreGenerations(*cluster_, engine, placement_.min_kv_tokens_per_npu);
+  for (const GenGroup& group : groups) {
+    if (!group.fits) {
+      continue;
+    }
+    auto placed = AllocateNpusOn(count, &group.machines);
+    if (placed.ok()) {
+      return placed;
+    }
+    if (placed.status().code() != StatusCode::kResourceExhausted) {
+      return placed.status();  // leader down etc. — not a capacity miss
+    }
+  }
+  // Graceful fallback: no feasible generation has room (or none is feasible).
+  // Any free NPUs — even an HBM-tight or cost-poor generation, even spanning
+  // generations — beat stranding a placeable job.
+  return AllocateNpus(count);
+}
+
+GenerationChoice ClusterManager::PreviewPlacement(const flowserve::EngineConfig& engine) const {
+  std::vector<GenGroup> groups =
+      ScoreGenerations(*cluster_, engine, placement_.min_kv_tokens_per_npu);
+  GenerationChoice choice;
+  for (const GenGroup& group : groups) {
+    if (!group.fits) {
+      continue;
+    }
+    choice.generation = group.name;
+    choice.tokens_per_dollar = group.score;
+    choice.feasible = true;
+    return choice;
+  }
+  if (!groups.empty()) {
+    choice.generation = groups.front().name;
+    choice.tokens_per_dollar = groups.front().score;
+  }
+  return choice;
+}
+
+const hw::NpuSpec& ClusterManager::TeSpec(TeId id) const {
+  const ctrl::TeDirectory::TeMeta* meta = directory_.Find(id);
+  if (meta == nullptr || meta->npus.empty()) {
+    return cluster_->config().npu_spec;
+  }
+  return cluster_->spec_of(meta->npus[0]);
+}
+
+double ClusterManager::TeTokensPerDollar(TeId id) const {
+  auto it = bindings_.find(id);
+  if (it == bindings_.end()) {
+    return 0.0;
+  }
+  const flowserve::EngineConfig& engine = it->second->config().engine;
+  return model::TokensPerSecondPerDollar(engine.model, TeSpec(id), engine.parallelism);
+}
+
+flowserve::EngineConfig ClusterManager::PlacedEngine(
+    const flowserve::EngineConfig& engine, const std::vector<hw::NpuId>& npus) const {
+  flowserve::EngineConfig placed = engine;
+  if (placed.npu_spec_from_placement && !npus.empty()) {
+    placed.npu_spec = cluster_->spec_of(npus[0]);
+  }
+  return placed;
+}
+
 void ClusterManager::ReleaseNpus(const std::vector<hw::NpuId>& npus) {
   // Apply() checks each NPU was actually in use.
   AppendDir(ctrl::TeDirectory::kNpusReleased, NpuInts(npus));
@@ -168,8 +293,7 @@ Result<TaskExecutor*> ClusterManager::CreateReadyTe(
   if (!leader_up_) {
     return UnavailableError("control leader down: cannot create TE");
   }
-  DS_ASSIGN_OR_RETURN(std::vector<hw::NpuId> npus,
-                      AllocateNpus(engine_config.parallelism.TotalNpus()));
+  DS_ASSIGN_OR_RETURN(std::vector<hw::NpuId> npus, AllocateNpusForEngine(engine_config));
   const TeId id = directory_.next_te_id();
   std::vector<int64_t> ints = {id};
   for (hw::NpuId npu : npus) {
@@ -178,7 +302,7 @@ Result<TaskExecutor*> ClusterManager::CreateReadyTe(
   AppendDir(ctrl::TeDirectory::kTeCreated, std::move(ints));
   TeConfig config;
   config.id = id;
-  config.engine = engine_config;
+  config.engine = PlacedEngine(engine_config, npus);
   config.npus = std::move(npus);
   auto te = std::make_unique<TaskExecutor>(sim_, std::move(config));
   if (transfer_ != nullptr) {
@@ -548,7 +672,7 @@ Result<TeId> ClusterManager::ScaleUp(const ScaleRequest& request, ScaleCallback 
   if (!leader_up_) {
     return UnavailableError("control leader down: cannot scale up");
   }
-  auto npus = AllocateNpus(request.engine.parallelism.TotalNpus());
+  auto npus = AllocateNpusForEngine(request.engine);
   if (!npus.ok()) {
     return npus.status();
   }
@@ -556,6 +680,7 @@ Result<TeId> ClusterManager::ScaleUp(const ScaleRequest& request, ScaleCallback 
   state->request = request;
   state->on_ready = std::move(on_ready);
   state->npus = std::move(npus).value();
+  state->request.engine = PlacedEngine(request.engine, state->npus);
   // Both the pipeline id and the TE id are reserved up front, so the TE is
   // addressable (e.g. by KillTe) while still provisioning.
   state->pipe = directory_.next_pipeline();
@@ -796,7 +921,7 @@ Status ClusterManager::ScaleUpMany(
             DeferUntilRecovery([this, request, count, start, cb] {
               std::vector<TaskExecutor*> created;
               for (int i = 0; i < count; ++i) {
-                auto npus = AllocateNpus(request.engine.parallelism.TotalNpus());
+                auto npus = AllocateNpusForEngine(request.engine);
                 if (!npus.ok()) {
                   break;  // cluster exhausted: report what we got
                 }
@@ -808,7 +933,7 @@ Status ClusterManager::ScaleUpMany(
                 AppendDir(ctrl::TeDirectory::kTeCreated, std::move(ints));
                 TeConfig config;
                 config.id = id;
-                config.engine = request.engine;
+                config.engine = PlacedEngine(request.engine, npus.value());
                 config.npus = std::move(npus).value();
                 auto te = std::make_unique<TaskExecutor>(sim_, std::move(config));
                 if (transfer_ != nullptr) {

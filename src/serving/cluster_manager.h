@@ -106,6 +106,25 @@ struct ScalingBreakdown {
 // ScaleRequest and AutoscalerConfig live in serving/autoscaler.h (included
 // above) next to the ScalePolicy layer they parameterize.
 
+// Generation selection on heterogeneous clusters. Homogeneous clusters — and
+// hetero_aware=false, the hetero-blind ablation — reduce to the historical
+// machine-order first-fit bit-identically.
+struct PlacementConfig {
+  bool hetero_aware = true;
+  // A generation is feasible only when its HBM fits the model's per-NPU
+  // weight shard plus at least this much KV context per NPU (the predicted
+  // context-load floor).
+  int64_t min_kv_tokens_per_npu = 1024;
+};
+
+// What a cost-aware placement would pick right now (autoscaler signal /
+// bench reporting): the best-scoring feasible generation and its score.
+struct GenerationChoice {
+  std::string generation;
+  double tokens_per_dollar = 0.0;
+  bool feasible = false;  // false = no generation fits the model's HBM needs
+};
+
 // Heartbeat-based failure detection (§2: failures are routine at cluster
 // scale). A crashed TE's in-flight work is lost immediately, but recovery
 // (NPU release, JE notification, replacement scale-up) only starts once the
@@ -288,6 +307,23 @@ class ClusterManager {
   [[nodiscard]] Result<std::vector<hw::NpuId>> AllocateNpus(int count);
   void ReleaseNpus(const std::vector<hw::NpuId>& npus);
 
+  // ---- heterogeneity & cost-aware placement -----------------------------------
+  void SetPlacement(PlacementConfig config) { placement_ = config; }
+  const PlacementConfig& placement() const { return placement_; }
+  // Cost-aware AllocateNpus: on a heterogeneous cluster, feasible generations
+  // (HBM fits weights + the predicted context floor) are tried in descending
+  // tokens-per-second-per-dollar order; if none has room, any free NPUs beat
+  // stranding the job. Homogeneous clusters take the historical path.
+  [[nodiscard]] Result<std::vector<hw::NpuId>> AllocateNpusForEngine(
+      const flowserve::EngineConfig& engine);
+  // The generation a scale-up for `engine` would land on right now, without
+  // allocating — the autoscaler's generation-aware signal.
+  GenerationChoice PreviewPlacement(const flowserve::EngineConfig& engine) const;
+  // Per-TE generation (the spec of the silicon under the TE's primary NPU;
+  // the cluster default for unknown ids) and its cost-normalized throughput.
+  const hw::NpuSpec& TeSpec(TeId id) const;
+  double TeTokensPerDollar(TeId id) const;
+
  private:
   struct PipelineState;
   struct PendingCrash {
@@ -296,6 +332,13 @@ class ClusterManager {
     TimeNs time = 0;
   };
 
+  // The first-fit core behind AllocateNpus: `machine_ok` (when non-null)
+  // restricts candidate machines — the lever generation preference pulls.
+  [[nodiscard]] Result<std::vector<hw::NpuId>> AllocateNpusOn(
+      int count, const std::vector<uint8_t>* machine_ok);
+  // Applies npu_spec_from_placement: the engine a TE placed on `npus` runs.
+  flowserve::EngineConfig PlacedEngine(const flowserve::EngineConfig& engine,
+                                       const std::vector<hw::NpuId>& npus) const;
   void RunScalerPre(std::shared_ptr<PipelineState> state);
   void RunTePreLoad(std::shared_ptr<PipelineState> state);
   void RunTeLoad(std::shared_ptr<PipelineState> state);
@@ -348,6 +391,8 @@ class ClusterManager {
 
   std::vector<std::pair<int64_t, std::function<void(TeId)>>> failure_handlers_;
   int64_t next_handler_id_ = 1;
+
+  PlacementConfig placement_;
 
   // Fault pipeline state.
   FaultDetectionConfig detection_;

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "model/cost_model.h"
 #include "serving/cluster_manager.h"
 #include "serving/route_policy.h"
 
@@ -187,6 +188,49 @@ std::vector<TaskExecutor*> JobExecutor::ReadyTes(const std::vector<TaskExecutor*
     }
   }
   return ready;
+}
+
+std::vector<TaskExecutor*> JobExecutor::CostAwareFilter(
+    int64_t predicted_tokens, const std::vector<TaskExecutor*>& tes) {
+  if (tes.size() <= 1) {
+    return tes;
+  }
+  // Feasibility: the TE's HBM must hold this request's predicted context at
+  // its engine's utilization target. npu_spec reflects the TE's own silicon
+  // (the ClusterManager applies npu_spec_from_placement at creation).
+  std::vector<TaskExecutor*> fits;
+  for (TaskExecutor* te : tes) {
+    const flowserve::EngineConfig& engine = te->config().engine;
+    if (te->engine().cost_model().MaxKvTokensPerNpu(engine.hbm_utilization) >=
+        predicted_tokens) {
+      fits.push_back(te);
+    }
+  }
+  if (fits.empty()) {
+    // Nothing fits the prediction — a tight TE beats a stranded request.
+    ++stats_.cost_fallbacks;
+    return tes;
+  }
+  auto score = [](const TaskExecutor* te) {
+    const flowserve::EngineConfig& engine = te->config().engine;
+    return model::TokensPerSecondPerDollar(engine.model, engine.npu_spec, engine.parallelism);
+  };
+  // Keep the best-scoring generation. Same-generation TEs produce the exact
+  // same score (same pure-function inputs), so the equality compare is safe.
+  double best = 0.0;
+  for (TaskExecutor* te : fits) {
+    best = std::max(best, score(te));
+  }
+  std::vector<TaskExecutor*> cheapest;
+  for (TaskExecutor* te : fits) {
+    if (score(te) >= best) {
+      cheapest.push_back(te);
+    }
+  }
+  if (cheapest.size() < tes.size()) {
+    ++stats_.cost_narrowed;
+  }
+  return cheapest;
 }
 
 bool JobExecutor::PreferDisaggregated(const workload::RequestSpec& spec) {
@@ -497,6 +541,12 @@ void JobExecutor::Dispatch(const workload::RequestSpec& spec, ResponseHandler ha
   std::vector<TaskExecutor*> coloc = ReadyTes(colocated_);
   std::vector<TaskExecutor*> prefill = ReadyTes(prefill_);
   std::vector<TaskExecutor*> decode = ReadyTes(decode_);
+  if (config_.cost_aware) {
+    int64_t predicted = spec.prefill_len() + predictor_->Predict(spec);
+    coloc = CostAwareFilter(predicted, coloc);
+    prefill = CostAwareFilter(predicted, prefill);
+    decode = CostAwareFilter(predicted, decode);
+  }
   bool disagg_available = !prefill.empty() && !decode.empty();
   if (coloc.empty() && !disagg_available) {
     // Nothing can serve this request right now: fail it instead of crashing
@@ -637,6 +687,9 @@ void JobExecutor::DispatchDisaggregated(TaskExecutor* prefill_te,
                                         ResponseHandler handler) {
   JobId job_id = table_.jobs().back().id;
   std::vector<TaskExecutor*> decode = ReadyTes(decode_);
+  if (config_.cost_aware) {
+    decode = CostAwareFilter(spec.prefill_len() + predictor_->Predict(spec), decode);
+  }
   DS_CHECK(!decode.empty());
   TaskExecutor* decode_te = LoadAware(decode);
   AppendJob(ctrl::JobTable::kJobTeBound,

@@ -76,6 +76,13 @@ struct JeConfig {
   // dispatch/re-dispatch time with DEADLINE_EXCEEDED instead of queueing dead
   // work — in particular a crash-retry of an expired request.
   bool enforce_deadlines = true;
+  // Heterogeneous clusters: before the scheduling policy runs, narrow the
+  // candidate TEs to those whose HBM fits the request's predicted context
+  // (prefill + predicted decode), then to the generation with the best
+  // tokens-per-second-per-dollar among them — falling back to the unfiltered
+  // set rather than stranding a placeable request. Off = generation-blind
+  // routing, bit-identical to the historical behavior.
+  bool cost_aware = false;
 };
 
 struct JeStats {
@@ -91,6 +98,9 @@ struct JeStats {
   int64_t locality_decisions = 0;
   int64_t load_decisions = 0;
   int64_t locality_hits = 0;  // dispatches with a non-empty prefix match
+  // Cost-aware routing (JeConfig::cost_aware).
+  int64_t cost_narrowed = 0;   // candidate sets actually narrowed by the filter
+  int64_t cost_fallbacks = 0;  // no candidate fit the predicted context; kept all
   // Control-plane fault pipeline.
   int64_t je_crashes = 0;       // leader crashes injected
   int64_t je_failovers = 0;     // standby takeovers completed
@@ -204,6 +214,10 @@ class JobExecutor {
   void RecordRoute(const workload::RequestSpec& spec, PromptTree& tree, TeId te);
   void TrimTree(PromptTree& tree);
   std::vector<TaskExecutor*> ReadyTes(const std::vector<TaskExecutor*>& tes) const;
+  // The cost_aware narrowing pass (see JeConfig::cost_aware).
+  // `predicted_tokens` = prefill + predicted decode for the request.
+  std::vector<TaskExecutor*> CostAwareFilter(int64_t predicted_tokens,
+                                             const std::vector<TaskExecutor*>& tes);
 
   // The dispatch core behind HandleRequest and the failure-retry path.
   // `retries` is how many times this request has already been re-dispatched.

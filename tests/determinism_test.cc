@@ -71,15 +71,28 @@ flowserve::EngineConfig TinyEngine(flowserve::EngineRole role) {
   return config;
 }
 
+// The cluster flavor a stack runs on. kAllGen2Mix spells out the homogeneous
+// default through the heterogeneous machine_specs path — it must be
+// bit-identical to kHomogeneous. kMixedGen is a genuine Gen1+Gen2 fleet with
+// cost-aware placement and dispatch turned on.
+enum class ClusterMode { kHomogeneous, kAllGen2Mix, kMixedGen };
+
 // `ctrl_faults` puts the CM and JE on a shared replicated control log and
 // mixes cm/je leader crashes into the chaos plan, extending the bit-identical
 // replay pin across leader outages and log-replay takeovers.
-Outcome RunStack(uint64_t seed, bool enable_faults, bool ctrl_faults = false) {
+Outcome RunStack(uint64_t seed, bool enable_faults, bool ctrl_faults = false,
+                 ClusterMode mode = ClusterMode::kHomogeneous) {
   sim::Simulator sim;
   obs::MetricsRegistry metrics;
   sim.SetMetrics(&metrics);
   hw::ClusterConfig cluster_config;
   cluster_config.num_machines = 3;
+  if (mode == ClusterMode::kAllGen2Mix) {
+    cluster_config.machine_specs = hw::ParseNpuMix("gen2:3").value();
+  } else if (mode == ClusterMode::kMixedGen) {
+    cluster_config.machine_specs = hw::ParseNpuMix("gen1:2,gen2:1").value();
+  }
+  const bool mixed = mode == ClusterMode::kMixedGen;
   hw::Cluster cluster(&sim, cluster_config);
   distflow::TransferEngine transfer(&sim, &cluster, distflow::DistFlowConfig{});
   ctrl::CtrlConfig ctrl_config;
@@ -101,6 +114,7 @@ Outcome RunStack(uint64_t seed, bool enable_faults, bool ctrl_faults = false) {
 
   serving::JeConfig je_config;
   je_config.policy = serving::SchedulingPolicy::kLoadOnly;
+  je_config.cost_aware = mixed;
   serving::JobExecutor je(&sim, je_config, serving::PdHeatmap::Default(),
                           serving::MakeOraclePredictor());
   if (ctrl_faults) {
@@ -111,14 +125,19 @@ Outcome RunStack(uint64_t seed, bool enable_faults, bool ctrl_faults = false) {
 
   // One colocated TE (the autoscaler's group) plus a disaggregated
   // prefill/decode pair sharing the dispatch layer.
+  auto engine_for = [mixed](flowserve::EngineRole role) {
+    flowserve::EngineConfig config = TinyEngine(role);
+    config.npu_spec_from_placement = mixed;  // TE cost models track their silicon
+    return config;
+  };
   std::vector<distflow::EndpointId> endpoints;
-  auto* colocated = manager.CreateReadyTe(TinyEngine(flowserve::EngineRole::kColocated)).value();
+  auto* colocated = manager.CreateReadyTe(engine_for(flowserve::EngineRole::kColocated)).value();
   je.AddColocatedTe(colocated);
   endpoints.push_back(colocated->id());
-  auto* prefill = manager.CreateReadyTe(TinyEngine(flowserve::EngineRole::kPrefillOnly)).value();
+  auto* prefill = manager.CreateReadyTe(engine_for(flowserve::EngineRole::kPrefillOnly)).value();
   je.AddPrefillTe(prefill);
   endpoints.push_back(prefill->id());
-  auto* decode = manager.CreateReadyTe(TinyEngine(flowserve::EngineRole::kDecodeOnly)).value();
+  auto* decode = manager.CreateReadyTe(engine_for(flowserve::EngineRole::kDecodeOnly)).value();
   je.AddDecodeTe(decode);
   endpoints.push_back(decode->id());
   DS_CHECK_OK(transfer.LinkCluster(endpoints, nullptr));
@@ -134,7 +153,7 @@ Outcome RunStack(uint64_t seed, bool enable_faults, bool ctrl_faults = false) {
   as.te_capacity_rps = 2.0;
   as.down_stable_ticks = 3;
   serving::ScaleRequest request;
-  request.engine = TinyEngine(flowserve::EngineRole::kColocated);
+  request.engine = engine_for(flowserve::EngineRole::kColocated);
   manager.StartAutoscaler(&je, as, request);
 
   faults::FaultInjector injector(&sim, &manager, seed);
@@ -249,6 +268,39 @@ TEST(DeterminismTest, SameSeedSameMetricsWithoutFaults) {
   EXPECT_TRUE(first == second);
   EXPECT_EQ(first.crashes, 0);
   EXPECT_EQ(first.errored, 0);
+}
+
+TEST(DeterminismTest, AllGen2MixBitIdenticalToHomogeneous) {
+  // Golden parity: spelling the homogeneous default through the heterogeneous
+  // machine_specs path must not move a single event — timeline hash, every
+  // counter, and the full metrics dump — across three seeds with chaos on.
+  for (uint64_t seed : {5ull, 17ull, 42ull}) {
+    Outcome homogeneous =
+        RunStack(seed, /*enable_faults=*/true, /*ctrl_faults=*/false, ClusterMode::kHomogeneous);
+    Outcome mix =
+        RunStack(seed, /*enable_faults=*/true, /*ctrl_faults=*/false, ClusterMode::kAllGen2Mix);
+    EXPECT_TRUE(homogeneous == mix)
+        << "seed " << seed << ": all-Gen2 machine_specs diverged from homogeneous;\n"
+        << "homogeneous:\n" << homogeneous.metrics_dump << "\nmix:\n" << mix.metrics_dump;
+    EXPECT_GT(homogeneous.completed, 0) << "seed " << seed;
+  }
+}
+
+TEST(DeterminismTest, MixedGenerationClusterReplaysBitIdentically) {
+  // A genuine Gen1+Gen2 fleet with cost-aware placement and dispatch on, plus
+  // the seeded chaos plan (crashes land on whatever generation hosts the
+  // victim TE), must still replay bit-identically.
+  for (uint64_t seed : {5ull, 11ull, 42ull}) {
+    Outcome first =
+        RunStack(seed, /*enable_faults=*/true, /*ctrl_faults=*/false, ClusterMode::kMixedGen);
+    Outcome second =
+        RunStack(seed, /*enable_faults=*/true, /*ctrl_faults=*/false, ClusterMode::kMixedGen);
+    EXPECT_TRUE(first == second) << "seed " << seed << " diverged on the mixed cluster;\nfirst:\n"
+                                 << first.metrics_dump << "\nsecond:\n" << second.metrics_dump;
+    EXPECT_EQ(first.completed + first.errored, first.requests) << "seed " << seed;
+    EXPECT_EQ(first.double_terminated, 0) << "seed " << seed;
+    EXPECT_GT(first.completed, 0) << "seed " << seed;
+  }
 }
 
 TEST(DeterminismTest, DifferentSeedsDiverge) {

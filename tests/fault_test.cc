@@ -570,6 +570,115 @@ TEST_F(FaultToleranceTest, JeCrashEventNeedsARegisteredExecutor) {
   EXPECT_FALSE(je_->leader_up());
 }
 
+// ---------------- Heterogeneous-cluster fault tolerance ----------------
+
+// A Gen1+Gen2 cluster at one TE per machine (tp8): cost-aware placement fills
+// the cheap Gen1 machines first, so the third and fourth TEs overflow onto
+// Gen2 — giving the fleet one TE per machine across both generations.
+class HeteroFaultTest : public ::testing::Test {
+ protected:
+  HeteroFaultTest() {
+    hw::ClusterConfig cc;
+    cc.num_machines = 4;
+    cc.machine_specs = hw::ParseNpuMix("gen1:2,gen2:2").value();
+    cluster_ = std::make_unique<hw::Cluster>(&sim_, cc);
+    transfer_ = std::make_unique<distflow::TransferEngine>(&sim_, cluster_.get(),
+                                                           distflow::DistFlowConfig{});
+    manager_ = std::make_unique<serving::ClusterManager>(&sim_, cluster_.get(),
+                                                         transfer_.get());
+    serving::JeConfig config;
+    config.policy = serving::SchedulingPolicy::kLoadOnly;
+    je_ = std::make_unique<serving::JobExecutor>(&sim_, config, serving::PdHeatmap::Default(),
+                                                 serving::MakeOraclePredictor());
+    manager_->AddFailureHandler([this](serving::TeId id) { je_->OnTeFailure(id); });
+  }
+
+  serving::TaskExecutor* AddColocatedTe() {
+    flowserve::EngineConfig config = SmallEngine(flowserve::EngineRole::kColocated);
+    config.parallelism = {8, 1, 1};  // one TE per machine
+    config.npu_spec_from_placement = true;
+    auto te = manager_->CreateReadyTe(config).value();
+    je_->AddColocatedTe(te);
+    endpoints_.push_back(te->id());
+    return te;
+  }
+
+  void Link() {
+    ASSERT_TRUE(transfer_->LinkCluster(endpoints_, nullptr).ok());
+    sim_.Run();
+  }
+
+  std::string GenOf(serving::TaskExecutor* te) const {
+    return manager_->TeSpec(te->id()).name;
+  }
+
+  sim::Simulator sim_;
+  std::unique_ptr<hw::Cluster> cluster_;
+  std::unique_ptr<distflow::TransferEngine> transfer_;
+  std::unique_ptr<serving::ClusterManager> manager_;
+  std::unique_ptr<serving::JobExecutor> je_;
+  std::vector<distflow::EndpointId> endpoints_;
+};
+
+TEST_F(HeteroFaultTest, CrashOfOnlyGen2TeRedispatchesAcrossGenerations) {
+  auto* gen1_a = AddColocatedTe();
+  auto* gen1_b = AddColocatedTe();
+  auto* gen2 = AddColocatedTe();
+  Link();
+  // Placement preferred the cheap generation, overflowing the third TE.
+  ASSERT_EQ(GenOf(gen1_a), hw::NpuSpec::Gen1().name);
+  ASSERT_EQ(GenOf(gen1_b), hw::NpuSpec::Gen1().name);
+  ASSERT_EQ(GenOf(gen2), hw::NpuSpec::Gen2().name);
+
+  std::set<workload::RequestId> completed;
+  for (int i = 0; i < 9; ++i) {
+    auto spec = MakeRequest(static_cast<workload::RequestId>(i + 1), 1024, 1024,
+                            static_cast<TokenId>(100 + 777 * i));
+    je_->HandleRequest(spec, {nullptr, [&completed, id = spec.id](const flowserve::Sequence&) {
+      completed.insert(id);
+    }, nullptr});
+  }
+  sim_.RunUntil(MillisecondsToNs(200));  // load spread over all three TEs
+  auto dropped = manager_->KillTe(gen2->id());
+  ASSERT_TRUE(dropped.ok());
+  EXPECT_GT(*dropped, 0u);  // the Gen2 TE really held in-flight work
+  sim_.Run();
+  // Everything the dead Gen2 TE carried re-dispatched onto the surviving
+  // Gen1 TEs — cross-generation recovery, no stranded requests.
+  EXPECT_EQ(completed.size(), 9u);
+  EXPECT_GT(je_->stats().retries, 0);
+  EXPECT_EQ(je_->stats().failed_tes_handled, 1);
+  EXPECT_EQ(gen2->state(), serving::TeState::kFailed);
+  EXPECT_GT(gen1_a->engine().stats().completed + gen1_b->engine().stats().completed, 0);
+}
+
+TEST_F(HeteroFaultTest, CrashesOnBothGenerationsConserveRequests) {
+  auto* gen1_a = AddColocatedTe();
+  auto* gen1_b = AddColocatedTe();
+  auto* gen2_a = AddColocatedTe();
+  auto* gen2_b = AddColocatedTe();
+  Link();
+  ASSERT_EQ(GenOf(gen1_b), hw::NpuSpec::Gen1().name);
+  ASSERT_EQ(GenOf(gen2_b), hw::NpuSpec::Gen2().name);
+
+  std::set<workload::RequestId> completed;
+  for (int i = 0; i < 12; ++i) {
+    auto spec = MakeRequest(static_cast<workload::RequestId>(i + 1), 1024, 512,
+                            static_cast<TokenId>(100 + 311 * i));
+    je_->HandleRequest(spec, {nullptr, [&completed, id = spec.id](const flowserve::Sequence&) {
+      completed.insert(id);
+    }, nullptr});
+  }
+  sim_.RunUntil(MillisecondsToNs(150));
+  ASSERT_TRUE(manager_->KillTe(gen1_a->id()).ok());  // a Gen1 victim...
+  sim_.RunUntil(MillisecondsToNs(350));
+  ASSERT_TRUE(manager_->KillTe(gen2_a->id()).ok());  // ...and a Gen2 victim
+  sim_.Run();
+  EXPECT_EQ(completed.size(), 12u);
+  EXPECT_EQ(je_->stats().failed_tes_handled, 2);
+  EXPECT_GT(gen1_b->engine().stats().completed + gen2_b->engine().stats().completed, 0);
+}
+
 TEST(FaultScheduleTest, ParsesFullGrammar) {
   auto result = faults::FaultInjector::ParseSchedule(
       "npu@5;link@10:0.25x20;slow@30:3x10#2;shell@1.5;cm@12;je@7:1");

@@ -287,5 +287,166 @@ TEST_F(HcclTest, AllReduceScalesWithPayloadAndRanks) {
   EXPECT_GT(big, small);
 }
 
+TEST(NpuMixTest, ParsesGroupsInOrder) {
+  auto specs = ParseNpuMix("gen1:2,gen2:3");
+  ASSERT_TRUE(specs.ok());
+  ASSERT_EQ(specs->size(), 5u);
+  EXPECT_EQ((*specs)[0].name, NpuSpec::Gen1().name);
+  EXPECT_EQ((*specs)[1].name, NpuSpec::Gen1().name);
+  EXPECT_EQ((*specs)[2].name, NpuSpec::Gen2().name);
+  EXPECT_EQ((*specs)[4].name, NpuSpec::Gen2().name);
+  EXPECT_LT((*specs)[0].cost_per_hour, (*specs)[2].cost_per_hour);
+}
+
+TEST(NpuMixTest, RejectsMalformedMixes) {
+  for (const char* bad : {"", "gen1", "gen1:", "gen1:x", "gen1:0", "gen1:-2", "gen3:1",
+                          "gen1:2,", "gen1:2,,gen2:1", ":2"}) {
+    auto specs = ParseNpuMix(bad);
+    EXPECT_FALSE(specs.ok()) << "'" << bad << "' should not parse";
+    if (!specs.ok()) {
+      EXPECT_EQ(specs.status().code(), StatusCode::kInvalidArgument) << bad;
+    }
+  }
+}
+
+TEST(ClusterConfigValidateTest, AcceptsDefaultsAndMixedFleet) {
+  ClusterConfig config;
+  EXPECT_TRUE(config.Validate().ok());
+  config.num_machines = 4;
+  config.machine_specs = *ParseNpuMix("gen2:2,gen1:2");
+  EXPECT_TRUE(config.Validate().ok());
+  EXPECT_TRUE(config.heterogeneous());
+}
+
+TEST(ClusterConfigValidateTest, RejectsNonDivisiblePcieGrouping) {
+  ClusterConfig config;
+  config.npus_per_machine = 7;  // not divisible by npus_per_pcie_link = 2
+  Status s = config.Validate();
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ClusterConfigValidateTest, RejectsMixSizeMismatch) {
+  ClusterConfig config;
+  config.num_machines = 4;
+  config.machine_specs = *ParseNpuMix("gen1:3");  // 3 specs for 4 machines
+  EXPECT_EQ(config.Validate().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ClusterConfigValidateTest, RejectsDegenerateSpecInMix) {
+  ClusterConfig config;
+  config.num_machines = 2;
+  config.machine_specs = *ParseNpuMix("gen1:2");
+  config.machine_specs[1].cost_per_hour = 0.0;
+  EXPECT_EQ(config.Validate().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ClusterConfigValidateTest, RejectsSuperPodStraddlingScaleUpDomains) {
+  ClusterConfig config;
+  config.num_machines = 12;
+  config.machines_per_scaleup_domain = 4;
+  config.enable_superpod = true;
+  config.machines_per_superpod = 6;  // straddles the 4-machine HCCS domains
+  EXPECT_EQ(config.Validate().code(), StatusCode::kInvalidArgument);
+  config.machines_per_superpod = 8;
+  EXPECT_TRUE(config.Validate().ok());
+}
+
+TEST(HeteroClusterTest, SpecOfTracksMachineGeneration) {
+  sim::Simulator sim;
+  ClusterConfig config;
+  config.num_machines = 4;
+  config.machine_specs = *ParseNpuMix("gen2:2,gen1:2");
+  Cluster cluster(&sim, config);
+  EXPECT_TRUE(cluster.heterogeneous());
+  EXPECT_EQ(cluster.spec_of_machine(0).name, NpuSpec::Gen2().name);
+  EXPECT_EQ(cluster.spec_of_machine(3).name, NpuSpec::Gen1().name);
+  // Global NPU ids inherit their machine's generation, capacity included.
+  EXPECT_EQ(cluster.spec_of(0).hbm_capacity, GiB(64));
+  EXPECT_EQ(cluster.spec_of(3 * 8).hbm_capacity, GiB(32));
+  EXPECT_EQ(cluster.npu(3 * 8)->hbm_capacity(), GiB(32));
+}
+
+class SuperPodTest : public ::testing::Test {
+ protected:
+  static ClusterConfig MakeConfig() {
+    ClusterConfig config;
+    config.num_machines = 16;
+    config.machines_per_scaleup_domain = 4;
+    config.enable_superpod = true;
+    config.machines_per_superpod = 8;  // pods: machines 0-7, 8-15
+    return config;
+  }
+  sim::Simulator sim_;
+};
+
+TEST_F(SuperPodTest, UbTierSitsBetweenHccsAndRoce) {
+  Cluster cluster(&sim_, MakeConfig());
+  const NpuId m0 = 0;
+  const NpuId m5 = 5 * 8;   // same pod, different HCCS domain
+  const NpuId m10 = 10 * 8; // different pod
+  EXPECT_EQ(cluster.InterNpuLink(m0, 3 * 8)->type(), LinkType::kHccs);
+  EXPECT_TRUE(cluster.SameSuperPod(m0, m5));
+  EXPECT_EQ(cluster.InterNpuLink(m0, m5)->type(), LinkType::kUb);
+  EXPECT_FALSE(cluster.SameSuperPod(m0, m10));
+  EXPECT_EQ(cluster.InterNpuLink(m0, m10)->type(), LinkType::kRoce);
+  // Bandwidth ordering makes the tier worth taking: UB above HCCS above RoCE.
+  EXPECT_GT(cluster.ub_link(0)->bandwidth_bps(), cluster.hccs_link(0)->bandwidth_bps());
+  EXPECT_GT(cluster.hccs_link(0)->bandwidth_bps(), cluster.roce_link(0)->bandwidth_bps());
+}
+
+TEST_F(SuperPodTest, WholeClusterIsOnePodWhenSizeIsZero) {
+  ClusterConfig config = MakeConfig();
+  config.machines_per_superpod = 0;
+  Cluster cluster(&sim_, config);
+  EXPECT_TRUE(cluster.SameSuperPod(0, 15 * 8));
+  EXPECT_EQ(cluster.InterNpuLink(0, 15 * 8)->type(), LinkType::kUb);
+}
+
+TEST_F(SuperPodTest, DisabledClusterHasNoUbAttachment) {
+  ClusterConfig config = MakeConfig();
+  config.enable_superpod = false;
+  Cluster cluster(&sim_, config);
+  EXPECT_EQ(cluster.ub_link(0), nullptr);
+  EXPECT_EQ(cluster.LinkOfType(0, LinkType::kUb), nullptr);
+  EXPECT_EQ(cluster.InterNpuLink(0, 5 * 8)->type(), LinkType::kRoce);
+}
+
+TEST_F(SuperPodTest, UbLinkSharesBandwidthAcrossConcurrentFlows) {
+  ClusterConfig config = MakeConfig();
+  config.ub_gbps = 1.0;  // 1 GB/s so the arithmetic below is exact
+  config.ub_latency = 0;
+  Cluster cluster(&sim_, config);
+  SharedLink* ub = cluster.LinkOfType(0, LinkType::kUb);
+  ASSERT_NE(ub, nullptr);
+  EXPECT_EQ(ub->type(), LinkType::kUb);
+  TimeNs done_a = -1;
+  TimeNs done_b = -1;
+  ub->StartFlow(1'000'000'000, [&] { done_a = sim_.Now(); });
+  ub->StartFlow(1'000'000'000, [&] { done_b = sim_.Now(); });
+  sim_.Run();
+  // Two 1 GB flows over a shared 1 GB/s UB attachment finish together at ~2 s.
+  EXPECT_NEAR(NsToSeconds(done_a), 2.0, 0.01);
+  EXPECT_NEAR(NsToSeconds(done_b), 2.0, 0.01);
+}
+
+TEST(MachineTest, PageCacheDrivesModelLoadHitAndMissPaths) {
+  sim::Simulator sim;
+  ClusterConfig config;
+  config.dram_capacity = GiB(96);
+  Cluster cluster(&sim, config);
+  Machine* host = cluster.machine(0);
+  // Miss path: a cold model is absent from the page cache, so a load must
+  // stream from SSD — the strictly slower medium.
+  EXPECT_FALSE(host->page_cache().Contains("yi-34b"));
+  EXPECT_LT(host->ssd_link()->bandwidth_bps(), host->pcie_link_for(0)->bandwidth_bps());
+  // Hit path after preload: resident in DRAM, served over PCIe.
+  EXPECT_TRUE(host->page_cache().Insert("yi-34b", GiB(64), sim.Now()));
+  EXPECT_TRUE(host->page_cache().Contains("yi-34b"));
+  // Eviction turns the next load back into a miss.
+  EXPECT_TRUE(host->page_cache().Insert("qwen-72b", GiB(90), SecondsToNs(1)));
+  EXPECT_FALSE(host->page_cache().Contains("yi-34b"));
+  EXPECT_TRUE(host->page_cache().Contains("qwen-72b"));
+}
+
 }  // namespace
 }  // namespace deepserve::hw

@@ -7,6 +7,7 @@
 #include <cstdio>
 
 #include "bench/common.h"
+#include "common/time_units.h"
 #include "flowserve/engine.h"
 
 namespace deepserve {
@@ -35,10 +36,10 @@ void RunLevel(const char* name, const flowserve::EngineFeatures& features, int b
   }
   sim.Run();
   const auto& stats = engine.stats();
-  double wall_s = NsToSeconds(sim.Now());
-  double npu_s = NsToSeconds(stats.npu_busy);
-  double cpu_s = NsToSeconds(stats.cpu_sched_total);
-  double stall_s = NsToSeconds(stats.cpu_stall);
+  double wall_s = NsToS(sim.Now());
+  double npu_s = NsToS(stats.npu_busy);
+  double cpu_s = NsToS(stats.cpu_sched_total);
+  double stall_s = NsToS(stats.cpu_stall);
   std::printf("%-4s %6d %9.2f %9.2f %9.2f %9.2f %10.1f%%\n", name, batch, wall_s, npu_s,
               cpu_s, stall_s, 100.0 * npu_s / wall_s);
 }

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "bench/common.h"
+#include "common/time_units.h"
 #include "flowserve/engine.h"
 
 namespace deepserve {
@@ -70,7 +71,7 @@ RagResult RunRag(bool prefix_caching, bool pic) {
     engine.Submit(spec, [&](const flowserve::Sequence& seq) { first = seq.first_token_time; },
                   nullptr);
     sim.Run();
-    ttft.Add(NsToMilliseconds(first - submit));
+    ttft.Add(NsToMs(first - submit));
   }
   RagResult result;
   result.ttft_p50_ms = ttft.p50();

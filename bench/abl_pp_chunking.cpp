@@ -9,6 +9,7 @@
 #include <cstdio>
 
 #include "bench/common.h"
+#include "common/time_units.h"
 #include "flowserve/engine.h"
 
 namespace deepserve {
@@ -44,13 +45,13 @@ double MeasureTtftMs(bool spread, int64_t prompt_len, int64_t chunk) {
   for (int64_t j = 0; j < prompt_len; ++j) {
     spec.prompt.push_back(static_cast<TokenId>(rng.UniformInt(256, 50000)));
   }
-  TimeNs submit_at = MillisecondsToNs(200);  // after the pipeline fills
+  TimeNs submit_at = MsToNs(200);  // after the pipeline fills
   sim.ScheduleAt(submit_at, [&] {
     engine.Submit(spec, [&](const flowserve::Sequence& seq) { first = seq.first_token_time; },
                   nullptr);
   });
-  sim.RunUntil(SecondsToNs(600));
-  return first > 0 ? NsToMilliseconds(first - submit_at) : -1.0;
+  sim.RunUntil(SToNs(600));
+  return first > 0 ? NsToMs(first - submit_at) : -1.0;
 }
 
 }  // namespace

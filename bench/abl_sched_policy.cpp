@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "bench/common.h"
+#include "common/time_units.h"
 #include "serving/frontend.h"
 
 using namespace deepserve;
@@ -134,13 +135,13 @@ RunResult RunPolicy(const Options& options, const std::string& policy,
         }
         auto it = first_tokens->find(spec.id);
         TimeNs first = it != first_tokens->end() ? it->second : seq.finish_time;
-        double ttft = NsToMilliseconds(first - spec.arrival);
+        double ttft = NsToMs(first - spec.arrival);
         result.ttft_ms.Add(ttft);
         if (spec.priority == 0) {
           result.ttft_interactive_ms.Add(ttft);
         }
         if (spec.decode_len > 1) {
-          result.tbt_ms.Add(NsToMilliseconds(seq.finish_time - first) /
+          result.tbt_ms.Add(NsToMs(seq.finish_time - first) /
                             static_cast<double>(spec.decode_len - 1));
         }
       };
@@ -171,7 +172,7 @@ RunResult RunPolicy(const Options& options, const std::string& policy,
   result.tbt_violations = stats.tbt_violations;
   result.max_decode_step = stats.max_decode_step;
   result.end_time = bed.sim().Now();
-  result.makespan_s = NsToMilliseconds(result.end_time) / 1000.0;
+  result.makespan_s = NsToS(result.end_time);
   mix(static_cast<uint64_t>(result.shed));
   mix(static_cast<uint64_t>(result.end_time));
   result.timeline_hash = hash;
@@ -206,7 +207,7 @@ int main(int argc, char** argv) {
   workload::TraceConfig trace_config =
       workload::TraceGenerator::InternalTrace(options.rps, options.duration_s, options.seed);
   std::vector<workload::RequestSpec> trace = workload::TraceGenerator(trace_config).Generate();
-  TimeNs deadline_budget = MillisecondsToNs(options.deadline_ms);
+  TimeNs deadline_budget = MsToNs(options.deadline_ms);
   for (size_t i = 0; i < trace.size(); ++i) {
     // Every request gets a completion deadline and a service class
     // (interactive / normal / batch, round-robin).
@@ -262,7 +263,7 @@ int main(int argc, char** argv) {
         [](const RunResult& r) { return r.ttft_interactive_ms.p99(); });
   row_f("p99 TBT (ms)", [](const RunResult& r) { return r.tbt_ms.p99(); });
   row_f("max decode step (ms)",
-        [](const RunResult& r) { return NsToMilliseconds(r.max_decode_step); });
+        [](const RunResult& r) { return NsToMs(r.max_decode_step); });
   row_i("TBT budget violations", [](const RunResult& r) { return r.tbt_violations; });
   row_f("makespan (s)", [](const RunResult& r) { return r.makespan_s; });
   bench::PrintRule();
@@ -281,10 +282,10 @@ int main(int argc, char** argv) {
     }
     if (results.count("slo") != 0) {
       const RunResult& slo = results.at("slo");
-      if (slo.max_decode_step > MillisecondsToNs(options.tbt_ms)) {
+      if (slo.max_decode_step > MsToNs(options.tbt_ms)) {
         std::fprintf(stderr,
                      "TBT BOUND VIOLATED: slo max_decode_step %.1f ms > budget %.1f ms\n",
-                     NsToMilliseconds(slo.max_decode_step), options.tbt_ms);
+                     NsToMs(slo.max_decode_step), options.tbt_ms);
         ok = false;
       }
       if (slo.shed == 0 || slo.shed != slo.errored) {
@@ -303,10 +304,10 @@ int main(int argc, char** argv) {
       }
     }
     if (results.count("fcfs") != 0 && results.count("slo") != 0 &&
-        results.at("fcfs").max_decode_step <= MillisecondsToNs(options.tbt_ms)) {
+        results.at("fcfs").max_decode_step <= MsToNs(options.tbt_ms)) {
       std::fprintf(stderr, "ABLATION VACUOUS: fcfs max_decode_step %.1f ms already under "
                            "the %.1f ms budget\n",
-                   NsToMilliseconds(results.at("fcfs").max_decode_step), options.tbt_ms);
+                   NsToMs(results.at("fcfs").max_decode_step), options.tbt_ms);
       ok = false;
     }
     if (!ok) {

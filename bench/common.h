@@ -14,11 +14,12 @@
 #include <string>
 #include <vector>
 
+#include "common/time_units.h"
 #include "ctrl/control_log.h"
 #include "distflow/distflow.h"
+#include "hw/cluster.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
-#include "hw/cluster.h"
 #include "serving/cluster_manager.h"
 #include "serving/job_executor.h"
 #include "serving/predictor.h"
@@ -147,12 +148,12 @@ struct RouteOptions {
     serving::RouteConfig config;
     config.policy = lb_policy;
     config.seed = seed;
-    config.hedge_floor = MillisecondsToNs(hedge_ms);
+    config.hedge_floor = MsToNs(hedge_ms);
     config.retry_budget = retry_budget > 0;
     config.retry_floor = retry_budget;
     config.eject_consecutive_errors = outlier_errors;
-    config.eject_base = SecondsToNs(outlier_base_s);
-    config.eject_max = SecondsToNs(outlier_max_s);
+    config.eject_base = SToNs(outlier_base_s);
+    config.eject_max = SToNs(outlier_max_s);
     return config;
   }
 };
@@ -181,8 +182,8 @@ struct CtrlOptions {
     ctrl::CtrlConfig config;
     config.replicas = replicas;
     config.quorum = replicas / 2 + 1;
-    config.replication_latency = MillisecondsToNs(latency_ms);
-    config.lease_duration = MillisecondsToNs(lease_ms);
+    config.replication_latency = MsToNs(latency_ms);
+    config.lease_duration = MsToNs(lease_ms);
     return config;
   }
 };

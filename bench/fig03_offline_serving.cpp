@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "bench/common.h"
+#include "common/time_units.h"
 #include "flowserve/engine.h"
 
 namespace deepserve {
@@ -65,7 +66,7 @@ Point RunOffline(const flowserve::EngineFeatures& features, int batch, int64_t p
   point.tpot_ms = metrics.tpot_ms().mean();
   // Decode throughput over the decode phase (first token -> last completion).
   double decode_window_s =
-      NsToSeconds(metrics.last_completion()) - NsToSeconds(metrics.ttft_ms().min() / 1e3 * 1e9);
+      NsToS(metrics.last_completion()) - NsToS(metrics.ttft_ms().min() / 1e3 * 1e9);
   double decode_tokens = static_cast<double>(batch) * static_cast<double>(decode_iters);
   point.throughput = decode_tokens / std::max(1e-9, decode_window_s);
   return point;

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "bench/common.h"
+#include "common/time_units.h"
 #include "serving/heatmap.h"
 
 namespace deepserve {
@@ -42,7 +43,7 @@ double MeanJct(int colocated, int prefill_tes, int decode_tes, int64_t prefill_l
   auto trace = workload::TraceGenerator::FixedBatch(batch, prefill_len, decode_len);
   // Spread arrivals at the fixed RPS.
   for (size_t i = 0; i < trace.size(); ++i) {
-    trace[i].arrival = SecondsToNs(static_cast<double>(i) / rps);
+    trace[i].arrival = SToNs(static_cast<double>(i) / rps);
   }
   auto metrics = testbed.Replay(trace);
   return metrics.jct_ms().mean();

@@ -6,6 +6,7 @@
 #include <functional>
 
 #include "bench/common.h"
+#include "common/time_units.h"
 #include "serving/cluster_manager.h"
 
 namespace deepserve {
@@ -52,9 +53,9 @@ serving::ScalingBreakdown RunScale(serving::ScalingOptimizations opts, bool prew
 
 void PrintRow(const char* name, const serving::ScalingBreakdown& b) {
   std::printf("%-22s %9.2f %11.2f %8.2f %12.2f %11.2f %9.2f\n", name,
-              NsToSeconds(b.scaler_pre), NsToSeconds(b.te_pre_load), NsToSeconds(b.te_load),
-              NsToSeconds(b.te_post_load), NsToSeconds(b.scaler_post),
-              NsToSeconds(b.total()));
+              NsToS(b.scaler_pre), NsToS(b.te_pre_load), NsToS(b.te_load),
+              NsToS(b.te_post_load), NsToS(b.scaler_post),
+              NsToS(b.total()));
 }
 
 }  // namespace

@@ -12,6 +12,7 @@
 #include <string>
 
 #include "bench/common.h"
+#include "common/time_units.h"
 #include "serving/cluster_manager.h"
 
 namespace deepserve {
@@ -61,7 +62,7 @@ double Measure(const ModelCase& mc, const std::string& mode) {
     std::abort();
   }
   sim.Run();
-  return NsToSeconds(breakdown.te_load);
+  return NsToS(breakdown.te_load);
 }
 
 }  // namespace

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "bench/common.h"
+#include "common/time_units.h"
 #include "serving/cluster_manager.h"
 
 namespace deepserve {
@@ -70,7 +71,7 @@ ForkResult RunFork(int count, int64_t busy_prefill, int busy_decode_batch) {
     submit(1024, 512);
   }
   // Let the work reach the NPU, then fork.
-  sim.RunUntil(sim.Now() + MillisecondsToNs(busy_decode_batch > 0 || busy_prefill > 0 ? 50 : 0));
+  sim.RunUntil(sim.Now() + MsToNs(busy_decode_batch > 0 || busy_prefill > 0 ? 50 : 0));
 
   ForkResult result;
   if (!manager
@@ -98,7 +99,7 @@ int main(int argc, char** argv) {
   PrintRule();
   for (int n : {1, 2, 4, 8, 16, 32, 64}) {
     auto r = deepserve::RunFork(n, 0, 0);
-    std::printf("%8d %10d %12.2f\n", n, r.created, deepserve::NsToSeconds(r.elapsed));
+    std::printf("%8d %10d %12.2f\n", n, r.created, deepserve::NsToS(r.elapsed));
   }
 
   PrintHeader("Figure 10b: scale to 32 TEs while source prefills (seq length sweep)");
@@ -107,7 +108,7 @@ int main(int argc, char** argv) {
   for (int64_t len : {0ll, 1024ll, 2048ll, 4096ll, 8192ll}) {
     auto r = deepserve::RunFork(32, len, 0);
     std::printf("%14lld %12.2f\n", static_cast<long long>(len),
-                deepserve::NsToSeconds(r.elapsed));
+                deepserve::NsToS(r.elapsed));
   }
 
   PrintHeader("Figure 10c: scale to 32 TEs while source decodes 1K-token batches");
@@ -115,7 +116,7 @@ int main(int argc, char** argv) {
   PrintRule();
   for (int batch : {0, 8, 16, 32, 64}) {
     auto r = deepserve::RunFork(32, 0, batch);
-    std::printf("%14d %12.2f\n", batch, deepserve::NsToSeconds(r.elapsed));
+    std::printf("%14d %12.2f\n", batch, deepserve::NsToS(r.elapsed));
   }
   std::printf("\nExpected: (a) logarithmic growth with TE count (binomial broadcast),\n"
               "still single-digit seconds at 64 TEs; (b)/(c) nearly flat — the\n"

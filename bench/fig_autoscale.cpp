@@ -44,6 +44,7 @@
 
 #include "bench/common.h"
 #include "common/stats.h"
+#include "common/time_units.h"
 #include "model/model_spec.h"
 
 using namespace deepserve;
@@ -102,7 +103,7 @@ RunResult RunPolicy(const Options& options, const std::string& policy,
 
   serving::AutoscalerConfig config;
   config.policy = policy;
-  config.check_interval = MillisecondsToNs(500);
+  config.check_interval = MsToNs(500);
   config.scale_up_queue_depth = 4;
   config.scale_down_queue_depth = 1;
   config.min_tes = 1;
@@ -116,7 +117,7 @@ RunResult RunPolicy(const Options& options, const std::string& policy,
 
   // Preload/settle advanced sim time; shift arrivals so trace t=0 is "now".
   const TimeNs t0 = bed.sim().Now();
-  const TimeNs horizon = t0 + SecondsToNs(options.duration_s);
+  const TimeNs horizon = t0 + SToNs(options.duration_s);
 
   RunResult result;
   result.submitted = static_cast<int64_t>(trace.size());
@@ -127,7 +128,7 @@ RunResult RunPolicy(const Options& options, const std::string& policy,
   };
   auto terminations = std::make_shared<std::map<workload::RequestId, int>>();
   auto first_tokens = std::make_shared<std::map<workload::RequestId, TimeNs>>();
-  const TimeNs slo = MillisecondsToNs(options.ttft_slo_ms);
+  const TimeNs slo = MsToNs(options.ttft_slo_ms);
   for (const auto& spec : trace) {
     workload::RequestSpec shifted = spec;
     shifted.arrival += t0;
@@ -148,7 +149,7 @@ RunResult RunPolicy(const Options& options, const std::string& policy,
              auto it = first_tokens->find(shifted.id);
              TimeNs first = it != first_tokens->end() ? it->second : seq.finish_time;
              TimeNs ttft = first - shifted.arrival;
-             result.ttft_ms.Add(NsToMilliseconds(ttft));
+             result.ttft_ms.Add(NsToMs(ttft));
              if (ttft > slo) {
                ++result.ttft_slo_violations;
              }
@@ -164,7 +165,7 @@ RunResult RunPolicy(const Options& options, const std::string& policy,
   }
   // Capacity-cost sampling: ready + draining TEs, every 500 ms over the
   // trace window (a draining TE still holds its NPUs).
-  const DurationNs sample = MillisecondsToNs(500);
+  const DurationNs sample = MsToNs(500);
   for (TimeNs t = t0; t < horizon; t += sample) {
     bed.sim().ScheduleAt(t, [&bed, &result, &options, sample] {
       int held = 0;
@@ -173,9 +174,9 @@ RunResult RunPolicy(const Options& options, const std::string& policy,
           ++held;
         }
       }
-      result.te_seconds += static_cast<double>(held) * NsToSeconds(sample);
+      result.te_seconds += static_cast<double>(held) * NsToS(sample);
       if (options.dump_timeline) {
-        std::fprintf(stderr, "t=%.1f held=%d\n", NsToSeconds(bed.sim().Now()), held);
+        std::fprintf(stderr, "t=%.1f held=%d\n", NsToS(bed.sim().Now()), held);
       }
     });
   }

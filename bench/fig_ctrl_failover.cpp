@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "bench/common.h"
+#include "common/time_units.h"
 #include "faults/fault_injector.h"
 
 using namespace deepserve;
@@ -91,7 +92,7 @@ RunResult RunOnce(const Options& options, int replicas) {
 
   serving::FaultDetectionConfig detection;
   detection.missed_heartbeats = 3;
-  detection.heartbeat_interval = MillisecondsToNs(500);
+  detection.heartbeat_interval = MsToNs(500);
   manager.SetFaultDetection(detection);
   serving::ScaleRequest replacement;
   replacement.engine = engine;
@@ -156,7 +157,7 @@ RunResult RunOnce(const Options& options, int replicas) {
   bed.sim().Run();
 
   result.timeline_hash = hash;
-  result.makespan_s = NsToMilliseconds(bed.sim().Now() - t0) / 1000.0;
+  result.makespan_s = NsToS(bed.sim().Now() - t0);
   result.cm = manager.stats();
   result.je = je.stats();
   return result;
@@ -170,7 +171,7 @@ void PrintRun(const char* label, const RunResult& r) {
   std::printf("%-34s %14" PRId64 "\n", "errored (on_error)", r.errored);
   std::printf("%-34s %14" PRId64 "\n", "CM leader crashes", r.cm.cm_crashes);
   std::printf("%-34s %14" PRId64 "\n", "CM failovers", r.cm.cm_failovers);
-  std::printf("%-34s %14.1f\n", "CM outage total (ms)", NsToMilliseconds(r.cm.cm_outage_total));
+  std::printf("%-34s %14.1f\n", "CM outage total (ms)", NsToMs(r.cm.cm_outage_total));
   std::printf("%-34s %14" PRId64 "\n", "control ops deferred", r.cm.deferred_ops);
   std::printf("%-34s %14" PRId64 "\n", "JE leader crashes", r.je.je_crashes);
   std::printf("%-34s %14" PRId64 "\n", "JE failovers", r.je.je_failovers);
@@ -239,7 +240,7 @@ int main(int argc, char** argv) {
   PrintRun("MODE: single replica", single);
 
   double mttr_ms = replicated.cm.cm_failovers > 0
-                       ? NsToMilliseconds(replicated.cm.cm_outage_total) /
+                       ? NsToMs(replicated.cm.cm_outage_total) /
                              static_cast<double>(replicated.cm.cm_failovers)
                        : 0.0;
   std::printf("failover MTTR: %.1f ms per CM crash (single replica: outage is "

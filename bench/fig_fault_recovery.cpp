@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "bench/common.h"
+#include "common/time_units.h"
 #include "faults/fault_injector.h"
 #include "serving/frontend.h"
 
@@ -80,8 +81,8 @@ int main(int argc, char** argv) {
   manager.AddFailureHandler([&je](serving::TeId id) { je.OnTeFailure(id); });
   serving::FaultDetectionConfig detection;
   detection.missed_heartbeats = 3;
-  detection.heartbeat_interval = MillisecondsToNs(options.detect_ms / 3.0);
-  detection.shell_crash_detect_latency = MillisecondsToNs(options.detect_ms / 10.0);
+  detection.heartbeat_interval = MsToNs(options.detect_ms / 3.0);
+  detection.shell_crash_detect_latency = MsToNs(options.detect_ms / 10.0);
   manager.SetFaultDetection(detection);
   serving::ScaleRequest replacement;
   replacement.engine = engine;
@@ -113,8 +114,8 @@ int main(int argc, char** argv) {
     } else {
       faults::FaultPlanConfig config;
       config.count = 5;
-      config.window_start = SecondsToNs(1);
-      config.window_end = SecondsToNs(options.duration_s);
+      config.window_start = SToNs(1);
+      config.window_end = SToNs(options.duration_s);
       plan = faults::FaultInjector::GeneratePlan(options.fault_seed, config);
     }
     injector.ScheduleAll(plan);
@@ -163,7 +164,7 @@ int main(int argc, char** argv) {
   }
   bed.sim().Run();
 
-  double makespan_s = NsToMilliseconds(bed.sim().Now()) / 1000.0;
+  double makespan_s = NsToS(bed.sim().Now());
   const serving::ClusterManagerStats& cm = manager.stats();
   const serving::FrontendStats& fe = frontend.stats();
   std::printf("workload: %zu requests at %.1f RPS over %.0fs  (fault seed %" PRIu64 "%s)\n",
@@ -173,9 +174,9 @@ int main(int argc, char** argv) {
     std::printf("fault plan:\n");
     for (const auto& event : plan) {
       std::printf("  t=%6.2fs  %-14s factor=%.2f duration=%.1fs target=%d\n",
-                  NsToMilliseconds(event.time) / 1000.0,
+                  NsToMs(event.time) / 1000.0,
                   std::string(faults::FaultKindToString(event.kind)).c_str(), event.factor,
-                  NsToMilliseconds(event.duration) / 1000.0, event.target);
+                  NsToMs(event.duration) / 1000.0, event.target);
     }
   }
   bench::PrintRule();

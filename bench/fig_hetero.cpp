@@ -40,6 +40,7 @@
 
 #include "bench/common.h"
 #include "common/stats.h"
+#include "common/time_units.h"
 #include "model/model_spec.h"
 
 using namespace deepserve;
@@ -157,7 +158,7 @@ RunResult Run(const Options& options, bool aware,
              mix_hash(static_cast<uint64_t>(seq.finish_time));
              auto it = first_tokens->find(shifted.id);
              TimeNs first = it != first_tokens->end() ? it->second : seq.finish_time;
-             result.ttft_ms.Add(NsToMilliseconds(first - shifted.arrival));
+             result.ttft_ms.Add(NsToMs(first - shifted.arrival));
            },
            [&result, &mix_hash, terminations, id = shifted.id](const Status&) {
              ++result.errored;
@@ -180,7 +181,7 @@ RunResult Run(const Options& options, bool aware,
     dollars_per_hour +=
         bed.manager().TeSpec(te->id()).cost_per_hour * static_cast<double>(options.tp);
   }
-  double hours = NsToSeconds(result.end_time - t0) / 3600.0;
+  double hours = NsToS(result.end_time - t0) / 3600.0;
   result.cost_dollars = dollars_per_hour * hours;
   result.tokens_per_dollar =
       result.cost_dollars > 0.0 ? result.tokens / result.cost_dollars : 0.0;

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "bench/common.h"
+#include "common/time_units.h"
 #include "faults/fault_injector.h"
 #include "serving/frontend.h"
 #include "serving/route_policy.h"
@@ -132,11 +133,11 @@ RunResult RunVariant(const Options& options, const Variant& variant,
   route.seed = options.seed;
   if (variant.eject) {
     route.eject_consecutive_errors = options.route.outlier_errors;
-    route.eject_base = SecondsToNs(options.route.outlier_base_s);
-    route.eject_max = SecondsToNs(options.route.outlier_max_s);
+    route.eject_base = SToNs(options.route.outlier_base_s);
+    route.eject_max = SToNs(options.route.outlier_max_s);
   }
   if (variant.hedge) {
-    route.hedge_floor = MillisecondsToNs(options.route.hedge_ms);
+    route.hedge_floor = MsToNs(options.route.hedge_ms);
   }
   if (options.route.retry_budget > 0) {
     route.retry_budget = true;
@@ -174,7 +175,7 @@ RunResult RunVariant(const Options& options, const Variant& variant,
       serving::ChatRequest request;
       request.model = "yi-34b";
       request.spec = spec;
-      request.deadline = spec.arrival + MillisecondsToNs(options.deadline_ms);
+      request.deadline = spec.arrival + MsToNs(options.deadline_ms);
       TimeNs deadline = request.deadline;
       serving::ResponseHandler handler;
       handler.on_first_token = [first_tokens, id = spec.id](const flowserve::Sequence& seq) {
@@ -193,7 +194,7 @@ RunResult RunVariant(const Options& options, const Variant& variant,
         }
         auto it = first_tokens->find(spec.id);
         TimeNs first = it != first_tokens->end() ? it->second : seq.finish_time;
-        result.ttft_ms.Add(NsToMilliseconds(first - spec.arrival));
+        result.ttft_ms.Add(NsToMs(first - spec.arrival));
       };
       handler.on_error = [&result, &mix, terminations, id = spec.id](const Status&) {
         ++result.errored;
@@ -221,7 +222,7 @@ RunResult RunVariant(const Options& options, const Variant& variant,
   result.readmissions = fe.readmissions;
   result.hedges = fe.hedges_launched;
   result.hedge_wins = fe.hedge_wins;
-  result.makespan_s = NsToMilliseconds(sim.Now()) / 1000.0;
+  result.makespan_s = NsToS(sim.Now());
   mix(static_cast<uint64_t>(fe.ejections));
   mix(static_cast<uint64_t>(fe.hedges_launched));
   mix(static_cast<uint64_t>(sim.Now()));

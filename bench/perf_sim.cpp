@@ -43,6 +43,7 @@
 #include <vector>
 
 #include "bench/common.h"
+#include "common/time_units.h"
 #include "model/model_spec.h"
 #include "workload/tracegen.h"
 
@@ -182,7 +183,7 @@ struct ScenarioResult {
   double wall_s = 0;
 
   double events_per_sec() const { return static_cast<double>(events) / std::max(wall_s, 1e-9); }
-  double sim_per_wall() const { return NsToSeconds(sim_end) / std::max(wall_s, 1e-9); }
+  double sim_per_wall() const { return NsToS(sim_end) / std::max(wall_s, 1e-9); }
 };
 
 // ---------------------------------------------------------------------------
@@ -274,7 +275,7 @@ ScenarioResult RunStorm(int rounds, int batch, uint64_t seed) {
         sim.ScheduleAfter(gap, [&sink, p0, p1, i] { sink += p0 ^ p1 ^ static_cast<uint64_t>(i); });
       } else {
         // Deadline guard ~1s out — due only if the request were to stall.
-        DurationNs gap = SecondsToNs(1) + static_cast<DurationNs>(p0 % 100000);
+        DurationNs gap = SToNs(1) + static_cast<DurationNs>(p0 % 100000);
         guards.push_back(sim.ScheduleAfter(
             gap, [&sink, p0, p1, i] { sink += p0 ^ p1 ^ static_cast<uint64_t>(i); }));
       }
@@ -284,7 +285,7 @@ ScenarioResult RunStorm(int rounds, int batch, uint64_t seed) {
         sim.Cancel(guards[g]);
       }
     }
-    sim.RunUntil(sim.Now() + 100000);
+    sim.RunUntil(sim.Now() + UsToNs(100));
   }
   sim.Run();  // survivors fire at their deadlines; the legacy core also wades
               // through every tombstone it never reclaimed

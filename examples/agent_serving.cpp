@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/time_units.h"
 #include "flowserve/engine.h"
 #include "sim/simulator.h"
 
@@ -56,7 +57,7 @@ std::vector<TurnResult> RunSession(bool use_context_cache) {
     TurnResult result{0, 0};
     engine.Submit(spec,
                   [&](const flowserve::Sequence& seq) {
-                    result.ttft_ms = NsToMilliseconds(seq.first_token_time - seq.arrival);
+                    result.ttft_ms = NsToMs(seq.first_token_time - seq.arrival);
                     result.reused = seq.reused_tokens;
                   },
                   nullptr);
@@ -73,7 +74,7 @@ std::vector<TurnResult> RunSession(bool use_context_cache) {
       }
       engine.Submit(filler, nullptr, nullptr);
     }
-    sim.RunUntil(sim.Now() + SecondsToNs(5));  // tool latency
+    sim.RunUntil(sim.Now() + SToNs(5));  // tool latency
     sim.Run();
     // The turn's transcript (tool output) extends the context.
     for (int j = 0; j < 512; ++j) {

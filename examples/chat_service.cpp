@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <map>
 
+#include "common/time_units.h"
 #include "distflow/distflow.h"
 #include "hw/cluster.h"
 #include "serving/cluster_manager.h"
@@ -100,7 +101,7 @@ int main() {
         std::printf("  task %llu [%s] on TE %d: %.1f ms\n",
                     static_cast<unsigned long long>(task.id),
                     std::string(serving::TaskTypeToString(task.type)).c_str(), task.te,
-                    NsToMilliseconds(task.completed - task.dispatched));
+                    NsToMs(task.completed - task.dispatched));
       }
       break;
     }

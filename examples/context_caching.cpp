@@ -9,6 +9,7 @@
 #include <cstdio>
 
 #include "common/rng.h"
+#include "common/time_units.h"
 #include "flowserve/engine.h"
 #include "sim/simulator.h"
 
@@ -42,7 +43,7 @@ int main() {
                   [](const flowserve::Sequence& seq) {
                     std::printf("turn %llu: TTFT %.0f ms, reused %lld / %lld prompt tokens\n",
                                 static_cast<unsigned long long>(seq.request_id),
-                                NsToMilliseconds(seq.first_token_time - seq.arrival),
+                                NsToMs(seq.first_token_time - seq.arrival),
                                 static_cast<long long>(seq.reused_tokens),
                                 static_cast<long long>(seq.prompt_len()));
                   },

@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "bench/common.h"
+#include "common/time_units.h"
 #include "distflow/distflow.h"
 #include "hw/cluster.h"
 #include "serving/cluster_manager.h"
@@ -352,7 +353,7 @@ int main(int argc, char** argv) {
   }
   if (flags.deadline_ms > 0) {
     for (auto& spec : trace) {
-      spec.deadline = spec.arrival + MillisecondsToNs(flags.deadline_ms);
+      spec.deadline = spec.arrival + MsToNs(flags.deadline_ms);
     }
   }
 
@@ -415,7 +416,7 @@ int main(int argc, char** argv) {
   if (autoscale) {
     // The autoscaler's periodic tick keeps the queue non-empty: run to the
     // trace horizon, stop it, then drain the remaining in-flight work.
-    sim.RunUntil(t0 + SecondsToNs(flags.duration));
+    sim.RunUntil(t0 + SToNs(flags.duration));
     manager.StopAutoscaler();
   }
   sim.Run();

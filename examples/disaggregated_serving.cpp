@@ -5,6 +5,7 @@
 
 #include <cstdio>
 
+#include "common/time_units.h"
 #include "distflow/distflow.h"
 #include "hw/cluster.h"
 #include "serving/cluster_manager.h"
@@ -45,12 +46,12 @@ void RunMode(flowserve::KvTransferMode mode, const char* label) {
            std::printf("req %llu: prefill of %lld tokens done, first token @ %.0f ms\n",
                        static_cast<unsigned long long>(spec.id),
                        static_cast<long long>(spec.prefill_len()),
-                       NsToMilliseconds(seq.first_token_time - submit));
+                       NsToMs(seq.first_token_time - submit));
          },
          [submit, &spec](const flowserve::Sequence& seq) {
            std::printf("req %llu: decode finished @ %.0f ms (%lld tokens)\n",
                        static_cast<unsigned long long>(spec.id),
-                       NsToMilliseconds(seq.finish_time - submit),
+                       NsToMs(seq.finish_time - submit),
                        static_cast<long long>(spec.decode_len));
          },
          nullptr});

@@ -5,6 +5,7 @@
 
 #include <cstdio>
 
+#include "common/time_units.h"
 #include "distflow/distflow.h"
 #include "hw/cluster.h"
 #include "serving/cluster_manager.h"
@@ -43,7 +44,7 @@ int main() {
   je.AddColocatedTe(first_te);
 
   serving::AutoscalerConfig as;
-  as.check_interval = SecondsToNs(1.0);
+  as.check_interval = SToNs(1.0);
   as.scale_up_queue_depth = 12;
   as.scale_down_queue_depth = 0;
   as.max_tes = 6;
@@ -59,7 +60,7 @@ int main() {
     config.prefill = workload::LengthDistribution{1024, 0.25, 128, 4096};
     auto trace = workload::TraceGenerator(config).Generate();
     for (auto& spec : trace) {
-      spec.arrival += t0 + SecondsToNs(start_s);
+      spec.arrival += t0 + SToNs(start_s);
       spec.id += seed * 1000000;
       sim.ScheduleAt(spec.arrival, [&, spec] {
         je.HandleRequest(spec, {nullptr, [&metrics, spec](const flowserve::Sequence& seq) {
@@ -81,7 +82,7 @@ int main() {
   // Observe fleet size every 5 s.
   std::printf("time   ready-TEs  scale-ups  (burst arrives at t=20s)\n");
   for (int t = 5; t <= 120; t += 5) {
-    sim.ScheduleAt(t0 + SecondsToNs(t), [&, t] {
+    sim.ScheduleAt(t0 + SToNs(t), [&, t] {
       int ready = 0;
       for (const auto& te : manager.tes()) {
         if (te->ready()) {
@@ -93,7 +94,7 @@ int main() {
     });
   }
 
-  sim.RunUntil(t0 + SecondsToNs(200));
+  sim.RunUntil(t0 + SToNs(200));
   manager.StopAutoscaler();
   sim.Run();
 

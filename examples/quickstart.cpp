@@ -8,6 +8,7 @@
 
 #include <cstdio>
 
+#include "common/time_units.h"
 #include "flowserve/engine.h"
 #include "sim/simulator.h"
 #include "workload/request.h"
@@ -40,7 +41,7 @@ int main() {
     spec.id = next_id++;
     // Stagger arrivals so later requests can reuse the preserved KV of
     // earlier ones (the shared system prompt).
-    arrival += SecondsToNs(3.0);
+    arrival += SToNs(3.0);
     spec.arrival = arrival;
     spec.prompt = engine.tokenizer().Encode(text);
     // Pad the prompt to a realistic context (pretend there is a long system
@@ -61,15 +62,15 @@ int main() {
         [](const flowserve::Sequence& seq) {
           std::printf("req %llu: first token at %.1f ms (reused %lld cached tokens)\n",
                       static_cast<unsigned long long>(seq.request_id),
-                      NsToMilliseconds(seq.first_token_time - seq.arrival),
+                      NsToMs(seq.first_token_time - seq.arrival),
                       static_cast<long long>(seq.reused_tokens));
         },
         [](const flowserve::Sequence& seq) {
-          double tpot = NsToMilliseconds(seq.finish_time - seq.first_token_time) /
+          double tpot = NsToMs(seq.finish_time - seq.first_token_time) /
                         static_cast<double>(seq.decode_target - 1);
           std::printf("req %llu: done at %.1f ms, TPOT %.2f ms\n",
                       static_cast<unsigned long long>(seq.request_id),
-                      NsToMilliseconds(seq.finish_time - seq.arrival), tpot);
+                      NsToMs(seq.finish_time - seq.arrival), tpot);
           });
     });
   }
@@ -82,6 +83,6 @@ int main() {
               static_cast<long long>(stats.steps),
               static_cast<long long>(stats.prefill_tokens_processed),
               static_cast<long long>(stats.decode_tokens_generated),
-              static_cast<long long>(stats.reused_tokens), NsToSeconds(stats.npu_busy));
+              static_cast<long long>(stats.reused_tokens), NsToS(stats.npu_busy));
   return 0;
 }

@@ -10,6 +10,28 @@
 // directly inside the owning event record and falls back to the heap only for
 // oversized captures, so the simulator's schedule/fire hot path performs zero
 // allocations in the common case.
+//
+// Writing deferred callbacks safely
+// ---------------------------------
+// A SmallFn handed to the DES core (Simulator::ScheduleAt/ScheduleAfter,
+// PeriodicTask, EventQueue::Insert, or any SmallFn-typed parameter/member)
+// fires AFTER the enclosing C++ scope has unwound. That makes by-reference
+// captures the simulator's analogue of a use-after-free data race: the replay
+// is deterministic, the read lands in dead stack memory, and the result is
+// plausible garbage instead of a crash. Rules of thumb, enforced by ds_lint's
+// `deferred-capture` rule:
+//   * Capture state by value, or by an owning index/handle that is re-resolved
+//     when the event fires (`gi = group.index` + `groups_[gi]`, not `&group`).
+//   * Never capture the address of a function-local or an iterator — the
+//     pointer copies fine, the pointee dies with the frame.
+//   * `this` in a header component is only safe paired with an epoch /
+//     generation guard (see sim::PeriodicTask) and an audited allow
+//     annotation for deferred-capture naming the invariant (the literal tag
+//     is spelled out in DESIGN.md; writing it here would register as a real
+//     suppression).
+//   * By-reference lambdas are fine for callees that provably run them before
+//     returning (std algorithms, RadixTree visitors); ds_lint whitelists
+//     those, and anything it cannot prove synchronous needs the audit trail.
 #ifndef DEEPSERVE_COMMON_SMALL_FN_H_
 #define DEEPSERVE_COMMON_SMALL_FN_H_
 

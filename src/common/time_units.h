@@ -1,0 +1,29 @@
+// Named unit conversions for simulated time.
+//
+// All simulated time is integer nanoseconds (TimeNs/DurationNs from
+// common/types.h). Configs and reports speak milliseconds and seconds, so
+// every boundary crossing goes through one of these helpers — never a bare
+// `* 1'000'000`. The short names keep call sites readable (MsToNs(50)) and
+// give ds_lint's sim-time unit rules (time-unit-mix, raw-time-literal) an
+// anchor: a value produced by MsToNs/UsToNs/SToNs is known-ns, and a bare
+// literal >= 1000 meeting a known-ns value is flagged until it is named.
+#ifndef DEEPSERVE_COMMON_TIME_UNITS_H_
+#define DEEPSERVE_COMMON_TIME_UNITS_H_
+
+#include "common/types.h"
+
+namespace deepserve {
+
+// Into nanoseconds.
+constexpr DurationNs UsToNs(double us) { return static_cast<DurationNs>(us * 1e3); }
+constexpr DurationNs MsToNs(double ms) { return static_cast<DurationNs>(ms * 1e6); }
+constexpr DurationNs SToNs(double s) { return static_cast<DurationNs>(s * 1e9); }
+
+// Out of nanoseconds (for reporting; lossy by design).
+constexpr double NsToS(DurationNs ns) { return static_cast<double>(ns) / 1e9; }
+constexpr double NsToMs(DurationNs ns) { return static_cast<double>(ns) / 1e6; }
+constexpr double NsToUs(DurationNs ns) { return static_cast<double>(ns) / 1e3; }
+
+}  // namespace deepserve
+
+#endif  // DEEPSERVE_COMMON_TIME_UNITS_H_

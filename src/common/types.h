@@ -2,8 +2,8 @@
 //
 // All simulated time is expressed in integer nanoseconds (TimeNs) on the
 // virtual clock owned by sim::Simulator. Durations use the same unit. Byte
-// quantities are uint64_t. Helper constructors keep call sites readable
-// (e.g. MillisecondsToNs(50)).
+// quantities are uint64_t. Unit conversions (MsToNs and friends) live in
+// common/time_units.h.
 #ifndef DEEPSERVE_COMMON_TYPES_H_
 #define DEEPSERVE_COMMON_TYPES_H_
 
@@ -17,15 +17,6 @@ using TimeNs = int64_t;
 using DurationNs = int64_t;
 
 inline constexpr TimeNs kTimeNever = INT64_MAX;
-
-constexpr DurationNs NanosecondsToNs(double ns) { return static_cast<DurationNs>(ns); }
-constexpr DurationNs MicrosecondsToNs(double us) { return static_cast<DurationNs>(us * 1e3); }
-constexpr DurationNs MillisecondsToNs(double ms) { return static_cast<DurationNs>(ms * 1e6); }
-constexpr DurationNs SecondsToNs(double s) { return static_cast<DurationNs>(s * 1e9); }
-
-constexpr double NsToSeconds(DurationNs ns) { return static_cast<double>(ns) / 1e9; }
-constexpr double NsToMilliseconds(DurationNs ns) { return static_cast<double>(ns) / 1e6; }
-constexpr double NsToMicroseconds(DurationNs ns) { return static_cast<double>(ns) / 1e3; }
 
 // Byte quantities.
 using Bytes = uint64_t;

@@ -38,6 +38,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/time_units.h"
 #include "common/types.h"
 #include "ctrl/ctrl_state_machine.h"
 #include "sim/simulator.h"
@@ -58,9 +59,9 @@ struct CtrlConfig {
   // Leased leader: a standby must wait out the dead leader's lease before
   // taking over (prevents split-brain; matches the heartbeat default in
   // FaultDetectionConfig).
-  DurationNs lease_duration = MillisecondsToNs(500);
+  DurationNs lease_duration = MsToNs(500);
   // Per-record cost of replaying the unreplicated tail at takeover.
-  DurationNs replay_cost_per_record = MicrosecondsToNs(2);
+  DurationNs replay_cost_per_record = UsToNs(2);
 };
 
 class ControlLog {

@@ -10,14 +10,14 @@ namespace {
 
 // Marks `job` and its not-yet-completed tasks with `state` at `time` —
 // the shared tail of the JobExecutor's complete/fail paths.
-void CloseJob(serving::JobRecord* job, std::vector<serving::TaskRecord>* tasks,
-              const std::map<serving::TaskId, size_t>& task_index,
-              serving::JobState state, serving::TaskState task_state, TimeNs time) {
+void CloseJob(workload::JobRecord* job, std::vector<workload::TaskRecord>* tasks,
+              const std::map<workload::TaskId, size_t>& task_index,
+              workload::JobState state, workload::TaskState task_state, TimeNs time) {
   job->state = state;
   job->completed = time;
-  for (serving::TaskId task : job->tasks) {
-    serving::TaskRecord& t = (*tasks)[task_index.at(task)];
-    if (t.state != serving::TaskState::kCompleted) {
+  for (workload::TaskId task : job->tasks) {
+    workload::TaskRecord& t = (*tasks)[task_index.at(task)];
+    if (t.state != workload::TaskState::kCompleted) {
       t.state = task_state;
       t.completed = time;
     }
@@ -26,7 +26,7 @@ void CloseJob(serving::JobRecord* job, std::vector<serving::TaskRecord>* tasks,
 
 }  // namespace
 
-const serving::JobRecord* JobTable::FindJob(serving::JobId id) const {
+const workload::JobRecord* JobTable::FindJob(workload::JobId id) const {
   auto it = job_index_.find(id);
   return it == job_index_.end() ? nullptr : &jobs_[it->second];
 }
@@ -39,12 +39,12 @@ void JobTable::Apply(const LogRecord& record) {
       DS_CHECK(record.ints.size() == 2);
       const int64_t group = record.ints[0];
       DS_CHECK(group >= 0 && group < 3);
-      groups_[group].push_back(static_cast<serving::TeId>(record.ints[1]));
+      groups_[group].push_back(static_cast<workload::TeId>(record.ints[1]));
       break;
     }
     case kTeRemoved: {
       DS_CHECK(record.ints.size() == 1);
-      const auto id = static_cast<serving::TeId>(record.ints[0]);
+      const auto id = static_cast<workload::TeId>(record.ints[0]);
       for (auto& group : groups_) {
         group.erase(std::remove(group.begin(), group.end(), id), group.end());
       }
@@ -52,14 +52,14 @@ void JobTable::Apply(const LogRecord& record) {
     }
     case kJobCreated: {
       DS_CHECK(record.ints.size() >= 7);
-      const auto job_id = static_cast<serving::JobId>(record.ints[0]);
+      const auto job_id = static_cast<workload::JobId>(record.ints[0]);
       DS_CHECK(job_id == next_job_);
       ++next_job_;
-      serving::JobRecord job;
+      workload::JobRecord job;
       job.id = job_id;
       job.request = static_cast<workload::RequestId>(record.ints[1]);
-      job.type = serving::JobType::kChatCompletion;
-      job.state = serving::JobState::kRunning;
+      job.type = workload::JobType::kChatCompletion;
+      job.state = workload::JobState::kRunning;
       job.created = record.time;
       job_index_[job.id] = jobs_.size();
       jobs_.push_back(std::move(job));
@@ -76,22 +76,22 @@ void JobTable::Apply(const LogRecord& record) {
     }
     case kJobTeBound: {
       DS_CHECK(record.ints.size() == 2);
-      auto it = outstanding_.find(static_cast<serving::JobId>(record.ints[0]));
+      auto it = outstanding_.find(static_cast<workload::JobId>(record.ints[0]));
       DS_CHECK(it != outstanding_.end());
-      it->second.tes.push_back(static_cast<serving::TeId>(record.ints[1]));
+      it->second.tes.push_back(static_cast<workload::TeId>(record.ints[1]));
       break;
     }
     case kTaskCreated: {
       DS_CHECK(record.ints.size() == 4);
-      const auto task_id = static_cast<serving::TaskId>(record.ints[0]);
+      const auto task_id = static_cast<workload::TaskId>(record.ints[0]);
       DS_CHECK(task_id == next_task_);
       ++next_task_;
-      serving::TaskRecord task;
+      workload::TaskRecord task;
       task.id = task_id;
-      task.job = static_cast<serving::JobId>(record.ints[1]);
-      task.type = static_cast<serving::TaskType>(record.ints[2]);
-      task.te = static_cast<serving::TeId>(record.ints[3]);
-      task.state = serving::TaskState::kDispatched;
+      task.job = static_cast<workload::JobId>(record.ints[1]);
+      task.type = static_cast<workload::TaskType>(record.ints[2]);
+      task.te = static_cast<workload::TeId>(record.ints[3]);
+      task.state = workload::TaskState::kDispatched;
       task.created = record.time;
       task.dispatched = record.time;
       task_index_[task.id] = tasks_.size();
@@ -101,25 +101,25 @@ void JobTable::Apply(const LogRecord& record) {
     }
     case kTaskCompleted: {
       DS_CHECK(record.ints.size() == 1);
-      serving::TaskRecord& task =
-          tasks_[task_index_.at(static_cast<serving::TaskId>(record.ints[0]))];
-      task.state = serving::TaskState::kCompleted;
+      workload::TaskRecord& task =
+          tasks_[task_index_.at(static_cast<workload::TaskId>(record.ints[0]))];
+      task.state = workload::TaskState::kCompleted;
       task.completed = record.time;
       break;
     }
     case kJobCompleted: {
       DS_CHECK(record.ints.size() == 1);
-      const auto job_id = static_cast<serving::JobId>(record.ints[0]);
+      const auto job_id = static_cast<workload::JobId>(record.ints[0]);
       CloseJob(&jobs_[job_index_.at(job_id)], &tasks_, task_index_,
-               serving::JobState::kCompleted, serving::TaskState::kCompleted, record.time);
+               workload::JobState::kCompleted, workload::TaskState::kCompleted, record.time);
       outstanding_.erase(job_id);
       break;
     }
     case kJobFailed: {
       DS_CHECK(record.ints.size() == 1);
-      const auto job_id = static_cast<serving::JobId>(record.ints[0]);
+      const auto job_id = static_cast<workload::JobId>(record.ints[0]);
       CloseJob(&jobs_[job_index_.at(job_id)], &tasks_, task_index_,
-               serving::JobState::kFailed, serving::TaskState::kFailed, record.time);
+               workload::JobState::kFailed, workload::TaskState::kFailed, record.time);
       outstanding_.erase(job_id);
       break;
     }
@@ -144,24 +144,24 @@ uint64_t JobTable::Fingerprint() const {
   Mix(&hash, static_cast<uint64_t>(epoch_));
   for (const auto& group : groups_) {
     Mix(&hash, group.size());
-    for (serving::TeId id : group) {
+    for (workload::TeId id : group) {
       Mix(&hash, static_cast<uint64_t>(id));
     }
   }
   Mix(&hash, jobs_.size());
-  for (const serving::JobRecord& job : jobs_) {
+  for (const workload::JobRecord& job : jobs_) {
     Mix(&hash, static_cast<uint64_t>(job.id));
     Mix(&hash, static_cast<uint64_t>(job.request));
     Mix(&hash, static_cast<uint64_t>(job.state));
     Mix(&hash, static_cast<uint64_t>(job.created));
     Mix(&hash, static_cast<uint64_t>(job.completed));
     Mix(&hash, job.tasks.size());
-    for (serving::TaskId task : job.tasks) {
+    for (workload::TaskId task : job.tasks) {
       Mix(&hash, static_cast<uint64_t>(task));
     }
   }
   Mix(&hash, tasks_.size());
-  for (const serving::TaskRecord& task : tasks_) {
+  for (const workload::TaskRecord& task : tasks_) {
     Mix(&hash, static_cast<uint64_t>(task.id));
     Mix(&hash, static_cast<uint64_t>(task.job));
     Mix(&hash, static_cast<uint64_t>(task.type));
@@ -186,7 +186,7 @@ uint64_t JobTable::Fingerprint() const {
     MixString(&hash, outstanding.spec.context_id);
     Mix(&hash, static_cast<uint64_t>(outstanding.retries));
     Mix(&hash, outstanding.tes.size());
-    for (serving::TeId te : outstanding.tes) {
+    for (workload::TeId te : outstanding.tes) {
       Mix(&hash, static_cast<uint64_t>(te));
     }
   }

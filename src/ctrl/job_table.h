@@ -9,8 +9,8 @@
 // TaskExecutor pointers (re-bound from ids via the ClusterManager), and the
 // prompt-tree caches (rebuildable, affect only routing quality).
 //
-// serving/job.h is a leaf types-only header (JobRecord/TaskRecord), so
-// including it here creates no link dependency on ds_serving.
+// workload/job.h holds the leaf record types (JobRecord/TaskRecord), so the
+// control plane carries no dependency on the serving layer.
 #ifndef DEEPSERVE_CTRL_JOB_TABLE_H_
 #define DEEPSERVE_CTRL_JOB_TABLE_H_
 
@@ -20,7 +20,7 @@
 
 #include "common/types.h"
 #include "ctrl/ctrl_state_machine.h"
-#include "serving/job.h"
+#include "workload/job.h"
 #include "workload/request.h"
 
 namespace deepserve::ctrl {
@@ -45,7 +45,7 @@ class JobTable final : public CtrlStateMachine {
 
   struct Outstanding {
     workload::RequestSpec spec;
-    std::vector<serving::TeId> tes;  // TEs this request has touched
+    std::vector<workload::TeId> tes;  // TEs this request has touched
     int retries = 0;
   };
 
@@ -56,27 +56,27 @@ class JobTable final : public CtrlStateMachine {
   uint64_t Fingerprint() const override;
 
   // ---- const views the leader decides from ----------------------------------
-  const std::vector<serving::JobRecord>& jobs() const { return jobs_; }
-  const std::vector<serving::TaskRecord>& tasks() const { return tasks_; }
-  const serving::JobRecord* FindJob(serving::JobId id) const;
-  const std::map<serving::JobId, Outstanding>& outstanding() const { return outstanding_; }
-  bool IsOutstanding(serving::JobId id) const { return outstanding_.count(id) != 0; }
-  const std::vector<serving::TeId>& group(Group g) const { return groups_[g]; }
-  serving::JobId next_job() const { return next_job_; }
-  serving::TaskId next_task() const { return next_task_; }
+  const std::vector<workload::JobRecord>& jobs() const { return jobs_; }
+  const std::vector<workload::TaskRecord>& tasks() const { return tasks_; }
+  const workload::JobRecord* FindJob(workload::JobId id) const;
+  const std::map<workload::JobId, Outstanding>& outstanding() const { return outstanding_; }
+  bool IsOutstanding(workload::JobId id) const { return outstanding_.count(id) != 0; }
+  const std::vector<workload::TeId>& group(Group g) const { return groups_[g]; }
+  workload::JobId next_job() const { return next_job_; }
+  workload::TaskId next_task() const { return next_task_; }
   uint64_t rr_cursor() const { return rr_cursor_; }
   int64_t epoch() const { return epoch_; }
   uint64_t applied() const { return applied_; }
 
  private:
-  std::vector<serving::JobRecord> jobs_;
-  std::vector<serving::TaskRecord> tasks_;
-  std::map<serving::JobId, size_t> job_index_;
-  std::map<serving::TaskId, size_t> task_index_;
-  std::map<serving::JobId, Outstanding> outstanding_;
-  std::vector<serving::TeId> groups_[3];
-  serving::JobId next_job_ = 1;
-  serving::TaskId next_task_ = 1;
+  std::vector<workload::JobRecord> jobs_;
+  std::vector<workload::TaskRecord> tasks_;
+  std::map<workload::JobId, size_t> job_index_;
+  std::map<workload::TaskId, size_t> task_index_;
+  std::map<workload::JobId, Outstanding> outstanding_;
+  std::vector<workload::TeId> groups_[3];
+  workload::JobId next_job_ = 1;
+  workload::TaskId next_task_ = 1;
   uint64_t rr_cursor_ = 0;
   int64_t epoch_ = 0;
   uint64_t applied_ = 0;  // records applied (replay sanity counter)

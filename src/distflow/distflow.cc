@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "common/time_units.h"
 
 namespace deepserve::distflow {
 
@@ -195,7 +196,7 @@ Result<DurationNs> TransferEngine::EstimateTransfer(const MemRegion& src,
     // Account for current contention: active flows share the link.
     double share = static_cast<double>(hop->active_flows() + 1);
     total += hop->latency() +
-             SecondsToNs(static_cast<double>(bytes) * share /
+             SToNs(static_cast<double>(bytes) * share /
                          (hop->bandwidth_bps() * hop->bandwidth_scale()));
   }
   return total;

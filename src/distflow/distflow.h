@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/time_units.h"
 #include "common/types.h"
 #include "hw/cluster.h"
 #include "rtc/block_pool.h"
@@ -53,9 +54,9 @@ struct DistFlowConfig {
   // avoid synchronization bottlenecks; 1 reproduces a serialized design.
   int num_workers = 8;
   // CPU-side submission cost per op, serialized within a worker shard.
-  DurationNs per_op_overhead = MicrosecondsToNs(15);
+  DurationNs per_op_overhead = UsToNs(15);
   // Control-plane cost of establishing one endpoint pair.
-  DurationNs link_setup_cost = MillisecondsToNs(2);
+  DurationNs link_setup_cost = MsToNs(2);
   // Force all inter-NPU traffic onto one backend (kInvalid -> auto-select by
   // topology). The NPU-fork benchmarks pin this to HCCS or RoCE.
   bool force_backend = false;

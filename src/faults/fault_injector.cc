@@ -6,6 +6,7 @@
 #include <cstdlib>
 
 #include "common/logging.h"
+#include "common/time_units.h"
 #include "hw/link.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -47,7 +48,7 @@ bool ParseIntField(const std::string& text, int64_t min, int64_t max, int64_t* o
   return true;
 }
 
-// Cap every time-like field so SecondsToNs can't overflow TimeNs
+// Cap every time-like field so SToNs can't overflow TimeNs
 // (1e7 s = 1e16 ns, comfortably under the int64 ceiling).
 constexpr double kMaxScheduleSeconds = 1e7;
 
@@ -373,7 +374,7 @@ Result<std::vector<FaultEvent>> FaultInjector::ParseSchedule(const std::string& 
           duration_s > kMaxScheduleSeconds) {
         return InvalidArgumentError("fault event '" + item + "' has a bad duration");
       }
-      event.duration = SecondsToNs(duration_s);
+      event.duration = SToNs(duration_s);
       tail = tail.substr(0, x);
     }
     size_t colon = tail.find(':');
@@ -413,7 +414,7 @@ Result<std::vector<FaultEvent>> FaultInjector::ParseSchedule(const std::string& 
     if (seconds > kMaxScheduleSeconds) {
       return InvalidArgumentError("fault event '" + item + "' has an out-of-range time");
     }
-    event.time = SecondsToNs(seconds);
+    event.time = SToNs(seconds);
     if (event.kind == FaultKind::kLinkDegrade &&
         (event.factor <= 0.0 || event.factor > 1.0)) {
       return InvalidArgumentError("link degrade factor must be in (0, 1]: '" + item + "'");

@@ -27,6 +27,7 @@
 
 #include "common/rng.h"
 #include "common/status.h"
+#include "common/time_units.h"
 #include "common/types.h"
 #include "serving/cluster_manager.h"
 #include "sim/simulator.h"
@@ -79,7 +80,7 @@ struct FaultInjectorStats {
 struct FaultPlanConfig {
   int count = 4;
   TimeNs window_start = 0;
-  TimeNs window_end = SecondsToNs(60);
+  TimeNs window_end = SToNs(60);
   double npu_crash_weight = 1.0;
   double shell_crash_weight = 1.0;
   double link_degrade_weight = 1.0;
@@ -92,8 +93,8 @@ struct FaultPlanConfig {
   double degrade_factor_max = 0.6;
   double straggle_factor_min = 1.5;  // step-time multiplier range
   double straggle_factor_max = 4.0;
-  DurationNs transient_duration_min = SecondsToNs(5);
-  DurationNs transient_duration_max = SecondsToNs(15);
+  DurationNs transient_duration_min = SToNs(5);
+  DurationNs transient_duration_max = SToNs(15);
 };
 
 class FaultInjector {

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "common/time_units.h"
 
 namespace deepserve::flowserve {
 
@@ -228,7 +229,7 @@ void Engine::SchedEnqueue(Sequence* seq) {
       Bytes fetch_bytes = static_cast<Bytes>(match.offnpu_tokens) *
                           config_.model.KvBytesPerToken();
       DurationNs fetch_time =
-          SecondsToNs(static_cast<double>(fetch_bytes) /
+          SToNs(static_cast<double>(fetch_bytes) /
                       (config_.populate_bandwidth_gbps * 1e9));
       DurationNs recompute_time = cost_.RecomputeDuration(match.offnpu_tokens);
       fetch = static_cast<double>(recompute_time) >=
@@ -334,9 +335,9 @@ Status Engine::SubmitPrefilled(const workload::RequestSpec& spec, SeqCallback on
                 obs::Arg("priority", seq->priority), obs::Arg("prefilled", true)});
   }
   if (seq->decode_done()) {
-    sim_->ScheduleAfter(0, [this, seq, &group] {
+    sim_->ScheduleAfter(0, [this, seq, gi = group.index] {
       if (Alive(seq)) {
-        FinishSequence(group, seq, 0);
+        FinishSequence(*groups_[static_cast<size_t>(gi)], seq, 0);
       }
     });
     return Status::Ok();

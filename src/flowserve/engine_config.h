@@ -4,6 +4,7 @@
 
 #include <string>
 
+#include "common/time_units.h"
 #include "common/types.h"
 #include "flowserve/sched/sched_config.h"
 #include "hw/npu.h"
@@ -33,39 +34,39 @@ enum class KvTransferMode { kByRequest, kByLayer };
 struct EngineFeatures {
   std::string name = "v3";
   bool async_scheduling = true;
-  DurationNs sched_overhead_base = MillisecondsToNs(1.2);
-  DurationNs sched_overhead_per_seq = MicrosecondsToNs(18);
-  DurationNs ipc_overhead = MicrosecondsToNs(150);
+  DurationNs sched_overhead_base = MsToNs(1.2);
+  DurationNs sched_overhead_per_seq = UsToNs(18);
+  DurationNs ipc_overhead = UsToNs(150);
   // CPU-side sampling/detokenize cost per sequence per step.
-  DurationNs sampling_overhead_per_seq = MicrosecondsToNs(8);
+  DurationNs sampling_overhead_per_seq = UsToNs(8);
   // Device-side costs that no amount of CPU overlap hides: kernel-launch gaps
   // per step and sampling work per sequence (moved on-device and slimmed in
   // v3 — the "data structures, sampling, and so on" 20%).
-  DurationNs npu_step_overhead = MicrosecondsToNs(800);
-  DurationNs npu_sampling_per_seq = MicrosecondsToNs(8);
+  DurationNs npu_step_overhead = UsToNs(800);
+  DurationNs npu_sampling_per_seq = UsToNs(8);
 
   static EngineFeatures V1() {
     EngineFeatures f;
     f.name = "v1";
     f.async_scheduling = false;
-    f.sched_overhead_base = MillisecondsToNs(12.0);
-    f.sched_overhead_per_seq = MicrosecondsToNs(90);
-    f.ipc_overhead = MillisecondsToNs(7.0);  // per-step IPC, unbatched
-    f.sampling_overhead_per_seq = MicrosecondsToNs(60);
-    f.npu_step_overhead = MillisecondsToNs(5.5);
-    f.npu_sampling_per_seq = MicrosecondsToNs(110);
+    f.sched_overhead_base = MsToNs(12.0);
+    f.sched_overhead_per_seq = UsToNs(90);
+    f.ipc_overhead = MsToNs(7.0);  // per-step IPC, unbatched
+    f.sampling_overhead_per_seq = UsToNs(60);
+    f.npu_step_overhead = MsToNs(5.5);
+    f.npu_sampling_per_seq = UsToNs(110);
     return f;
   }
   static EngineFeatures V2() {
     EngineFeatures f;
     f.name = "v2";
     f.async_scheduling = true;
-    f.sched_overhead_base = MillisecondsToNs(2.5);
-    f.sched_overhead_per_seq = MicrosecondsToNs(40);
-    f.ipc_overhead = MicrosecondsToNs(400);
-    f.sampling_overhead_per_seq = MicrosecondsToNs(25);
-    f.npu_step_overhead = MillisecondsToNs(5.5);
-    f.npu_sampling_per_seq = MicrosecondsToNs(110);
+    f.sched_overhead_base = MsToNs(2.5);
+    f.sched_overhead_per_seq = UsToNs(40);
+    f.ipc_overhead = UsToNs(400);
+    f.sampling_overhead_per_seq = UsToNs(25);
+    f.npu_step_overhead = MsToNs(5.5);
+    f.npu_sampling_per_seq = UsToNs(110);
     return f;
   }
   static EngineFeatures V3() { return EngineFeatures{}; }

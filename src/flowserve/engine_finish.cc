@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "common/time_units.h"
 #include "flowserve/engine.h"
 
 namespace deepserve::flowserve {
@@ -28,7 +29,7 @@ void Engine::CountFirstToken(const Sequence& seq) {
     return;
   }
   TimeNs start = seq.arrival > 0 ? seq.arrival : seq.submit_time;
-  if (seq.first_token_time - start > MillisecondsToNs(config_.sched.ttft_budget_ms)) {
+  if (seq.first_token_time - start > MsToNs(config_.sched.ttft_budget_ms)) {
     ++stats_.ttft_violations;
     EnsureMetrics();
     if (m_ttft_violations_ != nullptr) {
@@ -69,7 +70,9 @@ void Engine::FinishPrefill(DpGroup& group, Sequence* seq, DurationNs extra_laten
                      obs::Arg("bytes", static_cast<int64_t>(kv_bytes)),
                      obs::Arg("tokens", seq->prefilled)});
     }
-    auto deliver = [this, &group, seq, req_id] {
+    // Captures the group by stable index, not reference: kv_send_ may hold
+    // the callback past this frame, and the event fires after it unwinds.
+    auto deliver = [this, gi = group.index, seq, req_id] {
       if (obs::Tracer* t = sim_->tracer()) {
         t->AsyncEnd(sim_->Now(), TracePid(), static_cast<uint64_t>(req_id), "kv_send");
       }
@@ -89,7 +92,7 @@ void Engine::FinishPrefill(DpGroup& group, Sequence* seq, DurationNs extra_laten
         seq->on_complete(*seq);
       }
       ++stats_.completed;
-      ReleaseSequence(group, seq, /*preserve=*/true);
+      ReleaseSequence(*groups_[static_cast<size_t>(gi)], seq, /*preserve=*/true);
     };
     if (kv_send_) {
       kv_send_(*seq, kv_bytes, deliver);

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "common/time_units.h"
 #include "flowserve/engine.h"
 
 namespace deepserve::flowserve {
@@ -397,7 +398,7 @@ void Engine::RunStep(DpGroup& group) {
   if (plan.shape.decode_seqs > 0) {
     stats_.max_decode_step = std::max(stats_.max_decode_step, iteration);
     if (config_.sched.tbt_budget_ms > 0 &&
-        NsToMilliseconds(iteration) > config_.sched.tbt_budget_ms) {
+        NsToMs(iteration) > config_.sched.tbt_budget_ms) {
       ++stats_.tbt_violations;
       if (m_tbt_violations_ != nullptr) {
         m_tbt_violations_->Inc();
@@ -411,7 +412,7 @@ void Engine::RunStep(DpGroup& group) {
     if (group.current_chunk == 0) {
       group.current_chunk = config_.prefill_chunk_tokens;
     }
-    double iter_ms = NsToMilliseconds(iteration);
+    double iter_ms = NsToMs(iteration);
     if (iter_ms > config_.chunk_target_tpot_ms) {
       group.current_chunk =
           std::max(config_.min_chunk_tokens, group.current_chunk * 7 / 10);
@@ -422,7 +423,7 @@ void Engine::RunStep(DpGroup& group) {
   }
   if (m_steps_ != nullptr) {
     m_steps_->Inc();
-    m_step_ms_->Add(NsToMilliseconds(iteration));
+    m_step_ms_->Add(NsToMs(iteration));
   }
   if (obs::Tracer* t = sim_->tracer()) {
     t->Begin(sim_->Now(), TracePid(), group.index, "step",
@@ -430,13 +431,14 @@ void Engine::RunStep(DpGroup& group) {
               obs::Arg("attended_tokens", plan.shape.prefill_attended_tokens),
               obs::Arg("decode_seqs", plan.shape.decode_seqs),
               obs::Arg("decode_ctx", plan.shape.decode_context_tokens),
-              obs::Arg("npu_ms", NsToMilliseconds(plan.npu_time)),
-              obs::Arg("cpu_ms", NsToMilliseconds(plan.cpu_time))});
+              obs::Arg("npu_ms", NsToMs(plan.npu_time)),
+              obs::Arg("cpu_ms", NsToMs(plan.cpu_time))});
   }
   ++busy_groups_;
-  sim_->ScheduleAfter(iteration, [this, &group, plan = std::move(plan)]() mutable {
+  sim_->ScheduleAfter(iteration, [this, gi = group.index,
+                                  plan = std::move(plan)]() mutable {
     --busy_groups_;
-    CompleteStep(group, std::move(plan));
+    CompleteStep(*groups_[static_cast<size_t>(gi)], std::move(plan));
   });
 }
 

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <string>
+#include "common/time_units.h"
 
 namespace deepserve::flowserve::sched {
 
@@ -16,7 +17,7 @@ inline TimeNs EffectiveDeadline(const Sequence& seq) {
 }  // namespace
 
 SloPolicy::SloPolicy(const SchedConfig& config)
-    : tbt_budget_ns_(config.tbt_budget_ms > 0 ? MillisecondsToNs(config.tbt_budget_ms) : 0),
+    : tbt_budget_ns_(config.tbt_budget_ms > 0 ? MsToNs(config.tbt_budget_ms) : 0),
       shed_expired_(config.shed_expired),
       shed_unmeetable_(config.shed_unmeetable) {}
 
@@ -94,9 +95,9 @@ Status SloPolicy::ShedVerdict(const Sequence& seq, TimeNs now, DurationNs min_re
   if (shed_unmeetable_ && now + min_remaining > seq.deadline) {
     return DeadlineExceededError("request " + std::to_string(seq.request_id) +
                                  " provably unmeetable: needs >= " +
-                                 std::to_string(NsToMilliseconds(min_remaining)) +
+                                 std::to_string(NsToMs(min_remaining)) +
                                  " ms, deadline in " +
-                                 std::to_string(NsToMilliseconds(seq.deadline - now)) + " ms");
+                                 std::to_string(NsToMs(seq.deadline - now)) + " ms");
   }
   return Status::Ok();
 }

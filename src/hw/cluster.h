@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/time_units.h"
 #include "common/types.h"
 #include "hw/link.h"
 #include "hw/npu.h"
@@ -42,7 +43,7 @@ struct ClusterConfig {
   bool enable_superpod = false;
   int machines_per_superpod = 0;  // 0 = the whole cluster is one SuperPod
   double ub_gbps = 196.0;
-  DurationNs ub_latency = MicrosecondsToNs(4);
+  DurationNs ub_latency = UsToNs(4);
 
   Bytes dram_capacity = 1536ull << 30;  // 1.5 TB, as in the paper
   double pcie_gbps = 32.0;              // PCIe 4.0 x16 per direction
@@ -51,10 +52,10 @@ struct ClusterConfig {
   double roce_gbps = 20.0;   // ~200 Gb/s NIC after protocol overhead
   double dram_gbps = 80.0;   // page-cache read bandwidth feeding PCIe
 
-  DurationNs pcie_latency = MicrosecondsToNs(5);
-  DurationNs ssd_latency = MicrosecondsToNs(80);
-  DurationNs hccs_latency = MicrosecondsToNs(10);
-  DurationNs roce_latency = MicrosecondsToNs(25);
+  DurationNs pcie_latency = UsToNs(5);
+  DurationNs ssd_latency = UsToNs(80);
+  DurationNs hccs_latency = UsToNs(10);
+  DurationNs roce_latency = UsToNs(25);
 
   // The spec a machine's NPUs are built from (npu_spec unless machine_specs
   // assigns a per-machine generation).

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "common/time_units.h"
 
 namespace deepserve::hw {
 
@@ -49,7 +50,7 @@ DurationNs Hccl::AllReduceDuration(int tp, Bytes bytes) const {
                       static_cast<double>(bytes);
   // Intra-server TP traffic rides HCCS-class links; add per-step latency for
   // the 2*(tp-1) ring phases.
-  DurationNs transfer = SecondsToNs(wire_bytes / (config.hccs_gbps * 1e9));
+  DurationNs transfer = SToNs(wire_bytes / (config.hccs_gbps * 1e9));
   DurationNs latency = static_cast<DurationNs>(2 * (tp - 1)) * config.hccs_latency;
   return transfer + latency;
 }

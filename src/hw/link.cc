@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "common/time_units.h"
 
 namespace deepserve::hw {
 
@@ -46,7 +47,7 @@ double SharedLink::PerFlowRate() const {
 void SharedLink::AdvanceProgress() {
   TimeNs now = sim_->Now();
   if (now > last_update_ && !flows_.empty()) {
-    double progressed = PerFlowRate() * NsToSeconds(now - last_update_);
+    double progressed = PerFlowRate() * NsToS(now - last_update_);
     for (auto& [id, flow] : flows_) {
       flow.remaining_bytes = std::max(0.0, flow.remaining_bytes - progressed);
     }
@@ -123,7 +124,7 @@ void SharedLink::SetBandwidthScale(double scale) {
 }
 
 DurationNs SharedLink::IsolatedDuration(Bytes bytes) const {
-  return latency_ + SecondsToNs(static_cast<double>(bytes) / bandwidth_bps_);
+  return latency_ + SToNs(static_cast<double>(bytes) / bandwidth_bps_);
 }
 
 }  // namespace deepserve::hw

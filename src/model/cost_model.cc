@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/time_units.h"
 
 namespace deepserve::model {
 
@@ -68,7 +69,7 @@ DurationNs CostModel::StepDuration(const StepShape& shape) const {
   const double shards = static_cast<double>(parallelism_.tp * parallelism_.pp);
   double compute_s = flops / shards / npu_.effective_flops();
   double memory_s = mem_bytes / shards / npu_.effective_hbm_bps();
-  DurationNs roofline = SecondsToNs(std::max(compute_s, memory_s));
+  DurationNs roofline = SToNs(std::max(compute_s, memory_s));
 
   // --- TP collectives -------------------------------------------------------
   DurationNs comm = 0;
@@ -81,7 +82,7 @@ DurationNs CostModel::StepDuration(const StepShape& shape) const {
     int layers_per_stage = std::max(1, model_.num_layers / parallelism_.pp);
     comm = static_cast<DurationNs>(
         static_cast<double>(layers_per_stage) *
-        (SecondsToNs(wire / (comm_.hccs_gbps * 1e9)) +
+        (SToNs(wire / (comm_.hccs_gbps * 1e9)) +
          static_cast<double>(2 * (parallelism_.tp - 1)) *
              static_cast<double>(comm_.per_hop_latency)));
   }
@@ -122,11 +123,11 @@ DurationNs CostModel::AeStepDuration(const StepShape& shape) const {
   // Per-layer activation round trip between the two TEs.
   double xfer_bytes_l = 2.0 * new_tokens * static_cast<double>(model_.hidden_dim) * bpp;
   double xfer_l = xfer_bytes_l / (ae_.activation_link_gbps * 1e9) +
-                  2.0 * NsToSeconds(ae_.per_layer_latency);
+                  2.0 * NsToS(ae_.per_layer_latency);
 
   // Layers pipeline across the two TEs: the slowest stage paces the step.
   double step_s = layers * std::max({attn_l, expert_l, xfer_l});
-  return SecondsToNs(step_s) + step_overhead_;
+  return SToNs(step_s) + step_overhead_;
 }
 
 DurationNs CostModel::PrefillDuration(int64_t prompt_tokens) const {

@@ -12,6 +12,7 @@
 
 #include <cstdint>
 
+#include "common/time_units.h"
 #include "common/types.h"
 #include "hw/npu.h"
 #include "model/model_spec.h"
@@ -41,7 +42,7 @@ int64_t AttendedTokens(int64_t past_len, int64_t chunk_len);
 // cost model stays a pure function).
 struct CommModel {
   double hccs_gbps = 90.0;
-  DurationNs per_hop_latency = MicrosecondsToNs(10);
+  DurationNs per_hop_latency = UsToNs(10);
 };
 
 // Operator-level (attention-expert) disaggregation (§4.5): attention runs on
@@ -52,7 +53,7 @@ struct CommModel {
 struct AeDisaggConfig {
   bool enabled = false;
   double activation_link_gbps = 90.0;  // SuperPod-class link
-  DurationNs per_layer_latency = MicrosecondsToNs(10);
+  DurationNs per_layer_latency = UsToNs(10);
 };
 
 // ---- cost/perf placement signals (pure functions of the spec triple) -------
@@ -125,7 +126,7 @@ class CostModel {
   ParallelismConfig parallelism_;
   CommModel comm_;
   AeDisaggConfig ae_;
-  DurationNs step_overhead_ = MicrosecondsToNs(400);
+  DurationNs step_overhead_ = UsToNs(400);
 };
 
 }  // namespace deepserve::model

@@ -18,6 +18,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/time_units.h"
 #include "common/types.h"
 
 namespace deepserve::model {
@@ -37,7 +38,7 @@ class Tokenizer {
   // Virtual-time cost of tokenizing: the module runs off the critical path in
   // FlowServe but its latency still delays enqueue.
   DurationNs EncodeDuration(size_t num_tokens) const {
-    return static_cast<DurationNs>(num_tokens) * MicrosecondsToNs(0.5);
+    return static_cast<DurationNs>(num_tokens) * UsToNs(0.5);
   }
 
   int vocab_size() const { return vocab_size_; }

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/time_units.h"
 #include "common/types.h"
 #include "rtc/block_pool.h"
 #include "rtc/radix_tree.h"
@@ -86,7 +87,7 @@ struct RtcConfig {
   // Position-independent caching (content-hash index alongside the tree).
   bool enable_pic = false;
   bool enable_background_swap = true;
-  DurationNs swap_interval = MillisecondsToNs(50);
+  DurationNs swap_interval = MsToNs(50);
   // Start demoting NPU->DRAM above this NPU-block usage fraction.
   double swap_high_watermark = 0.85;
   // Demote at most this many blocks per swap scan.

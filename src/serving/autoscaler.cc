@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "common/time_units.h"
 #include "serving/cluster_manager.h"
 #include "serving/job_executor.h"
 #include "serving/task_executor.h"
@@ -66,7 +67,7 @@ class PredictivePolicy final : public ScalePolicy {
 
   ScaleDecision Tick(const ScaleSignals& s) override {
     ScaleDecision d;
-    double dt = NsToSeconds(s.tick_interval);
+    double dt = NsToS(s.tick_interval);
     if (dt <= 0.0) {
       return d;
     }
@@ -103,11 +104,11 @@ class PredictivePolicy final : public ScalePolicy {
     double slope = 0.0;
     if (history_.back().first > history_.front().first) {
       slope = (history_.back().second - history_.front().second) /
-              NsToSeconds(history_.back().first - history_.front().first);
+              NsToS(history_.back().first - history_.front().first);
     }
     // Forecast at now + lead (+ one tick: the decision executes next tick at
     // the earliest under the in-flight cap).
-    double lead_s = NsToSeconds(s.scale_up_lead) + dt;
+    double lead_s = NsToS(s.scale_up_lead) + dt;
     double forecast = std::max(0.0, ewma_ + slope * lead_s);
     d.forecast_rps = forecast;
     forecasts_.push_back({s.now + s.scale_up_lead, forecast});
@@ -474,7 +475,7 @@ void Autoscaler::FinishDrain(TeId id) {
     m_drained_seqs_->Inc(te->drain_inflight());
   }
   if (m_drain_ms_ != nullptr) {
-    m_drain_ms_->Add(NsToMilliseconds(drain_ns));
+    m_drain_ms_->Add(NsToMs(drain_ns));
   }
   if (obs::Tracer* t = sim_->tracer()) {
     t->AsyncEnd(sim_->Now(), TracePid(), static_cast<uint64_t>(id), "te.drain");

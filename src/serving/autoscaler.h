@@ -31,6 +31,7 @@
 #include <string_view>
 
 #include "common/status.h"
+#include "common/time_units.h"
 #include "flowserve/engine_config.h"
 #include "hw/link.h"
 #include "serving/job.h"
@@ -51,7 +52,7 @@ struct ScaleRequest {
 };
 
 struct AutoscalerConfig {
-  DurationNs check_interval = SecondsToNs(2.0);
+  DurationNs check_interval = SToNs(2.0);
   int64_t scale_up_queue_depth = 16;   // avg queue depth triggering scale-up
   int64_t scale_down_queue_depth = 1;  // below this (and >min), shed a TE
   int min_tes = 1;
@@ -71,7 +72,7 @@ struct AutoscalerConfig {
   // Safety valve: a drain still unfinished after this long is force-killed
   // (KillTe, synchronous detection, so the JE re-dispatches the stragglers).
   // 0 = wait forever.
-  DurationNs drain_timeout = SecondsToNs(120);
+  DurationNs drain_timeout = SToNs(120);
 
   // Upper bound on scale-ups in flight at once ("reactive" additionally
   // hard-caps itself at one, preserving the historical behaviour).
@@ -85,7 +86,7 @@ struct AutoscalerConfig {
   // The trend is measured as the EWMA's drift over this window rather than
   // tick-to-tick (Poisson samples at sub-second ticks are far too noisy to
   // difference directly). 0 = one tick.
-  DurationNs slope_window = SecondsToNs(5.0);
+  DurationNs slope_window = SToNs(5.0);
 
   // -- slo knobs --------------------------------------------------------------
   // Per-tick violation rate (violations / (completions + violations)).
@@ -162,7 +163,7 @@ struct AutoscalerStats {
   double mean_drain_ms() const {
     return drains_completed == 0
                ? 0.0
-               : NsToMilliseconds(drain_ns_total) / static_cast<double>(drains_completed);
+               : NsToMs(drain_ns_total) / static_cast<double>(drains_completed);
   }
 };
 

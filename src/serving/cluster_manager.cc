@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "common/time_units.h"
 #include "model/cost_model.h"
 #include "model/model_spec.h"
 
@@ -108,7 +109,7 @@ int ClusterManager::TracePid() {
 void ClusterManager::TraceScalePhase(std::string_view phase, DurationNs duration) {
   if (obs::Tracer* t = sim_->tracer()) {
     t->Instant(sim_->Now(), TracePid(), 0, "scale.phase",
-               {obs::Arg("phase", phase), obs::Arg("ms", NsToMilliseconds(duration))});
+               {obs::Arg("phase", phase), obs::Arg("ms", NsToMs(duration))});
   }
 }
 
@@ -489,10 +490,10 @@ void ClusterManager::DetectTeFailure(TeId id) {
   if (obs::Tracer* t = sim_->tracer()) {
     t->Instant(sim_->Now(), TracePid(), 0, "fault.detect",
                {obs::Arg("te", static_cast<int64_t>(id)),
-                obs::Arg("detect_ms", NsToMilliseconds(detect_latency))});
+                obs::Arg("detect_ms", NsToMs(detect_latency))});
   }
   if (obs::MetricsRegistry* m = sim_->metrics()) {
-    m->stats("cm.faults.detect_ms")->Add(NsToMilliseconds(detect_latency));
+    m->stats("cm.faults.detect_ms")->Add(NsToMs(detect_latency));
   }
   ReleaseNpus(NpusFromInts(meta->npus));
   for (const auto& [handler_id, handler] : failure_handlers_) {
@@ -530,10 +531,10 @@ void ClusterManager::DetectTeFailure(TeId id) {
           t->Instant(sim_->Now(), TracePid(), 0, "fault.recover",
                      {obs::Arg("te", static_cast<int64_t>(id)),
                       obs::Arg("replacement", static_cast<int64_t>(replacement->id())),
-                      obs::Arg("mttr_ms", NsToMilliseconds(mttr))});
+                      obs::Arg("mttr_ms", NsToMs(mttr))});
         }
         if (obs::MetricsRegistry* m = sim_->metrics()) {
-          m->stats("cm.faults.mttr_ms")->Add(NsToMilliseconds(mttr));
+          m->stats("cm.faults.mttr_ms")->Add(NsToMs(mttr));
           m->counter("cm.faults.replacements")->Inc();
         }
         if (replace_on_ready_) {
@@ -602,11 +603,11 @@ void ClusterManager::RecoverControlLeader() {
   if (obs::Tracer* t = sim_->tracer()) {
     t->Instant(sim_->Now(), TracePid(), 0, "fault.cm_failover",
                {obs::Arg("epoch", directory_.epoch()),
-                obs::Arg("outage_ms", NsToMilliseconds(outage))});
+                obs::Arg("outage_ms", NsToMs(outage))});
   }
   if (obs::MetricsRegistry* m = sim_->metrics()) {
     m->counter("cm.ctrl.failovers")->Inc();
-    m->stats("cm.ctrl.outage_ms")->Add(NsToMilliseconds(outage));
+    m->stats("cm.ctrl.outage_ms")->Add(NsToMs(outage));
   }
   // 1. Pod-runtime backlog: TE crashes observed while no leader was
   //    listening become records now (stamped with their original times).

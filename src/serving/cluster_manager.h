@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/time_units.h"
 #include "ctrl/control_log.h"
 #include "ctrl/te_directory.h"
 #include "distflow/distflow.h"
@@ -70,18 +71,18 @@ struct ScalingOptimizations {
 // Stage latency constants (calibrated to the magnitudes in Fig. 8: tens of
 // seconds unoptimized, dominated by TE-Pre-Load after optimization).
 struct ScalingLatencyModel {
-  DurationNs pod_create_cold = SecondsToNs(12.0);
-  DurationNs pod_adapt_prewarmed = SecondsToNs(0.5);
-  DurationNs te_preload_cold = SecondsToNs(24.0);
+  DurationNs pod_create_cold = SToNs(12.0);
+  DurationNs pod_adapt_prewarmed = SToNs(0.5);
+  DurationNs te_preload_cold = SToNs(24.0);
   double te_preload_optimized_factor = 0.65;  // -35% via late import etc.
-  DurationNs te_adapt_prewarmed = SecondsToNs(0.4);
-  DurationNs tensor_init = SecondsToNs(0.3);  // PyTorch tensor creation
-  DurationNs warmup_profile = SecondsToNs(7.0);
-  DurationNs block_alloc_sync = SecondsToNs(1.5);
-  DurationNs block_alloc_async = SecondsToNs(0.05);
-  DurationNs dummy_request = SecondsToNs(0.4);
-  DurationNs te_list_poll = SecondsToNs(4.0);  // mean poll-based discovery lag
-  DurationNs push_latency = MillisecondsToNs(100);
+  DurationNs te_adapt_prewarmed = SToNs(0.4);
+  DurationNs tensor_init = SToNs(0.3);  // PyTorch tensor creation
+  DurationNs warmup_profile = SToNs(7.0);
+  DurationNs block_alloc_sync = SToNs(1.5);
+  DurationNs block_alloc_async = SToNs(0.05);
+  DurationNs dummy_request = SToNs(0.4);
+  DurationNs te_list_poll = SToNs(4.0);  // mean poll-based discovery lag
+  DurationNs push_latency = MsToNs(100);
   // NPU-fork bandwidth penalty while the source TE is serving (the NPU's
   // dedicated AICPU keeps this small, §6.2 / Fig. 10).
   double fork_busy_penalty = 0.08;
@@ -131,9 +132,9 @@ struct GenerationChoice {
 // platform *notices* — after `missed_heartbeats` heartbeat lapses for an NPU
 // crash, or after the (faster) pod-runtime signal for a TE-shell exit.
 struct FaultDetectionConfig {
-  DurationNs heartbeat_interval = MillisecondsToNs(500);
+  DurationNs heartbeat_interval = MsToNs(500);
   int missed_heartbeats = 3;
-  DurationNs shell_crash_detect_latency = MillisecondsToNs(100);
+  DurationNs shell_crash_detect_latency = MsToNs(100);
 
   DurationNs npu_crash_detect_latency() const {
     return heartbeat_interval * missed_heartbeats;
@@ -171,7 +172,7 @@ struct ClusterManagerStats {
 
   double mean_mttr_ms() const {
     return mttr_count == 0 ? 0.0
-                           : NsToMilliseconds(mttr_total) / static_cast<double>(mttr_count);
+                           : NsToMs(mttr_total) / static_cast<double>(mttr_count);
   }
 };
 

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "common/time_units.h"
 
 namespace deepserve::serving {
 
@@ -21,8 +22,8 @@ DurationNs FineTuneJobExecutor::EstimateTrainDuration(const FineTuneRequest& req
   hw::NpuSpec npu = manager_->cluster()->config().npu_spec;
   double cluster_flops = npu.effective_flops() * config_.train_mfu *
                          static_cast<double>(request.parallelism.TotalNpus());
-  DurationNs compute = SecondsToNs(flops / cluster_flops);
-  DurationNs checkpoint = SecondsToNs(
+  DurationNs compute = SToNs(flops / cluster_flops);
+  DurationNs checkpoint = SToNs(
       static_cast<double>(request.base_model.WeightBytes()) /
       (config_.checkpoint_write_gbps * 1e9));
   return compute + static_cast<DurationNs>(request.epochs) * checkpoint;
@@ -97,7 +98,7 @@ void FineTuneJobExecutor::RunPipeline(Pending pending, std::vector<hw::NpuId> np
 
   // --- task 1: preprocessing (CPU-side, no NPUs yet needed but held) -------
   TaskId preprocess = NewTask(job, TaskType::kPreprocess).id;
-  DurationNs prep = SecondsToNs(static_cast<double>(pending.request.dataset_tokens) /
+  DurationNs prep = SToNs(static_cast<double>(pending.request.dataset_tokens) /
                                 config_.preprocess_tokens_per_s);
   sim_->ScheduleAfter(prep, [this, job, preprocess, result,
                              pending = std::move(pending), npus = std::move(npus)]() mutable {
@@ -122,7 +123,7 @@ void FineTuneJobExecutor::RunPipeline(Pending pending, std::vector<hw::NpuId> np
       hw::NpuSpec npu = manager_->cluster()->config().npu_spec;
       double eval_flops = 2.0 * static_cast<double>(pending.request.base_model.ParamCount()) *
                           eval_tokens;
-      DurationNs eval_time = SecondsToNs(
+      DurationNs eval_time = SToNs(
           eval_flops / (npu.effective_flops() *
                         static_cast<double>(pending.request.parallelism.TotalNpus())));
       sim_->ScheduleAfter(eval_time, [this, job, evaluate, result,

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/time_units.h"
 #include "model/cost_model.h"
 #include "model/model_spec.h"
 #include "serving/cluster_manager.h"
@@ -51,7 +52,7 @@ struct FineTuneConfig {
   // Checkpoint write bandwidth (weights streamed to storage each epoch).
   double checkpoint_write_gbps = 2.0;
   // Retry cadence while waiting for NPUs.
-  DurationNs placement_retry = SecondsToNs(5);
+  DurationNs placement_retry = SToNs(5);
 };
 
 struct FineTuneStats {

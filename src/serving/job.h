@@ -1,58 +1,31 @@
-// The request-job-task serverless abstraction (§3).
-//
-// A user HTTP *request* triggers one or more internal *jobs*; each job fans
-// out into *tasks* executed on task executors. For model serving: a chat
-// completion is one job; on a PD-colocated engine it is one (unified) task,
-// on a PD-disaggregated pair it is a prefill task plus a decode task, and an
-// attention-expert-disaggregated deployment would create at least two. These
-// records give the platform observability over every stage.
+// Job/task record types moved to workload/job.h so the control plane
+// (ctrl/job_table) no longer depends on serving/ — that include closed a
+// ctrl <-> serving module cycle. This shim re-exports the names into
+// deepserve::serving for the executors, autoscaler, and tests; new code
+// should include workload/job.h directly.
 #ifndef DEEPSERVE_SERVING_JOB_H_
 #define DEEPSERVE_SERVING_JOB_H_
 
-#include <cstdint>
-#include <string>
-#include <vector>
-
-#include "common/types.h"
-#include "workload/request.h"
+#include "workload/job.h"
 
 namespace deepserve::serving {
 
-using JobId = uint64_t;
-using TaskId = uint64_t;
-using TeId = int32_t;
+using JobId = workload::JobId;
+using TaskId = workload::TaskId;
+using TeId = workload::TeId;
 
-inline constexpr TeId kInvalidTe = -1;
+using workload::kInvalidTe;
 
-enum class JobType { kChatCompletion, kBatchInference, kFineTune, kAgent };
-enum class JobState { kPending, kRunning, kCompleted, kFailed };
+using JobType = workload::JobType;
+using JobState = workload::JobState;
+using TaskType = workload::TaskType;
+using TaskState = workload::TaskState;
 
-enum class TaskType { kUnified, kPrefill, kDecode, kPreprocess, kTrain, kEvaluate };
-enum class TaskState { kPending, kDispatched, kRunning, kCompleted, kFailed };
+using workload::JobTypeToString;
+using workload::TaskTypeToString;
 
-std::string_view JobTypeToString(JobType type);
-std::string_view TaskTypeToString(TaskType type);
-
-struct TaskRecord {
-  TaskId id = 0;
-  JobId job = 0;
-  TaskType type = TaskType::kUnified;
-  TaskState state = TaskState::kPending;
-  TeId te = kInvalidTe;
-  TimeNs created = 0;
-  TimeNs dispatched = 0;
-  TimeNs completed = 0;
-};
-
-struct JobRecord {
-  JobId id = 0;
-  workload::RequestId request = 0;
-  JobType type = JobType::kChatCompletion;
-  JobState state = JobState::kPending;
-  std::vector<TaskId> tasks;
-  TimeNs created = 0;
-  TimeNs completed = 0;
-};
+using TaskRecord = workload::TaskRecord;
+using JobRecord = workload::JobRecord;
 
 }  // namespace deepserve::serving
 

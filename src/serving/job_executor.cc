@@ -4,43 +4,12 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "common/time_units.h"
 #include "model/cost_model.h"
 #include "serving/cluster_manager.h"
 #include "serving/route_policy.h"
 
 namespace deepserve::serving {
-
-std::string_view JobTypeToString(JobType type) {
-  switch (type) {
-    case JobType::kChatCompletion:
-      return "chat-completion";
-    case JobType::kBatchInference:
-      return "batch-inference";
-    case JobType::kFineTune:
-      return "fine-tune";
-    case JobType::kAgent:
-      return "agent";
-  }
-  return "?";
-}
-
-std::string_view TaskTypeToString(TaskType type) {
-  switch (type) {
-    case TaskType::kUnified:
-      return "unified";
-    case TaskType::kPrefill:
-      return "prefill";
-    case TaskType::kDecode:
-      return "decode";
-    case TaskType::kPreprocess:
-      return "preprocess";
-    case TaskType::kTrain:
-      return "train";
-    case TaskType::kEvaluate:
-      return "evaluate";
-  }
-  return "?";
-}
 
 std::string_view SchedulingPolicyToString(SchedulingPolicy policy) {
   switch (policy) {
@@ -894,7 +863,7 @@ void JobExecutor::RecoverLeader() {
   if (obs::Tracer* t = sim_->tracer()) {
     t->Instant(sim_->Now(), TracePid(), 0, "je.failover",
                {obs::Arg("epoch", table_.epoch()),
-                obs::Arg("outage_ms", NsToMilliseconds(sim_->Now() - crash_time_))});
+                obs::Arg("outage_ms", NsToMs(sim_->Now() - crash_time_))});
   }
   // Re-establish runtime bindings: TE pointers from replicated ids, and the
   // failure subscription the dead leader held.

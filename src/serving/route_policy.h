@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/time_units.h"
 #include "common/types.h"
 
 namespace deepserve::serving {
@@ -67,8 +68,8 @@ struct RouteConfig {
   // rotation for eject_base * 2^(ejections-1), capped at eject_max; it then
   // re-admits through a single half-open probe (see OutlierMonitor).
   int eject_consecutive_errors = 0;
-  DurationNs eject_base = SecondsToNs(5.0);
-  DurationNs eject_max = SecondsToNs(60.0);
+  DurationNs eject_base = SToNs(5.0);
+  DurationNs eject_max = SToNs(60.0);
 
   // -- shared retry budget (off unless retry_budget) --------------------------
   // Crash re-dispatches across every JE registered with the frontend may not

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "common/time_units.h"
 
 namespace deepserve::serving {
 
@@ -188,7 +189,7 @@ void TaskExecutor::AcceptPrefilled(const workload::RequestSpec& spec, SeqCallbac
   Status status = engine_->SubmitPrefilled(spec, on_complete, std::move(shed_error));
   if (status.code() == StatusCode::kResourceExhausted) {
     // Decode side momentarily out of KV: retry shortly (simple backpressure).
-    sim_->ScheduleAfter(MillisecondsToNs(10),
+    sim_->ScheduleAfter(MsToNs(10),
                         [this, spec, cb = std::move(on_complete), err = std::move(on_error)] {
                           AcceptPrefilled(spec, std::move(cb), std::move(err));
                         });  // ready() is re-checked on entry, so a dead TE stops the retry loop

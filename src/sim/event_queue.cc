@@ -2,13 +2,14 @@
 
 #include <algorithm>
 #include <utility>
+#include "common/time_units.h"
 
 namespace deepserve::sim {
 
 EventQueue::EventQueue() {
   nbuckets_ = kMinBuckets;
   mask_ = nbuckets_ - 1;
-  width_ = MicrosecondsToNs(10);
+  width_ = UsToNs(10);
   buckets_.assign(nbuckets_, kNilIdx);
   tails_.assign(nbuckets_, kNilIdx);
   cur_bucket_ = 0;

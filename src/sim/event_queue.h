@@ -45,6 +45,7 @@
 
 #include "common/logging.h"
 #include "common/small_fn.h"
+#include "common/time_units.h"
 #include "common/types.h"
 
 namespace deepserve::sim {
@@ -112,7 +113,7 @@ class EventQueue {
   static constexpr size_t kMaxChainWalk = 128;
   // Width clamp keeps bucket_top_ arithmetic far from int64 overflow even
   // when a full bucket ring is scanned.
-  static constexpr TimeNs kMaxWidth = SecondsToNs(60);
+  static constexpr TimeNs kMaxWidth = SToNs(60);
 
   static uint32_t IndexOf(Handle h) { return static_cast<uint32_t>(h & 0xffffffffu); }
   static uint32_t GenOf(Handle h) { return static_cast<uint32_t>(h >> 32); }

@@ -134,6 +134,7 @@ class PeriodicTask {
     // callback can swap fn_ without destroying the closure mid-call.
     fn_ = std::make_shared<EventFn>(std::move(fn));
     running_ = true;
+    // ds-lint: allow(deferred-capture, epoch guard — Fire() no-ops when Stop()/Start() bumped epoch_; owner must Stop() before destruction per class comment)
     event_ = sim_->ScheduleAfter(interval_, [this, epoch = epoch_] { Fire(epoch); });
   }
 
@@ -157,6 +158,7 @@ class PeriodicTask {
     auto keep = fn_;  // survives a Start()/Stop() issued by the body
     (*keep)();
     if (running_ && epoch == epoch_) {  // body may have called Stop()/Start()
+      // ds-lint: allow(deferred-capture, epoch guard — the re-arm carries the epoch it fired under and goes inert if the chain was restarted)
       event_ = sim_->ScheduleAfter(interval_, [this, epoch] { Fire(epoch); });
     }
   }

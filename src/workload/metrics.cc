@@ -6,6 +6,7 @@
 #include <ostream>
 
 #include "common/logging.h"
+#include "common/time_units.h"
 
 namespace deepserve::workload {
 
@@ -29,14 +30,14 @@ double MetricsCollector::DecodeThroughput() const {
     return 0.0;
   }
   return static_cast<double>(total_output_tokens_) /
-         NsToSeconds(last_completion_ - first_arrival_);
+         NsToS(last_completion_ - first_arrival_);
 }
 
 double MetricsCollector::RequestThroughput() const {
   if (records_.empty() || last_completion_ <= first_arrival_) {
     return 0.0;
   }
-  return static_cast<double>(records_.size()) / NsToSeconds(last_completion_ - first_arrival_);
+  return static_cast<double>(records_.size()) / NsToS(last_completion_ - first_arrival_);
 }
 
 double MetricsCollector::SloAttainment(double ttft_ms_target, double tpot_ms_target) const {
@@ -63,8 +64,8 @@ void MetricsCollector::WriteCsv(std::ostream& out) const {
   out << "request_id,arrival_ms,first_token_ms,completion_ms,prefill_len,decode_len,"
          "ttft_ms,tpot_ms,jct_ms\n";
   for (const auto& r : records_) {
-    out << r.id << ',' << NsToMilliseconds(r.arrival) << ',' << NsToMilliseconds(r.first_token)
-        << ',' << NsToMilliseconds(r.completion) << ',' << r.prefill_len << ',' << r.decode_len
+    out << r.id << ',' << NsToMs(r.arrival) << ',' << NsToMs(r.first_token)
+        << ',' << NsToMs(r.completion) << ',' << r.prefill_len << ',' << r.decode_len
         << ',' << r.ttft_ms() << ',' << r.tpot_ms() << ',' << r.jct_ms() << '\n';
   }
 }

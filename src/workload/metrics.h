@@ -15,6 +15,7 @@
 #include "common/status.h"
 
 #include "common/stats.h"
+#include "common/time_units.h"
 #include "common/types.h"
 #include "workload/request.h"
 
@@ -28,13 +29,13 @@ struct RequestRecord {
   int64_t prefill_len = 0;
   int64_t decode_len = 0;
 
-  double ttft_ms() const { return NsToMilliseconds(first_token - arrival); }
-  double jct_ms() const { return NsToMilliseconds(completion - arrival); }
+  double ttft_ms() const { return NsToMs(first_token - arrival); }
+  double jct_ms() const { return NsToMs(completion - arrival); }
   double tpot_ms() const {
     if (decode_len <= 1) {
       return 0.0;
     }
-    return NsToMilliseconds(completion - first_token) / static_cast<double>(decode_len - 1);
+    return NsToMs(completion - first_token) / static_cast<double>(decode_len - 1);
   }
 };
 

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "common/time_units.h"
 
 namespace deepserve::workload {
 
@@ -70,7 +71,7 @@ std::vector<RequestSpec> TraceGenerator::Generate() {
     }
     RequestSpec req;
     req.id = next_id++;
-    req.arrival = SecondsToNs(t);
+    req.arrival = SToNs(t);
     int64_t plen = config_.prefill.Sample(lengths);
     req.decode_len = config_.decode.Sample(lengths);
     req.prompt = MakePrompt(plen, prompts);
@@ -106,7 +107,7 @@ std::vector<RequestSpec> TraceGenerator::GenerateBursty(double base_rps, double 
     }
     RequestSpec req;
     req.id = next_id++;
-    req.arrival = SecondsToNs(t);
+    req.arrival = SToNs(t);
     int64_t plen = config_.prefill.Sample(lengths);
     req.decode_len = config_.decode.Sample(lengths);
     req.prompt = MakePrompt(plen, prompts);

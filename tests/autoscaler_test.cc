@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/time_units.h"
 #include "distflow/distflow.h"
 #include "hw/cluster.h"
 #include "model/model_spec.h"
@@ -29,7 +30,7 @@ namespace {
 
 serving::ScaleSignals Sig(int live, int64_t queue, int pending = 0) {
   serving::ScaleSignals s;
-  s.tick_interval = MillisecondsToNs(500);
+  s.tick_interval = MsToNs(500);
   s.live_tes = live;
   s.total_queue_depth = queue;
   s.pending_scale_ups = pending;
@@ -119,8 +120,8 @@ TEST(PredictivePolicyTest, ScalesAheadOfRampWithEmptyQueues) {
   config.policy = "reactive";
   auto reactive = serving::MakeScalePolicy(config).value();
 
-  const DurationNs tick = MillisecondsToNs(500);
-  const double dt = NsToSeconds(tick);
+  const DurationNs tick = MsToNs(500);
+  const double dt = NsToS(tick);
   int64_t predictive_ups = 0;
   int64_t reactive_ups = 0;
   double admitted = 0.0;
@@ -131,7 +132,7 @@ TEST(PredictivePolicyTest, ScalesAheadOfRampWithEmptyQueues) {
     serving::ScaleSignals s = Sig(live, /*queue=*/0);
     s.now = tick * (k + 1);
     s.admitted_requests = static_cast<int64_t>(admitted);
-    s.scale_up_lead = SecondsToNs(3.0);
+    s.scale_up_lead = SToNs(3.0);
     serving::ScaleDecision d = predictive->Tick(s);
     predictive_ups += d.scale_up;
     live += d.scale_up;  // pretend scale-ups land instantly
@@ -146,13 +147,13 @@ TEST(PredictivePolicyTest, ForecastsAreScoredOnceTargetTimeArrives) {
   serving::AutoscalerConfig config;
   config.policy = "predictive";
   auto policy = serving::MakeScalePolicy(config).value();
-  const DurationNs tick = MillisecondsToNs(500);
+  const DurationNs tick = MsToNs(500);
   bool scored = false;
   for (int k = 0; k < 20; ++k) {
     serving::ScaleSignals s = Sig(1, 0);
     s.now = tick * (k + 1);
     s.admitted_requests = k;  // steady 2 rps
-    s.scale_up_lead = SecondsToNs(2.0);
+    s.scale_up_lead = SToNs(2.0);
     serving::ScaleDecision d = policy->Tick(s);
     if (d.forecast_abs_err >= 0.0) {
       scored = true;
@@ -172,16 +173,16 @@ TEST(PredictivePolicyTest, ArmedDownStreakRetiresOneTePerTick) {
   config.min_tes = 1;
   config.max_tes = 8;
   auto policy = serving::MakeScalePolicy(config).value();
-  const DurationNs tick = MillisecondsToNs(500);
+  const DurationNs tick = MsToNs(500);
   int live = 4;
   int tick_index = 0;
   auto advance = [&](double rate_rps, int64_t queue) {
     static double admitted = 0.0;
-    admitted += rate_rps * NsToSeconds(tick);
+    admitted += rate_rps * NsToS(tick);
     serving::ScaleSignals s = Sig(live, queue);
     s.now = tick * (++tick_index);
     s.admitted_requests = static_cast<int64_t>(admitted);
-    s.scale_up_lead = SecondsToNs(1.0);
+    s.scale_up_lead = SToNs(1.0);
     return policy->Tick(s);
   };
   // Warm up the EWMA at saturation so live=4 is justified, then go quiet.
@@ -216,7 +217,7 @@ TEST(SloPolicyTest, ScalesOnViolationRateNotQueueDepth) {
   config.min_tes = 1;
   config.max_tes = 8;
   auto policy = serving::MakeScalePolicy(config).value();
-  const DurationNs tick = MillisecondsToNs(500);
+  const DurationNs tick = MsToNs(500);
 
   // Baseline tick.
   serving::ScaleSignals s = Sig(2, 0);
@@ -291,7 +292,7 @@ GoldenRun RunReactiveGolden(uint64_t seed) {
   je.AddColocatedTe(first.value());
 
   serving::AutoscalerConfig as;
-  as.check_interval = MillisecondsToNs(500);
+  as.check_interval = MsToNs(500);
   as.scale_up_queue_depth = 4;
   as.scale_down_queue_depth = 0;
   as.min_tes = 1;
@@ -330,7 +331,7 @@ GoldenRun RunReactiveGolden(uint64_t seed) {
                               [&](const Status&) { ++out.errored; }});
     });
   }
-  sim.RunUntil(t0 + SecondsToNs(180));
+  sim.RunUntil(t0 + SToNs(180));
   manager.StopAutoscaler();
   sim.Run();
 
@@ -422,7 +423,7 @@ class DrainTest : public ::testing::Test {
   serving::AutoscalerConfig ShedConfig() {
     serving::AutoscalerConfig config;
     config.policy = "reactive";
-    config.check_interval = MillisecondsToNs(50);
+    config.check_interval = MsToNs(50);
     config.scale_up_queue_depth = 1 << 20;
     config.scale_down_queue_depth = 1 << 20;
     config.min_tes = 1;
@@ -458,7 +459,7 @@ TEST_F(DrainTest, GracefulDrainLosesNoInflightWork) {
   request.engine = engine_;
   manager_.StartAutoscaler(&je_, ShedConfig(), request);
   // Let the work land and the first tick pick a (busy) victim, then run out.
-  sim_.RunUntil(SecondsToNs(60));
+  sim_.RunUntil(SToNs(60));
   manager_.StopAutoscaler();
   sim_.Run();
 
@@ -489,7 +490,7 @@ TEST_F(DrainTest, LegacyInstantStopSkipsBusyTes) {
   serving::ScaleRequest request;
   request.engine = engine_;
   manager_.StartAutoscaler(&je_, config, request);
-  sim_.RunUntil(SecondsToNs(60));
+  sim_.RunUntil(SToNs(60));
   manager_.StopAutoscaler();
   sim_.Run();
 
@@ -504,12 +505,12 @@ TEST_F(DrainTest, CrashRacingDrainAbortsItAndConservesRequests) {
   constexpr int kRequests = 8;
   SubmitAll(kRequests);
   serving::AutoscalerConfig config = ShedConfig();
-  config.drain_timeout = SecondsToNs(5);  // bound how long the abort takes to surface
+  config.drain_timeout = SToNs(5);  // bound how long the abort takes to surface
   serving::ScaleRequest request;
   request.engine = engine_;
   manager_.StartAutoscaler(&je_, config, request);
   // First tick at 50 ms starts the drain; crash the draining TE mid-drain.
-  sim_.ScheduleAt(MillisecondsToNs(80), [this] {
+  sim_.ScheduleAt(MsToNs(80), [this] {
     for (const auto& te : manager_.tes()) {
       if (te->draining()) {
         ASSERT_TRUE(manager_.KillTe(te->id()).ok());
@@ -518,7 +519,7 @@ TEST_F(DrainTest, CrashRacingDrainAbortsItAndConservesRequests) {
     }
     FAIL() << "no TE was draining at crash time";
   });
-  sim_.RunUntil(SecondsToNs(60));
+  sim_.RunUntil(SToNs(60));
   manager_.StopAutoscaler();
   sim_.Run();
 
@@ -535,11 +536,11 @@ TEST_F(DrainTest, DrainTimeoutForceKillsIntoRedispatch) {
   SubmitAll(kRequests);
   serving::AutoscalerConfig config = ShedConfig();
   // Far too short for 512/128-token jobs: the drain must time out.
-  config.drain_timeout = MillisecondsToNs(1);
+  config.drain_timeout = MsToNs(1);
   serving::ScaleRequest request;
   request.engine = engine_;
   manager_.StartAutoscaler(&je_, config, request);
-  sim_.RunUntil(SecondsToNs(60));
+  sim_.RunUntil(SToNs(60));
   manager_.StopAutoscaler();
   sim_.Run();
 

@@ -15,16 +15,17 @@
 #include "common/sorted_view.h"
 #include "common/stats.h"
 #include "common/status.h"
+#include "common/time_units.h"
 #include "common/types.h"
 
 namespace deepserve {
 namespace {
 
 TEST(TypesTest, TimeConversionsRoundTrip) {
-  EXPECT_EQ(MillisecondsToNs(1), 1000000);
-  EXPECT_EQ(SecondsToNs(2.5), 2500000000ll);
-  EXPECT_DOUBLE_EQ(NsToMilliseconds(MillisecondsToNs(42)), 42.0);
-  EXPECT_DOUBLE_EQ(NsToSeconds(SecondsToNs(0.125)), 0.125);
+  EXPECT_EQ(MsToNs(1), 1000000);
+  EXPECT_EQ(SToNs(2.5), 2500000000ll);
+  EXPECT_DOUBLE_EQ(NsToMs(MsToNs(42)), 42.0);
+  EXPECT_DOUBLE_EQ(NsToS(SToNs(0.125)), 0.125);
 }
 
 TEST(TypesTest, ByteHelpers) {

@@ -10,6 +10,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/time_units.h"
 #include "ctrl/control_log.h"
 #include "ctrl/job_table.h"
 #include "ctrl/te_directory.h"
@@ -130,16 +131,16 @@ TEST(ControlLogTest, FailoverDelayChargesLeaseGapAndTailReplay) {
   ctrl::CtrlConfig config;
   config.replicas = 3;
   config.quorum = 2;
-  config.replication_latency = MillisecondsToNs(2);
-  config.lease_duration = MillisecondsToNs(100);
-  config.replay_cost_per_record = MicrosecondsToNs(2);
+  config.replication_latency = MsToNs(2);
+  config.lease_duration = MsToNs(100);
+  config.replay_cost_per_record = UsToNs(2);
   ctrl::ControlLog log(&sim, config);
   EXPECT_TRUE(log.replicated());
   const int32_t domain = log.RegisterDomain("dir");
 
   // Three records at t=0, two more at t=10ms.
   for (int i = 0; i < 3; ++i) log.Append({0, 0, domain, 1, {}, {}});
-  sim.ScheduleAt(MillisecondsToNs(10), [&] {
+  sim.ScheduleAt(MsToNs(10), [&] {
     log.Append({0, 0, domain, 1, {}, {}});
     log.Append({0, 0, domain, 1, {}, {}});
   });
@@ -147,21 +148,21 @@ TEST(ControlLogTest, FailoverDelayChargesLeaseGapAndTailReplay) {
 
   // Crash at t=11ms: the replication horizon is 9ms, so only the two records
   // stamped at 10ms are still unreplicated.
-  const TimeNs crash = MillisecondsToNs(11);
+  const TimeNs crash = MsToNs(11);
   EXPECT_EQ(log.UnreplicatedAt(crash), 2);
   EXPECT_EQ(log.FailoverDelay(crash),
-            MillisecondsToNs(100) + MillisecondsToNs(2) + 2 * MicrosecondsToNs(2));
+            MsToNs(100) + MsToNs(2) + 2 * UsToNs(2));
 
   // Long after the appends everything has replicated; only lease + fetch remain.
-  EXPECT_EQ(log.UnreplicatedAt(SecondsToNs(5)), 0);
-  EXPECT_EQ(log.FailoverDelay(SecondsToNs(5)), MillisecondsToNs(100) + MillisecondsToNs(2));
+  EXPECT_EQ(log.UnreplicatedAt(SToNs(5)), 0);
+  EXPECT_EQ(log.FailoverDelay(SToNs(5)), MsToNs(100) + MsToNs(2));
 }
 
 TEST(ControlLogTest, DegenerateConfigIsNotReplicated) {
   sim::Simulator sim;
   ctrl::ControlLog degenerate(&sim);
   EXPECT_FALSE(degenerate.replicated());
-  EXPECT_EQ(degenerate.UnreplicatedAt(SecondsToNs(1)), 0);
+  EXPECT_EQ(degenerate.UnreplicatedAt(SToNs(1)), 0);
 }
 
 // ---------------- State-machine replay through the real stack ----------------
@@ -226,7 +227,7 @@ TEST_F(CtrlStackTest, JobTableReplayMatchesLiveAfterTraffic) {
 
   int completed = 0;
   for (int i = 1; i <= 6; ++i) {
-    sim_.ScheduleAt(MillisecondsToNs(50 * i), [&, i] {
+    sim_.ScheduleAt(MsToNs(50 * i), [&, i] {
       je.HandleRequest(MakeRequest(i, 128, 16),
                        {nullptr, [&](const flowserve::Sequence&) { ++completed; }, nullptr});
     });
@@ -261,7 +262,7 @@ TEST_F(CtrlStackTest, KillTeMidPipelineAbortsWithoutReadyCallback) {
   EXPECT_GT(manager.directory().npus_in_use(), npus_before);
   EXPECT_EQ(manager.directory().open_pipelines().size(), 1u);
 
-  sim_.RunUntil(SecondsToNs(5));  // mid Scaler-Pre (cold pod creation is 12s)
+  sim_.RunUntil(SToNs(5));  // mid Scaler-Pre (cold pod creation is 12s)
   auto dropped = manager.KillTe(id.value());
   ASSERT_TRUE(dropped.ok());
   EXPECT_EQ(dropped.value(), 0u);  // a provisioning TE holds no requests
@@ -295,7 +296,7 @@ TEST_F(CtrlStackTest, CrashTeMidPipelineAbortsLikeKill) {
     delivered = te;
   });
   ASSERT_TRUE(id.ok());
-  sim_.RunUntil(SecondsToNs(20));  // mid TE-Pre-Load
+  sim_.RunUntil(SToNs(20));  // mid TE-Pre-Load
   auto dropped = manager.CrashTe(id.value(), serving::CrashKind::kTeShell);
   ASSERT_TRUE(dropped.ok());
   EXPECT_EQ(dropped.value(), 0u);
@@ -316,8 +317,8 @@ TEST_F(CtrlStackTest, CmFailoverResumesParkedPipelineExactlyOnce) {
   ctrl::CtrlConfig config;
   config.replicas = 3;
   config.quorum = 2;
-  config.replication_latency = MillisecondsToNs(1);
-  config.lease_duration = SecondsToNs(10);
+  config.replication_latency = MsToNs(1);
+  config.lease_duration = SToNs(10);
   ctrl::ControlLog log(&sim_, config);
   serving::ClusterManager manager(&sim_, &cluster_, &transfer_, {}, {}, &log);
 
@@ -334,7 +335,7 @@ TEST_F(CtrlStackTest, CmFailoverResumesParkedPipelineExactlyOnce) {
 
   // Crash the leader mid Scaler-Pre; the 12s stage boundary lands inside the
   // ~10s outage and must park rather than advance.
-  sim_.RunUntil(SecondsToNs(5));
+  sim_.RunUntil(SToNs(5));
   ASSERT_TRUE(manager.CrashControlLeader().ok());
   EXPECT_FALSE(manager.leader_up());
   EXPECT_FALSE(manager.CrashControlLeader().ok());  // already down
@@ -362,8 +363,8 @@ TEST_F(CtrlStackTest, TeCrashDuringCmOutageDetectedAtTakeover) {
   ctrl::CtrlConfig config;
   config.replicas = 3;
   config.quorum = 2;
-  config.replication_latency = MillisecondsToNs(1);
-  config.lease_duration = SecondsToNs(2);
+  config.replication_latency = MsToNs(1);
+  config.lease_duration = SToNs(2);
   ctrl::ControlLog log(&sim_, config);
   serving::ClusterManager manager(&sim_, &cluster_, &transfer_, {}, {}, &log);
   manager.ReservePrewarmedPods(2);
@@ -389,7 +390,7 @@ TEST_F(CtrlStackTest, TeCrashDuringCmOutageDetectedAtTakeover) {
   je.AddColocatedTe(te);
   const serving::TeId victim = te->id();
 
-  sim_.RunUntil(SecondsToNs(1));
+  sim_.RunUntil(SToNs(1));
   ASSERT_TRUE(manager.CrashControlLeader().ok());
   // The TE dies while no leader is listening: the data plane loses it now,
   // but the report sits in the pod-runtime backlog until takeover.
@@ -416,7 +417,7 @@ TEST_F(CtrlStackTest, SingleReplicaOutageIsPermanentUntilManualRecovery) {
   ASSERT_NE(te, nullptr);
 
   ASSERT_TRUE(manager.CrashControlLeader().ok());
-  sim_.RunUntil(SecondsToNs(60));
+  sim_.RunUntil(SToNs(60));
   EXPECT_FALSE(manager.leader_up());  // no standby: nobody takes over
   EXPECT_EQ(manager.stats().cm_failovers, 0);
   serving::ScaleRequest request;
@@ -440,8 +441,8 @@ TEST_F(CtrlStackTest, JeFailoverLosesNoRequestsAndFiresHandlersExactlyOnce) {
   ctrl::CtrlConfig config;
   config.replicas = 3;
   config.quorum = 2;
-  config.replication_latency = MillisecondsToNs(1);
-  config.lease_duration = MillisecondsToNs(100);
+  config.replication_latency = MsToNs(1);
+  config.lease_duration = MsToNs(100);
   ctrl::ControlLog log(&sim_, config);
   serving::ClusterManager manager(&sim_, &cluster_, &transfer_, {}, {}, &log);
   serving::JeConfig je_config;
@@ -456,7 +457,7 @@ TEST_F(CtrlStackTest, JeFailoverLosesNoRequestsAndFiresHandlersExactlyOnce) {
   std::map<workload::RequestId, int> terminations;
   int completed = 0, errored = 0;
   for (int i = 1; i <= kRequests; ++i) {
-    sim_.ScheduleAt(MillisecondsToNs(100 * (i - 1)), [&, i] {
+    sim_.ScheduleAt(MsToNs(100 * (i - 1)), [&, i] {
       je.HandleRequest(MakeRequest(i, 256, 32),
                        {nullptr,
                         [&, i](const flowserve::Sequence&) {
@@ -471,7 +472,7 @@ TEST_F(CtrlStackTest, JeFailoverLosesNoRequestsAndFiresHandlersExactlyOnce) {
   }
   // Crash mid-stream: some requests in flight (their completions must park),
   // some yet to arrive (they must buffer, then dispatch at takeover).
-  sim_.ScheduleAt(MillisecondsToNs(650), [&] {
+  sim_.ScheduleAt(MsToNs(650), [&] {
     ASSERT_TRUE(je.CrashLeader().ok());
     EXPECT_FALSE(je.leader_up());
     EXPECT_FALSE(je.HasReadyCapacity());
@@ -500,8 +501,8 @@ TEST_F(CtrlStackTest, TeDeathDuringJeOutageReconciledAtTakeover) {
   ctrl::CtrlConfig config;
   config.replicas = 3;
   config.quorum = 2;
-  config.replication_latency = MillisecondsToNs(1);
-  config.lease_duration = MillisecondsToNs(200);
+  config.replication_latency = MsToNs(1);
+  config.lease_duration = MsToNs(200);
   ctrl::ControlLog log(&sim_, config);
   serving::ClusterManager manager(&sim_, &cluster_, &transfer_, {}, {}, &log);
   serving::JeConfig je_config;
@@ -518,7 +519,7 @@ TEST_F(CtrlStackTest, TeDeathDuringJeOutageReconciledAtTakeover) {
   std::map<workload::RequestId, int> terminations;
   int completed = 0, errored = 0;
   for (int i = 1; i <= kRequests; ++i) {
-    sim_.ScheduleAt(MillisecondsToNs(80 * i), [&, i] {
+    sim_.ScheduleAt(MsToNs(80 * i), [&, i] {
       je.HandleRequest(MakeRequest(i, 512, 128),
                        {nullptr,
                         [&, i](const flowserve::Sequence&) {
@@ -531,10 +532,10 @@ TEST_F(CtrlStackTest, TeDeathDuringJeOutageReconciledAtTakeover) {
                         }});
     });
   }
-  sim_.ScheduleAt(MillisecondsToNs(550), [&] { ASSERT_TRUE(je.CrashLeader().ok()); });
+  sim_.ScheduleAt(MsToNs(550), [&] { ASSERT_TRUE(je.CrashLeader().ok()); });
   // The CM leader is alive and kills the TE immediately; the JE's handler
   // (registered by AttachControl) parks the failure until its own takeover.
-  sim_.ScheduleAt(MillisecondsToNs(600),
+  sim_.ScheduleAt(MsToNs(600),
                   [&] { ASSERT_TRUE(manager.KillTe(te_a->id()).ok()); });
   sim_.Run();
 
@@ -569,7 +570,7 @@ TEST_F(CtrlStackTest, SingleReplicaJeCrashFailsOutstandingAndRejectsArrivals) {
                      {nullptr, [&](const flowserve::Sequence&) { ++completed; },
                       [&](const Status& status) { errors.push_back(status.code()); }});
   }
-  sim_.RunUntil(MillisecondsToNs(300));  // all in flight
+  sim_.RunUntil(MsToNs(300));  // all in flight
   ASSERT_TRUE(je.CrashLeader().ok());
   EXPECT_FALSE(je.leader_up());
   // No standby: every outstanding job severed immediately, engine side too.
@@ -661,7 +662,7 @@ GoldenRow RunGoldenStack(uint64_t seed) {
 
   serving::AutoscalerConfig as;
   as.policy = "predictive";
-  as.check_interval = MillisecondsToNs(500);
+  as.check_interval = MsToNs(500);
   as.scale_up_queue_depth = 4;
   as.scale_down_queue_depth = 1;
   as.min_tes = 1;
@@ -675,8 +676,8 @@ GoldenRow RunGoldenStack(uint64_t seed) {
   faults::FaultInjector injector(&sim, &manager, seed);
   faults::FaultPlanConfig plan;
   plan.count = 5;
-  plan.window_start = SecondsToNs(2);
-  plan.window_end = SecondsToNs(25);
+  plan.window_start = SToNs(2);
+  plan.window_end = SToNs(25);
   injector.ScheduleAll(faults::FaultInjector::GeneratePlan(seed, plan));
 
   auto trace_config = workload::TraceGenerator::InternalTrace(2.0, 30.0, seed);
@@ -709,7 +710,7 @@ GoldenRow RunGoldenStack(uint64_t seed) {
                               }});
     });
   }
-  sim.RunUntil(t0 + SecondsToNs(40));
+  sim.RunUntil(t0 + SToNs(40));
   manager.StopAutoscaler();
   sim.Run();
 

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "common/time_units.h"
 #include "ctrl/control_log.h"
 #include "distflow/distflow.h"
 #include "faults/fault_injector.h"
@@ -99,8 +100,8 @@ Outcome RunStack(uint64_t seed, bool enable_faults, bool ctrl_faults = false,
   if (ctrl_faults) {
     ctrl_config.replicas = 3;
     ctrl_config.quorum = 2;
-    ctrl_config.replication_latency = MillisecondsToNs(1);
-    ctrl_config.lease_duration = MillisecondsToNs(300);
+    ctrl_config.replication_latency = MsToNs(1);
+    ctrl_config.lease_duration = MsToNs(300);
   }
   ctrl::ControlLog ctrl_log(&sim, ctrl_config);
   serving::ClusterManager manager(&sim, &cluster, &transfer, {}, {},
@@ -145,7 +146,7 @@ Outcome RunStack(uint64_t seed, bool enable_faults, bool ctrl_faults = false,
 
   serving::AutoscalerConfig as;
   as.policy = "predictive";
-  as.check_interval = MillisecondsToNs(500);
+  as.check_interval = MsToNs(500);
   as.scale_up_queue_depth = 4;
   as.scale_down_queue_depth = 1;
   as.min_tes = 1;
@@ -163,8 +164,8 @@ Outcome RunStack(uint64_t seed, bool enable_faults, bool ctrl_faults = false,
   if (enable_faults) {
     faults::FaultPlanConfig plan;
     plan.count = 5;
-    plan.window_start = SecondsToNs(2);
-    plan.window_end = SecondsToNs(25);
+    plan.window_start = SToNs(2);
+    plan.window_end = SToNs(25);
     if (ctrl_faults) {
       plan.count = 7;
       plan.cm_crash_weight = 1.5;
@@ -206,7 +207,7 @@ Outcome RunStack(uint64_t seed, bool enable_faults, bool ctrl_faults = false,
                               }});
     });
   }
-  sim.RunUntil(t0 + SecondsToNs(40));
+  sim.RunUntil(t0 + SToNs(40));
   manager.StopAutoscaler();
   sim.Run();
 

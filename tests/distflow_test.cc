@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "common/time_units.h"
 #include "common/types.h"
 #include "distflow/distflow.h"
 #include "hw/cluster.h"
@@ -94,7 +95,7 @@ TEST_F(TransferEngineTest, DramToNpuRidesPcie) {
   sim_.Run();
   EXPECT_TRUE(done);
   // 16 GiB at 32 GB/s PCIe ≈ 0.54 s.
-  EXPECT_NEAR(NsToSeconds(sim_.Now()), 0.537, 0.05);
+  EXPECT_NEAR(NsToS(sim_.Now()), 0.537, 0.05);
 }
 
 TEST_F(TransferEngineTest, SsdToNpuIsTwoHops) {
@@ -104,7 +105,7 @@ TEST_F(TransferEngineTest, SsdToNpuIsTwoHops) {
   sim_.Run();
   EXPECT_EQ(engine_.stats().multi_hop_transfers, 1);
   // SSD hop (3 GB/s) dominates: ~1.07 s + PCIe hop ~0.1 s.
-  EXPECT_GT(NsToSeconds(sim_.Now()), 1.0);
+  EXPECT_GT(NsToS(sim_.Now()), 1.0);
 }
 
 TEST_F(TransferEngineTest, SameTierSameDeviceIsOverheadOnly) {
@@ -139,13 +140,13 @@ TEST_F(TransferEngineTest, ForcedBackendOverridesTopology) {
                 [&] { done = sim_.Now(); })
       .ok();
   sim_.Run();
-  EXPECT_NEAR(NsToSeconds(done), static_cast<double>(GiB(8)) / 20e9, 0.1);
+  EXPECT_NEAR(NsToS(done), static_cast<double>(GiB(8)) / 20e9, 0.1);
 }
 
 TEST_F(TransferEngineTest, WorkerShardingSerializesPerPair) {
   DistFlowConfig config;
   config.num_workers = 1;
-  config.per_op_overhead = MillisecondsToNs(1);
+  config.per_op_overhead = MsToNs(1);
   TransferEngine serialized(&sim_, &cluster_, config);
   ASSERT_TRUE(serialized.RegisterEndpoint(0, 0).ok());
   int completed = 0;
@@ -158,7 +159,7 @@ TEST_F(TransferEngineTest, WorkerShardingSerializesPerPair) {
   sim_.Run();
   EXPECT_EQ(completed, 10);
   // 10 ops x 1 ms serialized through a single worker.
-  EXPECT_GE(sim_.Now(), MillisecondsToNs(10));
+  EXPECT_GE(sim_.Now(), MsToNs(10));
 }
 
 TEST_F(TransferEngineTest, EstimateMatchesIsolatedTransfer) {
@@ -170,7 +171,7 @@ TEST_F(TransferEngineTest, EstimateMatchesIsolatedTransfer) {
   ASSERT_TRUE(engine_.Transfer(src, dst, [&] { done = sim_.Now(); }).ok());
   sim_.Run();
   EXPECT_NEAR(static_cast<double>(*estimate), static_cast<double>(done),
-              static_cast<double>(MillisecondsToNs(20)));
+              static_cast<double>(MsToNs(20)));
 }
 
 TEST_F(TransferEngineTest, EstimateAccountsForContention) {
@@ -178,7 +179,7 @@ TEST_F(TransferEngineTest, EstimateAccountsForContention) {
   auto dst = Region(0, rtc::Tier::kNpu, GiB(8));
   DurationNs idle_estimate = engine_.EstimateTransfer(src, dst).value();
   ASSERT_TRUE(engine_.Transfer(src, dst, nullptr).ok());
-  sim_.RunUntil(MillisecondsToNs(50));  // let the flow start
+  sim_.RunUntil(MsToNs(50));  // let the flow start
   DurationNs busy_estimate = engine_.EstimateTransfer(src, dst).value();
   EXPECT_GT(busy_estimate, idle_estimate + idle_estimate / 2);
   sim_.Run();

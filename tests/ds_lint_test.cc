@@ -132,6 +132,32 @@ TEST(DsLintFixtures, SuppressionInterplay) {
   CheckFixtures({"suppress_interplay.cc"});
 }
 
+TEST(DsLintFixtures, GoodDeferredIsClean) {
+  CheckFixtures({"good_deferred.cc"});
+}
+
+TEST(DsLintFixtures, BadDeferredFlagsEveryEscapingCapture) {
+  CheckFixtures({"bad_deferred.cc"});
+}
+
+TEST(DsLintFixtures, BadDeferredHeaderThisAndAudits) {
+  CheckFixtures({"bad_deferred.h"});
+}
+
+TEST(DsLintFixtures, LayeringEdgesAndSeededCycle) {
+  // One source set so the include graph sees both halves of the cycle.
+  CheckFixtures({"layer/src/sim/good_edge.h", "layer/src/ctrl/bad_edge.h",
+                 "layer/src/distflow/uses_rtc.h", "layer/src/rtc/bad_cycle.h"});
+}
+
+TEST(DsLintFixtures, GoodTimeUnitsIsClean) {
+  CheckFixtures({"good_timeunits.cc"});
+}
+
+TEST(DsLintFixtures, BadTimeUnitsFlagsMixesAndRawLiterals) {
+  CheckFixtures({"bad_timeunits.cc"});
+}
+
 TEST(DsLintOutput, FindingsAreSortedAndFormatted) {
   // Two files given out of order, each with one obvious violation.
   std::vector<std::pair<std::string, std::string>> sources = {
@@ -169,9 +195,56 @@ TEST(DsLintRules, EveryRuleIdIsKnownAndUnique) {
     EXPECT_TRUE(ids.insert(std::string(rule->id())).second)
         << "duplicate rule id " << rule->id();
   }
-  // One rule file per family; the five families together.
-  EXPECT_GE(ids.size(), 10u);
+  // One rule file per family; the eight families together.
+  EXPECT_GE(ids.size(), 16u);
   EXPECT_FALSE(IsKnownRule("no-such-rule"));
+}
+
+TEST(DsLintOutput, ParallelScanMatchesSerialByteForByte) {
+  // All bad fixtures at once: a healthy mix of per-file findings plus
+  // cross-file index state (smallfn sinks, include graph, ns-typed names).
+  std::vector<std::string> names = {
+      "bad_determinism.cc",          "bad_status.h",
+      "bad_status.cc",               "bad_obs.cc",
+      "bad_hygiene.h",               "bad_hygiene.cc",
+      "bad_ctrl.cc",                 "bad_deferred.cc",
+      "bad_deferred.h",              "bad_timeunits.cc",
+      "layer/src/ctrl/bad_edge.h",   "layer/src/distflow/uses_rtc.h",
+      "layer/src/rtc/bad_cycle.h",   "suppress_interplay.cc"};
+  std::vector<std::pair<std::string, std::string>> sources;
+  for (const std::string& name : names) {
+    sources.emplace_back(name, ReadFile(fs::path(DS_LINT_TESTDATA) / name));
+  }
+  std::string serial = FormatFindings(LintSources(sources, 1));
+  EXPECT_FALSE(serial.empty());
+  for (int threads : {2, 4, 8}) {
+    EXPECT_EQ(FormatFindings(LintSources(sources, threads)), serial)
+        << "thread count " << threads << " changed the output";
+  }
+}
+
+TEST(DsLintOutput, JsonIsStableAndEscaped) {
+  std::vector<std::pair<std::string, std::string>> sources = {
+      {"zzz.cc", "void F() { srand(1); }\n"},
+      {"aaa.cc", "void G() { srand(2); }\n"},
+  };
+  std::vector<Finding> findings = LintSources(sources);
+  ASSERT_EQ(findings.size(), 2u);
+  std::string json = FormatFindingsJson(findings);
+  // Sorted: aaa.cc before zzz.cc, with the stable field order.
+  size_t a = json.find("\"file\": \"aaa.cc\"");
+  size_t z = json.find("\"file\": \"zzz.cc\"");
+  ASSERT_NE(a, std::string::npos) << json;
+  ASSERT_NE(z, std::string::npos) << json;
+  EXPECT_LT(a, z);
+  EXPECT_EQ(json.rfind("[\n", 0), 0u) << json;
+  EXPECT_NE(json.find("\"rule\": \"banned-call\""), std::string::npos) << json;
+  // Escaping: quotes and backslashes in messages cannot corrupt the array.
+  Finding hostile{"a\"b.cc", 3, "banned-call", "say \"hi\"\\\n"};
+  std::string escaped = FormatFindingsJson({hostile});
+  EXPECT_NE(escaped.find("a\\\"b.cc"), std::string::npos) << escaped;
+  EXPECT_NE(escaped.find("say \\\"hi\\\"\\\\\\n"), std::string::npos) << escaped;
+  EXPECT_EQ(FormatFindingsJson({}), "[]\n");
 }
 
 // Mirrors the production walker in tools/ds_lint/main.cc: same roots, same

@@ -16,6 +16,7 @@
 
 #include "common/rng.h"
 #include "common/status.h"
+#include "common/time_units.h"
 #include "flowserve/engine.h"
 #include "flowserve/sched/fcfs_policy.h"
 #include "flowserve/sched/priority_policy.h"
@@ -74,7 +75,7 @@ GoldenResult RunGoldenWorkload(uint64_t seed, bool adaptive, bool pic) {
   for (int i = 0; i < n; ++i) {
     workload::RequestSpec spec;
     spec.id = static_cast<workload::RequestId>(i + 1);
-    spec.arrival = SecondsToNs(rng.Uniform(0, 6));
+    spec.arrival = SToNs(rng.Uniform(0, 6));
     spec.decode_len = rng.UniformInt(4, 160);
     spec.priority = static_cast<int>(rng.UniformInt(0, 2));
     int64_t len = rng.UniformInt(32, 1500);
@@ -185,7 +186,7 @@ TEST(SchedPolicyFactoryTest, FcfsNeverWantsShedChecks) {
   EXPECT_FALSE(fcfs.AdmissionMayPreempt(seq));
   // Default verdict is always OK (fcfs never sheds), even past a deadline.
   seq.deadline = 1;
-  EXPECT_TRUE(fcfs.ShedVerdict(seq, MillisecondsToNs(100), 0).ok());
+  EXPECT_TRUE(fcfs.ShedVerdict(seq, MsToNs(100), 0).ok());
 }
 
 // ---------------------------------------------------------------------------
@@ -219,8 +220,8 @@ TEST(SloPolicyTest, AdmissionIsEarliestDeadlineFirst) {
   sched::SchedConfig config;
   config.policy = "slo";
   sched::SloPolicy policy(config);
-  Sequence a = MakeSeq(1, 0, 100, SecondsToNs(9));
-  Sequence b = MakeSeq(2, 2, 300, SecondsToNs(3));  // earliest deadline, worst class
+  Sequence a = MakeSeq(1, 0, 100, SToNs(9));
+  Sequence b = MakeSeq(2, 2, 300, SToNs(3));  // earliest deadline, worst class
   Sequence c = MakeSeq(3, 1, 200, 0);               // no deadline = last
   std::deque<Sequence*> ready = {&a, &b, &c};
   EXPECT_EQ((*policy.NextAdmission(ready, 0))->request_id, 2);
@@ -233,8 +234,8 @@ TEST(SloPolicyTest, AdmissionTiesFallBackToFcfsOrder) {
   config.policy = "slo";
   sched::SloPolicy policy(config);
   // Same deadline: priority breaks the tie, then enqueue time.
-  Sequence a = MakeSeq(1, 1, 100, SecondsToNs(5));
-  Sequence b = MakeSeq(2, 0, 300, SecondsToNs(5));
+  Sequence a = MakeSeq(1, 1, 100, SToNs(5));
+  Sequence b = MakeSeq(2, 0, 300, SToNs(5));
   std::deque<Sequence*> ready = {&a, &b};
   EXPECT_EQ((*policy.NextAdmission(ready, 0))->request_id, 2);
   // No deadlines at all degenerates to pure fcfs.
@@ -253,14 +254,14 @@ TEST(SloPolicyTest, BoundChunkFindsLargestChunkUnderBudget) {
   config.policy = "slo";
   config.tbt_budget_ms = 30.0;
   sched::SloPolicy policy(config);
-  Sequence seq = MakeSeq(1, 1, 0, SecondsToNs(10));
+  Sequence seq = MakeSeq(1, 1, 0, SToNs(10));
   // 1 ms per token: the largest chunk under a 30 ms budget is exactly 30.
-  auto linear = [](int64_t chunk) { return MillisecondsToNs(1) * chunk; };
+  auto linear = [](int64_t chunk) { return MsToNs(1) * chunk; };
   EXPECT_EQ(policy.BoundChunk(seq, 100, /*step_has_decode=*/true, linear), 30);
   // Already under budget: untouched.
   EXPECT_EQ(policy.BoundChunk(seq, 20, true, linear), 20);
   // Even a single token would blow the budget: skip prefill this step.
-  auto huge = [](int64_t chunk) { return MillisecondsToNs(40) * std::max<int64_t>(chunk, 1); };
+  auto huge = [](int64_t chunk) { return MsToNs(40) * std::max<int64_t>(chunk, 1); };
   EXPECT_EQ(policy.BoundChunk(seq, 100, true, huge), 0);
   // No decode in the step: nothing to protect, full chunk goes through.
   EXPECT_EQ(policy.BoundChunk(seq, 100, /*step_has_decode=*/false, huge), 100);
@@ -272,7 +273,7 @@ TEST(SloPolicyTest, BoundChunkWithoutBudgetIsIdentity) {
   config.tbt_budget_ms = 0.0;
   sched::SloPolicy policy(config);
   Sequence seq = MakeSeq(1, 1, 0);
-  auto huge = [](int64_t chunk) { return MillisecondsToNs(1000) * std::max<int64_t>(chunk, 1); };
+  auto huge = [](int64_t chunk) { return MsToNs(1000) * std::max<int64_t>(chunk, 1); };
   EXPECT_EQ(policy.BoundChunk(seq, 512, true, huge), 512);
 }
 
@@ -295,10 +296,10 @@ TEST(SloPolicyTest, VictimHasFarthestDeadline) {
   sched::SchedConfig config;
   config.policy = "slo";
   sched::SloPolicy policy(config);
-  Sequence keep = MakeSeq(99, 0, 0, SecondsToNs(1));
-  Sequence a = MakeSeq(1, 1, 100, SecondsToNs(2));
-  Sequence b = MakeSeq(2, 1, 50, SecondsToNs(8));  // farthest deadline: victim
-  Sequence c = MakeSeq(3, 1, 80, SecondsToNs(5));
+  Sequence keep = MakeSeq(99, 0, 0, SToNs(1));
+  Sequence a = MakeSeq(1, 1, 100, SToNs(2));
+  Sequence b = MakeSeq(2, 1, 50, SToNs(8));  // farthest deadline: victim
+  Sequence c = MakeSeq(3, 1, 80, SToNs(5));
   std::vector<Sequence*> candidates = {&a, &b, &c};
   EXPECT_EQ(policy.PickVictim(candidates, keep, sched::PreemptReason::kDecodeGrowth), &b);
   // A sequence with no deadline is the first pick over any dated one.
@@ -332,15 +333,15 @@ TEST(SloPolicyTest, ShedVerdictExpiredAndUnmeetable) {
   config.policy = "slo";
   sched::SloPolicy policy(config);
   Sequence none = MakeSeq(1, 1, 0, 0);
-  EXPECT_TRUE(policy.ShedVerdict(none, SecondsToNs(100), SecondsToNs(100)).ok());
+  EXPECT_TRUE(policy.ShedVerdict(none, SToNs(100), SToNs(100)).ok());
 
-  Sequence dated = MakeSeq(2, 1, 0, SecondsToNs(5));
+  Sequence dated = MakeSeq(2, 1, 0, SToNs(5));
   // Comfortably meetable.
-  EXPECT_TRUE(policy.ShedVerdict(dated, SecondsToNs(1), SecondsToNs(1)).ok());
+  EXPECT_TRUE(policy.ShedVerdict(dated, SToNs(1), SToNs(1)).ok());
   // Expired outright.
-  EXPECT_EQ(policy.ShedVerdict(dated, SecondsToNs(6), 0).code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(policy.ShedVerdict(dated, SToNs(6), 0).code(), StatusCode::kDeadlineExceeded);
   // Not yet expired, but the remaining-service lower bound overshoots.
-  EXPECT_EQ(policy.ShedVerdict(dated, SecondsToNs(4), SecondsToNs(2)).code(),
+  EXPECT_EQ(policy.ShedVerdict(dated, SToNs(4), SToNs(2)).code(),
             StatusCode::kDeadlineExceeded);
 }
 
@@ -350,8 +351,8 @@ TEST(SloPolicyTest, ShedVerdictRespectsConfigGates) {
   config.shed_expired = false;
   config.shed_unmeetable = false;
   sched::SloPolicy policy(config);
-  Sequence dated = MakeSeq(1, 1, 0, SecondsToNs(5));
-  EXPECT_TRUE(policy.ShedVerdict(dated, SecondsToNs(6), SecondsToNs(100)).ok());
+  Sequence dated = MakeSeq(1, 1, 0, SToNs(5));
+  EXPECT_TRUE(policy.ShedVerdict(dated, SToNs(6), SToNs(100)).ok());
 }
 
 // ---------------------------------------------------------------------------
@@ -394,7 +395,7 @@ TEST(EngineSchedTest, SloShedsExpiredQueuedRequestExactlyOnce) {
   // Request 1: deadline of 1 ns — expired the moment it reaches the ready
   // queue. Request 2: generous deadline — must complete normally.
   workload::RequestSpec doomed = MakeSpec(1, 600, 30, /*deadline=*/1);
-  workload::RequestSpec fine = MakeSpec(2, 200, 10, /*deadline=*/SecondsToNs(300));
+  workload::RequestSpec fine = MakeSpec(2, 200, 10, /*deadline=*/SToNs(300));
   engine.Submit(
       doomed, nullptr, [&](const Sequence&) { ++completions; },
       [&](const Sequence& seq, const Status& status) {
@@ -435,7 +436,7 @@ TEST(EngineSchedTest, SloShedsRequestThatExpiresMidDecode) {
   int64_t generated_at_shed = -1;
   // 5000 decode tokens cannot finish within 500 ms on Tiny1B; the sequence
   // must be shed while decoding.
-  workload::RequestSpec spec = MakeSpec(1, 128, 5000, MillisecondsToNs(500));
+  workload::RequestSpec spec = MakeSpec(1, 128, 5000, MsToNs(500));
   engine.Submit(
       spec, nullptr, [&](const Sequence&) { ++completions; },
       [&](const Sequence& seq, const Status& status) {
@@ -473,7 +474,7 @@ EngineStats RunTbtWorkload(const std::string& policy, double tbt_budget_ms) {
   });
   for (int i = 0; i < kLongPrompts; ++i) {
     workload::RequestSpec spec = MakeSpec(static_cast<workload::RequestId>(i + 2), 6000, 4);
-    spec.arrival = MillisecondsToNs(200 + 150 * i);
+    spec.arrival = MsToNs(200 + 150 * i);
     sim.ScheduleAt(spec.arrival, [&engine, &completions, spec] {
       engine.Submit(spec, nullptr, [&](const Sequence&) { ++completions; });
     });
@@ -491,8 +492,8 @@ TEST(EngineSchedTest, SloBoundsMaxDecodeStepUnderTbtBudget) {
   // fcfs happily schedules a 6000-token chunk next to the running decode, so
   // some decode-bearing step far exceeds the budget; slo caps every mixed
   // step's predicted duration at the budget.
-  EXPECT_GT(fcfs.max_decode_step, MillisecondsToNs(kBudgetMs));
-  EXPECT_LE(slo.max_decode_step, MillisecondsToNs(kBudgetMs));
+  EXPECT_GT(fcfs.max_decode_step, MsToNs(kBudgetMs));
+  EXPECT_LE(slo.max_decode_step, MsToNs(kBudgetMs));
   EXPECT_LT(slo.max_decode_step, fcfs.max_decode_step);
   EXPECT_EQ(slo.tbt_violations, 0);
   // Nothing had a deadline, so the slo run must not shed anything.
@@ -515,8 +516,8 @@ TEST(EngineSchedTest, SloRunsAreBitIdenticalPerSeed) {
     for (int i = 0; i < 24; ++i) {
       workload::RequestSpec spec =
           MakeSpec(static_cast<workload::RequestId>(i + 1), rng.UniformInt(64, 900),
-                   rng.UniformInt(4, 80), /*deadline=*/SecondsToNs(rng.Uniform(0.2, 4.0)));
-      spec.arrival = SecondsToNs(rng.Uniform(0, 2));
+                   rng.UniformInt(4, 80), /*deadline=*/SToNs(rng.Uniform(0.2, 4.0)));
+      spec.arrival = SToNs(rng.Uniform(0, 2));
       sim.ScheduleAt(spec.arrival, [&engine, &mix, spec] {
         engine.Submit(
             spec, nullptr,
@@ -548,7 +549,7 @@ TEST(EngineSchedTest, PriorityPreemptEvictsLowerClassOnAdmission) {
     int completions = 0;
     workload::RequestSpec batch = MakeSpec(1, 400, 100, 0, /*priority=*/2);
     workload::RequestSpec inter = MakeSpec(2, 300, 20, 0, /*priority=*/0);
-    inter.arrival = MillisecondsToNs(100);
+    inter.arrival = MsToNs(100);
     engine.Submit(batch, nullptr, [&](const Sequence&) { ++completions; });
     sim.ScheduleAt(inter.arrival, [&engine, &completions, inter, inter_first_token] {
       engine.Submit(

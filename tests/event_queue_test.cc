@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/small_fn.h"
+#include "common/time_units.h"
 #include "common/types.h"
 #include "sim/event_queue.h"
 
@@ -137,7 +138,7 @@ TEST(EventQueueTest, InsertBehindScanWindowStillPopsFirst) {
   std::vector<uint64_t> fired;
   // A single far-future event forces the dequeue scan to jump its window far
   // forward when probed...
-  InsertMarked(q, SecondsToNs(1000), &fired, 1);
+  InsertMarked(q, SToNs(1000), &fired, 1);
   TimeNs t = 0;
   SmallFn fn;
   EXPECT_FALSE(q.PopIfDue(100, &t, &fn));
@@ -149,7 +150,7 @@ TEST(EventQueueTest, InsertBehindScanWindowStillPopsFirst) {
   fn();
   fn.Reset();
   ASSERT_TRUE(q.PopIfDue(kTimeNever, &t, &fn));
-  EXPECT_EQ(t, SecondsToNs(1000));
+  EXPECT_EQ(t, SToNs(1000));
   fn();
   EXPECT_EQ(fired, (std::vector<uint64_t>{2, 1}));
 }
@@ -157,11 +158,11 @@ TEST(EventQueueTest, InsertBehindScanWindowStillPopsFirst) {
 TEST(EventQueueTest, SparseAndClusteredTimesInterleave) {
   EventQueue q;
   std::vector<uint64_t> fired;
-  InsertMarked(q, SecondsToNs(3600), &fired, 0);  // an hour out
+  InsertMarked(q, SToNs(3600), &fired, 0);  // an hour out
   InsertMarked(q, 5, &fired, 1);
-  InsertMarked(q, SecondsToNs(1), &fired, 2);
+  InsertMarked(q, SToNs(1), &fired, 2);
   InsertMarked(q, 6, &fired, 3);
-  InsertMarked(q, SecondsToNs(3600), &fired, 4);  // equal-time FIFO at the far end
+  InsertMarked(q, SToNs(3600), &fired, 4);  // equal-time FIFO at the far end
   Drain(q);
   EXPECT_EQ(fired, (std::vector<uint64_t>{1, 3, 2, 0, 4}));
 }
@@ -229,10 +230,10 @@ TEST(EventQueueTest, FarEventsMigrateInExactOrder) {
   // Near cluster: microsecond-scale. Far cluster: seconds out, interleaved
   // insertion so seq ordering crosses the tier boundary.
   InsertMarked(q, 100, &fired, 0);
-  InsertMarked(q, SecondsToNs(5), &fired, 1);
+  InsertMarked(q, SToNs(5), &fired, 1);
   InsertMarked(q, 200, &fired, 2);
-  InsertMarked(q, SecondsToNs(5), &fired, 3);  // same far time, later seq
-  InsertMarked(q, SecondsToNs(2), &fired, 4);
+  InsertMarked(q, SToNs(5), &fired, 3);  // same far time, later seq
+  InsertMarked(q, SToNs(2), &fired, 4);
   EXPECT_GT(q.overflow_size(), 0u) << "second-scale events should take the overflow tier";
   EXPECT_EQ(Drain(q), 5u);
   EXPECT_EQ(fired, (std::vector<uint64_t>{0, 2, 4, 1, 3}));
@@ -246,11 +247,11 @@ TEST(EventQueueTest, LimitBelowOverflowBoundLeavesFarTimersParked) {
   EventQueue q;
   std::vector<uint64_t> fired;
   for (uint64_t i = 0; i < 100; ++i) {
-    InsertMarked(q, SecondsToNs(1) + static_cast<TimeNs>(i), &fired, i);
+    InsertMarked(q, SToNs(1) + static_cast<TimeNs>(i), &fired, i);
   }
   TimeNs t = 0;
   SmallFn fn;
-  EXPECT_FALSE(q.PopIfDue(MillisecondsToNs(1), &t, &fn));
+  EXPECT_FALSE(q.PopIfDue(MsToNs(1), &t, &fn));
   EXPECT_GT(q.overflow_size(), 0u) << "a far-only probe must not force migration";
   EXPECT_EQ(Drain(q), 100u);
   for (uint64_t i = 0; i < 100; ++i) {
@@ -273,7 +274,7 @@ TEST(EventQueueTest, MassCancelledFarTimersCompactAndSurvivorsFire) {
   std::vector<EventQueue::Handle> handles;
   std::vector<TimeNs> times;
   for (uint64_t i = 0; i < 5000; ++i) {
-    TimeNs t = SecondsToNs(1) + static_cast<TimeNs>(next() % 1000000);
+    TimeNs t = SToNs(1) + static_cast<TimeNs>(next() % 1000000);
     handles.push_back(InsertMarked(q, t, &fired, i));
     times.push_back(t);
     expected[{t, i}] = i;
@@ -317,7 +318,7 @@ TEST(EventQueueTest, RandomOpsMatchReferenceModel) {
     uint64_t r = next() % 100;
     if (r < 55 || all_handles.empty()) {
       // Mixed near/far horizon exercises both the year scan and direct search.
-      TimeNs horizon = (next() % 20 == 0) ? SecondsToNs(10) : TimeNs{20000};
+      TimeNs horizon = (next() % 20 == 0) ? SToNs(10) : TimeNs{20000};
       TimeNs t = now + static_cast<TimeNs>(next() % static_cast<uint64_t>(horizon));
       uint64_t o = ord++;
       EventQueue::Handle h = InsertMarked(q, t, &fired, o);

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/time_units.h"
 #include "common/types.h"
 #include "faults/fault_injector.h"
 
@@ -121,8 +122,8 @@ TEST(FaultFuzzTest, ValidGrammarCornersStillParse) {
   // Fractional seconds and scientific notation are fine when in range.
   auto sci = FaultInjector::ParseSchedule("npu@1.5e1;link@0.25:0.5x1e1");
   ASSERT_TRUE(sci.ok()) << sci.status().ToString();
-  EXPECT_EQ((*sci)[0].time, SecondsToNs(15.0));
-  EXPECT_EQ((*sci)[1].duration, SecondsToNs(10.0));
+  EXPECT_EQ((*sci)[0].time, SToNs(15.0));
+  EXPECT_EQ((*sci)[1].duration, SToNs(10.0));
 }
 
 // Random byte soup over the grammar's alphabet: the parser must classify

@@ -7,6 +7,7 @@
 #include <set>
 #include <vector>
 
+#include "common/time_units.h"
 #include "ctrl/control_log.h"
 #include "distflow/distflow.h"
 #include "faults/fault_injector.h"
@@ -71,7 +72,7 @@ TEST_F(CancelTest, CancelQueuedRequestFiresNoCallbacks) {
 
 TEST_F(CancelTest, CancelMidPrefillReleasesKv) {
   engine_.Submit(MakeRequest(1, 4096, 128), nullptr, nullptr);
-  sim_.RunUntil(MillisecondsToNs(120));  // some chunks done, prefill ongoing
+  sim_.RunUntil(MsToNs(120));  // some chunks done, prefill ongoing
   EXPECT_GT(engine_.rtc().npu_blocks_used(), 0);
   ASSERT_TRUE(engine_.Cancel(1).ok());
   sim_.Run();
@@ -86,7 +87,7 @@ TEST_F(CancelTest, CancelMidDecodeLeavesOthersRunning) {
                  [&](const flowserve::Sequence&) { ++completed; });
   engine_.Submit(MakeRequest(2, 512, 64, 30000), nullptr,
                  [&](const flowserve::Sequence&) { ++completed; });
-  sim_.RunUntil(SecondsToNs(1.0));  // both decoding
+  sim_.RunUntil(SToNs(1.0));  // both decoding
   ASSERT_TRUE(engine_.Cancel(1).ok());
   sim_.Run();
   EXPECT_EQ(completed, 1);  // only request 2 finished
@@ -111,12 +112,12 @@ TEST_F(CancelTest, CancelDuringPopulateWait) {
 
   // Slow transfers so the populate window is wide.
   engine_.SetRtcTransferFn([this](rtc::Tier, rtc::Tier, Bytes, std::function<void()> cb) {
-    sim_.ScheduleAfter(SecondsToNs(5), std::move(cb));
+    sim_.ScheduleAfter(SToNs(5), std::move(cb));
   });
   auto second = MakeRequest(2, 2048, 4);
   bool second_done = false;
   engine_.Submit(second, nullptr, [&](const flowserve::Sequence&) { second_done = true; });
-  sim_.RunUntil(sim_.Now() + MillisecondsToNs(100));  // inside the populate
+  sim_.RunUntil(sim_.Now() + MsToNs(100));  // inside the populate
   ASSERT_TRUE(engine_.Cancel(2).ok());
   sim_.Run();
   EXPECT_FALSE(second_done);
@@ -130,7 +131,7 @@ TEST_F(CancelTest, AbortDropsEverything) {
                                static_cast<TokenId>(100 + 999 * i)),
                    nullptr, [&](const flowserve::Sequence&) { ++callbacks; });
   }
-  sim_.RunUntil(MillisecondsToNs(300));
+  sim_.RunUntil(MsToNs(300));
   size_t dropped = engine_.Abort();
   EXPECT_EQ(dropped, 6u);
   sim_.Run();
@@ -142,7 +143,7 @@ TEST_F(CancelTest, AbortDropsEverything) {
 
 TEST_F(CancelTest, EngineUsableAfterAbort) {
   engine_.Submit(MakeRequest(1, 1024, 128), nullptr, nullptr);
-  sim_.RunUntil(MillisecondsToNs(100));
+  sim_.RunUntil(MsToNs(100));
   engine_.Abort();
   bool done = false;
   engine_.Submit(MakeRequest(2, 512, 16, 40000), nullptr,
@@ -216,7 +217,7 @@ TEST_F(FaultToleranceTest, ColocatedTeFailureRedispatchesInflightJobs) {
       completed.insert(id);
     }, nullptr});
   }
-  sim_.RunUntil(MillisecondsToNs(200));  // work in flight on both TEs
+  sim_.RunUntil(MsToNs(200));  // work in flight on both TEs
   auto dropped = manager_->KillTe(te1->id());
   ASSERT_TRUE(dropped.ok());
   EXPECT_GT(*dropped, 0u);
@@ -242,7 +243,7 @@ TEST_F(FaultToleranceTest, DecodeTeFailureRetriesDisaggregatedJobs) {
       completed.insert(id);
     }, nullptr});
   }
-  sim_.RunUntil(SecondsToNs(1));  // some decodes running on both decode TEs
+  sim_.RunUntil(SToNs(1));  // some decodes running on both decode TEs
   ASSERT_TRUE(manager_->KillTe(decode1->id()).ok());
   sim_.Run();
   EXPECT_EQ(completed.size(), 6u);
@@ -262,7 +263,7 @@ TEST_F(FaultToleranceTest, PrefillTeFailureRetriesViaSurvivingPair) {
       completed.insert(id);
     }, nullptr});
   }
-  sim_.RunUntil(MillisecondsToNs(200));  // prefills in flight
+  sim_.RunUntil(MsToNs(200));  // prefills in flight
   ASSERT_TRUE(manager_->KillTe(prefill1->id()).ok());
   sim_.Run();
   EXPECT_EQ(completed.size(), 6u);
@@ -276,7 +277,7 @@ TEST_F(FaultToleranceTest, FailedJobsMarkedInLedger) {
     je_->HandleRequest(MakeRequest(static_cast<workload::RequestId>(i + 1), 1024, 256,
                                    static_cast<TokenId>(100 + 131 * i)), {nullptr, nullptr, nullptr});
   }
-  sim_.RunUntil(MillisecondsToNs(400));
+  sim_.RunUntil(MsToNs(400));
   ASSERT_TRUE(manager_->KillTe(te1->id()).ok());
   sim_.Run();
   int failed = 0;
@@ -325,16 +326,16 @@ TEST_F(FaultToleranceTest, NpuCrashDetectionLandsOnHeartbeatGrid) {
       completed.insert(id);
     }, nullptr});
   }
-  sim_.RunUntil(MillisecondsToNs(200));
+  sim_.RunUntil(MsToNs(200));
   ASSERT_TRUE(manager_->CrashTe(te1->id(), serving::CrashKind::kNpu).ok());
   // The TE is dead immediately, but the platform has not noticed yet.
   EXPECT_EQ(te1->state(), serving::TeState::kFailed);
   EXPECT_EQ(je_->stats().failed_tes_handled, 0);
   // Default detection: 3 missed 500ms heartbeats from t=200ms lands at
   // 1700ms, quantized up to the 2000ms heartbeat tick.
-  sim_.RunUntil(MillisecondsToNs(1999));
+  sim_.RunUntil(MsToNs(1999));
   EXPECT_EQ(manager_->stats().detections, 0);
-  sim_.RunUntil(MillisecondsToNs(2001));
+  sim_.RunUntil(MsToNs(2001));
   EXPECT_EQ(manager_->stats().detections, 1);
   EXPECT_EQ(je_->stats().failed_tes_handled, 1);
   EXPECT_DOUBLE_EQ(manager_->stats().mean_mttr_ms(), 1800.0);
@@ -346,11 +347,11 @@ TEST_F(FaultToleranceTest, ShellCrashDetectedFasterThanHeartbeatLapse) {
   auto* te1 = AddTe(flowserve::EngineRole::kColocated);
   AddTe(flowserve::EngineRole::kColocated);
   Link();
-  sim_.RunUntil(MillisecondsToNs(200));
+  sim_.RunUntil(MsToNs(200));
   ASSERT_TRUE(manager_->CrashTe(te1->id(), serving::CrashKind::kTeShell).ok());
-  sim_.RunUntil(MillisecondsToNs(299));
+  sim_.RunUntil(MsToNs(299));
   EXPECT_EQ(manager_->stats().detections, 0);
-  sim_.RunUntil(MillisecondsToNs(301));  // pod-runtime signal after 100ms
+  sim_.RunUntil(MsToNs(301));  // pod-runtime signal after 100ms
   EXPECT_EQ(manager_->stats().detections, 1);
   EXPECT_DOUBLE_EQ(manager_->stats().mean_mttr_ms(), 100.0);
 }
@@ -360,15 +361,15 @@ TEST_F(FaultToleranceTest, DetectionLatencyIsConfigurable) {
   AddTe(flowserve::EngineRole::kColocated);
   Link();
   serving::FaultDetectionConfig detection;
-  detection.heartbeat_interval = MillisecondsToNs(100);
+  detection.heartbeat_interval = MsToNs(100);
   detection.missed_heartbeats = 2;
   manager_->SetFaultDetection(detection);
-  sim_.RunUntil(MillisecondsToNs(50));
+  sim_.RunUntil(MsToNs(50));
   ASSERT_TRUE(manager_->CrashTe(te1->id(), serving::CrashKind::kNpu).ok());
   // 2 x 100ms from t=50ms lands at 250ms, quantized up to 300ms.
-  sim_.RunUntil(MillisecondsToNs(299));
+  sim_.RunUntil(MsToNs(299));
   EXPECT_EQ(manager_->stats().detections, 0);
-  sim_.RunUntil(MillisecondsToNs(301));
+  sim_.RunUntil(MsToNs(301));
   EXPECT_EQ(manager_->stats().detections, 1);
 }
 
@@ -381,7 +382,7 @@ TEST_F(FaultToleranceTest, CrashAccountsLostKvTokens) {
                                    static_cast<TokenId>(100 + 991 * i)),
                        {nullptr, nullptr, nullptr});
   }
-  sim_.RunUntil(MillisecondsToNs(400));  // KV context built up on both TEs
+  sim_.RunUntil(MsToNs(400));  // KV context built up on both TEs
   ASSERT_TRUE(manager_->CrashTe(te1->id()).ok());
   EXPECT_GT(manager_->stats().lost_requests, 0);
   EXPECT_GT(manager_->stats().lost_kv_tokens, 0);
@@ -407,7 +408,7 @@ TEST_F(FaultToleranceTest, ReplacementPolicyRestoresCapacityAndRecordsMttr) {
       completed.insert(id);
     }, nullptr});
   }
-  sim_.RunUntil(MillisecondsToNs(200));
+  sim_.RunUntil(MsToNs(200));
   ASSERT_TRUE(manager_->CrashTe(te1->id()).ok());
   sim_.Run();
   EXPECT_EQ(manager_->stats().replacements, 1);
@@ -433,7 +434,7 @@ TEST_F(FaultToleranceTest, RetryBudgetExhaustionDeliversAborted) {
                         ++errors;
                         seen = e;
                       }});
-  sim_.RunUntil(MillisecondsToNs(50));
+  sim_.RunUntil(MsToNs(50));
   // Keep killing whichever TE holds the request until the retry budget runs
   // out; capacity remains available throughout, so the terminal status is
   // kAborted (budget), not kUnavailable (no capacity).
@@ -451,7 +452,7 @@ TEST_F(FaultToleranceTest, RetryBudgetExhaustionDeliversAborted) {
       break;
     }
     ASSERT_TRUE(manager_->KillTe(h->id()).ok());
-    sim_.RunUntil(sim_.Now() + MillisecondsToNs(50));
+    sim_.RunUntil(sim_.Now() + MsToNs(50));
   }
   EXPECT_EQ(completions, 0);
   EXPECT_EQ(errors, 1);
@@ -471,11 +472,11 @@ TEST_F(FaultToleranceTest, SlowNodeMultiplierAppliesAndRestores) {
   event.kind = faults::FaultKind::kSlowNode;
   event.target = 0;
   event.factor = 2.0;
-  event.duration = SecondsToNs(1);
+  event.duration = SToNs(1);
   injector.Schedule(event);
-  sim_.RunUntil(MillisecondsToNs(1));
+  sim_.RunUntil(MsToNs(1));
   EXPECT_DOUBLE_EQ(te->engine().step_time_multiplier(), 2.0);
-  sim_.RunUntil(SecondsToNs(1.1));
+  sim_.RunUntil(SToNs(1.1));
   EXPECT_DOUBLE_EQ(te->engine().step_time_multiplier(), 1.0);
   EXPECT_EQ(injector.stats().slow_nodes, 1);
   EXPECT_EQ(injector.stats().restores, 1);
@@ -507,12 +508,12 @@ TEST_F(FaultToleranceTest, LinkDegradeScalesBandwidthAndRestores) {
   event.kind = faults::FaultKind::kLinkDegrade;
   event.target = 0;  // machine 0
   event.factor = 0.25;
-  event.duration = SecondsToNs(2);
+  event.duration = SToNs(2);
   injector.Schedule(event);
-  sim_.RunUntil(MillisecondsToNs(1));
+  sim_.RunUntil(MsToNs(1));
   EXPECT_DOUBLE_EQ(cluster_->hccs_link(0)->bandwidth_scale(), 0.25);
   EXPECT_DOUBLE_EQ(cluster_->roce_link(0)->bandwidth_scale(), 0.25);
-  sim_.RunUntil(SecondsToNs(2.1));
+  sim_.RunUntil(SToNs(2.1));
   EXPECT_DOUBLE_EQ(cluster_->hccs_link(0)->bandwidth_scale(), 1.0);
   EXPECT_DOUBLE_EQ(cluster_->roce_link(0)->bandwidth_scale(), 1.0);
   EXPECT_EQ(injector.stats().link_degrades, 1);
@@ -539,7 +540,7 @@ TEST_F(FaultToleranceTest, CmCrashEventTakesControlLeaderDown) {
   event.time = sim_.Now();
   event.kind = faults::FaultKind::kCmCrash;
   injector.Schedule(event);
-  event.time = sim_.Now() + SecondsToNs(1);  // second crash: leader already down
+  event.time = sim_.Now() + SToNs(1);  // second crash: leader already down
   injector.Schedule(event);
   sim_.Run();
   EXPECT_EQ(injector.stats().cm_crashes, 1);
@@ -638,7 +639,7 @@ TEST_F(HeteroFaultTest, CrashOfOnlyGen2TeRedispatchesAcrossGenerations) {
       completed.insert(id);
     }, nullptr});
   }
-  sim_.RunUntil(MillisecondsToNs(200));  // load spread over all three TEs
+  sim_.RunUntil(MsToNs(200));  // load spread over all three TEs
   auto dropped = manager_->KillTe(gen2->id());
   ASSERT_TRUE(dropped.ok());
   EXPECT_GT(*dropped, 0u);  // the Gen2 TE really held in-flight work
@@ -669,9 +670,9 @@ TEST_F(HeteroFaultTest, CrashesOnBothGenerationsConserveRequests) {
       completed.insert(id);
     }, nullptr});
   }
-  sim_.RunUntil(MillisecondsToNs(150));
+  sim_.RunUntil(MsToNs(150));
   ASSERT_TRUE(manager_->KillTe(gen1_a->id()).ok());  // a Gen1 victim...
-  sim_.RunUntil(MillisecondsToNs(350));
+  sim_.RunUntil(MsToNs(350));
   ASSERT_TRUE(manager_->KillTe(gen2_a->id()).ok());  // ...and a Gen2 victim
   sim_.Run();
   EXPECT_EQ(completed.size(), 12u);
@@ -686,23 +687,23 @@ TEST(FaultScheduleTest, ParsesFullGrammar) {
   const auto& events = *result;
   ASSERT_EQ(events.size(), 6u);
   EXPECT_EQ(events[0].kind, faults::FaultKind::kNpuCrash);
-  EXPECT_EQ(events[0].time, SecondsToNs(5));
+  EXPECT_EQ(events[0].time, SToNs(5));
   EXPECT_EQ(events[0].target, -1);
   EXPECT_EQ(events[1].kind, faults::FaultKind::kLinkDegrade);
   EXPECT_DOUBLE_EQ(events[1].factor, 0.25);
-  EXPECT_EQ(events[1].duration, SecondsToNs(20));
+  EXPECT_EQ(events[1].duration, SToNs(20));
   EXPECT_EQ(events[2].kind, faults::FaultKind::kSlowNode);
   EXPECT_DOUBLE_EQ(events[2].factor, 3.0);
-  EXPECT_EQ(events[2].duration, SecondsToNs(10));
+  EXPECT_EQ(events[2].duration, SToNs(10));
   EXPECT_EQ(events[2].target, 2);
   EXPECT_EQ(events[3].kind, faults::FaultKind::kTeShellCrash);
-  EXPECT_EQ(events[3].time, SecondsToNs(1.5));
+  EXPECT_EQ(events[3].time, SToNs(1.5));
   EXPECT_EQ(events[4].kind, faults::FaultKind::kCmCrash);
-  EXPECT_EQ(events[4].time, SecondsToNs(12));
+  EXPECT_EQ(events[4].time, SToNs(12));
   EXPECT_EQ(events[4].target, -1);
   EXPECT_EQ(events[4].duration, 0);  // permanent: recovery is the log's failover
   EXPECT_EQ(events[5].kind, faults::FaultKind::kJeCrash);
-  EXPECT_EQ(events[5].time, SecondsToNs(7));
+  EXPECT_EQ(events[5].time, SToNs(7));
   EXPECT_EQ(events[5].target, 1);  // ':' field is the JE ordinal
 }
 
@@ -811,8 +812,8 @@ ChaosOutcome RunChaos(uint64_t fault_seed, bool enable_faults, bool slo_deadline
   if (ctrl_chaos) {
     ctrl_config.replicas = 3;
     ctrl_config.quorum = 2;
-    ctrl_config.replication_latency = MillisecondsToNs(1);
-    ctrl_config.lease_duration = MillisecondsToNs(300);
+    ctrl_config.replication_latency = MsToNs(1);
+    ctrl_config.lease_duration = MsToNs(300);
   }
   ctrl::ControlLog ctrl_log(&sim, ctrl_config);
   serving::ClusterManager manager(&sim, &cluster, &transfer, {}, {},
@@ -854,13 +855,13 @@ ChaosOutcome RunChaos(uint64_t fault_seed, bool enable_faults, bool slo_deadline
     // window where a draining TE can be hit by a chaos crash.
     serving::AutoscalerConfig as;
     as.policy = "reactive";
-    as.check_interval = MillisecondsToNs(250);
+    as.check_interval = MsToNs(250);
     as.scale_up_queue_depth = 4;
     as.scale_down_queue_depth = 2;
     as.min_tes = 1;
     as.max_tes = 3;
     as.graceful_drain = true;
-    as.drain_timeout = SecondsToNs(2);
+    as.drain_timeout = SToNs(2);
     serving::ScaleRequest scale_request;
     scale_request.engine = engine_config;
     manager.StartAutoscaler(&je, as, scale_request);
@@ -877,7 +878,7 @@ ChaosOutcome RunChaos(uint64_t fault_seed, bool enable_faults, bool slo_deadline
     faults::FaultPlanConfig plan;
     plan.count = 6;
     plan.window_start = 0;
-    plan.window_end = SecondsToNs(10);
+    plan.window_end = SToNs(10);
     if (ctrl_chaos) {
       plan.count = 8;
       plan.cm_crash_weight = 1.5;
@@ -890,14 +891,14 @@ ChaosOutcome RunChaos(uint64_t fault_seed, bool enable_faults, bool slo_deadline
   std::vector<int> terminations(kRequests + 1, 0);
   for (int i = 0; i < kRequests; ++i) {
     workload::RequestId id = static_cast<workload::RequestId>(i + 1);
-    sim.ScheduleAt(MillisecondsToNs(200) * i, [&, id, i] {
+    sim.ScheduleAt(MsToNs(200) * i, [&, id, i] {
       serving::ChatRequest request;
       request.model = "tiny-1b";
       request.spec = MakeRequest(id, 1024, 512, static_cast<TokenId>(100 + 37 * i));
       if (slo_deadlines && i % 2 == 0) {
         // Tight enough that some requests expire under load/crashes, loose
         // enough that some still finish: both termination paths get exercised.
-        request.deadline = sim.Now() + MillisecondsToNs(1500);
+        request.deadline = sim.Now() + MsToNs(1500);
       }
       serving::ResponseHandler handler;
       handler.on_complete = [&outcome, &terminations, id](const flowserve::Sequence&) {
@@ -924,7 +925,7 @@ ChaosOutcome RunChaos(uint64_t fault_seed, bool enable_faults, bool slo_deadline
     });
   }
   if (autoscale) {
-    sim.RunUntil(SecondsToNs(60));
+    sim.RunUntil(SToNs(60));
     manager.StopAutoscaler();
   }
   sim.Run();
@@ -1074,7 +1075,7 @@ ChaosOutcome RunHedgeChaos(uint64_t fault_seed) {
   serving::RouteConfig route;
   route.policy = "p2c";
   route.seed = 5;
-  route.hedge_floor = MillisecondsToNs(400);
+  route.hedge_floor = MsToNs(400);
   route.eject_consecutive_errors = 2;
   route.retry_budget = true;
   route.retry_floor = 6;
@@ -1087,14 +1088,14 @@ ChaosOutcome RunHedgeChaos(uint64_t fault_seed) {
   faults::FaultPlanConfig plan;
   plan.count = 6;
   plan.window_start = 0;
-  plan.window_end = SecondsToNs(10);
+  plan.window_end = SToNs(10);
   injector.ScheduleAll(faults::FaultInjector::GeneratePlan(fault_seed, plan));
 
   ChaosOutcome outcome;
   std::vector<int> terminations(kRequests + 1, 0);
   for (int i = 0; i < kRequests; ++i) {
     workload::RequestId id = static_cast<workload::RequestId>(i + 1);
-    sim.ScheduleAt(MillisecondsToNs(200) * i, [&, id, i] {
+    sim.ScheduleAt(MsToNs(200) * i, [&, id, i] {
       serving::ChatRequest request;
       request.model = "tiny-1b";
       request.spec = MakeRequest(id, 1024, 512, static_cast<TokenId>(100 + 37 * i));

@@ -6,6 +6,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/time_units.h"
 #include "distflow/distflow.h"
 #include "hw/cluster.h"
 #include "serving/cluster_manager.h"
@@ -92,12 +93,12 @@ TEST_F(FineTuneTest, QueuesWhenClusterBusyAndRunsAfterRelease) {
   ASSERT_TRUE(ft_->Submit(SmallRequest(1), [&](const FineTuneResult& r) {
     done = r.succeeded;
   }).ok());
-  sim_.RunUntil(SecondsToNs(30));
+  sim_.RunUntil(SToNs(30));
   EXPECT_FALSE(done);  // no NPUs free
   EXPECT_GT(ft_->stats().waiting_for_npus, 0);
   // A serving scale-down releases 8 NPUs; the queued job proceeds.
   ASSERT_TRUE(manager_->StopTe(te1->id()).ok());
-  sim_.RunUntil(SecondsToNs(4000));
+  sim_.RunUntil(SToNs(4000));
   EXPECT_TRUE(done);
 }
 

@@ -3,6 +3,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/time_units.h"
 #include "common/types.h"
 #include "flowserve/engine.h"
 #include "sim/simulator.h"
@@ -196,7 +197,7 @@ TEST_F(EngineTest, PrefillOnlyRoleEmitsFirstTokenAndHandsOff) {
   Bytes sent_bytes = 0;
   engine_->SetKvSendFn([&](const Sequence&, Bytes bytes, std::function<void()> done) {
     sent_bytes = bytes;
-    sim_.ScheduleAfter(MillisecondsToNs(5), std::move(done));
+    sim_.ScheduleAfter(MsToNs(5), std::move(done));
   });
   auto out = Run(MakeRequest(1, 512, 100));
   EXPECT_TRUE(out.completed);
@@ -334,7 +335,7 @@ TEST_F(EngineTest, DpGroupsHaveIsolatedCaches) {
 TEST_F(EngineTest, LoadInfoReflectsRunningWork) {
   Start(TestConfig());
   engine_->Submit(MakeRequest(1, 2048, 512), nullptr, [](const Sequence&) {});
-  sim_.RunUntil(MillisecondsToNs(400));
+  sim_.RunUntil(MsToNs(400));
   auto load = engine_->load();
   EXPECT_EQ(load.waiting + load.running, 1);
   sim_.Run();
@@ -380,7 +381,7 @@ TEST_F(EngineTest, CancelDuringWaitingPopulate) {
   // Make KV transfers slow enough to park the request mid-populate.
   engine_->SetRtcTransferFn(
       [this](rtc::Tier, rtc::Tier, Bytes, std::function<void()> done) {
-        sim_.ScheduleAfter(MillisecondsToNs(10), std::move(done));
+        sim_.ScheduleAfter(MsToNs(10), std::move(done));
       });
   auto spec = MakeRequest(1, 256, 2);
   ASSERT_TRUE(Run(spec).completed);  // warm the prefix cache

@@ -6,6 +6,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/time_units.h"
 #include "distflow/distflow.h"
 #include "flowserve/engine.h"
 #include "hw/cluster.h"
@@ -114,9 +115,9 @@ TEST_F(FrontendTest, DeadlineAlreadyMissedRejected) {
   serving::Frontend frontend(&sim_);
   auto je = MakeJeWithTe();
   frontend.RegisterServingJe("tiny-1b", je.get());
-  sim_.ScheduleAt(MillisecondsToNs(100), [&] {
+  sim_.ScheduleAt(MsToNs(100), [&] {
     auto request = Chat("tiny-1b", MakeRequest(1, 64, 4));
-    request.deadline = MillisecondsToNs(50);  // already in the past
+    request.deadline = MsToNs(50);  // already in the past
     int error_calls = 0;
     EXPECT_EQ(frontend.ChatCompletion(std::move(request),
                                       {nullptr, nullptr, [&](const Status&) { ++error_calls; }})
@@ -283,7 +284,7 @@ TEST_F(FrontendTest, PostDispatchLossDeliversOnError) {
                                      seen = e;
                                    }})
                   .ok());
-  sim_.RunUntil(MillisecondsToNs(100));  // request in flight
+  sim_.RunUntil(MsToNs(100));  // request in flight
   ASSERT_TRUE(manager_->KillTe(te->id()).ok());
   sim_.Run();
   EXPECT_EQ(completions, 0);
@@ -329,7 +330,7 @@ TEST(PriorityTest, InteractiveJumpsTheQueue) {
   }
   // ...then one interactive request arrives late.
   TimeNs vip_first = 0;
-  sim.ScheduleAt(MillisecondsToNs(50), [&] {
+  sim.ScheduleAt(MsToNs(50), [&] {
     auto vip = MakeRequest(100, 1024, 8, 30000);
     vip.priority = 0;
     engine.Submit(vip, [&](const flowserve::Sequence& seq) {
@@ -338,7 +339,7 @@ TEST(PriorityTest, InteractiveJumpsTheQueue) {
   });
   // An equally-late batch request for comparison.
   TimeNs batch_first = 0;
-  sim.ScheduleAt(MillisecondsToNs(50), [&] {
+  sim.ScheduleAt(MsToNs(50), [&] {
     auto late = MakeRequest(101, 1024, 8, 50000);
     late.priority = 2;
     engine.Submit(late, [&](const flowserve::Sequence& seq) {
@@ -412,7 +413,7 @@ TEST(AdaptiveChunkTest, ControllerBoundsWorstTokenStallUnderMixedLoad) {
     }
     // ...joined by a stream of big prefills that would starve them.
     for (int i = 0; i < 10; ++i) {
-      sim.ScheduleAt(SecondsToNs(0.5 + 0.8 * i), [&engine, i] {
+      sim.ScheduleAt(SToNs(0.5 + 0.8 * i), [&engine, i] {
         workload::RequestSpec spec;
         spec.id = static_cast<workload::RequestId>(100 + i);
         spec.decode_len = 4;
@@ -423,7 +424,7 @@ TEST(AdaptiveChunkTest, ControllerBoundsWorstTokenStallUnderMixedLoad) {
       });
     }
     sim.Run();
-    return NsToMilliseconds(engine.stats().max_decode_step);
+    return NsToMs(engine.stats().max_decode_step);
   };
   // Chunking conserves total prefill work, so per-request mean TPOT barely
   // moves; what the controller bounds is the WORST inter-token stall.

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "common/time_units.h"
 #include "common/types.h"
 #include "hw/cluster.h"
 #include "hw/hccl.h"
@@ -45,21 +46,21 @@ class SharedLinkTest : public ::testing::Test {
 };
 
 TEST_F(SharedLinkTest, SingleFlowTakesBytesOverBandwidthPlusLatency) {
-  SharedLink link(&sim_, "l", LinkType::kPcie, 1e9 /* 1 GB/s */, MicrosecondsToNs(100));
+  SharedLink link(&sim_, "l", LinkType::kPcie, 1e9 /* 1 GB/s */, UsToNs(100));
   TimeNs done = -1;
   link.StartFlow(500'000'000, [&] { done = sim_.Now(); });
   sim_.Run();
   // 0.5 GB at 1 GB/s = 0.5 s (+100 us latency).
-  EXPECT_NEAR(NsToSeconds(done), 0.5 + 100e-6, 1e-3);
+  EXPECT_NEAR(NsToS(done), 0.5 + 100e-6, 1e-3);
 }
 
 TEST_F(SharedLinkTest, IsolatedDurationMatchesSingleFlow) {
-  SharedLink link(&sim_, "l", LinkType::kHccs, 2e9, MicrosecondsToNs(10));
+  SharedLink link(&sim_, "l", LinkType::kHccs, 2e9, UsToNs(10));
   TimeNs done = -1;
   link.StartFlow(1'000'000'000, [&] { done = sim_.Now(); });
   sim_.Run();
   EXPECT_NEAR(static_cast<double>(done), static_cast<double>(link.IsolatedDuration(1'000'000'000)),
-              static_cast<double>(MillisecondsToNs(1)));
+              static_cast<double>(MsToNs(1)));
 }
 
 TEST_F(SharedLinkTest, TwoConcurrentFlowsShareBandwidth) {
@@ -70,8 +71,8 @@ TEST_F(SharedLinkTest, TwoConcurrentFlowsShareBandwidth) {
   link.StartFlow(1'000'000'000, [&] { done_b = sim_.Now(); });
   sim_.Run();
   // Both 1 GB flows at a shared 1 GB/s finish together at ~2 s.
-  EXPECT_NEAR(NsToSeconds(done_a), 2.0, 0.01);
-  EXPECT_NEAR(NsToSeconds(done_b), 2.0, 0.01);
+  EXPECT_NEAR(NsToS(done_a), 2.0, 0.01);
+  EXPECT_NEAR(NsToS(done_b), 2.0, 0.01);
 }
 
 TEST_F(SharedLinkTest, LateFlowDelaysEarlyFlowProportionally) {
@@ -80,14 +81,14 @@ TEST_F(SharedLinkTest, LateFlowDelaysEarlyFlowProportionally) {
   TimeNs done_b = -1;
   link.StartFlow(1'000'000'000, [&] { done_a = sim_.Now(); });
   // Second flow starts at t=0.5s when A is half done.
-  sim_.ScheduleAt(SecondsToNs(0.5), [&] {
+  sim_.ScheduleAt(SToNs(0.5), [&] {
     link.StartFlow(1'000'000'000, [&] { done_b = sim_.Now(); });
   });
   sim_.Run();
   // A: 0.5 GB alone (0.5 s) + 0.5 GB shared (1.0 s) => 1.5 s total.
-  EXPECT_NEAR(NsToSeconds(done_a), 1.5, 0.01);
+  EXPECT_NEAR(NsToS(done_a), 1.5, 0.01);
   // B: shares until 1.5 s (transfers 0.5), then alone for 0.5 => 2.0 s.
-  EXPECT_NEAR(NsToSeconds(done_b), 2.0, 0.01);
+  EXPECT_NEAR(NsToS(done_b), 2.0, 0.01);
 }
 
 TEST_F(SharedLinkTest, BandwidthScaleSlowsTransfers) {
@@ -96,15 +97,15 @@ TEST_F(SharedLinkTest, BandwidthScaleSlowsTransfers) {
   TimeNs done = -1;
   link.StartFlow(1'000'000'000, [&] { done = sim_.Now(); });
   sim_.Run();
-  EXPECT_NEAR(NsToSeconds(done), 2.0, 0.01);
+  EXPECT_NEAR(NsToS(done), 2.0, 0.01);
 }
 
 TEST_F(SharedLinkTest, ZeroByteFlowCompletesAfterLatency) {
-  SharedLink link(&sim_, "l", LinkType::kRoce, 1e9, MicrosecondsToNs(25));
+  SharedLink link(&sim_, "l", LinkType::kRoce, 1e9, UsToNs(25));
   TimeNs done = -1;
   link.StartFlow(0, [&] { done = sim_.Now(); });
   sim_.Run();
-  EXPECT_EQ(done, MicrosecondsToNs(25));
+  EXPECT_EQ(done, UsToNs(25));
 }
 
 TEST_F(SharedLinkTest, TracksTotalBytes) {
@@ -221,7 +222,7 @@ TEST_F(HcclTest, SendCompletesInBandwidthTime) {
   Bytes bytes = GiB(9);  // 9 GiB over 90 GB/s HCCS ≈ 0.107 s
   hccl_.Send(0, 8, bytes, [&] { done = sim_.Now(); });
   sim_.Run();
-  EXPECT_NEAR(NsToSeconds(done), static_cast<double>(bytes) / (90e9), 0.01);
+  EXPECT_NEAR(NsToS(done), static_cast<double>(bytes) / (90e9), 0.01);
 }
 
 TEST_F(HcclTest, CrossDomainSendUsesSlowerRoce) {
@@ -249,7 +250,7 @@ TEST_F(HcclTest, BroadcastToOneEqualsSend) {
   hccl_.Broadcast(0, 1, GiB(4), LinkType::kHccs, [&] { done = sim_.Now(); });
   sim_.Run();
   double expect_s = static_cast<double>(GiB(4)) / 90e9;
-  EXPECT_NEAR(NsToSeconds(done), expect_s, 0.01);
+  EXPECT_NEAR(NsToS(done), expect_s, 0.01);
 }
 
 TEST_F(HcclTest, BroadcastGrowsLogarithmically) {
@@ -425,8 +426,8 @@ TEST_F(SuperPodTest, UbLinkSharesBandwidthAcrossConcurrentFlows) {
   ub->StartFlow(1'000'000'000, [&] { done_b = sim_.Now(); });
   sim_.Run();
   // Two 1 GB flows over a shared 1 GB/s UB attachment finish together at ~2 s.
-  EXPECT_NEAR(NsToSeconds(done_a), 2.0, 0.01);
-  EXPECT_NEAR(NsToSeconds(done_b), 2.0, 0.01);
+  EXPECT_NEAR(NsToS(done_a), 2.0, 0.01);
+  EXPECT_NEAR(NsToS(done_b), 2.0, 0.01);
 }
 
 TEST(MachineTest, PageCacheDrivesModelLoadHitAndMissPaths) {
@@ -443,7 +444,7 @@ TEST(MachineTest, PageCacheDrivesModelLoadHitAndMissPaths) {
   EXPECT_TRUE(host->page_cache().Insert("yi-34b", GiB(64), sim.Now()));
   EXPECT_TRUE(host->page_cache().Contains("yi-34b"));
   // Eviction turns the next load back into a miss.
-  EXPECT_TRUE(host->page_cache().Insert("qwen-72b", GiB(90), SecondsToNs(1)));
+  EXPECT_TRUE(host->page_cache().Insert("qwen-72b", GiB(90), SToNs(1)));
   EXPECT_FALSE(host->page_cache().Contains("yi-34b"));
   EXPECT_TRUE(host->page_cache().Contains("qwen-72b"));
 }

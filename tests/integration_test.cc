@@ -7,6 +7,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/time_units.h"
 #include "distflow/distflow.h"
 #include "hw/cluster.h"
 #include "serving/cluster_manager.h"
@@ -295,9 +296,9 @@ TEST_F(PlatformTest, PopulatePathExercisedUnderTierPressure) {
   };
   make(1000, 2048, 0);  // the hot prefix
   for (int i = 0; i < 12; ++i) {  // filler that overflows the NPU pool
-    make(static_cast<TokenId>(40000 + i * 4000), 1536, SecondsToNs(0.5 + 0.4 * i));
+    make(static_cast<TokenId>(40000 + i * 4000), 1536, SToNs(0.5 + 0.4 * i));
   }
-  make(1000, 2048, SecondsToNs(8.0));  // prefix returns
+  make(1000, 2048, SToNs(8.0));  // prefix returns
   auto metrics = Replay(trace);
   EXPECT_EQ(metrics.completed(), trace.size());
   const auto& stats = te->engine().rtc().stats();

@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "common/time_units.h"
 #include "common/types.h"
 #include "hw/npu.h"
 #include "model/cost_model.h"
@@ -68,21 +69,21 @@ TEST_F(CostModelTest, PrefillScalesSuperlinearlyWithPromptLength) {
   DurationNs t2k = cost_.PrefillDuration(2048);
   DurationNs t4k = cost_.PrefillDuration(4096);
   DurationNs t8k = cost_.PrefillDuration(8192);
-  EXPECT_GT(t4k, 2 * t2k - MillisecondsToNs(2));  // at least linear
+  EXPECT_GT(t4k, 2 * t2k - MsToNs(2));  // at least linear
   EXPECT_GT(t8k, 2 * t4k);                        // quadratic term bites
 }
 
 TEST_F(CostModelTest, PrefillLatencyPlausibleFor34BTp4) {
   // A 2K prefill of a 34B model on 4 x Gen2 NPUs should land in the hundreds
   // of milliseconds (the paper's TTFTs in Fig. 4 are in this regime).
-  double t_ms = NsToMilliseconds(cost_.PrefillDuration(2048));
+  double t_ms = NsToMs(cost_.PrefillDuration(2048));
   EXPECT_GT(t_ms, 50.0);
   EXPECT_LT(t_ms, 2000.0);
 }
 
 TEST_F(CostModelTest, DecodeStepIsMemoryBoundAndPlausible) {
   // Single-sequence decode: dominated by the weight read.
-  double t_ms = NsToMilliseconds(cost_.DecodeStepDuration(1, 2048));
+  double t_ms = NsToMs(cost_.DecodeStepDuration(1, 2048));
   EXPECT_GT(t_ms, 5.0);
   EXPECT_LT(t_ms, 60.0);
 }

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/time_units.h"
 #include "flowserve/engine.h"
 #include "hw/link.h"
 #include "rtc/block_pool.h"
@@ -194,7 +195,7 @@ TEST_P(LinkPropertyTest, AllFlowsCompleteAndRespectBandwidth) {
   Rng rng(GetParam());
   sim::Simulator sim;
   const double bw = 1e9;
-  hw::SharedLink link(&sim, "p", hw::LinkType::kPcie, bw, MicrosecondsToNs(10));
+  hw::SharedLink link(&sim, "p", hw::LinkType::kPcie, bw, UsToNs(10));
   int completed = 0;
   Bytes total = 0;
   TimeNs last_start = 0;
@@ -214,7 +215,7 @@ TEST_P(LinkPropertyTest, AllFlowsCompleteAndRespectBandwidth) {
   EXPECT_EQ(link.active_flows(), 0u);
   // The link cannot finish faster than serializing every byte at full
   // bandwidth from the first start.
-  EXPECT_GE(NsToSeconds(sim.Now()), static_cast<double>(total) / bw - 0.05);
+  EXPECT_GE(NsToS(sim.Now()), static_cast<double>(total) / bw - 0.05);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, LinkPropertyTest, ::testing::Values(5, 55, 555));
@@ -274,7 +275,7 @@ TEST_P(EnginePropertySweep, RandomWorkloadAlwaysDrainsCleanly) {
   for (int i = 0; i < n; ++i) {
     workload::RequestSpec spec;
     spec.id = static_cast<workload::RequestId>(i + 1);
-    spec.arrival = SecondsToNs(rng.Uniform(0, 5));
+    spec.arrival = SToNs(rng.Uniform(0, 5));
     spec.decode_len = rng.UniformInt(1, 96);
     spec.priority = static_cast<int>(rng.UniformInt(0, 2));
     int64_t prefill = rng.UniformInt(16, 2048);
@@ -321,7 +322,7 @@ TEST_P(CancelStormTest, RandomCancelsLeaveEngineConsistent) {
     for (int64_t j = 0; j < prefill; ++j) {
       spec.prompt.push_back(static_cast<TokenId>(rng.UniformInt(256, 9000)));
     }
-    TimeNs at = SecondsToNs(rng.Uniform(0, 2));
+    TimeNs at = SToNs(rng.Uniform(0, 2));
     sim.ScheduleAt(at, [&engine, &completed, spec] {
       engine.Submit(spec, nullptr, [&completed, id = spec.id](const flowserve::Sequence&) {
         completed.insert(id);
@@ -329,7 +330,7 @@ TEST_P(CancelStormTest, RandomCancelsLeaveEngineConsistent) {
     });
     // Randomly cancel ~1/3 of them at a random later moment.
     if (rng.Bernoulli(0.33)) {
-      sim.ScheduleAt(at + SecondsToNs(rng.Uniform(0.01, 1.5)), [&engine, id = spec.id] {
+      sim.ScheduleAt(at + SToNs(rng.Uniform(0.01, 1.5)), [&engine, id = spec.id] {
         (void)engine.Cancel(id);  // may have already finished: either is fine
       });
     }

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "common/time_units.h"
 #include "distflow/distflow.h"
 #include "faults/fault_injector.h"
 #include "hw/cluster.h"
@@ -126,7 +127,7 @@ GoldenRun RunRrGolden(uint64_t seed) {
   }
   // Replica 2's only TE dies mid-run: its in-flight work errors out (no other
   // TE inside that JE) and the rotation must skip it from then on.
-  sim.ScheduleAt(SecondsToNs(6.0), [&manager, &tes] {
+  sim.ScheduleAt(SToNs(6.0), [&manager, &tes] {
     auto killed = manager.KillTe(tes[3]->id());
     DS_CHECK(killed.ok()) << killed.status().ToString();
   });
@@ -223,8 +224,8 @@ TEST(RoutePolicyTest, PickLeastLoadedNormalizesByWeightAndBreaksTiesDeterministi
 // ---------------- outlier ejection state machine ----------------
 
 TEST(OutlierMonitorTest, EjectsAfterConsecutiveErrorsAndReadmitsViaHalfOpenProbe) {
-  serving::OutlierMonitor monitor(3, SecondsToNs(5.0), SecondsToNs(20.0));
-  TimeNs t = SecondsToNs(100.0);
+  serving::OutlierMonitor monitor(3, SToNs(5.0), SToNs(20.0));
+  TimeNs t = SToNs(100.0);
   EXPECT_TRUE(monitor.Eligible(t));
   EXPECT_FALSE(monitor.OnError(t));
   monitor.OnSuccess();  // a success resets the streak
@@ -233,10 +234,10 @@ TEST(OutlierMonitorTest, EjectsAfterConsecutiveErrorsAndReadmitsViaHalfOpenProbe
   EXPECT_FALSE(monitor.OnError(t));
   EXPECT_TRUE(monitor.OnError(t));  // third consecutive error: ejected
   EXPECT_EQ(monitor.state(), serving::OutlierMonitor::State::kEjected);
-  EXPECT_EQ(monitor.ejected_until(), t + SecondsToNs(5.0));
-  EXPECT_FALSE(monitor.Eligible(t + SecondsToNs(5.0) - 1));
+  EXPECT_EQ(monitor.ejected_until(), t + SToNs(5.0));
+  EXPECT_FALSE(monitor.Eligible(t + SToNs(5.0) - 1));
 
-  TimeNs probe_time = t + SecondsToNs(5.0);
+  TimeNs probe_time = t + SToNs(5.0);
   EXPECT_TRUE(monitor.Eligible(probe_time));
   monitor.OnDispatch(probe_time);  // claims the single half-open probe slot
   EXPECT_EQ(monitor.state(), serving::OutlierMonitor::State::kHalfOpen);
@@ -247,23 +248,23 @@ TEST(OutlierMonitorTest, EjectsAfterConsecutiveErrorsAndReadmitsViaHalfOpenProbe
 }
 
 TEST(OutlierMonitorTest, HalfOpenFailureDoublesBackoffUpToCap) {
-  serving::OutlierMonitor monitor(1, SecondsToNs(5.0), SecondsToNs(20.0));
+  serving::OutlierMonitor monitor(1, SToNs(5.0), SToNs(20.0));
   EXPECT_TRUE(monitor.OnError(0));  // ejection #1: 5s backoff
-  EXPECT_EQ(monitor.ejected_until(), SecondsToNs(5.0));
-  monitor.OnDispatch(SecondsToNs(5.0));
-  EXPECT_TRUE(monitor.OnError(SecondsToNs(6.0)));  // #2: 10s
-  EXPECT_EQ(monitor.ejected_until(), SecondsToNs(16.0));
-  monitor.OnDispatch(SecondsToNs(16.0));
-  EXPECT_TRUE(monitor.OnError(SecondsToNs(17.0)));  // #3: 20s (at the cap)
-  EXPECT_EQ(monitor.ejected_until(), SecondsToNs(37.0));
-  monitor.OnDispatch(SecondsToNs(37.0));
-  EXPECT_TRUE(monitor.OnError(SecondsToNs(38.0)));  // #4: still 20s, capped
-  EXPECT_EQ(monitor.ejected_until(), SecondsToNs(58.0));
+  EXPECT_EQ(monitor.ejected_until(), SToNs(5.0));
+  monitor.OnDispatch(SToNs(5.0));
+  EXPECT_TRUE(monitor.OnError(SToNs(6.0)));  // #2: 10s
+  EXPECT_EQ(monitor.ejected_until(), SToNs(16.0));
+  monitor.OnDispatch(SToNs(16.0));
+  EXPECT_TRUE(monitor.OnError(SToNs(17.0)));  // #3: 20s (at the cap)
+  EXPECT_EQ(monitor.ejected_until(), SToNs(37.0));
+  monitor.OnDispatch(SToNs(37.0));
+  EXPECT_TRUE(monitor.OnError(SToNs(38.0)));  // #4: still 20s, capped
+  EXPECT_EQ(monitor.ejected_until(), SToNs(58.0));
   EXPECT_EQ(monitor.ejections(), 4);
 }
 
 TEST(OutlierMonitorTest, DisabledMonitorNeverEjects) {
-  serving::OutlierMonitor monitor(0, SecondsToNs(5.0), SecondsToNs(20.0));
+  serving::OutlierMonitor monitor(0, SToNs(5.0), SToNs(20.0));
   for (int i = 0; i < 100; ++i) {
     EXPECT_FALSE(monitor.OnError(0));
   }
@@ -295,10 +296,10 @@ TEST(LatencyWindowTest, ExactPercentileOverRetainedWindow) {
   serving::LatencyWindow window;
   EXPECT_EQ(window.Percentile(0.95), 0);  // empty
   for (int i = 1; i <= 100; ++i) {
-    window.Add(MillisecondsToNs(static_cast<double>(i)));
+    window.Add(MsToNs(static_cast<double>(i)));
   }
-  EXPECT_EQ(window.Percentile(0.95), MillisecondsToNs(96.0));
-  EXPECT_EQ(window.Percentile(1.0), MillisecondsToNs(100.0));
+  EXPECT_EQ(window.Percentile(0.95), MsToNs(96.0));
+  EXPECT_EQ(window.Percentile(1.0), MsToNs(100.0));
 }
 
 // ---------------- hedging ----------------
@@ -330,7 +331,7 @@ TEST(HedgingTest, HedgeWinsOverSlowPrimaryAndLoserIsCancelled) {
 
   serving::RouteConfig route;
   route.policy = "rr";
-  route.hedge_floor = MillisecondsToNs(50.0);
+  route.hedge_floor = MsToNs(50.0);
   serving::Frontend frontend(&sim, route);
   for (auto& je : jes) {
     frontend.RegisterServingJe("tiny-1b", je.get());
@@ -344,7 +345,7 @@ TEST(HedgingTest, HedgeWinsOverSlowPrimaryAndLoserIsCancelled) {
 
   int completions = 0;
   int errors = 0;
-  sim.ScheduleAt(SecondsToNs(2.0), [&] {
+  sim.ScheduleAt(SToNs(2.0), [&] {
     serving::ChatRequest request;
     request.model = "tiny-1b";
     request.spec.id = 1;

@@ -3,6 +3,7 @@
 #include <numeric>
 #include <vector>
 
+#include "common/time_units.h"
 #include "common/types.h"
 #include "hw/npu.h"
 #include "rtc/block_pool.h"
@@ -441,7 +442,7 @@ TEST_F(RtcMasterTest, BackgroundSwapDemotesColdBlocks) {
   // Fill most of the NPU with cold cache (above the 0.85 watermark).
   PrefillAndPreserve(Iota(16 * 7, 0));
   PrefillAndPreserve(Iota(16 * 7, 90000));
-  sim_.RunUntil(sim_.Now() + SecondsToNs(2));
+  sim_.RunUntil(sim_.Now() + SToNs(2));
   EXPECT_GT(master_->stats().swapped_out_blocks, 0);
   // Entries remain matchable after demotion.
   EXPECT_TRUE(master_->MatchByPrefixToken(Iota(16 * 7, 0)).hit());

@@ -4,6 +4,7 @@
 #include <set>
 #include <vector>
 
+#include "common/time_units.h"
 #include "common/types.h"
 #include "distflow/distflow.h"
 #include "hw/cluster.h"
@@ -288,7 +289,7 @@ TEST_F(ServingTest, LocalityAwareRoutesSharedPrefixToSameTe) {
   // Two families with distinct shared prefixes, staggered in time so later
   // members can reuse the KV the earlier ones preserved.
   for (int i = 0; i < 4; ++i) {
-    sim_.ScheduleAt(SecondsToNs(static_cast<double>(i) * 2.0), [&je, i] {
+    sim_.ScheduleAt(SToNs(static_cast<double>(i) * 2.0), [&je, i] {
       je.HandleRequest(MakeRequest(static_cast<workload::RequestId>(10 + i), 512, 2, 1000), {nullptr, nullptr, nullptr});
       je.HandleRequest(MakeRequest(static_cast<workload::RequestId>(20 + i), 512, 2, 25000), {nullptr, nullptr, nullptr});
     });
@@ -510,7 +511,7 @@ TEST_F(ScalingTest, ScaleUpManyForksInParallel) {
   EXPECT_EQ(created.size(), 32u);
   // "scale up to 64 instances in parallel within seconds": 32 forks of a
   // small model complete in single-digit seconds.
-  EXPECT_LT(NsToSeconds(elapsed), 10.0);
+  EXPECT_LT(NsToS(elapsed), 10.0);
   for (TaskExecutor* te : created) {
     EXPECT_TRUE(te->ready());
   }
@@ -548,7 +549,7 @@ TEST_F(ScalingTest, AutoscalerAddsTesUnderLoad) {
   je.AddColocatedTe(*first);
 
   AutoscalerConfig as_config;
-  as_config.check_interval = MillisecondsToNs(500);
+  as_config.check_interval = MsToNs(500);
   as_config.scale_up_queue_depth = 8;
   as_config.scale_down_queue_depth = -1;  // growth only: assert on end state
   as_config.max_tes = 4;
@@ -561,7 +562,7 @@ TEST_F(ScalingTest, AutoscalerAddsTesUnderLoad) {
     je.HandleRequest(MakeRequest(static_cast<workload::RequestId>(i + 1), 2048, 128,
                                  static_cast<TokenId>(100 + 37 * i)), {nullptr, nullptr, nullptr});
   }
-  sim_.RunUntil(SecondsToNs(120));
+  sim_.RunUntil(SToNs(120));
   manager.StopAutoscaler();
   sim_.Run();
   EXPECT_GT(manager.stats().scale_ups, 0);

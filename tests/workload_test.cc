@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/rng.h"
+#include "common/time_units.h"
 #include "common/types.h"
 #include "workload/metrics.h"
 #include "workload/request.h"
@@ -52,7 +53,7 @@ TEST(TraceGeneratorTest, PoissonArrivalsMatchRps) {
   for (size_t i = 1; i < trace.size(); ++i) {
     EXPECT_GE(trace[i].arrival, trace[i - 1].arrival);
   }
-  EXPECT_LT(trace.back().arrival, SecondsToNs(200.0));
+  EXPECT_LT(trace.back().arrival, SToNs(200.0));
 }
 
 TEST(TraceGeneratorTest, DeterministicAcrossInstances) {
@@ -136,9 +137,9 @@ TEST(TraceGeneratorTest, FixedBatchShape) {
 
 TEST(RequestRecordTest, DerivedMetrics) {
   RequestRecord r;
-  r.arrival = SecondsToNs(1.0);
-  r.first_token = SecondsToNs(1.5);
-  r.completion = SecondsToNs(3.5);
+  r.arrival = SToNs(1.0);
+  r.first_token = SToNs(1.5);
+  r.completion = SToNs(3.5);
   r.prefill_len = 2048;
   r.decode_len = 101;
   EXPECT_DOUBLE_EQ(r.ttft_ms(), 500.0);
@@ -151,9 +152,9 @@ TEST(MetricsCollectorTest, AggregatesAndThroughput) {
   for (int i = 0; i < 10; ++i) {
     RequestRecord r;
     r.id = static_cast<RequestId>(i);
-    r.arrival = SecondsToNs(static_cast<double>(i));
-    r.first_token = r.arrival + MillisecondsToNs(100);
-    r.completion = r.first_token + SecondsToNs(1.0);
+    r.arrival = SToNs(static_cast<double>(i));
+    r.first_token = r.arrival + MsToNs(100);
+    r.completion = r.first_token + SToNs(1.0);
     r.prefill_len = 1000;
     r.decode_len = 100;
     collector.Record(r);
@@ -170,9 +171,9 @@ TEST(MetricsCollectorTest, SloAttainment) {
   auto add = [&](double ttft_ms, double tpot_ms) {
     RequestRecord r;
     r.arrival = 0;
-    r.first_token = MillisecondsToNs(ttft_ms);
+    r.first_token = MsToNs(ttft_ms);
     r.decode_len = 11;
-    r.completion = r.first_token + MillisecondsToNs(tpot_ms * 10);
+    r.completion = r.first_token + MsToNs(tpot_ms * 10);
     collector.Record(r);
   };
   add(100, 20);   // meets both

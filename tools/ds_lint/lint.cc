@@ -1,8 +1,10 @@
 #include "lint.h"
 
 #include <algorithm>
+#include <atomic>
 #include <fstream>
 #include <sstream>
+#include <thread>
 
 namespace ds_lint {
 namespace {
@@ -83,7 +85,8 @@ const std::vector<std::unique_ptr<Rule>>& AllRules() {
   static const std::vector<std::unique_ptr<Rule>>* rules = [] {
     auto* all = new std::vector<std::unique_ptr<Rule>>();
     for (auto* make : {MakeDeterminismRules, MakeStatusRules, MakeObsRules,
-                       MakeHygieneRules, MakeCtrlRules}) {
+                       MakeHygieneRules, MakeCtrlRules, MakeDeferredRules,
+                       MakeLayeringRules, MakeTimeRules}) {
       for (auto& r : make()) all->push_back(std::move(r));
     }
     return all;
@@ -107,62 +110,112 @@ FileCtx BuildFileCtx(std::string path, const std::string& source) {
   return ctx;
 }
 
-std::vector<Finding> LintSources(
-    const std::vector<std::pair<std::string, std::string>>& sources) {
-  std::vector<FileCtx> files;
-  files.reserve(sources.size());
-  for (const auto& [path, src] : sources) files.push_back(BuildFileCtx(path, src));
+namespace {
 
-  // Pass 1: cross-file index.
+// Pass 2 for one file: rules, suppressions, stale suppressions.
+void LintOneFile(const FileCtx& f, const ProjectIndex& index,
+                 std::vector<Finding>* findings) {
+  std::vector<Finding> raw;
+  for (const auto& rule : AllRules()) rule->Check(f, index, &raw);
+  std::vector<Finding> meta;  // bad-suppression findings, never suppressible
+  std::vector<Suppression> sups = ParseSuppressions(f, &meta);
+  for (Finding& fd : raw) {
+    bool suppressed = false;
+    for (Suppression& s : sups) {
+      if (s.rule == fd.rule && s.target_line == fd.line) {
+        s.used = true;
+        suppressed = true;
+      }
+    }
+    if (!suppressed) findings->push_back(std::move(fd));
+  }
+  for (const Suppression& s : sups) {
+    if (!s.used) {
+      findings->push_back({f.path, s.line, "stale-suppression",
+                           "allow(" + s.rule +
+                               ") matches no finding — remove the stale "
+                               "suppression"});
+    }
+  }
+  findings->insert(findings->end(), meta.begin(), meta.end());
+}
+
+// Runs fn(i) for every i in [0, n) across `threads` workers. Work is handed
+// out by an atomic counter, but every slot writes only its own output cell,
+// so scheduling order cannot leak into the result.
+template <typename Fn>
+void ParallelFor(size_t n, int threads, Fn fn) {
+  int workers = threads;
+  if (workers > static_cast<int>(n)) workers = static_cast<int>(n);
+  if (workers <= 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::atomic<size_t> next{0};
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<size_t>(workers));
+  for (int w = 0; w < workers; ++w) {
+    pool.emplace_back([&] {
+      for (size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) fn(i);
+    });
+  }
+  for (std::thread& t : pool) t.join();
+}
+
+}  // namespace
+
+std::vector<Finding> LintSources(
+    const std::vector<std::pair<std::string, std::string>>& sources,
+    int threads) {
+  // Rule registration is lazily initialized; touch it once before any worker
+  // thread can race on the first lookup.
+  AllRules();
+
+  std::vector<FileCtx> files(sources.size());
+  ParallelFor(sources.size(), threads, [&](size_t i) {
+    files[i] = BuildFileCtx(sources[i].first, sources[i].second);
+  });
+
+  // Pass 1: cross-file index. Serial and in input order, so map/counter
+  // contents are independent of worker scheduling.
   ProjectIndex index;
   for (const FileCtx& f : files) {
     for (const MemberDecl& m : f.structure.members) {
-      if (!m.unordered) continue;
-      index.unordered_members[m.class_name].insert(m.name);
-      index.unordered_member_names.insert(m.name);
+      if (m.unordered) {
+        index.unordered_members[m.class_name].insert(m.name);
+        index.unordered_member_names.insert(m.name);
+      }
     }
     for (const FuncDecl& fn : f.structure.functions) {
       if (fn.returns_status) ++index.status_decls[fn.name];
       if (fn.returns_non_status) ++index.non_status_decls[fn.name];
     }
     IndexCtrlStateMachines(f, &index);
+    IndexDeferredSinks(f, &index);
+    IndexIncludeGraph(f, &index);
+    IndexTimeTypedNames(f, &index);
   }
 
-  // Pass 2: rules + suppressions per file.
+  // Pass 2: rules + suppressions, one output slot per file; the slots are
+  // concatenated in file order before the final sort, so parallel and serial
+  // runs emit byte-identical reports.
+  std::vector<std::vector<Finding>> per_file(files.size());
+  ParallelFor(files.size(), threads, [&](size_t i) {
+    LintOneFile(files[i], index, &per_file[i]);
+  });
+
   std::vector<Finding> findings;
-  for (const FileCtx& f : files) {
-    std::vector<Finding> raw;
-    for (const auto& rule : AllRules()) rule->Check(f, index, &raw);
-    std::vector<Finding> meta;  // bad-suppression findings, never suppressible
-    std::vector<Suppression> sups = ParseSuppressions(f, &meta);
-    for (Finding& fd : raw) {
-      bool suppressed = false;
-      for (Suppression& s : sups) {
-        if (s.rule == fd.rule && s.target_line == fd.line) {
-          s.used = true;
-          suppressed = true;
-        }
-      }
-      if (!suppressed) findings.push_back(std::move(fd));
-    }
-    for (const Suppression& s : sups) {
-      if (!s.used) {
-        findings.push_back({f.path, s.line, "stale-suppression",
-                            "allow(" + s.rule +
-                                ") matches no finding — remove the stale "
-                                "suppression"});
-      }
-    }
-    findings.insert(findings.end(), meta.begin(), meta.end());
+  for (std::vector<Finding>& slot : per_file) {
+    findings.insert(findings.end(), std::make_move_iterator(slot.begin()),
+                    std::make_move_iterator(slot.end()));
   }
-
   std::sort(findings.begin(), findings.end());
   findings.erase(std::unique(findings.begin(), findings.end()), findings.end());
   return findings;
 }
 
 std::vector<Finding> LintPaths(const std::vector<std::string>& paths,
-                               const std::string& strip_prefix) {
+                               const std::string& strip_prefix, int threads) {
   std::vector<std::pair<std::string, std::string>> sources;
   std::vector<Finding> io_errors;
   for (const std::string& path : paths) {
@@ -180,7 +233,7 @@ std::vector<Finding> LintPaths(const std::vector<std::string>& paths,
     }
     sources.emplace_back(display, buf.str());
   }
-  std::vector<Finding> findings = LintSources(sources);
+  std::vector<Finding> findings = LintSources(sources, threads);
   findings.insert(findings.end(), io_errors.begin(), io_errors.end());
   std::sort(findings.begin(), findings.end());
   return findings;
@@ -191,6 +244,46 @@ std::string FormatFindings(const std::vector<Finding>& findings) {
   for (const Finding& f : findings) {
     out << f.file << ":" << f.line << ": [" << f.rule << "] " << f.message << "\n";
   }
+  return out.str();
+}
+
+namespace {
+
+void JsonEscape(const std::string& s, std::ostringstream* out) {
+  for (char c : s) {
+    switch (c) {
+      case '"': *out << "\\\""; break;
+      case '\\': *out << "\\\\"; break;
+      case '\n': *out << "\\n"; break;
+      case '\t': *out << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char* hex = "0123456789abcdef";
+          *out << "\\u00" << hex[(c >> 4) & 0xf] << hex[c & 0xf];
+        } else {
+          *out << c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+std::string FormatFindingsJson(const std::vector<Finding>& findings) {
+  if (findings.empty()) return "[]\n";
+  std::ostringstream out;
+  out << "[";
+  for (size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    out << (i == 0 ? "\n" : ",\n") << "  {\"rule\": \"";
+    JsonEscape(f.rule, &out);
+    out << "\", \"file\": \"";
+    JsonEscape(f.file, &out);
+    out << "\", \"line\": " << f.line << ", \"message\": \"";
+    JsonEscape(f.message, &out);
+    out << "\"}";
+  }
+  out << "\n]\n";
   return out.str();
 }
 

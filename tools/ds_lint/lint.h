@@ -60,6 +60,21 @@ struct ProjectIndex {
   // ctrl::CtrlStateMachine (replicated state machines whose state must only
   // change inside Apply()). Built by IndexCtrlStateMachines.
   std::map<std::string, std::set<std::string>> ctrl_members;
+  // Function names declared anywhere with a SmallFn/EventFn parameter: calling
+  // one of these with a lambda defers the lambda past the caller's scope
+  // (ScheduleAt/ScheduleAfter/PeriodicTask::Start/EventQueue::Insert...).
+  // Built by IndexDeferredSinks.
+  std::set<std::string> smallfn_param_fns;
+  // Member names declared with SmallFn/EventFn type (callback slots):
+  // assigning a lambda into one defers it. Built by IndexDeferredSinks.
+  std::set<std::string> smallfn_member_names;
+  // src/ module -> set of src/ modules it #includes (the layering graph).
+  // Built by IndexIncludeGraph.
+  std::map<std::string, std::set<std::string>> module_deps;
+  // Identifiers declared project-wide with TimeNs/DurationNs type (variables,
+  // members, parameters, and ns-returning functions). Built by
+  // IndexTimeTypedNames.
+  std::set<std::string> ns_typed_names;
 
   bool UnambiguouslyStatus(const std::string& name) const {
     auto it = status_decls.find(name);
@@ -89,10 +104,21 @@ std::vector<std::unique_ptr<Rule>> MakeStatusRules();
 std::vector<std::unique_ptr<Rule>> MakeObsRules();
 std::vector<std::unique_ptr<Rule>> MakeHygieneRules();
 std::vector<std::unique_ptr<Rule>> MakeCtrlRules();
+std::vector<std::unique_ptr<Rule>> MakeDeferredRules();
+std::vector<std::unique_ptr<Rule>> MakeLayeringRules();
+std::vector<std::unique_ptr<Rule>> MakeTimeRules();
 
 // Pass-1 helper for the ctrl family: records the members of every class that
 // derives from CtrlStateMachine into index->ctrl_members.
 void IndexCtrlStateMachines(const FileCtx& file, ProjectIndex* index);
+// Pass-1 helper for the deferred family: records SmallFn/EventFn-taking
+// function names and SmallFn/EventFn member names.
+void IndexDeferredSinks(const FileCtx& file, ProjectIndex* index);
+// Pass-1 helper for the layering family: records this file's module ->
+// included-module edges.
+void IndexIncludeGraph(const FileCtx& file, ProjectIndex* index);
+// Pass-1 helper for the time family: records TimeNs/DurationNs-typed names.
+void IndexTimeTypedNames(const FileCtx& file, ProjectIndex* index);
 
 // Lints one in-memory file (path is used for reporting and path-scoped
 // rules). Exposed for the fixture self-tests.
@@ -100,16 +126,25 @@ FileCtx BuildFileCtx(std::string path, const std::string& source);
 
 // Full run over a set of (path, source) pairs: index pass, rule pass,
 // suppression pass, stale-suppression pass. Result is sorted and deduped.
+// `threads` > 1 parallelizes the lex/scan and rule passes across a thread
+// pool; the index pass and the final merge stay serial, so the result is
+// byte-identical to a single-threaded run.
 std::vector<Finding> LintSources(
-    const std::vector<std::pair<std::string, std::string>>& sources);
+    const std::vector<std::pair<std::string, std::string>>& sources,
+    int threads = 1);
 
 // Loads files from disk (paths sorted for determinism) and lints them.
 // Nonexistent/unreadable files become findings rather than crashes.
 std::vector<Finding> LintPaths(const std::vector<std::string>& paths,
-                               const std::string& strip_prefix);
+                               const std::string& strip_prefix, int threads = 1);
 
 // `<file>:<line>: [<rule>] <message>` lines.
 std::string FormatFindings(const std::vector<Finding>& findings);
+
+// Stable-sorted JSON array of {"rule", "file", "line", "message"} objects
+// (one per line, trailing newline), for the ci.sh build artifact: findings
+// diff cleanly PR-over-PR.
+std::string FormatFindingsJson(const std::vector<Finding>& findings);
 
 }  // namespace ds_lint
 

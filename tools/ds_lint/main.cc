@@ -1,17 +1,23 @@
 // ds_lint CLI — first stage of ci.sh.
 //
-//   ds_lint [--root <dir>] [paths...]
+//   ds_lint [--root <dir>] [--threads N] [--json] [--json-out <file>] [paths...]
 //
 // Paths (files or directories) default to src bench examples tests under
 // the root. Exit status: 0 when clean, 1 when findings, 2 on usage errors.
-// Output is deterministic: files are walked in sorted order and findings
-// print in a stable (file, line, rule, message) order, so CI diffs review
-// cleanly.
+// Output is deterministic regardless of --threads: files are walked in
+// sorted order, the scan merges per-file results in input order, and
+// findings print in a stable (file, line, rule, message) order, so CI diffs
+// review cleanly. --json prints the findings as a stable-sorted JSON array;
+// --json-out additionally writes that array to a file (the ci.sh build
+// artifact) while keeping the human-readable text on stdout.
 #include <algorithm>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "lint.h"
@@ -54,12 +60,30 @@ void Collect(const fs::path& p, std::vector<std::string>* out) {
 
 int main(int argc, char** argv) {
   std::string root = ".";
+  std::string json_out;
+  bool json = false;
+  // Default to the hardware parallelism (capped — the scan is I/O-light and
+  // more threads than files buys nothing); output is identical either way.
+  int threads = static_cast<int>(std::thread::hardware_concurrency());
+  if (threads < 1) threads = 1;
+  if (threads > 16) threads = 16;
   std::vector<std::string> inputs;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--root") == 0 && i + 1 < argc) {
       root = argv[++i];
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = std::atoi(argv[++i]);
+      if (threads < 1) {
+        std::cerr << "ds_lint: --threads wants a positive integer\n";
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else if (std::strcmp(argv[i], "--json-out") == 0 && i + 1 < argc) {
+      json_out = argv[++i];
     } else if (std::strcmp(argv[i], "--help") == 0) {
-      std::cout << "usage: ds_lint [--root <dir>] [paths...]\n"
+      std::cout << "usage: ds_lint [--root <dir>] [--threads N] [--json] "
+                   "[--json-out <file>] [paths...]\n"
                    "rules: ";
       for (const auto& r : ds_lint::AllRules()) std::cout << r->id() << " ";
       std::cout << "\nsuppress with: // ds-lint: allow(<rule>, <reason>)\n";
@@ -81,7 +105,19 @@ int main(int argc, char** argv) {
   std::sort(files.begin(), files.end());
   files.erase(std::unique(files.begin(), files.end()), files.end());
 
-  std::vector<ds_lint::Finding> findings = ds_lint::LintPaths(files, root);
+  std::vector<ds_lint::Finding> findings = ds_lint::LintPaths(files, root, threads);
+  if (!json_out.empty()) {
+    std::ofstream out(json_out, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      std::cerr << "ds_lint: cannot write " << json_out << "\n";
+      return 2;
+    }
+    out << ds_lint::FormatFindingsJson(findings);
+  }
+  if (json) {
+    std::cout << ds_lint::FormatFindingsJson(findings);
+    return findings.empty() ? 0 : 1;
+  }
   if (findings.empty()) {
     std::cout << "ds_lint: " << files.size() << " file(s) clean\n";
     return 0;

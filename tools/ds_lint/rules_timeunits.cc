@@ -1,0 +1,344 @@
+// Family F: sim-time unit discipline. All simulated time is integer
+// nanoseconds (TimeNs/DurationNs), but configs and reports speak milliseconds
+// and seconds — the classic failure is `deadline_ns < slo_ms` or
+// `ScheduleAfter(50, ...)`, which compiles, replays deterministically, and is
+// wrong by six orders of magnitude. The rules here infer a unit for each side
+// of a comparison/addition/assignment — from `_ns/_us/_ms/_s` identifier
+// suffixes, from project-wide TimeNs/DurationNs declarations (ProjectIndex),
+// and from the common/time_units.h conversion helpers — and flag:
+//   * time-unit-mix: both sides have known units and they differ;
+//   * raw-time-literal: a bare numeric literal >= 1000 meets a known-ns value
+//     (or is passed as a Schedule* delay) — name the unit via MsToNs/UsToNs/
+//     SToNs instead.
+// Multiplication/division are exempt (they are how conversions are written).
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint.h"
+#include "rules_util.h"
+
+namespace ds_lint {
+namespace {
+
+constexpr size_t kNone = static_cast<size_t>(-1);
+
+enum class Unit { kUnknown, kNs, kUs, kMs, kS };
+
+const char* UnitName(Unit u) {
+  switch (u) {
+    case Unit::kNs: return "ns";
+    case Unit::kUs: return "us";
+    case Unit::kMs: return "ms";
+    case Unit::kS: return "s";
+    default: return "?";
+  }
+}
+
+// Unit implied by an identifier's suffix (after stripping member-name
+// trailing underscores): blk_time_ns -> ns, tbt_budget_ms_ -> ms.
+Unit SuffixUnit(const std::string& name) {
+  std::string n = name;
+  while (!n.empty() && n.back() == '_') n.pop_back();
+  auto ends = [&n](const char* suf) {
+    size_t len = std::char_traits<char>::length(suf);
+    return n.size() > len && n.compare(n.size() - len, len, suf) == 0;
+  };
+  if (ends("_ns")) return Unit::kNs;
+  if (ends("_us")) return Unit::kUs;
+  if (ends("_ms")) return Unit::kMs;
+  if (ends("_s") || ends("_sec") || ends("_secs")) return Unit::kS;
+  return Unit::kUnknown;
+}
+
+// Unit of the value produced by calling `name(...)`.
+Unit CallUnit(const std::string& name) {
+  static const std::map<std::string, Unit>* kHelpers =
+      new std::map<std::string, Unit>{
+          {"MsToNs", Unit::kNs},    {"UsToNs", Unit::kNs},
+          {"SToNs", Unit::kNs},     {"NsToMs", Unit::kMs},
+          {"NsToUs", Unit::kUs},    {"NsToS", Unit::kS},
+      };
+  auto it = kHelpers->find(name);
+  return it == kHelpers->end() ? Unit::kUnknown : it->second;
+}
+
+// Names declared ns-typed in THIS file (locals, params, fields — any form).
+// Plain variable names are deliberately not shared across files: `int step`
+// in one test must not inherit ns-ness from `DurationNs step` in another
+// translation unit. Function names and `_`-suffixed members do cross files
+// via index.ns_typed_names, because their declaration is the shared one.
+std::set<std::string> LocalNsNames(const FileCtx& f) {
+  std::set<std::string> names;
+  const auto& t = f.lexed.tokens;
+  for (size_t i = 0; i + 1 < t.size(); ++i) {
+    if (!IsIdentTok(t, i)) continue;
+    if (t[i].text != "TimeNs" && t[i].text != "DurationNs") continue;
+    size_t k = i + 1;
+    while (k < t.size() &&
+           (t[k].kind == Tok::kPreproc || IsTok(t, k, ">") || IsTok(t, k, "*") ||
+            IsTok(t, k, "&") || IsTok(t, k, "const"))) {
+      ++k;
+    }
+    if (k < t.size() && IsIdentTok(t, k) && t[k].text.size() >= 2) {
+      names.insert(t[k].text);
+    }
+  }
+  return names;
+}
+
+Unit NameUnit(const std::string& name, const ProjectIndex& index,
+              const std::set<std::string>& local_ns) {
+  Unit u = SuffixUnit(name);
+  if (u != Unit::kUnknown) return u;
+  if (name.size() >= 2 &&
+      (index.ns_typed_names.count(name) > 0 || local_ns.count(name) > 0)) {
+    return Unit::kNs;
+  }
+  return Unit::kUnknown;
+}
+
+// Binary operators whose operands must share a unit. * and / are the
+// conversion operators themselves; %, <<, & etc. are bit/row math.
+bool IsUnitOp(const std::string& s) {
+  static const std::set<std::string>* kOps = new std::set<std::string>{
+      "+", "-", "<", "<=", ">", ">=", "==", "!=", "+=", "-=", "="};
+  return kOps->count(s) > 0;
+}
+
+// Numeric literal value, or -1 when not parseable (hex, etc.).
+double LiteralValue(const std::string& text) {
+  std::string digits;
+  for (char c : text) {
+    if (c != '\'') digits.push_back(c);
+  }
+  if (digits.size() > 1 && digits[0] == '0' &&
+      (digits[1] == 'x' || digits[1] == 'X' || digits[1] == 'b')) {
+    return -1.0;
+  }
+  char* end = nullptr;
+  double v = std::strtod(digits.c_str(), &end);
+  if (end == digits.c_str()) return -1.0;
+  return v;
+}
+
+struct Operand {
+  Unit unit = Unit::kUnknown;
+  bool is_literal = false;
+  double literal = -1.0;
+  std::string text;  // identifier / callee for the message
+};
+
+// Matching open paren/bracket scanning backward from the closer at `i`.
+size_t MatchBack(const std::vector<Token>& t, size_t close) {
+  const std::string& c = t[close].text;
+  std::string o = c == ")" ? "(" : c == "]" ? "[" : "";
+  if (o.empty()) return kNone;
+  int depth = 0;
+  for (size_t i = close + 1; i-- > 0;) {
+    if (t[i].kind == Tok::kPreproc) continue;
+    if (t[i].kind == Tok::kPunct) {
+      if (t[i].text == c) ++depth;
+      else if (t[i].text == o) {
+        if (--depth == 0) return i;
+      }
+    }
+    if (i == 0) break;
+  }
+  return kNone;
+}
+
+// Operand to the RIGHT of the operator at `op`.
+Operand RightOperand(const std::vector<Token>& t, size_t op,
+                     const ProjectIndex& index,
+                     const std::set<std::string>& local_ns) {
+  Operand r;
+  size_t i = op + 1;
+  while (i < t.size() && t[i].kind == Tok::kPreproc) ++i;
+  if (i >= t.size()) return r;
+  if (IsTok(t, i, "-") || IsTok(t, i, "+")) {  // unary sign
+    ++i;
+    while (i < t.size() && t[i].kind == Tok::kPreproc) ++i;
+  }
+  if (i < t.size() && t[i].kind == Tok::kNumber) {
+    r.is_literal = true;
+    r.literal = LiteralValue(t[i].text);
+    r.text = t[i].text;
+    return r;
+  }
+  if (IsTok(t, i, "static_cast") && IsTok(t, i + 1, "<")) {
+    if (IsIdentTok(t, i + 2) &&
+        (t[i + 2].text == "TimeNs" || t[i + 2].text == "DurationNs")) {
+      r.unit = Unit::kNs;
+      r.text = "static_cast<" + t[i + 2].text + ">";
+    }
+    return r;
+  }
+  if (!IsIdentTok(t, i)) return r;
+  // Walk the access chain forward: a::b.c->d ...
+  size_t last = i;
+  while (IsIdentTok(t, last) &&
+         (IsTok(t, last + 1, "::") || IsTok(t, last + 1, ".") ||
+          IsTok(t, last + 1, "->")) &&
+         IsIdentTok(t, last + 2)) {
+    last += 2;
+  }
+  const std::string& name = t[last].text;
+  r.text = name;
+  if (IsTok(t, last + 1, "(")) {
+    r.unit = CallUnit(name);
+    if (r.unit == Unit::kUnknown) r.unit = NameUnit(name, index, local_ns);
+  } else {
+    r.unit = NameUnit(name, index, local_ns);
+  }
+  return r;
+}
+
+// Operand to the LEFT of the operator at `op`.
+Operand LeftOperand(const std::vector<Token>& t, size_t op,
+                    const ProjectIndex& index,
+                    const std::set<std::string>& local_ns) {
+  Operand r;
+  size_t i = PrevTok(t, op);
+  if (i == kNone) return r;
+  // Skip subscripts back to the subscripted name: times_[k] -> times_.
+  while (IsTok(t, i, "]")) {
+    size_t open = MatchBack(t, i);
+    if (open == kNone) return r;
+    i = PrevTok(t, open);
+    if (i == kNone) return r;
+  }
+  if (t[i].kind == Tok::kNumber) {
+    r.is_literal = true;
+    r.literal = LiteralValue(t[i].text);
+    r.text = t[i].text;
+    return r;
+  }
+  if (IsTok(t, i, ")")) {
+    size_t open = MatchBack(t, i);
+    if (open == kNone) return r;
+    size_t callee = PrevTok(t, open);
+    if (callee != kNone && IsIdentTok(t, callee)) {
+      r.text = t[callee].text;
+      r.unit = CallUnit(t[callee].text);
+      if (r.unit == Unit::kUnknown) r.unit = NameUnit(t[callee].text, index, local_ns);
+    }
+    return r;
+  }
+  if (!IsIdentTok(t, i)) return r;
+  r.text = t[i].text;
+  r.unit = NameUnit(t[i].text, index, local_ns);
+  return r;
+}
+
+class TimeUnitMixRule : public Rule {
+ public:
+  std::string_view id() const override { return "time-unit-mix"; }
+
+  void Check(const FileCtx& f, const ProjectIndex& index,
+             std::vector<Finding>* out) const override {
+    const auto& t = f.lexed.tokens;
+    const std::set<std::string> local_ns = LocalNsNames(f);
+    for (size_t i = 1; i + 1 < t.size(); ++i) {
+      if (t[i].kind != Tok::kPunct || !IsUnitOp(t[i].text)) continue;
+      Operand lhs = LeftOperand(t, i, index, local_ns);
+      Operand rhs = RightOperand(t, i, index, local_ns);
+      if (lhs.unit == Unit::kUnknown || rhs.unit == Unit::kUnknown) continue;
+      if (lhs.unit == rhs.unit) continue;
+      out->push_back(
+          {f.path, t[i].line, std::string(id()),
+           "'" + lhs.text + "' (" + UnitName(lhs.unit) + ") " + t[i].text +
+               " '" + rhs.text + "' (" + UnitName(rhs.unit) +
+               ") mixes time units — convert explicitly via "
+               "common/time_units.h (MsToNs/UsToNs/SToNs/NsToMs/...)"});
+    }
+  }
+};
+
+class RawTimeLiteralRule : public Rule {
+ public:
+  std::string_view id() const override { return "raw-time-literal"; }
+
+  void Check(const FileCtx& f, const ProjectIndex& index,
+             std::vector<Finding>* out) const override {
+    const auto& t = f.lexed.tokens;
+    const std::set<std::string> local_ns = LocalNsNames(f);
+    for (size_t i = 1; i + 1 < t.size(); ++i) {
+      // Bare literal delay: ScheduleAfter(1000000, ...) / ScheduleAt(5e9, ...)
+      if (IsIdentTok(t, i) &&
+          (t[i].text == "ScheduleAfter" || t[i].text == "ScheduleAt") &&
+          IsTok(t, i + 1, "(")) {
+        size_t a = i + 2;
+        while (a < t.size() && t[a].kind == Tok::kPreproc) ++a;
+        if (a < t.size() && t[a].kind == Tok::kNumber && IsTok(t, a + 1, ",")) {
+          double v = LiteralValue(t[a].text);
+          if (v >= 1000.0) {
+            out->push_back(
+                {f.path, t[a].line, std::string(id()),
+                 t[i].text + "(" + t[a].text + ", ...) passes a bare literal "
+                 "as a nanosecond delay — name the unit: MsToNs/UsToNs/SToNs "
+                 "from common/time_units.h"});
+          }
+        }
+      }
+      // ns value (op) bare literal >= 1000, either side.
+      if (t[i].kind != Tok::kPunct || !IsUnitOp(t[i].text)) continue;
+      Operand lhs = LeftOperand(t, i, index, local_ns);
+      Operand rhs = RightOperand(t, i, index, local_ns);
+      const Operand* ns_side = nullptr;
+      const Operand* lit_side = nullptr;
+      if (lhs.unit == Unit::kNs && rhs.is_literal) {
+        ns_side = &lhs;
+        lit_side = &rhs;
+      } else if (rhs.unit == Unit::kNs && lhs.is_literal) {
+        ns_side = &rhs;
+        lit_side = &lhs;
+      }
+      if (ns_side == nullptr || lit_side->literal < 1000.0) continue;
+      out->push_back(
+          {f.path, t[i].line, std::string(id()),
+           "'" + ns_side->text + "' (ns) " + t[i].text + " bare literal " +
+               lit_side->text + " — magic nanosecond constants hide unit "
+               "errors; write MsToNs/UsToNs/SToNs(...) from "
+               "common/time_units.h"});
+    }
+  }
+};
+
+}  // namespace
+
+// Only cross-file-safe names enter the global set: `TimeNs F(...)` function
+// names (call sites share the declaration) and `_`-suffixed member names
+// (the style guide reserves the suffix for fields, which keep their meaning
+// wherever the class is used). Bare variable/parameter names stay file-local
+// — see LocalNsNames above.
+void IndexTimeTypedNames(const FileCtx& file, ProjectIndex* index) {
+  const auto& t = file.lexed.tokens;
+  for (size_t i = 0; i + 1 < t.size(); ++i) {
+    if (!IsIdentTok(t, i)) continue;
+    if (t[i].text != "TimeNs" && t[i].text != "DurationNs") continue;
+    size_t k = i + 1;
+    while (k < t.size() &&
+           (t[k].kind == Tok::kPreproc || IsTok(t, k, ">") || IsTok(t, k, "*") ||
+            IsTok(t, k, "&") || IsTok(t, k, "const"))) {
+      ++k;
+    }
+    if (k >= t.size() || !IsIdentTok(t, k) || t[k].text.size() < 2) continue;
+    const std::string& name = t[k].text;
+    if (name.back() == '_' || IsTok(t, k + 1, "(")) {
+      index->ns_typed_names.insert(name);
+    }
+  }
+}
+
+std::vector<std::unique_ptr<Rule>> MakeTimeRules() {
+  std::vector<std::unique_ptr<Rule>> rules;
+  rules.push_back(std::make_unique<TimeUnitMixRule>());
+  rules.push_back(std::make_unique<RawTimeLiteralRule>());
+  return rules;
+}
+
+}  // namespace ds_lint

@@ -226,6 +226,12 @@ class Scanner {
     if (!is_ctor_like) ClassifyReturnType(decl_start, name_idx, &fn);
 
     size_t close = MatchDelim(t_, params_open);
+    for (size_t k = params_open + 1; k < close && k < t_.size(); ++k) {
+      if (TokIsIdent(t_, k) && (t_[k].text == "SmallFn" || t_[k].text == "EventFn")) {
+        fn.has_smallfn_param = true;
+        break;
+      }
+    }
     j = close + 1;
 
     // Post-parameter zone: qualifiers, trailing return, `= default/delete/0`,
@@ -319,24 +325,33 @@ class Scanner {
     }
   }
 
-  // Field declaration ending at `semi`; indexes unordered_{map,set} members.
+  // Field declaration ending at `semi`; indexes unordered_{map,set} members
+  // and SmallFn/EventFn callback-slot members.
   void RecordField(size_t decl_start, size_t semi, const std::string& cls) {
-    size_t unordered_at = 0;
-    bool unordered = false;
+    size_t type_at = 0;
+    bool unordered = false, smallfn = false;
     for (size_t k = decl_start; k < semi; ++k) {
-      if (TokIsIdent(t_, k) &&
-          (t_[k].text == "unordered_map" || t_[k].text == "unordered_set")) {
+      if (!TokIsIdent(t_, k)) continue;
+      if (t_[k].text == "unordered_map" || t_[k].text == "unordered_set") {
         unordered = true;
-        unordered_at = k;
+        type_at = k;
+        break;
+      }
+      if (t_[k].text == "SmallFn" || t_[k].text == "EventFn") {
+        smallfn = true;
+        type_at = k;
         break;
       }
     }
-    if (!unordered) return;
-    size_t k = unordered_at + 1;
+    if (!unordered && !smallfn) return;
+    size_t k = type_at + 1;
     if (TokIs(t_, k, "<")) k = SkipAngles(t_, k);
-    while (k < semi && (TokIs(t_, k, "*") || TokIs(t_, k, "&") || TokIs(t_, k, "const"))) ++k;
+    while (k < semi && (TokIs(t_, k, "*") || TokIs(t_, k, "&") || TokIs(t_, k, ">") ||
+                        TokIs(t_, k, "const"))) {
+      ++k;
+    }
     if (k < semi && TokIsIdent(t_, k)) {
-      out_.members.push_back({cls, t_[k].text, t_[k].line, true});
+      out_.members.push_back({cls, t_[k].text, t_[k].line, unordered, smallfn});
     }
   }
 };

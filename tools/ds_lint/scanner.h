@@ -27,6 +27,8 @@ struct MemberDecl {
   std::string name;
   int line;
   bool unordered;  // declared std::unordered_map / std::unordered_set
+  bool smallfn = false;  // declared common::SmallFn / sim::EventFn (a slot
+                         // that stores a callback for deferred invocation)
 };
 
 struct FuncDecl {
@@ -41,6 +43,8 @@ struct FuncDecl {
   bool returns_status = false;       // returns Status or Result<T> by value
   bool has_nodiscard = false;        // [[nodiscard]] present on the declaration
   bool returns_non_status = false;   // any other return type (incl. void)
+  bool has_smallfn_param = false;    // a parameter is SmallFn / EventFn typed,
+                                     // i.e. callers hand it a deferred callback
 };
 
 struct FileStructure {

@@ -1,0 +1,85 @@
+// Fixture: deferred-callback lifetime violations. Every marked line hands a
+// lambda whose captures outlive their referents to a sink that fires after
+// the enclosing scope unwinds.
+#include <vector>
+
+namespace deepserve {
+
+struct Simulator {
+  template <typename F>
+  void ScheduleAfter(long delay, F fn);
+  template <typename F>
+  void ScheduleAt(long when, F fn);
+};
+
+template <typename Sig>
+class SmallFn {};
+
+// A SmallFn-typed parameter makes any caller a deferred sink.
+void Defer(SmallFn<void()> cb);
+
+// An opaque callee: ds_lint cannot prove it synchronous, so a by-reference
+// lambda is flagged (audited allows are the escape hatch).
+template <typename F>
+void Consume(F&& cb);
+
+void BadRefDefault(Simulator* sim) {
+  int count = 0;
+  sim->ScheduleAfter(5, [&] { ++count; });  // ds-lint-expect: deferred-capture
+}
+
+void BadRefNamed(Simulator* sim) {
+  long total = 0;
+  sim->ScheduleAt(9, [&total] { total += 2; });  // ds-lint-expect: deferred-capture
+}
+
+void BadInitAddr(Simulator* sim) {
+  int x = 1;
+  sim->ScheduleAfter(1, [p = &x] { (void)p; });  // ds-lint-expect: deferred-capture
+}
+
+// The pointer is copied but the pointee is this frame's stack.
+void BadPointerLocal(Simulator* sim) {
+  int slot = 3;
+  auto p = &slot;
+  sim->ScheduleAfter(0, [p] { (void)p; });  // ds-lint-expect: deferred-capture
+}
+
+// Iterators are pointers with extra steps; the vector outlives the scope
+// but a rehash/realloc between now and the event invalidates the iterator.
+void BadIteratorCapture(std::vector<int>* v, Simulator* sim) {
+  auto it = v->begin();
+  sim->ScheduleAfter(2, [it] { (void)it; });  // ds-lint-expect: deferred-capture
+}
+
+void BadSmallFnParam(Simulator* sim, int n) {
+  (void)sim;
+  Defer([&n] { ++n; });  // ds-lint-expect: deferred-capture
+}
+
+// Not a proven sink, but not provably synchronous either.
+void BadUnprovenCallee(std::vector<int>& v) {
+  long sum = 0;
+  Consume([&sum, &v] { sum += static_cast<long>(v.size()); });  // ds-lint-expect: deferred-capture
+}
+
+// Named lambda declared here, consumed by a sink two statements later: the
+// finding points at the capture, not the handoff.
+void BadNamedFlow(Simulator* sim) {
+  int hits = 0;
+  auto cb = [&hits] { ++hits; };  // ds-lint-expect: deferred-capture
+  sim->ScheduleAfter(3, cb);
+}
+
+class Widget {
+ public:
+  void Arm() {
+    int ticks = 0;
+    slot_ = [&ticks] { ++ticks; };  // ds-lint-expect: deferred-capture
+  }
+
+ private:
+  SmallFn<void()> slot_;
+};
+
+}  // namespace deepserve

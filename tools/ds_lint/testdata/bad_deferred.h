@@ -1,0 +1,45 @@
+// Fixture: `this` captures in header lambdas. A header component's owner can
+// destroy it before the scheduled event fires, so a bare `this` capture is
+// flagged; the sanctioned pattern is this + epoch guard + audited allow
+// (mirrors sim::PeriodicTask). Also exercises a stale allow on this rule.
+#ifndef DS_LINT_TESTDATA_BAD_DEFERRED_H_
+#define DS_LINT_TESTDATA_BAD_DEFERRED_H_
+
+namespace deepserve {
+
+struct SimulatorH {
+  template <typename F>
+  void ScheduleAfter(long delay, F fn);
+};
+
+class Ticker {
+ public:
+  void Start(SimulatorH* sim) {
+    sim_ = sim;
+    sim_->ScheduleAfter(10, [this] { Fire(); });  // ds-lint-expect: deferred-capture
+  }
+
+  // The audited pattern: bump an epoch before scheduling, check it in the
+  // callback, and document why the capture is safe.
+  void StartGuarded(SimulatorH* sim) {
+    sim_ = sim;
+    ++epoch_;
+    // ds-lint: allow(deferred-capture, epoch guard makes stale events no-ops after Stop or restart)
+    sim_->ScheduleAfter(10, [this, epoch = epoch_] { FireIfCurrent(epoch); });
+  }
+
+  // An allow with nothing to suppress is itself a finding.
+  void Stop() {
+    ++epoch_;  // ds-lint: allow(deferred-capture, nothing deferred here) ds-lint-expect: stale-suppression
+  }
+
+ private:
+  void Fire() {}
+  void FireIfCurrent(long epoch) { (void)epoch; }
+  SimulatorH* sim_ = nullptr;
+  long epoch_ = 0;
+};
+
+}  // namespace deepserve
+
+#endif  // DS_LINT_TESTDATA_BAD_DEFERRED_H_

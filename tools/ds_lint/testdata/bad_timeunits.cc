@@ -1,0 +1,41 @@
+// Fixture: sim-time unit violations. Comparing or assigning across units
+// compiles and replays deterministically — and is wrong by six orders of
+// magnitude; bare >=1000 literals meeting known-ns values hide the unit.
+#include "common/time_units.h"
+#include "common/types.h"
+
+namespace deepserve {
+
+struct SimClock {
+  template <typename F>
+  void ScheduleAfter(long delay, F fn);
+  TimeNs Now() const { return 0; }
+};
+
+void Noop();
+
+void BadCompare(TimeNs deadline, double slo_ms) {
+  if (deadline < slo_ms) {  // ds-lint-expect: time-unit-mix
+    Noop();
+  }
+}
+
+void BadAssign(long budget_ms) {
+  TimeNs deadline = budget_ms;  // ds-lint-expect: time-unit-mix
+  (void)deadline;
+}
+
+void BadCompareUsVsMs(double lag_us, double slo_ms) {
+  if (lag_us > slo_ms) Noop();  // ds-lint-expect: time-unit-mix
+}
+
+void BadRawDelay(SimClock* sim) {
+  sim->ScheduleAfter(50000, Noop);  // ds-lint-expect: raw-time-literal
+}
+
+void BadRawArith(SimClock* sim) {
+  TimeNs deadline = sim->Now() + 2000000;  // ds-lint-expect: raw-time-literal
+  (void)deadline;
+}
+
+}  // namespace deepserve

@@ -1,0 +1,84 @@
+// Fixture: deferred-callback patterns that must NOT fire. Synchronous
+// callees, value captures of plain locals, heap pointers received as
+// parameters, directly-invoked named lambdas, and `this` in a .cc file
+// (where the owner drives the simulator to completion) are all legal.
+#include <algorithm>
+#include <vector>
+
+namespace deepserve {
+
+struct Simulator {
+  template <typename F>
+  void ScheduleAfter(long delay, F fn);
+};
+
+struct Tree {
+  template <typename F>
+  void ForEach(F fn);
+};
+
+template <typename Sig>
+class SmallFn {};
+
+struct Holder {
+  SmallFn<void()> slot_;
+};
+
+// By-reference lambdas handed to std algorithms: invoked before return.
+long GoodSyncAlgorithms(std::vector<int>& v) {
+  long sum = 0;
+  std::for_each(v.begin(), v.end(), [&sum](int x) { sum += x; });
+  std::sort(v.begin(), v.end(), [&](int a, int b) { return a < b; });
+  return sum;
+}
+
+// Project-local visitor on the synchronous whitelist.
+long GoodProjectVisitor(Tree& tree) {
+  long leaves = 0;
+  tree.ForEach([&leaves](int) { ++leaves; });
+  return leaves;
+}
+
+// Value capture of a plain local: the lambda owns a copy.
+void GoodValueCapture(Simulator* sim) {
+  int count = 7;
+  sim->ScheduleAfter(5, [count] { (void)count; });
+}
+
+// A named lambda only ever invoked directly is synchronous by construction.
+long GoodDirectInvoke(std::vector<int>& v) {
+  auto tally = [&] {
+    long s = 0;
+    for (int x : v) s += x;
+    return s;
+  };
+  return tally();
+}
+
+class Engine {
+ public:
+  explicit Engine(Simulator* sim) : sim_(sim) {}
+
+  // `this` in a .cc: the owner's lifetime is visible to the translation
+  // unit; only header lambdas (library components) need the epoch pattern.
+  void Kick() {
+    sim_->ScheduleAfter(1, [this] { ++beats_; });
+  }
+
+ private:
+  Simulator* sim_;
+  long beats_ = 0;
+};
+
+// A pointer that arrived as a parameter points at caller-owned state, not
+// at this scope's stack — capturing it by value is the idiomatic fix.
+void GoodParamPointer(Simulator* sim, Engine* eng) {
+  sim->ScheduleAfter(4, [eng] { eng->Kick(); });
+}
+
+// Storing a value-capturing lambda into a SmallFn slot: deferred, but owned.
+void GoodOwnedCapture(Holder* h, int seed) {
+  h->slot_ = [seed] { (void)seed; };
+}
+
+}  // namespace deepserve

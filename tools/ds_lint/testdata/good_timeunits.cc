@@ -1,0 +1,42 @@
+// Fixture: unit-clean time arithmetic. Conversions go through the named
+// helpers, small literals (sub-millisecond tick math) are tolerated, and
+// multiplication/division — the conversion operators themselves — are never
+// flagged.
+#include "common/time_units.h"
+#include "common/types.h"
+
+namespace deepserve {
+
+struct SimClock {
+  template <typename F>
+  void ScheduleAfter(long delay, F fn);
+  TimeNs Now() const { return 0; }
+};
+
+void Noop();
+
+void GoodNamedUnits(SimClock* sim) {
+  sim->ScheduleAfter(MsToNs(5), Noop);
+  TimeNs deadline = sim->Now() + UsToNs(100);
+  if (deadline < sim->Now() + SToNs(1)) Noop();
+  (void)deadline;
+}
+
+void GoodSameUnits(double slo_ms, double budget_ms) {
+  if (slo_ms < budget_ms) Noop();
+}
+
+void GoodSmallLiterals(SimClock* sim) {
+  sim->ScheduleAfter(500, Noop);  // sub-1000: per-tick offsets stay readable
+  TimeNs t = sim->Now() + 999;
+  (void)t;
+}
+
+void GoodConversionMath(long count, DurationNs per_item) {
+  DurationNs total = count * per_item;
+  double fraction = static_cast<double>(per_item) / 1000000.0;
+  (void)total;
+  (void)fraction;
+}
+
+}  // namespace deepserve

@@ -1,0 +1,18 @@
+// Layering fixture: the control plane reaching up into the serving layer is
+// exactly the edge the DAG forbids (ctrl may use {common, obs, sim, hw,
+// workload} only).
+#ifndef DS_LINT_TESTDATA_LAYER_CTRL_BAD_EDGE_H_
+#define DS_LINT_TESTDATA_LAYER_CTRL_BAD_EDGE_H_
+
+#include "common/types.h"
+#include "serving/cluster_manager.h"  // ds-lint-expect: layering-edge
+
+namespace deepserve::ctrl {
+
+struct Probe {
+  TimeNs when = 0;
+};
+
+}  // namespace deepserve::ctrl
+
+#endif  // DS_LINT_TESTDATA_LAYER_CTRL_BAD_EDGE_H_

@@ -1,0 +1,17 @@
+// Layering fixture: distflow -> rtc is a legal edge on its own, but once
+// rtc/bad_cycle.h includes back into distflow the pair forms a module cycle
+// and BOTH contributing edges are reported.
+#ifndef DS_LINT_TESTDATA_LAYER_DISTFLOW_USES_RTC_H_
+#define DS_LINT_TESTDATA_LAYER_DISTFLOW_USES_RTC_H_
+
+#include "rtc/prompt_tree.h"  // ds-lint-expect: layering-cycle
+
+namespace deepserve::distflow {
+
+struct ChunkRef {
+  int node = 0;
+};
+
+}  // namespace deepserve::distflow
+
+#endif  // DS_LINT_TESTDATA_LAYER_DISTFLOW_USES_RTC_H_

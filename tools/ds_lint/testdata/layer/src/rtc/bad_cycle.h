@@ -1,0 +1,17 @@
+// Layering fixture: the seeded cycle. rtc -> distflow is both a forbidden
+// edge (rtc may use {common, obs, sim, hw}) and, together with
+// distflow/uses_rtc.h, closes the rtc -> distflow -> rtc cycle.
+#ifndef DS_LINT_TESTDATA_LAYER_RTC_BAD_CYCLE_H_
+#define DS_LINT_TESTDATA_LAYER_RTC_BAD_CYCLE_H_
+
+#include "distflow/chunk_store.h"  // ds-lint-expect: layering-edge layering-cycle
+
+namespace deepserve::rtc {
+
+struct LeafRef {
+  int chunk = 0;
+};
+
+}  // namespace deepserve::rtc
+
+#endif  // DS_LINT_TESTDATA_LAYER_RTC_BAD_CYCLE_H_

@@ -1,0 +1,17 @@
+// Layering fixture: sim -> common is an allowed edge; sim -> sim and
+// non-module includes are never edges at all.
+#ifndef DS_LINT_TESTDATA_LAYER_SIM_GOOD_EDGE_H_
+#define DS_LINT_TESTDATA_LAYER_SIM_GOOD_EDGE_H_
+
+#include <cstdint>
+
+#include "common/types.h"
+#include "sim/simulator.h"
+
+namespace deepserve::sim {
+
+inline int64_t Identity(int64_t x) { return x; }
+
+}  // namespace deepserve::sim
+
+#endif  // DS_LINT_TESTDATA_LAYER_SIM_GOOD_EDGE_H_
